@@ -1,0 +1,36 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables bench-full examples verify-all clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-report:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ -s -q
+
+bench-full:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --full-scale -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

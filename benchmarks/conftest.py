@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+The benchmarks regenerate every table and figure of the paper's
+Section V at laptop scale (the parameter mapping is documented in
+DESIGN.md and EXPERIMENTS.md).  Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` lets the paper-style tables print.  Each module exposes both a
+sweep (printed once per session, cached in a module fixture) and
+pytest-benchmark timings for representative points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run the larger (k=8) experiment variants; several minutes",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request) -> bool:
+    return request.config.getoption("--full-scale")

@@ -1,0 +1,119 @@
+"""Ablation A3: presolve / CNF-preprocessing effect on placement
+encodings.
+
+Incremental deployments pin large parts of the variable space; the
+reductions of :mod:`repro.milp.presolve` and :mod:`repro.sat.preprocess`
+should collapse exactly that structure.  This harness quantifies the
+shrinkage and checks solved results are unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ilp import build_encoding
+from repro.core.objectives import TotalRules, apply_objective
+from repro.core.satenc import build_sat_encoding
+from repro.experiments import ExperimentConfig, banner, build_instance
+from repro.milp.presolve import presolve, solve_with_presolve
+from repro.sat.preprocess import preprocess
+
+CONFIG = ExperimentConfig(
+    k=4, num_paths=16, rules_per_policy=10, capacity=30,
+    num_ingresses=6, seed=3, drop_fraction=0.5, nested_fraction=0.5,
+)
+
+
+def pinned_fixed(instance, fraction_switch: str = ""):
+    """Pin every variable of half the policies to its solved value --
+    the shape an incremental re-solve produces."""
+    from repro.core.placement import RulePlacer
+
+    base = RulePlacer().place(instance)
+    assert base.is_feasible
+    frozen_ingresses = set(list(instance.policies.ingresses)[:3])
+    fixed = {}
+    encoding = build_encoding(instance)
+    for (key, switch) in encoding.var_of:
+        if key[0] in frozen_ingresses:
+            value = 1 if switch in base.placed.get(key, frozenset()) else 0
+            fixed[(key, switch)] = value
+    return fixed
+
+
+@pytest.fixture(scope="module")
+def setup():
+    instance = build_instance(CONFIG)
+    fixed = pinned_fixed(instance)
+    return instance, fixed
+
+
+class TestReductionAblation:
+    @pytest.mark.benchmark(group="ablation-report")
+    def test_print_comparison(self, setup, benchmark):
+        instance, fixed = setup
+        benchmark.pedantic(lambda: len(fixed), rounds=1, iterations=1)
+
+        encoding = build_encoding(instance, fixed=fixed)
+        apply_objective(encoding, TotalRules())
+        reduction = presolve(encoding.model)
+        sat_encoding = build_sat_encoding(instance, fixed=fixed)
+        sat_reduction = preprocess(sat_encoding.cnf)
+
+        print(banner("Ablation A3: presolve / preprocessing on pinned "
+                     "(incremental-style) encodings"))
+        print(f"  MILP: {encoding.model.num_variables()} vars -> "
+              f"{reduction.model.num_variables()} "
+              f"({len(reduction.fixed)} fixed), "
+              f"{encoding.model.num_constraints()} rows -> "
+              f"{reduction.model.num_constraints()} "
+              f"({reduction.rows_dropped} dropped)")
+        print(f"  CNF : {len(sat_encoding.cnf)} clauses -> "
+              f"{len(sat_reduction.cnf)} "
+              f"({sat_reduction.clauses_removed} removed, "
+              f"{len(sat_reduction.assigned)} assigned, "
+              f"{len(sat_reduction.pure)} pure)")
+
+    def test_milp_presolve_shrinks_and_agrees(self, setup):
+        instance, fixed = setup
+        encoding = build_encoding(instance, fixed=fixed)
+        apply_objective(encoding, TotalRules())
+        reduction = presolve(encoding.model)
+        assert reduction.model.num_variables() < encoding.model.num_variables()
+        direct = encoding.model.solve()
+        via = solve_with_presolve(encoding.model)
+        assert direct.status.has_solution == via.status.has_solution
+        if direct.status.has_solution:
+            assert via.objective == pytest.approx(direct.objective)
+
+    def test_cnf_preprocess_shrinks_and_agrees(self, setup):
+        instance, fixed = setup
+        from repro.sat.cdcl import solve_cnf
+        from repro.sat.preprocess import extend_model
+
+        encoding = build_sat_encoding(instance, fixed=fixed)
+        reduction = preprocess(encoding.cnf)
+        assert not reduction.unsat
+        assert reduction.clauses_removed > 0
+        inner = solve_cnf(reduction.cnf)
+        direct = solve_cnf(encoding.cnf)
+        assert inner.is_sat == direct.is_sat
+        if inner.is_sat:
+            full = extend_model(reduction, inner.model)
+            assert encoding.cnf.evaluate(full)
+
+
+@pytest.mark.benchmark(group="ablation-reductions")
+class TestReductionTimings:
+    def test_presolve_cost(self, setup, benchmark):
+        instance, fixed = setup
+        encoding = build_encoding(instance, fixed=fixed)
+        apply_objective(encoding, TotalRules())
+        benchmark.pedantic(lambda: presolve(encoding.model),
+                           rounds=3, iterations=1)
+
+    def test_preprocess_cost(self, setup, benchmark):
+        instance, fixed = setup
+        encoding = build_sat_encoding(instance, fixed=fixed)
+        benchmark.pedantic(lambda: preprocess(encoding.cnf),
+                           rounds=3, iterations=1)

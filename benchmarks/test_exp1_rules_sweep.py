@@ -1,0 +1,155 @@
+"""Experiment 1 (paper Figures 7, 8, 9): runtime vs number of rules.
+
+Paper setup: fat-trees with k=8/16/32, p=1024 paths, rules n=20..110
+per ingress policy, capacities C in {200, 1000}; 5 instances per point.
+
+Laptop mapping (DESIGN.md): k=4/6/8, p scaled with k, r=10..60,
+C in {30 tight, 150 loose}; 3 instances per point.  Expected shape:
+
+* runtime grows with r and is higher for the tight capacity;
+* past the feasibility cliff the solver returns "infeasible" quickly
+  (the sudden runtime drop the paper highlights at r=100 -> 110);
+* loose-capacity runs stay easy throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_instance,
+    figure_series,
+    format_figure,
+    run_point,
+    sweep,
+)
+from repro.core.placement import RulePlacer
+
+RULE_COUNTS = [10, 20, 30, 40, 50, 60]
+INSTANCES = 3
+TIME_LIMIT = 120.0
+
+# (figure, paper k, our k, paths): the stand-in mapping.
+NETWORKS = {
+    "fig7": {"paper_k": 8, "k": 4, "num_paths": 48, "num_ingresses": 16},
+    "fig8": {"paper_k": 16, "k": 6, "num_paths": 64, "num_ingresses": None},
+    "fig9": {"paper_k": 32, "k": 8, "num_paths": 96, "num_ingresses": None},
+}
+CAPACITIES = {"tight": 30, "loose": 150}
+
+
+def base_config(figure: str, capacity: int) -> ExperimentConfig:
+    net = NETWORKS[figure]
+    return ExperimentConfig(
+        k=net["k"], num_paths=net["num_paths"], capacity=capacity,
+        num_ingresses=net["num_ingresses"], seed=3,
+        drop_fraction=0.5, nested_fraction=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    """Run the full sweep once; individual tests assert on the shape."""
+    results = {}
+    for figure in ("fig7", "fig8"):
+        for label, capacity in CAPACITIES.items():
+            results[(figure, label)] = sweep(
+                base_config(figure, capacity), "rules_per_policy",
+                RULE_COUNTS, instances=INSTANCES, time_limit=TIME_LIMIT,
+            )
+    return results
+
+
+class TestExperiment1:
+    @pytest.mark.benchmark(group="exp1-report")
+    @pytest.mark.parametrize("figure,paper", [("fig7", "Figure 7 (k=8)"),
+                                              ("fig8", "Figure 8 (k=16)")])
+    def test_print_series(self, sweep_results, benchmark, figure, paper):
+        for label in CAPACITIES:
+            print(format_figure(
+                f"Experiment 1 / {paper} -> our k={NETWORKS[figure]['k']}, "
+                f"C={CAPACITIES[label]} ({label})",
+                "#rules", sweep_results[(figure, label)],
+            ))
+        benchmark.pedantic(
+            lambda: figure_series(sweep_results[(figure, "tight")]),
+            rounds=1, iterations=1,
+        )
+
+    @pytest.mark.parametrize("figure", ["fig7", "fig8"])
+    def test_loose_capacity_all_feasible(self, sweep_results, figure):
+        """C=1000-equivalent: under-constrained, everything solves."""
+        rows = figure_series(sweep_results[(figure, "loose")])
+        assert all(row["feasible"] == row["total"] for row in rows)
+
+    @pytest.mark.parametrize("figure", ["fig7", "fig8"])
+    def test_tight_capacity_hits_cliff(self, sweep_results, figure):
+        """The tight sweep must cross the feasibility boundary."""
+        rows = figure_series(sweep_results[(figure, "tight")])
+        assert rows[0]["feasible"] == rows[0]["total"]
+        assert rows[-1]["feasible"] < rows[-1]["total"]
+
+    @pytest.mark.parametrize("figure", ["fig7", "fig8"])
+    def test_runtime_grows_with_rules_when_loose(self, sweep_results, figure):
+        """Coarse monotonicity: the largest instances cost more than the
+        smallest (mean over instances; generous 1.2x to absorb noise)."""
+        rows = figure_series(sweep_results[(figure, "loose")])
+        assert rows[-1]["mean_ms"] > rows[0]["mean_ms"] * 1.2
+
+    def test_infeasible_returns_quickly(self, sweep_results):
+        """Past the cliff, 'infeasible' is cheap -- the paper's sudden
+        drop.  Compare infeasible runtimes with the hardest feasible
+        point of the same (tight) series."""
+        for figure in ("fig7", "fig8"):
+            records = [
+                r for recs in sweep_results[(figure, "tight")].values()
+                for r in recs
+            ]
+            infeasible = [r.runtime_seconds for r in records if not r.feasible]
+            feasible = [r.runtime_seconds for r in records if r.feasible]
+            if infeasible and feasible:
+                assert min(infeasible) < max(feasible)
+
+
+class TestFig9FullScale:
+    """The k=32 stand-in (our k=8) is bigger; opt-in via --full-scale."""
+
+    def test_fig9_sweep(self, full_scale):
+        if not full_scale:
+            pytest.skip("pass --full-scale for the k=8 sweep")
+        for label, capacity in CAPACITIES.items():
+            results = sweep(
+                base_config("fig9", capacity), "rules_per_policy",
+                RULE_COUNTS, instances=INSTANCES, time_limit=300.0,
+            )
+            print(format_figure(
+                f"Experiment 1 / Figure 9 (k=32) -> our k=8, C={capacity}",
+                "#rules", results,
+            ))
+
+
+@pytest.mark.benchmark(group="exp1-rules")
+class TestExp1Timings:
+    """pytest-benchmark timings for representative Experiment-1 points."""
+
+    @pytest.mark.parametrize("rules", [20, 40, 60])
+    def test_solve_k4_loose(self, benchmark, rules):
+        config = base_config("fig7", CAPACITIES["loose"])
+        config = ExperimentConfig(**{**config.__dict__,
+                                     "rules_per_policy": rules})
+        instance = build_instance(config)
+        placer = RulePlacer()
+        result = benchmark.pedantic(
+            lambda: placer.place(instance), rounds=3, iterations=1,
+        )
+        assert result.is_feasible
+
+    @pytest.mark.parametrize("rules", [20, 40])
+    def test_solve_k4_tight(self, benchmark, rules):
+        config = base_config("fig7", CAPACITIES["tight"])
+        config = ExperimentConfig(**{**config.__dict__,
+                                     "rules_per_policy": rules})
+        instance = build_instance(config)
+        placer = RulePlacer()
+        benchmark.pedantic(lambda: placer.place(instance), rounds=3, iterations=1)

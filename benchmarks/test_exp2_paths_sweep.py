@@ -1,0 +1,97 @@
+"""Experiment 2 (paper Figure 10): runtime vs number of paths.
+
+Paper setup: k=8, r=100 rules, paths swept 256..2048 step 256, with
+C=200 (tight: infeasible past p=512) and C=500 (loose: flat runtime).
+
+Laptop mapping: k=4, r=25, p=16..128 step 16, C in {18 tight, 60
+loose}.  Expected shape: the loose series is roughly flat (the paper:
+"the number of paths is not as significant as the number of rules"),
+the tight series flips to infeasible as paths multiply the per-path
+coverage obligations.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.placement import RulePlacer
+from repro.experiments import (
+    ExperimentConfig,
+    build_instance,
+    figure_series,
+    format_figure,
+    sweep,
+)
+
+PATH_COUNTS = [16, 32, 48, 64, 96, 128]
+INSTANCES = 3
+CAPACITIES = {"tight": 18, "loose": 60}
+
+
+def base_config(capacity: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        k=4, rules_per_policy=25, capacity=capacity, num_ingresses=16,
+        seed=3, drop_fraction=0.5, nested_fraction=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    return {
+        label: sweep(base_config(capacity), "num_paths", PATH_COUNTS,
+                     instances=INSTANCES, time_limit=120.0)
+        for label, capacity in CAPACITIES.items()
+    }
+
+
+class TestExperiment2:
+    @pytest.mark.benchmark(group="exp2-report")
+    def test_print_series(self, sweep_results, benchmark):
+        for label, capacity in CAPACITIES.items():
+            print(format_figure(
+                f"Experiment 2 / Figure 10 -> k=4, r=25, C={capacity} ({label})",
+                "#paths", sweep_results[label],
+            ))
+        benchmark.pedantic(
+            lambda: figure_series(sweep_results["loose"]), rounds=1, iterations=1,
+        )
+
+    def test_loose_all_feasible(self, sweep_results):
+        rows = figure_series(sweep_results["loose"])
+        assert all(row["feasible"] == row["total"] for row in rows)
+
+    def test_loose_runtime_flat(self, sweep_results):
+        """Paper: with C=500 'the execution time is flat'.  We accept a
+        generous factor since absolute times are milliseconds."""
+        rows = figure_series(sweep_results["loose"])
+        means = [row["mean_ms"] for row in rows]
+        assert max(means) < 25 * min(means)
+
+    def test_tight_becomes_infeasible(self, sweep_results):
+        """Paper: with C=200 the solver returns infeasible for p>512."""
+        rows = figure_series(sweep_results["tight"])
+        assert rows[0]["feasible"] > 0
+        assert rows[-1]["feasible"] < rows[-1]["total"]
+
+    def test_installed_rules_grow_with_paths_when_tight(self, sweep_results):
+        """More paths -> more duplication pressure on feasible points."""
+        rows = [r for r in figure_series(sweep_results["loose"])]
+        first, last = rows[0], rows[-1]
+        assert last["mean_installed"] >= first["mean_installed"]
+
+
+@pytest.mark.benchmark(group="exp2-paths")
+class TestExp2Timings:
+    @pytest.mark.parametrize("paths", [16, 64, 128])
+    def test_solve_loose(self, benchmark, paths):
+        config = ExperimentConfig(**{
+            **base_config(CAPACITIES["loose"]).__dict__, "num_paths": paths,
+        })
+        instance = build_instance(config)
+        placer = RulePlacer()
+        result = benchmark.pedantic(
+            lambda: placer.place(instance), rounds=3, iterations=1,
+        )
+        assert result.is_feasible

@@ -1,0 +1,141 @@
+"""Experiment 3 (paper Table II): capacity vs duplication overhead with
+and without rule merging.
+
+Paper setup: k=8, p=1024, 20 non-mergeable rules plus m=1..10 mergeable
+(network-wide blacklist) rules per policy, capacities 65/70/75.  The
+table reports total installed rules and duplication overhead per cell;
+"Inf" marks infeasible cells.
+
+Laptop mapping: k=4, p=48, 16 policies of 20 rules + m blacklist rules,
+capacities 20/22/24.  Expected shape (paper observations):
+
+(i)   merging turns several Inf cells feasible;
+(ii)  merging cuts duplication overhead substantially (paper: ~15%
+      average);
+(iii) overhead can go negative with merging (cross-policy sharing).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.experiments import (
+    ExperimentConfig,
+    banner,
+    build_instance,
+    format_table2_cell,
+    run_point,
+)
+
+MERGEABLE_COUNTS = list(range(1, 11))
+CAPACITIES = [20, 22, 24]
+TIME_LIMIT = 120.0
+
+
+def config_for(m: int, capacity: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        k=4, num_paths=48, rules_per_policy=20, capacity=capacity,
+        num_ingresses=16, seed=3, drop_fraction=0.5, nested_fraction=0.5,
+        blacklist_rules=m,
+    )
+
+
+@pytest.fixture(scope="module")
+def table():
+    """cells[(m, capacity, merged)] = Record."""
+    cells = {}
+    for m in MERGEABLE_COUNTS:
+        for capacity in CAPACITIES:
+            for merged in (False, True):
+                cells[(m, capacity, merged)] = run_point(
+                    config_for(m, capacity), enable_merging=merged,
+                    time_limit=TIME_LIMIT,
+                )
+    return cells
+
+
+class TestTable2:
+    @pytest.mark.benchmark(group="exp3-report")
+    def test_print_table(self, table, benchmark):
+        benchmark.pedantic(lambda: len(table), rounds=1, iterations=1)
+        print(banner("Experiment 3 / Table II: capacity vs overhead in rule merging"))
+        header = f"{'#MR':>4} |"
+        for capacity in CAPACITIES:
+            header += f" {capacity:>5}       {capacity}-MR    |"
+        print(header)
+        print("-" * len(header))
+        for m in MERGEABLE_COUNTS:
+            row = f"{m:>4} |"
+            for capacity in CAPACITIES:
+                for merged in (False, True):
+                    record = table[(m, capacity, merged)]
+                    row += " " + format_table2_cell(
+                        record.installed_rules, record.overhead
+                    )
+                row += " |"
+            print(row)
+
+    def test_merging_rescues_infeasible_cells(self, table):
+        """Observation (i): some Inf cells become feasible with MR."""
+        rescued = [
+            (m, c) for m in MERGEABLE_COUNTS for c in CAPACITIES
+            if not table[(m, c, False)].feasible and table[(m, c, True)].feasible
+        ]
+        assert rescued, "expected at least one Inf -> feasible transition"
+
+    def test_merging_never_loses_feasibility(self, table):
+        for m in MERGEABLE_COUNTS:
+            for c in CAPACITIES:
+                if table[(m, c, False)].feasible:
+                    assert table[(m, c, True)].feasible
+
+    def test_merging_reduces_overhead(self, table):
+        """Observation (ii): average overhead reduction on cells
+        feasible both ways (paper reports ~15%)."""
+        deltas = []
+        for m in MERGEABLE_COUNTS:
+            for c in CAPACITIES:
+                plain, merged = table[(m, c, False)], table[(m, c, True)]
+                if plain.feasible and merged.feasible:
+                    deltas.append(plain.overhead - merged.overhead)
+        assert deltas
+        assert statistics.mean(deltas) > 0.05
+        print(f"\nmean overhead reduction from merging: "
+              f"{statistics.mean(deltas):.1%} over {len(deltas)} cells")
+
+    def test_negative_overhead_occurs(self, table):
+        """Observation (iii): merging can push overhead below zero."""
+        negatives = [
+            table[(m, c, True)].overhead
+            for m in MERGEABLE_COUNTS for c in CAPACITIES
+            if table[(m, c, True)].feasible and table[(m, c, True)].overhead < 0
+        ]
+        assert negatives, "expected negative-overhead merged cells"
+
+    def test_more_mergeables_more_pressure(self, table):
+        """Without merging, adding blacklist rules raises the installed
+        count overall.  Each m regenerates policies from a different
+        stream, so we assert the trend (last feasible >> first) rather
+        than strict per-step monotonicity."""
+        for c in CAPACITIES:
+            installed = [
+                table[(m, c, False)].installed_rules
+                for m in MERGEABLE_COUNTS if table[(m, c, False)].feasible
+            ]
+            assert len(installed) >= 2
+            assert installed[-1] > installed[0]
+
+
+@pytest.mark.benchmark(group="exp3-merging")
+class TestExp3Timings:
+    @pytest.mark.parametrize("merged", [False, True], ids=["plain", "merged"])
+    def test_solve_m4(self, benchmark, merged):
+        instance = build_instance(config_for(4, 24))
+        placer = RulePlacer(PlacerConfig(enable_merging=merged))
+        result = benchmark.pedantic(
+            lambda: placer.place(instance), rounds=3, iterations=1,
+        )
+        assert result.is_feasible

@@ -1,0 +1,96 @@
+"""Experiment 4 (paper Figure 11): runtime vs switch capacity.
+
+Paper setup: k=16, r=100, p=1024, capacity swept 50..1000.  CPLEX
+returns infeasible quickly for C in {50, 100}; runtime peaks in the
+middle (tightly-but-feasibly constrained) and collapses for large C
+with small variance -- "the under-constrained and over-constrained
+cases are relatively easier to solve".
+
+Laptop mapping: k=4, r=25, p=32, 16 policies, C swept 10..150.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.placement import RulePlacer
+from repro.experiments import (
+    ExperimentConfig,
+    build_instance,
+    figure_series,
+    format_figure,
+    sweep,
+)
+
+CAPACITIES = [10, 15, 20, 25, 30, 40, 60, 100, 150]
+INSTANCES = 3
+
+
+def base_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        k=4, num_paths=32, rules_per_policy=25, num_ingresses=16,
+        seed=3, drop_fraction=0.5, nested_fraction=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    return sweep(base_config(), "capacity", CAPACITIES,
+                 instances=INSTANCES, time_limit=120.0)
+
+
+class TestExperiment4:
+    @pytest.mark.benchmark(group="exp4-report")
+    def test_print_series(self, sweep_results, benchmark):
+        benchmark.pedantic(
+            lambda: figure_series(sweep_results), rounds=1, iterations=1,
+        )
+        print(format_figure(
+            "Experiment 4 / Figure 11: runtime vs per-switch capacity "
+            "(k=4, r=25, p=32)",
+            "capacity", sweep_results,
+        ))
+
+    def test_small_capacity_infeasible(self, sweep_results):
+        rows = figure_series(sweep_results)
+        assert rows[0]["feasible"] == 0
+
+    def test_large_capacity_feasible(self, sweep_results):
+        rows = figure_series(sweep_results)
+        assert rows[-1]["feasible"] == rows[-1]["total"]
+
+    def test_hump_shape(self, sweep_results):
+        """Runtime peaks strictly inside the sweep: the hardest point is
+        neither the most over- nor the most under-constrained."""
+        rows = figure_series(sweep_results)
+        means = [row["mean_ms"] for row in rows]
+        peak = means.index(max(means))
+        assert 0 < peak < len(means) - 1
+
+    def test_tail_is_fast_and_stable(self, sweep_results):
+        """Paper: 'the data points in the tail have a lower execution
+        time and a very small variance'."""
+        rows = figure_series(sweep_results)
+        peak = max(row["mean_ms"] for row in rows)
+        tail = rows[-1]
+        assert tail["mean_ms"] < peak / 2
+        assert tail["max_ms"] - tail["min_ms"] < peak
+
+    def test_installed_rules_shrink_with_capacity(self, sweep_results):
+        """Looser capacity means less forced duplication."""
+        rows = [r for r in figure_series(sweep_results)
+                if r["mean_installed"] is not None]
+        assert rows[-1]["mean_installed"] <= rows[0]["mean_installed"]
+
+
+@pytest.mark.benchmark(group="exp4-capacity")
+class TestExp4Timings:
+    @pytest.mark.parametrize("capacity", [20, 40, 150])
+    def test_solve(self, benchmark, capacity):
+        config = ExperimentConfig(**{**base_config().__dict__,
+                                     "capacity": capacity})
+        instance = build_instance(config)
+        placer = RulePlacer()
+        benchmark.pedantic(lambda: placer.place(instance), rounds=3, iterations=1)

@@ -1,0 +1,178 @@
+"""Experiment 5 (paper Section V, text): incremental deployment latency.
+
+Paper setup: solve k=16, r=100, p=1024, C=500 from scratch; take the
+spare per-switch capacity as the new capacity spec; then
+
+* install 64 / 128 / 256 new policies (100 rules, one path each):
+  64 and 128 feasible, 256 infeasible, all within 1.2 s;
+* modify (reroute) 1 / 16 / 32 policies: 126 / 217 / 442 ms.
+
+Laptop mapping: base k=4, r=20, p=32, C=60; install 8/16/64 policies of
+20 rules; reroute 1/4/8 policies.  Expected shape: every incremental
+operation is a small fraction of the from-scratch solve, installs
+succeed until spare capacity runs out, and rerouting stays fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.incremental import IncrementalDeployer
+from repro.core.placement import RulePlacer
+from repro.core.verify import verify_placement
+from repro.experiments import ExperimentConfig, banner, build_instance
+from repro.net.routing import ShortestPathRouter
+from repro.policy.classbench import PolicyGeneratorConfig, generate_policy_set
+
+BASE = ExperimentConfig(
+    k=4, num_paths=32, rules_per_policy=20, capacity=60,
+    num_ingresses=8, seed=3, drop_fraction=0.5, nested_fraction=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def base_deployment():
+    instance = build_instance(BASE)
+    started = time.perf_counter()
+    placement = RulePlacer().place(instance)
+    scratch_seconds = time.perf_counter() - started
+    assert placement.is_feasible
+    return instance, placement, scratch_seconds
+
+
+def new_policies(instance, count: int, rules: int = 20, seed: int = 1000):
+    """Fresh tenant policies on entry ports without a policy yet, each
+    with a single routed path (the paper's install workload).  Ports
+    recycle with distinct synthetic ingress names if count exceeds the
+    free ports."""
+    topo = instance.topology
+    router = ShortestPathRouter(topo, seed=seed)
+    ports = [p.name for p in topo.entry_ports]
+    free = [p for p in ports if p not in instance.policies]
+    jobs = []
+    cfg = PolicyGeneratorConfig(num_rules=rules, drop_fraction=0.5,
+                                nested_fraction=0.5)
+    for i in range(count):
+        port = free[i % len(free)]
+        name = port if i < len(free) else f"{port}~{i}"
+        policy = generate_policy_set([name], rules, seed=seed + i, config=cfg)[name]
+        target = ports[(i * 7 + 1) % len(ports)]
+        if target == port:
+            target = ports[(i * 7 + 2) % len(ports)]
+        path = router.shortest_path(port, target)
+        # Rebind the path to the synthetic ingress name.
+        from repro.net.routing import Path
+
+        path = Path(name, path.egress, path.switches, path.flow)
+        jobs.append((policy, path))
+    return jobs
+
+
+class TestExperiment5Install:
+    @pytest.mark.benchmark(group="exp5-install-batch")
+    @pytest.mark.parametrize("count", [8, 16, 64])
+    def test_install_batch(self, base_deployment, benchmark, count):
+        instance, placement, scratch_seconds = base_deployment
+        jobs = new_policies(instance, count)
+        holder = {}
+
+        def run_batch():
+            deployer = IncrementalDeployer(placement)
+            outcomes = [
+                deployer.install_policy(policy, [path]) for policy, path in jobs
+            ]
+            holder["deployer"], holder["outcomes"] = deployer, outcomes
+            return outcomes
+
+        started = time.perf_counter()
+        benchmark.pedantic(run_batch, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - started
+        deployer, outcomes = holder["deployer"], holder["outcomes"]
+        feasible = sum(1 for o in outcomes if o.is_feasible)
+        print(f"\ninstall {count:>3} policies: {feasible}/{count} feasible, "
+              f"{elapsed * 1000:.0f}ms total "
+              f"({elapsed / count * 1000:.1f}ms/policy; from-scratch solve "
+              f"was {scratch_seconds * 1000:.0f}ms)")
+        # Small batches fit in the spare capacity.
+        if count <= 16:
+            assert feasible == count
+        # Per-policy incremental cost is far below the full solve.
+        assert elapsed / count < max(scratch_seconds, 0.05)
+        if feasible:
+            assert verify_placement(deployer.as_placement()).ok
+
+    def test_spare_capacity_exhaustion(self, base_deployment):
+        """Keep installing until the network fills: the deployer must
+        refuse rather than over-commit, mirroring the paper's 256-policy
+        infeasible case."""
+        instance, placement, _ = base_deployment
+        deployer = IncrementalDeployer(placement)
+        refused = 0
+        for policy, path in new_policies(instance, 200, seed=2000):
+            outcome = deployer.install_policy(policy, [path])
+            if not outcome.is_feasible:
+                refused += 1
+        assert refused > 0
+        assert verify_placement(deployer.as_placement()).ok
+        # No capacity violations ever.
+        assert all(v >= 0 for v in deployer.spare_capacities().values())
+
+
+class TestExperiment5Reroute:
+    @pytest.mark.benchmark(group="exp5-reroute-batch")
+    @pytest.mark.parametrize("count", [1, 4, 8])
+    def test_reroute_batch(self, base_deployment, benchmark, count):
+        instance, placement, scratch_seconds = base_deployment
+        router = ShortestPathRouter(instance.topology, seed=77)
+        ports = [p.name for p in instance.topology.entry_ports]
+        ingresses = list(instance.policies.ingresses)[:count]
+        holder = {}
+
+        def run_batch():
+            deployer = IncrementalDeployer(placement)
+            for i, ingress in enumerate(ingresses):
+                target = next(p for p in ports[i:] + ports[:i] if p != ingress)
+                result = deployer.reroute_policy(
+                    ingress, [router.shortest_path(ingress, target)]
+                )
+                assert result.is_feasible
+            holder["deployer"] = deployer
+
+        started = time.perf_counter()
+        benchmark.pedantic(run_batch, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - started
+        print(f"\nreroute {count} policies: {elapsed * 1000:.0f}ms "
+              f"(from-scratch {scratch_seconds * 1000:.0f}ms)")
+        assert verify_placement(holder["deployer"].as_placement()).ok
+
+
+@pytest.mark.benchmark(group="exp5-incremental")
+class TestExp5Timings:
+    def test_install_one_policy(self, benchmark, base_deployment):
+        instance, placement, _ = base_deployment
+        jobs = new_policies(instance, 1, seed=5000)
+
+        def run():
+            deployer = IncrementalDeployer(placement)
+            policy, path = jobs[0]
+            return deployer.install_policy(policy, [path])
+
+        result = benchmark.pedantic(run, rounds=5, iterations=1)
+        assert result.is_feasible
+
+    def test_reroute_one_policy(self, benchmark, base_deployment):
+        instance, placement, _ = base_deployment
+        router = ShortestPathRouter(instance.topology, seed=78)
+        ports = [p.name for p in instance.topology.entry_ports]
+        ingress = next(iter(instance.policies)).ingress
+        target = next(p for p in ports if p != ingress)
+        path = router.shortest_path(ingress, target)
+
+        def run():
+            deployer = IncrementalDeployer(placement)
+            return deployer.reroute_policy(ingress, [path])
+
+        result = benchmark.pedantic(run, rounds=5, iterations=1)
+        assert result.is_feasible

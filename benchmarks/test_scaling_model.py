@@ -1,0 +1,95 @@
+"""Encoding-size scaling (the paper's Section V size discussion).
+
+The paper quantifies its ILP sizes -- "for k=8, r=100, p=1024 about
+290K variables and 520K constraints; for k=32 about 500K variables and
+940K constraints" -- and attributes them to rules x switches
+(variables) and paths + dependencies (constraints).  This harness
+regenerates that accounting at our scales, cross-checks the closed-form
+predictor against the actually-built models, and extrapolates to the
+paper's parameters to show the formulation matches the reported
+magnitudes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ilp import build_encoding
+from repro.experiments import (
+    ExperimentConfig,
+    banner,
+    build_instance,
+    predict_encoding_size,
+)
+
+CONFIGS = [
+    ("k=4 r=20 p=32", ExperimentConfig(k=4, num_paths=32, rules_per_policy=20,
+                                       num_ingresses=16, seed=3,
+                                       drop_fraction=0.5, nested_fraction=0.5)),
+    ("k=4 r=40 p=32", ExperimentConfig(k=4, num_paths=32, rules_per_policy=40,
+                                       num_ingresses=16, seed=3,
+                                       drop_fraction=0.5, nested_fraction=0.5)),
+    ("k=6 r=20 p=64", ExperimentConfig(k=6, num_paths=64, rules_per_policy=20,
+                                       seed=3, drop_fraction=0.5,
+                                       nested_fraction=0.5)),
+    ("k=8 r=20 p=96", ExperimentConfig(k=8, num_paths=96, rules_per_policy=20,
+                                       seed=3, drop_fraction=0.5,
+                                       nested_fraction=0.5)),
+]
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    rows = []
+    for label, config in CONFIGS:
+        instance = build_instance(config)
+        predicted = predict_encoding_size(instance)
+        rows.append((label, instance, predicted))
+    return rows
+
+
+class TestScalingModel:
+    @pytest.mark.benchmark(group="scaling-report")
+    def test_print_table(self, sizes, benchmark):
+        benchmark.pedantic(lambda: len(sizes), rounds=1, iterations=1)
+        print(banner("Encoding sizes (paper: 290K vars / 520K rows at "
+                     "k=8 r=100 p=1024)"))
+        print(f"  {'config':<18} {'variables':>10} {'constraints':>12}")
+        for label, instance, predicted in sizes:
+            print(f"  {label:<18} {predicted.variables:>10} "
+                  f"{predicted.constraints:>12}")
+
+    def test_prediction_exact_on_all_configs(self, sizes):
+        for label, instance, predicted in sizes:
+            encoding = build_encoding(instance)
+            assert predicted.variables == encoding.model.num_variables(), label
+            assert predicted.constraints == encoding.model.num_constraints(), label
+
+    def test_variables_scale_with_rules(self, sizes):
+        small = dict((l, p) for l, _i, p in sizes)["k=4 r=20 p=32"]
+        large = dict((l, p) for l, _i, p in sizes)["k=4 r=40 p=32"]
+        ratio = large.variables / small.variables
+        assert 1.5 < ratio < 3.0  # ~linear in r
+
+    def test_constraints_scale_with_network(self, sizes):
+        by_label = dict((l, p) for l, _i, p in sizes)
+        assert (by_label["k=8 r=20 p=96"].constraints
+                > by_label["k=6 r=20 p=64"].constraints)
+
+    def test_paper_magnitude_extrapolation(self):
+        """Grow one axis and fit the (empirically ~linear) variable
+        count in the rule count; extrapolating to the paper's r=100,
+        p=1024, k=8 parameters must land in the paper's order of
+        magnitude (10^5-10^6 variables) -- a sanity check that our
+        formulation is the same size as theirs, not a clone of the
+        exact number (policies and routing are random)."""
+        counts = {}
+        for r in (10, 20, 40):
+            instance = build_instance(ExperimentConfig(
+                k=4, num_paths=32, rules_per_policy=r, num_ingresses=16,
+                seed=3, drop_fraction=0.5, nested_fraction=0.5,
+            ))
+            counts[r] = predict_encoding_size(instance).variables
+        per_rule_per_path = counts[40] / (40 * 32)
+        extrapolated = per_rule_per_path * 100 * 1024
+        assert 1e5 < extrapolated < 5e6

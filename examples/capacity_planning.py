@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Capacity planning: how much TCAM does this workload need?
+
+The inverse of the paper's Figure 11: given the tenants' policies and
+the routing, find the smallest per-switch ACL capacity that admits a
+feasible placement -- with and without cross-policy merging -- then show
+where the requirement actually binds (which topology layer) and what
+the encoding sizes look like along the way.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.capacity import layer_requirements, min_uniform_capacity
+from repro.experiments import (
+    ExperimentConfig,
+    build_instance,
+    predict_encoding_size,
+)
+
+
+def main() -> None:
+    instance = build_instance(ExperimentConfig(
+        k=4, num_paths=32, rules_per_policy=20, capacity=100,
+        num_ingresses=16, seed=3, drop_fraction=0.5, nested_fraction=0.5,
+        blacklist_rules=4,
+    ))
+    print("Workload:", instance.summary())
+    size = predict_encoding_size(instance)
+    print("Encoding:", size.summary())
+
+    print("\nSearching the minimum feasible uniform capacity...")
+    plain = min_uniform_capacity(instance, hi=100)
+    print(f"  without merging: C* = {plain.minimum_capacity} "
+          f"({plain.probes} exact solves)")
+    merged = min_uniform_capacity(instance, hi=100, enable_merging=True)
+    print(f"  with merging:    C* = {merged.minimum_capacity} "
+          f"({merged.probes} exact solves)")
+    saved = plain.minimum_capacity - merged.minimum_capacity
+    print(f"  merging saves {saved} TCAM slots per switch "
+          f"({saved / plain.minimum_capacity:.0%})")
+
+    profile = layer_requirements(plain.placement)
+    binding = max(profile.values())
+    print("\nAt the plain minimum, per-layer peak loads:")
+    for layer, peak in sorted(profile.items()):
+        marker = "  <- binding" if peak == binding else ""
+        print(f"  {layer:<13} {peak:>4} rules{marker}")
+
+    print("\nProbe history (capacity -> feasible):")
+    for capacity, feasible in plain.history:
+        print(f"  C={capacity:<4} {'feasible' if feasible else 'infeasible'}")
+    print("\nReading: at the feasibility edge the solver packs every "
+          "layer to the brim;\nmerging relieves that pressure by "
+          "sharing the blacklist entries, so the same\nworkload fits in "
+          "smaller TCAMs.")
+
+
+if __name__ == "__main__":
+    main()

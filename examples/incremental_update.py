@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Online network adaptation: the Section IV-E / Experiment 5 story.
+
+A datacenter's placement is solved optimally once (slow is fine: ACL
+policy changes are infrequent).  Then the network lives: tenants join,
+routes flap, tenants leave, a security update rewrites a policy.  Each
+change is handled incrementally against the *spare* capacity in
+milliseconds -- no full re-solve.
+
+Run:  python examples/incremental_update.py
+"""
+
+import time
+
+from repro import (
+    IncrementalDeployer,
+    PlacementInstance,
+    RulePlacer,
+    ShortestPathRouter,
+    fattree,
+    generate_policy_set,
+    verify_placement,
+)
+
+
+def stamp(label: str, seconds: float, extra: str = "") -> None:
+    print(f"  {label:<44} {seconds * 1000:8.1f} ms  {extra}")
+
+
+def main() -> None:
+    topo = fattree(4, capacity=60)
+    ports = [p.name for p in topo.entry_ports]
+    tenants = ports[:8]
+    router = ShortestPathRouter(topo, seed=11)
+    routing = router.random_routing(32, ingresses=tenants)
+    policies = generate_policy_set(tenants, rules_per_policy=20, seed=11)
+    instance = PlacementInstance(topo, routing, policies)
+
+    print("Phase 0: initial optimal placement (offline, ILP)")
+    started = time.perf_counter()
+    base = RulePlacer().place(instance)
+    scratch = time.perf_counter() - started
+    stamp("full ILP solve", scratch, base.summary())
+    assert base.is_feasible
+
+    deployer = IncrementalDeployer(base)
+    spare = deployer.spare_capacities()
+    print(f"  spare capacity: min={min(spare.values())} "
+          f"max={max(spare.values())} slots/switch")
+
+    print("\nPhase 1: a new tenant joins (policy installation)")
+    newcomer = ports[10]
+    tenant_policy = generate_policy_set([newcomer], rules_per_policy=15,
+                                        seed=42)[newcomer]
+    path = router.shortest_path(newcomer, ports[2])
+    result = deployer.install_policy(tenant_policy, [path])
+    stamp(f"install {newcomer} (15 rules, 1 path)", result.seconds,
+          f"via {result.method}, +{result.installed_rules} rules")
+
+    print("\nPhase 2: routing change (reroute the tenant's traffic)")
+    new_path = router.shortest_path(newcomer, ports[5])
+    result = deployer.reroute_policy(newcomer, [new_path])
+    stamp("reroute to new egress", result.seconds, f"via {result.method}")
+
+    print("\nPhase 3: security update (policy modification)")
+    updated = generate_policy_set([tenants[0]], rules_per_policy=25,
+                                  seed=99)[tenants[0]]
+    result = deployer.modify_policy(updated)
+    stamp(f"replace policy at {tenants[0]} (20 -> 25 rules)",
+          result.seconds, f"via {result.method}")
+
+    print("\nPhase 4: a tenant leaves (rule deletion)")
+    started = time.perf_counter()
+    freed = deployer.remove_policy(tenants[1])
+    stamp(f"remove {tenants[1]}", time.perf_counter() - started,
+          f"freed {freed} slots")
+
+    report = verify_placement(deployer.as_placement())
+    print(f"\nFinal state verifies exactly: {report.ok} "
+          f"({report.paths_checked} paths, "
+          f"{deployer.total_installed()} rules installed)")
+    print("Each incremental operation ran in a small fraction of the "
+          f"{scratch * 1000:.0f} ms from-scratch solve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Objective functions: rules vs traffic vs switch count (Section IV-A4).
+
+The same instance solved under four objectives, showing the trade-offs
+the single ILP framework exposes:
+
+* TotalRules      -- fewest TCAM entries (max headroom for the future);
+* UpstreamDrops   -- drop doomed packets as early as possible (min
+                     wasted traffic), even if it costs entries;
+* SwitchCount     -- concentrate rules on as few switches as possible;
+* Combined        -- rules first, upstream placement as a tie-break.
+
+We report, for each: installed rules, switches used, and an estimated
+wasted-traffic metric (hops traveled by to-be-dropped packets, weighted
+by the drop region size).
+
+Run:  python examples/objective_tradeoffs.py
+"""
+
+from repro import (
+    Combined,
+    PlacementInstance,
+    PlacerConfig,
+    RulePlacer,
+    SwitchCount,
+    TotalRules,
+    UpstreamDrops,
+    verify_placement,
+)
+from repro.experiments import ExperimentConfig, build_instance
+
+
+def wasted_traffic(placement) -> float:
+    """Hops traveled by to-be-dropped packets before discard.
+
+    For every (path, DROP rule) pair, a packet matching the drop is
+    carried until the first switch on that path holding the rule; the
+    metric totals those hop counts (each doomed flow's wasted hops,
+    assuming uniform traffic per drop rule)."""
+    instance = placement.instance
+    total = 0.0
+    for policy in instance.policies:
+        for path in instance.routing.paths(policy.ingress):
+            for rule in policy.drop_rules():
+                switches = placement.switches_of((policy.ingress, rule.priority))
+                hops = [path.hop_of(s) for s in switches if s in path.switches]
+                if not hops:
+                    continue  # not enforced on this path (sliced away)
+                total += min(hops)
+    return total
+
+
+def main() -> None:
+    instance = build_instance(ExperimentConfig(
+        k=4, num_paths=24, rules_per_policy=15, capacity=16,
+        num_ingresses=16, seed=13, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+    print("Instance:", instance.summary())
+
+    objectives = [
+        ("TotalRules", TotalRules()),
+        ("UpstreamDrops", UpstreamDrops()),
+        ("SwitchCount", SwitchCount()),
+        ("Rules+Upstream", Combined(((1.0, TotalRules()),
+                                     (0.001, UpstreamDrops())))),
+    ]
+
+    print(f"\n{'objective':<16} {'installed':>9} {'switches':>9} "
+          f"{'wasted-traffic':>14} {'solve':>9}")
+    for name, objective in objectives:
+        placement = RulePlacer(PlacerConfig(objective=objective)).place(instance)
+        assert placement.is_feasible, name
+        assert verify_placement(placement).ok, name
+        used = len(placement.switch_loads())
+        print(f"{name:<16} {placement.total_installed():>9} {used:>9} "
+              f"{wasted_traffic(placement):>14.3f} "
+              f"{placement.solve_seconds * 1000:>7.1f}ms")
+
+    print("\nReading the table:")
+    print(" - TotalRules minimizes entries but may drop packets deep in")
+    print("   the network (higher wasted traffic).")
+    print(" - UpstreamDrops zeroes the traffic metric by dropping at the")
+    print("   ingress switch, paying for it with replicated entries.")
+    print(" - SwitchCount packs everything onto the fewest boxes.")
+    print(" - The combined objective gets the minimal rule count AND the")
+    print("   most upstream placement among those optima.")
+
+
+if __name__ == "__main__":
+    main()

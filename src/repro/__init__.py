@@ -1,0 +1,169 @@
+"""repro: a reproduction of "An Adaptable Rule Placement for
+Software-Defined Networks" (Zhang et al., DSN 2014).
+
+The package implements the paper's ILP- and satisfiability-based
+distributed firewall rule placement for SDNs, together with every
+substrate it relies on: ternary-match policy algebra, ClassBench-style
+policy synthesis, fat-tree topologies and shortest-path routing, a TCAM
+dataplane simulator, a MILP modeling layer with exact backends, and a
+from-scratch CDCL SAT solver with cardinality/pseudo-Boolean encodings.
+
+Quickstart
+----------
+>>> from repro import fattree, ShortestPathRouter, generate_policy_set
+>>> from repro import PlacementInstance, RulePlacer, verify_placement
+>>> topo = fattree(4, capacity=60)
+>>> router = ShortestPathRouter(topo, seed=1)
+>>> ingresses = [p.name for p in topo.entry_ports][:4]
+>>> routing = router.random_routing(8, ingresses=ingresses)
+>>> policies = generate_policy_set(ingresses, rules_per_policy=12, seed=1)
+>>> placement = RulePlacer().place(PlacementInstance(topo, routing, policies))
+>>> placement.is_feasible and verify_placement(placement).ok
+True
+"""
+
+from .policy import (
+    TernaryMatch,
+    RegionSet,
+    Action,
+    Rule,
+    FiveTuple,
+    Policy,
+    PolicySet,
+    PolicyGenerator,
+    PolicyGeneratorConfig,
+    generate_policy_set,
+    remove_redundant_rules,
+)
+from .net import (
+    Topology,
+    Switch,
+    EntryPort,
+    fattree,
+    Path,
+    Routing,
+    ShortestPathRouter,
+)
+from .dataplane import Dataplane, Packet, SwitchTable, TcamEntry, Verdict
+from .milp import Model, SolveStatus, ScipyMilpBackend, BranchAndBoundBackend
+from .net import (
+    line,
+    ring,
+    star,
+    leaf_spine,
+    random_graph,
+    fail_link,
+    fail_switch,
+    restore,
+    reroute_after_failure,
+)
+from .core import (
+    PlacementInstance,
+    RulePlacer,
+    PlacerConfig,
+    Placement,
+    SatPlacer,
+    SatOptimizer,
+    MonitorSpec,
+    monitoring_pins,
+    validate_monitoring,
+    plan_transition,
+    apply_plan,
+    TransitionPlan,
+    instance_report,
+    placement_report,
+    TotalRules,
+    UpstreamDrops,
+    WeightedSwitches,
+    SwitchCount,
+    Combined,
+    build_dependency_graph,
+    build_merge_plan,
+    verify_placement,
+    synthesize,
+    IncrementalDeployer,
+    Controller,
+    BigSwitch,
+    check_refinement,
+)
+from .baselines import (
+    place_all_at_ingress,
+    place_replicated,
+    replication_rule_count,
+    place_greedy,
+)
+
+from . import io
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "io",
+    "line",
+    "ring",
+    "star",
+    "leaf_spine",
+    "random_graph",
+    "SatOptimizer",
+    "MonitorSpec",
+    "monitoring_pins",
+    "validate_monitoring",
+    "plan_transition",
+    "apply_plan",
+    "TransitionPlan",
+    "instance_report",
+    "placement_report",
+    "Controller",
+    "BigSwitch",
+    "check_refinement",
+    "fail_link",
+    "fail_switch",
+    "restore",
+    "reroute_after_failure",
+    "TernaryMatch",
+    "RegionSet",
+    "Action",
+    "Rule",
+    "FiveTuple",
+    "Policy",
+    "PolicySet",
+    "PolicyGenerator",
+    "PolicyGeneratorConfig",
+    "generate_policy_set",
+    "remove_redundant_rules",
+    "Topology",
+    "Switch",
+    "EntryPort",
+    "fattree",
+    "Path",
+    "Routing",
+    "ShortestPathRouter",
+    "Dataplane",
+    "Packet",
+    "SwitchTable",
+    "TcamEntry",
+    "Verdict",
+    "Model",
+    "SolveStatus",
+    "ScipyMilpBackend",
+    "BranchAndBoundBackend",
+    "PlacementInstance",
+    "RulePlacer",
+    "PlacerConfig",
+    "Placement",
+    "SatPlacer",
+    "TotalRules",
+    "UpstreamDrops",
+    "WeightedSwitches",
+    "SwitchCount",
+    "Combined",
+    "build_dependency_graph",
+    "build_merge_plan",
+    "verify_placement",
+    "synthesize",
+    "IncrementalDeployer",
+    "place_all_at_ingress",
+    "place_replicated",
+    "replication_rule_count",
+    "place_greedy",
+]

@@ -1,0 +1,12 @@
+"""Baseline placement strategies the ILP is compared against."""
+
+from .ingress import place_all_at_ingress
+from .replicate import place_replicated, replication_rule_count
+from .greedy import place_greedy
+
+__all__ = [
+    "place_all_at_ingress",
+    "place_replicated",
+    "replication_rule_count",
+    "place_greedy",
+]

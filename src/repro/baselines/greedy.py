@@ -1,0 +1,66 @@
+"""Baseline: first-fit greedy placement along each path.
+
+A non-optimizing heuristic in the spirit of the incremental fast path
+(Section IV-E): walk each path from the ingress and put every relevant
+DROP's co-location closure (the drop plus its dependency PERMITs, per
+Eq. 1) on the first switch with room, reusing rules already present on
+a switch when possible.  Fast and often feasible, but with no global
+view -- the gap between its total and the ILP optimum is the value of
+optimization, quantified in ``benchmarks/test_exp6_baseline_comparison.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.depgraph import build_dependency_graph
+from ..core.instance import PlacementInstance, RuleKey
+from ..core.placement import Placement
+from ..milp.model import SolveStatus
+
+__all__ = ["place_greedy"]
+
+
+def place_greedy(instance: PlacementInstance) -> Placement:
+    """First-fit along paths; INFEASIBLE when some closure fits nowhere."""
+    spare: Dict[str, int] = dict(instance.capacities)
+    placed: Dict[RuleKey, set] = {}
+
+    def rules_at(switch: str) -> set:
+        return {key for key, switches in placed.items() if switch in switches}
+
+    for policy in instance.policies:
+        graph = build_dependency_graph(policy)
+        ingress = policy.ingress
+        for path in instance.routing.paths(ingress):
+            for rule in policy.sorted_rules():
+                if not rule.is_drop:
+                    continue
+                if path.flow is not None and not rule.match.intersects(path.flow):
+                    continue
+                drop_key = (ingress, rule.priority)
+                if any(s in path.switches for s in placed.get(drop_key, ())):
+                    continue  # already enforced on this path
+                closure = [(ingress, p) for p in graph.closure(rule.priority)]
+                chosen: Optional[str] = None
+                for switch in path.switches:
+                    here = rules_at(switch)
+                    cost = sum(1 for key in closure if key not in here)
+                    if cost <= spare[switch]:
+                        chosen = switch
+                        break
+                if chosen is None:
+                    return Placement(instance=instance, status=SolveStatus.INFEASIBLE)
+                here = rules_at(chosen)
+                for key in closure:
+                    if key not in here:
+                        spare[chosen] -= 1
+                    placed.setdefault(key, set()).add(chosen)
+
+    result = Placement(
+        instance=instance,
+        status=SolveStatus.FEASIBLE,
+        placed={key: frozenset(v) for key, v in placed.items()},
+    )
+    result.objective_value = float(result.total_installed())
+    return result

@@ -1,0 +1,58 @@
+"""Baseline: place every policy entirely on its ingress switch.
+
+The paper notes this "greedy solution" is ideal when it fits -- least
+traffic, no duplication -- and that the ILP does not preclude it: when
+capacities allow, all-at-ingress is optimal under the total-rules
+objective.  As a baseline it shows *when* capacity pressure forces
+spreading: it is feasible only while every ingress switch can hold all
+of its policies' placeable rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..core.depgraph import build_dependency_graph
+from ..core.instance import PlacementInstance, RuleKey
+from ..core.placement import Placement
+from ..milp.model import SolveStatus
+
+__all__ = ["place_all_at_ingress"]
+
+
+def place_all_at_ingress(instance: PlacementInstance) -> Placement:
+    """All placeable rules of each policy on the ingress-attached switch.
+
+    Only rules that must exist anywhere are installed: every DROP plus
+    the PERMITs some DROP depends on (other PERMITs are no-ops).
+    Returns an INFEASIBLE placement when any switch capacity would be
+    exceeded.
+    """
+    placed: Dict[RuleKey, FrozenSet[str]] = {}
+    loads: Dict[str, int] = {}
+    for policy in instance.policies:
+        paths = instance.routing.paths(policy.ingress)
+        if not paths:
+            continue
+        first_switches = {path.switches[0] for path in paths}
+        if len(first_switches) != 1:
+            raise ValueError(
+                f"policy {policy.ingress!r} paths start at different switches; "
+                "all-at-ingress baseline is undefined"
+            )
+        ingress_switch = next(iter(first_switches))
+        graph = build_dependency_graph(policy)
+        needed = set(graph.drop_priorities()) | set(graph.required_permits())
+        for priority in needed:
+            placed[(policy.ingress, priority)] = frozenset({ingress_switch})
+            loads[ingress_switch] = loads.get(ingress_switch, 0) + 1
+
+    feasible = all(
+        load <= instance.capacity(switch) for switch, load in loads.items()
+    )
+    return Placement(
+        instance=instance,
+        status=SolveStatus.FEASIBLE if feasible else SolveStatus.INFEASIBLE,
+        placed=placed if feasible else {},
+        objective_value=float(sum(loads.values())) if feasible else None,
+    )

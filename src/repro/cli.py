@@ -1,0 +1,212 @@
+"""Command-line interface for the rule-placement toolkit.
+
+Subcommands mirror the operational workflow:
+
+* ``generate`` -- synthesize a benchmark instance (fat-tree + routing +
+  ClassBench-style policies) to a JSON file;
+* ``solve``    -- run the ILP (or SAT) engine on an instance file and
+  write the placement JSON;
+* ``verify``   -- exact verification of a placement against its
+  instance (exit code 1 on violation);
+* ``report``   -- operator report: utilization, spread, accounting;
+* ``export-lp``-- dump the exact CPLEX LP file of the encoding.
+
+Example::
+
+    python -m repro.cli generate --k 4 --paths 32 --rules 20 \
+        --capacity 40 -o instance.json
+    python -m repro.cli solve instance.json -o placement.json --merging
+    python -m repro.cli verify instance.json placement.json
+    python -m repro.cli report instance.json placement.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import io as repro_io
+from .core.ilp import build_encoding
+from .core.objectives import (
+    Combined,
+    TotalRules,
+    UpstreamDrops,
+    apply_objective,
+)
+from .core.placement import PlacerConfig, RulePlacer
+from .core.report import instance_report, placement_report
+from .core.satenc import SatPlacer
+from .core.verify import verify_placement
+from .experiments.generators import ExperimentConfig, build_instance
+from .milp.lpfile import write_lp_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ILP/SAT rule placement for SDN firewalls (DSN 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a benchmark instance")
+    gen.add_argument("--k", type=int, default=4, help="fat-tree arity (even)")
+    gen.add_argument("--paths", type=int, default=32, help="total routed paths")
+    gen.add_argument("--rules", type=int, default=20, help="rules per policy")
+    gen.add_argument("--capacity", type=int, default=100,
+                     help="uniform switch capacity")
+    gen.add_argument("--ingresses", type=int, default=None,
+                     help="policies to attach (default: one per edge switch)")
+    gen.add_argument("--blacklist", type=int, default=0,
+                     help="shared mergeable blacklist rules")
+    gen.add_argument("--slice", action="store_true", dest="flow_slicing",
+                     help="annotate paths with flow descriptors")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True, help="instance JSON path")
+
+    solve = sub.add_parser("solve", help="place rules for an instance")
+    solve.add_argument("instance", help="instance JSON path")
+    solve.add_argument("-o", "--output", required=True,
+                       help="placement JSON path")
+    solve.add_argument("--engine", choices=["ilp", "sat"], default="ilp")
+    solve.add_argument("--merging", action="store_true",
+                       help="enable cross-policy rule merging")
+    solve.add_argument("--objective", choices=["rules", "upstream", "combined"],
+                       default="rules")
+    solve.add_argument("--time-limit", type=float, default=None)
+
+    verify = sub.add_parser("verify", help="exactly verify a placement")
+    verify.add_argument("instance")
+    verify.add_argument("placement")
+    verify.add_argument("--simulate", action="store_true",
+                        help="also replay sampled packets in the simulator")
+
+    report = sub.add_parser("report", help="operator report")
+    report.add_argument("instance")
+    report.add_argument("placement", nargs="?", default=None,
+                        help="optional placement JSON (instance-only otherwise)")
+
+    export = sub.add_parser("export-lp", help="write the CPLEX LP file")
+    export.add_argument("instance")
+    export.add_argument("-o", "--output", required=True, help="LP file path")
+    export.add_argument("--merging", action="store_true")
+
+    policies = sub.add_parser(
+        "policies", help="print an instance's policies in text form"
+    )
+    policies.add_argument("instance")
+    policies.add_argument("--ingress", default=None,
+                          help="limit output to one ingress policy")
+
+    return parser
+
+
+def _objective(name: str):
+    if name == "rules":
+        return TotalRules()
+    if name == "upstream":
+        return UpstreamDrops()
+    return Combined(((1.0, TotalRules()), (0.001, UpstreamDrops())))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        k=args.k, num_paths=args.paths, rules_per_policy=args.rules,
+        capacity=args.capacity, num_ingresses=args.ingresses,
+        blacklist_rules=args.blacklist, flow_slicing=args.flow_slicing,
+        seed=args.seed,
+    )
+    instance = build_instance(config)
+    repro_io.save_instance(instance, args.output)
+    print(f"wrote {args.output}: {instance.summary()}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = repro_io.load_instance(args.instance)
+    if args.engine == "sat":
+        placement = SatPlacer(enable_merging=args.merging).place(instance)
+    else:
+        placer = RulePlacer(PlacerConfig(
+            objective=_objective(args.objective),
+            enable_merging=args.merging,
+            time_limit=args.time_limit,
+        ))
+        placement = placer.place(instance)
+    print(placement.summary())
+    repro_io.save_placement(placement, args.output)
+    print(f"wrote {args.output}")
+    return 0 if placement.is_feasible else 2
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    instance = repro_io.load_instance(args.instance)
+    placement = repro_io.load_placement(args.placement, instance)
+    result = verify_placement(placement, simulate=args.simulate)
+    if result.ok:
+        print(f"OK: {result.paths_checked} paths, "
+              f"{result.switches_checked} switches verified")
+        return 0
+    for error in result.errors:
+        print(f"VIOLATION: {error}", file=sys.stderr)
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    instance = repro_io.load_instance(args.instance)
+    print(instance_report(instance))
+    if args.placement:
+        placement = repro_io.load_placement(args.placement, instance)
+        print()
+        print(placement_report(placement))
+    return 0
+
+
+def _cmd_export_lp(args: argparse.Namespace) -> int:
+    instance = repro_io.load_instance(args.instance)
+    encoding = build_encoding(instance, enable_merging=args.merging)
+    apply_objective(encoding, TotalRules())
+    write_lp_file(encoding.model, args.output)
+    print(f"wrote {args.output}: {encoding.model.num_variables()} variables, "
+          f"{encoding.model.num_constraints()} constraints")
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from .policy.textfmt import format_policy
+
+    instance = repro_io.load_instance(args.instance)
+    for policy in instance.policies:
+        if args.ingress is not None and policy.ingress != args.ingress:
+            continue
+        print(format_policy(policy))
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "solve": _cmd_solve,
+    "verify": _cmd_verify,
+    "report": _cmd_report,
+    "export-lp": _cmd_export_lp,
+    "policies": _cmd_policies,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Output piped to a closed reader (e.g. `| head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The paper's contribution: dependency-graph-based ILP/SAT rule
+placement, merging, slicing, tagging, verification and incremental
+deployment."""
+
+from .instance import PlacementInstance, RuleKey
+from .depgraph import DependencyGraph, build_dependency_graph, ordering_pairs
+from .slicing import SliceInfo, build_slices
+from .merging import MergeGroup, MergePlan, build_merge_plan
+from .ilp import IlpEncoding, build_encoding
+from .objectives import (
+    Objective,
+    TotalRules,
+    UpstreamDrops,
+    WeightedSwitches,
+    SwitchCount,
+    Combined,
+    apply_objective,
+)
+from .placement import PlacerConfig, Placement, RulePlacer
+from .satenc import SatEncoding, build_sat_encoding, SatPlacer
+from .tags import assign_tags, synthesize, CircularOrderError
+from .verify import VerificationReport, verify_placement, path_drop_region
+from .incremental import IncrementalResult, IncrementalDeployer
+from .monitoring import (
+    MonitorSpec,
+    monitoring_pins,
+    monitored_switch_set,
+    validate_monitoring,
+)
+from .satopt import SatOptimizer, SatOptResult
+from .transition import (
+    OpKind,
+    TransitionOp,
+    TransitionPlan,
+    plan_transition,
+    apply_plan,
+)
+from .report import (
+    instance_report,
+    placement_report,
+    switch_utilization_report,
+    policy_spread_report,
+)
+from .controller import Controller, ControllerStats
+from .bigswitch import BigSwitch, check_refinement
+from .capacity import CapacityPlan, min_uniform_capacity, layer_requirements
+
+__all__ = [
+    "CapacityPlan",
+    "min_uniform_capacity",
+    "layer_requirements",
+    "Controller",
+    "ControllerStats",
+    "BigSwitch",
+    "check_refinement",
+    "MonitorSpec",
+    "monitoring_pins",
+    "monitored_switch_set",
+    "validate_monitoring",
+    "SatOptimizer",
+    "SatOptResult",
+    "OpKind",
+    "TransitionOp",
+    "TransitionPlan",
+    "plan_transition",
+    "apply_plan",
+    "instance_report",
+    "placement_report",
+    "switch_utilization_report",
+    "policy_spread_report",
+    "PlacementInstance",
+    "RuleKey",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "ordering_pairs",
+    "SliceInfo",
+    "build_slices",
+    "MergeGroup",
+    "MergePlan",
+    "build_merge_plan",
+    "IlpEncoding",
+    "build_encoding",
+    "Objective",
+    "TotalRules",
+    "UpstreamDrops",
+    "WeightedSwitches",
+    "SwitchCount",
+    "Combined",
+    "apply_objective",
+    "PlacerConfig",
+    "Placement",
+    "RulePlacer",
+    "SatEncoding",
+    "build_sat_encoding",
+    "SatPlacer",
+    "assign_tags",
+    "synthesize",
+    "CircularOrderError",
+    "VerificationReport",
+    "verify_placement",
+    "path_drop_region",
+    "IncrementalResult",
+    "IncrementalDeployer",
+]

@@ -1,0 +1,126 @@
+"""The "Big Switch" abstraction (paper Section II-B).
+
+The operator's view of the network is one virtual switch: packets enter
+at an ingress port, are subject to that port's endpoint (ACL) policy,
+and leave at an egress determined by the routing policy.  This module
+makes that abstraction a first-class object:
+
+* :class:`BigSwitch` bundles the endpoint policies with the routing
+  view and answers *specification-level* questions -- what should happen
+  to this packet? which flows reach which egress? -- without reference
+  to any physical switch;
+* :func:`check_refinement` proves a deployed placement *refines* the
+  big switch: every (ingress, path) behaves exactly as the virtual
+  switch prescribes.  It is the formal statement behind
+  :func:`repro.core.verify.verify_placement`, expressed at the
+  abstraction boundary the paper defines.
+
+This is the compilation contract: ``RulePlacer`` maps the big switch
+down to per-switch rules, and ``check_refinement`` certifies the map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..net.routing import Routing
+from ..policy.policy import PolicySet
+from ..policy.rule import Action
+from ..policy.ternary import RegionSet
+from .instance import PlacementInstance
+from .placement import Placement
+from .verify import VerificationReport, verify_placement
+
+__all__ = ["BigSwitch", "check_refinement"]
+
+
+@dataclass
+class BigSwitch:
+    """The network as one virtual switch: endpoint + routing policies."""
+
+    policies: PolicySet
+    routing: Routing
+
+    # ------------------------------------------------------------------
+    # Specification-level semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, ingress: str, header: int) -> Action:
+        """The endpoint policy's verdict for a packet entering at
+        ``ingress`` (the big switch's ACL stage)."""
+        return self.policies[ingress].evaluate(header)
+
+    def egresses_of(self, ingress: str, header: int) -> Tuple[str, ...]:
+        """Where a *permitted* packet may exit, per the routing view.
+
+        Dropped packets exit nowhere; permitted packets follow any path
+        whose flow descriptor admits them (all paths when unsliced).
+        """
+        if self.evaluate(ingress, header) is Action.DROP:
+            return ()
+        egresses: Dict[str, None] = {}
+        for path in self.routing.paths(ingress):
+            if path.flow is None or path.flow.matches(header):
+                egresses.setdefault(path.egress)
+        return tuple(egresses)
+
+    def drop_region(self, ingress: str) -> RegionSet:
+        """The exact header set the big switch drops at one ingress."""
+        return self.policies[ingress].drop_region()
+
+    def ingresses(self) -> Tuple[str, ...]:
+        return self.policies.ingresses
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics (capacity planning at the abstraction level)
+    # ------------------------------------------------------------------
+
+    def total_rules(self) -> int:
+        return self.policies.total_rules()
+
+    def describe(self) -> str:
+        return (
+            f"BigSwitch({len(self.policies)} ingress policies, "
+            f"{self.total_rules()} rules, {self.routing.num_paths()} paths)"
+        )
+
+
+def check_refinement(
+    bigswitch: BigSwitch,
+    instance: PlacementInstance,
+    placement: Placement,
+    simulate: bool = False,
+) -> VerificationReport:
+    """Certify that a deployed placement refines the big switch.
+
+    The instance must implement the same specification (identical
+    policies and routing objects, or structurally equal ones); beyond
+    delegating to the exact per-path verifier, this asserts the
+    specification/implementation pairing itself, catching the
+    "verified against the wrong spec" failure mode.
+    """
+    report = VerificationReport(ok=True)
+    spec_ingresses = set(bigswitch.ingresses())
+    impl_ingresses = set(instance.policies.ingresses)
+    if spec_ingresses != impl_ingresses:
+        report.ok = False
+        report.errors.append(
+            f"specification ingresses {sorted(spec_ingresses)} != "
+            f"implementation ingresses {sorted(impl_ingresses)}"
+        )
+        return report
+    for ingress in spec_ingresses:
+        spec_policy = bigswitch.policies[ingress]
+        impl_policy = instance.policies[ingress]
+        if spec_policy is not impl_policy and not spec_policy.semantically_equal(impl_policy):
+            report.ok = False
+            report.errors.append(
+                f"policy for {ingress!r} differs between spec and instance"
+            )
+    if bigswitch.routing.num_paths() != instance.routing.num_paths():
+        report.ok = False
+        report.errors.append("routing view differs between spec and instance")
+    if not report.ok:
+        return report
+    return verify_placement(placement, simulate=simulate)

@@ -1,0 +1,104 @@
+"""Capacity planning: how much TCAM does a workload actually need?
+
+Figure 11 of the paper sweeps switch capacity and watches feasibility
+flip; the operator-facing question is the inverse -- *given* policies
+and routing, find the smallest per-switch ACL capacity that admits a
+placement.  Feasibility is monotone in capacity (adding slots never
+breaks a solution), so binary search over exact feasibility solves it
+with O(log C) solver calls.
+
+Also answers the weighted variant: the minimum capacity under merging,
+and the per-layer requirement profile (edge switches usually bind
+first, since every policy's ingress copies start there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .instance import PlacementInstance
+from .placement import PlacerConfig, Placement, RulePlacer
+
+__all__ = ["CapacityPlan", "min_uniform_capacity", "layer_requirements"]
+
+
+@dataclass
+class CapacityPlan:
+    """Result of a capacity search."""
+
+    minimum_capacity: Optional[int]       # None when even `hi` is infeasible
+    probes: int
+    #: (capacity, feasible) pairs in probe order.
+    history: Tuple[Tuple[int, bool], ...]
+    #: the placement found at the minimum capacity.
+    placement: Optional[Placement] = None
+
+    @property
+    def found(self) -> bool:
+        return self.minimum_capacity is not None
+
+
+def _with_capacity(instance: PlacementInstance, capacity: int) -> PlacementInstance:
+    return PlacementInstance(
+        instance.topology, instance.routing, instance.policies,
+        {name: capacity for name in instance.capacities},
+    )
+
+
+def min_uniform_capacity(
+    instance: PlacementInstance,
+    hi: int,
+    lo: int = 0,
+    enable_merging: bool = False,
+    time_limit: Optional[float] = None,
+) -> CapacityPlan:
+    """Binary-search the smallest uniform feasible capacity in [lo, hi].
+
+    Uses exact ILP feasibility at every probe, so the answer is tight:
+    ``minimum_capacity`` is feasible and ``minimum_capacity - 1`` is not
+    (within the searched interval).
+    """
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid capacity interval [{lo}, {hi}]")
+    placer = RulePlacer(PlacerConfig(
+        enable_merging=enable_merging, time_limit=time_limit,
+    ))
+    history: List[Tuple[int, bool]] = []
+    probes = 0
+
+    def feasible_at(capacity: int) -> Optional[Placement]:
+        nonlocal probes
+        probes += 1
+        placement = placer.place(_with_capacity(instance, capacity))
+        history.append((capacity, placement.is_feasible))
+        return placement if placement.is_feasible else None
+
+    best = feasible_at(hi)
+    if best is None:
+        return CapacityPlan(None, probes, tuple(history))
+    best_capacity = hi
+    low, high = lo, hi
+    while low < high:
+        mid = (low + high) // 2
+        placement = feasible_at(mid)
+        if placement is not None:
+            best, best_capacity = placement, mid
+            high = mid
+        else:
+            low = mid + 1
+    return CapacityPlan(best_capacity, probes, tuple(history), best)
+
+
+def layer_requirements(placement: Placement) -> Dict[str, int]:
+    """Max per-switch load by topology layer for a solved placement.
+
+    The binding layer (usually "edge") tells an operator which tier's
+    TCAM budget actually constrains the deployment.
+    """
+    loads = placement.switch_loads()
+    by_layer: Dict[str, int] = {}
+    for switch, load in loads.items():
+        layer = placement.instance.topology.switch(switch).layer or "unlabeled"
+        by_layer[layer] = max(by_layer.get(layer, 0), load)
+    return by_layer

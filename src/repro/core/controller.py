@@ -1,0 +1,259 @@
+"""A simulated SDN controller driving live switch tables.
+
+Everything upstream of this module is *planning*: solving for a
+placement, sequencing a transition.  :class:`Controller` is the
+execution layer the paper's Figure 1 sketches -- the box that owns the
+dedicated control channels and turns plans into per-switch
+install/delete messages:
+
+* ``deploy(placement)`` -- initial rollout: synthesize tagged tables and
+  load every switch;
+* ``transition(new_placement)`` -- live update via the make-before-break
+  plan of :mod:`repro.core.transition`, applied one op at a time against
+  real :class:`~repro.dataplane.SwitchTable` capacity checks;
+* continuous invariants: the dataplane is packet-checkable *between any
+  two ops* (tests exploit this to demonstrate hitless updates).
+
+The controller keeps the rule -> TCAM-entry correspondence needed to
+delete precisely the right entry later, including for merged entries
+shared by several policies (reference-counted by member policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..dataplane.messages import (
+    Barrier,
+    FlowMod,
+    FlowModCommand,
+    MessageLog,
+    apply_flow_mod,
+)
+from ..dataplane.simulator import Dataplane
+from ..dataplane.switch import SwitchTable, TableAction
+from ..policy.rule import Action
+from .instance import PlacementInstance, RuleKey
+from .placement import Placement
+from .tags import assign_tags, synthesize
+from .transition import OpKind, TransitionPlan, plan_transition
+
+__all__ = ["Controller", "ControllerStats"]
+
+_ACTION_MAP = {Action.DROP: TableAction.DROP, Action.PERMIT: TableAction.FORWARD}
+
+
+@dataclass
+class ControllerStats:
+    """Counters for control-channel traffic."""
+
+    installs_sent: int = 0
+    deletes_sent: int = 0
+    transitions: int = 0
+
+    def messages(self) -> int:
+        return self.installs_sent + self.deletes_sent
+
+
+class Controller:
+    """Owns the dataplane and applies placements to it."""
+
+    def __init__(self, instance: PlacementInstance) -> None:
+        self.instance = instance
+        self.tags = assign_tags(instance)
+        self.dataplane: Optional[Dataplane] = None
+        self.current: Optional[Placement] = None
+        self.stats = ControllerStats()
+        #: Full audit log of every control message sent; replaying it
+        #: reconstructs the dataplane exactly (see dataplane.messages).
+        self.log = MessageLog()
+        #: (rule, switch) -> install priority of its entry, for precise
+        #: later deletion.
+        self._entry_priority: Dict[Tuple[RuleKey, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Initial rollout
+    # ------------------------------------------------------------------
+
+    def deploy(self, placement: Placement) -> Dataplane:
+        """Full table synthesis and rollout of a fresh placement."""
+        if not placement.is_feasible:
+            raise ValueError("cannot deploy an infeasible placement")
+        self.dataplane = synthesize(placement, tags=self.tags)
+        self.current = placement
+        self._entry_priority.clear()
+        for switch, table in sorted(self.dataplane.tables.items()):
+            for entry in table.entries:
+                self.log.record(FlowMod(
+                    switch, FlowModCommand.ADD, entry.match, entry.priority,
+                    entry.action, entry.tags, entry.origin,
+                    xid=self.log.next_xid(),
+                ))
+                self.stats.installs_sent += 1
+            self.log.record(Barrier(switch, xid=self.log.next_xid()))
+        self._rebuild_entry_index()
+        return self.dataplane
+
+    def _rebuild_entry_index(self) -> None:
+        """Map each placed rule copy to its concrete entry priority."""
+        assert self.dataplane is not None and self.current is not None
+        self._entry_priority.clear()
+        placement = self.current
+        for key, switches in placement.placed.items():
+            rule = self.instance.rule(key)
+            tag = self.tags[key[0]]
+            for switch in switches:
+                table = self.dataplane.tables[switch]
+                for entry in table.entries:
+                    if (entry.match == rule.match
+                            and entry.tags is not None and tag in entry.tags):
+                        self._entry_priority[(key, switch)] = entry.priority
+                        break
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+
+    def transition(self, new_placement: Placement) -> TransitionPlan:
+        """Apply a make-before-break update toward ``new_placement``.
+
+        Ops are executed individually against the live tables; after the
+        final op the tables are re-synthesized state (priorities
+        compacted) so repeated transitions do not leak priority space.
+        """
+        if self.dataplane is None or self.current is None:
+            raise RuntimeError("deploy() an initial placement first")
+        if not new_placement.is_feasible:
+            raise ValueError("cannot transition to an infeasible placement")
+        plan = plan_transition(self.current, new_placement)
+        old_instance = self.current.instance
+        new_instance = new_placement.instance
+        for op in plan.ops:
+            if op.kind is OpKind.INSTALL:
+                self._apply_install(op.rule, op.switch, new_instance)
+            else:
+                self._apply_delete(op.rule, op.switch, old_instance)
+        # Normalize: rebuild tables from the target placement so the
+        # priority space stays compact and merged entries re-form.  The
+        # instance (and tags) may have changed with the policies.  The
+        # resync is messaged as an explicit per-switch diff so the log
+        # remains a complete record of dataplane state.
+        self.instance = new_instance
+        self.tags = assign_tags(new_instance)
+        normalized = synthesize(new_placement, tags=self.tags)
+        self._resync(normalized)
+        self.dataplane = normalized
+        self.current = new_placement
+        self._rebuild_entry_index()
+        self.stats.transitions += 1
+        return plan
+
+    def _apply_install(self, key: RuleKey, switch: str,
+                       instance: PlacementInstance) -> None:
+        assert self.dataplane is not None
+        rule = instance.rule(key)
+        table = self.dataplane.tables.get(switch)
+        if table is None:
+            table = SwitchTable(switch, instance.capacity(switch))
+            self.dataplane.tables[switch] = table
+        # Install above everything currently present for this ingress;
+        # the dependency-ordered plan (permits first) makes "stack new
+        # entries below previous new entries" the correct discipline:
+        # within one transition, earlier ops have higher priority.
+        priority = min(
+            (e.priority for e in table.entries), default=1 << 20
+        ) - 1
+        if key[0] not in self.tags:
+            self.tags[key[0]] = max(self.tags.values(), default=-1) + 1
+        mod = FlowMod(
+            switch, FlowModCommand.ADD, rule.match, priority,
+            _ACTION_MAP[rule.action], frozenset({self.tags[key[0]]}),
+            (rule.name or f"{key[0]}#{key[1]}",),
+            xid=self.log.next_xid(),
+        )
+        apply_flow_mod(table, mod)
+        self.log.record(mod)
+        self._entry_priority[(key, switch)] = priority
+        self.stats.installs_sent += 1
+
+    def _apply_delete(self, key: RuleKey, switch: str,
+                      instance: PlacementInstance) -> None:
+        assert self.dataplane is not None
+        table = self.dataplane.tables.get(switch)
+        if table is None:
+            return
+        priority = self._entry_priority.pop((key, switch), None)
+        if priority is None:
+            return
+        rule = instance.rule(key)
+        tag = self.tags[key[0]]
+        victim = next(
+            (entry for entry in table.entries
+             if entry.priority == priority and entry.match == rule.match),
+            None,
+        )
+        if victim is None:
+            return
+        delete = FlowMod(
+            switch, FlowModCommand.DELETE_STRICT, rule.match, priority,
+            victim.action, victim.tags, victim.origin,
+            xid=self.log.next_xid(),
+        )
+        apply_flow_mod(table, delete)
+        self.log.record(delete)
+        self.stats.deletes_sent += 1
+        if (victim.tags is not None and tag in victim.tags
+                and len(victim.tags) > 1):
+            # Shared (merged) entry: re-add with this tag retracted.
+            readd = FlowMod(
+                switch, FlowModCommand.ADD, victim.match, victim.priority,
+                victim.action, victim.tags - {tag}, victim.origin,
+                xid=self.log.next_xid(),
+            )
+            apply_flow_mod(table, readd)
+            self.log.record(readd)
+            self.stats.installs_sent += 1
+
+    def _resync(self, target: Dataplane) -> None:
+        """Message the diff from the live tables to ``target``."""
+        assert self.dataplane is not None
+        switches = set(self.dataplane.tables) | set(target.tables)
+        for switch in sorted(switches):
+            live = self.dataplane.tables.get(switch)
+            wanted = target.tables.get(switch)
+            live_entries = set(live.entries) if live is not None else set()
+            wanted_entries = set(wanted.entries) if wanted is not None else set()
+            for entry in sorted(live_entries - wanted_entries,
+                                key=lambda e: -e.priority):
+                self.log.record(FlowMod(
+                    switch, FlowModCommand.DELETE_STRICT, entry.match,
+                    entry.priority, entry.action, entry.tags, entry.origin,
+                    xid=self.log.next_xid(),
+                ))
+                self.stats.deletes_sent += 1
+            for entry in sorted(wanted_entries - live_entries,
+                                key=lambda e: -e.priority):
+                self.log.record(FlowMod(
+                    switch, FlowModCommand.ADD, entry.match,
+                    entry.priority, entry.action, entry.tags, entry.origin,
+                    xid=self.log.next_xid(),
+                ))
+                self.stats.installs_sent += 1
+            self.log.record(Barrier(switch, xid=self.log.next_xid()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> Dict[str, int]:
+        if self.dataplane is None:
+            return {}
+        return {
+            switch: table.occupancy()
+            for switch, table in self.dataplane.tables.items()
+            if table.occupancy()
+        }
+
+    def total_entries(self) -> int:
+        return sum(self.occupancy().values())

@@ -1,0 +1,103 @@
+"""The rule dependency graph (paper Section IV-A1).
+
+Rather than covering multi-dimensional packet spaces, the paper's key
+analysis is a per-policy *dependency graph*: for every DROP rule ``w``,
+an edge to each PERMIT rule ``u`` of the same policy with
+
+* higher priority (``t_u > t_w``), and
+* an overlapping (non-disjoint) matching field.
+
+Placing ``w`` on a switch then *requires* co-locating every such ``u``
+(Eq. 1), because those PERMITs carve exceptions out of ``w``'s drop
+region.  DROP/DROP overlaps and disjoint rules impose nothing.
+
+The same pairwise analysis, generalized to "overlapping rules with
+different actions", also yields the *ordering* constraints a merged
+per-switch table must respect; :mod:`repro.core.merging` and
+:mod:`repro.core.tags` reuse it through :meth:`ordering_pairs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..policy.policy import Policy
+
+__all__ = ["DependencyGraph", "build_dependency_graph", "ordering_pairs"]
+
+
+@dataclass
+class DependencyGraph:
+    """Dependencies of one policy's DROP rules on its PERMIT rules.
+
+    ``edges`` maps each DROP rule's priority to the (sorted) priorities
+    of the PERMIT rules it depends on.  Rules are referenced by priority
+    since priorities are unique within a policy.
+    """
+
+    ingress: str
+    edges: Dict[int, Tuple[int, ...]]
+
+    def dependencies_of(self, drop_priority: int) -> Tuple[int, ...]:
+        """Priorities of PERMIT rules that must co-locate with the DROP."""
+        return self.edges.get(drop_priority, ())
+
+    def num_edges(self) -> int:
+        return sum(len(deps) for deps in self.edges.values())
+
+    def drop_priorities(self) -> Tuple[int, ...]:
+        return tuple(self.edges)
+
+    def required_permits(self) -> Tuple[int, ...]:
+        """Every PERMIT priority referenced by at least one DROP.
+
+        PERMIT rules outside this set never need placement at all: with
+        a PERMIT default, a permit that shields no drop is a no-op on
+        the dataplane.
+        """
+        seen: Dict[int, None] = {}
+        for deps in self.edges.values():
+            for priority in deps:
+                seen.setdefault(priority)
+        return tuple(seen)
+
+    def closure(self, drop_priority: int) -> Tuple[int, ...]:
+        """The full co-location set for one DROP: itself + dependencies."""
+        return (drop_priority,) + self.dependencies_of(drop_priority)
+
+
+def build_dependency_graph(policy: Policy) -> DependencyGraph:
+    """Construct the dependency graph of one ingress policy.
+
+    Quadratic in the policy size, which matches the paper's observation
+    that the number of dependency constraints is correlated with the
+    number of rules; policies are small (tens to low hundreds of rules).
+    """
+    ordered = policy.sorted_rules()  # decreasing priority
+    edges: Dict[int, Tuple[int, ...]] = {}
+    for idx, rule in enumerate(ordered):
+        if not rule.is_drop:
+            continue
+        deps: List[int] = []
+        for higher in ordered[:idx]:
+            if higher.is_permit and higher.match.intersects(rule.match):
+                deps.append(higher.priority)
+        edges[rule.priority] = tuple(sorted(deps))
+    return DependencyGraph(policy.ingress, edges)
+
+
+def ordering_pairs(policy: Policy) -> Iterator[Tuple[int, int]]:
+    """Yield ``(higher_priority, lower_priority)`` pairs whose relative
+    order is semantically significant in a synthesized table.
+
+    Order matters exactly for overlapping rules with *different*
+    actions: swapping two overlapping PERMIT/DROP rules changes which
+    wins on the overlap, while same-action or disjoint pairs commute.
+    Used by merged-table synthesis to build the precedence DAG.
+    """
+    ordered = policy.sorted_rules()
+    for idx, rule in enumerate(ordered):
+        for lower in ordered[idx + 1:]:
+            if rule.action is not lower.action and rule.match.intersects(lower.match):
+                yield (rule.priority, lower.priority)

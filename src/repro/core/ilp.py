@@ -1,0 +1,181 @@
+"""The ILP formulation of rule placement (paper Section IV-A).
+
+Builds a :class:`repro.milp.Model` with one binary variable
+``v_{i,j,k}`` per (policy *i*, rule *j*, switch *k* in the rule's
+placement domain) and the paper's three constraint families:
+
+* **Rule dependency** (Eq. 1): placing DROP rule ``w`` on switch ``k``
+  forces every higher-priority overlapping PERMIT ``u`` onto ``k``:
+  ``v_{i,u,k} >= v_{i,w,k}``.
+* **Path dependency** (Eq. 2): every (path-relevant) DROP rule must sit
+  somewhere on *each* path from its ingress:
+  ``sum_{k in path} v_{i,j,k} >= 1``.  (The paper's Eq. 2 sums over
+  ``S_i``; its text and Fig. 3 make clear the intended quantification
+  is per path, which is what we implement -- summing over the union
+  would let a drop guard one path while another leaks.)
+* **Switch capacity** (Eq. 3): ``sum v_{.,.,k} <= C_k``, adjusted for
+  merging as in Section IV-B -- each member of an active merge group
+  stops counting and the group's single shared entry counts once:
+  ``sum v - sum_g (M_g - 1) * vm_g <= C_k``.
+
+Merging itself is linked with Eq. 4/5:
+``vm >= sum(members) - (M-1)`` and ``M * vm <= sum(members)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..milp.model import LinExpr, Model, Variable, lin_sum
+from .depgraph import DependencyGraph, build_dependency_graph
+from .instance import PlacementInstance, RuleKey
+from .merging import MergePlan, build_merge_plan
+from .slicing import SliceInfo, build_slices
+
+__all__ = ["IlpEncoding", "build_encoding"]
+
+
+@dataclass
+class IlpEncoding:
+    """A built model plus the variable maps needed to read solutions."""
+
+    instance: PlacementInstance
+    model: Model
+    depgraphs: Dict[str, DependencyGraph]
+    slices: SliceInfo
+    merge_plan: Optional[MergePlan]
+    #: ``(rule key, switch) -> v`` placement variables.
+    var_of: Dict[Tuple[RuleKey, str], Variable] = field(default_factory=dict)
+    #: ``(merge gid, switch) -> vm`` merge indicator variables.
+    merge_var_of: Dict[Tuple[int, str], Variable] = field(default_factory=dict)
+
+    def variables_at(self, switch: str) -> List[Variable]:
+        return [v for (key, s), v in self.var_of.items() if s == switch]
+
+    def num_placement_vars(self) -> int:
+        return len(self.var_of)
+
+
+def _san(text: str) -> str:
+    """Variable-name-safe rendering of identifiers."""
+    return text.replace(" ", "_")
+
+
+def build_encoding(
+    instance: PlacementInstance,
+    enable_merging: bool = False,
+    depgraphs: Optional[Dict[str, DependencyGraph]] = None,
+    fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None,
+) -> IlpEncoding:
+    """Construct the full ILP for an instance (objective set separately).
+
+    ``fixed`` pins chosen placement variables to 0/1 -- the mechanism
+    incremental deployment (Section IV-E) uses to freeze the untouched
+    part of an existing solution while re-solving a sub-problem.
+    """
+    depgraphs = depgraphs or {
+        policy.ingress: build_dependency_graph(policy) for policy in instance.policies
+    }
+    slices = build_slices(instance, depgraphs)
+    merge_plan = build_merge_plan(instance, slices) if enable_merging else None
+
+    model = Model("rule-placement")
+    encoding = IlpEncoding(instance, model, depgraphs, slices, merge_plan)
+
+    # --- variables ------------------------------------------------------
+    for key, switches in slices.domains.items():
+        ingress, priority = key
+        for switch in switches:
+            var = model.add_binary(f"v[{_san(ingress)},{priority},{_san(switch)}]")
+            encoding.var_of[(key, switch)] = var
+    if merge_plan is not None:
+        for (gid, switch), members in merge_plan.members_at.items():
+            encoding.merge_var_of[(gid, switch)] = model.add_binary(
+                f"vm[{gid},{_san(switch)}]"
+            )
+
+    # --- rule dependency (Eq. 1) ----------------------------------------
+    for policy in instance.policies:
+        ingress = policy.ingress
+        graph = depgraphs[ingress]
+        for drop_priority in graph.drop_priorities():
+            drop_key = (ingress, drop_priority)
+            for switch in slices.domain(drop_key):
+                v_drop = encoding.var_of[(drop_key, switch)]
+                for permit_priority in graph.dependencies_of(drop_priority):
+                    permit_key = (ingress, permit_priority)
+                    v_permit = encoding.var_of[(permit_key, switch)]
+                    model.add_constraint(
+                        v_permit.to_expr() >= v_drop,
+                        name=f"dep[{_san(ingress)},{drop_priority},"
+                             f"{permit_priority},{_san(switch)}]",
+                    )
+
+    # --- path dependency (Eq. 2, per path, sliced per Section IV-C) ------
+    for policy in instance.policies:
+        ingress = policy.ingress
+        for path_index, path in enumerate(instance.routing.paths(ingress)):
+            for drop_priority in slices.drops_for_path(ingress, path_index):
+                key = (ingress, drop_priority)
+                terms = [
+                    encoding.var_of[(key, switch)]
+                    for switch in path.switches
+                    if (key, switch) in encoding.var_of
+                ]
+                model.add_constraint(
+                    lin_sum(terms) >= 1,
+                    name=f"path[{_san(ingress)},{path_index},{drop_priority}]",
+                )
+
+    # --- switch capacity (Eq. 3, merge-adjusted per Section IV-B) --------
+    per_switch: Dict[str, List[Variable]] = {}
+    for (key, switch), var in encoding.var_of.items():
+        per_switch.setdefault(switch, []).append(var)
+    merge_terms: Dict[str, LinExpr] = {}
+    if merge_plan is not None:
+        for (gid, switch), members in merge_plan.members_at.items():
+            m = len(members)
+            vm = encoding.merge_var_of[(gid, switch)]
+            expr = merge_terms.setdefault(switch, LinExpr())
+            expr.add_term(vm, -(m - 1))
+    for switch, variables in per_switch.items():
+        expr = lin_sum(variables)
+        if switch in merge_terms:
+            expr = expr + merge_terms[switch]
+        model.add_constraint(
+            expr <= instance.capacity(switch), name=f"cap[{_san(switch)}]"
+        )
+
+    # --- merge linking (Eq. 4 / Eq. 5) ------------------------------------
+    if merge_plan is not None:
+        for (gid, switch), members in merge_plan.members_at.items():
+            vm = encoding.merge_var_of[(gid, switch)]
+            member_sum = lin_sum(
+                encoding.var_of[(key, switch)] for key in members
+            )
+            m = len(members)
+            model.add_constraint(
+                vm.to_expr() >= member_sum - (m - 1),
+                name=f"mrg_lo[{gid},{_san(switch)}]",
+            )
+            model.add_constraint(
+                vm * m <= member_sum, name=f"mrg_hi[{gid},{_san(switch)}]"
+            )
+
+    # --- incremental pinning ----------------------------------------------
+    if fixed:
+        for (key, switch), value in fixed.items():
+            var = encoding.var_of.get((key, switch))
+            if var is None:
+                if value:
+                    raise KeyError(
+                        f"cannot pin missing variable for {key} at {switch!r}"
+                    )
+                continue
+            model.add_constraint(
+                var.to_expr().eq(float(value)),
+                name=f"pin[{_san(key[0])},{key[1]},{_san(switch)}]",
+            )
+
+    return encoding

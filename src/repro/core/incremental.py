@@ -1,0 +1,298 @@
+"""Incremental deployment for dynamic networks (paper Section IV-E).
+
+Full ILP solves are acceptable when a new ACL policy takes effect
+(infrequent), but routing changes and security updates need answers in
+fractions of a second.  The paper's recipe, reproduced here:
+
+* **Small scale** -- a greedy heuristic that places new rules as close
+  to the ingress as possible, using only the *spare* capacity left by
+  the existing solution;
+* **Medium scale** -- a restricted sub-problem: variables only for the
+  policies/paths touched by the change, capacities set to the spare
+  capacity, everything else frozen.  Restrictive (may report
+  infeasible where a from-scratch solve would succeed) but fast;
+* both fall back in order: greedy, then sub-ILP.
+
+:class:`IncrementalDeployer` owns the evolving network state: the base
+placement's capacity consumption plus every incremental change applied
+since.  ``as_placement()`` exports the combined state for verification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..milp.model import SolveStatus
+from ..net.routing import Path, Routing
+from ..net.topology import Topology
+from ..policy.policy import Policy, PolicySet
+from .depgraph import build_dependency_graph
+from .instance import PlacementInstance, RuleKey
+from .placement import Placement, PlacerConfig, RulePlacer
+
+__all__ = ["IncrementalResult", "IncrementalDeployer"]
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of one incremental operation."""
+
+    status: SolveStatus
+    #: "greedy" or "ilp" -- which stage produced the answer.
+    method: str
+    seconds: float
+    placed: Dict[RuleKey, FrozenSet[str]] = field(default_factory=dict)
+    installed_rules: int = 0
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status.has_solution
+
+
+class IncrementalDeployer:
+    """Evolves a deployed placement through policy/routing changes.
+
+    ``engine`` selects the fallback solver behind the greedy heuristic:
+    ``"ilp"`` gives optimal sub-solutions, ``"sat"`` gives
+    feasibility-only answers through the CDCL engine -- the paper's
+    recipe for latency-critical updates (Section IV-D/E).
+    """
+
+    def __init__(self, base: Placement, engine: str = "ilp") -> None:
+        if not base.is_feasible:
+            raise ValueError("incremental deployment needs a feasible base")
+        if engine not in ("ilp", "sat"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.topology: Topology = base.instance.topology
+        self.base_capacities: Dict[str, int] = dict(base.instance.capacities)
+        #: Current per-ingress state: (policy, paths, placed-map).
+        self._state: Dict[str, Tuple[Policy, Tuple[Path, ...], Dict[RuleKey, FrozenSet[str]]]] = {}
+        self._loads: Dict[str, int] = {}
+        for policy in base.instance.policies:
+            paths = base.instance.routing.paths(policy.ingress)
+            placed = {
+                key: switches for key, switches in base.placed.items()
+                if key[0] == policy.ingress
+            }
+            self._state[policy.ingress] = (policy, paths, placed)
+        # Merge-aware loads from the base placement.
+        for switch, load in base.switch_loads().items():
+            self._loads[switch] = load
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    def spare_capacity(self, switch: str) -> int:
+        return self.base_capacities[switch] - self._loads.get(switch, 0)
+
+    def spare_capacities(self) -> Dict[str, int]:
+        return {name: self.spare_capacity(name) for name in self.base_capacities}
+
+    def total_installed(self) -> int:
+        return sum(self._loads.values())
+
+    def as_placement(self) -> Placement:
+        """Export the combined current state for verification."""
+        policies = PolicySet()
+        routing = Routing()
+        placed: Dict[RuleKey, FrozenSet[str]] = {}
+        for policy, paths, rule_map in self._state.values():
+            policies.add(policy)
+            for path in paths:
+                routing.add_path(path)
+            placed.update(rule_map)
+        instance = PlacementInstance(
+            self.topology, routing, policies, dict(self.base_capacities)
+        )
+        return Placement(
+            instance=instance, status=SolveStatus.FEASIBLE, placed=placed
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def install_policy(self, policy: Policy, paths: Sequence[Path],
+                       try_greedy: bool = True,
+                       time_limit: Optional[float] = None) -> IncrementalResult:
+        """Ingress Policy Installation: place a brand-new policy.
+
+        Greedy-first, sub-ILP fallback; commits on success.
+        """
+        if policy.ingress in self._state:
+            raise ValueError(f"policy for {policy.ingress!r} already deployed")
+        started = time.perf_counter()
+        if try_greedy:
+            placed = self._greedy_place(policy, paths)
+            if placed is not None:
+                self._commit(policy, paths, placed)
+                return IncrementalResult(
+                    SolveStatus.FEASIBLE, "greedy",
+                    time.perf_counter() - started, placed,
+                    sum(len(s) for s in placed.values()),
+                )
+        result = self._sub_ilp(policy, paths, time_limit)
+        if result.is_feasible:
+            self._commit(policy, paths, result.placed)
+        result.seconds = time.perf_counter() - started
+        return result
+
+    def remove_policy(self, ingress: str) -> int:
+        """Delete a policy, freeing its capacity; returns freed slots.
+
+        Rule deletion is "relatively easy" (paper, Experiment 5): no
+        solving, just bookkeeping.
+        """
+        policy, paths, placed = self._state.pop(ingress)
+        freed = 0
+        for switches in placed.values():
+            for switch in switches:
+                self._loads[switch] -= 1
+                freed += 1
+        return freed
+
+    def reroute_policy(self, ingress: str, new_paths: Sequence[Path],
+                       try_greedy: bool = True,
+                       time_limit: Optional[float] = None) -> IncrementalResult:
+        """Routing Policy Change: re-place one policy on new paths.
+
+        Implements the paper's medium-scale recipe: remove the rules of
+        the old route, add variables for the new one, keep every other
+        policy's placement fixed.  Rolls back on infeasibility.
+        """
+        started = time.perf_counter()
+        policy, old_paths, old_placed = self._state.pop(ingress)
+        for switches in old_placed.values():
+            for switch in switches:
+                self._loads[switch] -= 1
+        if try_greedy:
+            placed = self._greedy_place(policy, new_paths)
+            if placed is not None:
+                self._commit(policy, new_paths, placed)
+                return IncrementalResult(
+                    SolveStatus.FEASIBLE, "greedy",
+                    time.perf_counter() - started, placed,
+                    sum(len(s) for s in placed.values()),
+                )
+        result = self._sub_ilp(policy, new_paths, time_limit)
+        if result.is_feasible:
+            self._commit(policy, new_paths, result.placed)
+        else:
+            # Roll back to the old routing and placement.
+            for switches in old_placed.values():
+                for switch in switches:
+                    self._loads[switch] = self._loads.get(switch, 0) + 1
+            self._state[ingress] = (policy, tuple(old_paths), old_placed)
+        result.seconds = time.perf_counter() - started
+        return result
+
+    def modify_policy(self, policy: Policy,
+                      try_greedy: bool = True,
+                      time_limit: Optional[float] = None) -> IncrementalResult:
+        """Ingress Policy Change: rule add/remove/modify.
+
+        Modelled, as in the paper, as deletion + installation of the
+        updated policy on the same paths.
+        """
+        if policy.ingress not in self._state:
+            raise ValueError(f"no deployed policy for {policy.ingress!r}")
+        _old_policy, paths, _old_placed = self._state[policy.ingress]
+        old_state = self._state[policy.ingress]
+        self.remove_policy(policy.ingress)
+        result = self.install_policy(
+            policy, paths, try_greedy=try_greedy, time_limit=time_limit
+        )
+        if not result.is_feasible:
+            # Roll back.
+            self._state[policy.ingress] = old_state
+            for switches in old_state[2].values():
+                for switch in switches:
+                    self._loads[switch] = self._loads.get(switch, 0) + 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _commit(self, policy: Policy, paths: Sequence[Path],
+                placed: Dict[RuleKey, FrozenSet[str]]) -> None:
+        self._state[policy.ingress] = (policy, tuple(paths), dict(placed))
+        for switches in placed.values():
+            for switch in switches:
+                self._loads[switch] = self._loads.get(switch, 0) + 1
+
+    def _greedy_place(self, policy: Policy, paths: Sequence[Path]
+                      ) -> Optional[Dict[RuleKey, FrozenSet[str]]]:
+        """Place as close to the ingress as spare capacity allows.
+
+        Per path, each relevant DROP's co-location closure (the drop
+        plus its dependency PERMITs) goes onto the first switch along
+        the path that can absorb the closure's *new* rules.  Returns
+        ``None`` when any closure fits nowhere (ILP fallback).
+        """
+        graph = build_dependency_graph(policy)
+        ingress = policy.ingress
+        spare = self.spare_capacities()
+        placed: Dict[RuleKey, set] = {}
+
+        def rules_at(switch: str) -> set:
+            return {key for key, switches in placed.items() if switch in switches}
+
+        for path in paths:
+            for rule in policy.sorted_rules():
+                if not rule.is_drop:
+                    continue
+                if path.flow is not None and not rule.match.intersects(path.flow):
+                    continue
+                drop_key = (ingress, rule.priority)
+                if any(
+                    switch in path.switches
+                    for switch in placed.get(drop_key, ())
+                ):
+                    continue  # already covered on this path
+                closure = [
+                    (ingress, priority) for priority in graph.closure(rule.priority)
+                ]
+                chosen = None
+                for switch in path.switches:
+                    here = rules_at(switch)
+                    new_rules = [key for key in closure if key not in here]
+                    if len(new_rules) <= spare[switch]:
+                        chosen = switch
+                        break
+                if chosen is None:
+                    return None
+                here = rules_at(chosen)
+                for key in closure:
+                    if key not in here:
+                        spare[chosen] -= 1
+                    placed.setdefault(key, set()).add(chosen)
+        return {key: frozenset(switches) for key, switches in placed.items()}
+
+    def _sub_ilp(self, policy: Policy, paths: Sequence[Path],
+                 time_limit: Optional[float]) -> IncrementalResult:
+        """The restricted sub-problem: only this policy's variables,
+        against spare capacities."""
+        routing = Routing(paths)
+        policies = PolicySet([policy])
+        sub_instance = PlacementInstance(
+            self.topology, routing, policies, self.spare_capacities()
+        )
+        if self.engine == "sat":
+            from .satenc import SatPlacer
+
+            sub_placement = SatPlacer().place(sub_instance)
+        else:
+            placer = RulePlacer(PlacerConfig(time_limit=time_limit))
+            sub_placement = placer.place(sub_instance)
+        return IncrementalResult(
+            status=sub_placement.status,
+            method=self.engine,
+            seconds=sub_placement.solve_seconds,
+            placed=dict(sub_placement.placed),
+            installed_rules=sub_placement.total_installed(),
+        )

@@ -1,0 +1,180 @@
+"""Cross-policy rule merging (paper Section IV-B).
+
+Networks carry network-wide blacklists: rules identical in matching
+field and action that appear in many ingress policies.  Installing one
+shared TCAM entry (whose tag field is the union of the member policies'
+tags) instead of one per policy saves capacity.  This module finds the
+merge groups and resolves the *circular dependency* hazard of Fig. 5.
+
+Circular dependencies
+---------------------
+A merged entry occupies a single position in a switch table, so every
+member policy must tolerate the same relative order against the other
+rules there.  Order is semantically constrained only between
+*overlapping rules with different actions*; when two merge groups are
+so related and two member policies rank them oppositely, no single
+order works.  The paper breaks the cycle by adding a dominated "dummy"
+copy of the rule in the disagreeing policy and unmerging the original.
+We implement the equivalent group surgery directly: the disagreeing
+(minority-orientation) policies' members are evicted from one group, so
+the surviving group has a consistent order and the evicted rules are
+placed unmerged -- exactly the capacity outcome of the dummy-rule
+technique, without mutating the user's policies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..policy.rule import Action
+from ..policy.ternary import TernaryMatch
+from .instance import PlacementInstance, RuleKey
+from .slicing import SliceInfo
+
+__all__ = ["MergeGroup", "MergePlan", "build_merge_plan"]
+
+
+@dataclass(frozen=True)
+class MergeGroup:
+    """One set of identical rules from distinct policies.
+
+    ``members`` maps each member policy (ingress) to the priority of
+    its copy; all copies share ``match`` and ``action``.
+    """
+
+    gid: int
+    match: TernaryMatch
+    action: Action
+    members: Tuple[RuleKey, ...]
+
+    @property
+    def ingresses(self) -> Tuple[str, ...]:
+        return tuple(key[0] for key in self.members)
+
+    def member_of(self, ingress: str) -> Optional[RuleKey]:
+        for key in self.members:
+            if key[0] == ingress:
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class MergePlan:
+    """All merge groups plus their per-switch member sets.
+
+    ``members_at`` holds, for each (group, switch), the member rules
+    whose placement domain includes that switch -- the ``R^m_{i,j}`` of
+    Eq. 4/5.  Only entries with at least two members are kept: a
+    "merge" of one rule is just the rule.
+    """
+
+    groups: List[MergeGroup] = field(default_factory=list)
+    members_at: Dict[Tuple[int, str], Tuple[RuleKey, ...]] = field(default_factory=dict)
+    #: Rules evicted from groups to break Fig.-5-style circular
+    #: dependencies (reported for transparency/testing).
+    evicted: List[RuleKey] = field(default_factory=list)
+
+    def group(self, gid: int) -> MergeGroup:
+        return self.groups[gid]
+
+    def switches_of(self, gid: int) -> Tuple[str, ...]:
+        return tuple(s for (g, s) in self.members_at if g == gid)
+
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def mergeable_keys(self) -> FrozenSet[RuleKey]:
+        return frozenset(
+            key for group in self.groups for key in group.members
+        )
+
+
+def _group_candidates(instance: PlacementInstance) -> List[Tuple[TernaryMatch, Action, List[RuleKey]]]:
+    """Group all rules by (match, action); one member per policy.
+
+    If a policy contains several identical rules (rare after redundancy
+    removal), only its highest-priority copy joins the group -- the
+    others are shadowed copies that merging could never serve anyway.
+    """
+    buckets: Dict[Tuple[TernaryMatch, Action], Dict[str, int]] = {}
+    for policy in instance.policies:
+        for rule in policy.sorted_rules():  # decreasing priority
+            bucket = buckets.setdefault((rule.match, rule.action), {})
+            bucket.setdefault(policy.ingress, rule.priority)
+    return [
+        (match, action, [(ingress, prio) for ingress, prio in members.items()])
+        for (match, action), members in buckets.items()
+        if len(members) >= 2
+    ]
+
+
+def _orientation_conflicts(
+    instance: PlacementInstance,
+    groups: List[Tuple[TernaryMatch, Action, List[RuleKey]]],
+) -> List[Tuple[int, int, List[str]]]:
+    """Find pairs of groups with inconsistent cross-policy ordering.
+
+    Returns ``(group_a, group_b, minority_ingresses)`` tuples where the
+    named policies order the two rules oppositely to the majority.
+    """
+    conflicts: List[Tuple[int, int, List[str]]] = []
+    for a, b in itertools.combinations(range(len(groups)), 2):
+        match_a, action_a, members_a = groups[a]
+        match_b, action_b, members_b = groups[b]
+        if action_a is action_b or not match_a.intersects(match_b):
+            continue  # order is semantically free
+        by_ingress_b = {key[0]: key[1] for key in members_b}
+        a_first: List[str] = []
+        b_first: List[str] = []
+        for ingress, prio_a in members_a:
+            prio_b = by_ingress_b.get(ingress)
+            if prio_b is None:
+                continue
+            (a_first if prio_a > prio_b else b_first).append(ingress)
+        if a_first and b_first:
+            minority = a_first if len(a_first) < len(b_first) else b_first
+            conflicts.append((a, b, list(minority)))
+    return conflicts
+
+
+def build_merge_plan(instance: PlacementInstance, slices: SliceInfo) -> MergePlan:
+    """Identify merge groups, break circular dependencies, and project
+    each group onto the switches where merging can actually happen."""
+    candidates = _group_candidates(instance)
+    plan = MergePlan()
+
+    # Break Fig.-5 cycles by evicting minority-orientation members.
+    for a, b, minority in _orientation_conflicts(instance, candidates):
+        # Evict from the *second* group (the paper unmerges the rule
+        # whose order disagrees; either side restores consistency).
+        match_b, action_b, members_b = candidates[b]
+        kept = [key for key in members_b if key[0] not in minority]
+        evicted = [key for key in members_b if key[0] in minority]
+        candidates[b] = (match_b, action_b, kept)
+        plan.evicted.extend(evicted)
+
+    gid = 0
+    for match, action, members in candidates:
+        if len(members) < 2:
+            continue
+        group = MergeGroup(gid, match, action, tuple(sorted(members)))
+        # Project onto switches: R^m at switch s is the members whose
+        # placement domain contains s.
+        per_switch: Dict[str, List[RuleKey]] = {}
+        for key in group.members:
+            for switch in slices.domain(key):
+                per_switch.setdefault(switch, []).append(key)
+        kept_any = False
+        for switch, keys in per_switch.items():
+            if len(keys) >= 2:
+                plan.members_at[(gid, switch)] = tuple(sorted(keys))
+                kept_any = True
+        if kept_any:
+            plan.groups.append(group)
+            gid += 1
+    return plan

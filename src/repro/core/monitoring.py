@@ -1,0 +1,143 @@
+"""Monitoring-aware placement constraints (the paper's future work).
+
+Section VII: *"if the network wants to monitor certain packets, we do
+not want firewall rules to block the packets before they reach the
+monitoring rules."*  This module implements that extension.
+
+A :class:`MonitorSpec` declares that a monitoring rule for some packet
+region lives on a given switch.  For every ingress whose paths traverse
+that switch, any DROP rule overlapping the monitored region must not be
+installed strictly *upstream* of the monitor on such a path -- otherwise
+monitored packets would die before being observed.  Placement at the
+monitor's switch itself or downstream is fine (OpenFlow tables can
+count and forward before the ACL stage drops; the paper's concern is
+purely about upstream blocking).
+
+The constraint compiles to variable eliminations: the offending
+``v_{i,j,k}`` are pinned to 0 (ILP) / forced false (SAT).  Because the
+path-dependency constraint still demands coverage of every path, the
+solver is pushed to place overlapping drops at or after the monitor;
+when even that is impossible the instance is honestly infeasible rather
+than silently unmonitored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..policy.ternary import TernaryMatch
+from .instance import PlacementInstance, RuleKey
+
+__all__ = [
+    "MonitorSpec",
+    "monitoring_pins",
+    "monitored_switch_set",
+    "validate_monitoring",
+]
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """A monitoring point: packets in ``match`` are observed at ``switch``.
+
+    ``name`` labels the monitor in reports and error messages.
+    """
+
+    switch: str
+    match: TernaryMatch
+    name: str = ""
+
+    def describe(self) -> str:
+        label = self.name or "monitor"
+        pattern = self.match.to_string()
+        if len(pattern) > 24:
+            fixed = self.match.mask.bit_count()
+            pattern = f"{pattern[:12]}..({fixed} fixed bits)"
+        return f"{label}@{self.switch}[{pattern}]"
+
+
+def monitored_switch_set(monitors: Iterable[MonitorSpec]) -> Set[str]:
+    return {m.switch for m in monitors}
+
+
+def monitoring_pins(
+    instance: PlacementInstance,
+    monitors: Iterable[MonitorSpec],
+) -> Dict[Tuple[RuleKey, str], int]:
+    """Compute the ``fixed`` map that keeps monitored traffic alive.
+
+    For each monitor, each ingress path traversing the monitor's
+    switch, and each DROP rule of that ingress whose match overlaps the
+    monitored region *and* the path's flow: pin ``v = 0`` on every
+    switch strictly before the monitor on that path.
+
+    The result plugs directly into ``RulePlacer.place(instance,
+    fixed=...)`` and ``SatPlacer.place(instance, fixed=...)``, composing
+    with any other pins the caller supplies.
+    """
+    monitors = list(monitors)
+    for monitor in monitors:
+        if not instance.topology.has_switch(monitor.switch):
+            raise KeyError(
+                f"monitor {monitor.describe()} references unknown switch"
+            )
+    pins: Dict[Tuple[RuleKey, str], int] = {}
+    for policy in instance.policies:
+        drops = [r for r in policy.sorted_rules() if r.is_drop]
+        if not drops:
+            continue
+        for path in instance.routing.paths(policy.ingress):
+            for monitor in monitors:
+                if monitor.switch not in path.switches:
+                    continue
+                if monitor.match.width != policy.width:
+                    raise ValueError(
+                        f"monitor {monitor.describe()} width "
+                        f"{monitor.match.width} != policy width {policy.width}"
+                    )
+                hop = path.hop_of(monitor.switch)
+                upstream = path.switches[:hop]
+                if not upstream:
+                    continue
+                for rule in drops:
+                    if not rule.match.intersects(monitor.match):
+                        continue
+                    if path.flow is not None and not rule.match.intersects(path.flow):
+                        continue
+                    key: RuleKey = (policy.ingress, rule.priority)
+                    for switch in upstream:
+                        pins[(key, switch)] = 0
+    return pins
+
+
+def validate_monitoring(
+    instance: PlacementInstance,
+    placement,
+    monitors: Iterable[MonitorSpec],
+) -> List[str]:
+    """Post-hoc check: return violation descriptions (empty = clean).
+
+    Independent of the encoding path, usable on placements produced by
+    baselines or by hand.
+    """
+    errors: List[str] = []
+    for policy in instance.policies:
+        for path in instance.routing.paths(policy.ingress):
+            for monitor in monitors:
+                if monitor.switch not in path.switches:
+                    continue
+                hop = path.hop_of(monitor.switch)
+                upstream = set(path.switches[:hop])
+                for rule in policy.drop_rules():
+                    if not rule.match.intersects(monitor.match):
+                        continue
+                    placed = placement.switches_of((policy.ingress, rule.priority))
+                    bad = placed & upstream
+                    if bad:
+                        errors.append(
+                            f"drop {policy.ingress}#{rule.priority} placed at "
+                            f"{sorted(bad)} upstream of {monitor.describe()} "
+                            f"on path {'->'.join(path.switches)}"
+                        )
+    return errors

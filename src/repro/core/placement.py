@@ -1,0 +1,226 @@
+"""The placement engine: the paper's Fig. 4 pipeline end-to-end.
+
+``RulePlacer`` wires the stages together: optional redundancy removal,
+dependency-graph construction, merge detection, ILP build, solve, and
+solution extraction.  The result is a :class:`Placement` -- the mapping
+from every rule to the switches it is installed on, plus the active
+merge groups and accounting helpers (total installed rules, per-switch
+loads, and the duplication-overhead metric of Table II).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..milp.model import SolveResult, SolveStatus
+from ..policy.policy import PolicySet
+from ..policy.redundancy import remove_redundant_rules
+from .depgraph import build_dependency_graph
+from .ilp import IlpEncoding, build_encoding
+from .instance import PlacementInstance, RuleKey
+from .merging import MergePlan
+from .objectives import Objective, TotalRules, apply_objective
+
+__all__ = ["PlacerConfig", "Placement", "RulePlacer"]
+
+
+@dataclass
+class Placement:
+    """A solved rule placement.
+
+    ``placed`` maps every rule to the switches holding a copy of it;
+    ``merged`` maps each merge-group id to the switches where the group
+    is *active* (all members present, one shared TCAM entry).
+    """
+
+    instance: PlacementInstance
+    status: SolveStatus
+    placed: Dict[RuleKey, FrozenSet[str]] = field(default_factory=dict)
+    merged: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    merge_plan: Optional[MergePlan] = None
+    objective_value: Optional[float] = None
+    solve_seconds: float = 0.0
+    build_seconds: float = 0.0
+    num_variables: int = 0
+    num_constraints: int = 0
+    solver_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status.has_solution
+
+    def switches_of(self, key: RuleKey) -> FrozenSet[str]:
+        return self.placed.get(key, frozenset())
+
+    def rules_at(self, switch: str) -> List[RuleKey]:
+        """Every rule with a copy on ``switch`` (merged or not)."""
+        return [key for key, switches in self.placed.items() if switch in switches]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def switch_loads(self) -> Dict[str, int]:
+        """TCAM slots used per switch, counting each active merge group
+        as the single shared entry it installs."""
+        loads: Dict[str, int] = {}
+        for key, switches in self.placed.items():
+            for switch in switches:
+                loads[switch] = loads.get(switch, 0) + 1
+        if self.merge_plan is not None:
+            for gid, switches in self.merged.items():
+                for switch in switches:
+                    members = self.merge_plan.members_at.get((gid, switch), ())
+                    if members:
+                        loads[switch] = loads.get(switch, 0) - (len(members) - 1)
+        return loads
+
+    def total_installed(self) -> int:
+        """``B``: total rules physically installed in the network."""
+        return sum(self.switch_loads().values())
+
+    def required_rules(self) -> int:
+        """``A``: rules that must exist *somewhere* -- every DROP plus the
+        PERMITs some DROP depends on.  If everything fit on the ingress
+        switches this would be the network-wide total (paper, Exp. 3)."""
+        from .depgraph import build_dependency_graph
+
+        total = 0
+        for policy in self.instance.policies:
+            graph = build_dependency_graph(policy)
+            total += len(
+                set(graph.drop_priorities()) | set(graph.required_permits())
+            )
+        return total
+
+    def duplication_overhead(self, relative_to: str = "required") -> float:
+        """Table II's overhead metric ``(B - A) / A``.
+
+        ``B`` is the installed count.  With ``relative_to="required"``
+        (default), ``A`` counts the rules that must be placed at all, so
+        an all-at-ingress solution scores exactly 0% and spreading over
+        paths shows as positive duplication; cross-policy merging can
+        push it negative, as in Table II.  ``relative_to="all"`` uses
+        the raw policy rule count, the paper's literal ``A``.
+        """
+        if relative_to == "required":
+            a = self.required_rules()
+        elif relative_to == "all":
+            a = self.instance.total_rules()
+        else:
+            raise ValueError(f"unknown overhead base {relative_to!r}")
+        if a == 0:
+            return 0.0
+        return (self.total_installed() - a) / a
+
+    def spare_capacities(self) -> Dict[str, int]:
+        """Remaining slots per switch -- the capacity spec incremental
+        deployment re-solves against (Section IV-E / Experiment 5)."""
+        loads = self.switch_loads()
+        return {
+            name: capacity - loads.get(name, 0)
+            for name, capacity in self.instance.capacities.items()
+        }
+
+    def capacity_violations(self) -> Dict[str, int]:
+        """Switches whose load exceeds capacity (should be empty)."""
+        loads = self.switch_loads()
+        return {
+            name: load - self.instance.capacity(name)
+            for name, load in loads.items()
+            if load > self.instance.capacity(name)
+        }
+
+    def summary(self) -> str:
+        if not self.is_feasible:
+            return f"{self.status.value} after {self.solve_seconds:.2f}s"
+        return (
+            f"{self.status.value}: {self.total_installed()} rules installed "
+            f"({self.duplication_overhead():+.1%} overhead) in {self.solve_seconds:.2f}s"
+        )
+
+
+@dataclass
+class PlacerConfig:
+    """Knobs for the placement pipeline (Fig. 4 stages)."""
+
+    objective: Objective = field(default_factory=TotalRules)
+    enable_merging: bool = False
+    #: Run the optional redundancy-removal pre-pass.
+    remove_redundancy: bool = False
+    #: MILP backend instance; ``None`` selects SciPy/HiGHS.
+    backend: Optional[object] = None
+    time_limit: Optional[float] = None
+
+
+class RulePlacer:
+    """End-to-end placement: encode, solve, extract."""
+
+    def __init__(self, config: Optional[PlacerConfig] = None) -> None:
+        self.config = config or PlacerConfig()
+
+    # ------------------------------------------------------------------
+
+    def preprocess(self, instance: PlacementInstance) -> PlacementInstance:
+        """Optional redundancy removal over every policy (Fig. 4 stage 1)."""
+        if not self.config.remove_redundancy:
+            return instance
+        reduced = PolicySet()
+        for policy in instance.policies:
+            new_policy, _report = remove_redundant_rules(policy)
+            reduced.add(new_policy)
+        return PlacementInstance(
+            instance.topology, instance.routing, reduced, dict(instance.capacities)
+        )
+
+    def build(self, instance: PlacementInstance,
+              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None) -> IlpEncoding:
+        """Encode the (preprocessed) instance and install the objective."""
+        encoding = build_encoding(
+            instance, enable_merging=self.config.enable_merging, fixed=fixed
+        )
+        apply_objective(encoding, self.config.objective)
+        return encoding
+
+    def place(self, instance: PlacementInstance,
+              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None) -> Placement:
+        """Run the full pipeline and return the extracted placement."""
+        instance = self.preprocess(instance)
+        build_start = time.perf_counter()
+        encoding = self.build(instance, fixed=fixed)
+        build_seconds = time.perf_counter() - build_start
+        result = encoding.model.solve(
+            self.config.backend, time_limit=self.config.time_limit
+        )
+        placement = self.extract(encoding, result)
+        placement.build_seconds = build_seconds
+        return placement
+
+    @staticmethod
+    def extract(encoding: IlpEncoding, result: SolveResult) -> Placement:
+        """Read a solver result back into a :class:`Placement`."""
+        placement = Placement(
+            instance=encoding.instance,
+            status=result.status,
+            merge_plan=encoding.merge_plan,
+            objective_value=result.objective,
+            solve_seconds=result.solve_seconds,
+            num_variables=encoding.model.num_variables(),
+            num_constraints=encoding.model.num_constraints(),
+            solver_stats=dict(result.stats),
+        )
+        if not result.status.has_solution:
+            return placement
+        by_rule: Dict[RuleKey, set] = {}
+        for (key, switch), var in encoding.var_of.items():
+            if result.is_one(var):
+                by_rule.setdefault(key, set()).add(switch)
+        placement.placed = {key: frozenset(v) for key, v in by_rule.items()}
+        by_group: Dict[int, set] = {}
+        for (gid, switch), var in encoding.merge_var_of.items():
+            if result.is_one(var):
+                by_group.setdefault(gid, set()).add(switch)
+        placement.merged = {gid: frozenset(v) for gid, v in by_group.items()}
+        return placement

@@ -1,0 +1,118 @@
+"""Human-readable reports over instances and placements.
+
+Operators reviewing a computed placement need more than an objective
+value: which switches fill up, where each policy's rules landed, what
+merging bought, and how much headroom remains.  These renderers are
+pure functions over the public objects and back the CLI's ``report``
+command.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instance import PlacementInstance
+from .placement import Placement
+
+__all__ = [
+    "instance_report",
+    "placement_report",
+    "switch_utilization_report",
+    "policy_spread_report",
+]
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = max(0, min(width, round(fraction * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def instance_report(instance: PlacementInstance) -> str:
+    """Structural overview of the problem inputs."""
+    lines = [f"Instance: {instance.summary()}", ""]
+    lines.append(f"{'ingress':<14} {'rules':>6} {'drops':>6} {'paths':>6} "
+                 f"{'reachable switches':>19}")
+    for policy in instance.policies:
+        paths = instance.routing.paths(policy.ingress)
+        lines.append(
+            f"{policy.ingress:<14} {len(policy):>6} "
+            f"{len(policy.drop_rules()):>6} {len(paths):>6} "
+            f"{len(instance.reachable_switches(policy.ingress)):>19}"
+        )
+    return "\n".join(lines)
+
+
+def switch_utilization_report(placement: Placement,
+                              top: Optional[int] = None) -> str:
+    """Per-switch TCAM occupancy, most-loaded first."""
+    instance = placement.instance
+    loads = placement.switch_loads()
+    rows = sorted(loads.items(), key=lambda kv: -kv[1])
+    if top is not None:
+        rows = rows[:top]
+    lines = [f"{'switch':<12} {'used':>5} {'cap':>5}  utilization"]
+    for switch, load in rows:
+        capacity = instance.capacity(switch)
+        fraction = load / capacity if capacity else 1.0
+        lines.append(
+            f"{switch:<12} {load:>5} {capacity:>5}  "
+            f"[{_bar(fraction)}] {fraction:>4.0%}"
+        )
+    unused = [
+        name for name in instance.capacities if name not in loads
+    ]
+    if unused:
+        lines.append(f"(+{len(unused)} switches with no ACL rules)")
+    return "\n".join(lines)
+
+
+def policy_spread_report(placement: Placement) -> str:
+    """How far each policy's rules spread from its ingress."""
+    instance = placement.instance
+    lines = [f"{'ingress':<14} {'placed':>7} {'switches':>9} {'max hops':>9}"]
+    per_ingress: Dict[str, List] = {}
+    for (ingress, priority), switches in placement.placed.items():
+        per_ingress.setdefault(ingress, []).append(switches)
+    for policy in instance.policies:
+        groups = per_ingress.get(policy.ingress, [])
+        all_switches = {s for switches in groups for s in switches}
+        copies = sum(len(switches) for switches in groups)
+        if all_switches:
+            max_hop = max(
+                instance.routing.loc(s, policy.ingress) for s in all_switches
+            )
+        else:
+            max_hop = 0
+        lines.append(
+            f"{policy.ingress:<14} {copies:>7} {len(all_switches):>9} "
+            f"{max_hop:>9}"
+        )
+    return "\n".join(lines)
+
+
+def placement_report(placement: Placement) -> str:
+    """The full operator report: verdict, accounting, spread, hotspots."""
+    lines = [f"Placement: {placement.summary()}"]
+    if not placement.is_feasible:
+        return "\n".join(lines)
+    lines.append(
+        f"  required rules (A): {placement.required_rules()}, "
+        f"installed (B): {placement.total_installed()}, "
+        f"duplication overhead: {placement.duplication_overhead():+.1%}"
+    )
+    if placement.merge_plan is not None and placement.merged:
+        shared = sum(len(switches) for switches in placement.merged.values())
+        lines.append(
+            f"  merging: {len(placement.merged)} groups active, "
+            f"{shared} shared entries installed"
+        )
+    if placement.num_variables:
+        lines.append(
+            f"  encoding: {placement.num_variables} variables, "
+            f"{placement.num_constraints} constraints"
+        )
+    lines.append("")
+    lines.append(switch_utilization_report(placement, top=10))
+    lines.append("")
+    lines.append(policy_spread_report(placement))
+    return "\n".join(lines)

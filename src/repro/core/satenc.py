@@ -1,0 +1,204 @@
+"""The satisfiability formulation (paper Section IV-D).
+
+When only a *feasible* placement is needed -- the common case for
+online re-adaptation after routing changes -- the ILP's optimization
+machinery is overkill.  The paper reformulates the constraints for an
+SMT or Pseudo-Boolean solver; we compile them to CNF for the in-repo
+CDCL solver:
+
+* Eq. 6: per-switch implications ``v_{i,w,k} -> v_{i,u,k}`` for each
+  dependency edge (two-literal clauses);
+* Eq. 7: per-path disjunctions ``OR_k v_{i,j,k}`` for each DROP rule;
+* Eq. 3: per-switch counting.  Without merging this is a pure
+  cardinality bound (sequential-counter encoding); with merging the
+  discounted count ``sum v - sum (M-1) vm <= C`` is a general
+  pseudo-Boolean constraint, compiled via the BDD encoder;
+* Eq. 8: ``vm <-> AND(members)`` linking merge indicators.
+
+The paper leaves the experimental evaluation of this formulation to
+future work; here it is implemented, verified, and benchmarked against
+the ILP (see ``benchmarks/test_ablation_backends.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..milp.model import SolveStatus
+from ..sat.card import at_most_k
+from ..sat.cdcl import CdclSolver, SatStatus
+from ..sat.cnf import CNF
+from ..sat.pb import PBTerm, pb_le
+from .depgraph import DependencyGraph, build_dependency_graph
+from .instance import PlacementInstance, RuleKey
+from .merging import MergePlan, build_merge_plan
+from .placement import Placement
+from .slicing import SliceInfo, build_slices
+
+__all__ = ["SatEncoding", "build_sat_encoding", "SatPlacer"]
+
+
+@dataclass
+class SatEncoding:
+    """CNF + variable maps for the satisfiability formulation."""
+
+    instance: PlacementInstance
+    cnf: CNF
+    depgraphs: Dict[str, DependencyGraph]
+    slices: SliceInfo
+    merge_plan: Optional[MergePlan]
+    var_of: Dict[Tuple[RuleKey, str], int] = field(default_factory=dict)
+    merge_var_of: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+
+def build_sat_encoding(
+    instance: PlacementInstance,
+    enable_merging: bool = False,
+    fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None,
+) -> SatEncoding:
+    """Compile the placement constraints to CNF.
+
+    ``fixed`` pins variables with unit clauses (incremental use).
+    """
+    depgraphs = {
+        policy.ingress: build_dependency_graph(policy) for policy in instance.policies
+    }
+    slices = build_slices(instance, depgraphs)
+    merge_plan = build_merge_plan(instance, slices) if enable_merging else None
+
+    cnf = CNF()
+    encoding = SatEncoding(instance, cnf, depgraphs, slices, merge_plan)
+
+    for key, switches in slices.domains.items():
+        for switch in switches:
+            encoding.var_of[(key, switch)] = cnf.new_var()
+    if merge_plan is not None:
+        for (gid, switch) in merge_plan.members_at:
+            encoding.merge_var_of[(gid, switch)] = cnf.new_var()
+
+    # Eq. 6: dependency implications.
+    for policy in instance.policies:
+        graph = depgraphs[policy.ingress]
+        for drop_priority in graph.drop_priorities():
+            drop_key = (policy.ingress, drop_priority)
+            for switch in slices.domain(drop_key):
+                v_drop = encoding.var_of[(drop_key, switch)]
+                for permit_priority in graph.dependencies_of(drop_priority):
+                    v_permit = encoding.var_of[
+                        ((policy.ingress, permit_priority), switch)
+                    ]
+                    cnf.add_implication(v_drop, v_permit)
+
+    # Eq. 7: per-path coverage.
+    for policy in instance.policies:
+        ingress = policy.ingress
+        for path_index, path in enumerate(instance.routing.paths(ingress)):
+            for drop_priority in slices.drops_for_path(ingress, path_index):
+                key = (ingress, drop_priority)
+                literals = [
+                    encoding.var_of[(key, switch)]
+                    for switch in path.switches
+                    if (key, switch) in encoding.var_of
+                ]
+                cnf.add_at_least_one(literals)
+
+    # Eq. 8: merge equivalences.
+    if merge_plan is not None:
+        for (gid, switch), members in merge_plan.members_at.items():
+            vm = encoding.merge_var_of[(gid, switch)]
+            cnf.add_equivalence_and(
+                vm, [encoding.var_of[(key, switch)] for key in members]
+            )
+
+    # Eq. 3: capacities.
+    per_switch: Dict[str, list] = {}
+    for (key, switch), var in encoding.var_of.items():
+        per_switch.setdefault(switch, []).append(var)
+    for switch, variables in per_switch.items():
+        capacity = instance.capacity(switch)
+        merge_here = [
+            (gid, members)
+            for (gid, s), members in (
+                merge_plan.members_at.items() if merge_plan is not None else ()
+            )
+            if s == switch
+        ]
+        if not merge_here:
+            at_most_k(cnf, variables, capacity)
+        else:
+            terms = [PBTerm(1, v) for v in variables]
+            for gid, members in merge_here:
+                vm = encoding.merge_var_of[(gid, switch)]
+                terms.append(PBTerm(-(len(members) - 1), vm))
+            pb_le(cnf, terms, capacity)
+
+    if fixed:
+        for (key, switch), value in fixed.items():
+            var = encoding.var_of.get((key, switch))
+            if var is None:
+                if value:
+                    raise KeyError(
+                        f"cannot pin missing variable for {key} at {switch!r}"
+                    )
+                continue
+            cnf.add_clause([var if value else -var])
+
+    return encoding
+
+
+_STATUS_MAP = {
+    SatStatus.SAT: SolveStatus.FEASIBLE,
+    SatStatus.UNSAT: SolveStatus.INFEASIBLE,
+    SatStatus.UNKNOWN: SolveStatus.TIME_LIMIT,
+}
+
+
+class SatPlacer:
+    """Feasibility-only placement through the CDCL solver."""
+
+    def __init__(self, enable_merging: bool = False,
+                 max_conflicts: Optional[int] = None) -> None:
+        self.enable_merging = enable_merging
+        self.max_conflicts = max_conflicts
+
+    def place(self, instance: PlacementInstance,
+              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None) -> Placement:
+        build_start = time.perf_counter()
+        encoding = build_sat_encoding(
+            instance, enable_merging=self.enable_merging, fixed=fixed
+        )
+        build_seconds = time.perf_counter() - build_start
+        solve_start = time.perf_counter()
+        result = CdclSolver(encoding.cnf).solve(max_conflicts=self.max_conflicts)
+        solve_seconds = time.perf_counter() - solve_start
+
+        placement = Placement(
+            instance=instance,
+            status=_STATUS_MAP[result.status],
+            merge_plan=encoding.merge_plan,
+            solve_seconds=solve_seconds,
+            build_seconds=build_seconds,
+            num_variables=encoding.cnf.num_vars,
+            num_constraints=len(encoding.cnf),
+            solver_stats={
+                "conflicts": float(result.conflicts),
+                "decisions": float(result.decisions),
+                "restarts": float(result.restarts),
+            },
+        )
+        if not result.is_sat:
+            return placement
+        by_rule: Dict[RuleKey, set] = {}
+        for (key, switch), var in encoding.var_of.items():
+            if result.model.get(var):
+                by_rule.setdefault(key, set()).add(switch)
+        placement.placed = {key: frozenset(v) for key, v in by_rule.items()}
+        by_group: Dict[int, set] = {}
+        for (gid, switch), var in encoding.merge_var_of.items():
+            if result.model.get(var):
+                by_group.setdefault(gid, set()).add(switch)
+        placement.merged = {gid: frozenset(v) for gid, v in by_group.items()}
+        placement.objective_value = float(placement.total_installed())
+        return placement

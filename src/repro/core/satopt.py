@@ -1,0 +1,160 @@
+"""Optimization on top of the satisfiability formulation.
+
+The paper keeps two engines: the ILP for (infrequent) optimal solves
+and the satisfiability problem for fast feasibility answers.  This
+module closes the gap between them: a SAT-based *optimizer* that
+minimizes the total number of installed rules by binary search over a
+global pseudo-Boolean bound.
+
+Encoding: the Section IV-D constraints, plus ``sum(v) - sum((M-1) vm)
+<= B`` compiled through the BDD pseudo-Boolean encoder; the search
+brackets the optimum between the best SAT cost found and the largest
+UNSAT bound.  Every probe is a fresh CNF (the CDCL core is one-shot);
+at placement scale this is still fast, and it demonstrates the paper's
+claim that the satisfiability route can serve optimization too, exactly
+the style a Pseudo-Boolean optimizer like [17] uses internally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..milp.model import SolveStatus
+from ..sat.cdcl import CdclSolver, SatStatus
+from ..sat.pb import PBTerm, pb_le
+from .instance import PlacementInstance, RuleKey
+from .placement import Placement
+from .satenc import build_sat_encoding
+
+__all__ = ["SatOptimizer", "SatOptResult"]
+
+
+@dataclass
+class SatOptResult:
+    """Outcome of a binary-search optimization run."""
+
+    placement: Placement
+    probes: int
+    #: (bound, was_sat) per probe, in search order.
+    history: Tuple[Tuple[int, bool], ...]
+
+
+class SatOptimizer:
+    """Minimize total installed rules via SAT with a PB cost bound.
+
+    ``strategy`` selects the search: ``"binary"`` halves the bracket
+    (O(log) probes, but several may be hard UNSAT proofs -- CDCL has no
+    native counting propagation, so refuting a bound far below the
+    optimum can be expensive); ``"descend"`` repeatedly asks for one
+    rule fewer than the incumbent (SAT probes are easy; exactly one
+    UNSAT proof at optimum-1 closes the search).  Descend is usually
+    faster on placement instances and is the default.
+    """
+
+    def __init__(self, enable_merging: bool = False,
+                 max_conflicts_per_probe: Optional[int] = None,
+                 strategy: str = "descend") -> None:
+        if strategy not in ("binary", "descend"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.enable_merging = enable_merging
+        self.max_conflicts_per_probe = max_conflicts_per_probe
+        self.strategy = strategy
+
+    def _probe(self, instance: PlacementInstance, bound: Optional[int]):
+        """One SAT solve with an optional global cost bound."""
+        encoding = build_sat_encoding(
+            instance, enable_merging=self.enable_merging
+        )
+        if bound is not None:
+            terms = [PBTerm(1, var) for var in encoding.var_of.values()]
+            if encoding.merge_plan is not None:
+                for (gid, switch), members in encoding.merge_plan.members_at.items():
+                    vm = encoding.merge_var_of[(gid, switch)]
+                    terms.append(PBTerm(-(len(members) - 1), vm))
+            pb_le(encoding.cnf, terms, bound)
+        result = CdclSolver(encoding.cnf).solve(
+            max_conflicts=self.max_conflicts_per_probe
+        )
+        return encoding, result
+
+    @staticmethod
+    def _extract(instance: PlacementInstance, encoding, result,
+                 solve_seconds: float) -> Placement:
+        placement = Placement(
+            instance=instance,
+            status=SolveStatus.FEASIBLE,
+            merge_plan=encoding.merge_plan,
+            solve_seconds=solve_seconds,
+            num_variables=encoding.cnf.num_vars,
+            num_constraints=len(encoding.cnf),
+        )
+        by_rule: Dict[RuleKey, set] = {}
+        for (key, switch), var in encoding.var_of.items():
+            if result.model.get(var):
+                by_rule.setdefault(key, set()).add(switch)
+        placement.placed = {k: frozenset(v) for k, v in by_rule.items()}
+        by_group: Dict[int, set] = {}
+        for (gid, switch), var in encoding.merge_var_of.items():
+            if result.model.get(var):
+                by_group.setdefault(gid, set()).add(switch)
+        placement.merged = {g: frozenset(v) for g, v in by_group.items()}
+        placement.objective_value = float(placement.total_installed())
+        return placement
+
+    def minimize(self, instance: PlacementInstance) -> SatOptResult:
+        """Binary-search the minimum total installed rules.
+
+        Returns a placement whose status is OPTIMAL when the search
+        closed the bracket, INFEASIBLE when even the unbounded problem
+        is UNSAT, or TIME_LIMIT if a probe exhausted its conflict
+        budget (best incumbent returned).
+        """
+        started = time.perf_counter()
+        history = []
+
+        encoding, result = self._probe(instance, None)
+        history.append((-1, result.is_sat))
+        if result.status is SatStatus.UNKNOWN:
+            placement = Placement(instance=instance, status=SolveStatus.TIME_LIMIT)
+            return SatOptResult(placement, 1, tuple(history))
+        if not result.is_sat:
+            placement = Placement(
+                instance=instance, status=SolveStatus.INFEASIBLE,
+                solve_seconds=time.perf_counter() - started,
+                num_variables=encoding.cnf.num_vars,
+                num_constraints=len(encoding.cnf),
+            )
+            return SatOptResult(placement, 1, tuple(history))
+
+        best = self._extract(instance, encoding, result, 0.0)
+        high = best.total_installed()          # best known SAT cost
+        low = 0                                # all bounds < low are UNSAT
+        probes = 1
+        budget_hit = False
+        while low < high:
+            if self.strategy == "binary":
+                target = (low + high) // 2
+            else:
+                target = high - 1
+            encoding, result = self._probe(instance, target)
+            probes += 1
+            history.append((target, result.is_sat))
+            if result.status is SatStatus.UNKNOWN:
+                budget_hit = True
+                break
+            if result.is_sat:
+                candidate = self._extract(instance, encoding, result, 0.0)
+                # The model may beat the probe bound; use its true cost.
+                high = min(target, candidate.total_installed())
+                best = candidate
+            else:
+                low = target + 1
+
+        best.solve_seconds = time.perf_counter() - started
+        best.status = (
+            SolveStatus.FEASIBLE if budget_hit else SolveStatus.OPTIMAL
+        )
+        best.solver_stats["probes"] = float(probes)
+        return SatOptResult(best, probes, tuple(history))

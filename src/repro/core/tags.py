@@ -1,0 +1,165 @@
+"""Ingress tagging and switch-table synthesis (paper Section IV-A5).
+
+Switches hold rules belonging to different ingress policies, so every
+installed entry must know which policy it implements.  The paper's
+mechanism is a VLAN-style tag: the ingress switch stamps each packet
+with its entry port's tag, and every ACL entry matches on the tag as an
+extra field.  Rules from different policies then occupy disjoint match
+spaces and their relative order is free; order only matters *within* a
+policy -- and for merged entries, within every member policy at once.
+
+``synthesize`` turns a solved :class:`~repro.core.placement.Placement`
+into concrete per-switch :class:`~repro.dataplane.SwitchTable`s:
+
+1. active merge groups become single shared entries tagged with the
+   union of their member policies' tags (Section IV-B);
+2. remaining placed rules become per-policy entries;
+3. install priorities are a topological order of the semantically
+   significant (overlapping, different-action) precedence pairs, which
+   is guaranteed acyclic by the merge plan's circular-dependency
+   breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..dataplane.simulator import Dataplane
+from ..dataplane.switch import SwitchTable, TableAction, TcamEntry
+from ..policy.rule import Action
+from .depgraph import ordering_pairs
+from .instance import PlacementInstance, RuleKey
+from .placement import Placement
+
+__all__ = ["assign_tags", "synthesize", "CircularOrderError"]
+
+
+class CircularOrderError(RuntimeError):
+    """A switch table admits no priority order consistent with every
+    member policy -- should be impossible after merge-plan surgery."""
+
+
+def assign_tags(instance: PlacementInstance) -> Dict[str, int]:
+    """Deterministic ingress -> tag assignment (small dense integers)."""
+    return {
+        policy.ingress: tag for tag, policy in enumerate(sorted(
+            instance.policies, key=lambda p: p.ingress
+        ))
+    }
+
+
+_ACTION_MAP = {Action.DROP: TableAction.DROP, Action.PERMIT: TableAction.FORWARD}
+
+# Entry identity within one switch: a merged group or a single rule copy.
+_EntryId = Tuple[str, Hashable]
+
+
+def _entry_ids_at(placement: Placement, switch: str) -> Tuple[
+    Dict[RuleKey, _EntryId], Dict[_EntryId, List[RuleKey]]
+]:
+    """Resolve each placed rule at ``switch`` to its table entry.
+
+    A rule covered by an active merge group maps to the group's shared
+    entry; anything else gets its own entry.
+    """
+    rule_to_entry: Dict[RuleKey, _EntryId] = {}
+    entry_members: Dict[_EntryId, List[RuleKey]] = {}
+    merged_keys: Set[RuleKey] = set()
+    if placement.merge_plan is not None:
+        for gid, switches in placement.merged.items():
+            if switch not in switches:
+                continue
+            members = placement.merge_plan.members_at.get((gid, switch), ())
+            entry_id: _EntryId = ("m", gid)
+            for key in members:
+                rule_to_entry[key] = entry_id
+                merged_keys.add(key)
+            entry_members[entry_id] = list(members)
+    for key in placement.rules_at(switch):
+        if key in merged_keys:
+            continue
+        entry_id = ("r", key)
+        rule_to_entry[key] = entry_id
+        entry_members[entry_id] = [key]
+    return rule_to_entry, entry_members
+
+
+def _topo_priorities(
+    entries: List[_EntryId],
+    precedence: Dict[_EntryId, Set[_EntryId]],
+) -> Dict[_EntryId, int]:
+    """Kahn topological sort; highest priority first."""
+    indegree = {e: 0 for e in entries}
+    for src, dsts in precedence.items():
+        for dst in dsts:
+            indegree[dst] += 1
+    ready = sorted([e for e in entries if indegree[e] == 0], key=repr)
+    order: List[_EntryId] = []
+    while ready:
+        entry = ready.pop()
+        order.append(entry)
+        for dst in sorted(precedence.get(entry, ()), key=repr):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                ready.append(dst)
+    if len(order) != len(entries):
+        raise CircularOrderError(
+            "circular priority dependency among merged entries; "
+            "merge-plan cycle breaking failed"
+        )
+    top = len(order)
+    return {entry: top - idx for idx, entry in enumerate(order)}
+
+
+def synthesize(placement: Placement,
+               tags: Optional[Dict[str, int]] = None) -> Dataplane:
+    """Materialize a placement into per-switch TCAM tables + tagging."""
+    if not placement.is_feasible:
+        raise ValueError("cannot synthesize an infeasible placement")
+    instance = placement.instance
+    tags = tags or assign_tags(instance)
+
+    # Pre-compute each policy's significant ordering pairs once.
+    pair_cache: Dict[str, List[Tuple[int, int]]] = {
+        policy.ingress: list(ordering_pairs(policy)) for policy in instance.policies
+    }
+
+    tables: Dict[str, SwitchTable] = {}
+    switches_used: Set[str] = set()
+    for key, placed_switches in placement.placed.items():
+        switches_used.update(placed_switches)
+
+    for switch in sorted(switches_used):
+        rule_to_entry, entry_members = _entry_ids_at(placement, switch)
+        entries = list(entry_members)
+
+        # Precedence edges from every member policy's ordering pairs.
+        precedence: Dict[_EntryId, Set[_EntryId]] = {}
+        for policy in instance.policies:
+            ingress = policy.ingress
+            for higher, lower in pair_cache[ingress]:
+                e_hi = rule_to_entry.get((ingress, higher))
+                e_lo = rule_to_entry.get((ingress, lower))
+                if e_hi is None or e_lo is None or e_hi == e_lo:
+                    continue
+                precedence.setdefault(e_hi, set()).add(e_lo)
+
+        priorities = _topo_priorities(entries, precedence)
+
+        table = SwitchTable(switch, instance.capacity(switch))
+        for entry_id, members in entry_members.items():
+            first = instance.rule(members[0])
+            entry_tags = frozenset(tags[key[0]] for key in members)
+            origins = tuple(
+                instance.rule(key).name or f"{key[0]}#{key[1]}" for key in members
+            )
+            table.install(TcamEntry(
+                match=first.match,
+                action=_ACTION_MAP[first.action],
+                priority=priorities[entry_id],
+                tags=entry_tags,
+                origin=origins,
+            ))
+        tables[switch] = table
+
+    return Dataplane(tables, ingress_tags=tags)

@@ -1,0 +1,188 @@
+"""Safe transition planning between two placements.
+
+Solving for a new placement is half the operational story; the
+controller must also *apply* it to a live network without transient
+policy violations.  Because the paper's formulation guarantees
+semantics for any solution that satisfies Eq. 1/Eq. 2, a transition is
+safe if every intermediate network state also satisfies them.  The
+classic make-before-break recipe achieves that here:
+
+1. **Install** every new rule copy first, highest-priority-first per
+   switch, installing a DROP's dependency PERMITs before the DROP
+   itself (so no intermediate table drops protected traffic);
+2. **Delete** retired copies afterwards, in the reverse discipline
+   (DROPs before their dependency PERMITs, so no intermediate table
+   drops protected traffic either);
+
+Extra copies in between are harmless: placing a rule on *more* switches
+than necessary never changes semantics (drops are idempotent, permits
+only shield their drops locally).  The only wrinkle is capacity: the
+install phase may transiently need more slots than either endpoint.
+The planner computes the per-switch transient peak, and when a switch
+cannot absorb it, falls back to interleaving deletes for that switch
+before the remaining adds -- still dependency-ordered, so safety is
+preserved; the network is simply "broken-before-made" only in the
+sense of extra drops never, missing drops never, but rule count dips.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .depgraph import DependencyGraph, build_dependency_graph
+from .instance import RuleKey
+from .placement import Placement
+
+__all__ = [
+    "OpKind",
+    "TransitionOp",
+    "TransitionPlan",
+    "plan_transition",
+    "apply_plan",
+]
+
+
+class OpKind(enum.Enum):
+    INSTALL = "install"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TransitionOp:
+    """One controller message: (un)install one rule copy on one switch."""
+
+    kind: OpKind
+    rule: RuleKey
+    switch: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value} {self.rule[0]}#{self.rule[1]} @ {self.switch}"
+
+
+@dataclass
+class TransitionPlan:
+    """An ordered, safety-checked sequence of table operations."""
+
+    ops: List[TransitionOp] = field(default_factory=list)
+    #: Per-switch peak occupancy during the transition.
+    peak_occupancy: Dict[str, int] = field(default_factory=dict)
+    #: Switches where the peak exceeded capacity and deletes were
+    #: interleaved before installs.
+    squeezed_switches: Tuple[str, ...] = ()
+
+    def num_installs(self) -> int:
+        return sum(1 for op in self.ops if op.kind is OpKind.INSTALL)
+
+    def num_deletes(self) -> int:
+        return sum(1 for op in self.ops if op.kind is OpKind.DELETE)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def _dependency_rank(graphs: Dict[str, DependencyGraph], key: RuleKey) -> Tuple:
+    """Sort key: PERMITs before DROPs, then by descending priority.
+
+    Installing in this order keeps every intermediate table safe: a
+    DROP never appears before the PERMITs shielding it.
+    """
+    ingress, priority = key
+    is_drop = priority in graphs[ingress].edges
+    return (1 if is_drop else 0, -priority)
+
+
+def plan_transition(old: Placement, new: Placement) -> TransitionPlan:
+    """Compute a safe op sequence taking the network from old to new.
+
+    Both placements must belong to instances sharing the topology; the
+    policies may differ (that is the point -- policy updates flow
+    through here).  Safety argument in the module docstring.
+    """
+    instance_old = old.instance
+    instance_new = new.instance
+    if instance_old.topology is not instance_new.topology:
+        # Allow equal-by-structure topologies (e.g. after JSON loads).
+        if set(instance_old.topology.switch_names) != set(
+            instance_new.topology.switch_names
+        ):
+            raise ValueError("placements target different switch sets")
+
+    graphs_new = {
+        policy.ingress: build_dependency_graph(policy)
+        for policy in instance_new.policies
+    }
+    graphs_old = {
+        policy.ingress: build_dependency_graph(policy)
+        for policy in instance_old.policies
+    }
+
+    old_copies = {
+        (key, switch)
+        for key, switches in old.placed.items() for switch in switches
+    }
+    new_copies = {
+        (key, switch)
+        for key, switches in new.placed.items() for switch in switches
+    }
+    to_install = sorted(
+        new_copies - old_copies,
+        key=lambda item: (_dependency_rank(graphs_new, item[0]), item[1]),
+    )
+    # Deletes: DROPs first (reverse of install discipline).
+    to_delete = sorted(
+        old_copies - new_copies,
+        key=lambda item: (
+            tuple(-x if isinstance(x, int) else x
+                  for x in _dependency_rank(graphs_old, item[0])),
+            item[1],
+        ),
+    )
+
+    # Transient occupancy per switch if all installs precede deletes.
+    old_loads = old.switch_loads()
+    plan = TransitionPlan()
+    adds_per_switch: Dict[str, int] = {}
+    for key, switch in to_install:
+        adds_per_switch[switch] = adds_per_switch.get(switch, 0) + 1
+    peaks: Dict[str, int] = {}
+    squeezed: List[str] = []
+    for switch in set(list(adds_per_switch) + list(old_loads)):
+        peak = old_loads.get(switch, 0) + adds_per_switch.get(switch, 0)
+        peaks[switch] = peak
+        capacity = instance_new.capacity(switch)
+        if peak > capacity:
+            squeezed.append(switch)
+    plan.peak_occupancy = peaks
+    plan.squeezed_switches = tuple(sorted(squeezed))
+
+    squeezed_set = set(squeezed)
+    # Phase 0: on squeezed switches, retire old copies first.
+    for key, switch in to_delete:
+        if switch in squeezed_set:
+            plan.ops.append(TransitionOp(OpKind.DELETE, key, switch))
+    # Phase 1: all installs (dependency-ordered).
+    for key, switch in to_install:
+        plan.ops.append(TransitionOp(OpKind.INSTALL, key, switch))
+    # Phase 2: remaining deletes.
+    for key, switch in to_delete:
+        if switch not in squeezed_set:
+            plan.ops.append(TransitionOp(OpKind.DELETE, key, switch))
+    return plan
+
+
+def apply_plan(plan: TransitionPlan, old: Placement) -> Dict[RuleKey, frozenset]:
+    """Replay a plan over the old placement's copy set (for testing and
+    for dry-run tooling); returns the resulting rule -> switches map."""
+    state: Dict[RuleKey, set] = {
+        key: set(switches) for key, switches in old.placed.items()
+    }
+    for op in plan.ops:
+        if op.kind is OpKind.INSTALL:
+            state.setdefault(op.rule, set()).add(op.switch)
+        else:
+            state[op.rule].discard(op.switch)
+    return {
+        key: frozenset(switches) for key, switches in state.items() if switches
+    }

@@ -1,0 +1,33 @@
+"""Dataplane substrate: packets, TCAM tables, and end-to-end simulation."""
+
+from .packet import Packet
+from .switch import TableAction, TcamEntry, SwitchTable, TableFullError
+from .simulator import Verdict, TraceStep, Dataplane, SimulationMismatch
+from .messages import (
+    FlowModCommand,
+    FlowMod,
+    Barrier,
+    PacketIn,
+    MessageLog,
+    apply_flow_mod,
+    replay,
+)
+
+__all__ = [
+    "FlowModCommand",
+    "FlowMod",
+    "Barrier",
+    "PacketIn",
+    "MessageLog",
+    "apply_flow_mod",
+    "replay",
+    "Packet",
+    "TableAction",
+    "TcamEntry",
+    "SwitchTable",
+    "TableFullError",
+    "Verdict",
+    "TraceStep",
+    "Dataplane",
+    "SimulationMismatch",
+]

@@ -1,0 +1,166 @@
+"""OpenFlow-style control messages (paper Section II-A).
+
+The controller manages switches "through special messages" -- flow-mod
+adds/deletes, barriers, and packet-ins.  This module models that
+control channel: typed message records, an applier that executes
+flow-mods against a :class:`~repro.dataplane.switch.SwitchTable`, and a
+:class:`MessageLog` capturing the full control-plane conversation so
+tests (and operators) can audit or *replay* exactly what was sent.
+
+Replayability is the point: ``replay(log, tables)`` rebuilding the same
+dataplane state proves the controller's side effects are fully captured
+by its messages -- the property a real distributed deployment relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..policy.ternary import TernaryMatch
+from .switch import SwitchTable, TableAction, TcamEntry
+
+__all__ = [
+    "FlowModCommand",
+    "FlowMod",
+    "Barrier",
+    "PacketIn",
+    "MessageLog",
+    "apply_flow_mod",
+    "replay",
+]
+
+
+class FlowModCommand(enum.Enum):
+    ADD = "add"
+    DELETE_STRICT = "delete_strict"
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """One table modification sent to one switch.
+
+    ``DELETE_STRICT`` matches OpenFlow's strict semantics: the entry
+    with exactly this match *and* priority is removed (non-strict
+    wildcard deletes are a foot-gun the controller never needs).
+    """
+
+    switch: str
+    command: FlowModCommand
+    match: TernaryMatch
+    priority: int
+    action: TableAction = TableAction.FORWARD
+    tags: Optional[frozenset] = None
+    origin: Tuple[str, ...] = ()
+    xid: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"[xid={self.xid}] {self.command.value} @{self.switch} "
+            f"p={self.priority} {self.match.to_string()[:24]} "
+            f"-> {self.action.value}"
+        )
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A synchronization point: all prior messages to ``switch`` are
+    committed before any later one is processed."""
+
+    switch: str
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """A switch-to-controller event: an unmatched (or punted) packet."""
+
+    switch: str
+    header: int
+    width: int
+    tag: Optional[int] = None
+
+
+class MessageLog:
+    """An ordered, auditable record of control-channel traffic."""
+
+    def __init__(self) -> None:
+        self._messages: List[object] = []
+        self._xids = itertools.count(1)
+
+    def next_xid(self) -> int:
+        return next(self._xids)
+
+    def record(self, message) -> None:
+        self._messages.append(message)
+
+    @property
+    def messages(self) -> Tuple[object, ...]:
+        return tuple(self._messages)
+
+    def flow_mods(self) -> List[FlowMod]:
+        return [m for m in self._messages if isinstance(m, FlowMod)]
+
+    def for_switch(self, switch: str) -> List[object]:
+        return [
+            m for m in self._messages
+            if getattr(m, "switch", None) == switch
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for message in self._messages:
+            key = type(message).__name__
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+def apply_flow_mod(table: SwitchTable, mod: FlowMod) -> None:
+    """Execute one flow-mod against a switch table.
+
+    ADD installs (capacity-checked by the table itself);
+    DELETE_STRICT removes the exact (match, priority) entry if present
+    -- deleting a missing entry is a no-op, as in OpenFlow.
+    """
+    if mod.command is FlowModCommand.ADD:
+        table.install(TcamEntry(
+            match=mod.match,
+            action=mod.action,
+            priority=mod.priority,
+            tags=mod.tags,
+            origin=mod.origin,
+        ))
+        return
+    kept = [
+        entry for entry in table.entries
+        if not (entry.priority == mod.priority and entry.match == mod.match)
+    ]
+    if len(kept) != table.occupancy():
+        rebuilt = SwitchTable(table.name, table.capacity)
+        rebuilt.install_all(kept)
+        # Mutate in place so callers holding the table see the change.
+        table._entries = rebuilt._entries
+        table._sorted = False
+
+
+def replay(log: MessageLog, capacities: Dict[str, int]) -> Dict[str, SwitchTable]:
+    """Rebuild per-switch tables from a message log alone.
+
+    The audit property: a controller whose effects equal ``replay`` of
+    its log has no hidden state channel to the dataplane.
+    """
+    tables: Dict[str, SwitchTable] = {}
+    for message in log.messages:
+        if not isinstance(message, FlowMod):
+            continue
+        table = tables.get(message.switch)
+        if table is None:
+            table = SwitchTable(message.switch, capacities[message.switch])
+            tables[message.switch] = table
+        apply_flow_mod(table, message)
+    return tables

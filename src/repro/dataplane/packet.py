@@ -1,0 +1,38 @@
+"""Packets as seen by the ACL dataplane.
+
+A packet is a flat header bit-vector (matching the policies' ternary
+width) plus the VLAN-style ingress tag added at the network entry
+(paper, Section IV-A5).  The tag identifies which ingress policy the
+packet is subject to; it is pushed by the ingress switch and matched as
+an extra field by installed rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Packet"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable dataplane packet.
+
+    ``header`` is the classifier input (e.g. the 104-bit 5-tuple) and
+    ``tag`` the ingress tag, ``None`` before tagging.
+    """
+
+    header: int
+    width: int
+    tag: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.header < 0 or self.header >> self.width:
+            raise ValueError(
+                f"header 0x{self.header:x} does not fit in {self.width} bits"
+            )
+
+    def with_tag(self, tag: int) -> "Packet":
+        """The same packet after ingress tagging."""
+        return Packet(self.header, self.width, tag)

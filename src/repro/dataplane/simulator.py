@@ -1,0 +1,156 @@
+"""End-to-end dataplane simulation of an installed rule placement.
+
+The simulator walks a packet along a routed path, classifying it at
+each switch's ACL table in order.  A packet is *dropped* as soon as any
+switch on its path matches it to a DROP entry, and *delivered* when it
+leaves the last switch unmolested.  This is the operational semantics
+that a rule placement must make agree with the ingress policy's
+big-switch semantics, and it is the oracle used by
+:mod:`repro.core.verify` and the integration tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..net.routing import Path, Routing
+from ..policy.policy import Policy
+from ..policy.rule import Action
+from .packet import Packet
+from .switch import SwitchTable, TableAction
+
+__all__ = ["Verdict", "TraceStep", "Dataplane", "SimulationMismatch"]
+
+
+class Verdict(enum.Enum):
+    """Fate of a packet traversing a path."""
+
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+
+    @classmethod
+    def from_action(cls, action: Action) -> "Verdict":
+        return cls.DROPPED if action is Action.DROP else cls.DELIVERED
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of a packet trace: switch name and the action taken."""
+
+    switch: str
+    action: TableAction
+
+
+@dataclass(frozen=True)
+class SimulationMismatch:
+    """A counterexample: a packet the dataplane treats differently from
+    the ingress policy."""
+
+    ingress: str
+    path: Path
+    header: int
+    expected: Verdict
+    actual: Verdict
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"packet 0x{self.header:x} from {self.ingress} via "
+            f"{'->'.join(self.path.switches)}: policy says {self.expected.value}, "
+            f"dataplane says {self.actual.value}"
+        )
+
+
+class Dataplane:
+    """A network of installed switch tables plus ingress tagging."""
+
+    def __init__(self, tables: Dict[str, SwitchTable],
+                 ingress_tags: Optional[Dict[str, int]] = None) -> None:
+        self.tables = tables
+        #: Tag pushed on packets entering at each ingress (Section IV-A5).
+        self.ingress_tags = ingress_tags or {}
+
+    def table(self, switch: str) -> SwitchTable:
+        return self.tables[switch]
+
+    # ------------------------------------------------------------------
+
+    def send(self, path: Path, header: int, width: int) -> Tuple[Verdict, List[TraceStep]]:
+        """Inject a packet at ``path.ingress`` and walk it down the path."""
+        tag = self.ingress_tags.get(path.ingress)
+        packet = Packet(header, width, tag)
+        trace: List[TraceStep] = []
+        for switch in path.switches:
+            table = self.tables.get(switch)
+            action = table.classify(packet) if table is not None else TableAction.FORWARD
+            trace.append(TraceStep(switch, action))
+            if action is TableAction.DROP:
+                return Verdict.DROPPED, trace
+        return Verdict.DELIVERED, trace
+
+    def verdict(self, path: Path, header: int, width: int) -> Verdict:
+        verdict, _ = self.send(path, header, width)
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Policy-conformance checking (sampled; the exact symbolic check
+    # lives in repro.core.verify).
+    # ------------------------------------------------------------------
+
+    def check_path_sampled(
+        self,
+        policy: Policy,
+        path: Path,
+        rng: random.Random,
+        samples_per_rule: int = 8,
+    ) -> Optional[SimulationMismatch]:
+        """Randomized conformance check of one path against its policy.
+
+        Samples headers biased to rule regions (uniform sampling would
+        almost never hit a 104-bit match), honouring the path's flow
+        descriptor when present.  Returns the first mismatch found.
+        """
+        width = policy.width or 1
+        probe_headers: List[int] = []
+        for rule in policy.rules:
+            region = rule.match
+            if path.flow is not None:
+                inter = region.intersection(path.flow)
+                if inter is None:
+                    continue
+                region = inter
+            for _ in range(samples_per_rule):
+                probe_headers.append(region.sample(rng))
+        # A few fully random headers exercise the default action.
+        probe_headers.extend(rng.getrandbits(width) for _ in range(samples_per_rule))
+        for header in probe_headers:
+            if path.flow is not None and not path.flow.matches(header):
+                continue
+            expected = Verdict.from_action(policy.evaluate(header))
+            actual = self.verdict(path, header, width)
+            if actual is not expected:
+                return SimulationMismatch(policy.ingress, path, header, expected, actual)
+        return None
+
+    def check_routing_sampled(
+        self,
+        policies: Iterable[Policy],
+        routing: Routing,
+        seed: int = 0,
+        samples_per_rule: int = 8,
+    ) -> List[SimulationMismatch]:
+        """Sampled conformance check over every policy and path."""
+        rng = random.Random(seed)
+        mismatches: List[SimulationMismatch] = []
+        for policy in policies:
+            for path in routing.paths(policy.ingress):
+                found = self.check_path_sampled(policy, path, rng, samples_per_rule)
+                if found is not None:
+                    mismatches.append(found)
+        return mismatches
+
+    def total_installed(self) -> int:
+        """Total TCAM slots used across the network."""
+        return sum(t.occupancy() for t in self.tables.values())

@@ -1,0 +1,146 @@
+"""TCAM matching-table model for an OpenFlow-style switch.
+
+A switch table is a strictly prioritized list of entries; a packet
+matches the highest-priority entry whose matching field contains its
+header *and* whose ingress tag matches (paper, Sections II-A and
+IV-A5).  Unmatched packets take the table's default action, FORWARD for
+ACL tables (only explicitly dropped traffic stops).
+
+Capacity accounting is built in: installing past ``capacity`` raises,
+so a placement that violates the switch capacity constraint (paper
+Eq. 3) cannot even be loaded into the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..policy.ternary import TernaryMatch
+from .packet import Packet
+
+__all__ = ["TableAction", "TcamEntry", "SwitchTable", "TableFullError"]
+
+
+class TableAction(enum.Enum):
+    """Dataplane actions relevant to ACL enforcement."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TableFullError(RuntimeError):
+    """Raised when installing an entry would exceed the TCAM capacity."""
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One installed TCAM slot.
+
+    ``tags`` is the set of ingress tags the entry applies to (the tag
+    union of merged rules, Section IV-B); ``None`` means tag-agnostic.
+    ``priority`` is the install priority within this table, distinct
+    from the originating policy priority.
+    """
+
+    match: TernaryMatch
+    action: TableAction
+    priority: int
+    tags: Optional[frozenset[int]] = None
+    #: Originating (ingress, rule-name) labels, for reporting.
+    origin: Tuple[str, ...] = ()
+
+    def matches(self, packet: Packet) -> bool:
+        if self.tags is not None:
+            if packet.tag is None or packet.tag not in self.tags:
+                return False
+        return self.match.matches(packet.header)
+
+
+class SwitchTable:
+    """A capacity-bounded prioritized matching table."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.name = name
+        self.capacity = capacity
+        self._entries: List[TcamEntry] = []
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+
+    def install(self, entry: TcamEntry) -> None:
+        """Install one entry, enforcing the capacity constraint."""
+        if len(self._entries) >= self.capacity:
+            raise TableFullError(
+                f"switch {self.name!r}: capacity {self.capacity} exhausted"
+            )
+        self._entries.append(entry)
+        self._sorted = False
+
+    def install_all(self, entries: Iterable[TcamEntry]) -> None:
+        for entry in entries:
+            self.install(entry)
+
+    def remove_by_origin(self, ingress: str) -> int:
+        """Remove all entries originating from one ingress policy.
+
+        Returns the number of freed slots (used by incremental updates).
+        """
+        before = len(self._entries)
+        kept = []
+        for entry in self._entries:
+            origins = {o.split(".", 1)[0] for o in entry.origin}
+            if origins and origins <= {ingress}:
+                continue
+            kept.append(entry)
+        self._entries = kept
+        return before - len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[TcamEntry, ...]:
+        self._ensure_sorted()
+        return tuple(self._entries)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._entries.sort(key=lambda e: -e.priority)
+            self._sorted = True
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def classify(self, packet: Packet) -> TableAction:
+        """First-match classification; FORWARD when nothing matches."""
+        self._ensure_sorted()
+        for entry in self._entries:
+            if entry.matches(packet):
+                return entry.action
+        return TableAction.FORWARD
+
+    def matching_entry(self, packet: Packet) -> Optional[TcamEntry]:
+        self._ensure_sorted()
+        for entry in self._entries:
+            if entry.matches(packet):
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TcamEntry]:
+        self._ensure_sorted()
+        return iter(tuple(self._entries))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SwitchTable({self.name!r}, {len(self._entries)}/{self.capacity})"

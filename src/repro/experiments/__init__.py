@@ -1,0 +1,23 @@
+"""Experiment harness: instance generation, runners, and reporting for
+the paper's Section V evaluation."""
+
+from .generators import ExperimentConfig, build_instance, attach_flow_descriptors
+from .runners import Record, run_point, run_averaged, sweep
+from .reporting import figure_series, format_figure, format_table2_cell, banner
+from .scaling import EncodingSize, predict_encoding_size
+
+__all__ = [
+    "EncodingSize",
+    "predict_encoding_size",
+    "ExperimentConfig",
+    "build_instance",
+    "attach_flow_descriptors",
+    "Record",
+    "run_point",
+    "run_averaged",
+    "sweep",
+    "figure_series",
+    "format_figure",
+    "format_table2_cell",
+    "banner",
+]

@@ -1,0 +1,100 @@
+"""Instance generation for the paper's experiments (Section V).
+
+The evaluation recipe: a fat-tree topology, randomly generated
+shortest-path routing, and one ClassBench-style policy per network
+ingress; knobs are the fat-tree arity ``k``, the number of paths ``p``,
+the rules per policy ``r``, and the uniform switch capacity ``C``.
+``build_instance`` reproduces that recipe deterministically from a
+seed; DESIGN.md documents how the paper's CPLEX-scale parameter ranges
+map onto the laptop-scale defaults used by ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.fattree import fattree
+from ..net.routing import Routing, ShortestPathRouter
+from ..policy.classbench import PolicyGeneratorConfig, generate_policy_set
+from ..policy.rule import FiveTuple
+from ..policy.ternary import TernaryMatch
+from ..core.instance import PlacementInstance
+
+__all__ = ["ExperimentConfig", "build_instance", "attach_flow_descriptors"]
+
+
+@dataclass
+class ExperimentConfig:
+    """One experimental data point's generation parameters."""
+
+    k: int = 4
+    num_paths: int = 32
+    rules_per_policy: int = 20
+    capacity: int = 100
+    num_ingresses: Optional[int] = None
+    blacklist_rules: int = 0
+    flow_slicing: bool = False
+    seed: int = 0
+    drop_fraction: float = 0.35
+    nested_fraction: float = 0.4
+
+    def describe(self) -> str:
+        return (
+            f"k={self.k} p={self.num_paths} r={self.rules_per_policy} "
+            f"C={self.capacity} seed={self.seed}"
+        )
+
+
+def attach_flow_descriptors(routing: Routing, seed: int = 0) -> Routing:
+    """Annotate each path with a destination-prefix flow descriptor.
+
+    Models the Section IV-C setting (Fig. 6): each egress serves a
+    distinct dst-IP /24, so the packets taking a route match only the
+    slice of the ingress policy overlapping that prefix.  Prefixes are
+    assigned per egress deterministically.
+    """
+    rng = random.Random(seed)
+    egress_prefix: dict[str, TernaryMatch] = {}
+    sliced = Routing()
+    for path in routing.all_paths():
+        prefix = egress_prefix.get(path.egress)
+        if prefix is None:
+            base = rng.getrandbits(32)
+            dst = TernaryMatch.from_prefix(32, base, 24)
+            prefix = FiveTuple(dst_ip=dst).to_match()
+            egress_prefix[path.egress] = prefix
+        sliced.add_path(path.with_flow(prefix))
+    return sliced
+
+
+def build_instance(config: ExperimentConfig) -> PlacementInstance:
+    """Generate one deterministic instance from the experiment knobs."""
+    topo = fattree(config.k, capacity=config.capacity)
+    ports = [p.name for p in topo.entry_ports]
+    if config.num_ingresses is None:
+        # Default: one policy per edge switch's first host, bounding the
+        # number of policies at k (pods) * k/2 (edges) while the path
+        # count scales independently -- mirroring "p paths, one policy
+        # per ingress" in the paper.
+        ingresses = [p for p in ports if p.endswith("_0")]
+    else:
+        ingresses = ports[: config.num_ingresses]
+    router = ShortestPathRouter(topo, seed=config.seed)
+    routing = router.random_routing(config.num_paths, ingresses=ingresses)
+    if config.flow_slicing:
+        routing = attach_flow_descriptors(routing, seed=config.seed)
+    generator_config = PolicyGeneratorConfig(
+        num_rules=config.rules_per_policy,
+        drop_fraction=config.drop_fraction,
+        nested_fraction=config.nested_fraction,
+    )
+    policies = generate_policy_set(
+        ingresses,
+        rules_per_policy=config.rules_per_policy,
+        seed=config.seed,
+        config=generator_config,
+        blacklist_rules=config.blacklist_rules,
+    )
+    return PlacementInstance(topo, routing, policies)

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results in the paper's shapes.
+
+The benchmark harnesses print these tables so a run of
+``pytest benchmarks/ --benchmark-only -s`` regenerates, row for row,
+the series behind each figure and table of Section V (see
+EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from .runners import Record
+
+__all__ = ["figure_series", "format_figure", "format_table2_cell", "banner"]
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(60, len(title) + 4)
+    return f"\n{rule}\n  {title}\n{rule}"
+
+
+def figure_series(results: Dict[object, List[Record]]) -> List[dict]:
+    """Aggregate a sweep into (x, mean/min/max runtime, feasibility) rows."""
+    rows = []
+    for x, records in results.items():
+        runtimes = [r.runtime_seconds for r in records]
+        rows.append({
+            "x": x,
+            "mean_ms": statistics.mean(runtimes) * 1000,
+            "min_ms": min(runtimes) * 1000,
+            "max_ms": max(runtimes) * 1000,
+            "feasible": sum(1 for r in records if r.feasible),
+            "total": len(records),
+            "mean_installed": (
+                statistics.mean(r.installed_rules for r in records if r.feasible)
+                if any(r.feasible for r in records) else None
+            ),
+        })
+    return rows
+
+
+def format_figure(title: str, xlabel: str,
+                  results: Dict[object, List[Record]]) -> str:
+    """A paper-figure-like text table: runtime vs the swept parameter."""
+    lines = [banner(title)]
+    lines.append(
+        f"{xlabel:>10} | {'mean':>10} {'min':>10} {'max':>10} | feasible | rules"
+    )
+    lines.append("-" * 66)
+    for row in figure_series(results):
+        installed = (
+            "-" if row["mean_installed"] is None else f"{row['mean_installed']:.0f}"
+        )
+        lines.append(
+            f"{row['x']!s:>10} | {row['mean_ms']:>8.1f}ms {row['min_ms']:>8.1f}ms "
+            f"{row['max_ms']:>8.1f}ms |   {row['feasible']}/{row['total']}    | {installed}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2_cell(installed: Optional[int], overhead: Optional[float]) -> str:
+    """One Table-II cell: 'total-rules overhead%' or '- Inf'."""
+    if installed is None:
+        return "   -    Inf"
+    return f"{installed:>5} {overhead:>5.0%}"

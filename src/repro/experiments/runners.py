@@ -1,0 +1,116 @@
+"""Experiment runners: one measured data point per call.
+
+Each runner builds an instance, runs the placement pipeline with the
+experiment's settings, optionally verifies the result, and returns a
+flat :class:`Record` -- the unit the benchmark harnesses aggregate into
+the paper's tables and figure series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.placement import PlacerConfig, RulePlacer
+from ..core.verify import verify_placement
+from ..milp.model import SolveStatus
+from .generators import ExperimentConfig, build_instance
+
+__all__ = ["Record", "run_point", "run_averaged", "sweep"]
+
+
+@dataclass
+class Record:
+    """One measured experimental data point."""
+
+    config: ExperimentConfig
+    status: SolveStatus
+    runtime_seconds: float
+    build_seconds: float = 0.0
+    installed_rules: Optional[int] = None
+    required_rules: Optional[int] = None
+    overhead: Optional[float] = None
+    num_variables: int = 0
+    num_constraints: int = 0
+    verified: Optional[bool] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.status.has_solution
+
+    def row(self) -> str:
+        status = self.status.value
+        installed = "-" if self.installed_rules is None else str(self.installed_rules)
+        overhead = "-" if self.overhead is None else f"{self.overhead:+.0%}"
+        return (
+            f"{self.config.describe():<40} {status:<11} "
+            f"{self.runtime_seconds * 1000:>9.1f}ms {installed:>7} {overhead:>7}"
+        )
+
+
+def run_point(
+    config: ExperimentConfig,
+    enable_merging: bool = False,
+    time_limit: Optional[float] = None,
+    verify: bool = False,
+    placer_config: Optional[PlacerConfig] = None,
+) -> Record:
+    """Generate + solve one configuration; optionally verify exactly."""
+    instance = build_instance(config)
+    if placer_config is None:
+        placer_config = PlacerConfig(
+            enable_merging=enable_merging, time_limit=time_limit
+        )
+    placer = RulePlacer(placer_config)
+    placement = placer.place(instance)
+    record = Record(
+        config=config,
+        status=placement.status,
+        runtime_seconds=placement.solve_seconds,
+        build_seconds=placement.build_seconds,
+        num_variables=placement.num_variables,
+        num_constraints=placement.num_constraints,
+    )
+    if placement.is_feasible:
+        record.installed_rules = placement.total_installed()
+        record.required_rules = placement.required_rules()
+        record.overhead = placement.duplication_overhead()
+        if verify:
+            record.verified = verify_placement(placement).ok
+    return record
+
+
+def run_averaged(
+    config: ExperimentConfig,
+    instances: int = 3,
+    enable_merging: bool = False,
+    time_limit: Optional[float] = None,
+) -> List[Record]:
+    """The paper's variance treatment: several random instances per
+    x-axis point (5 in the paper; configurable here), distinct seeds."""
+    records = []
+    for offset in range(instances):
+        point = ExperimentConfig(**{**config.__dict__, "seed": config.seed + offset})
+        records.append(
+            run_point(point, enable_merging=enable_merging, time_limit=time_limit)
+        )
+    return records
+
+
+def sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence,
+    instances: int = 3,
+    enable_merging: bool = False,
+    time_limit: Optional[float] = None,
+) -> Dict[object, List[Record]]:
+    """Sweep one generation parameter, several instances per point."""
+    results: Dict[object, List[Record]] = {}
+    for value in values:
+        point = ExperimentConfig(**{**base.__dict__, parameter: value})
+        results[value] = run_averaged(
+            point, instances=instances,
+            enable_merging=enable_merging, time_limit=time_limit,
+        )
+    return results

@@ -1,0 +1,247 @@
+"""JSON (de)serialization of every first-class object.
+
+Production users need to persist and exchange instances and solutions:
+topologies drawn from inventory systems, policies exported from cloud
+consoles, placements shipped to an SDN controller.  This module defines
+a stable, human-readable JSON schema for :class:`Topology`,
+:class:`Policy` / :class:`PolicySet`, :class:`Routing`,
+:class:`PlacementInstance` and :class:`Placement`, with exact
+round-tripping (ternary matches serialize as their ``{0,1,*}`` pattern
+strings, so files are diffable and hand-editable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .core.instance import PlacementInstance
+from .core.placement import Placement
+from .milp.model import SolveStatus
+from .net.routing import Path, Routing
+from .net.topology import Topology
+from .policy.policy import Policy, PolicySet
+from .policy.rule import Action, Rule
+from .policy.ternary import TernaryMatch
+
+__all__ = [
+    "topology_to_dict", "topology_from_dict",
+    "policy_to_dict", "policy_from_dict",
+    "policies_to_dict", "policies_from_dict",
+    "routing_to_dict", "routing_from_dict",
+    "instance_to_dict", "instance_from_dict",
+    "placement_to_dict", "placement_from_dict",
+    "save_instance", "load_instance",
+    "save_placement", "load_placement",
+]
+
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+def topology_to_dict(topo: Topology) -> Dict[str, Any]:
+    return {
+        "switches": [
+            {"name": s.name, "capacity": s.capacity, "layer": s.layer}
+            for s in topo.switches
+        ],
+        "links": sorted([sorted(edge) for edge in topo.graph.edges]),
+        "entry_ports": [
+            {"name": p.name, "switch": p.switch} for p in topo.entry_ports
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    topo = Topology()
+    for spec in data["switches"]:
+        topo.add_switch(spec["name"], spec["capacity"], spec.get("layer", ""))
+    for a, b in data["links"]:
+        topo.add_link(a, b)
+    for spec in data["entry_ports"]:
+        topo.add_entry_port(spec["name"], spec["switch"])
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+def _rule_to_dict(rule: Rule) -> Dict[str, Any]:
+    return {
+        "match": rule.match.to_string(),
+        "action": rule.action.value,
+        "priority": rule.priority,
+        "name": rule.name,
+    }
+
+
+def _rule_from_dict(data: Dict[str, Any]) -> Rule:
+    return Rule(
+        TernaryMatch.from_string(data["match"]),
+        Action(data["action"]),
+        data["priority"],
+        data.get("name", ""),
+    )
+
+
+def policy_to_dict(policy: Policy) -> Dict[str, Any]:
+    return {
+        "ingress": policy.ingress,
+        "default_action": policy.default_action.value,
+        "rules": [_rule_to_dict(r) for r in policy.sorted_rules()],
+    }
+
+
+def policy_from_dict(data: Dict[str, Any]) -> Policy:
+    return Policy(
+        data["ingress"],
+        [_rule_from_dict(r) for r in data["rules"]],
+        Action(data.get("default_action", "permit")),
+    )
+
+
+def policies_to_dict(policies: PolicySet) -> List[Dict[str, Any]]:
+    return [policy_to_dict(p) for p in policies]
+
+
+def policies_from_dict(data: List[Dict[str, Any]]) -> PolicySet:
+    return PolicySet([policy_from_dict(p) for p in data])
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+def routing_to_dict(routing: Routing) -> List[Dict[str, Any]]:
+    return [
+        {
+            "ingress": p.ingress,
+            "egress": p.egress,
+            "switches": list(p.switches),
+            "flow": None if p.flow is None else p.flow.to_string(),
+        }
+        for p in routing.all_paths()
+    ]
+
+
+def routing_from_dict(data: List[Dict[str, Any]]) -> Routing:
+    routing = Routing()
+    for spec in data:
+        flow = spec.get("flow")
+        routing.add_path(Path(
+            spec["ingress"], spec["egress"], tuple(spec["switches"]),
+            None if flow is None else TernaryMatch.from_string(flow),
+        ))
+    return routing
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+def instance_to_dict(instance: PlacementInstance) -> Dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "topology": topology_to_dict(instance.topology),
+        "routing": routing_to_dict(instance.routing),
+        "policies": policies_to_dict(instance.policies),
+        "capacities": dict(instance.capacities),
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> PlacementInstance:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {version}")
+    return PlacementInstance(
+        topology_from_dict(data["topology"]),
+        routing_from_dict(data["routing"]),
+        policies_from_dict(data["policies"]),
+        dict(data["capacities"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Placements (solution only; re-attach to an instance on load)
+# ---------------------------------------------------------------------------
+
+def placement_to_dict(placement: Placement) -> Dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "status": placement.status.value,
+        "objective_value": placement.objective_value,
+        "solve_seconds": placement.solve_seconds,
+        "placed": [
+            {"ingress": key[0], "priority": key[1], "switches": sorted(switches)}
+            for key, switches in sorted(placement.placed.items())
+        ],
+        "merged": [
+            {"gid": gid, "switches": sorted(switches)}
+            for gid, switches in sorted(placement.merged.items())
+        ],
+    }
+
+
+def placement_from_dict(data: Dict[str, Any],
+                        instance: PlacementInstance) -> Placement:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {version}")
+    placement = Placement(
+        instance=instance,
+        status=SolveStatus(data["status"]),
+        objective_value=data.get("objective_value"),
+        solve_seconds=data.get("solve_seconds", 0.0),
+    )
+    placement.placed = {
+        (entry["ingress"], entry["priority"]): frozenset(entry["switches"])
+        for entry in data["placed"]
+    }
+    placement.merged = {
+        entry["gid"]: frozenset(entry["switches"])
+        for entry in data.get("merged", [])
+    }
+    if placement.merged:
+        # Rebuild the (deterministic) merge plan so merge-aware load
+        # accounting survives the round trip; group ids are stable
+        # because plan construction is a pure function of the instance.
+        from .core.depgraph import build_dependency_graph
+        from .core.merging import build_merge_plan
+        from .core.slicing import build_slices
+
+        graphs = {
+            policy.ingress: build_dependency_graph(policy)
+            for policy in instance.policies
+        }
+        placement.merge_plan = build_merge_plan(
+            instance, build_slices(instance, graphs)
+        )
+    return placement
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+def save_instance(instance: PlacementInstance, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(instance_to_dict(instance), handle, indent=2)
+
+
+def load_instance(path: str) -> PlacementInstance:
+    with open(path, "r", encoding="utf-8") as handle:
+        return instance_from_dict(json.load(handle))
+
+
+def save_placement(placement: Placement, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(placement_to_dict(placement), handle, indent=2)
+
+
+def load_placement(path: str, instance: PlacementInstance) -> Placement:
+    with open(path, "r", encoding="utf-8") as handle:
+        return placement_from_dict(json.load(handle), instance)

@@ -1,0 +1,34 @@
+"""MILP substrate: modeling layer and interchangeable exact backends."""
+
+from .model import (
+    VarType,
+    Variable,
+    LinExpr,
+    Sense,
+    Constraint,
+    SolveStatus,
+    SolveResult,
+    Model,
+)
+from .model import lin_sum
+from .scipy_backend import ScipyMilpBackend
+from .bnb import BranchAndBoundBackend
+from .exhaustive import ExhaustiveBackend
+from .lpfile import to_lp_string, write_lp_file
+
+__all__ = [
+    "VarType",
+    "Variable",
+    "LinExpr",
+    "lin_sum",
+    "Sense",
+    "Constraint",
+    "SolveStatus",
+    "SolveResult",
+    "Model",
+    "ScipyMilpBackend",
+    "BranchAndBoundBackend",
+    "ExhaustiveBackend",
+    "to_lp_string",
+    "write_lp_file",
+]

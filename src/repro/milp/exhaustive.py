@@ -1,0 +1,52 @@
+"""Brute-force binary MILP solving: the test oracle.
+
+Enumerates every 0/1 assignment of a pure-binary model and returns the
+feasible minimum.  Exponential, so it refuses models beyond a small
+variable budget; the test suite uses it to validate the HiGHS and
+branch-and-bound backends on random instances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .model import Model, SolveResult, SolveStatus
+
+__all__ = ["ExhaustiveBackend"]
+
+
+class ExhaustiveBackend:
+    """Exact solver by enumeration; only for tiny pure-binary models."""
+
+    name = "exhaustive"
+
+    def __init__(self, max_vars: int = 24) -> None:
+        self.max_vars = max_vars
+
+    def solve(self, model: Model, time_limit: Optional[float] = None) -> SolveResult:
+        if not model.is_pure_binary():
+            raise ValueError("exhaustive backend handles pure-binary models only")
+        n = model.num_variables()
+        if n > self.max_vars:
+            raise ValueError(
+                f"{n} variables exceeds exhaustive budget of {self.max_vars}"
+            )
+        started = time.perf_counter()
+        best_obj: Optional[float] = None
+        best_values: dict[int, float] = {}
+        checked = 0
+        for bits in range(1 << n):
+            values = {i: float((bits >> i) & 1) for i in range(n)}
+            checked += 1
+            if not model.check_solution(values):
+                continue
+            obj = model.objective.value(values)
+            if best_obj is None or obj < best_obj:
+                best_obj = obj
+                best_values = values
+        elapsed = time.perf_counter() - started
+        stats = {"assignments": float(checked)}
+        if best_obj is None:
+            return SolveResult(SolveStatus.INFEASIBLE, None, {}, elapsed, stats)
+        return SolveResult(SolveStatus.OPTIMAL, best_obj, best_values, elapsed, stats)

@@ -1,0 +1,64 @@
+"""CPLEX LP-format export for debugging and external cross-checks.
+
+Writing the model in the textual LP format the paper's CPLEX consumed
+makes instances portable: any LP-format-speaking solver can replay our
+exact formulation.  Only the subset needed by the placement models
+(minimization, <=/>=/= rows, binary and general integer variables) is
+emitted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import Model, Sense, VarType
+
+__all__ = ["to_lp_string", "write_lp_file"]
+
+_SENSE_TEXT = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}
+
+
+def _format_terms(coeffs: dict[int, float], model: Model) -> str:
+    if not coeffs:
+        return "0"
+    parts: List[str] = []
+    for idx in sorted(coeffs):
+        coeff = coeffs[idx]
+        name = model.variables[idx].name
+        sign = "-" if coeff < 0 else "+"
+        magnitude = abs(coeff)
+        coeff_text = "" if magnitude == 1 else f"{magnitude:g} "
+        parts.append(f"{sign} {coeff_text}{name}")
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def to_lp_string(model: Model) -> str:
+    """Render the model in CPLEX LP format."""
+    lines: List[str] = [f"\\ Model: {model.name}", "Minimize", f" obj: {_format_terms(model.objective.coeffs, model)}"]
+    lines.append("Subject To")
+    for i, con in enumerate(model.constraints):
+        label = con.name or f"c{i}"
+        lines.append(
+            f" {label}: {_format_terms(con.expr.coeffs, model)} "
+            f"{_SENSE_TEXT[con.sense]} {con.rhs:g}"
+        )
+    generals = [v for v in model.variables if v.vtype is VarType.INTEGER]
+    binaries = [v for v in model.variables if v.vtype is VarType.BINARY]
+    if generals:
+        lines.append("Bounds")
+        for var in generals:
+            ub = "+inf" if var.ub == float("inf") else f"{var.ub:g}"
+            lines.append(f" {var.lb:g} <= {var.name} <= {ub}")
+        lines.append("Generals")
+        lines.append(" " + " ".join(v.name for v in generals))
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(v.name for v in binaries))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp_file(model: Model, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_lp_string(model))

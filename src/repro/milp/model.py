@@ -1,0 +1,346 @@
+"""A small mixed-integer linear programming modeling layer.
+
+The paper solves its rule-placement formulation with CPLEX.  CPLEX is
+proprietary; this package provides the modeling surface (variables,
+linear expressions, constraints, a minimization objective) and pluggable
+backends:
+
+* :mod:`repro.milp.scipy_backend` -- HiGHS via ``scipy.optimize.milp``,
+  the primary exact solver (our CPLEX stand-in);
+* :mod:`repro.milp.bnb` -- a from-scratch branch-and-bound over the LP
+  relaxation, demonstrating the full stack is reproducible without any
+  bundled MILP solver;
+* :mod:`repro.milp.exhaustive` -- brute force over binary assignments,
+  the oracle used by the test suite.
+
+All rule-placement constraints are pure 0/1 with integer coefficients,
+so the layer only needs binary/integer variables and ``<=``, ``>=``,
+``==`` rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "VarType",
+    "Variable",
+    "LinExpr",
+    "Sense",
+    "Constraint",
+    "SolveStatus",
+    "SolveResult",
+    "Model",
+]
+
+Number = Union[int, float]
+
+
+class VarType(enum.Enum):
+    BINARY = "binary"
+    INTEGER = "integer"
+    CONTINUOUS = "continuous"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable; identity is its ``index`` within the model."""
+
+    index: int
+    name: str
+    vtype: VarType
+    lb: float
+    ub: float
+
+    # -- arithmetic sugar: variables promote to expressions ------------
+
+    def to_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0})
+
+    def __add__(self, other) -> "LinExpr":
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self.to_expr()) + other
+
+    def __mul__(self, coeff: Number) -> "LinExpr":
+        return self.to_expr() * coeff
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    def __le__(self, other) -> "Constraint":  # type: ignore[override]
+        return self.to_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":  # type: ignore[override]
+        return self.to_expr() >= other
+
+    def eq(self, other) -> "Constraint":
+        return self.to_expr().eq(other)
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff_i * x_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Optional[Mapping[int, float]] = None,
+                 constant: float = 0.0) -> None:
+        self.coeffs: Dict[int, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _as_expr(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr(constant=float(value))
+        raise TypeError(f"cannot treat {value!r} as a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    def add_term(self, var: Variable, coeff: Number) -> "LinExpr":
+        """In-place accumulation; returns self for chaining."""
+        if coeff:
+            self.coeffs[var.index] = self.coeffs.get(var.index, 0.0) + float(coeff)
+            if self.coeffs[var.index] == 0.0:
+                del self.coeffs[var.index]
+        return self
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        rhs = self._as_expr(other)
+        result = self.copy()
+        for idx, coeff in rhs.coeffs.items():
+            result.coeffs[idx] = result.coeffs.get(idx, 0.0) + coeff
+            if result.coeffs[idx] == 0.0:
+                del result.coeffs[idx]
+        result.constant += rhs.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (self._as_expr(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, coeff: Number) -> "LinExpr":
+        if not isinstance(coeff, (int, float)):
+            raise TypeError("expressions can only be scaled by numbers")
+        return LinExpr(
+            {idx: c * coeff for idx, c in self.coeffs.items() if c * coeff != 0.0},
+            self.constant * coeff,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- relational operators build constraints --------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint.build(self, Sense.LE, self._as_expr(other))
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint.build(self, Sense.GE, self._as_expr(other))
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint (named method: ``==`` keeps dataclass
+        semantics for tests)."""
+        return Constraint.build(self, Sense.EQ, self._as_expr(other))
+
+    # -- evaluation -------------------------------------------------------
+
+    def value(self, assignment: Mapping[int, float]) -> float:
+        return self.constant + sum(
+            coeff * assignment.get(idx, 0.0) for idx, coeff in self.coeffs.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        if self.constant:
+            terms = f"{terms} + {self.constant:g}" if terms else f"{self.constant:g}"
+        return terms or "0"
+
+
+def lin_sum(items: Iterable[Union[Variable, LinExpr]]) -> LinExpr:
+    """Efficient sum of many variables/expressions (avoids quadratic
+    rebuild that ``sum()`` over immutable adds would cost)."""
+    total = LinExpr()
+    for item in items:
+        if isinstance(item, Variable):
+            total.coeffs[item.index] = total.coeffs.get(item.index, 0.0) + 1.0
+        else:
+            for idx, coeff in item.coeffs.items():
+                total.coeffs[idx] = total.coeffs.get(idx, 0.0) + coeff
+            total.constant += item.constant
+    total.coeffs = {i: c for i, c in total.coeffs.items() if c != 0.0}
+    return total
+
+
+class Sense(enum.Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """A normalized row ``expr (<=|>=|==) rhs`` with ``expr`` constant-free."""
+
+    expr: LinExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    @classmethod
+    def build(cls, lhs: LinExpr, sense: Sense, rhs: LinExpr) -> "Constraint":
+        expr = lhs - rhs
+        constant = expr.constant
+        expr.constant = 0.0
+        # `+ 0.0` normalizes -0.0 so rendered bounds read "0", not "-0".
+        return cls(expr=expr, sense=sense, rhs=-constant + 0.0)
+
+    def satisfied(self, assignment: Mapping[int, float], tol: float = 1e-6) -> bool:
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+
+class SolveStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # incumbent found, optimality not proven
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"      # limit hit with no incumbent
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a backend solve."""
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict[int, float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    #: Backend-specific counters (nodes explored, LP iterations, ...).
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, var: Variable) -> float:
+        return self.values.get(var.index, 0.0)
+
+    def int_value(self, var: Variable) -> int:
+        return int(round(self.value(var)))
+
+    def is_one(self, var: Variable, tol: float = 1e-4) -> bool:
+        return self.value(var) > 1.0 - tol
+
+
+class Model:
+    """A minimization MILP under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._names: Dict[str, Variable] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _add_var(self, name: str, vtype: VarType, lb: float, ub: float) -> Variable:
+        if not name:
+            name = f"x{len(self.variables)}"
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r}")
+        var = Variable(len(self.variables), name, vtype, lb, ub)
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def add_binary(self, name: str = "") -> Variable:
+        return self._add_var(name, VarType.BINARY, 0.0, 1.0)
+
+    def add_integer(self, name: str = "", lb: float = 0.0,
+                    ub: float = float("inf")) -> Variable:
+        return self._add_var(name, VarType.INTEGER, lb, ub)
+
+    def add_continuous(self, name: str = "", lb: float = 0.0,
+                       ub: float = float("inf")) -> Variable:
+        return self._add_var(name, VarType.CONTINUOUS, lb, ub)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: Union[LinExpr, Variable]) -> None:
+        """Set the minimization objective."""
+        self.objective = LinExpr._as_expr(expr).copy()
+
+    def var_by_name(self, name: str) -> Variable:
+        return self._names[name]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def is_pure_binary(self) -> bool:
+        return all(v.vtype is VarType.BINARY for v in self.variables)
+
+    def check_solution(self, values: Mapping[int, float], tol: float = 1e-6) -> bool:
+        """Feasibility check of a full assignment against all rows."""
+        for var in self.variables:
+            val = values.get(var.index, 0.0)
+            if val < var.lb - tol or val > var.ub + tol:
+                return False
+            if var.vtype is not VarType.CONTINUOUS and abs(val - round(val)) > tol:
+                return False
+        return all(c.satisfied(values, tol) for c in self.constraints)
+
+    def solve(self, backend: Optional["object"] = None, **kwargs) -> SolveResult:
+        """Solve with the given backend (default: SciPy/HiGHS)."""
+        if backend is None:
+            from .scipy_backend import ScipyMilpBackend
+
+            backend = ScipyMilpBackend()
+        return backend.solve(self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Model({self.name!r}, {self.num_variables()} vars, "
+            f"{self.num_constraints()} constraints)"
+        )

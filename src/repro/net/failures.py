@@ -1,0 +1,167 @@
+"""Failure injection: link/switch failures and routing repair.
+
+Networks fail; the paper's incremental machinery (Section IV-E) exists
+precisely because routes change underneath a deployed placement.  This
+module provides the failure side of that story:
+
+* :func:`fail_link` / :func:`fail_switch` -- take elements out of a
+  topology's graph (restorable handles returned);
+* :func:`affected_ingresses` -- which deployed paths a failure breaks;
+* :func:`reroute_after_failure` -- recompute shortest paths for the
+  broken ingresses and push them through an
+  :class:`~repro.core.incremental.IncrementalDeployer`, returning the
+  per-ingress outcomes.
+
+Together with the deployer's rollback behaviour this gives the full
+operational loop: fail -> detect -> re-route -> re-place incrementally,
+never violating capacity or policy semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .routing import Path, Routing, ShortestPathRouter
+from .topology import Topology
+
+__all__ = [
+    "FailedLink",
+    "FailedSwitch",
+    "fail_link",
+    "fail_switch",
+    "restore",
+    "affected_ingresses",
+    "reroute_after_failure",
+]
+
+
+@dataclass(frozen=True)
+class FailedLink:
+    """A removed link, restorable via :func:`restore`."""
+
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class FailedSwitch:
+    """A removed switch and the links it held (for restoration)."""
+
+    name: str
+    links: Tuple[Tuple[str, str], ...]
+
+
+def fail_link(topology: Topology, a: str, b: str) -> FailedLink:
+    """Remove one link from the topology graph."""
+    if not topology.graph.has_edge(a, b):
+        raise KeyError(f"no link between {a!r} and {b!r}")
+    topology.graph.remove_edge(a, b)
+    return FailedLink(a, b)
+
+
+def fail_switch(topology: Topology, name: str) -> FailedSwitch:
+    """Take a switch out of the forwarding graph (node kept, edges cut).
+
+    The switch object remains registered (its TCAM may still hold
+    state), but no path can traverse it until restored.
+    """
+    if name not in topology:
+        raise KeyError(f"unknown switch {name!r}")
+    links = tuple((name, neighbor) for neighbor in topology.neighbors(name))
+    for _, neighbor in links:
+        topology.graph.remove_edge(name, neighbor)
+    return FailedSwitch(name, links)
+
+
+def restore(topology: Topology, failure) -> None:
+    """Undo a :func:`fail_link` or :func:`fail_switch`."""
+    if isinstance(failure, FailedLink):
+        topology.add_link(failure.a, failure.b)
+    elif isinstance(failure, FailedSwitch):
+        for a, b in failure.links:
+            topology.add_link(a, b)
+    else:
+        raise TypeError(f"unknown failure record {failure!r}")
+
+
+def _path_broken(topology: Topology, path: Path,
+                 dead_switch: Optional[str] = None) -> bool:
+    if dead_switch is not None and dead_switch in path.switches:
+        return True
+    for a, b in zip(path.switches, path.switches[1:]):
+        if not topology.graph.has_edge(a, b):
+            return True
+    return False
+
+
+def affected_ingresses(topology: Topology, routing: Routing,
+                       failure) -> List[str]:
+    """Ingresses with at least one path broken by the failure.
+
+    Call *after* applying the failure to the topology.
+    """
+    dead_switch = failure.name if isinstance(failure, FailedSwitch) else None
+    broken: Dict[str, None] = {}
+    for path in routing.all_paths():
+        if _path_broken(topology, path, dead_switch):
+            broken.setdefault(path.ingress)
+    return list(broken)
+
+
+@dataclass
+class RepairOutcome:
+    """Result of one post-failure repair run."""
+
+    rerouted: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    #: ingresses whose egress became unreachable entirely.
+    disconnected: List[str] = field(default_factory=list)
+
+    @property
+    def fully_repaired(self) -> bool:
+        return not self.failed and not self.disconnected
+
+
+def reroute_after_failure(
+    deployer,
+    topology: Topology,
+    routing: Routing,
+    failure,
+    seed: int = 0,
+) -> RepairOutcome:
+    """Recompute and redeploy paths for every ingress a failure broke.
+
+    For each affected ingress, all of its paths are recomputed on the
+    degraded topology (unbroken paths are kept as-is) and handed to
+    ``deployer.reroute_policy``.  Rollback semantics are the deployer's:
+    an infeasible re-placement leaves the previous state intact and is
+    reported in ``failed``.
+    """
+    outcome = RepairOutcome()
+    router = ShortestPathRouter(topology, seed=seed)
+    dead_switch = failure.name if isinstance(failure, FailedSwitch) else None
+    for ingress in affected_ingresses(topology, routing, failure):
+        new_paths: List[Path] = []
+        disconnected = False
+        for path in routing.paths(ingress):
+            if not _path_broken(topology, path, dead_switch):
+                new_paths.append(path)
+                continue
+            try:
+                replacement = router.shortest_path(path.ingress, path.egress)
+            except nx.NetworkXNoPath:
+                disconnected = True
+                break
+            new_paths.append(replacement.with_flow(path.flow))
+        if disconnected:
+            outcome.disconnected.append(ingress)
+            continue
+        result = deployer.reroute_policy(ingress, new_paths)
+        if result.is_feasible:
+            outcome.rerouted.append(ingress)
+        else:
+            outcome.failed.append(ingress)
+    return outcome

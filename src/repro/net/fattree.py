@@ -1,0 +1,101 @@
+"""k-ary fat-tree topology generation (Al-Fares et al. [26]).
+
+The paper's scalability experiments all run on fat-trees: for ``k``
+ports per switch the topology has
+
+* ``(k/2)^2`` core switches,
+* ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches
+  (so ``5k^2/4`` switches in total), and
+* ``k^3/4`` hosts, ``k/2`` per edge switch.
+
+Every host attachment point becomes a network entry port ``l_i``; host
+``h`` on edge switch ``e`` yields port ``e/h``.  Small ``k`` values
+(4, 6, 8) give laptop-scale stand-ins for the paper's k=8/16/32 runs
+(see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .topology import Topology
+
+__all__ = [
+    "fattree",
+    "fattree_num_switches",
+    "fattree_num_hosts",
+    "fattree_num_core",
+]
+
+
+def fattree_num_switches(k: int) -> int:
+    """``5k^2/4`` switches, per the paper / Al-Fares."""
+    return 5 * k * k // 4
+
+
+def fattree_num_hosts(k: int) -> int:
+    """``k^3/4`` hosts."""
+    return k ** 3 // 4
+
+
+def fattree_num_core(k: int) -> int:
+    return (k // 2) ** 2
+
+
+def fattree(k: int, capacity: int = 200, hosts_per_edge: Optional[int] = None) -> Topology:
+    """Build a k-ary fat-tree with uniform switch capacity.
+
+    Parameters
+    ----------
+    k:
+        Ports per switch; must be even and >= 2.
+    capacity:
+        Uniform ACL rule capacity ``C`` for every switch (the paper
+        sweeps 200 and 1000).
+    hosts_per_edge:
+        Entry ports attached to each edge switch.  Defaults to the
+        canonical ``k/2``; benchmarks may lower it to bound the number
+        of ingress policies independently of the topology size.
+
+    Naming: ``core{i}``, ``agg{pod}_{i}``, ``edge{pod}_{i}`` and entry
+    ports ``h{pod}_{edge}_{i}``.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity k must be even and >= 2, got {k}")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    if hosts_per_edge < 0:
+        raise ValueError("hosts_per_edge must be >= 0")
+
+    topo = Topology()
+
+    core_names = [f"core{i}" for i in range(half * half)]
+    for name in core_names:
+        topo.add_switch(name, capacity, layer="core")
+
+    for pod in range(k):
+        agg_names = [f"agg{pod}_{i}" for i in range(half)]
+        edge_names = [f"edge{pod}_{i}" for i in range(half)]
+        for name in agg_names:
+            topo.add_switch(name, capacity, layer="aggregation")
+        for name in edge_names:
+            topo.add_switch(name, capacity, layer="edge")
+
+        # Pod-internal full bipartite agg <-> edge wiring.
+        for agg in agg_names:
+            for edge in edge_names:
+                topo.add_link(agg, edge)
+
+        # Each aggregation switch i connects to core switches
+        # [i*half, (i+1)*half) -- the standard striping.
+        for i, agg in enumerate(agg_names):
+            for j in range(half):
+                topo.add_link(agg, core_names[i * half + j])
+
+        # Hosts on edge switches become entry ports.
+        for e, edge in enumerate(edge_names):
+            for h in range(hosts_per_edge):
+                topo.add_entry_port(f"h{pod}_{e}_{h}", edge)
+
+    return topo

@@ -1,0 +1,126 @@
+"""Additional topology generators beyond the fat-tree.
+
+The paper evaluates on fat-trees, but a placement library is only
+adoptable if it runs on whatever network the user has.  These
+generators cover the common shapes used in datacenter and enterprise
+work -- lines, rings, stars, leaf-spine (2-tier Clos), and seeded
+random graphs -- all producing the same :class:`~repro.net.topology.Topology`
+the placement engines consume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from .topology import Topology
+
+__all__ = ["line", "ring", "star", "leaf_spine", "random_graph"]
+
+
+def line(num_switches: int, capacity: int = 100,
+         hosts_per_end: int = 1) -> Topology:
+    """A chain ``s0 - s1 - ... - sN`` with entry ports on both ends.
+
+    The smallest topology where upstream-vs-downstream placement
+    matters; used heavily by tests and docs.
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology()
+    names = [f"s{i}" for i in range(num_switches)]
+    for name in names:
+        topo.add_switch(name, capacity)
+    for a, b in zip(names, names[1:]):
+        topo.add_link(a, b)
+    for h in range(hosts_per_end):
+        topo.add_entry_port(f"left{h}", names[0])
+        topo.add_entry_port(f"right{h}", names[-1])
+    return topo
+
+
+def ring(num_switches: int, capacity: int = 100) -> Topology:
+    """A cycle with one entry port per switch (metro/enterprise rings)."""
+    if num_switches < 3:
+        raise ValueError("a ring needs at least 3 switches")
+    topo = Topology()
+    names = [f"r{i}" for i in range(num_switches)]
+    for name in names:
+        topo.add_switch(name, capacity)
+    for i, name in enumerate(names):
+        topo.add_link(name, names[(i + 1) % num_switches])
+        topo.add_entry_port(f"h{i}", name)
+    return topo
+
+
+def star(num_leaves: int, capacity: int = 100) -> Topology:
+    """One hub switch with ``num_leaves`` leaf switches, one host each."""
+    if num_leaves < 1:
+        raise ValueError("need at least one leaf")
+    topo = Topology()
+    topo.add_switch("hub", capacity, layer="core")
+    for i in range(num_leaves):
+        leaf = f"leaf{i}"
+        topo.add_switch(leaf, capacity, layer="edge")
+        topo.add_link("hub", leaf)
+        topo.add_entry_port(f"h{i}", leaf)
+    return topo
+
+
+def leaf_spine(leaves: int, spines: int, capacity: int = 100,
+               hosts_per_leaf: int = 2) -> Topology:
+    """A 2-tier Clos: every leaf connects to every spine.
+
+    The dominant modern datacenter fabric; paths are leaf-spine-leaf,
+    so every inter-leaf flow has ``spines`` equal-cost routes.
+    """
+    if leaves < 1 or spines < 1:
+        raise ValueError("need at least one leaf and one spine")
+    topo = Topology()
+    for s in range(spines):
+        topo.add_switch(f"spine{s}", capacity, layer="spine")
+    for l in range(leaves):
+        leaf = f"leaf{l}"
+        topo.add_switch(leaf, capacity, layer="leaf")
+        for s in range(spines):
+            topo.add_link(leaf, f"spine{s}")
+        for h in range(hosts_per_leaf):
+            topo.add_entry_port(f"h{l}_{h}", leaf)
+    return topo
+
+
+def random_graph(num_switches: int, degree: int = 3, capacity: int = 100,
+                 hosts: Optional[int] = None, seed: int = 0) -> Topology:
+    """A connected random ``degree``-regular-ish graph with hosts spread
+    round-robin (enterprise/WAN-style irregular networks).
+
+    Uses a seeded networkx random regular graph, retrying until
+    connected (guaranteed to terminate for sensible parameters).
+    """
+    if num_switches < 2:
+        raise ValueError("need at least two switches")
+    if degree >= num_switches:
+        raise ValueError("degree must be below the switch count")
+    rng = random.Random(seed)
+    for attempt in range(100):
+        if (degree * num_switches) % 2:
+            degree += 1  # regular graphs need an even degree sum
+        graph = nx.random_regular_graph(
+            degree, num_switches, seed=rng.randint(0, 2 ** 31)
+        )
+        if nx.is_connected(graph):
+            break
+    else:  # pragma: no cover - astronomically unlikely
+        raise RuntimeError("could not generate a connected graph")
+    topo = Topology()
+    for node in range(num_switches):
+        topo.add_switch(f"n{node}", capacity)
+    for a, b in graph.edges:
+        topo.add_link(f"n{a}", f"n{b}")
+    if hosts is None:
+        hosts = num_switches
+    for h in range(hosts):
+        topo.add_entry_port(f"h{h}", f"n{h % num_switches}")
+    return topo

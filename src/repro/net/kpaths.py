@@ -1,0 +1,125 @@
+"""k-shortest-path routing (Yen's algorithm) for multipath deployments.
+
+The paper's routing module is external and may hand the placer *many*
+paths per ingress (its experiments use up to 1024).  Real traffic
+engineering often pins a flow to its k best routes; this module
+provides a from-scratch Yen's algorithm over the topology graph plus a
+convenience router emitting one ``P_i`` per ingress with the k shortest
+loop-free switch paths to each egress.
+
+Yen's algorithm is implemented directly (BFS shortest path + spur-node
+deviations with root-path filtering) rather than through
+``networkx.shortest_simple_paths`` so the repository owns its substrate;
+the networkx generator serves as the test oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .routing import Path, Routing
+from .topology import Topology
+
+__all__ = ["k_shortest_paths", "KPathRouter"]
+
+
+def _bfs_shortest(graph: nx.Graph, src: str, dst: str,
+                  banned_edges: Set[Tuple[str, str]],
+                  banned_nodes: Set[str]) -> Optional[List[str]]:
+    """Shortest src->dst path avoiding banned elements (BFS; unit
+    weights).  Deterministic tie-breaking via sorted neighbor order."""
+    if src in banned_nodes or dst in banned_nodes:
+        return None
+    parents: Dict[str, Optional[str]] = {src: None}
+    frontier = [src]
+    while frontier:
+        next_frontier: List[str] = []
+        for node in frontier:
+            for neighbor in sorted(graph.neighbors(node)):
+                if neighbor in parents or neighbor in banned_nodes:
+                    continue
+                if (node, neighbor) in banned_edges or (neighbor, node) in banned_edges:
+                    continue
+                parents[neighbor] = node
+                if neighbor == dst:
+                    path = [dst]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+    return None
+
+
+def k_shortest_paths(topology: Topology, src: str, dst: str,
+                     k: int) -> List[Tuple[str, ...]]:
+    """The k shortest loop-free switch paths between two switches.
+
+    Classic Yen: the best path via BFS, then candidate deviations that
+    ban, at each spur node, the edges used by already-accepted paths
+    sharing the same root prefix.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    graph = topology.graph
+    first = _bfs_shortest(graph, src, dst, set(), set())
+    if first is None:
+        return []
+    accepted: List[Tuple[str, ...]] = [tuple(first)]
+    candidates: List[Tuple[int, Tuple[str, ...]]] = []
+    seen: Set[Tuple[str, ...]] = {tuple(first)}
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        for spur_index in range(len(previous) - 1):
+            spur_node = previous[spur_index]
+            root = previous[: spur_index + 1]
+            banned_edges: Set[Tuple[str, str]] = set()
+            for path in accepted:
+                if tuple(path[: spur_index + 1]) == tuple(root) and len(path) > spur_index + 1:
+                    banned_edges.add((path[spur_index], path[spur_index + 1]))
+            banned_nodes = set(root[:-1])
+            spur = _bfs_shortest(graph, spur_node, dst, banned_edges, banned_nodes)
+            if spur is None:
+                continue
+            candidate = tuple(root[:-1]) + tuple(spur)
+            if candidate not in seen:
+                seen.add(candidate)
+                heapq.heappush(candidates, (len(candidate), candidate))
+        if not candidates:
+            break
+        _, best = heapq.heappop(candidates)
+        accepted.append(best)
+    return accepted
+
+
+class KPathRouter:
+    """Emit k-way multipath routings over entry-port pairs."""
+
+    def __init__(self, topology: Topology, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.topology = topology
+        self.k = k
+
+    def paths_between(self, ingress: str, egress: str) -> List[Path]:
+        src = self.topology.entry_port(ingress).switch
+        dst = self.topology.entry_port(egress).switch
+        if src == dst:
+            return [Path(ingress, egress, (src,))]
+        return [
+            Path(ingress, egress, switches)
+            for switches in k_shortest_paths(self.topology, src, dst, self.k)
+        ]
+
+    def routing(self, pairs: Sequence[Tuple[str, str]]) -> Routing:
+        """A routing with up to k paths per (ingress, egress) pair."""
+        routing = Routing()
+        for ingress, egress in pairs:
+            for path in self.paths_between(ingress, egress):
+                routing.add_path(path)
+        return routing

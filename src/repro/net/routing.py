@@ -1,0 +1,225 @@
+"""Routing substrate: path sets ``P_i`` produced by an external module.
+
+The paper assumes routing is provided by a separate SDN module and only
+consumes its output: for each ingress port ``l_i`` a set of paths
+``P_i``, each an ordered list of switches, optionally annotated with a
+*flow descriptor* -- the set of packets that follow that route (used by
+path slicing, Section IV-C).
+
+:class:`ShortestPathRouter` reproduces the evaluation setup ("a randomly
+generated shortest-path routing"): it samples ingress/egress pairs and
+picks uniformly among equal-cost shortest paths, deterministically from
+a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..policy.ternary import TernaryMatch
+from .topology import Topology
+
+__all__ = ["Path", "Routing", "ShortestPathRouter"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """One routed path ``p_{i,j}``: an ordered set of switches.
+
+    ``flow`` optionally describes the packets following this route; when
+    present, placement may *slice* the ingress policy to the rules
+    overlapping ``flow`` (paper, Fig. 6).  ``None`` means "all packets
+    of the ingress may use this path".
+    """
+
+    ingress: str
+    egress: str
+    switches: Tuple[str, ...]
+    flow: Optional[TernaryMatch] = None
+
+    def __post_init__(self) -> None:
+        if not self.switches:
+            raise ValueError("a path must traverse at least one switch")
+        if len(set(self.switches)) != len(self.switches):
+            raise ValueError(f"path visits a switch twice: {self.switches}")
+
+    def __len__(self) -> int:
+        return len(self.switches)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.switches)
+
+    def hop_of(self, switch: str) -> int:
+        """0-based hop index of ``switch`` on this path."""
+        return self.switches.index(switch)
+
+    def with_flow(self, flow: Optional[TernaryMatch]) -> "Path":
+        return Path(self.ingress, self.egress, self.switches, flow)
+
+
+class Routing:
+    """The set of all routed paths, grouped per ingress (``{P_i}``)."""
+
+    def __init__(self, paths: Iterable[Path] = ()) -> None:
+        self._by_ingress: Dict[str, List[Path]] = {}
+        for path in paths:
+            self.add_path(path)
+
+    def add_path(self, path: Path) -> None:
+        self._by_ingress.setdefault(path.ingress, []).append(path)
+
+    def remove_paths(self, ingress: str) -> List[Path]:
+        """Drop and return all paths of one ingress (route change)."""
+        return self._by_ingress.pop(ingress, [])
+
+    @property
+    def ingresses(self) -> Tuple[str, ...]:
+        return tuple(self._by_ingress)
+
+    def paths(self, ingress: str) -> Tuple[Path, ...]:
+        """``P_i``: the paths originating at ``ingress``."""
+        return tuple(self._by_ingress.get(ingress, ()))
+
+    def all_paths(self) -> List[Path]:
+        return [p for group in self._by_ingress.values() for p in group]
+
+    def num_paths(self) -> int:
+        return sum(len(group) for group in self._by_ingress.values())
+
+    def reachable_switches(self, ingress: str) -> Tuple[str, ...]:
+        """``S_i``: every switch on some path from ``ingress``.
+
+        Order is deterministic (first-seen along the path list) so the
+        ILP variable layout is stable run-to-run.
+        """
+        seen: Dict[str, None] = {}
+        for path in self._by_ingress.get(ingress, ()):
+            for switch in path.switches:
+                seen.setdefault(switch)
+        return tuple(seen)
+
+    def loc(self, switch: str, ingress: str) -> int:
+        """``loc(s_k, P_i)``: hop distance from the ingress to ``switch``.
+
+        Defined as the minimum hop index over the paths of ``P_i`` that
+        traverse the switch (0 = the ingress-attached switch itself).
+        Used by the upstream-drop objective (Section IV-A4); computable
+        at compile time, as the paper notes.
+        """
+        best: Optional[int] = None
+        for path in self._by_ingress.get(ingress, ()):
+            if switch in path.switches:
+                hop = path.hop_of(switch)
+                if best is None or hop < best:
+                    best = hop
+        if best is None:
+            raise KeyError(f"switch {switch!r} is not on any path of {ingress!r}")
+        return best
+
+    def subset(self, ingresses: Sequence[str]) -> "Routing":
+        """A routing restricted to the given ingresses (incremental use)."""
+        sub = Routing()
+        for ingress in ingresses:
+            for path in self._by_ingress.get(ingress, ()):
+                sub.add_path(path)
+        return sub
+
+    def __len__(self) -> int:
+        return self.num_paths()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Routing({self.num_paths()} paths over {len(self._by_ingress)} ingresses)"
+
+
+class ShortestPathRouter:
+    """Randomized shortest-path routing over a topology.
+
+    Reproduces the paper's evaluation routing: for sampled
+    ingress/egress port pairs, pick one shortest switch-level path
+    uniformly at random among the equal-cost alternatives.  Fully
+    deterministic given ``seed``.
+    """
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        self.topology = topology
+        self.rng = random.Random(seed)
+
+    def shortest_path(self, ingress: str, egress: str) -> Path:
+        """One uniformly-sampled shortest path between two entry ports."""
+        src = self.topology.entry_port(ingress).switch
+        dst = self.topology.entry_port(egress).switch
+        if src == dst:
+            return Path(ingress, egress, (src,))
+        switches = self._sample_shortest(src, dst)
+        return Path(ingress, egress, tuple(switches))
+
+    def _sample_shortest(self, src: str, dst: str) -> List[str]:
+        """Uniform sample among all shortest src->dst switch paths.
+
+        Walks backwards from ``dst`` over the shortest-path DAG defined
+        by BFS distances from ``src``, choosing uniformly among
+        predecessors weighted by their path counts.
+        """
+        graph = self.topology.graph
+        dist = nx.single_source_shortest_path_length(graph, src)
+        if dst not in dist:
+            raise nx.NetworkXNoPath(f"no path between {src!r} and {dst!r}")
+        # Count shortest paths from src to each node on the DAG.
+        counts: Dict[str, int] = {src: 1}
+        order = sorted((n for n in dist), key=lambda n: dist[n])
+        for node in order:
+            if node == src:
+                continue
+            total = 0
+            for nb in graph.neighbors(node):
+                if dist.get(nb, -1) == dist[node] - 1:
+                    total += counts.get(nb, 0)
+            counts[node] = total
+        # Walk back from dst sampling predecessors proportionally.
+        path = [dst]
+        node = dst
+        while node != src:
+            preds = [
+                nb for nb in graph.neighbors(node)
+                if dist.get(nb, -1) == dist[node] - 1
+            ]
+            weights = [counts[p] for p in preds]
+            node = self.rng.choices(preds, weights=weights, k=1)[0]
+            path.append(node)
+        path.reverse()
+        return path
+
+    def random_routing(
+        self,
+        num_paths: int,
+        ingresses: Optional[Sequence[str]] = None,
+        paths_per_ingress: Optional[int] = None,
+    ) -> Routing:
+        """Sample a routing with ``num_paths`` total paths.
+
+        Egresses are drawn uniformly from all other entry ports.  When
+        ``ingresses`` is given, paths are spread round-robin over them
+        (matching the paper's "p paths in the network" with one policy
+        per ingress); otherwise ingresses are sampled uniformly too.
+        """
+        ports = [p.name for p in self.topology.entry_ports]
+        if len(ports) < 2:
+            raise ValueError("need at least two entry ports to route")
+        if ingresses is None:
+            ingresses = ports
+        routing = Routing()
+        produced = 0
+        idx = 0
+        while produced < num_paths:
+            ingress = ingresses[idx % len(ingresses)]
+            idx += 1
+            egress = self.rng.choice([p for p in ports if p != ingress])
+            routing.add_path(self.shortest_path(ingress, egress))
+            produced += 1
+            if paths_per_ingress is not None and idx >= paths_per_ingress * len(ingresses):
+                break
+        return routing

@@ -1,0 +1,54 @@
+"""Firewall policy substrate: ternary matches, rules, prioritized
+policies, redundancy removal and ClassBench-style synthesis."""
+
+from .ternary import TernaryMatch, RegionSet, concat_matches
+from .rule import Action, Rule, FiveTuple, FIVE_TUPLE_WIDTH
+from .policy import Policy, PolicySet
+from .redundancy import RedundancyReport, remove_redundant_rules, find_redundant_rules
+from .classbench import (
+    PolicyGenerator,
+    PolicyGeneratorConfig,
+    generate_policy_set,
+)
+from .analysis import (
+    PolicyStats,
+    analyze_policy,
+    PolicySetStats,
+    analyze_policy_set,
+)
+from .anomalies import AnomalyKind, Anomaly, find_anomalies, anomaly_summary
+from .ranges import range_to_prefixes, RangeField, expand_rule_ranges
+from .textfmt import parse_policy, format_policy, parse_rule_line, PolicyParseError
+
+__all__ = [
+    "TernaryMatch",
+    "RegionSet",
+    "concat_matches",
+    "Action",
+    "Rule",
+    "FiveTuple",
+    "FIVE_TUPLE_WIDTH",
+    "Policy",
+    "PolicySet",
+    "RedundancyReport",
+    "remove_redundant_rules",
+    "find_redundant_rules",
+    "PolicyGenerator",
+    "PolicyGeneratorConfig",
+    "generate_policy_set",
+    "PolicyStats",
+    "analyze_policy",
+    "PolicySetStats",
+    "analyze_policy_set",
+    "AnomalyKind",
+    "Anomaly",
+    "find_anomalies",
+    "anomaly_summary",
+    "range_to_prefixes",
+    "RangeField",
+    "expand_rule_ranges",
+    "parse_policy",
+    "format_policy",
+    "parse_rule_line",
+    "PolicyParseError",
+]

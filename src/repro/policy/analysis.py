@@ -1,0 +1,118 @@
+"""Structural analysis of policies and policy sets.
+
+The placement problem's difficulty is driven by structure the raw rule
+count hides: how many PERMIT-over-DROP overlaps exist (dependency-graph
+edges, Eq. 1), how large co-location closures get, how much cross-policy
+duplication a blacklist introduces.  These metrics power the CLI report,
+guide capacity planning, and give tests a vocabulary for asserting that
+the ClassBench-style generator produces *interesting* instances rather
+than trivially disjoint ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .policy import Policy, PolicySet
+
+__all__ = ["PolicyStats", "analyze_policy", "PolicySetStats", "analyze_policy_set"]
+
+
+@dataclass(frozen=True)
+class PolicyStats:
+    """Structural metrics of one prioritized policy."""
+
+    ingress: str
+    num_rules: int
+    num_drops: int
+    num_permits: int
+    #: PERMIT-over-DROP overlap pairs == dependency-graph edges (Eq. 1).
+    dependency_edges: int
+    #: Largest co-location closure (a DROP plus its required PERMITs);
+    #: a lower bound on any hosting switch's required capacity.
+    max_closure: int
+    #: Rules that can never be first-match (candidates for removal).
+    shadowed_rules: int
+    #: Pairs of overlapping same-priority-order rules with equal action
+    #: (harmless overlaps that create no constraints).
+    benign_overlaps: int
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.num_drops / self.num_rules if self.num_rules else 0.0
+
+    @property
+    def dependency_density(self) -> float:
+        """Edges per DROP rule -- the constraint pressure of Eq. 1."""
+        return self.dependency_edges / self.num_drops if self.num_drops else 0.0
+
+
+def analyze_policy(policy: Policy) -> PolicyStats:
+    """Compute structural metrics for one policy (quadratic scan)."""
+    ordered = policy.sorted_rules()
+    dependency_edges = 0
+    benign_overlaps = 0
+    shadowed = 0
+    max_closure = 0
+    for idx, rule in enumerate(ordered):
+        covered_by_single_higher = False
+        closure = 1
+        for higher in ordered[:idx]:
+            if not higher.match.intersects(rule.match):
+                continue
+            if higher.shadows(rule):
+                covered_by_single_higher = True
+            if rule.is_drop and higher.is_permit:
+                dependency_edges += 1
+                closure += 1
+            elif higher.action is rule.action:
+                benign_overlaps += 1
+        if rule.is_drop:
+            max_closure = max(max_closure, closure)
+        if covered_by_single_higher:
+            shadowed += 1
+    return PolicyStats(
+        ingress=policy.ingress,
+        num_rules=len(policy),
+        num_drops=len(policy.drop_rules()),
+        num_permits=len(policy.permit_rules()),
+        dependency_edges=dependency_edges,
+        max_closure=max_closure,
+        shadowed_rules=shadowed,
+        benign_overlaps=benign_overlaps,
+    )
+
+
+@dataclass(frozen=True)
+class PolicySetStats:
+    """Cross-policy metrics for a distributed firewall specification."""
+
+    num_policies: int
+    total_rules: int
+    #: (match, action) classes appearing in 2+ policies, and the total
+    #: membership over those classes -- merging's raw material (IV-B).
+    mergeable_classes: int
+    mergeable_members: int
+    per_policy: Tuple[PolicyStats, ...]
+
+    @property
+    def mergeable_fraction(self) -> float:
+        """Share of all rules that belong to some cross-policy class."""
+        return self.mergeable_members / self.total_rules if self.total_rules else 0.0
+
+
+def analyze_policy_set(policies: PolicySet) -> PolicySetStats:
+    """Aggregate metrics plus per-policy breakdowns."""
+    classes: Dict[Tuple, set] = {}
+    for policy in policies:
+        for rule in policy.rules:
+            classes.setdefault((rule.match, rule.action), set()).add(policy.ingress)
+    shared = {key: members for key, members in classes.items() if len(members) >= 2}
+    return PolicySetStats(
+        num_policies=len(policies),
+        total_rules=policies.total_rules(),
+        mergeable_classes=len(shared),
+        mergeable_members=sum(len(m) for m in shared.values()),
+        per_policy=tuple(analyze_policy(p) for p in policies),
+    )

@@ -1,0 +1,107 @@
+"""Firewall policy anomaly detection (Al-Shaer & Hamed taxonomy).
+
+The paper's pipeline optionally removes redundant rules before placing
+(Fig. 4, citing [7]-[9]).  Operators usually want the fuller diagnosis
+those works build on: the classic pairwise anomaly taxonomy for
+prioritized firewalls.  For an ordered pair (higher rule ``h``, lower
+rule ``l``) with intersecting matches:
+
+* **SHADOWING** -- ``l ⊆ h`` and actions differ: ``l`` can never fire,
+  and removing it would *change* intent (likely a bug);
+* **REDUNDANCY** -- ``l ⊆ h`` and actions agree: ``l`` can never fire
+  and is safely removable;
+* **GENERALIZATION** -- ``h ⊂ l`` and actions differ: the lower rule is
+  a catch-all with exceptions above (usually intentional, flagged
+  informationally);
+* **CORRELATION** -- matches properly overlap (neither contains the
+  other) and actions differ: the relative order silently decides the
+  overlap region -- the classic misconfiguration breeding ground.
+
+Detection is exact (cube algebra).  Unlike
+:mod:`repro.policy.redundancy`, nothing is removed: this is a linting
+pass whose findings feed reports and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .policy import Policy
+from .rule import Rule
+
+__all__ = ["AnomalyKind", "Anomaly", "find_anomalies", "anomaly_summary"]
+
+
+class AnomalyKind(enum.Enum):
+    SHADOWING = "shadowing"
+    REDUNDANCY = "redundancy"
+    GENERALIZATION = "generalization"
+    CORRELATION = "correlation"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected pairwise anomaly (rules named by priority)."""
+
+    kind: AnomalyKind
+    higher_priority: int
+    lower_priority: int
+
+    def describe(self, policy: Policy) -> str:
+        higher = policy.rule_by_priority(self.higher_priority)
+        lower = policy.rule_by_priority(self.lower_priority)
+        return (
+            f"{self.kind.value}: rule t={lower.priority} "
+            f"({lower.match.to_string()} -> {lower.action}) vs higher "
+            f"t={higher.priority} ({higher.match.to_string()} -> {higher.action})"
+        )
+
+
+def _classify(higher: Rule, lower: Rule) -> Tuple[AnomalyKind, ...]:
+    """Classify one ordered overlapping pair; may be anomaly-free."""
+    same_action = higher.action is lower.action
+    lower_inside = lower.match.is_subset(higher.match)
+    higher_inside = higher.match.is_subset(lower.match)
+    if lower_inside and not higher_inside:
+        return ((AnomalyKind.REDUNDANCY,) if same_action
+                else (AnomalyKind.SHADOWING,))
+    if lower_inside and higher_inside:  # identical matches
+        return ((AnomalyKind.REDUNDANCY,) if same_action
+                else (AnomalyKind.SHADOWING,))
+    if higher_inside:
+        return (() if same_action else (AnomalyKind.GENERALIZATION,))
+    # Proper overlap.
+    return (() if same_action else (AnomalyKind.CORRELATION,))
+
+
+def find_anomalies(policy: Policy) -> List[Anomaly]:
+    """All pairwise anomalies, highest-priority pairs first.
+
+    Shadowing/redundancy are only reported against the *first* (highest)
+    covering rule to avoid cascades of duplicate findings for one
+    unmatchable rule.
+    """
+    ordered = policy.sorted_rules()
+    anomalies: List[Anomaly] = []
+    for idx, lower in enumerate(ordered):
+        covered_reported = False
+        for higher in ordered[:idx]:
+            if not higher.match.intersects(lower.match):
+                continue
+            for kind in _classify(higher, lower):
+                if kind in (AnomalyKind.SHADOWING, AnomalyKind.REDUNDANCY):
+                    if covered_reported:
+                        continue
+                    covered_reported = True
+                anomalies.append(Anomaly(kind, higher.priority, lower.priority))
+    return anomalies
+
+
+def anomaly_summary(policy: Policy) -> Dict[AnomalyKind, int]:
+    """Counts per anomaly kind (zero-filled for absent kinds)."""
+    counts = {kind: 0 for kind in AnomalyKind}
+    for anomaly in find_anomalies(policy):
+        counts[anomaly.kind] += 1
+    return counts

@@ -1,0 +1,220 @@
+"""ClassBench-style synthetic firewall policy generation.
+
+The paper's evaluation uses ClassBench [27] to generate one policy per
+network ingress.  ClassBench itself is an unavailable binary tool, so we
+reproduce the structural features the rule-placement problem actually
+exercises (see DESIGN.md, Substitutions):
+
+* 5-tuple rules (src/dst IP prefixes, ports, protocol) with the skewed
+  prefix-length distribution characteristic of real filter sets;
+* a controllable permit/drop mix and *overlap density* -- how often a
+  DROP rule sits below an overlapping PERMIT, which is exactly what
+  creates edges in the rule dependency graph (paper Eq. 1);
+* optional network-wide *blacklist* rules shared verbatim across all
+  policies, feeding the rule-merging machinery of Section IV-B;
+* full determinism from an integer seed, for reproducible benchmarks.
+
+Prefixes are drawn from a small pool of "subnets" so that distinct rules
+overlap with realistic probability instead of being almost surely
+disjoint in the 104-bit header space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .policy import Policy, PolicySet
+from .rule import Action, FiveTuple, Rule
+from .ternary import TernaryMatch
+
+__all__ = ["PolicyGeneratorConfig", "PolicyGenerator", "generate_policy_set"]
+
+# Common protocol numbers weighted roughly like real traces: TCP, UDP,
+# ICMP, then anything.
+_PROTOCOLS = [(6, 0.55), (17, 0.25), (1, 0.05), (None, 0.15)]
+_WELL_KNOWN_PORTS = [22, 25, 53, 80, 110, 123, 143, 443, 993, 3306, 5432, 8080]
+
+
+@dataclass
+class PolicyGeneratorConfig:
+    """Tunable knobs for synthetic policy generation.
+
+    The defaults produce policies similar in character to ClassBench
+    firewall (``fw``) seeds: mostly-specific destination prefixes,
+    broader sources, ~30% drop rules, and enough overlap for non-trivial
+    dependency graphs.
+    """
+
+    num_rules: int = 50
+    drop_fraction: float = 0.35
+    #: Probability that a DROP rule is generated *inside* the region of a
+    #: previously generated PERMIT rule (creating a dependency edge).
+    nested_fraction: float = 0.4
+    #: Size of the shared subnet pool rules draw their prefixes from.
+    subnet_pool: int = 12
+    #: Prefix lengths sampled for source/destination (min, max).
+    src_prefix_range: tuple[int, int] = (8, 24)
+    dst_prefix_range: tuple[int, int] = (16, 32)
+    #: Probability a port field is constrained (vs wildcard).
+    port_specific_prob: float = 0.45
+    default_action: Action = Action.PERMIT
+
+
+class PolicyGenerator:
+    """Seeded generator of ClassBench-style policies.
+
+    One generator instance owns a subnet pool, so policies produced by
+    the same instance share address structure (as tenants in one
+    datacenter would) and mergeable blacklist rules are meaningful.
+    """
+
+    def __init__(self, config: Optional[PolicyGeneratorConfig] = None,
+                 seed: int = 0) -> None:
+        self.config = config or PolicyGeneratorConfig()
+        self.rng = random.Random(seed)
+        self._subnets = [self.rng.getrandbits(32) for _ in range(self.config.subnet_pool)]
+
+    # ------------------------------------------------------------------
+    # Field-level sampling
+    # ------------------------------------------------------------------
+
+    def _ip_prefix(self, prefix_range: tuple[int, int]) -> TernaryMatch:
+        lo, hi = prefix_range
+        length = self.rng.randint(lo, hi)
+        base = self.rng.choice(self._subnets)
+        return TernaryMatch.from_prefix(32, base, length)
+
+    def _port(self) -> Optional[TernaryMatch]:
+        if self.rng.random() >= self.config.port_specific_prob:
+            return None
+        if self.rng.random() < 0.7:
+            return TernaryMatch.exact(16, self.rng.choice(_WELL_KNOWN_PORTS))
+        # Prefix-style port range (power-of-two aligned, one TCAM entry).
+        length = self.rng.randint(6, 15)
+        return TernaryMatch.from_prefix(16, self.rng.getrandbits(16), length)
+
+    def _protocol(self) -> Optional[TernaryMatch]:
+        roll = self.rng.random()
+        acc = 0.0
+        for proto, weight in _PROTOCOLS:
+            acc += weight
+            if roll < acc:
+                return None if proto is None else TernaryMatch.exact(8, proto)
+        return None
+
+    def _random_match(self) -> TernaryMatch:
+        return FiveTuple(
+            src_ip=self._ip_prefix(self.config.src_prefix_range),
+            dst_ip=self._ip_prefix(self.config.dst_prefix_range),
+            src_port=self._port(),
+            dst_port=self._port(),
+            protocol=self._protocol(),
+        ).to_match()
+
+    def _nested_match(self, parent: TernaryMatch) -> TernaryMatch:
+        """A match strictly inside ``parent`` (fix a few wildcard bits).
+
+        Used to plant DROP-under-PERMIT structure that exercises the
+        rule dependency constraint.
+        """
+        free = [b for b in range(parent.width) if not (parent.mask >> b) & 1]
+        if not free:
+            return parent
+        fix = self.rng.sample(free, k=min(len(free), self.rng.randint(1, 8)))
+        mask, value = parent.mask, parent.value
+        for b in fix:
+            mask |= 1 << b
+            if self.rng.random() < 0.5:
+                value |= 1 << b
+        return TernaryMatch(parent.width, mask, value)
+
+    # ------------------------------------------------------------------
+    # Policy-level generation
+    # ------------------------------------------------------------------
+
+    def generate_policy(self, ingress: str,
+                        num_rules: Optional[int] = None) -> Policy:
+        """Generate one prioritized policy for ``ingress``.
+
+        Rules are emitted highest priority first; priorities are
+        ``n, n-1, ..., 1`` so that later additions below are easy.
+        """
+        cfg = self.config
+        n = cfg.num_rules if num_rules is None else num_rules
+        rules: List[Rule] = []
+        permits: List[Rule] = []
+        for idx in range(n):
+            priority = n - idx
+            is_drop = self.rng.random() < cfg.drop_fraction
+            if is_drop and permits and self.rng.random() < cfg.nested_fraction:
+                parent = self.rng.choice(permits)
+                match = self._nested_match(parent.match)
+            else:
+                match = self._random_match()
+            rule = Rule(
+                match=match,
+                action=Action.DROP if is_drop else Action.PERMIT,
+                priority=priority,
+                name=f"{ingress}.r{idx}",
+            )
+            rules.append(rule)
+            if rule.is_permit:
+                permits.append(rule)
+        return Policy(ingress, rules, cfg.default_action)
+
+    def generate_blacklist(self, num_rules: int, name_prefix: str = "bl") -> List[Rule]:
+        """Network-wide blacklist DROP rules (all-ingress mergeable).
+
+        Returned with placeholder priority 0; callers insert them into
+        each policy with policy-appropriate priorities via
+        :meth:`attach_blacklist`.
+        """
+        rules = []
+        for idx in range(num_rules):
+            match = FiveTuple(
+                src_ip=self._ip_prefix((8, 20)),
+                protocol=self._protocol(),
+            ).to_match()
+            rules.append(Rule(match, Action.DROP, 0, name=f"{name_prefix}.{idx}"))
+        return rules
+
+    @staticmethod
+    def attach_blacklist(policy: Policy, blacklist: Sequence[Rule]) -> Policy:
+        """Prepend blacklist rules (highest priority) to a policy.
+
+        The blacklist rules keep their ``name`` so the merging detector
+        can recognize them as identical across policies; priorities are
+        assigned above all existing rules.
+        """
+        top = policy.next_priority_above()
+        merged_rules = list(policy.rules)
+        for offset, rule in enumerate(reversed(blacklist)):
+            merged_rules.append(rule.with_priority(top + offset))
+        return Policy(policy.ingress, merged_rules, policy.default_action)
+
+
+def generate_policy_set(
+    ingresses: Sequence[str],
+    rules_per_policy: int,
+    seed: int = 0,
+    config: Optional[PolicyGeneratorConfig] = None,
+    blacklist_rules: int = 0,
+) -> PolicySet:
+    """Generate one policy per ingress, optionally sharing a blacklist.
+
+    This mirrors the paper's experimental setup: ClassBench policies at
+    every ingress (Experiments 1, 2, 4, 5) plus ``blacklist_rules``
+    shared mergeable rules (Experiment 3 / Table II).
+    """
+    cfg = config or PolicyGeneratorConfig(num_rules=rules_per_policy)
+    generator = PolicyGenerator(cfg, seed=seed)
+    blacklist = generator.generate_blacklist(blacklist_rules) if blacklist_rules else []
+    policies = PolicySet()
+    for ingress in ingresses:
+        policy = generator.generate_policy(ingress, num_rules=rules_per_policy)
+        if blacklist:
+            policy = generator.attach_blacklist(policy, blacklist)
+        policies.add(policy)
+    return policies

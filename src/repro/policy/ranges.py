@@ -1,0 +1,130 @@
+"""Range-to-prefix expansion for TCAM rules.
+
+Real ACLs constrain port *ranges* (e.g. ``1024-65535``), but a TCAM
+slot matches one ternary pattern, which can only express power-of-two
+aligned blocks.  The standard technique expands an arbitrary integer
+range ``[lo, hi]`` into the minimal set of prefix patterns covering it
+exactly -- at most ``2w - 2`` prefixes for a ``w``-bit field.
+
+A rule whose port field is a range therefore becomes several TCAM
+entries (one per prefix).  :func:`expand_rule_ranges` performs that
+cross-product at the policy level, keeping relative priorities intact,
+so the rest of the pipeline keeps its one-pattern-per-rule model; the
+placement engines then count TCAM cost faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .policy import Policy
+from .rule import Rule
+from .ternary import TernaryMatch
+
+__all__ = ["range_to_prefixes", "RangeField", "expand_rule_ranges"]
+
+
+def range_to_prefixes(width: int, lo: int, hi: int) -> List[TernaryMatch]:
+    """The minimal exact prefix cover of ``[lo, hi]`` (inclusive).
+
+    Classic greedy construction: repeatedly take the largest aligned
+    block starting at ``lo`` that does not overshoot ``hi``.
+    """
+    if not 0 <= lo <= hi < (1 << width):
+        raise ValueError(
+            f"range [{lo}, {hi}] invalid for a {width}-bit field"
+        )
+    prefixes: List[TernaryMatch] = []
+    cursor = lo
+    while cursor <= hi:
+        # Largest power-of-two block aligned at `cursor`...
+        size = cursor & -cursor if cursor else (1 << width)
+        # ...that stays within the remaining range.
+        while cursor + size - 1 > hi:
+            size >>= 1
+        prefix_len = width - size.bit_length() + 1
+        prefixes.append(TernaryMatch.from_prefix(
+            width, cursor << 0, prefix_len
+        ))
+        cursor += size
+    return prefixes
+
+
+class RangeField:
+    """A field constrained to ``[lo, hi]`` awaiting prefix expansion."""
+
+    def __init__(self, width: int, lo: int, hi: int) -> None:
+        self.width = width
+        self.lo = lo
+        self.hi = hi
+        # Validate eagerly so bad ranges fail at construction.
+        self.prefixes = range_to_prefixes(width, lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RangeField({self.lo}-{self.hi}/{self.width}b, {len(self.prefixes)} prefixes)"
+
+
+def expand_rule_ranges(
+    policy: Policy,
+    fields: Sequence[Tuple[int, int]],
+    range_constraints: dict,
+) -> Policy:
+    """Expand range-constrained rules into prefix cross-products.
+
+    Parameters
+    ----------
+    policy:
+        The original policy; rules named in ``range_constraints`` must
+        have matches built from the given field layout.
+    fields:
+        ``(offset_from_msb, width)`` of each field in the concatenated
+        match, MSB-first (e.g. the 5-tuple layout).
+    range_constraints:
+        ``priority -> {field_index: RangeField}``.  Each constrained
+        rule is replaced by one rule per element of the cross product
+        of its fields' prefix covers; fresh fractional priorities are
+        simulated by renumbering the whole policy (order preserved).
+
+    Returns a new, semantically equivalent policy whose every rule is a
+    single TCAM pattern.
+    """
+    expanded: List[Rule] = []
+    for rule in policy.sorted_rules():  # highest priority first
+        constraints = range_constraints.get(rule.priority)
+        if not constraints:
+            expanded.append(rule)
+            continue
+        variants: List[TernaryMatch] = [rule.match]
+        for field_index, range_field in sorted(constraints.items()):
+            offset, width = fields[field_index]
+            next_variants: List[TernaryMatch] = []
+            for base in variants:
+                for prefix in range_field.prefixes:
+                    next_variants.append(
+                        _replace_field(base, offset, width, prefix)
+                    )
+            variants = next_variants
+        for i, match in enumerate(variants):
+            expanded.append(Rule(
+                match, rule.action, 0,
+                name=f"{rule.name or rule.priority}~{i}" if len(variants) > 1
+                else rule.name,
+            ))
+    # Renumber top-down: earlier in `expanded` = higher priority.
+    total = len(expanded)
+    renumbered = [
+        rule.with_priority(total - idx) for idx, rule in enumerate(expanded)
+    ]
+    return Policy(policy.ingress, renumbered, policy.default_action)
+
+
+def _replace_field(base: TernaryMatch, offset_from_msb: int, width: int,
+                   replacement: TernaryMatch) -> TernaryMatch:
+    """Overwrite one field slice of a wide ternary word."""
+    if replacement.width != width:
+        raise ValueError("replacement width mismatch")
+    shift = base.width - offset_from_msb - width
+    field_mask = ((1 << width) - 1) << shift
+    mask = (base.mask & ~field_mask) | (replacement.mask << shift)
+    value = (base.value & ~field_mask) | (replacement.value << shift)
+    return TernaryMatch(base.width, mask, value)

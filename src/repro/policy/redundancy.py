@@ -1,0 +1,126 @@
+"""Redundant-rule removal (optional first stage of the paper's Fig. 4).
+
+The paper cites all-match-based complete redundancy removal [8] and
+SAT-based firewall verification [7] as the pre-pass that strips rules
+which can never change the policy's decision.  We implement an exact
+region-based variant:
+
+* **Upward redundancy** (shadowing): a rule whose match is fully covered
+  by strictly-higher-priority rules can never be the first match.
+* **Downward redundancy**: a rule whose removal leaves every header it
+  decides with the same decision (the residual headers fall through to
+  lower-priority rules / default with an identical action).
+
+Both are detected with the exact :class:`~repro.policy.ternary.RegionSet`
+calculus, so removal provably preserves semantics; a safety re-check via
+``Policy.semantically_equal`` is available for paranoid callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .policy import Policy
+from .rule import Rule
+from .ternary import RegionSet
+
+__all__ = ["RedundancyReport", "remove_redundant_rules", "find_redundant_rules"]
+
+
+@dataclass
+class RedundancyReport:
+    """Outcome of a redundancy-removal pass."""
+
+    kept: List[Rule]
+    removed: List[Rule]
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed)
+
+
+def _first_match_region(policy: Policy, rule: Rule) -> RegionSet:
+    """Headers for which ``rule`` is the policy's first match."""
+    region = RegionSet(rule.match.width, [rule.match])
+    for other in policy.sorted_rules():
+        if other.priority <= rule.priority:
+            break
+        if other.match.intersects(rule.match):
+            region = region.subtract_cube(other.match)
+    return region
+
+
+def find_redundant_rules(policy: Policy) -> List[Rule]:
+    """Identify rules whose removal provably keeps the drop region intact.
+
+    Processed lowest-priority-first so that chains of mutually redundant
+    rules are fully collapsed: once a rule is slated for removal, later
+    checks evaluate the policy without it.
+    """
+    working = Policy(policy.ingress, list(policy.rules), policy.default_action)
+    redundant: List[Rule] = []
+    # Low priority first: removing a low rule can expose redundancy above.
+    for rule in sorted(policy.rules, key=lambda r: r.priority):
+        effective = _first_match_region(working, rule)
+        if effective.is_empty():
+            # Shadowed: never the first match.
+            working.remove_rule(rule)
+            redundant.append(rule)
+            continue
+        # Downward check: would every effective header get the same
+        # decision without this rule?
+        remaining = Policy(
+            working.ingress,
+            [r for r in working.rules if r.priority != rule.priority],
+            working.default_action,
+        )
+        same_decision = True
+        for cube in effective.cubes:
+            if not _region_decides(remaining, cube, rule):
+                same_decision = False
+                break
+        if same_decision:
+            working.remove_rule(rule)
+            redundant.append(rule)
+    return redundant
+
+
+def _region_decides(policy: Policy, cube, rule: Rule) -> bool:
+    """Would ``policy`` give ``rule.action`` to every header of ``cube``?
+
+    Exact check: split ``cube`` by the policy's first-match structure.
+    """
+    pending = [cube]
+    for other in policy.sorted_rules():
+        if not pending:
+            return True
+        next_pending = []
+        for piece in pending:
+            inter = piece.intersection(other.match)
+            if inter is None:
+                next_pending.append(piece)
+                continue
+            if other.action is not rule.action:
+                return False
+            next_pending.extend(piece.difference(other.match))
+        pending = next_pending
+    # Whatever is left falls to the default action.
+    return not pending or policy.default_action is rule.action
+
+
+def remove_redundant_rules(policy: Policy, verify: bool = False) -> Tuple[Policy, RedundancyReport]:
+    """Return a semantically-equal policy without redundant rules.
+
+    With ``verify=True`` the reduced policy is re-checked for exact
+    semantic equality against the original (exact region comparison).
+    """
+    redundant = find_redundant_rules(policy)
+    removed_priorities = {r.priority for r in redundant}
+    kept = [r for r in policy.rules if r.priority not in removed_priorities]
+    reduced = Policy(policy.ingress, kept, policy.default_action)
+    if verify and not policy.semantically_equal(reduced):
+        raise AssertionError(
+            "redundancy removal changed policy semantics; this is a bug"
+        )
+    return reduced, RedundancyReport(kept=kept, removed=redundant)

@@ -1,0 +1,409 @@
+"""Ternary match fields and the cube algebra underlying ACL rules.
+
+An OpenFlow/TCAM matching field is an array of ternary elements over
+``{0, 1, *}`` where ``*`` matches both 0 and 1 (paper, Section II-A).  A
+ternary word of width ``W`` describes a *cube*: the set of all ``W``-bit
+packet headers obtained by filling each ``*`` position freely.
+
+We represent a cube compactly with two integers:
+
+* ``mask`` -- bit ``b`` is 1 when position ``b`` is a *care* bit (0 or 1),
+  and 0 when it is a wildcard ``*``;
+* ``value`` -- the required bit values on care positions (always 0 on
+  wildcard positions, kept canonical so equality is plain tuple equality).
+
+Bit 0 is the least-significant (rightmost in string form).  All the set
+operations needed by the rule-placement formulation -- overlap tests for
+the rule dependency constraint (paper Eq. 1), subset tests for redundancy
+removal, and exact region difference for placement verification -- reduce
+to a handful of bitwise operations on these two integers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "TernaryMatch",
+    "RegionSet",
+    "concat_matches",
+]
+
+
+@dataclass(frozen=True, order=True)
+class TernaryMatch:
+    """An immutable ternary cube over ``width`` header bits.
+
+    Instances are canonical: ``value`` never has bits set outside
+    ``mask``, so two objects describe the same cube iff they compare
+    equal.  Construction validates this.
+    """
+
+    width: int
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ValueError(f"width must be non-negative, got {self.width}")
+        full = (1 << self.width) - 1
+        if self.mask & ~full:
+            raise ValueError(
+                f"mask 0x{self.mask:x} has bits outside width {self.width}"
+            )
+        if self.value & ~self.mask:
+            raise ValueError(
+                "value has bits outside mask; cube would not be canonical "
+                f"(value=0x{self.value:x}, mask=0x{self.mask:x})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, pattern: str) -> "TernaryMatch":
+        """Parse a pattern such as ``"01*1"``.
+
+        The leftmost character is the most-significant bit.  Characters
+        must be ``0``, ``1`` or ``*``.
+        """
+        mask = 0
+        value = 0
+        width = len(pattern)
+        for i, ch in enumerate(pattern):
+            bit = width - 1 - i
+            if ch == "0":
+                mask |= 1 << bit
+            elif ch == "1":
+                mask |= 1 << bit
+                value |= 1 << bit
+            elif ch == "*":
+                pass
+            else:
+                raise ValueError(f"invalid ternary character {ch!r} in {pattern!r}")
+        return cls(width, mask, value)
+
+    @classmethod
+    def wildcard(cls, width: int) -> "TernaryMatch":
+        """The cube matching every ``width``-bit header."""
+        return cls(width, 0, 0)
+
+    @classmethod
+    def exact(cls, width: int, header: int) -> "TernaryMatch":
+        """The singleton cube containing exactly ``header``."""
+        full = (1 << width) - 1
+        if header & ~full:
+            raise ValueError(f"header 0x{header:x} wider than {width} bits")
+        return cls(width, full, header)
+
+    @classmethod
+    def from_prefix(cls, width: int, prefix_bits: int, prefix_len: int) -> "TernaryMatch":
+        """An IP-style prefix cube: the top ``prefix_len`` bits are fixed.
+
+        ``prefix_bits`` supplies the fixed bits, already aligned to the
+        top of the field (i.e. ``10.0.0.0/8`` over a 32-bit field is
+        ``from_prefix(32, 0x0A000000, 8)``).
+        """
+        if not 0 <= prefix_len <= width:
+            raise ValueError(f"prefix length {prefix_len} outside [0, {width}]")
+        if prefix_len == 0:
+            return cls.wildcard(width)
+        mask = ((1 << prefix_len) - 1) << (width - prefix_len)
+        return cls(width, mask, prefix_bits & mask)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def matches(self, header: int) -> bool:
+        """True when ``header`` lies inside this cube."""
+        return (header ^ self.value) & self.mask == 0
+
+    @property
+    def num_wildcards(self) -> int:
+        """Number of ``*`` positions."""
+        return self.width - self.mask.bit_count()
+
+    def cardinality(self) -> int:
+        """Number of distinct headers this cube matches (``2**wildcards``)."""
+        return 1 << self.num_wildcards
+
+    def is_full(self) -> bool:
+        """True for the all-wildcard cube."""
+        return self.mask == 0
+
+    def is_singleton(self) -> bool:
+        """True when the cube matches exactly one header."""
+        return self.mask == (1 << self.width) - 1
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def _check_width(self, other: "TernaryMatch") -> None:
+        if self.width != other.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+
+    def intersects(self, other: "TernaryMatch") -> bool:
+        """True when the cubes share at least one header.
+
+        Two cubes are disjoint exactly when some position is a care bit
+        in both and the required values differ.
+        """
+        self._check_width(other)
+        common = self.mask & other.mask
+        return (self.value ^ other.value) & common == 0
+
+    def intersection(self, other: "TernaryMatch") -> Optional["TernaryMatch"]:
+        """The cube of headers matched by both, or ``None`` if disjoint."""
+        self._check_width(other)
+        common = self.mask & other.mask
+        if (self.value ^ other.value) & common:
+            return None
+        return TernaryMatch(self.width, self.mask | other.mask, self.value | other.value)
+
+    def is_subset(self, other: "TernaryMatch") -> bool:
+        """True when every header in ``self`` is also in ``other``.
+
+        ``self`` is contained in ``other`` iff ``other``'s care bits are
+        a subset of ``self``'s and the values agree there.
+        """
+        self._check_width(other)
+        if self.mask & other.mask != other.mask:
+            return False
+        return (self.value ^ other.value) & other.mask == 0
+
+    def difference(self, other: "TernaryMatch") -> list["TernaryMatch"]:
+        """``self`` minus ``other`` as a list of pairwise-disjoint cubes.
+
+        Uses the classic cube-splitting construction: walk the care bits
+        of ``other`` that are free or agreeing in ``self``, flipping one
+        at a time.  Returns at most ``width`` cubes.
+        """
+        self._check_width(other)
+        inter = self.intersection(other)
+        if inter is None:
+            return [self]
+        if self.is_subset(other):
+            return []
+        pieces: list[TernaryMatch] = []
+        # Progressively constrain a prefix of other's constrained-in-self-
+        # free bits to agree with `other`, flipping the next one.
+        cur_mask, cur_value = self.mask, self.value
+        for bit in range(self.width - 1, -1, -1):
+            b = 1 << bit
+            if not (other.mask & b):
+                continue  # other doesn't care: no split on this bit
+            if self.mask & b:
+                # self cares too; values must agree (else disjoint, handled).
+                continue
+            # self has * here, other requires a value: headers with the
+            # opposite value are entirely outside `other`.
+            flipped_value = (cur_value & ~b) | ((other.value & b) ^ b)
+            pieces.append(TernaryMatch(self.width, cur_mask | b, flipped_value))
+            cur_mask |= b
+            cur_value = (cur_value & ~b) | (other.value & b)
+        return pieces
+
+    def sample(self, rng: random.Random) -> int:
+        """A uniformly random header inside this cube."""
+        free = ~self.mask & ((1 << self.width) - 1)
+        header = self.value
+        bit = 1
+        for _ in range(self.width):
+            if free & bit and rng.random() < 0.5:
+                header |= bit
+            bit <<= 1
+        return header
+
+    def enumerate(self) -> Iterator[int]:
+        """Yield every header in the cube.  Only for small cubes (tests)."""
+        free_bits = [b for b in range(self.width) if not (self.mask >> b) & 1]
+        n = len(free_bits)
+        for combo in range(1 << n):
+            header = self.value
+            for i, b in enumerate(free_bits):
+                if (combo >> i) & 1:
+                    header |= 1 << b
+            yield header
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """Render as a ``{0,1,*}`` pattern, MSB first."""
+        chars = []
+        for bit in range(self.width - 1, -1, -1):
+            b = 1 << bit
+            if not (self.mask & b):
+                chars.append("*")
+            elif self.value & b:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_string()
+
+
+def concat_matches(fields: Sequence[TernaryMatch]) -> TernaryMatch:
+    """Concatenate per-field cubes into one wide cube.
+
+    ``fields[0]`` becomes the most-significant field, matching the
+    conventional rendering of 5-tuple classifiers (src IP first).
+    """
+    width = 0
+    mask = 0
+    value = 0
+    for field in fields:
+        width += field.width
+        mask = (mask << field.width) | field.mask
+        value = (value << field.width) | field.value
+    return TernaryMatch(width, mask, value)
+
+
+class RegionSet:
+    """A union of ternary cubes with exact containment/equality tests.
+
+    The placement verifier (``repro.core.verify``) compares the set of
+    headers dropped along a path against the set the ingress policy says
+    must be dropped.  Both are naturally unions of cubes, so we need a
+    small region calculus: union, membership, emptiness of difference,
+    and equality.  Cube-cover checking is done by recursive splitting,
+    which is exact (no sampling) and fast at ACL-policy sizes.
+    """
+
+    def __init__(self, width: int, cubes: Iterable[TernaryMatch] = ()) -> None:
+        self.width = width
+        self._cubes: list[TernaryMatch] = []
+        for cube in cubes:
+            self.add(cube)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cubes(self) -> tuple[TernaryMatch, ...]:
+        return tuple(self._cubes)
+
+    def add(self, cube: TernaryMatch) -> None:
+        """Add a cube to the union (absorbing cubes already covered)."""
+        if cube.width != self.width:
+            raise ValueError(f"cube width {cube.width} != region width {self.width}")
+        for existing in self._cubes:
+            if cube.is_subset(existing):
+                return
+        self._cubes = [c for c in self._cubes if not c.is_subset(cube)]
+        self._cubes.append(cube)
+
+    def contains(self, header: int) -> bool:
+        """Membership test for a single header."""
+        return any(c.matches(header) for c in self._cubes)
+
+    def is_empty(self) -> bool:
+        return not self._cubes
+
+    def covers_cube(self, cube: TernaryMatch) -> bool:
+        """Exact test: is every header of ``cube`` inside this union?
+
+        Recursive cofactoring: if no single cube covers ``cube``, split
+        ``cube`` on a care bit of some intersecting cube and recurse.
+        Terminates because each split fixes one more bit.
+        """
+        relevant = [c for c in self._cubes if c.intersects(cube)]
+        return _covers(cube, relevant)
+
+    def covers(self, other: "RegionSet") -> bool:
+        """True when ``other`` is a subset of this region."""
+        return all(self.covers_cube(c) for c in other._cubes)
+
+    def equals(self, other: "RegionSet") -> bool:
+        """Exact set equality of the two unions."""
+        return self.covers(other) and other.covers(self)
+
+    def subtract_cube(self, cube: TernaryMatch) -> "RegionSet":
+        """A new region equal to this one minus ``cube``."""
+        result = RegionSet(self.width)
+        for c in self._cubes:
+            for piece in c.difference(cube):
+                result.add(piece)
+        return result
+
+    def difference(self, other: "RegionSet") -> "RegionSet":
+        """A new region equal to this one minus ``other``."""
+        result = self
+        for cube in other._cubes:
+            result = result.subtract_cube(cube)
+        return result
+
+    def intersect_cube(self, cube: TernaryMatch) -> "RegionSet":
+        """A new region equal to this one restricted to ``cube``."""
+        result = RegionSet(self.width)
+        for c in self._cubes:
+            inter = c.intersection(cube)
+            if inter is not None:
+                result.add(inter)
+        return result
+
+    def union(self, other: "RegionSet") -> "RegionSet":
+        """A new region equal to the union of the two."""
+        result = RegionSet(self.width, self._cubes)
+        for cube in other._cubes:
+            result.add(cube)
+        return result
+
+    def sample_counterexample(self, cube: TernaryMatch, rng: random.Random,
+                              attempts: int = 64) -> Optional[int]:
+        """Try to find a header in ``cube`` but not in this region.
+
+        Randomized helper used by large-instance verification paths where
+        the exact check has already passed and we only spot-check; returns
+        ``None`` when no counterexample was found.
+        """
+        for _ in range(attempts):
+            header = cube.sample(rng)
+            if not self.contains(header):
+                return header
+        return None
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shown = ", ".join(c.to_string() for c in self._cubes[:4])
+        extra = "" if len(self._cubes) <= 4 else f", ... ({len(self._cubes)} cubes)"
+        return f"RegionSet[{shown}{extra}]"
+
+
+def _covers(target: TernaryMatch, cubes: list[TernaryMatch]) -> bool:
+    """Do ``cubes`` jointly cover every header of ``target``?"""
+    for cube in cubes:
+        if target.is_subset(cube):
+            return True
+    if not cubes:
+        return False
+    # Pick a split bit: a care bit of some cube that is free in `target`.
+    split_bit = -1
+    for cube in cubes:
+        candidates = cube.mask & ~target.mask & ((1 << target.width) - 1)
+        if candidates:
+            split_bit = candidates.bit_length() - 1
+            break
+    if split_bit < 0:
+        # Every cube is a superset-or-disjoint pattern on target's care
+        # bits only; since none contained target above, and each either
+        # contains or misses it entirely, coverage fails.
+        return False
+    b = 1 << split_bit
+    for val in (0, b):
+        half = TernaryMatch(target.width, target.mask | b, target.value | val)
+        relevant = [c for c in cubes if c.intersects(half)]
+        if not _covers(half, relevant):
+            return False
+    return True

@@ -1,0 +1,243 @@
+"""A human-readable text format for 5-tuple firewall policies.
+
+Cloud consoles and appliance configs express ACLs in words, not bit
+patterns.  This module provides a compact, diff-friendly line format
+and its exact parser/serializer, used by the CLI and handy for tests
+and docs:
+
+.. code-block:: text
+
+    # policy for ingress "tenant-a"   (comments and blanks ignored)
+    permit src 10.0.0.0/8 dst any sport any dport 443 proto tcp
+    deny   src any        dst 192.168.1.0/24 dport 22 proto tcp
+    deny   src 0.0.0.0/0  dst any
+
+Rules are written highest priority first.  Fields default to ``any``
+(fully wildcarded) and may appear in any order after the action.
+``deny``/``drop`` and ``permit``/``allow`` are synonyms.  Ports accept
+a single value (exact match); prefix/IP fields accept dotted-quad
+``a.b.c.d/len`` or ``any``; protocol accepts ``tcp``, ``udp``,
+``icmp``, or a number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .policy import Policy
+from .rule import Action, FiveTuple, Rule
+from .ternary import TernaryMatch
+
+__all__ = ["parse_policy", "format_policy", "parse_rule_line", "PolicyParseError"]
+
+_ACTIONS = {
+    "permit": Action.PERMIT,
+    "allow": Action.PERMIT,
+    "deny": Action.DROP,
+    "drop": Action.DROP,
+}
+_PROTO_NAMES = {"tcp": 6, "udp": 17, "icmp": 1}
+_PROTO_NUMBERS = {number: name for name, number in _PROTO_NAMES.items()}
+_FIELD_KEYS = ("src", "dst", "sport", "dport", "proto")
+
+
+class PolicyParseError(ValueError):
+    """A malformed policy line, with its line number when available."""
+
+
+def _parse_pattern(token: str, width: int) -> TernaryMatch:
+    """Parse an explicit ``pattern:<bits>`` escape (exact round-trip of
+    fields the friendly syntax cannot express)."""
+    bits = token[len("pattern:"):]
+    if len(bits) != width:
+        raise PolicyParseError(
+            f"pattern {bits!r} must be exactly {width} bits"
+        )
+    try:
+        return TernaryMatch.from_string(bits)
+    except ValueError as error:
+        raise PolicyParseError(str(error))
+
+
+def _parse_ip_prefix(token: str) -> Optional[TernaryMatch]:
+    if token == "any":
+        return None
+    if token.startswith("pattern:"):
+        return _parse_pattern(token, 32)
+    if "/" in token:
+        address, _, length_text = token.partition("/")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise PolicyParseError(f"bad prefix length in {token!r}")
+    else:
+        address, length = token, 32
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise PolicyParseError(f"bad IPv4 address {token!r}")
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError:
+        raise PolicyParseError(f"bad IPv4 address {token!r}")
+    if any(not 0 <= o <= 255 for o in octets):
+        raise PolicyParseError(f"bad IPv4 address {token!r}")
+    if not 0 <= length <= 32:
+        raise PolicyParseError(f"bad prefix length in {token!r}")
+    bits = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+    return TernaryMatch.from_prefix(32, bits, length)
+
+
+def _parse_port(token: str) -> Optional[TernaryMatch]:
+    if token == "any":
+        return None
+    if token.startswith("pattern:"):
+        return _parse_pattern(token, 16)
+    try:
+        port = int(token)
+    except ValueError:
+        raise PolicyParseError(f"bad port {token!r}")
+    if not 0 <= port <= 65535:
+        raise PolicyParseError(f"port {port} out of range")
+    return TernaryMatch.exact(16, port)
+
+
+def _parse_proto(token: str) -> Optional[TernaryMatch]:
+    if token == "any":
+        return None
+    if token.startswith("pattern:"):
+        return _parse_pattern(token, 8)
+    if token in _PROTO_NAMES:
+        return TernaryMatch.exact(8, _PROTO_NAMES[token])
+    try:
+        number = int(token)
+    except ValueError:
+        raise PolicyParseError(f"unknown protocol {token!r}")
+    if not 0 <= number <= 255:
+        raise PolicyParseError(f"protocol {number} out of range")
+    return TernaryMatch.exact(8, number)
+
+
+_FIELD_PARSERS = {
+    "src": _parse_ip_prefix,
+    "dst": _parse_ip_prefix,
+    "sport": _parse_port,
+    "dport": _parse_port,
+    "proto": _parse_proto,
+}
+
+
+def parse_rule_line(line: str, priority: int, name: str = "") -> Rule:
+    """Parse one ``action key value ...`` line into a Rule."""
+    tokens = line.split()
+    if not tokens:
+        raise PolicyParseError("empty rule line")
+    action_token = tokens[0].lower()
+    if action_token not in _ACTIONS:
+        raise PolicyParseError(f"unknown action {tokens[0]!r}")
+    action = _ACTIONS[action_token]
+    fields: Dict[str, Optional[TernaryMatch]] = {}
+    rest = tokens[1:]
+    if len(rest) % 2:
+        raise PolicyParseError(f"dangling token in {line!r}")
+    for key_token, value_token in zip(rest[::2], rest[1::2]):
+        key = key_token.lower()
+        if key not in _FIELD_PARSERS:
+            raise PolicyParseError(f"unknown field {key_token!r}")
+        if key in fields:
+            raise PolicyParseError(f"duplicate field {key_token!r}")
+        fields[key] = _FIELD_PARSERS[key](value_token.lower())
+    match = FiveTuple(
+        src_ip=fields.get("src"),
+        dst_ip=fields.get("dst"),
+        src_port=fields.get("sport"),
+        dst_port=fields.get("dport"),
+        protocol=fields.get("proto"),
+    ).to_match()
+    return Rule(match, action, priority, name)
+
+
+def parse_policy(text: str, ingress: str,
+                 default_action: Action = Action.PERMIT) -> Policy:
+    """Parse a whole policy; first rule = highest priority."""
+    lines = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped:
+            lines.append((lineno, stripped))
+    rules: List[Rule] = []
+    total = len(lines)
+    for index, (lineno, line) in enumerate(lines):
+        try:
+            rules.append(parse_rule_line(
+                line, priority=total - index, name=f"{ingress}.L{lineno}"
+            ))
+        except PolicyParseError as error:
+            raise PolicyParseError(f"line {lineno}: {error}") from None
+    return Policy(ingress, rules, default_action)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def _slice_field(match: TernaryMatch, offset: int, width: int) -> TernaryMatch:
+    shift = match.width - offset - width
+    sub_mask = (match.mask >> shift) & ((1 << width) - 1)
+    sub_value = (match.value >> shift) & ((1 << width) - 1)
+    return TernaryMatch(width, sub_mask, sub_value)
+
+
+def _format_ip(field: TernaryMatch) -> Optional[str]:
+    if field.is_full():
+        return None
+    # Only contiguous prefixes are expressible; fall back to pattern.
+    length = field.mask.bit_count()
+    expected = ((1 << length) - 1) << (32 - length) if length else 0
+    if field.mask != expected:
+        return f"pattern:{field.to_string()}"
+    value = field.value
+    octets = [(value >> 24) & 255, (value >> 16) & 255,
+              (value >> 8) & 255, value & 255]
+    return f"{octets[0]}.{octets[1]}.{octets[2]}.{octets[3]}/{length}"
+
+
+def _format_port(field: TernaryMatch) -> Optional[str]:
+    if field.is_full():
+        return None
+    if field.is_singleton():
+        return str(field.value)
+    return f"pattern:{field.to_string()}"
+
+
+def _format_proto(field: TernaryMatch) -> Optional[str]:
+    if field.is_full():
+        return None
+    if field.is_singleton():
+        return _PROTO_NUMBERS.get(field.value, str(field.value))
+    return f"pattern:{field.to_string()}"
+
+
+def format_policy(policy: Policy) -> str:
+    """Serialize a 5-tuple policy back to the text format.
+
+    Fields the friendly syntax cannot express (non-prefix IP masks,
+    port-range patterns) render as the explicit ``pattern:<bits>``
+    escape, which the parser also accepts -- serialization therefore
+    round-trips every policy exactly.
+    """
+    lines = [f"# policy for ingress {policy.ingress!r}"]
+    offsets = {"src": (0, 32), "dst": (32, 32), "sport": (64, 16),
+               "dport": (80, 16), "proto": (96, 8)}
+    formatters = {"src": _format_ip, "dst": _format_ip,
+                  "sport": _format_port, "dport": _format_port,
+                  "proto": _format_proto}
+    for rule in policy.sorted_rules():
+        action = "permit" if rule.is_permit else "deny"
+        parts = [f"{action:<6}"]
+        for key in _FIELD_KEYS:
+            offset, width = offsets[key]
+            rendered = formatters[key](_slice_field(rule.match, offset, width))
+            if rendered is not None:
+                parts.append(f"{key} {rendered}")
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"

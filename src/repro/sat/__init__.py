@@ -1,0 +1,22 @@
+"""SAT substrate: CNF, a from-scratch CDCL solver, and cardinality /
+pseudo-Boolean encodings (the paper's Section IV-D engine)."""
+
+from .cnf import CNF
+from .cdcl import SatStatus, SatResult, CdclSolver, solve_cnf
+from .card import at_most_k, at_least_k, exactly_k
+from .pb import PBTerm, pb_le, pb_ge, pb_eq
+
+__all__ = [
+    "CNF",
+    "SatStatus",
+    "SatResult",
+    "CdclSolver",
+    "solve_cnf",
+    "at_most_k",
+    "at_least_k",
+    "exactly_k",
+    "PBTerm",
+    "pb_le",
+    "pb_ge",
+    "pb_eq",
+]

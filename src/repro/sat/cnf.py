@@ -1,0 +1,108 @@
+"""CNF formulas with DIMACS-style signed-integer literals.
+
+Variables are positive integers ``1..n``; a literal is ``+v`` or ``-v``.
+This is the input language of the CDCL solver and the target of the
+cardinality / pseudo-Boolean encodings used for the paper's
+satisfiability formulation (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A growable CNF formula plus a variable-name registry."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+        self._names: Dict[str, int] = {}
+        self._by_var: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def new_var(self, name: str = "") -> int:
+        """Allocate a fresh variable, optionally registering a name."""
+        self.num_vars += 1
+        var = self.num_vars
+        if name:
+            if name in self._names:
+                raise ValueError(f"duplicate variable name {name!r}")
+            self._names[name] = var
+            self._by_var[var] = name
+        return var
+
+    def var(self, name: str) -> int:
+        return self._names[name]
+
+    def name_of(self, var: int) -> Optional[str]:
+        return self._by_var.get(var)
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; validates literals and drops duplicates.
+
+        A clause containing both ``l`` and ``-l`` is a tautology and is
+        skipped.  An empty clause makes the formula trivially UNSAT and
+        is kept so the solver reports it.
+        """
+        seen: set[int] = set()
+        clause: List[int] = []
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range (n={self.num_vars})")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        self.clauses.append(tuple(clause))
+
+    def add_implication(self, antecedent: int, consequent: int) -> None:
+        """``antecedent -> consequent`` (paper Eq. 6 shape)."""
+        self.add_clause([-antecedent, consequent])
+
+    def add_at_least_one(self, literals: Sequence[int]) -> None:
+        """``l1 | l2 | ... `` (paper Eq. 7 shape)."""
+        self.add_clause(literals)
+
+    def add_equivalence_and(self, target: int, conjuncts: Sequence[int]) -> None:
+        """``target <-> AND(conjuncts)`` (paper Eq. 8 shape)."""
+        for lit in conjuncts:
+            self.add_clause([-target, lit])
+        self.add_clause([target] + [-lit for lit in conjuncts])
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Does a (total) assignment satisfy every clause?"""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Standard DIMACS text, for portability/debugging."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF({self.num_vars} vars, {len(self.clauses)} clauses)"

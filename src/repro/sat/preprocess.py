@@ -1,0 +1,133 @@
+"""CNF preprocessing: unit propagation and pure-literal elimination.
+
+The placement encodings contain many unit clauses (incremental pins)
+and one-sided variables (auxiliary counter bits appearing with one
+polarity).  Running the textbook simplifications once before CDCL
+shrinks the formula and, more importantly for correctness tooling,
+yields a *model-completion* recipe: a model of the simplified formula
+extends to the original by replaying the eliminated assignments.
+
+Satisfiability is preserved exactly; tests cross-check against the
+unpreprocessed solver on random formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cnf import CNF
+
+__all__ = ["PreprocessResult", "preprocess", "extend_model"]
+
+
+@dataclass
+class PreprocessResult:
+    """A simplified CNF plus the bookkeeping to extend its models."""
+
+    cnf: Optional[CNF]                     # None when UNSAT was proven
+    #: var -> value for variables decided during preprocessing.
+    assigned: Dict[int, bool] = field(default_factory=dict)
+    #: variables eliminated as pure, with the satisfying polarity.
+    pure: Dict[int, bool] = field(default_factory=dict)
+    unsat: bool = False
+    clauses_removed: int = 0
+    #: original variable count (simplified CNF keeps the numbering).
+    num_vars: int = 0
+
+
+def preprocess(cnf: CNF) -> PreprocessResult:
+    """Apply unit propagation + pure-literal elimination to fixpoint."""
+    result = PreprocessResult(cnf=None, num_vars=cnf.num_vars)
+    clauses: List[Tuple[int, ...]] = list(cnf.clauses)
+    assigned: Dict[int, bool] = {}
+    pure: Dict[int, bool] = {}
+
+    def value_of(lit: int) -> Optional[bool]:
+        var = abs(lit)
+        if var in assigned:
+            return assigned[var] == (lit > 0)
+        if var in pure:
+            return pure[var] == (lit > 0)
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+
+        # --- unit propagation --------------------------------------------
+        simplified: List[Tuple[int, ...]] = []
+        for clause in clauses:
+            keep: List[int] = []
+            satisfied = False
+            for lit in clause:
+                val = value_of(lit)
+                if val is True:
+                    satisfied = True
+                    break
+                if val is None:
+                    keep.append(lit)
+            if satisfied:
+                changed = True
+                continue
+            if not keep:
+                result.unsat = True
+                result.assigned = assigned
+                result.pure = pure
+                return result
+            if len(keep) == 1:
+                lit = keep[0]
+                assigned[abs(lit)] = lit > 0
+                changed = True
+                continue
+            if len(keep) != len(clause):
+                changed = True
+            simplified.append(tuple(keep))
+        clauses = simplified
+
+        # --- pure literals -------------------------------------------------
+        # Only variables with no value yet are candidates: a variable
+        # assigned by unit propagation earlier in this same iteration
+        # may still appear in not-yet-resimplified clauses, and treating
+        # it as pure would contradict the assignment.
+        polarity: Dict[int, Set[bool]] = {}
+        for clause in clauses:
+            for lit in clause:
+                var = abs(lit)
+                if var in assigned or var in pure:
+                    continue
+                polarity.setdefault(var, set()).add(lit > 0)
+        new_pure = {
+            var: next(iter(signs)) for var, signs in polarity.items()
+            if len(signs) == 1
+        }
+        if new_pure:
+            changed = True
+            pure.update(new_pure)
+            clauses = [
+                clause for clause in clauses
+                if not any(abs(lit) in new_pure for lit in clause)
+            ]
+
+    out = CNF()
+    out.num_vars = cnf.num_vars
+    out.clauses = clauses
+    result.cnf = out
+    result.assigned = assigned
+    result.pure = pure
+    result.clauses_removed = len(cnf.clauses) - len(clauses)
+    return result
+
+
+def extend_model(result: PreprocessResult,
+                 model: Dict[int, bool]) -> Dict[int, bool]:
+    """Extend a simplified-formula model to the original variables.
+
+    Preprocessing-decided variables take their forced/pure values;
+    variables absent everywhere default to False.
+    """
+    full = {var: False for var in range(1, result.num_vars + 1)}
+    full.update(model)
+    full.update(result.pure)
+    full.update(result.assigned)
+    return full

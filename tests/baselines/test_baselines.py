@@ -1,0 +1,110 @@
+"""Tests for the baseline placement strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    place_all_at_ingress,
+    place_greedy,
+    place_replicated,
+    replication_rule_count,
+)
+from repro.core.instance import PlacementInstance
+from repro.core.placement import RulePlacer
+from repro.core.verify import verify_placement
+from repro.milp.model import SolveStatus
+from repro.net.fattree import fattree
+from repro.net.routing import ShortestPathRouter
+from repro.policy.classbench import generate_policy_set
+
+
+@pytest.fixture
+def small_instance():
+    topo = fattree(4, capacity=60)
+    ports = [p.name for p in topo.entry_ports]
+    ingresses = ports[:4]
+    router = ShortestPathRouter(topo, seed=2)
+    routing = router.random_routing(8, ingresses=ingresses)
+    policies = generate_policy_set(ingresses, rules_per_policy=12, seed=2)
+    return PlacementInstance(topo, routing, policies)
+
+
+class TestIngressBaseline:
+    def test_feasible_and_verified(self, small_instance):
+        placement = place_all_at_ingress(small_instance)
+        assert placement.status is SolveStatus.FEASIBLE
+        assert verify_placement(placement).ok
+        # Everything sits on the ingress-attached (edge) switches.
+        for key, switches in placement.placed.items():
+            assert len(switches) == 1
+            (switch,) = switches
+            assert small_instance.topology.switch(switch).layer == "edge"
+
+    def test_zero_overhead(self, small_instance):
+        placement = place_all_at_ingress(small_instance)
+        assert placement.duplication_overhead() == pytest.approx(0.0)
+
+    def test_infeasible_under_tight_capacity(self, small_instance):
+        small_instance.topology.set_uniform_capacity(2)
+        instance = PlacementInstance(
+            small_instance.topology, small_instance.routing,
+            small_instance.policies,
+        )
+        placement = place_all_at_ingress(instance)
+        assert placement.status is SolveStatus.INFEASIBLE
+
+    def test_matches_ilp_when_unconstrained(self, small_instance):
+        """With ample capacity, all-at-ingress is optimal (the paper:
+        the ILP does not preclude the greedy solution)."""
+        ilp = RulePlacer().place(small_instance)
+        ingress = place_all_at_ingress(small_instance)
+        assert ilp.total_installed() == ingress.total_installed()
+
+
+class TestGreedyBaseline:
+    def test_feasible_and_verified(self, small_instance):
+        placement = place_greedy(small_instance)
+        assert placement.status is SolveStatus.FEASIBLE
+        assert verify_placement(placement).ok
+
+    def test_never_beats_ilp(self, small_instance):
+        ilp = RulePlacer().place(small_instance)
+        greedy = place_greedy(small_instance)
+        assert greedy.total_installed() >= ilp.total_installed()
+
+    def test_infeasible_when_capacity_zero(self, small_instance):
+        small_instance.topology.set_uniform_capacity(0)
+        instance = PlacementInstance(
+            small_instance.topology, small_instance.routing,
+            small_instance.policies,
+        )
+        assert place_greedy(instance).status is SolveStatus.INFEASIBLE
+
+
+class TestReplicateBaseline:
+    def test_counts_match_analytic_bound(self, small_instance):
+        placement = place_replicated(small_instance)
+        assert placement.status is SolveStatus.FEASIBLE
+        copies = placement.solver_stats["copies_installed"]
+        assert copies == replication_rule_count(small_instance)
+
+    def test_strictly_worse_than_ilp(self, small_instance):
+        """The Section V claim: the ILP's total is a small fraction of
+        the p x r replication cost."""
+        ilp = RulePlacer().place(small_instance)
+        replicated = place_replicated(small_instance)
+        assert ilp.total_installed() < replicated.solver_stats["copies_installed"]
+
+    def test_semantics_still_correct(self, small_instance):
+        """Replication is wasteful, not wrong."""
+        placement = place_replicated(small_instance)
+        assert verify_placement(placement).ok
+
+    def test_infeasible_when_nothing_fits(self, small_instance):
+        small_instance.topology.set_uniform_capacity(1)
+        instance = PlacementInstance(
+            small_instance.topology, small_instance.routing,
+            small_instance.policies,
+        )
+        assert place_replicated(instance).status is SolveStatus.INFEASIBLE

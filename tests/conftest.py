@@ -1,0 +1,84 @@
+"""Shared fixtures: small hand-built topologies and policies.
+
+``figure3_*`` fixtures reconstruct the paper's Fig. 3 worked example:
+a five-switch network with one ingress (l1) and two egresses (l2, l3),
+paths s1-s2-s3 and s1-s2-s4-s5, and a three-rule policy attached to l1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def make_rule(pattern: str, action: Action, priority: int, name: str = "") -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority, name)
+
+
+@pytest.fixture
+def figure3_topology() -> Topology:
+    topo = Topology()
+    for name in ("s1", "s2", "s3", "s4", "s5"):
+        topo.add_switch(name, capacity=2)
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("s2", "s4")
+    topo.add_link("s4", "s5")
+    topo.add_entry_port("l1", "s1")
+    topo.add_entry_port("l2", "s3")
+    topo.add_entry_port("l3", "s5")
+    return topo
+
+
+@pytest.fixture
+def figure3_routing() -> Routing:
+    return Routing([
+        Path("l1", "l2", ("s1", "s2", "s3")),
+        Path("l1", "l3", ("s1", "s2", "s4", "s5")),
+    ])
+
+
+@pytest.fixture
+def figure3_policy() -> Policy:
+    """Three prioritized rules: permit over two overlapping drops.
+
+    r11 (highest): PERMIT 1*** ; r12: DROP 1*0* (overlaps r11);
+    r13 (lowest): DROP 0***.
+    """
+    return Policy("l1", [
+        make_rule("1***", Action.PERMIT, 3, "r11"),
+        make_rule("1*0*", Action.DROP, 2, "r12"),
+        make_rule("0***", Action.DROP, 1, "r13"),
+    ])
+
+
+@pytest.fixture
+def figure3_instance(figure3_topology, figure3_routing, figure3_policy
+                     ) -> PlacementInstance:
+    return PlacementInstance(
+        figure3_topology, figure3_routing, PolicySet([figure3_policy])
+    )
+
+
+@pytest.fixture
+def line_topology() -> Topology:
+    """A 3-switch line with one ingress and one egress, capacity 10."""
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_switch(name, capacity=10)
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    topo.add_entry_port("in", "a")
+    topo.add_entry_port("out", "c")
+    return topo
+
+
+@pytest.fixture
+def line_routing() -> Routing:
+    return Routing([Path("in", "out", ("a", "b", "c"))])

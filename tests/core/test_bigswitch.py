@@ -1,0 +1,100 @@
+"""Tests for the Big Switch abstraction and refinement checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bigswitch import BigSwitch, check_refinement
+from repro.core.instance import PlacementInstance
+from repro.core.placement import Placement, RulePlacer
+from repro.milp.model import SolveStatus
+from repro.net.routing import Path, Routing
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+@pytest.fixture
+def spec(figure3_policy, figure3_routing):
+    return BigSwitch(PolicySet([figure3_policy]), figure3_routing)
+
+
+class TestSpecSemantics:
+    def test_evaluate(self, spec):
+        assert spec.evaluate("l1", 0b1000) is Action.PERMIT   # 1*** permit
+        assert spec.evaluate("l1", 0b0101) is Action.DROP     # 0*** drop
+
+    def test_egresses_of_permitted(self, spec):
+        egresses = spec.egresses_of("l1", 0b1111)
+        assert set(egresses) == {"l2", "l3"}
+
+    def test_egresses_of_dropped_is_empty(self, spec):
+        assert spec.egresses_of("l1", 0b0000) == ()
+
+    def test_flow_descriptors_restrict_egresses(self, figure3_policy):
+        routing = Routing([
+            Path("l1", "l2", ("s1", "s2", "s3"),
+                 flow=TernaryMatch.from_string("1***")),
+            Path("l1", "l3", ("s1", "s2", "s4", "s5"),
+                 flow=TernaryMatch.from_string("11**")),
+        ])
+        spec = BigSwitch(PolicySet([figure3_policy]), routing)
+        assert spec.egresses_of("l1", 0b1011) == ("l2",)
+        assert set(spec.egresses_of("l1", 0b1100)) == {"l2", "l3"}
+
+    def test_drop_region_matches_policy(self, spec, figure3_policy):
+        assert spec.drop_region("l1").equals(figure3_policy.drop_region())
+
+    def test_describe(self, spec):
+        text = spec.describe()
+        assert "1 ingress policies" in text and "2 paths" in text
+
+
+class TestRefinement:
+    def test_solver_output_refines_spec(self, spec, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        report = check_refinement(spec, figure3_instance, placement,
+                                  simulate=True)
+        assert report.ok, report.errors
+
+    def test_mismatched_ingresses_rejected(self, spec, figure3_topology,
+                                           figure3_routing):
+        other_policies = PolicySet([Policy("somewhere_else")])
+        instance = PlacementInstance(
+            figure3_topology, figure3_routing, other_policies
+        )
+        placement = Placement(instance, SolveStatus.FEASIBLE)
+        report = check_refinement(spec, instance, placement)
+        assert not report.ok
+        assert "ingresses" in report.errors[0]
+
+    def test_divergent_policy_rejected(self, spec, figure3_topology,
+                                       figure3_routing):
+        different = Policy("l1", [
+            Rule(TernaryMatch.from_string("****"), Action.DROP, 1),
+        ])
+        instance = PlacementInstance(
+            figure3_topology, figure3_routing, PolicySet([different])
+        )
+        placement = RulePlacer().place(instance)
+        report = check_refinement(spec, instance, placement)
+        assert not report.ok
+        assert any("differs" in e for e in report.errors)
+
+    def test_semantically_equal_policy_accepted(self, figure3_topology,
+                                                figure3_routing,
+                                                figure3_policy):
+        """A different-but-equivalent policy object is a valid spec
+        pairing (refinement is semantic, not syntactic)."""
+        # Same rules, plus a redundant shadowed duplicate.
+        clone_rules = list(figure3_policy.rules) + [
+            Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 0),
+        ]
+        clone = Policy("l1", clone_rules)
+        spec = BigSwitch(PolicySet([clone]), figure3_routing)
+        instance = PlacementInstance(
+            figure3_topology, figure3_routing, PolicySet([figure3_policy])
+        )
+        placement = RulePlacer().place(instance)
+        report = check_refinement(spec, instance, placement)
+        assert report.ok, report.errors

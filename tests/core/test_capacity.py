@@ -1,0 +1,88 @@
+"""Tests for capacity planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import layer_requirements, min_uniform_capacity
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.experiments import ExperimentConfig, build_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=24, rules_per_policy=15, capacity=100,
+        num_ingresses=8, seed=6, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+
+
+class TestMinUniformCapacity:
+    def test_tightness(self, instance):
+        """The reported minimum is feasible; one less is not."""
+        plan = min_uniform_capacity(instance, hi=100)
+        assert plan.found
+        c = plan.minimum_capacity
+        assert plan.placement.is_feasible
+
+        below = RulePlacer().place(PlacementInstance(
+            instance.topology, instance.routing, instance.policies,
+            {name: c - 1 for name in instance.capacities},
+        ))
+        assert not below.is_feasible
+
+        at = RulePlacer().place(PlacementInstance(
+            instance.topology, instance.routing, instance.policies,
+            {name: c for name in instance.capacities},
+        ))
+        assert at.is_feasible
+
+    def test_unreachable_interval(self, instance):
+        plan = min_uniform_capacity(instance, hi=1)
+        assert not plan.found
+        assert plan.minimum_capacity is None
+
+    def test_merging_never_needs_more(self, instance):
+        """Merging only relaxes capacity pressure."""
+        from repro.experiments import build_instance as bi
+
+        shared = build_instance(ExperimentConfig(
+            k=4, num_paths=16, rules_per_policy=10, capacity=100,
+            num_ingresses=6, seed=6, blacklist_rules=3,
+        ))
+        plain = min_uniform_capacity(shared, hi=80)
+        merged = min_uniform_capacity(shared, hi=80, enable_merging=True)
+        assert plain.found and merged.found
+        assert merged.minimum_capacity <= plain.minimum_capacity
+
+    def test_history_brackets(self, instance):
+        plan = min_uniform_capacity(instance, hi=100)
+        for capacity, feasible in plan.history:
+            if feasible:
+                assert capacity >= plan.minimum_capacity
+            else:
+                assert capacity < plan.minimum_capacity
+
+    def test_probe_count_logarithmic(self, instance):
+        plan = min_uniform_capacity(instance, hi=100)
+        assert plan.probes <= 9  # 1 + ceil(log2(101))
+
+    def test_invalid_interval(self, instance):
+        with pytest.raises(ValueError):
+            min_uniform_capacity(instance, hi=5, lo=10)
+
+
+class TestLayerRequirements:
+    def test_layers_reported(self, instance):
+        placement = RulePlacer().place(instance)
+        profile = layer_requirements(placement)
+        assert set(profile) <= {"edge", "aggregation", "core"}
+        loads = placement.switch_loads()
+        assert max(profile.values()) == max(loads.values())
+
+    def test_edge_binds_for_ingress_heavy_workloads(self, instance):
+        """With ample capacity, rules sit at the ingress edge."""
+        placement = RulePlacer().place(instance)
+        profile = layer_requirements(placement)
+        assert profile.get("edge", 0) >= profile.get("core", 0)

@@ -1,0 +1,150 @@
+"""Tests for the simulated SDN controller (live table updates)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.instance import PlacementInstance
+from repro.core.objectives import UpstreamDrops
+from repro.core.placement import Placement, PlacerConfig, RulePlacer
+from repro.dataplane.simulator import Verdict
+from repro.experiments import ExperimentConfig, build_instance
+from repro.milp.model import SolveStatus
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=16, rules_per_policy=10, capacity=30,
+        num_ingresses=6, seed=8, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+
+
+@pytest.fixture(scope="module")
+def placements(instance):
+    a = RulePlacer().place(instance)
+    b = RulePlacer(PlacerConfig(objective=UpstreamDrops())).place(instance)
+    assert a.is_feasible and b.is_feasible
+    return a, b
+
+
+def conformance_errors(controller, instance, seed=0):
+    return controller.dataplane.check_routing_sampled(
+        list(instance.policies), instance.routing, seed=seed,
+        samples_per_rule=6,
+    )
+
+
+class TestDeploy:
+    def test_deploy_builds_conformant_dataplane(self, instance, placements):
+        a, _ = placements
+        controller = Controller(instance)
+        controller.deploy(a)
+        assert controller.total_entries() == a.total_installed()
+        assert conformance_errors(controller, instance) == []
+        assert controller.stats.installs_sent == a.total_installed()
+
+    def test_deploy_rejects_infeasible(self, instance):
+        controller = Controller(instance)
+        with pytest.raises(ValueError):
+            controller.deploy(Placement(instance, SolveStatus.INFEASIBLE))
+
+    def test_transition_requires_deploy(self, instance, placements):
+        a, _ = placements
+        with pytest.raises(RuntimeError):
+            Controller(instance).transition(a)
+
+
+class TestTransition:
+    def test_transition_reaches_target(self, instance, placements):
+        a, b = placements
+        controller = Controller(instance)
+        controller.deploy(a)
+        plan = controller.transition(b)
+        assert controller.total_entries() == b.total_installed()
+        assert conformance_errors(controller, instance) == []
+        assert controller.stats.transitions == 1
+        assert controller.stats.deletes_sent >= plan.num_deletes()
+
+    def test_round_trip_transitions(self, instance, placements):
+        a, b = placements
+        controller = Controller(instance)
+        controller.deploy(a)
+        controller.transition(b)
+        controller.transition(a)
+        assert controller.total_entries() == a.total_installed()
+        assert conformance_errors(controller, instance) == []
+
+    def test_identity_transition_is_free(self, instance, placements):
+        a, _ = placements
+        controller = Controller(instance)
+        controller.deploy(a)
+        sent_before = controller.stats.messages()
+        plan = controller.transition(a)
+        assert len(plan) == 0
+        assert controller.stats.messages() == sent_before
+
+    def test_policy_update_transition(self, instance):
+        """Transition across *instances*: one policy replaced."""
+        from repro.policy.classbench import generate_policy_set
+        from repro.policy.policy import PolicySet
+
+        base = RulePlacer().place(instance)
+        target_ingress = next(iter(instance.policies)).ingress
+        new_policy = generate_policy_set(
+            [target_ingress], rules_per_policy=8, seed=321
+        )[target_ingress]
+        policies = PolicySet(
+            [new_policy if p.ingress == target_ingress else p
+             for p in instance.policies]
+        )
+        new_instance = PlacementInstance(
+            instance.topology, instance.routing, policies,
+            dict(instance.capacities),
+        )
+        new_placement = RulePlacer().place(new_instance)
+        assert new_placement.is_feasible
+
+        controller = Controller(instance)
+        controller.deploy(base)
+        controller.transition(new_placement)
+        assert conformance_errors(controller, new_instance) == []
+
+
+class TestHitlessUpdates:
+    def test_no_wrongful_drops_mid_transition(self, instance, placements):
+        """Replay permitted packets between every op of a transition:
+        none may be dropped at any intermediate state (the hard half of
+        hitlessness; coverage gaps are allowed only on squeezed
+        switches, which this scenario does not produce)."""
+        a, b = placements
+        controller = Controller(instance)
+        controller.deploy(a)
+
+        # Pre-compute witness packets that the policies PERMIT.
+        rng = random.Random(5)
+        witnesses = []
+        for policy in instance.policies:
+            width = policy.width
+            for path in instance.routing.paths(policy.ingress):
+                for rule in policy.permit_rules()[:3]:
+                    header = rule.match.sample(rng)
+                    if policy.evaluate(header) is rule.action:
+                        witnesses.append((path, header, width))
+
+        from repro.core.transition import OpKind, plan_transition
+
+        plan = plan_transition(a, b)
+        assert not plan.squeezed_switches
+        old_instance = controller.current.instance
+        for op in plan.ops:
+            if op.kind is OpKind.INSTALL:
+                controller._apply_install(op.rule, op.switch, b.instance)
+            else:
+                controller._apply_delete(op.rule, op.switch, old_instance)
+            for path, header, width in witnesses:
+                verdict = controller.dataplane.verdict(path, header, width)
+                assert verdict is Verdict.DELIVERED, (op, hex(header))

@@ -1,0 +1,142 @@
+"""Tests for the rule dependency graph (paper Section IV-A1)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.depgraph import build_dependency_graph, ordering_pairs
+from repro.policy.policy import Policy
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+class TestEdges:
+    def test_drop_depends_on_higher_overlapping_permit(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 3),
+            rule("1*0*", Action.DROP, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.dependencies_of(2) == (3,)
+
+    def test_disjoint_permit_ignored(self):
+        policy = Policy("in", [
+            rule("0***", Action.PERMIT, 3),
+            rule("1***", Action.DROP, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.dependencies_of(2) == ()
+
+    def test_lower_priority_permit_ignored(self):
+        policy = Policy("in", [
+            rule("1***", Action.DROP, 3),
+            rule("1***", Action.PERMIT, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.dependencies_of(3) == ()
+
+    def test_drop_drop_overlap_ignored(self):
+        policy = Policy("in", [
+            rule("1***", Action.DROP, 3),
+            rule("1*0*", Action.DROP, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.dependencies_of(2) == ()
+        assert graph.dependencies_of(3) == ()
+
+    def test_multiple_dependencies_sorted(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 4),
+            rule("*1**", Action.PERMIT, 3),
+            rule("11**", Action.DROP, 1),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.dependencies_of(1) == (3, 4)
+
+    def test_permits_have_no_entries(self):
+        policy = Policy("in", [rule("1***", Action.PERMIT, 1)])
+        graph = build_dependency_graph(policy)
+        assert graph.drop_priorities() == ()
+        assert graph.num_edges() == 0
+
+
+class TestDerived:
+    def test_required_permits_union(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 5),
+            rule("0***", Action.PERMIT, 4),
+            rule("1*0*", Action.DROP, 3),
+            rule("0*0*", Action.DROP, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert set(graph.required_permits()) == {4, 5}
+
+    def test_unreferenced_permit_excluded(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 3),
+            rule("0***", Action.DROP, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.required_permits() == ()
+
+    def test_closure(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 3),
+            rule("1*0*", Action.DROP, 2),
+        ])
+        graph = build_dependency_graph(policy)
+        assert graph.closure(2) == (2, 3)
+
+
+class TestOrderingPairs:
+    def test_only_conflicting_overlaps(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 4),   # overlaps drop 2 (conflict)
+            rule("1***", Action.PERMIT, 3),   # same action as 4: no pair
+            rule("1*0*", Action.DROP, 2),
+            rule("0***", Action.DROP, 1),     # disjoint from permits
+        ])
+        pairs = set(ordering_pairs(policy))
+        assert pairs == {(4, 2), (3, 2)}
+
+    def test_semantics_of_pair_orientation(self):
+        """Pairs are (higher, lower)."""
+        policy = Policy("in", [
+            rule("1***", Action.DROP, 9),
+            rule("1***", Action.PERMIT, 1),
+        ])
+        assert set(ordering_pairs(policy)) == {(9, 1)}
+
+
+@given(st.integers(0, 2 ** 32 - 1))
+def test_edges_subset_of_overlap_relation(seed):
+    """Every dependency edge connects genuinely overlapping rules with
+    the right action/priority relationship (random policies)."""
+    import random
+
+    from repro.policy.classbench import PolicyGenerator, PolicyGeneratorConfig
+
+    generator = PolicyGenerator(
+        PolicyGeneratorConfig(num_rules=15, drop_fraction=0.5), seed=seed
+    )
+    policy = generator.generate_policy("in")
+    graph = build_dependency_graph(policy)
+    for drop_priority in graph.drop_priorities():
+        drop = policy.rule_by_priority(drop_priority)
+        assert drop.is_drop
+        for permit_priority in graph.dependencies_of(drop_priority):
+            permit = policy.rule_by_priority(permit_priority)
+            assert permit.is_permit
+            assert permit.priority > drop.priority
+            assert permit.match.intersects(drop.match)
+    # Completeness: no overlapping higher permit is missing.
+    for drop in policy.drop_rules():
+        expected = {
+            p.priority for p in policy.permit_rules()
+            if p.priority > drop.priority and p.match.intersects(drop.match)
+        }
+        assert set(graph.dependencies_of(drop.priority)) == expected

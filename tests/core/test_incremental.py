@@ -1,0 +1,177 @@
+"""Tests for incremental deployment (Section IV-E / Experiment 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import IncrementalDeployer
+from repro.core.instance import PlacementInstance
+from repro.core.placement import Placement, RulePlacer
+from repro.core.verify import verify_placement
+from repro.milp.model import SolveStatus
+from repro.net.fattree import fattree
+from repro.net.routing import Path, Routing, ShortestPathRouter
+from repro.policy.classbench import generate_policy_set
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+@pytest.fixture
+def deployed_network():
+    """A small fat-tree with a solved base placement and headroom."""
+    topo = fattree(4, capacity=40)
+    ports = [p.name for p in topo.entry_ports]
+    ingresses = ports[:4]
+    router = ShortestPathRouter(topo, seed=5)
+    routing = router.random_routing(8, ingresses=ingresses)
+    policies = generate_policy_set(ingresses, rules_per_policy=10, seed=5)
+    instance = PlacementInstance(topo, routing, policies)
+    base = RulePlacer().place(instance)
+    assert base.is_feasible
+    return topo, router, ports, base
+
+
+class TestInstall:
+    def test_greedy_install(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        before = deployer.total_installed()
+        new_policy = generate_policy_set([ports[10]], rules_per_policy=6, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.install_policy(new_policy, [path])
+        assert result.is_feasible
+        assert result.method == "greedy"
+        assert deployer.total_installed() > before
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_ilp_fallback(self, deployed_network):
+        """Disable the heuristic: the sub-ILP must also succeed."""
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        new_policy = generate_policy_set([ports[10]], rules_per_policy=6, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.install_policy(new_policy, [path], try_greedy=False)
+        assert result.is_feasible
+        assert result.method == "ilp"
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_sat_engine_fallback(self, deployed_network):
+        """The feasibility-only SAT engine also serves as the fallback."""
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base, engine="sat")
+        new_policy = generate_policy_set([ports[10]], rules_per_policy=6, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.install_policy(new_policy, [path], try_greedy=False)
+        assert result.is_feasible
+        assert result.method == "sat"
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_unknown_engine_rejected(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        with pytest.raises(ValueError):
+            IncrementalDeployer(base, engine="quantum")
+
+    def test_duplicate_ingress_rejected(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        existing = next(iter(base.instance.policies))
+        with pytest.raises(ValueError):
+            deployer.install_policy(existing, [])
+
+    def test_infeasible_install_leaves_state_untouched(self, deployed_network):
+        """A policy too large for the spare capacity is rejected whole."""
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        # 16 distinct singleton drops, but only 2 spare slots anywhere
+        # on the target path.
+        big = Policy(ports[10], [
+            Rule(TernaryMatch.exact(4, i), Action.DROP, i + 1) for i in range(16)
+        ])
+        path = router.shortest_path(ports[10], ports[0])
+        for switch in path.switches:
+            deployer._loads[switch] = deployer.base_capacities[switch] - 2
+        result = deployer.install_policy(big, [path])
+        assert not result.is_feasible
+        assert ports[10] not in deployer._state
+
+
+class TestRemoveAndModify:
+    def test_remove_frees_capacity(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        ingress = next(iter(base.instance.policies)).ingress
+        before = deployer.total_installed()
+        freed = deployer.remove_policy(ingress)
+        assert freed > 0
+        assert deployer.total_installed() == before - freed
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_modify_policy(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        ingress = next(iter(base.instance.policies)).ingress
+        updated = generate_policy_set([ingress], rules_per_policy=8, seed=77)[ingress]
+        result = deployer.modify_policy(updated)
+        assert result.is_feasible
+        combined = deployer.as_placement()
+        assert verify_placement(combined).ok
+        # The deployed policy for this ingress is the updated one.
+        assert combined.instance.policies[ingress] is updated
+
+    def test_modify_unknown_rejected(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        with pytest.raises(ValueError):
+            deployer.modify_policy(Policy("nope"))
+
+
+class TestReroute:
+    def test_reroute_keeps_semantics(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        ingress = next(iter(base.instance.policies)).ingress
+        new_paths = [
+            router.shortest_path(ingress, ports[12]),
+            router.shortest_path(ingress, ports[13]),
+        ]
+        result = deployer.reroute_policy(ingress, new_paths)
+        assert result.is_feasible
+        combined = deployer.as_placement()
+        assert verify_placement(combined).ok
+        assert set(combined.instance.routing.paths(ingress)) == set(new_paths)
+
+    def test_reroute_rollback_on_infeasible(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        ingress = next(iter(base.instance.policies)).ingress
+        old_installed = deployer.total_installed()
+        # Construct an impossible target: a path of zero-spare switches.
+        path = router.shortest_path(ingress, ports[12])
+        for switch in path.switches:
+            deployer._loads[switch] = deployer.base_capacities[switch]
+        # Free only what this policy held (reroute does that), then ask
+        # for the saturated path.
+        result = deployer.reroute_policy(ingress, [path], try_greedy=True)
+        if not result.is_feasible:
+            # Rollback restored the original state.
+            assert deployer.total_installed() == old_installed
+            assert ingress in deployer._state
+            assert verify_placement(deployer.as_placement()).ok
+
+
+class TestBase:
+    def test_requires_feasible_base(self, figure3_instance):
+        infeasible = Placement(figure3_instance, SolveStatus.INFEASIBLE)
+        with pytest.raises(ValueError):
+            IncrementalDeployer(infeasible)
+
+    def test_spare_capacity_accounting(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        expected = base.spare_capacities()
+        assert deployer.spare_capacities() == expected

@@ -1,0 +1,184 @@
+"""Tests for cross-policy rule merging (Section IV-B), including the
+Fig. 5 circular-dependency scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.depgraph import build_dependency_graph
+from repro.core.instance import PlacementInstance
+from repro.core.merging import build_merge_plan
+from repro.core.slicing import build_slices
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+def shared_switch_instance(policies):
+    """All ingresses route through one shared switch 'mid'."""
+    topo = Topology()
+    topo.add_switch("mid", 100)
+    outs = []
+    for idx, policy in enumerate(policies):
+        src = f"src{idx}"
+        topo.add_switch(src, 100)
+        topo.add_link(src, "mid")
+        topo.add_entry_port(policy.ingress, src)
+    topo.add_switch("dst", 100)
+    topo.add_link("mid", "dst")
+    topo.add_entry_port("out", "dst")
+    routing = Routing([
+        Path(p.ingress, "out", (f"src{i}", "mid", "dst"))
+        for i, p in enumerate(policies)
+    ])
+    return PlacementInstance(topo, routing, PolicySet(policies))
+
+
+def plan_for(policies):
+    instance = shared_switch_instance(policies)
+    graphs = {p.ingress: build_dependency_graph(p) for p in instance.policies}
+    slices = build_slices(instance, graphs)
+    return build_merge_plan(instance, slices), instance
+
+
+class TestGrouping:
+    def test_identical_rules_grouped(self):
+        policies = [
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("1***", Action.DROP, 5)]),
+        ]
+        plan, _ = plan_for(policies)
+        assert plan.num_groups() == 1
+        group = plan.groups[0]
+        assert set(group.members) == {("a", 1), ("b", 5)}
+
+    def test_action_must_match(self):
+        policies = [
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("1***", Action.PERMIT, 1),
+                         rule("1*0*", Action.DROP, 0)]),
+        ]
+        plan, _ = plan_for(policies)
+        matches = [g for g in plan.groups
+                   if g.match == TernaryMatch.from_string("1***")]
+        assert matches == []
+
+    def test_same_policy_rules_never_merge_together(self):
+        policies = [
+            Policy("a", [rule("1***", Action.DROP, 2),
+                         rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("1***", Action.DROP, 1)]),
+        ]
+        plan, _ = plan_for(policies)
+        assert plan.num_groups() == 1
+        group = plan.groups[0]
+        # Only the highest-priority copy of policy a joins.
+        assert set(group.members) == {("a", 2), ("b", 1)}
+
+    def test_per_switch_projection(self):
+        policies = [
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("1***", Action.DROP, 1)]),
+        ]
+        plan, _ = plan_for(policies)
+        gid = plan.groups[0].gid
+        # Only the shared switches can host the merged entry.
+        assert set(plan.switches_of(gid)) == {"mid", "dst"}
+
+    def test_mergeable_keys(self):
+        policies = [
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("1***", Action.DROP, 1)]),
+        ]
+        plan, _ = plan_for(policies)
+        assert plan.mergeable_keys() == frozenset({("a", 1), ("b", 1)})
+
+
+class TestFigure5CircularDependency:
+    """The paper's Fig. 5: r1 permit / r2 drop ordered oppositely in
+    policy C; merging all three copies of r2 would need r2 both above
+    and below r1 in the shared table."""
+
+    def build(self):
+        # src 10.0.0.0/16-style overlap compressed to 8 bits:
+        # r1 permit 10**..., r2 drop 1***... with overlap.
+        r1 = rule("10**", Action.PERMIT, 0)  # placeholder priority
+        r2 = rule("1***", Action.DROP, 0)
+        pol_a = Policy("A", [r1.with_priority(2), r2.with_priority(1),
+                             rule("0***", Action.DROP, 0)])
+        pol_b = Policy("B", [r1.with_priority(2), r2.with_priority(1),
+                             rule("0***", Action.DROP, 0)])
+        # C reverses the order: r2 above r1.
+        pol_c = Policy("C", [r2.with_priority(2), r1.with_priority(1),
+                             rule("0***", Action.DROP, 0)])
+        return [pol_a, pol_b, pol_c]
+
+    def test_cycle_broken_by_eviction(self):
+        plan, _ = plan_for(self.build())
+        # The majority orientation (A, B) survives; C's conflicting
+        # member is evicted from one of the two conflicting groups.
+        assert plan.evicted, "expected at least one evicted member"
+        evicted_ingresses = {key[0] for key in plan.evicted}
+        assert evicted_ingresses == {"C"}
+
+    def test_surviving_groups_are_order_consistent(self):
+        plan, instance = plan_for(self.build())
+        # For every pair of groups with overlapping matches and
+        # different actions, all shared policies must agree on order.
+        for g1 in plan.groups:
+            for g2 in plan.groups:
+                if g1.gid >= g2.gid:
+                    continue
+                if g1.action is g2.action or not g1.match.intersects(g2.match):
+                    continue
+                orientations = set()
+                members2 = dict(g2.members)
+                for ingress, prio1 in g1.members:
+                    prio2 = members2.get(ingress)
+                    if prio2 is not None:
+                        orientations.add(prio1 > prio2)
+                assert len(orientations) <= 1, (g1, g2)
+
+
+class TestNoMergeScenarios:
+    def test_single_policy_no_groups(self):
+        plan, _ = plan_for([Policy("a", [rule("1***", Action.DROP, 1)])])
+        assert plan.num_groups() == 0
+
+    def test_distinct_matches_no_groups(self):
+        policies = [
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("0***", Action.DROP, 1)]),
+        ]
+        plan, _ = plan_for(policies)
+        assert plan.num_groups() == 0
+
+    def test_disjoint_paths_no_shared_switches(self):
+        """Identical rules whose policies share no switch can't merge."""
+        topo = Topology()
+        for name in ("s1", "s2", "d1", "d2"):
+            topo.add_switch(name, 100)
+        topo.add_link("s1", "d1")
+        topo.add_link("s2", "d2")
+        topo.add_entry_port("a", "s1")
+        topo.add_entry_port("b", "s2")
+        topo.add_entry_port("oa", "d1")
+        topo.add_entry_port("ob", "d2")
+        policies = PolicySet([
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("1***", Action.DROP, 1)]),
+        ])
+        routing = Routing([
+            Path("a", "oa", ("s1", "d1")),
+            Path("b", "ob", ("s2", "d2")),
+        ])
+        instance = PlacementInstance(topo, routing, policies)
+        graphs = {p.ingress: build_dependency_graph(p) for p in policies}
+        plan = build_merge_plan(instance, build_slices(instance, graphs))
+        assert plan.num_groups() == 0

@@ -1,0 +1,129 @@
+"""Tests for monitoring-aware placement (paper future work, Section VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.monitoring import (
+    MonitorSpec,
+    monitored_switch_set,
+    monitoring_pins,
+    validate_monitoring,
+)
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.satenc import SatPlacer
+from repro.core.verify import verify_placement
+from repro.milp.model import SolveStatus
+from repro.net.generators import line
+from repro.net.routing import Path, Routing
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+@pytest.fixture
+def line_instance():
+    """in -> s0 -> s1 -> s2 -> out with a drop overlapping the monitor."""
+    topo = line(3, capacity=10)
+    policy = Policy("left0", [
+        rule("1***", Action.DROP, 2),
+        rule("0***", Action.DROP, 1),
+    ])
+    routing = Routing([Path("left0", "right0", ("s0", "s1", "s2"))])
+    return PlacementInstance(topo, routing, PolicySet([policy]))
+
+
+class TestPins:
+    def test_overlapping_drop_pinned_upstream(self, line_instance):
+        monitor = MonitorSpec("s1", TernaryMatch.from_string("11**"), "m")
+        pins = monitoring_pins(line_instance, [monitor])
+        # Drop 1*** overlaps the monitor; pinned off s0 only.
+        assert pins == {(("left0", 2), "s0"): 0}
+
+    def test_disjoint_drop_unconstrained(self, line_instance):
+        monitor = MonitorSpec("s1", TernaryMatch.from_string("11**"))
+        pins = monitoring_pins(line_instance, [monitor])
+        assert (("left0", 1), "s0") not in pins
+
+    def test_monitor_at_ingress_pins_nothing(self, line_instance):
+        monitor = MonitorSpec("s0", TernaryMatch.wildcard(4))
+        assert monitoring_pins(line_instance, [monitor]) == {}
+
+    def test_monitor_off_path_pins_nothing(self, line_instance):
+        topo = line_instance.topology
+        topo.add_switch("s9", 10)
+        topo.add_link("s0", "s9")
+        monitor = MonitorSpec("s9", TernaryMatch.wildcard(4))
+        assert monitoring_pins(line_instance, [monitor]) == {}
+
+    def test_unknown_switch_raises(self, line_instance):
+        with pytest.raises(KeyError):
+            monitoring_pins(
+                line_instance, [MonitorSpec("nope", TernaryMatch.wildcard(4))]
+            )
+
+    def test_width_mismatch_raises(self, line_instance):
+        with pytest.raises(ValueError):
+            monitoring_pins(
+                line_instance, [MonitorSpec("s1", TernaryMatch.wildcard(9))]
+            )
+
+    def test_monitored_switch_set(self):
+        monitors = [
+            MonitorSpec("a", TernaryMatch.wildcard(4)),
+            MonitorSpec("b", TernaryMatch.wildcard(4)),
+            MonitorSpec("a", TernaryMatch.from_string("1***")),
+        ]
+        assert monitored_switch_set(monitors) == {"a", "b"}
+
+
+class TestPlacementIntegration:
+    def test_ilp_respects_monitor(self, line_instance):
+        monitor = MonitorSpec("s2", TernaryMatch.from_string("1***"), "tap")
+        pins = monitoring_pins(line_instance, [monitor])
+        placement = RulePlacer().place(line_instance, fixed=pins)
+        assert placement.status is SolveStatus.OPTIMAL
+        # The overlapping drop may only sit on s2 now.
+        assert placement.switches_of(("left0", 2)) == frozenset({"s2"})
+        assert verify_placement(placement).ok
+        assert validate_monitoring(line_instance, placement, [monitor]) == []
+
+    def test_sat_respects_monitor(self, line_instance):
+        monitor = MonitorSpec("s2", TernaryMatch.from_string("1***"))
+        pins = monitoring_pins(line_instance, [monitor])
+        placement = SatPlacer().place(line_instance, fixed=pins)
+        assert placement.is_feasible
+        assert validate_monitoring(line_instance, placement, [monitor]) == []
+
+    def test_unmonitored_placement_flagged(self, line_instance):
+        """A placement computed without the pins should violate."""
+        monitor = MonitorSpec("s2", TernaryMatch.from_string("1***"))
+        # Force the drop to the ingress (cheapest without pins).
+        from repro.core.objectives import UpstreamDrops
+
+        placement = RulePlacer(
+            PlacerConfig(objective=UpstreamDrops())
+        ).place(line_instance)
+        errors = validate_monitoring(line_instance, placement, [monitor])
+        assert errors
+        assert "upstream of" in errors[0]
+
+    def test_conflicting_monitor_makes_infeasible(self, line_instance):
+        """Monitors on every downstream switch + zero capacity there
+        leave nowhere legal: the engine must say infeasible, not
+        silently break monitoring."""
+        line_instance.topology.set_capacity("s1", 0)
+        line_instance.topology.set_capacity("s2", 0)
+        instance = PlacementInstance(
+            line_instance.topology, line_instance.routing,
+            line_instance.policies,
+        )
+        monitor = MonitorSpec("s2", TernaryMatch.from_string("1***"))
+        pins = monitoring_pins(instance, [monitor])
+        placement = RulePlacer().place(instance, fixed=pins)
+        assert placement.status is SolveStatus.INFEASIBLE

@@ -1,0 +1,109 @@
+"""Tests for the alternative objective functions (Section IV-A4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.objectives import (
+    Combined,
+    SwitchCount,
+    TotalRules,
+    UpstreamDrops,
+    WeightedSwitches,
+)
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.verify import verify_placement
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+@pytest.fixture
+def line_instance():
+    """in->a->b->c->out with ample capacity and a 2-rule policy."""
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_switch(name, 10)
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    topo.add_entry_port("in", "a")
+    topo.add_entry_port("out", "c")
+    policy = Policy("in", [
+        rule("1***", Action.PERMIT, 2),
+        rule("1*0*", Action.DROP, 1),
+    ])
+    routing = Routing([Path("in", "out", ("a", "b", "c"))])
+    return PlacementInstance(topo, routing, PolicySet([policy]))
+
+
+def place_with(instance, objective):
+    return RulePlacer(PlacerConfig(objective=objective)).place(instance)
+
+
+class TestUpstreamDrops:
+    def test_prefers_ingress_switch(self, line_instance):
+        placement = place_with(line_instance, UpstreamDrops())
+        assert placement.switches_of(("in", 1)) == frozenset({"a"})
+        assert verify_placement(placement).ok
+
+    def test_downstream_forced_when_ingress_full(self, line_instance):
+        line_instance.topology.set_capacity("a", 0)
+        instance = PlacementInstance(
+            line_instance.topology, line_instance.routing, line_instance.policies
+        )
+        placement = place_with(instance, UpstreamDrops())
+        assert placement.switches_of(("in", 1)) == frozenset({"b"})
+
+    def test_include_permits_flag(self, line_instance):
+        """Without the flag, permit placement has zero weight; a pure
+        upstream objective may park permits anywhere the dependency
+        allows.  With it, permits are also pulled upstream."""
+        placement = place_with(
+            line_instance, UpstreamDrops(include_permits=True)
+        )
+        assert placement.switches_of(("in", 2)) == frozenset({"a"})
+
+
+class TestWeightedSwitches:
+    def test_steers_to_cheap_switch(self, line_instance):
+        objective = WeightedSwitches.from_dict({"a": 5.0, "b": 1.0, "c": 5.0})
+        placement = place_with(line_instance, objective)
+        assert placement.switches_of(("in", 1)) == frozenset({"b"})
+        assert verify_placement(placement).ok
+
+    def test_default_weight(self, line_instance):
+        objective = WeightedSwitches.from_dict({"a": 0.1}, default_weight=10.0)
+        placement = place_with(line_instance, objective)
+        assert placement.switches_of(("in", 1)) == frozenset({"a"})
+
+
+class TestSwitchCount:
+    def test_consolidates_onto_one_switch(self, line_instance):
+        placement = place_with(line_instance, SwitchCount())
+        used = {s for switches in placement.placed.values() for s in switches}
+        assert len(used) == 1
+        assert verify_placement(placement).ok
+
+
+class TestCombined:
+    def test_tie_break(self, line_instance):
+        """Total-rules primary, upstream tie-break: among the minimal-
+        size solutions, the drop must sit at the ingress."""
+        objective = Combined(((1.0, TotalRules()), (0.01, UpstreamDrops())))
+        placement = place_with(line_instance, objective)
+        assert placement.total_installed() == 2
+        assert placement.switches_of(("in", 1)) == frozenset({"a"})
+
+
+class TestTotalRules:
+    def test_is_default(self, line_instance):
+        default = RulePlacer().place(line_instance)
+        explicit = place_with(line_instance, TotalRules())
+        assert default.total_installed() == explicit.total_installed() == 2

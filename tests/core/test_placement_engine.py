@@ -1,0 +1,156 @@
+"""End-to-end placement tests, including the paper's Fig. 3 example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.verify import verify_placement
+from repro.milp.bnb import BranchAndBoundBackend
+from repro.milp.model import SolveStatus
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+class TestFigure3:
+    """Paper Fig. 3: capacity 2 per switch, a 3-rule policy, two paths
+    s1-s2-s3 and s1-s2-s4-s5.  The drop r13 cannot co-habit with the
+    r11/r12 pair anywhere (capacity 2), so it must be replicated on
+    both branches -- exactly the published solution shape."""
+
+    def test_shared_prefix_beats_replication(self, figure3_instance):
+        """The optimum shares r13 on the common prefix (s1/s2): the
+        {r11, r12} pair fills one shared switch, r13 the other -- 3
+        rules total, one better than the paper's illustrated solution
+        that replicates r13 on s3 and s5."""
+        placement = RulePlacer().place(figure3_instance)
+        assert placement.status is SolveStatus.OPTIMAL
+        # r12 depends on r11 (overlap, higher priority): co-located.
+        r12_switches = placement.switches_of(("l1", 2))
+        r11_switches = placement.switches_of(("l1", 3))
+        assert r12_switches <= r11_switches
+        # r13 covers both paths from the shared prefix.
+        r13_switches = placement.switches_of(("l1", 1))
+        assert any(s in {"s1", "s2", "s3"} for s in r13_switches)
+        assert any(s in {"s1", "s2", "s4", "s5"} for s in r13_switches)
+        assert placement.total_installed() == 3
+        assert verify_placement(placement).ok
+
+    def test_replication_forced_off_prefix(self, figure3_instance):
+        """Starving the shared prefix (C=0 on s1/s2) forces the paper's
+        illustrated shape: full copies on each branch, r13 replicated."""
+        topo = figure3_instance.topology
+        topo.set_capacity("s1", 0)
+        topo.set_capacity("s2", 0)
+        for name in ("s3", "s4", "s5"):
+            topo.set_capacity(name, 3)
+        instance = PlacementInstance(
+            topo, figure3_instance.routing, figure3_instance.policies
+        )
+        placement = RulePlacer().place(instance)
+        assert placement.status is SolveStatus.OPTIMAL
+        r13_switches = placement.switches_of(("l1", 1))
+        assert "s3" in r13_switches
+        assert r13_switches & {"s4", "s5"}
+        assert placement.total_installed() == 6
+        assert verify_placement(placement).ok
+
+    def test_verification_with_simulation(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        report = verify_placement(placement, simulate=True)
+        assert report.ok, report.errors
+
+    def test_infeasible_when_capacity_one(self, figure3_instance):
+        for switch in figure3_instance.topology.switches:
+            switch.capacity = 1
+        instance = PlacementInstance(
+            figure3_instance.topology,
+            figure3_instance.routing,
+            figure3_instance.policies,
+        )
+        placement = RulePlacer().place(instance)
+        assert placement.status is SolveStatus.INFEASIBLE
+        assert not placement.is_feasible
+        assert placement.placed == {}
+
+
+class TestObjectiveOptimality:
+    def test_ingress_optimal_when_capacity_allows(self, figure3_topology,
+                                                  figure3_routing, figure3_policy):
+        """With plenty of capacity everything fits at the ingress (the
+        paper notes the greedy solution is not precluded)."""
+        figure3_topology.set_uniform_capacity(10)
+        instance = PlacementInstance(
+            figure3_topology, figure3_routing, PolicySet([figure3_policy])
+        )
+        placement = RulePlacer().place(instance)
+        assert placement.status is SolveStatus.OPTIMAL
+        assert placement.total_installed() == 3
+
+
+class TestPipelineOptions:
+    def test_redundancy_preprocessing_shrinks_problem(self, figure3_topology,
+                                                      figure3_routing):
+        policy = Policy("l1", [
+            Rule(TernaryMatch.from_string("1***"), Action.PERMIT, 4),
+            Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 3),
+            # Shadowed duplicate of the drop:
+            Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 2),
+        ])
+        figure3_topology.set_uniform_capacity(10)
+        instance = PlacementInstance(
+            figure3_topology, figure3_routing, PolicySet([policy])
+        )
+        with_pass = RulePlacer(PlacerConfig(remove_redundancy=True)).place(instance)
+        without = RulePlacer().place(instance)
+        assert with_pass.total_installed() < without.total_installed()
+        assert verify_placement(with_pass).ok
+
+    def test_alternate_backend(self, figure3_instance):
+        placement = RulePlacer(
+            PlacerConfig(backend=BranchAndBoundBackend())
+        ).place(figure3_instance)
+        assert placement.status is SolveStatus.OPTIMAL
+        assert placement.total_installed() == 3
+        assert verify_placement(placement).ok
+
+
+class TestAccounting:
+    def test_switch_loads_and_spares(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        loads = placement.switch_loads()
+        assert sum(loads.values()) == placement.total_installed()
+        spares = placement.spare_capacities()
+        for switch, spare in spares.items():
+            assert spare == figure3_instance.capacity(switch) - loads.get(switch, 0)
+            assert spare >= 0
+        assert placement.capacity_violations() == {}
+
+    def test_overhead_metrics(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        # 3 required rules, 3 installed -> 0% overhead.
+        assert placement.required_rules() == 3
+        assert placement.duplication_overhead() == pytest.approx(0.0)
+        assert placement.duplication_overhead(relative_to="all") == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            placement.duplication_overhead(relative_to="bogus")
+
+    def test_overhead_positive_when_replicating(self, figure3_instance):
+        topo = figure3_instance.topology
+        topo.set_capacity("s1", 0)
+        topo.set_capacity("s2", 0)
+        for name in ("s3", "s4", "s5"):
+            topo.set_capacity(name, 3)
+        instance = PlacementInstance(
+            topo, figure3_instance.routing, figure3_instance.policies
+        )
+        placement = RulePlacer().place(instance)
+        # 6 installed over 3 required: +100% duplication overhead.
+        assert placement.duplication_overhead() == pytest.approx(1.0)
+
+    def test_summary_strings(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        assert "installed" in placement.summary()
+        assert "optimal" in placement.summary()

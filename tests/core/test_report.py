@@ -1,0 +1,80 @@
+"""Tests for the operator report renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.report import (
+    instance_report,
+    placement_report,
+    policy_spread_report,
+    switch_utilization_report,
+)
+from repro.experiments import ExperimentConfig, build_instance
+
+
+@pytest.fixture(scope="module")
+def solved():
+    instance = build_instance(ExperimentConfig(
+        k=4, num_paths=16, rules_per_policy=10, capacity=30,
+        num_ingresses=4, seed=2, blacklist_rules=2,
+    ))
+    placement = RulePlacer(PlacerConfig(enable_merging=True)).place(instance)
+    assert placement.is_feasible
+    return instance, placement
+
+
+class TestInstanceReport:
+    def test_lists_every_policy(self, solved):
+        instance, _ = solved
+        text = instance_report(instance)
+        for policy in instance.policies:
+            assert policy.ingress in text
+        assert "Instance:" in text
+
+
+class TestUtilizationReport:
+    def test_shows_loads_and_bars(self, solved):
+        instance, placement = solved
+        text = switch_utilization_report(placement)
+        loads = placement.switch_loads()
+        busiest = max(loads, key=loads.get)
+        assert busiest in text
+        assert "%" in text and "#" in text
+
+    def test_top_limits_rows(self, solved):
+        _, placement = solved
+        full = switch_utilization_report(placement)
+        top1 = switch_utilization_report(placement, top=1)
+        assert len(top1.splitlines()) < len(full.splitlines())
+
+    def test_mentions_unused_switches(self, solved):
+        instance, placement = solved
+        unused = len(instance.capacities) - len(placement.switch_loads())
+        if unused:
+            assert f"+{unused} switches" in switch_utilization_report(placement)
+
+
+class TestSpreadAndFullReport:
+    def test_spread_covers_policies(self, solved):
+        instance, placement = solved
+        text = policy_spread_report(placement)
+        assert all(p.ingress in text for p in instance.policies)
+
+    def test_full_report_sections(self, solved):
+        _, placement = solved
+        text = placement_report(placement)
+        assert "required rules" in text
+        assert "utilization" in text
+        assert "merging:" in text  # merging fixture has active groups
+
+    def test_infeasible_report_is_short(self, solved):
+        from repro.core.placement import Placement
+        from repro.milp.model import SolveStatus
+
+        instance, _ = solved
+        placement = Placement(instance, SolveStatus.INFEASIBLE)
+        text = placement_report(placement)
+        assert "infeasible" in text
+        assert "utilization" not in text

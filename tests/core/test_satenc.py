@@ -1,0 +1,114 @@
+"""Tests for the satisfiability formulation (Section IV-D)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.satenc import SatPlacer, build_sat_encoding
+from repro.core.verify import verify_placement
+from repro.milp.model import SolveStatus
+from repro.net.fattree import fattree
+from repro.net.routing import Path, Routing, ShortestPathRouter
+from repro.net.topology import Topology
+from repro.policy.classbench import generate_policy_set
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+class TestSmallInstances:
+    def test_figure3_sat_feasible_and_verified(self, figure3_instance):
+        placement = SatPlacer().place(figure3_instance)
+        assert placement.status is SolveStatus.FEASIBLE
+        assert verify_placement(placement, simulate=True).ok
+
+    def test_figure3_infeasible_detected(self, figure3_instance):
+        figure3_instance.topology.set_uniform_capacity(1)
+        instance = PlacementInstance(
+            figure3_instance.topology,
+            figure3_instance.routing,
+            figure3_instance.policies,
+        )
+        placement = SatPlacer().place(instance)
+        assert placement.status is SolveStatus.INFEASIBLE
+
+    def test_pinning(self, figure3_instance):
+        placement = SatPlacer().place(
+            figure3_instance, fixed={(("l1", 1), "s3"): 1}
+        )
+        assert placement.status is SolveStatus.FEASIBLE
+        assert "s3" in placement.switches_of(("l1", 1))
+
+    def test_merging_in_sat(self):
+        """Two identical single-rule policies through a shared capacity-1
+        switch: SAT only via the Eq. 8 merge variables."""
+        topo = Topology()
+        for name, cap in (("sa", 0), ("sb", 0), ("mid", 1), ("dst", 0)):
+            topo.add_switch(name, cap)
+        topo.add_link("sa", "mid")
+        topo.add_link("sb", "mid")
+        topo.add_link("mid", "dst")
+        topo.add_entry_port("a", "sa")
+        topo.add_entry_port("b", "sb")
+        topo.add_entry_port("o", "dst")
+        shared = rule("1***", Action.DROP, 1)
+        policies = PolicySet([Policy("a", [shared]), Policy("b", [shared])])
+        routing = Routing([
+            Path("a", "o", ("sa", "mid", "dst")),
+            Path("b", "o", ("sb", "mid", "dst")),
+        ])
+        instance = PlacementInstance(topo, routing, policies)
+        plain = SatPlacer().place(instance)
+        merged = SatPlacer(enable_merging=True).place(instance)
+        assert plain.status is SolveStatus.INFEASIBLE
+        assert merged.status is SolveStatus.FEASIBLE
+        assert merged.total_installed() == 1
+        assert verify_placement(merged).ok
+
+
+class TestIlpAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasibility_agrees_with_ilp(self, seed):
+        """ILP and SAT decide the same feasibility question; on random
+        fat-tree instances their answers must coincide."""
+        rng = random.Random(seed)
+        topo = fattree(4, capacity=rng.choice([4, 8, 20]))
+        ports = [p.name for p in topo.entry_ports]
+        ingresses = ports[:3]
+        router = ShortestPathRouter(topo, seed=seed)
+        routing = router.random_routing(6, ingresses=ingresses)
+        policies = generate_policy_set(ingresses, rules_per_policy=8, seed=seed)
+        instance = PlacementInstance(topo, routing, policies)
+
+        ilp = RulePlacer().place(instance)
+        sat = SatPlacer().place(instance)
+        assert ilp.status.has_solution == sat.status.has_solution
+        if sat.status.has_solution:
+            assert verify_placement(sat).ok
+            # SAT gives any feasible solution; never fewer rules than
+            # the ILP optimum.
+            assert sat.total_installed() >= ilp.total_installed()
+
+    def test_encoding_statistics_exposed(self, figure3_instance):
+        placement = SatPlacer().place(figure3_instance)
+        assert placement.num_variables > 0
+        assert placement.num_constraints > 0
+        assert "conflicts" in placement.solver_stats
+
+
+class TestEncodingShape:
+    def test_variable_count_matches_domains(self, figure3_instance):
+        encoding = build_sat_encoding(figure3_instance)
+        assert len(encoding.var_of) == encoding.slices.num_variables()
+
+    def test_pin_missing_variable_raises(self, figure3_instance):
+        with pytest.raises(KeyError):
+            build_sat_encoding(figure3_instance, fixed={(("l1", 99), "s1"): 1})

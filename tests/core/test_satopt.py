@@ -1,0 +1,103 @@
+"""Tests for SAT-based optimization (search over a PB cost bound).
+
+Instances are kept small and the expensive ``minimize`` calls are
+module-scoped fixtures: every optimization ends with an UNSAT proof of
+"cost <= optimum - 1", which plain CDCL (no counting propagation) pays
+for dearly as instances grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.satopt import SatOptimizer
+from repro.core.verify import verify_placement
+from repro.experiments import ExperimentConfig, build_instance
+from repro.milp.model import SolveStatus
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=6, rules_per_policy=5, capacity=12,
+        num_ingresses=3, seed=3, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+
+
+@pytest.fixture(scope="module")
+def descend_result(small_instance):
+    return SatOptimizer().minimize(small_instance)
+
+
+@pytest.fixture(scope="module")
+def binary_result(small_instance):
+    return SatOptimizer(strategy="binary").minimize(small_instance)
+
+
+class TestMinimize:
+    def test_matches_ilp_optimum(self, small_instance, descend_result):
+        ilp = RulePlacer().place(small_instance)
+        assert descend_result.placement.status is SolveStatus.OPTIMAL
+        assert descend_result.placement.total_installed() == ilp.total_installed()
+        assert verify_placement(descend_result.placement).ok
+
+    def test_figure3_optimum(self, figure3_instance):
+        ilp = RulePlacer().place(figure3_instance)
+        result = SatOptimizer().minimize(figure3_instance)
+        assert result.placement.total_installed() == ilp.total_installed() == 3
+
+    def test_search_history_brackets(self, descend_result):
+        optimum = descend_result.placement.total_installed()
+        for bound, was_sat in descend_result.history:
+            if bound < 0:
+                continue  # the unbounded probe
+            if was_sat:
+                assert bound >= optimum
+            else:
+                assert bound < optimum
+
+    def test_infeasible_detected(self, figure3_instance):
+        figure3_instance.topology.set_uniform_capacity(1)
+        instance = PlacementInstance(
+            figure3_instance.topology, figure3_instance.routing,
+            figure3_instance.policies,
+        )
+        result = SatOptimizer().minimize(instance)
+        assert result.placement.status is SolveStatus.INFEASIBLE
+        assert result.probes == 1
+
+    def test_merging_optimum_matches_ilp(self):
+        instance = build_instance(ExperimentConfig(
+            k=4, num_paths=4, rules_per_policy=4, capacity=10,
+            num_ingresses=2, seed=3, blacklist_rules=2,
+        ))
+        ilp = RulePlacer(PlacerConfig(enable_merging=True)).place(instance)
+        result = SatOptimizer(enable_merging=True).minimize(instance)
+        assert result.placement.status is SolveStatus.OPTIMAL
+        assert result.placement.total_installed() == ilp.total_installed()
+
+    def test_binary_strategy_agrees(self, descend_result, binary_result):
+        assert (binary_result.placement.total_installed()
+                == descend_result.placement.total_installed())
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            SatOptimizer(strategy="magic")
+
+    def test_probe_budget_returns_incumbent(self, small_instance):
+        """With a tiny conflict budget the search may stop early but
+        must return a valid feasible placement when it found one."""
+        result = SatOptimizer(max_conflicts_per_probe=3).minimize(small_instance)
+        if result.placement.status.has_solution:
+            assert verify_placement(result.placement).ok
+        else:
+            assert result.placement.status in (
+                SolveStatus.TIME_LIMIT, SolveStatus.INFEASIBLE
+            )
+
+    def test_stats_recorded(self, descend_result):
+        assert descend_result.probes == len(descend_result.history)
+        assert (descend_result.placement.solver_stats.get("probes")
+                == descend_result.probes)

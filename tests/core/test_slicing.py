@@ -1,0 +1,117 @@
+"""Tests for path slicing and variable domains (Section IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.depgraph import build_dependency_graph
+from repro.core.instance import PlacementInstance
+from repro.core.slicing import build_slices
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+@pytest.fixture
+def fork_topology():
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_switch(name, 10)
+    topo.add_link("a", "b")
+    topo.add_link("a", "c")
+    topo.add_entry_port("in", "a")
+    topo.add_entry_port("out1", "b")
+    topo.add_entry_port("out2", "c")
+    return topo
+
+
+def make_instance(topo, paths, policy):
+    return PlacementInstance(topo, Routing(paths), PolicySet([policy]))
+
+
+class TestUnsliced:
+    def test_domains_cover_s_i(self, fork_topology):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 2),
+            rule("1*0*", Action.DROP, 1),
+        ])
+        instance = make_instance(fork_topology, [
+            Path("in", "out1", ("a", "b")),
+            Path("in", "out2", ("a", "c")),
+        ], policy)
+        graphs = {"in": build_dependency_graph(policy)}
+        slices = build_slices(instance, graphs)
+        assert set(slices.domain(("in", 1))) == {"a", "b", "c"}
+        assert set(slices.domain(("in", 2))) == {"a", "b", "c"}
+
+    def test_every_drop_relevant_everywhere(self, fork_topology):
+        policy = Policy("in", [rule("1***", Action.DROP, 1)])
+        instance = make_instance(fork_topology, [
+            Path("in", "out1", ("a", "b")),
+            Path("in", "out2", ("a", "c")),
+        ], policy)
+        slices = build_slices(instance, {"in": build_dependency_graph(policy)})
+        assert slices.drops_for_path("in", 0) == (1,)
+        assert slices.drops_for_path("in", 1) == (1,)
+
+    def test_unneeded_permit_has_no_domain(self, fork_topology):
+        policy = Policy("in", [rule("1***", Action.PERMIT, 1)])
+        instance = make_instance(
+            fork_topology, [Path("in", "out1", ("a", "b"))], policy
+        )
+        slices = build_slices(instance, {"in": build_dependency_graph(policy)})
+        assert slices.domain(("in", 1)) == ()
+        assert slices.num_variables() == 0
+
+
+class TestSliced:
+    def test_flow_restricts_relevance(self, fork_topology):
+        """Fig. 6: each route's flow overlaps only part of the policy."""
+        policy = Policy("in", [
+            rule("11**", Action.DROP, 3),   # only flow 1 traffic
+            rule("01**", Action.DROP, 2),   # only flow 2 traffic
+            rule("**1*", Action.DROP, 1),   # both
+        ])
+        flow1 = TernaryMatch.from_string("1***")
+        flow2 = TernaryMatch.from_string("0***")
+        instance = make_instance(fork_topology, [
+            Path("in", "out1", ("a", "b"), flow=flow1),
+            Path("in", "out2", ("a", "c"), flow=flow2),
+        ], policy)
+        slices = build_slices(instance, {"in": build_dependency_graph(policy)})
+        assert slices.drops_for_path("in", 0) == (3, 1)
+        assert slices.drops_for_path("in", 1) == (2, 1)
+        # Domains shrink accordingly: rule 3 never needs switch c.
+        assert set(slices.domain(("in", 3))) == {"a", "b"}
+        assert set(slices.domain(("in", 2))) == {"a", "c"}
+        assert set(slices.domain(("in", 1))) == {"a", "b", "c"}
+
+    def test_permit_inherits_dependent_drop_domains(self, fork_topology):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 2),
+            rule("1*0*", Action.DROP, 1),
+        ])
+        flow1 = TernaryMatch.from_string("1***")
+        instance = make_instance(fork_topology, [
+            Path("in", "out1", ("a", "b"), flow=flow1),
+            Path("in", "out2", ("a", "c"), flow=TernaryMatch.from_string("0***")),
+        ], policy)
+        slices = build_slices(instance, {"in": build_dependency_graph(policy)})
+        # The drop is only relevant to the first path, so the permit's
+        # domain is limited to that path's switches too.
+        assert set(slices.domain(("in", 2))) == {"a", "b"}
+
+    def test_fully_irrelevant_drop_gets_no_variables(self, fork_topology):
+        policy = Policy("in", [rule("11**", Action.DROP, 1)])
+        instance = make_instance(fork_topology, [
+            Path("in", "out1", ("a", "b"), flow=TernaryMatch.from_string("0***")),
+        ], policy)
+        slices = build_slices(instance, {"in": build_dependency_graph(policy)})
+        assert slices.domain(("in", 1)) == ()
+        assert slices.drops_for_path("in", 0) == ()

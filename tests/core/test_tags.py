@@ -1,0 +1,147 @@
+"""Tests for ingress tagging and switch-table synthesis (IV-A5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.tags import assign_tags, synthesize
+from repro.dataplane.switch import TableAction
+from repro.milp.model import SolveStatus
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+class TestAssignTags:
+    def test_deterministic_and_dense(self, figure3_instance):
+        tags = assign_tags(figure3_instance)
+        assert tags == {"l1": 0}
+
+    def test_sorted_by_ingress(self):
+        topo = Topology()
+        topo.add_switch("s", 10)
+        topo.add_entry_port("b", "s")
+        topo.add_entry_port("a", "s")
+        policies = PolicySet([Policy("b"), Policy("a")])
+        instance = PlacementInstance(topo, Routing(), policies)
+        assert assign_tags(instance) == {"a": 0, "b": 1}
+
+
+class TestSynthesize:
+    def test_infeasible_rejected(self, figure3_instance):
+        from repro.core.placement import Placement
+
+        placement = Placement(figure3_instance, SolveStatus.INFEASIBLE)
+        with pytest.raises(ValueError):
+            synthesize(placement)
+
+    def test_tables_respect_capacity_and_loads(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        dataplane = synthesize(placement)
+        loads = placement.switch_loads()
+        for switch, table in dataplane.tables.items():
+            assert table.occupancy() == loads[switch]
+            assert table.occupancy() <= figure3_instance.capacity(switch)
+
+    def test_priorities_respect_policy_order(self, figure3_instance):
+        """Where r11 (permit) and r12 (drop) share a table, r11 must
+        have the higher install priority."""
+        placement = RulePlacer().place(figure3_instance)
+        dataplane = synthesize(placement)
+        for table in dataplane.tables.values():
+            by_match = {}
+            for entry in table.entries:
+                by_match[entry.match.to_string()] = entry.priority
+            if "1***" in by_match and "1*0*" in by_match:
+                assert by_match["1***"] > by_match["1*0*"]
+
+    def test_entry_tags_and_actions(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        dataplane = synthesize(placement)
+        tags = dataplane.ingress_tags
+        for table in dataplane.tables.values():
+            for entry in table.entries:
+                assert entry.tags == frozenset({tags["l1"]})
+                assert entry.action in (TableAction.DROP, TableAction.FORWARD)
+
+    def test_merged_entry_carries_tag_union(self):
+        topo = Topology()
+        for name, cap in (("sa", 0), ("sb", 0), ("mid", 1), ("dst", 0)):
+            topo.add_switch(name, cap)
+        topo.add_link("sa", "mid")
+        topo.add_link("sb", "mid")
+        topo.add_link("mid", "dst")
+        topo.add_entry_port("a", "sa")
+        topo.add_entry_port("b", "sb")
+        topo.add_entry_port("o", "dst")
+        shared = rule("1***", Action.DROP, 1)
+        policies = PolicySet([Policy("a", [shared]), Policy("b", [shared])])
+        routing = Routing([
+            Path("a", "o", ("sa", "mid", "dst")),
+            Path("b", "o", ("sb", "mid", "dst")),
+        ])
+        instance = PlacementInstance(topo, routing, policies)
+        placement = RulePlacer(PlacerConfig(enable_merging=True)).place(instance)
+        assert placement.status is SolveStatus.OPTIMAL
+        dataplane = synthesize(placement)
+        table = dataplane.tables["mid"]
+        assert table.occupancy() == 1
+        entry = table.entries[0]
+        assert entry.tags == frozenset({0, 1})
+        assert len(entry.origin) == 2
+
+    def test_simulation_through_synthesized_tables(self, figure3_instance):
+        placement = RulePlacer().place(figure3_instance)
+        dataplane = synthesize(placement)
+        mismatches = dataplane.check_routing_sampled(
+            list(figure3_instance.policies), figure3_instance.routing, seed=1,
+            samples_per_rule=32,
+        )
+        assert mismatches == []
+
+
+class TestOrderingProperty:
+    def test_synthesized_priorities_respect_all_ordering_pairs(self):
+        """For every significant (overlapping, different-action) pair of
+        one policy present on a switch, install priorities agree with
+        policy priorities -- across random generated instances."""
+        from repro.core.depgraph import ordering_pairs
+        from repro.core.placement import PlacerConfig
+        from repro.experiments import ExperimentConfig, build_instance
+
+        for seed in range(6):
+            instance = build_instance(ExperimentConfig(
+                k=4, num_paths=12, rules_per_policy=8, capacity=25,
+                num_ingresses=4, seed=seed, blacklist_rules=2,
+            ))
+            placement = RulePlacer(
+                PlacerConfig(enable_merging=True)
+            ).place(instance)
+            if not placement.is_feasible:
+                continue
+            dataplane = synthesize(placement)
+            tags = dataplane.ingress_tags
+            for policy in instance.policies:
+                pairs = list(ordering_pairs(policy))
+                tag = tags[policy.ingress]
+                for switch, table in dataplane.tables.items():
+                    prio_of = {}
+                    for entry in table.entries:
+                        if entry.tags is None or tag not in entry.tags:
+                            continue
+                        for rule in policy.rules:
+                            if rule.match == entry.match:
+                                prio_of.setdefault(rule.priority, entry.priority)
+                    for higher, lower in pairs:
+                        if higher in prio_of and lower in prio_of:
+                            assert prio_of[higher] > prio_of[lower], (
+                                seed, switch, policy.ingress, higher, lower
+                            )

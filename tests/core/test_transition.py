@@ -1,0 +1,139 @@
+"""Tests for safe transition planning between placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import Placement, PlacerConfig, RulePlacer
+from repro.core.transition import (
+    OpKind,
+    apply_plan,
+    plan_transition,
+)
+from repro.core.verify import verify_placement
+from repro.core.objectives import UpstreamDrops
+from repro.experiments import ExperimentConfig, build_instance
+from repro.milp.model import SolveStatus
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=16, rules_per_policy=10, capacity=30,
+        num_ingresses=6, seed=4, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+
+
+@pytest.fixture(scope="module")
+def two_placements(instance):
+    """Two different-but-equivalent solutions of the same instance."""
+    a = RulePlacer().place(instance)
+    b = RulePlacer(PlacerConfig(objective=UpstreamDrops())).place(instance)
+    assert a.is_feasible and b.is_feasible
+    return a, b
+
+
+class TestPlanStructure:
+    def test_identity_transition_is_empty(self, two_placements):
+        a, _ = two_placements
+        plan = plan_transition(a, a)
+        assert len(plan) == 0
+
+    def test_apply_reaches_target(self, two_placements):
+        a, b = two_placements
+        plan = plan_transition(a, b)
+        final = apply_plan(plan, a)
+        assert final == {k: v for k, v in b.placed.items() if v}
+
+    def test_reverse_plan_reaches_source(self, two_placements):
+        a, b = two_placements
+        back = plan_transition(b, a)
+        final = apply_plan(back, b)
+        assert final == {k: v for k, v in a.placed.items() if v}
+
+    def test_op_counts(self, two_placements):
+        a, b = two_placements
+        plan = plan_transition(a, b)
+        copies_a = {(k, s) for k, sw in a.placed.items() for s in sw}
+        copies_b = {(k, s) for k, sw in b.placed.items() for s in sw}
+        assert plan.num_installs() == len(copies_b - copies_a)
+        assert plan.num_deletes() == len(copies_a - copies_b)
+
+
+class TestSafety:
+    def test_intermediate_states_preserve_semantics(self, instance,
+                                                    two_placements):
+        """Every prefix of the plan yields a dataplane that still drops
+        everything the policy demands (extra drops never appear because
+        PERMITs always precede their DROPs)."""
+        a, b = two_placements
+        plan = plan_transition(a, b)
+        # Checking every prefix is O(n^2) verifications; sample prefixes.
+        checkpoints = {0, len(plan) // 3, len(plan) // 2, len(plan) - 1,
+                       len(plan)}
+        state = {k: set(v) for k, v in a.placed.items()}
+        for idx, op in enumerate(plan.ops, start=1):
+            if op.kind is OpKind.INSTALL:
+                state.setdefault(op.rule, set()).add(op.switch)
+            else:
+                state[op.rule].discard(op.switch)
+            if idx in checkpoints:
+                snapshot = Placement(
+                    instance=instance, status=SolveStatus.FEASIBLE,
+                    placed={k: frozenset(v) for k, v in state.items() if v},
+                )
+                # Capacity may transiently exceed on purpose.  Wrongful
+                # drops must NEVER occur; missing coverage is only
+                # tolerated on squeezed switches (documented
+                # broken-before-made fallback).
+                report = verify_placement(snapshot)
+                wrongful = [
+                    e for e in report.errors if "wrongly dropped" in e
+                ]
+                assert wrongful == [], (idx, wrongful)
+                if not plan.squeezed_switches:
+                    coverage = [
+                        e for e in report.errors
+                        if "capacity" not in e and "dependency" not in e
+                    ]
+                    assert coverage == [], (idx, coverage)
+
+    def test_peak_occupancy_reported(self, two_placements):
+        a, b = two_placements
+        plan = plan_transition(a, b)
+        loads_a = a.switch_loads()
+        for switch, peak in plan.peak_occupancy.items():
+            assert peak >= loads_a.get(switch, 0)
+
+    def test_squeezed_switch_deletes_first(self, instance):
+        """When a switch can't hold old+new, its deletes come first."""
+        base = RulePlacer().place(instance)
+        # Build a fake 'new' placement by shifting everything the
+        # ingress switch holds onto the next hop, stressing that hop.
+        plan = None
+        alt = RulePlacer(PlacerConfig(objective=UpstreamDrops())).place(instance)
+        plan = plan_transition(base, alt)
+        for switch in plan.squeezed_switches:
+            ops_on_switch = [op for op in plan.ops if op.switch == switch]
+            first_install = next(
+                (i for i, op in enumerate(ops_on_switch)
+                 if op.kind is OpKind.INSTALL), None,
+            )
+            deletes_after = [
+                op for op in ops_on_switch[first_install or 0:]
+                if op.kind is OpKind.DELETE
+            ]
+            if first_install is not None:
+                assert not deletes_after
+
+
+class TestValidation:
+    def test_different_switch_sets_rejected(self, instance, two_placements):
+        a, _ = two_placements
+        other = build_instance(ExperimentConfig(k=6, num_paths=8,
+                                                rules_per_policy=4,
+                                                num_ingresses=2, seed=1))
+        foreign = RulePlacer().place(other)
+        with pytest.raises(ValueError):
+            plan_transition(a, foreign)

@@ -1,0 +1,197 @@
+"""Tests for the independent placement verifier.
+
+The verifier must accept every solver-produced placement (covered all
+over the suite) -- here we focus on it *rejecting* corrupted ones, so a
+green verification is actually meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import Placement, RulePlacer
+from repro.core.verify import path_drop_region, verify_placement
+from repro.milp.model import SolveStatus
+from repro.net.routing import Path, Routing
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import RegionSet, TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+@pytest.fixture
+def good_placement(figure3_instance):
+    placement = RulePlacer().place(figure3_instance)
+    assert placement.is_feasible
+    return placement
+
+
+class TestAccepts:
+    def test_good_placement_passes(self, good_placement):
+        report = verify_placement(good_placement)
+        assert report.ok
+        assert report.errors == []
+        assert report.paths_checked == 2
+        report.raise_on_error()  # no-op on success
+
+
+class TestRejects:
+    def test_infeasible_status(self, figure3_instance):
+        placement = Placement(figure3_instance, SolveStatus.INFEASIBLE)
+        report = verify_placement(placement)
+        assert not report.ok
+        with pytest.raises(AssertionError):
+            report.raise_on_error()
+
+    def test_missing_drop_on_one_path(self, good_placement):
+        """Remove r13's copy covering the s4/s5 branch."""
+        corrupted = dict(good_placement.placed)
+        key = ("l1", 1)
+        kept = {s for s in corrupted[key] if s in {"s3"}}
+        corrupted[key] = frozenset(kept) or frozenset({"s3"})
+        placement = Placement(
+            good_placement.instance, SolveStatus.FEASIBLE, corrupted
+        )
+        report = verify_placement(placement)
+        assert not report.ok
+        assert any("not dropped" in e for e in report.errors)
+
+    def test_drop_without_permit_dependency(self, good_placement):
+        """Move the permit r11 away from the drop r12's switch: packets
+        matching the permit get wrongly dropped there."""
+        corrupted = dict(good_placement.placed)
+        r12_switches = corrupted[("l1", 2)]
+        corrupted[("l1", 3)] = frozenset()  # delete the permit entirely
+        placement = Placement(
+            good_placement.instance, SolveStatus.FEASIBLE, corrupted
+        )
+        report = verify_placement(placement)
+        assert not report.ok
+        assert any("dependency violation" in e for e in report.errors)
+        assert any("wrongly dropped" in e for e in report.errors)
+
+    def test_capacity_violation(self, figure3_instance):
+        """Stuff every rule onto one capacity-2 switch."""
+        all_rules = {
+            ("l1", p): frozenset({"s1"}) for p in (1, 2, 3)
+        }
+        placement = Placement(
+            figure3_instance, SolveStatus.FEASIBLE, all_rules
+        )
+        report = verify_placement(placement)
+        assert any("exceeds capacity" in e for e in report.errors)
+
+    def test_simulation_cross_check(self, good_placement):
+        report = verify_placement(good_placement, simulate=True)
+        assert report.ok
+
+
+class TestPathDropRegion:
+    def test_region_matches_manual_computation(self, figure3_instance):
+        """Place permit+drop on s1 and the catch-all drop on s2: the
+        path drop region is (1*0* minus 1***) union 0*** = 0***."""
+        placement = Placement(
+            figure3_instance, SolveStatus.FEASIBLE,
+            placed={
+                ("l1", 3): frozenset({"s1"}),
+                ("l1", 2): frozenset({"s1"}),
+                ("l1", 1): frozenset({"s2"}),
+            },
+        )
+        policy = figure3_instance.policies["l1"]
+        path = figure3_instance.routing.paths("l1")[0]
+        region = path_drop_region(figure3_instance, placement, policy, path)
+        expected = RegionSet(4, [TernaryMatch.from_string("0***")])
+        assert region.equals(expected)
+
+    def test_flow_restricted_verification(self):
+        """With a flow descriptor the out-of-flow leak is not an error."""
+        topo_policy = Policy("in", [rule("1***", Action.DROP, 1)])
+        from repro.net.topology import Topology
+
+        topo = Topology()
+        topo.add_switch("a", 10)
+        topo.add_entry_port("in", "a")
+        topo.add_entry_port("out", "a")
+        flow = TernaryMatch.from_string("0***")  # drop rule irrelevant
+        instance = PlacementInstance(
+            topo, Routing([Path("in", "out", ("a",), flow=flow)]),
+            PolicySet([topo_policy]),
+        )
+        # Empty placement: nothing installed -- fine, since no packet
+        # in the flow should be dropped.
+        placement = Placement(instance, SolveStatus.FEASIBLE, {})
+        assert verify_placement(placement).ok
+
+
+class TestMutationRobustness:
+    """Randomly corrupt correct placements; the verifier must flag every
+    mutation that changes semantics, and accept every one that does not
+    (e.g. adding a redundant copy)."""
+
+    def test_random_mutations(self):
+        import random
+
+        from repro.experiments import ExperimentConfig, build_instance
+
+        rng = random.Random(0)
+        for seed in range(6):
+            instance = build_instance(ExperimentConfig(
+                k=4, num_paths=8, rules_per_policy=6, capacity=30,
+                num_ingresses=3, seed=seed,
+            ))
+            placement = RulePlacer().place(instance)
+            assert placement.is_feasible
+            assert verify_placement(placement).ok
+            placed_keys = [k for k, v in placement.placed.items() if v]
+            if not placed_keys:
+                continue
+
+            # Mutation 1: delete one DROP copy entirely -> must fail
+            # (coverage broken) unless the drop was redundant.
+            drop_keys = [
+                k for k in placed_keys if instance.rule(k).is_drop
+            ]
+            if drop_keys:
+                victim = rng.choice(drop_keys)
+                corrupted = dict(placement.placed)
+                corrupted[victim] = frozenset()
+                mutated = Placement(instance, SolveStatus.FEASIBLE, corrupted)
+                report = verify_placement(mutated)
+                from repro.policy.redundancy import find_redundant_rules
+
+                policy = instance.policies[victim[0]]
+                redundant = {
+                    r.priority for r in find_redundant_rules(policy)
+                }
+                if victim[1] not in redundant:
+                    assert not report.ok, (seed, victim)
+
+            # Mutation 2: add a fully redundant extra copy of an
+            # already-placed rule *with its dependencies* -> must pass.
+            candidates = [
+                k for k in placed_keys
+                if instance.rule(k).is_permit or not placement.merge_plan
+            ]
+            key = rng.choice(placed_keys)
+            from repro.core.depgraph import build_dependency_graph
+
+            graph = build_dependency_graph(instance.policies[key[0]])
+            reachable = instance.reachable_switches(key[0])
+            extra = rng.choice(list(reachable))
+            corrupted = dict(placement.placed)
+            closure = (
+                graph.closure(key[1])
+                if instance.rule(key).is_drop else (key[1],)
+            )
+            for priority in closure:
+                ckey = (key[0], priority)
+                corrupted[ckey] = corrupted.get(ckey, frozenset()) | {extra}
+            mutated = Placement(instance, SolveStatus.FEASIBLE, corrupted)
+            report = verify_placement(mutated)
+            semantic = [e for e in report.errors if "capacity" not in e]
+            assert semantic == [], (seed, key, extra, semantic)

@@ -1,0 +1,160 @@
+"""Tests for the OpenFlow-style message layer and controller audit log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.objectives import UpstreamDrops
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.dataplane.messages import (
+    Barrier,
+    FlowMod,
+    FlowModCommand,
+    MessageLog,
+    PacketIn,
+    apply_flow_mod,
+    replay,
+)
+from repro.dataplane.switch import SwitchTable, TableAction
+from repro.experiments import ExperimentConfig, build_instance
+from repro.policy.ternary import TernaryMatch
+
+
+def add_mod(switch="s1", pattern="1***", priority=1,
+            action=TableAction.DROP, xid=0) -> FlowMod:
+    return FlowMod(switch, FlowModCommand.ADD,
+                   TernaryMatch.from_string(pattern), priority, action,
+                   xid=xid)
+
+
+class TestApplyFlowMod:
+    def test_add_installs(self):
+        table = SwitchTable("s1", 4)
+        apply_flow_mod(table, add_mod())
+        assert table.occupancy() == 1
+
+    def test_add_respects_capacity(self):
+        from repro.dataplane.switch import TableFullError
+
+        table = SwitchTable("s1", 0)
+        with pytest.raises(TableFullError):
+            apply_flow_mod(table, add_mod())
+
+    def test_delete_strict_exact_only(self):
+        table = SwitchTable("s1", 4)
+        apply_flow_mod(table, add_mod(priority=1))
+        apply_flow_mod(table, add_mod(priority=2))
+        delete = FlowMod("s1", FlowModCommand.DELETE_STRICT,
+                         TernaryMatch.from_string("1***"), 1)
+        apply_flow_mod(table, delete)
+        assert table.occupancy() == 1
+        assert table.entries[0].priority == 2
+
+    def test_delete_missing_is_noop(self):
+        table = SwitchTable("s1", 4)
+        delete = FlowMod("s1", FlowModCommand.DELETE_STRICT,
+                         TernaryMatch.from_string("1***"), 9)
+        apply_flow_mod(table, delete)
+        assert table.occupancy() == 0
+
+    def test_describe(self):
+        text = add_mod(xid=7).describe()
+        assert "xid=7" in text and "add" in text
+
+
+class TestMessageLog:
+    def test_ordering_and_counts(self):
+        log = MessageLog()
+        log.record(add_mod(xid=log.next_xid()))
+        log.record(Barrier("s1", xid=log.next_xid()))
+        log.record(PacketIn("s1", header=3, width=4))
+        assert len(log) == 3
+        assert log.counts() == {"FlowMod": 1, "Barrier": 1, "PacketIn": 1}
+        assert len(log.flow_mods()) == 1
+        assert len(log.for_switch("s1")) == 3
+
+    def test_xids_monotonic(self):
+        log = MessageLog()
+        assert log.next_xid() < log.next_xid() < log.next_xid()
+
+    def test_replay_builds_tables(self):
+        log = MessageLog()
+        log.record(add_mod("s1", "1***", 2))
+        log.record(add_mod("s1", "0***", 1))
+        log.record(add_mod("s2", "****", 1))
+        log.record(FlowMod("s1", FlowModCommand.DELETE_STRICT,
+                           TernaryMatch.from_string("0***"), 1))
+        tables = replay(log, {"s1": 4, "s2": 4})
+        assert tables["s1"].occupancy() == 1
+        assert tables["s2"].occupancy() == 1
+
+
+class TestControllerAudit:
+    """The audit property: replaying the controller's log reconstructs
+    its dataplane exactly -- across deploy and live transitions."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        instance = build_instance(ExperimentConfig(
+            k=4, num_paths=12, rules_per_policy=8, capacity=30,
+            num_ingresses=4, seed=12, drop_fraction=0.5, nested_fraction=0.5,
+        ))
+        a = RulePlacer().place(instance)
+        b = RulePlacer(PlacerConfig(objective=UpstreamDrops())).place(instance)
+        return instance, a, b
+
+    @staticmethod
+    def assert_replay_matches(controller):
+        capacities = dict(controller.instance.capacities)
+        replayed = {
+            name: table
+            for name, table in replay(controller.log, capacities).items()
+            if table.occupancy()
+        }
+        live = {
+            name: table for name, table in controller.dataplane.tables.items()
+            if table.occupancy()
+        }
+        assert set(replayed) == set(live)
+        for name in live:
+            assert set(replayed[name].entries) == set(live[name].entries), name
+
+    def test_after_deploy(self, scenario):
+        instance, a, _ = scenario
+        controller = Controller(instance)
+        controller.deploy(a)
+        self.assert_replay_matches(controller)
+        # Barriers bracket the rollout.
+        assert any(isinstance(m, Barrier) for m in controller.log.messages)
+
+    def test_after_transition(self, scenario):
+        instance, a, b = scenario
+        controller = Controller(instance)
+        controller.deploy(a)
+        controller.transition(b)
+        self.assert_replay_matches(controller)
+
+    def test_after_round_trip(self, scenario):
+        instance, a, b = scenario
+        controller = Controller(instance)
+        controller.deploy(a)
+        controller.transition(b)
+        controller.transition(a)
+        self.assert_replay_matches(controller)
+
+    def test_log_counts_match_stats(self, scenario):
+        instance, a, b = scenario
+        controller = Controller(instance)
+        controller.deploy(a)
+        controller.transition(b)
+        adds = sum(
+            1 for m in controller.log.flow_mods()
+            if m.command is FlowModCommand.ADD
+        )
+        deletes = sum(
+            1 for m in controller.log.flow_mods()
+            if m.command is FlowModCommand.DELETE_STRICT
+        )
+        assert adds == controller.stats.installs_sent
+        assert deletes == controller.stats.deletes_sent

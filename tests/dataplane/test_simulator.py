@@ -1,0 +1,112 @@
+"""Tests for end-to-end dataplane simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataplane.simulator import Dataplane, Verdict
+from repro.dataplane.switch import SwitchTable, TableAction, TcamEntry
+from repro.net.routing import Path, Routing
+from repro.policy.policy import Policy
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def entry(pattern: str, action: TableAction, priority: int, tags=None) -> TcamEntry:
+    return TcamEntry(
+        TernaryMatch.from_string(pattern), action, priority,
+        None if tags is None else frozenset(tags),
+    )
+
+
+@pytest.fixture
+def simple_dataplane():
+    """Two switches: t1 drops 1*0* unless 11** (permit); t2 drops 0***."""
+    t1 = SwitchTable("s1", 4)
+    t1.install(entry("11**", TableAction.FORWARD, 2))
+    t1.install(entry("1*0*", TableAction.DROP, 1))
+    t2 = SwitchTable("s2", 4)
+    t2.install(entry("0***", TableAction.DROP, 1))
+    return Dataplane({"s1": t1, "s2": t2}, ingress_tags={"in": 0})
+
+
+class TestSend:
+    def test_dropped_at_first_switch(self, simple_dataplane):
+        path = Path("in", "out", ("s1", "s2"))
+        verdict, trace = simple_dataplane.send(path, 0b1000, 4)
+        assert verdict is Verdict.DROPPED
+        assert [t.switch for t in trace] == ["s1"]
+        assert trace[-1].action is TableAction.DROP
+
+    def test_dropped_downstream(self, simple_dataplane):
+        path = Path("in", "out", ("s1", "s2"))
+        verdict, trace = simple_dataplane.send(path, 0b0000, 4)
+        assert verdict is Verdict.DROPPED
+        assert [t.switch for t in trace] == ["s1", "s2"]
+
+    def test_delivered(self, simple_dataplane):
+        path = Path("in", "out", ("s1", "s2"))
+        assert simple_dataplane.verdict(path, 0b1100, 4) is Verdict.DELIVERED
+        assert simple_dataplane.verdict(path, 0b1010, 4) is Verdict.DELIVERED
+
+    def test_switch_without_table_forwards(self, simple_dataplane):
+        path = Path("in", "out", ("s9", "s2"))
+        assert simple_dataplane.verdict(path, 0b1111, 4) is Verdict.DELIVERED
+
+    def test_total_installed(self, simple_dataplane):
+        assert simple_dataplane.total_installed() == 3
+
+
+class TestConformance:
+    def test_matching_tables_pass(self, simple_dataplane):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("11**"), Action.PERMIT, 3),
+            Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 2),
+            Rule(TernaryMatch.from_string("0***"), Action.DROP, 1),
+        ])
+        routing = Routing([Path("in", "out", ("s1", "s2"))])
+        mismatches = simple_dataplane.check_routing_sampled(
+            [policy], routing, seed=0, samples_per_rule=16
+        )
+        assert mismatches == []
+
+    def test_detects_missing_drop(self, simple_dataplane):
+        """A policy expecting more drops than installed must mismatch."""
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("****"), Action.DROP, 1),
+        ])
+        routing = Routing([Path("in", "out", ("s1", "s2"))])
+        mismatches = simple_dataplane.check_routing_sampled(
+            [policy], routing, seed=0, samples_per_rule=16
+        )
+        assert mismatches
+        assert mismatches[0].expected is Verdict.DROPPED
+        assert mismatches[0].actual is Verdict.DELIVERED
+
+    def test_detects_wrongful_drop(self, simple_dataplane):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("11**"), Action.PERMIT, 3),
+            Rule(TernaryMatch.from_string("0***"), Action.DROP, 1),
+        ])  # 1*0* should NOT be dropped under this policy
+        routing = Routing([Path("in", "out", ("s1", "s2"))])
+        mismatches = simple_dataplane.check_routing_sampled(
+            [policy], routing, seed=0, samples_per_rule=32
+        )
+        assert any(m.actual is Verdict.DROPPED for m in mismatches)
+
+    def test_flow_descriptor_restricts_probes(self, simple_dataplane):
+        """With a flow excluding the mismatch region, the check passes."""
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("11**"), Action.PERMIT, 3),
+            Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 2),
+            Rule(TernaryMatch.from_string("0***"), Action.DROP, 1),
+        ])
+        flow = TernaryMatch.from_string("1***")
+        # s2's 0*** drop is now unreachable by this path's packets.
+        routing = Routing([Path("in", "out", ("s1",), flow=flow)])
+        mismatches = simple_dataplane.check_routing_sampled(
+            [policy], routing, seed=0, samples_per_rule=16
+        )
+        assert mismatches == []

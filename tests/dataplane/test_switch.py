@@ -1,0 +1,104 @@
+"""Tests for the TCAM table model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import SwitchTable, TableAction, TableFullError, TcamEntry
+from repro.policy.ternary import TernaryMatch
+
+
+def entry(pattern: str, action: TableAction, priority: int,
+          tags=None, origin=()) -> TcamEntry:
+    return TcamEntry(
+        TernaryMatch.from_string(pattern), action, priority,
+        None if tags is None else frozenset(tags), tuple(origin),
+    )
+
+
+class TestPacket:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Packet(0b10000, 4)
+
+    def test_with_tag(self):
+        packet = Packet(0b1010, 4)
+        assert packet.tag is None
+        tagged = packet.with_tag(3)
+        assert tagged.tag == 3
+        assert tagged.header == packet.header
+
+
+class TestCapacity:
+    def test_install_respects_capacity(self):
+        table = SwitchTable("s1", 1)
+        table.install(entry("1***", TableAction.DROP, 1))
+        with pytest.raises(TableFullError):
+            table.install(entry("0***", TableAction.DROP, 2))
+
+    def test_occupancy_and_free(self):
+        table = SwitchTable("s1", 3)
+        table.install(entry("1***", TableAction.DROP, 1))
+        assert table.occupancy() == 1
+        assert table.free_slots() == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchTable("s1", -1)
+
+
+class TestClassification:
+    def test_first_match_by_priority(self):
+        table = SwitchTable("s1", 4)
+        table.install(entry("1*0*", TableAction.DROP, 1))
+        table.install(entry("1***", TableAction.FORWARD, 2))
+        # The permit has higher priority: 1x0x forwards.
+        assert table.classify(Packet(0b1000, 4)) is TableAction.FORWARD
+
+    def test_default_forward(self):
+        table = SwitchTable("s1", 4)
+        table.install(entry("1***", TableAction.DROP, 1))
+        assert table.classify(Packet(0b0000, 4)) is TableAction.FORWARD
+
+    def test_install_order_irrelevant(self):
+        specs = [("1***", TableAction.FORWARD, 3), ("1*0*", TableAction.DROP, 1),
+                 ("***1", TableAction.DROP, 2)]
+        results = []
+        for order in (specs, specs[::-1]):
+            table = SwitchTable("s1", 4)
+            for pattern, action, priority in order:
+                table.install(entry(pattern, action, priority))
+            results.append([table.classify(Packet(h, 4)) for h in range(16)])
+        assert results[0] == results[1]
+
+    def test_tag_matching(self):
+        table = SwitchTable("s1", 4)
+        table.install(entry("****", TableAction.DROP, 1, tags={1, 2}))
+        assert table.classify(Packet(0, 4, tag=1)) is TableAction.DROP
+        assert table.classify(Packet(0, 4, tag=3)) is TableAction.FORWARD
+        # Untagged packets never match a tagged entry.
+        assert table.classify(Packet(0, 4)) is TableAction.FORWARD
+
+    def test_tagless_entry_matches_any_tag(self):
+        table = SwitchTable("s1", 4)
+        table.install(entry("****", TableAction.DROP, 1))
+        assert table.classify(Packet(0, 4, tag=9)) is TableAction.DROP
+
+    def test_matching_entry(self):
+        table = SwitchTable("s1", 4)
+        e = entry("1***", TableAction.DROP, 1)
+        table.install(e)
+        assert table.matching_entry(Packet(0b1000, 4)) == e
+        assert table.matching_entry(Packet(0b0000, 4)) is None
+
+
+class TestOriginBookkeeping:
+    def test_remove_by_origin(self):
+        table = SwitchTable("s1", 4)
+        table.install(entry("1***", TableAction.DROP, 1, origin=["a.r0"]))
+        table.install(entry("0***", TableAction.DROP, 2, origin=["b.r0"]))
+        table.install(entry("**1*", TableAction.DROP, 3, origin=["a.r1", "b.r1"]))
+        freed = table.remove_by_origin("a")
+        assert freed == 1  # only the pure-a entry goes; the shared stays
+        assert table.occupancy() == 2

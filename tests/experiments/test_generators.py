@@ -1,0 +1,80 @@
+"""Tests for experiment instance generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.generators import (
+    ExperimentConfig,
+    attach_flow_descriptors,
+    build_instance,
+)
+from repro.net.fattree import fattree
+from repro.net.routing import ShortestPathRouter
+
+
+class TestBuildInstance:
+    def test_deterministic(self):
+        a = build_instance(ExperimentConfig(seed=11))
+        b = build_instance(ExperimentConfig(seed=11))
+        assert [p.switches for p in a.routing.all_paths()] == \
+               [p.switches for p in b.routing.all_paths()]
+        for pa, pb in zip(a.policies, b.policies):
+            assert [(r.match, r.action) for r in pa.rules] == \
+                   [(r.match, r.action) for r in pb.rules]
+
+    def test_knobs_respected(self):
+        config = ExperimentConfig(
+            k=4, num_paths=24, rules_per_policy=7, capacity=33, num_ingresses=5
+        )
+        instance = build_instance(config)
+        assert instance.routing.num_paths() == 24
+        assert len(instance.policies) == 5
+        assert all(len(p) == 7 for p in instance.policies)
+        assert all(c == 33 for c in instance.capacities.values())
+        assert instance.topology.num_switches() == 20
+
+    def test_default_ingresses_one_per_edge(self):
+        instance = build_instance(ExperimentConfig(k=4))
+        assert len(instance.policies) == 8  # k=4: 8 edge switches
+
+    def test_blacklist_rules_added(self):
+        config = ExperimentConfig(rules_per_policy=10, blacklist_rules=3)
+        instance = build_instance(config)
+        assert all(len(p) == 13 for p in instance.policies)
+
+    def test_flow_slicing_annotates_paths(self):
+        instance = build_instance(ExperimentConfig(flow_slicing=True))
+        assert all(p.flow is not None for p in instance.routing.all_paths())
+
+    def test_describe(self):
+        text = ExperimentConfig(k=6, num_paths=9, rules_per_policy=3,
+                                capacity=44, seed=2).describe()
+        assert text == "k=6 p=9 r=3 C=44 seed=2"
+
+
+class TestFlowDescriptors:
+    def test_same_egress_same_prefix(self):
+        topo = fattree(4, capacity=50)
+        ports = [p.name for p in topo.entry_ports]
+        router = ShortestPathRouter(topo, seed=0)
+        routing = router.random_routing(20, ingresses=ports[:2])
+        sliced = attach_flow_descriptors(routing, seed=0)
+        by_egress = {}
+        for path in sliced.all_paths():
+            by_egress.setdefault(path.egress, set()).add(path.flow)
+        for flows in by_egress.values():
+            assert len(flows) == 1
+
+    def test_slicing_reduces_variables(self):
+        dense = build_instance(ExperimentConfig(
+            k=4, num_paths=32, rules_per_policy=20, seed=4
+        ))
+        sliced = build_instance(ExperimentConfig(
+            k=4, num_paths=32, rules_per_policy=20, seed=4, flow_slicing=True
+        ))
+        from repro.core.ilp import build_encoding
+
+        dense_vars = build_encoding(dense).num_placement_vars()
+        sliced_vars = build_encoding(sliced).num_placement_vars()
+        assert sliced_vars < dense_vars

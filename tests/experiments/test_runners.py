@@ -1,0 +1,85 @@
+"""Tests for the experiment runner and reporting layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.generators import ExperimentConfig
+from repro.experiments.reporting import (
+    banner,
+    figure_series,
+    format_figure,
+    format_table2_cell,
+)
+from repro.experiments.runners import Record, run_averaged, run_point, sweep
+from repro.milp.model import SolveStatus
+
+
+FAST = ExperimentConfig(k=4, num_paths=8, rules_per_policy=6, capacity=50,
+                        num_ingresses=4)
+
+
+class TestRunPoint:
+    def test_record_fields(self):
+        record = run_point(FAST, verify=True)
+        assert record.status is SolveStatus.OPTIMAL
+        assert record.feasible
+        assert record.runtime_seconds > 0
+        assert record.installed_rules is not None
+        assert record.required_rules is not None
+        assert record.overhead is not None
+        assert record.num_variables > 0
+        assert record.verified is True
+
+    def test_infeasible_record(self):
+        tight = ExperimentConfig(k=4, num_paths=8, rules_per_policy=12,
+                                 capacity=0, num_ingresses=4)
+        record = run_point(tight)
+        assert not record.feasible
+        assert record.installed_rules is None
+        assert "infeasible" in record.row()
+
+    def test_row_rendering(self):
+        record = run_point(FAST)
+        row = record.row()
+        assert "optimal" in row
+        assert "ms" in row
+
+
+class TestSweeps:
+    def test_run_averaged_uses_distinct_seeds(self):
+        records = run_averaged(FAST, instances=3)
+        assert len(records) == 3
+        assert len({r.config.seed for r in records}) == 3
+
+    def test_sweep_shapes(self):
+        results = sweep(FAST, "rules_per_policy", [4, 6], instances=2)
+        assert set(results) == {4, 6}
+        assert all(len(records) == 2 for records in results.values())
+        for value, records in results.items():
+            assert all(r.config.rules_per_policy == value for r in records)
+
+
+class TestReporting:
+    def test_figure_series_aggregates(self):
+        results = sweep(FAST, "rules_per_policy", [4, 6], instances=2)
+        rows = figure_series(results)
+        assert [row["x"] for row in rows] == [4, 6]
+        for row in rows:
+            assert row["min_ms"] <= row["mean_ms"] <= row["max_ms"]
+            assert row["feasible"] == 2 and row["total"] == 2
+
+    def test_format_figure_contains_rows(self):
+        results = sweep(FAST, "rules_per_policy", [4], instances=1)
+        text = format_figure("Demo", "#rules", results)
+        assert "Demo" in text
+        assert "#rules" in text
+        assert "ms" in text
+
+    def test_table2_cell(self):
+        assert format_table2_cell(None, None) == "   -    Inf"
+        cell = format_table2_cell(3500, 0.30)
+        assert "3500" in cell and "30%" in cell
+
+    def test_banner(self):
+        assert "Hello" in banner("Hello")

@@ -1,0 +1,61 @@
+"""Tests for the analytic encoding-size model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ilp import build_encoding
+from repro.experiments import ExperimentConfig, build_instance
+from repro.experiments.scaling import predict_encoding_size
+
+
+@pytest.mark.parametrize("merging", [False, True], ids=["plain", "merged"])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_prediction_matches_built_model(merging, seed):
+    instance = build_instance(ExperimentConfig(
+        k=4, num_paths=16, rules_per_policy=10, capacity=30,
+        num_ingresses=6, seed=seed, blacklist_rules=2 if merging else 0,
+    ))
+    predicted = predict_encoding_size(instance, enable_merging=merging)
+    encoding = build_encoding(instance, enable_merging=merging)
+    assert predicted.variables == encoding.model.num_variables()
+    assert predicted.constraints == encoding.model.num_constraints()
+
+
+def test_prediction_with_slicing():
+    instance = build_instance(ExperimentConfig(
+        k=4, num_paths=16, rules_per_policy=10, capacity=30,
+        num_ingresses=6, seed=3, flow_slicing=True,
+    ))
+    predicted = predict_encoding_size(instance)
+    encoding = build_encoding(instance)
+    assert predicted.variables == encoding.model.num_variables()
+    assert predicted.constraints == encoding.model.num_constraints()
+
+
+def test_paper_proportionality_claims():
+    """Variables grow with rules; constraints grow with paths."""
+    base = dict(k=4, capacity=150, num_ingresses=8, seed=5)
+    small_r = predict_encoding_size(build_instance(
+        ExperimentConfig(num_paths=16, rules_per_policy=10, **base)
+    ))
+    big_r = predict_encoding_size(build_instance(
+        ExperimentConfig(num_paths=16, rules_per_policy=40, **base)
+    ))
+    assert big_r.variables > 2 * small_r.variables
+
+    few_p = predict_encoding_size(build_instance(
+        ExperimentConfig(num_paths=8, rules_per_policy=20, **base)
+    ))
+    many_p = predict_encoding_size(build_instance(
+        ExperimentConfig(num_paths=64, rules_per_policy=20, **base)
+    ))
+    assert many_p.path_constraints > 4 * few_p.path_constraints
+
+
+def test_summary_renders():
+    instance = build_instance(ExperimentConfig(
+        k=4, num_paths=8, rules_per_policy=6, num_ingresses=3, seed=1,
+    ))
+    text = predict_encoding_size(instance).summary()
+    assert "variables" in text and "constraints" in text

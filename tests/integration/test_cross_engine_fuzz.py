@@ -1,0 +1,121 @@
+"""Cross-engine fuzzing over randomized topologies and workloads.
+
+One seeded campaign exercises the whole stack end to end: a random
+topology family (fat-tree / leaf-spine / ring / random graph), random
+routing with optional flow slicing, ClassBench-style policies with
+optional shared blacklists -- then every engine and baseline runs on the
+same instance and all pairwise consistency obligations are checked:
+
+* ILP (HiGHS), ILP (own B&B on small instances), and SAT agree on
+  feasibility;
+* every feasible answer passes exact verification;
+* objective ordering holds: merged ILP <= plain ILP <= greedy;
+* table synthesis + sampled packet replay agree with the policies.
+
+This is the repository's "everything is consistent with everything"
+safety net; each seed is an independent scenario.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import place_greedy
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.satenc import SatPlacer
+from repro.core.verify import verify_placement
+from repro.experiments.generators import attach_flow_descriptors
+from repro.milp.bnb import BranchAndBoundBackend
+from repro.net.fattree import fattree
+from repro.net.generators import leaf_spine, random_graph, ring
+from repro.net.routing import ShortestPathRouter
+from repro.policy.classbench import PolicyGeneratorConfig, generate_policy_set
+
+
+def build_random_scenario(seed: int) -> PlacementInstance:
+    rng = random.Random(seed)
+    kind = rng.choice(["fattree", "leaf_spine", "ring", "random"])
+    capacity = rng.choice([6, 10, 18, 40])
+    if kind == "fattree":
+        topo = fattree(4, capacity=capacity)
+    elif kind == "leaf_spine":
+        topo = leaf_spine(rng.randint(3, 5), rng.randint(2, 3),
+                          capacity=capacity)
+    elif kind == "ring":
+        topo = ring(rng.randint(4, 7), capacity=capacity)
+    else:
+        topo = random_graph(rng.randint(6, 10), degree=3,
+                            capacity=capacity, seed=seed)
+    ports = [p.name for p in topo.entry_ports]
+    num_ingresses = rng.randint(2, min(5, len(ports) - 1))
+    ingresses = rng.sample(ports, num_ingresses)
+    router = ShortestPathRouter(topo, seed=seed)
+    routing = router.random_routing(
+        rng.randint(num_ingresses, 3 * num_ingresses), ingresses=ingresses
+    )
+    if rng.random() < 0.4:
+        routing = attach_flow_descriptors(routing, seed=seed)
+    config = PolicyGeneratorConfig(
+        num_rules=rng.randint(4, 12),
+        drop_fraction=rng.uniform(0.3, 0.7),
+        nested_fraction=rng.uniform(0.2, 0.7),
+    )
+    policies = generate_policy_set(
+        ingresses, rules_per_policy=config.num_rules, seed=seed,
+        config=config,
+        blacklist_rules=rng.choice([0, 0, 2]),
+    )
+    return PlacementInstance(topo, routing, policies)
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_cross_engine_consistency(seed):
+    instance = build_random_scenario(seed)
+
+    ilp = RulePlacer().place(instance)
+    merged = RulePlacer(PlacerConfig(enable_merging=True)).place(instance)
+    sat = SatPlacer().place(instance)
+    greedy = place_greedy(instance)
+
+    # Feasibility agreement between exact engines.
+    assert ilp.status.has_solution == sat.status.has_solution, instance.summary()
+    # Merging can only help.
+    assert merged.status.has_solution >= ilp.status.has_solution
+
+    if not ilp.is_feasible:
+        # Greedy may not find what doesn't exist.
+        assert not greedy.is_feasible
+        return
+
+    # Every feasible result verifies exactly.
+    for label, placement in (("ilp", ilp), ("merged", merged), ("sat", sat)):
+        report = verify_placement(placement)
+        assert report.ok, (seed, label, report.errors[:2])
+
+    # Objective ordering.
+    assert merged.total_installed() <= ilp.total_installed()
+    assert sat.total_installed() >= ilp.total_installed()
+    if greedy.is_feasible:
+        assert verify_placement(greedy).ok
+        assert greedy.total_installed() >= ilp.total_installed()
+
+    # Own B&B agrees with HiGHS on small encodings.
+    if ilp.num_variables <= 300:
+        bnb = RulePlacer(
+            PlacerConfig(backend=BranchAndBoundBackend(time_limit=60))
+        ).place(instance)
+        assert bnb.is_feasible
+        assert bnb.objective_value == pytest.approx(ilp.objective_value)
+
+    # Synthesized tables replay correctly.
+    from repro.core.tags import synthesize
+
+    dataplane = synthesize(ilp)
+    mismatches = dataplane.check_routing_sampled(
+        list(instance.policies), instance.routing, seed=seed,
+        samples_per_rule=4,
+    )
+    assert mismatches == [], (seed, str(mismatches[0]))

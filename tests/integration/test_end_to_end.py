@@ -1,0 +1,144 @@
+"""Full-pipeline integration tests on fat-tree instances.
+
+Everything a user would do in sequence: generate, place, verify
+symbolically, synthesize tables, simulate packets, adapt incrementally
+-- plus cross-checks between the ILP and SAT engines and all baselines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    IncrementalDeployer,
+    PlacementInstance,
+    PlacerConfig,
+    RulePlacer,
+    SatPlacer,
+    ShortestPathRouter,
+    fattree,
+    generate_policy_set,
+    place_all_at_ingress,
+    place_greedy,
+    place_replicated,
+    synthesize,
+    verify_placement,
+)
+from repro.experiments import ExperimentConfig, build_instance
+from repro.milp.model import SolveStatus
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=24, rules_per_policy=15, capacity=40,
+        num_ingresses=8, seed=6, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+
+
+class TestFullPipeline:
+    def test_place_verify_synthesize_simulate(self, medium_instance):
+        placement = RulePlacer().place(medium_instance)
+        assert placement.status is SolveStatus.OPTIMAL
+        report = verify_placement(placement, simulate=True)
+        assert report.ok, report.errors
+        dataplane = synthesize(placement)
+        assert dataplane.total_installed() == placement.total_installed()
+
+    def test_merging_never_hurts(self):
+        instance = build_instance(ExperimentConfig(
+            k=4, num_paths=24, rules_per_policy=12, capacity=40,
+            num_ingresses=8, seed=6, blacklist_rules=4,
+        ))
+        plain = RulePlacer().place(instance)
+        merged = RulePlacer(PlacerConfig(enable_merging=True)).place(instance)
+        assert plain.is_feasible and merged.is_feasible
+        assert merged.total_installed() <= plain.total_installed()
+        assert verify_placement(merged, simulate=True).ok
+
+    def test_slicing_preserves_semantics_and_reduces_rules(self):
+        base = ExperimentConfig(
+            k=4, num_paths=24, rules_per_policy=12, capacity=40,
+            num_ingresses=8, seed=8,
+        )
+        dense = RulePlacer().place(build_instance(base))
+        sliced_cfg = ExperimentConfig(**{**base.__dict__, "flow_slicing": True})
+        sliced = RulePlacer().place(build_instance(sliced_cfg))
+        assert dense.is_feasible and sliced.is_feasible
+        assert sliced.total_installed() <= dense.total_installed()
+        assert verify_placement(sliced).ok
+
+    def test_sat_and_ilp_agree_and_verify(self, medium_instance):
+        ilp = RulePlacer().place(medium_instance)
+        sat = SatPlacer().place(medium_instance)
+        assert ilp.status.has_solution == sat.status.has_solution
+        assert verify_placement(sat).ok
+        assert sat.total_installed() >= ilp.total_installed()
+
+    def test_baseline_ordering(self, medium_instance):
+        """ILP optimum <= greedy <= replicate-everything copies."""
+        ilp = RulePlacer().place(medium_instance)
+        greedy = place_greedy(medium_instance)
+        replicated = place_replicated(medium_instance)
+        assert ilp.total_installed() <= greedy.total_installed()
+        assert (greedy.total_installed()
+                <= replicated.solver_stats["copies_installed"])
+
+    def test_incremental_journey(self, medium_instance):
+        """Deploy, install a new tenant, reroute it, remove it."""
+        base = RulePlacer().place(medium_instance)
+        deployer = IncrementalDeployer(base)
+        topo = medium_instance.topology
+        ports = [p.name for p in topo.entry_ports]
+        router = ShortestPathRouter(topo, seed=99)
+        free_port = next(
+            p for p in ports if p not in medium_instance.policies
+        )
+        tenant = generate_policy_set([free_port], rules_per_policy=8, seed=50)[free_port]
+        install = deployer.install_policy(
+            tenant, [router.shortest_path(free_port, ports[0])]
+        )
+        assert install.is_feasible
+        assert verify_placement(deployer.as_placement()).ok
+
+        reroute = deployer.reroute_policy(
+            free_port, [router.shortest_path(free_port, ports[1])]
+        )
+        assert reroute.is_feasible
+        assert verify_placement(deployer.as_placement()).ok
+
+        freed = deployer.remove_policy(free_port)
+        assert freed > 0
+        assert verify_placement(deployer.as_placement()).ok
+
+
+class TestFeasibilityCliff:
+    """The paper's central scalability observation: tight capacity
+    instances are hard near the boundary and quickly infeasible past
+    it, while loose instances stay easy."""
+
+    def test_cliff_exists(self):
+        base = dict(k=4, num_paths=24, rules_per_policy=25,
+                    num_ingresses=16, seed=3,
+                    drop_fraction=0.5, nested_fraction=0.5)
+        loose = RulePlacer().place(build_instance(
+            ExperimentConfig(**base, capacity=150)
+        ))
+        tight = RulePlacer().place(build_instance(
+            ExperimentConfig(**base, capacity=10)
+        ))
+        assert loose.status is SolveStatus.OPTIMAL
+        assert tight.status is SolveStatus.INFEASIBLE
+
+    def test_tightness_increases_duplication(self):
+        base = dict(k=4, num_paths=32, rules_per_policy=25,
+                    num_ingresses=16, seed=3,
+                    drop_fraction=0.5, nested_fraction=0.5)
+        loose = RulePlacer().place(build_instance(
+            ExperimentConfig(**base, capacity=150)
+        ))
+        tight = RulePlacer().place(build_instance(
+            ExperimentConfig(**base, capacity=30)
+        ))
+        assert loose.is_feasible and tight.is_feasible
+        assert tight.duplication_overhead() >= loose.duplication_overhead()

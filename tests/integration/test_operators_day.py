@@ -1,0 +1,145 @@
+"""One narrative integration test: a day in the life of the network.
+
+Chains every subsystem in the order an operator would touch them:
+
+  morning   -- capacity-plan the fabric, deploy the optimal placement;
+  10:00     -- a new tenant onboards (incremental install, text policy);
+  11:30     -- security pushes a blacklist update (policy modification);
+  14:00     -- a link fails; routing heals; rules follow incrementally;
+  15:00     -- traffic engineering re-optimizes for upstream drops; the
+               controller transitions the live tables hitlessly;
+  end of day-- audit: message log replays to the exact dataplane, the
+               Big Switch spec is still refined, books balance.
+
+Each step asserts its own invariants; a failure pinpoints the broken
+subsystem interaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BigSwitch,
+    Controller,
+    IncrementalDeployer,
+    PlacementInstance,
+    PlacerConfig,
+    RulePlacer,
+    ShortestPathRouter,
+    UpstreamDrops,
+    check_refinement,
+    fail_link,
+    fattree,
+    generate_policy_set,
+    reroute_after_failure,
+    verify_placement,
+)
+from repro.core.capacity import min_uniform_capacity
+from repro.dataplane.messages import replay
+from repro.policy.textfmt import parse_policy
+
+
+def test_operators_day():
+    # ---- morning: plan and deploy -------------------------------------
+    topo = fattree(4, capacity=100)
+    ports = [p.name for p in topo.entry_ports]
+    tenants = ports[:6]
+    router = ShortestPathRouter(topo, seed=9)
+    routing = router.random_routing(12, ingresses=tenants)
+    policies = generate_policy_set(tenants, rules_per_policy=10, seed=9)
+    instance = PlacementInstance(topo, routing, policies)
+
+    plan = min_uniform_capacity(instance, hi=100)
+    assert plan.found
+    # Provision 2x headroom over the bare minimum.
+    provisioned = max(2 * plan.minimum_capacity, 20)
+    topo.set_uniform_capacity(provisioned)
+    instance = PlacementInstance(topo, routing, policies)
+
+    placement = RulePlacer().place(instance)
+    assert placement.is_feasible
+    spec = BigSwitch(policies, routing)
+    assert check_refinement(spec, instance, placement).ok
+
+    controller = Controller(instance)
+    controller.deploy(placement)
+    deployer = IncrementalDeployer(placement)
+
+    # ---- 10:00: tenant onboarding from a text policy -------------------
+    newcomer = ports[10]
+    tenant_policy = parse_policy(
+        """
+        permit src 10.7.0.0/16 dport 443 proto tcp
+        permit src 10.7.0.0/16 dport 53 proto udp
+        deny   src 10.7.0.0/16
+        """,
+        newcomer,
+    )
+    path = router.shortest_path(newcomer, ports[0])
+    install = deployer.install_policy(tenant_policy, [path])
+    assert install.is_feasible
+    assert verify_placement(deployer.as_placement()).ok
+
+    # ---- 11:30: security update to an existing tenant ------------------
+    target = tenants[0]
+    updated = generate_policy_set([target], rules_per_policy=14, seed=99)[target]
+    security = deployer.modify_policy(updated)
+    assert security.is_feasible
+    midday = deployer.as_placement()
+    assert verify_placement(midday).ok
+    assert midday.instance.policies[target] is updated
+
+    # ---- 14:00: link failure and repair ---------------------------------
+    current_routing = midday.instance.routing
+    victim = next(p for p in current_routing.all_paths()
+                  if len(p.switches) >= 3)
+    failure = fail_link(topo, victim.switches[0], victim.switches[1])
+    outcome = reroute_after_failure(
+        deployer, topo, current_routing, failure
+    )
+    assert not outcome.disconnected
+    afternoon = deployer.as_placement()
+    assert verify_placement(afternoon).ok
+    for path in afternoon.instance.routing.all_paths():
+        for a, b in zip(path.switches, path.switches[1:]):
+            assert topo.graph.has_edge(a, b)
+
+    # ---- 15:00: re-optimize for upstream drops, transition live ---------
+    te_placement = RulePlacer(
+        PlacerConfig(objective=UpstreamDrops())
+    ).place(afternoon.instance)
+    assert te_placement.is_feasible
+    controller.transition(te_placement)
+    mismatches = controller.dataplane.check_routing_sampled(
+        list(afternoon.instance.policies),
+        afternoon.instance.routing, seed=1, samples_per_rule=4,
+    )
+    assert mismatches == []
+
+    # ---- end of day: audit ----------------------------------------------
+    replayed = {
+        name: table
+        for name, table in replay(
+            controller.log, dict(afternoon.instance.capacities)
+        ).items()
+        if table.occupancy()
+    }
+    live = {
+        name: table for name, table in controller.dataplane.tables.items()
+        if table.occupancy()
+    }
+    assert set(replayed) == set(live)
+    for name in live:
+        assert set(replayed[name].entries) == set(live[name].entries)
+
+    closing_spec = BigSwitch(
+        afternoon.instance.policies, afternoon.instance.routing
+    )
+    assert check_refinement(
+        closing_spec, afternoon.instance, te_placement
+    ).ok
+    # Books balance: controller entry count equals the placement's.
+    assert controller.total_entries() == te_placement.total_installed()
+    # No switch over capacity anywhere, all day long.
+    assert te_placement.capacity_violations() == {}

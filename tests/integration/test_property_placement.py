@@ -1,0 +1,108 @@
+"""Property-based integration tests: on randomized small instances the
+ILP engine's answers are always certified by the independent verifier,
+and agree with the SAT engine and (on feasibility) the greedy baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.satenc import SatPlacer
+from repro.core.verify import verify_placement
+from repro.baselines import place_greedy
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+WIDTH = 5
+
+
+def random_instance(seed: int, capacity: int) -> PlacementInstance:
+    """A random 2-ingress diamond network with random 5-bit policies."""
+    rng = random.Random(seed)
+    topo = Topology()
+    for name in ("ia", "ib", "m1", "m2", "d"):
+        topo.add_switch(name, capacity)
+    topo.add_link("ia", "m1")
+    topo.add_link("ia", "m2")
+    topo.add_link("ib", "m1")
+    topo.add_link("ib", "m2")
+    topo.add_link("m1", "d")
+    topo.add_link("m2", "d")
+    topo.add_entry_port("a", "ia")
+    topo.add_entry_port("b", "ib")
+    topo.add_entry_port("o", "d")
+
+    def random_policy(ingress: str) -> Policy:
+        rules = []
+        for priority in range(rng.randint(1, 6), 0, -1):
+            mask = rng.getrandbits(WIDTH)
+            value = rng.getrandbits(WIDTH) & mask
+            action = Action.DROP if rng.random() < 0.5 else Action.PERMIT
+            rules.append(Rule(TernaryMatch(WIDTH, mask, value), action, priority))
+        return Policy(ingress, rules)
+
+    policies = PolicySet([random_policy("a"), random_policy("b")])
+    routing = Routing()
+    for ingress, first in (("a", "ia"), ("b", "ib")):
+        for mid in rng.sample(["m1", "m2"], rng.randint(1, 2)):
+            routing.add_path(Path(ingress, "o", (first, mid, "d")))
+    return PlacementInstance(topo, routing, policies)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.sampled_from([1, 2, 3, 8]))
+def test_ilp_placements_always_verify(seed, capacity):
+    instance = random_instance(seed, capacity)
+    placement = RulePlacer().place(instance)
+    if placement.is_feasible:
+        verify_placement(placement, simulate=True).raise_on_error()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.sampled_from([1, 2, 3, 8]))
+def test_sat_agrees_with_ilp(seed, capacity):
+    instance = random_instance(seed, capacity)
+    ilp = RulePlacer().place(instance)
+    sat = SatPlacer().place(instance)
+    assert ilp.status.has_solution == sat.status.has_solution
+    if sat.is_feasible:
+        verify_placement(sat).raise_on_error()
+        assert sat.total_installed() >= ilp.total_installed()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.sampled_from([2, 3, 8]))
+def test_greedy_feasible_implies_ilp_feasible(seed, capacity):
+    """Greedy success is a witness; the exact engine must agree, and
+    never with a worse optimum."""
+    instance = random_instance(seed, capacity)
+    greedy = place_greedy(instance)
+    if greedy.is_feasible:
+        ilp = RulePlacer().place(instance)
+        assert ilp.is_feasible
+        assert ilp.total_installed() <= greedy.total_installed()
+        verify_placement(greedy).raise_on_error()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000))
+def test_merging_never_increases_optimum(seed):
+    instance = random_instance(seed, capacity=8)
+    plain = RulePlacer().place(instance)
+    merged = RulePlacer(PlacerConfig(enable_merging=True)).place(instance)
+    assert plain.status.has_solution <= merged.status.has_solution
+    if plain.is_feasible and merged.is_feasible:
+        assert merged.total_installed() <= plain.total_installed()
+        verify_placement(merged).raise_on_error()

@@ -1,0 +1,113 @@
+"""Property-based tests for transition planning and the controller on
+randomized instance/objective pairs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.controller import Controller
+from repro.core.instance import PlacementInstance
+from repro.core.objectives import Combined, TotalRules, UpstreamDrops, WeightedSwitches
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.transition import apply_plan, plan_transition
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+WIDTH = 5
+
+
+def random_instance(seed: int, capacity: int) -> PlacementInstance:
+    rng = random.Random(seed)
+    topo = Topology()
+    for name in ("i1", "i2", "m1", "m2", "d"):
+        topo.add_switch(name, capacity)
+    topo.add_link("i1", "m1")
+    topo.add_link("i1", "m2")
+    topo.add_link("i2", "m1")
+    topo.add_link("i2", "m2")
+    topo.add_link("m1", "d")
+    topo.add_link("m2", "d")
+    topo.add_entry_port("a", "i1")
+    topo.add_entry_port("b", "i2")
+    topo.add_entry_port("o", "d")
+
+    def policy(ingress: str) -> Policy:
+        rules = []
+        for priority in range(rng.randint(2, 5), 0, -1):
+            mask = rng.getrandbits(WIDTH)
+            rules.append(Rule(
+                TernaryMatch(WIDTH, mask, rng.getrandbits(WIDTH) & mask),
+                Action.DROP if rng.random() < 0.5 else Action.PERMIT,
+                priority,
+            ))
+        return Policy(ingress, rules)
+
+    routing = Routing([
+        Path("a", "o", ("i1", rng.choice(["m1", "m2"]), "d")),
+        Path("a", "o", ("i1", rng.choice(["m1", "m2"]), "d"))
+        if rng.random() < 0.5 else Path("a", "o", ("i1", "m1", "d")),
+        Path("b", "o", ("i2", rng.choice(["m1", "m2"]), "d")),
+    ][:2 + rng.randint(0, 1)])
+    # Deduplicate identical paths (Routing allows them, keep it simple).
+    seen = set()
+    unique = Routing()
+    for path in routing.all_paths():
+        key = (path.ingress, path.switches)
+        if key not in seen:
+            seen.add(key)
+            unique.add_path(path)
+    return PlacementInstance(
+        topo, unique, PolicySet([policy("a"), policy("b")])
+    )
+
+
+def objective_for(pick: int):
+    return [
+        TotalRules(),
+        UpstreamDrops(),
+        WeightedSwitches.from_dict({"m1": 0.5, "d": 3.0}),
+        Combined(((1.0, TotalRules()), (0.01, UpstreamDrops()))),
+    ][pick % 4]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.integers(0, 3), st.integers(0, 3))
+def test_transition_reaches_target_and_stays_safe(seed, pick_a, pick_b):
+    instance = random_instance(seed, capacity=6)
+    a = RulePlacer(PlacerConfig(objective=objective_for(pick_a))).place(instance)
+    b = RulePlacer(PlacerConfig(objective=objective_for(pick_b))).place(instance)
+    if not (a.is_feasible and b.is_feasible):
+        return
+    plan = plan_transition(a, b)
+    final = apply_plan(plan, a)
+    assert final == {k: v for k, v in b.placed.items() if v}
+    # Peak accounting is an upper bound on both endpoints.
+    for switch, peak in plan.peak_occupancy.items():
+        assert peak >= a.switch_loads().get(switch, 0)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000))
+def test_controller_conformant_after_random_transition(seed):
+    instance = random_instance(seed, capacity=8)
+    a = RulePlacer().place(instance)
+    b = RulePlacer(PlacerConfig(objective=UpstreamDrops())).place(instance)
+    if not (a.is_feasible and b.is_feasible):
+        return
+    controller = Controller(instance)
+    controller.deploy(a)
+    controller.transition(b)
+    mismatches = controller.dataplane.check_routing_sampled(
+        list(instance.policies), instance.routing, seed=seed,
+        samples_per_rule=4,
+    )
+    assert mismatches == []
+    assert controller.total_entries() == b.total_installed()

@@ -1,0 +1,155 @@
+"""Backend correctness: HiGHS and branch-and-bound vs the exhaustive
+oracle on randomized pure-binary instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.milp.bnb import BranchAndBoundBackend
+from repro.milp.exhaustive import ExhaustiveBackend
+from repro.milp.model import Model, SolveStatus, lin_sum
+from repro.milp.scipy_backend import ScipyMilpBackend
+
+
+def random_binary_model(rng: random.Random, n_vars: int, n_cons: int) -> Model:
+    model = Model("random")
+    xs = [model.add_binary(f"x{i}") for i in range(n_vars)]
+    for _ in range(n_cons):
+        subset = rng.sample(xs, rng.randint(1, n_vars))
+        rhs = rng.randint(0, n_vars)
+        expr = lin_sum(subset)
+        if rng.random() < 0.45:
+            model.add_constraint(expr <= rhs)
+        elif rng.random() < 0.9:
+            model.add_constraint(expr >= rhs)
+        else:
+            model.add_constraint(expr.eq(rhs))
+    weights = [rng.randint(1, 5) for _ in xs]
+    model.set_objective(lin_sum(w * x for w, x in zip(weights, xs)))
+    return model
+
+
+@pytest.mark.parametrize("backend_factory", [
+    ScipyMilpBackend,
+    BranchAndBoundBackend,
+], ids=["scipy-highs", "bnb"])
+def test_backends_agree_with_exhaustive(backend_factory):
+    rng = random.Random(2024)
+    oracle = ExhaustiveBackend()
+    for trial in range(30):
+        model = random_binary_model(rng, rng.randint(2, 9), rng.randint(1, 7))
+        expected = oracle.solve(model)
+        actual = model.solve(backend_factory())
+        assert actual.status.has_solution == expected.status.has_solution, (
+            f"trial {trial}: {actual.status} vs {expected.status}"
+        )
+        if expected.status.has_solution:
+            assert actual.objective == pytest.approx(expected.objective, abs=1e-6)
+            assert model.check_solution(actual.values)
+
+
+class TestScipyBackend:
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x.to_expr() >= 2)
+        assert m.solve().status is SolveStatus.INFEASIBLE
+
+    def test_objective_constant_carried(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.set_objective(x + 10)
+        result = m.solve()
+        assert result.objective == pytest.approx(10.0)
+
+    def test_integer_variables(self):
+        m = Model()
+        n = m.add_integer("n", lb=0, ub=10)
+        m.add_constraint(2 * n >= 7)
+        m.set_objective(n.to_expr())
+        result = m.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.int_value(n) == 4
+
+    def test_continuous_variables(self):
+        m = Model()
+        x = m.add_continuous("x", lb=0, ub=10)
+        m.add_constraint(2 * x >= 7)
+        m.set_objective(x.to_expr())
+        result = m.solve()
+        assert result.value(x) == pytest.approx(3.5)
+
+    def test_unbounded_detected(self):
+        m = Model()
+        x = m.add_continuous("x", lb=0)
+        m.set_objective(-1 * x)
+        result = m.solve()
+        assert result.status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+        assert not result.status.has_solution
+
+    def test_time_limit_option_accepted(self):
+        """A (generous) time limit must not change the answer."""
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        from repro.milp.model import lin_sum as ls
+
+        m.add_constraint(ls(xs) >= 3)
+        m.set_objective(ls(xs))
+        result = m.solve(time_limit=30.0)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(3.0)
+
+
+class TestBranchAndBound:
+    def test_infeasible(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        m.add_constraint((x + y) >= 2)
+        m.add_constraint((x + y) <= 1)
+        result = m.solve(BranchAndBoundBackend())
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_fractional_lp_forces_branching(self):
+        """LP relaxation is fractional; B&B must still reach the integer
+        optimum."""
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        # pairwise at-most-one: LP optimum is x=0.5 each.
+        m.add_constraint((xs[0] + xs[1]) <= 1)
+        m.add_constraint((xs[1] + xs[2]) <= 1)
+        m.add_constraint((xs[0] + xs[2]) <= 1)
+        m.set_objective(lin_sum(xs) * -1)  # maximize sum
+        result = m.solve(BranchAndBoundBackend())
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-1.0)
+        assert result.stats["nodes"] >= 1
+
+    def test_node_budget_reports_progress(self):
+        backend = BranchAndBoundBackend(max_nodes=1)
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constraint(lin_sum(xs) >= 3)
+        m.set_objective(lin_sum(xs))
+        result = m.solve(backend)
+        # With one node it may still find an incumbent via rounding; it
+        # must never claim proven optimality with open nodes remaining.
+        assert result.status in (
+            SolveStatus.FEASIBLE, SolveStatus.TIME_LIMIT, SolveStatus.OPTIMAL
+        )
+
+
+class TestExhaustive:
+    def test_rejects_large_models(self):
+        m = Model()
+        for i in range(30):
+            m.add_binary(f"x{i}")
+        with pytest.raises(ValueError):
+            m.solve(ExhaustiveBackend())
+
+    def test_rejects_non_binary(self):
+        m = Model()
+        m.add_integer("n")
+        with pytest.raises(ValueError):
+            m.solve(ExhaustiveBackend())

@@ -1,0 +1,56 @@
+"""Tests for CPLEX LP-format export."""
+
+from __future__ import annotations
+
+from repro.milp.lpfile import to_lp_string, write_lp_file
+from repro.milp.model import Model, lin_sum
+
+
+def build_model() -> Model:
+    m = Model("demo")
+    x, y = m.add_binary("x"), m.add_binary("y")
+    n = m.add_integer("n", lb=0, ub=5)
+    m.add_constraint((x + 2 * y) <= 3, name="row1")
+    m.add_constraint((x + n) >= 1)
+    m.add_constraint(y.to_expr().eq(0))
+    m.set_objective(lin_sum([x, y]) + n)
+    return m
+
+
+class TestFormat:
+    def test_sections_present(self):
+        text = to_lp_string(build_model())
+        for section in ("Minimize", "Subject To", "Binaries", "Generals", "Bounds", "End"):
+            assert section in text
+
+    def test_named_and_default_rows(self):
+        text = to_lp_string(build_model())
+        assert " row1: " in text
+        assert " c1: " in text  # auto-named second row
+
+    def test_senses(self):
+        text = to_lp_string(build_model())
+        assert "<= 3" in text
+        assert ">= 1" in text
+        assert "= 0" in text
+
+    def test_coefficient_rendering(self):
+        text = to_lp_string(build_model())
+        assert "x + 2 y" in text
+
+    def test_negative_coefficients(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        m.add_constraint((x - y) <= 0)
+        text = to_lp_string(m)
+        assert "x - y <= 0" in text
+
+    def test_empty_objective(self):
+        m = Model()
+        m.add_binary("x")
+        assert "obj: 0" in to_lp_string(m)
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "model.lp"
+        write_lp_file(build_model(), str(path))
+        assert path.read_text().startswith("\\ Model: demo")

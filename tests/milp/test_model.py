@@ -1,0 +1,138 @@
+"""Tests for the MILP modeling layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.milp.model import (
+    Constraint,
+    LinExpr,
+    Model,
+    Sense,
+    SolveStatus,
+    VarType,
+    lin_sum,
+)
+
+
+class TestExpressions:
+    def test_variable_arithmetic(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        expr = 2 * x + y - 3
+        assert expr.coeffs == {x.index: 2.0, y.index: 1.0}
+        assert expr.constant == -3.0
+
+    def test_subtraction_cancels(self):
+        m = Model()
+        x = m.add_binary("x")
+        expr = (x + x) - 2 * x
+        assert expr.coeffs == {}
+
+    def test_negation_and_rsub(self):
+        m = Model()
+        x = m.add_binary("x")
+        expr = 5 - x
+        assert expr.coeffs == {x.index: -1.0}
+        assert expr.constant == 5.0
+        assert (-x).coeffs == {x.index: -1.0}
+
+    def test_scale_by_non_number_rejected(self):
+        m = Model()
+        x = m.add_binary("x")
+        with pytest.raises(TypeError):
+            x.to_expr() * x.to_expr()  # type: ignore[arg-type]
+
+    def test_value_evaluation(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x.index: 1.0, y.index: 0.0}) == 3.0
+
+    def test_lin_sum_matches_naive(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        fast = lin_sum(xs)
+        slow = LinExpr()
+        for x in xs:
+            slow = slow + x
+        assert fast.coeffs == slow.coeffs
+
+    def test_add_term_accumulates(self):
+        m = Model()
+        x = m.add_binary("x")
+        expr = LinExpr()
+        expr.add_term(x, 2).add_term(x, -2)
+        assert expr.coeffs == {}
+
+
+class TestConstraints:
+    def test_normalization_moves_constant(self):
+        m = Model()
+        x = m.add_binary("x")
+        con = (x + 5) <= 7
+        assert con.sense is Sense.LE
+        assert con.rhs == 2.0
+        assert con.expr.constant == 0.0
+
+    def test_satisfied(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        le = (x + y) <= 1
+        ge = (x + y) >= 1
+        eq = (x + y).eq(1)
+        values = {x.index: 1.0, y.index: 0.0}
+        assert le.satisfied(values) and ge.satisfied(values) and eq.satisfied(values)
+        values = {x.index: 1.0, y.index: 1.0}
+        assert not le.satisfied(values) and ge.satisfied(values) and not eq.satisfied(values)
+
+    def test_variable_relational_sugar(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        con = x >= y
+        assert isinstance(con, Constraint)
+        assert con.satisfied({x.index: 1.0, y.index: 0.0})
+        assert not con.satisfied({x.index: 0.0, y.index: 1.0})
+
+
+class TestModel:
+    def test_duplicate_names_rejected(self):
+        m = Model()
+        m.add_binary("x")
+        with pytest.raises(ValueError):
+            m.add_binary("x")
+
+    def test_var_by_name(self):
+        m = Model()
+        x = m.add_binary("x")
+        assert m.var_by_name("x") is x
+
+    def test_check_solution_bounds_and_integrality(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x.to_expr() <= 1)
+        assert m.check_solution({x.index: 1.0})
+        assert not m.check_solution({x.index: 1.5})
+        assert not m.check_solution({x.index: -0.5})
+
+    def test_is_pure_binary(self):
+        m = Model()
+        m.add_binary("x")
+        assert m.is_pure_binary()
+        m.add_integer("n", ub=5)
+        assert not m.is_pure_binary()
+
+    def test_empty_model_solves(self):
+        result = Model().solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == 0.0
+
+    def test_solve_result_accessors(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x.to_expr() >= 1)
+        m.set_objective(x.to_expr())
+        result = m.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.int_value(x) == 1
+        assert result.is_one(x)

@@ -1,0 +1,121 @@
+"""Tests for MILP presolve reductions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.milp.exhaustive import ExhaustiveBackend
+from repro.milp.model import Model, SolveStatus, lin_sum
+from repro.milp.presolve import presolve, solve_with_presolve
+
+
+class TestFixings:
+    def test_equality_pin_eliminated(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        m.add_constraint(x.to_expr().eq(1.0))
+        m.add_constraint((x + y) <= 1)
+        m.set_objective(lin_sum([x, y]))
+        reduction = presolve(m)
+        # The fixed point cascades: x=1 makes the <= row force y=0.
+        assert reduction.fixed == {x.index: 1.0, y.index: 0.0}
+        assert reduction.model.num_variables() == 0
+        result = solve_with_presolve(m)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.values[x.index] == 1.0
+        assert result.values[y.index] == 0.0
+
+    def test_cascading_fixings(self):
+        m = Model()
+        x, y, z = (m.add_binary(n) for n in "xyz")
+        m.add_constraint(x.to_expr().eq(1.0))
+        m.add_constraint((x + y) <= 1)     # forces y = 0
+        m.add_constraint((y + z) >= 1)     # then forces z = 1
+        m.set_objective(lin_sum([x, y, z]))
+        reduction = presolve(m)
+        assert reduction.fixed == {x.index: 1.0, y.index: 0.0, z.index: 1.0}
+        assert reduction.model.num_variables() == 0
+
+    def test_all_zero_row(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(lin_sum(xs) <= 0)
+        reduction = presolve(m)
+        assert all(reduction.fixed[x.index] == 0.0 for x in xs)
+
+    def test_all_one_row(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(lin_sum(xs) >= 3)
+        reduction = presolve(m)
+        assert all(reduction.fixed[x.index] == 1.0 for x in xs)
+
+    def test_infeasible_pin_detected(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x.to_expr().eq(1.0))
+        m.add_constraint(x.to_expr().eq(0.0))
+        reduction = presolve(m)
+        assert reduction.infeasible
+        assert solve_with_presolve(m).status is SolveStatus.INFEASIBLE
+
+    def test_redundant_rows_dropped(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(lin_sum(xs) <= 5)   # implied by bounds
+        m.add_constraint(lin_sum(xs) >= 0)   # implied by bounds
+        reduction = presolve(m)
+        assert reduction.rows_dropped == 2
+        assert reduction.model.num_constraints() == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_optimum_as_direct_solve(self, seed):
+        rng = random.Random(seed)
+        m = Model()
+        n = rng.randint(3, 9)
+        xs = [m.add_binary(f"x{i}") for i in range(n)]
+        # Random structure plus deliberate pins to give presolve work.
+        m.add_constraint(xs[0].to_expr().eq(float(rng.randint(0, 1))))
+        for _ in range(rng.randint(1, 6)):
+            subset = rng.sample(xs, rng.randint(1, n))
+            rhs = rng.randint(0, n)
+            expr = lin_sum(subset)
+            m.add_constraint(expr <= rhs if rng.random() < 0.5 else expr >= rhs)
+        weights = [rng.randint(1, 4) for _ in xs]
+        m.set_objective(lin_sum(w * x for w, x in zip(weights, xs)))
+
+        direct = m.solve(ExhaustiveBackend())
+        via_presolve = solve_with_presolve(m)
+        assert direct.status.has_solution == via_presolve.status.has_solution
+        if direct.status.has_solution:
+            assert via_presolve.objective == pytest.approx(direct.objective)
+            assert m.check_solution(via_presolve.values)
+
+    def test_objective_shift_accounted(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        m.add_constraint(x.to_expr().eq(1.0))
+        m.add_constraint(y.to_expr() >= 1)
+        m.set_objective(5 * x + 3 * y + 2)
+        result = solve_with_presolve(m)
+        assert result.objective == pytest.approx(10.0)
+
+
+class TestPlacementIntegration:
+    def test_presolve_shrinks_pinned_encoding(self, figure3_instance):
+        """Incremental-style pins should be eliminated wholesale."""
+        from repro.core.ilp import build_encoding
+        from repro.core.objectives import TotalRules, apply_objective
+
+        pins = {(("l1", 1), "s3"): 1, (("l1", 1), "s1"): 0}
+        encoding = build_encoding(figure3_instance, fixed=pins)
+        apply_objective(encoding, TotalRules())
+        reduction = presolve(encoding.model)
+        assert reduction.model.num_variables() < encoding.model.num_variables()
+        direct = encoding.model.solve()
+        via = solve_with_presolve(encoding.model)
+        assert via.objective == pytest.approx(direct.objective)

@@ -1,0 +1,136 @@
+"""Tests for failure injection and post-failure repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import IncrementalDeployer
+from repro.core.instance import PlacementInstance
+from repro.core.placement import RulePlacer
+from repro.core.verify import verify_placement
+from repro.net.failures import (
+    FailedLink,
+    FailedSwitch,
+    affected_ingresses,
+    fail_link,
+    fail_switch,
+    restore,
+    reroute_after_failure,
+)
+from repro.net.fattree import fattree
+from repro.net.generators import line
+from repro.net.routing import Path, Routing, ShortestPathRouter
+from repro.policy.classbench import generate_policy_set
+
+
+class TestFailurePrimitives:
+    def test_fail_and_restore_link(self):
+        topo = fattree(4, capacity=50)
+        edges_before = topo.num_links()
+        failure = fail_link(topo, "edge0_0", "agg0_0")
+        assert topo.num_links() == edges_before - 1
+        restore(topo, failure)
+        assert topo.num_links() == edges_before
+
+    def test_fail_unknown_link(self):
+        topo = fattree(4)
+        with pytest.raises(KeyError):
+            fail_link(topo, "edge0_0", "edge3_1")
+
+    def test_fail_switch_cuts_all_links(self):
+        topo = fattree(4, capacity=50)
+        degree = topo.degree("agg0_0")
+        failure = fail_switch(topo, "agg0_0")
+        assert topo.degree("agg0_0") == 0
+        assert len(failure.links) == degree
+        restore(topo, failure)
+        assert topo.degree("agg0_0") == degree
+
+    def test_fail_unknown_switch(self):
+        with pytest.raises(KeyError):
+            fail_switch(fattree(4), "nope")
+
+    def test_restore_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            restore(fattree(4), "not-a-failure")
+
+
+class TestAffectedIngresses:
+    def test_link_failure_detection(self):
+        topo = line(3, capacity=50)
+        routing = Routing([Path("left0", "right0", ("s0", "s1", "s2"))])
+        failure = fail_link(topo, "s1", "s2")
+        assert affected_ingresses(topo, routing, failure) == ["left0"]
+
+    def test_unrelated_failure_ignored(self):
+        topo = fattree(4, capacity=50)
+        routing = Routing([Path("h0_0_0", "h0_0_1", ("edge0_0",))])
+        failure = fail_link(topo, "edge3_1", "agg3_0")
+        assert affected_ingresses(topo, routing, failure) == []
+
+    def test_switch_failure_detection(self):
+        topo = line(3, capacity=50)
+        routing = Routing([Path("left0", "right0", ("s0", "s1", "s2"))])
+        failure = fail_switch(topo, "s1")
+        assert affected_ingresses(topo, routing, failure) == ["left0"]
+
+
+class TestRepair:
+    @pytest.fixture
+    def deployed(self):
+        topo = fattree(4, capacity=50)
+        ports = [p.name for p in topo.entry_ports]
+        ingresses = ports[:6]
+        router = ShortestPathRouter(topo, seed=4)
+        routing = router.random_routing(12, ingresses=ingresses)
+        policies = generate_policy_set(ingresses, rules_per_policy=10, seed=4)
+        instance = PlacementInstance(topo, routing, policies)
+        base = RulePlacer().place(instance)
+        assert base.is_feasible
+        return topo, routing, IncrementalDeployer(base)
+
+    def test_link_failure_repaired(self, deployed):
+        topo, routing, deployer = deployed
+        # Fail a link some path actually uses.
+        victim = next(
+            p for p in routing.all_paths() if len(p.switches) >= 2
+        )
+        failure = fail_link(topo, victim.switches[0], victim.switches[1])
+        outcome = reroute_after_failure(deployer, topo, routing, failure)
+        assert outcome.fully_repaired, (outcome.failed, outcome.disconnected)
+        assert victim.ingress in outcome.rerouted
+        combined = deployer.as_placement()
+        assert verify_placement(combined).ok
+        # The repaired routing avoids the dead link.
+        for path in combined.instance.routing.all_paths():
+            for a, b in zip(path.switches, path.switches[1:]):
+                assert topo.graph.has_edge(a, b)
+
+    def test_switch_failure_repaired(self, deployed):
+        topo, routing, deployer = deployed
+        # An aggregation switch on some path (fat-trees route around it).
+        victim = next(
+            s for p in routing.all_paths() for s in p.switches
+            if topo.switch(s).layer == "aggregation"
+        )
+        failure = fail_switch(topo, victim)
+        outcome = reroute_after_failure(deployer, topo, routing, failure)
+        assert not outcome.disconnected
+        combined = deployer.as_placement()
+        assert verify_placement(combined).ok
+        for path in combined.instance.routing.all_paths():
+            assert victim not in path.switches
+
+    def test_disconnection_reported(self):
+        """On a line there is no alternative: the repair must report the
+        ingress as disconnected, not fabricate a path."""
+        topo = line(3, capacity=50)
+        routing = Routing([Path("left0", "right0", ("s0", "s1", "s2"))])
+        policies = generate_policy_set(["left0"], rules_per_policy=5, seed=1)
+        instance = PlacementInstance(topo, routing, policies)
+        base = RulePlacer().place(instance)
+        deployer = IncrementalDeployer(base)
+        failure = fail_link(topo, "s1", "s2")
+        outcome = reroute_after_failure(deployer, topo, routing, failure)
+        assert outcome.disconnected == ["left0"]
+        assert not outcome.fully_repaired

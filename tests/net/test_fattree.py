@@ -1,0 +1,76 @@
+"""Tests for the Al-Fares fat-tree generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.fattree import (
+    fattree,
+    fattree_num_core,
+    fattree_num_hosts,
+    fattree_num_switches,
+)
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8, 16])
+    def test_counts(self, k):
+        assert fattree_num_switches(k) == 5 * k * k // 4
+        assert fattree_num_hosts(k) == k ** 3 // 4
+        assert fattree_num_core(k) == (k // 2) ** 2
+
+
+class TestConstruction:
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            fattree(3)
+        with pytest.raises(ValueError):
+            fattree(0)
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_switch_count_matches_formula(self, k):
+        topo = fattree(k)
+        assert topo.num_switches() == fattree_num_switches(k)
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_host_count_matches_formula(self, k):
+        topo = fattree(k)
+        assert len(topo.entry_ports) == fattree_num_hosts(k)
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_connected(self, k):
+        assert fattree(k).is_connected()
+
+    def test_layers(self):
+        topo = fattree(4)
+        layers = {}
+        for switch in topo.switches:
+            layers[switch.layer] = layers.get(switch.layer, 0) + 1
+        assert layers == {"core": 4, "aggregation": 8, "edge": 8}
+
+    def test_switch_degrees(self):
+        """Core switches connect to one agg per pod; agg/edge are k-port."""
+        k = 4
+        topo = fattree(k)
+        for switch in topo.switches:
+            if switch.layer == "core":
+                assert topo.degree(switch.name) == k
+            elif switch.layer == "aggregation":
+                assert topo.degree(switch.name) == k  # k/2 edge + k/2 core
+            else:  # edge: k/2 agg links (hosts are entry ports, not links)
+                assert topo.degree(switch.name) == k // 2
+
+    def test_entry_ports_attach_to_edge(self):
+        topo = fattree(4)
+        for port in topo.entry_ports:
+            assert topo.switch(port.switch).layer == "edge"
+
+    def test_hosts_per_edge_override(self):
+        topo = fattree(4, hosts_per_edge=1)
+        assert len(topo.entry_ports) == 8  # one per edge switch
+        with pytest.raises(ValueError):
+            fattree(4, hosts_per_edge=-1)
+
+    def test_uniform_capacity_applied(self):
+        topo = fattree(4, capacity=123)
+        assert all(s.capacity == 123 for s in topo.switches)

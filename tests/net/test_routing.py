@@ -1,0 +1,148 @@
+"""Tests for paths, routings, and the shortest-path router."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.net.fattree import fattree
+from repro.net.routing import Path, Routing, ShortestPathRouter
+from repro.net.topology import Topology
+from repro.policy.ternary import TernaryMatch
+
+
+class TestPath:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Path("a", "b", ())
+        with pytest.raises(ValueError):
+            Path("a", "b", ("s1", "s2", "s1"))
+
+    def test_hop_of(self):
+        path = Path("a", "b", ("s1", "s2", "s3"))
+        assert path.hop_of("s1") == 0
+        assert path.hop_of("s3") == 2
+        assert len(path) == 3
+
+    def test_with_flow(self):
+        path = Path("a", "b", ("s1",))
+        flow = TernaryMatch.from_string("1*")
+        assert path.with_flow(flow).flow == flow
+        assert path.flow is None
+
+
+class TestRouting:
+    def test_grouping_and_lookup(self):
+        routing = Routing([
+            Path("a", "x", ("s1", "s2")),
+            Path("a", "y", ("s1", "s3")),
+            Path("b", "x", ("s4",)),
+        ])
+        assert set(routing.ingresses) == {"a", "b"}
+        assert len(routing.paths("a")) == 2
+        assert routing.num_paths() == 3
+        assert len(routing.all_paths()) == 3
+
+    def test_reachable_switches_deterministic_union(self):
+        routing = Routing([
+            Path("a", "x", ("s1", "s2")),
+            Path("a", "y", ("s1", "s3")),
+        ])
+        assert routing.reachable_switches("a") == ("s1", "s2", "s3")
+        assert routing.reachable_switches("nope") == ()
+
+    def test_loc_minimum_hop(self):
+        routing = Routing([
+            Path("a", "x", ("s1", "s2", "s3")),
+            Path("a", "y", ("s1", "s3")),
+        ])
+        assert routing.loc("s1", "a") == 0
+        assert routing.loc("s3", "a") == 1  # min over the two paths
+        with pytest.raises(KeyError):
+            routing.loc("s9", "a")
+
+    def test_remove_paths(self):
+        routing = Routing([Path("a", "x", ("s1",))])
+        removed = routing.remove_paths("a")
+        assert len(removed) == 1
+        assert routing.num_paths() == 0
+        assert routing.remove_paths("a") == []
+
+    def test_subset(self):
+        routing = Routing([
+            Path("a", "x", ("s1",)),
+            Path("b", "x", ("s2",)),
+        ])
+        sub = routing.subset(["b"])
+        assert sub.ingresses == ("b",)
+
+
+class TestShortestPathRouter:
+    @pytest.fixture
+    def topo(self):
+        return fattree(4, capacity=100)
+
+    def test_paths_are_shortest(self, topo):
+        router = ShortestPathRouter(topo, seed=0)
+        ports = [p.name for p in topo.entry_ports]
+        for src, dst in [(ports[0], ports[5]), (ports[2], ports[9])]:
+            path = router.shortest_path(src, dst)
+            expected = nx.shortest_path_length(
+                topo.graph,
+                topo.entry_port(src).switch,
+                topo.entry_port(dst).switch,
+            )
+            assert len(path.switches) == expected + 1
+            # consecutive switches are linked
+            for a, b in zip(path.switches, path.switches[1:]):
+                assert topo.graph.has_edge(a, b)
+
+    def test_same_switch_pair(self, topo):
+        """Two hosts on the same edge switch yield a single-switch path."""
+        ports = [p.name for p in topo.entry_ports]
+        same_edge = [p for p in ports if p.startswith("h0_0_")]
+        router = ShortestPathRouter(topo, seed=0)
+        path = router.shortest_path(same_edge[0], same_edge[1])
+        assert len(path.switches) == 1
+
+    def test_deterministic_given_seed(self, topo):
+        ports = [p.name for p in topo.entry_ports]
+        r1 = ShortestPathRouter(topo, seed=7).random_routing(16, ingresses=ports[:4])
+        r2 = ShortestPathRouter(topo, seed=7).random_routing(16, ingresses=ports[:4])
+        assert [p.switches for p in r1.all_paths()] == [p.switches for p in r2.all_paths()]
+
+    def test_samples_multiple_equal_cost_paths(self, topo):
+        """Cross-pod pairs in a fat-tree have many shortest paths; with
+        enough samples the router should use more than one."""
+        router = ShortestPathRouter(topo, seed=3)
+        seen = set()
+        for _ in range(30):
+            seen.add(router.shortest_path("h0_0_0", "h1_0_0").switches)
+        assert len(seen) > 1
+
+    def test_random_routing_counts_and_spread(self, topo):
+        ports = [p.name for p in topo.entry_ports]
+        routing = ShortestPathRouter(topo, seed=1).random_routing(
+            24, ingresses=ports[:6]
+        )
+        assert routing.num_paths() == 24
+        # round-robin: each ingress gets 4 paths
+        for ingress in ports[:6]:
+            assert len(routing.paths(ingress)) == 4
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_switch("a", 1)
+        topo.add_switch("b", 1)
+        topo.add_entry_port("pa", "a")
+        topo.add_entry_port("pb", "b")
+        router = ShortestPathRouter(topo)
+        with pytest.raises(nx.NetworkXNoPath):
+            router.shortest_path("pa", "pb")
+
+    def test_need_two_ports(self):
+        topo = Topology()
+        topo.add_switch("a", 1)
+        topo.add_entry_port("pa", "a")
+        with pytest.raises(ValueError):
+            ShortestPathRouter(topo).random_routing(1)

@@ -1,0 +1,148 @@
+"""Tests for the non-fat-tree topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.generators import leaf_spine, line, random_graph, ring, star
+from repro.net.routing import ShortestPathRouter
+
+
+class TestLine:
+    def test_structure(self):
+        topo = line(4, capacity=7)
+        assert topo.num_switches() == 4
+        assert topo.num_links() == 3
+        assert topo.is_connected()
+        assert {p.name for p in topo.entry_ports} == {"left0", "right0"}
+        assert all(s.capacity == 7 for s in topo.switches)
+
+    def test_multiple_hosts(self):
+        topo = line(2, hosts_per_end=3)
+        assert len(topo.entry_ports) == 6
+
+    def test_single_switch(self):
+        topo = line(1)
+        assert topo.num_links() == 0
+        assert topo.entry_port("left0").switch == topo.entry_port("right0").switch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line(0)
+
+
+class TestRing:
+    def test_structure(self):
+        topo = ring(5)
+        assert topo.num_switches() == 5
+        assert topo.num_links() == 5
+        assert all(topo.degree(s.name) == 2 for s in topo.switches)
+        assert len(topo.entry_ports) == 5
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_routable(self):
+        topo = ring(6)
+        router = ShortestPathRouter(topo, seed=0)
+        path = router.shortest_path("h0", "h3")
+        assert len(path.switches) == 4  # half the ring
+
+
+class TestStar:
+    def test_structure(self):
+        topo = star(4)
+        assert topo.num_switches() == 5
+        assert topo.degree("hub") == 4
+        assert len(topo.entry_ports) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star(0)
+
+    def test_leaf_to_leaf_via_hub(self):
+        topo = star(3)
+        router = ShortestPathRouter(topo, seed=0)
+        path = router.shortest_path("h0", "h2")
+        assert path.switches == ("leaf0", "hub", "leaf2")
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        topo = leaf_spine(4, 2, hosts_per_leaf=3)
+        assert topo.num_switches() == 6
+        assert len(topo.entry_ports) == 12
+        for l in range(4):
+            assert topo.degree(f"leaf{l}") == 2
+        for s in range(2):
+            assert topo.degree(f"spine{s}") == 4
+
+    def test_layers(self):
+        topo = leaf_spine(2, 2)
+        assert topo.switch("leaf0").layer == "leaf"
+        assert topo.switch("spine1").layer == "spine"
+
+    def test_equal_cost_paths(self):
+        """Inter-leaf traffic has one shortest path per spine."""
+        topo = leaf_spine(3, 4)
+        router = ShortestPathRouter(topo, seed=1)
+        middles = {
+            router.shortest_path("h0_0", "h2_0").switches[1]
+            for _ in range(40)
+        }
+        assert len(middles) > 1  # multiple spines exercised
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine(0, 1)
+
+
+class TestRandomGraph:
+    def test_connected_and_sized(self):
+        topo = random_graph(12, degree=3, seed=5)
+        assert topo.num_switches() == 12
+        assert topo.is_connected()
+        assert len(topo.entry_ports) == 12
+
+    def test_deterministic(self):
+        a = random_graph(10, degree=3, seed=7)
+        b = random_graph(10, degree=3, seed=7)
+        assert sorted(map(sorted, a.graph.edges)) == sorted(map(sorted, b.graph.edges))
+
+    def test_host_override(self):
+        topo = random_graph(6, degree=2, hosts=3, seed=1)
+        assert len(topo.entry_ports) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_graph(1)
+        with pytest.raises(ValueError):
+            random_graph(4, degree=4)
+
+
+class TestPlacementOnAlternativeTopologies:
+    """The full engine must work beyond fat-trees."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda: ring(6, capacity=30),
+        lambda: star(4, capacity=30),
+        lambda: leaf_spine(4, 2, capacity=30),
+        lambda: random_graph(8, degree=3, capacity=30, seed=2),
+    ], ids=["ring", "star", "leaf-spine", "random"])
+    def test_place_and_verify(self, factory):
+        from repro.core.instance import PlacementInstance
+        from repro.core.placement import RulePlacer
+        from repro.core.verify import verify_placement
+        from repro.policy.classbench import generate_policy_set
+
+        topo = factory()
+        ports = [p.name for p in topo.entry_ports]
+        router = ShortestPathRouter(topo, seed=3)
+        routing = router.random_routing(6, ingresses=ports[:3])
+        policies = generate_policy_set(ports[:3], rules_per_policy=8, seed=3)
+        placement = RulePlacer().place(
+            PlacementInstance(topo, routing, policies)
+        )
+        assert placement.is_feasible
+        assert verify_placement(placement).ok

@@ -1,0 +1,103 @@
+"""Tests for policy structural analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy.analysis import analyze_policy, analyze_policy_set
+from repro.policy.classbench import generate_policy_set
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+class TestPolicyStats:
+    def test_counts(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 4),
+            rule("1*0*", Action.DROP, 3),
+            rule("10**", Action.DROP, 2),   # shadowed? no: 1*0* doesn't cover
+            rule("0***", Action.PERMIT, 1),
+        ])
+        stats = analyze_policy(policy)
+        assert stats.num_rules == 4
+        assert stats.num_drops == 2
+        assert stats.num_permits == 2
+        assert stats.drop_fraction == pytest.approx(0.5)
+        # drop 3 depends on permit 4; drop 2 depends on permit 4.
+        assert stats.dependency_edges == 2
+        assert stats.max_closure == 2
+
+    def test_shadow_detection(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 2),
+            rule("10**", Action.DROP, 1),   # fully inside the permit
+        ])
+        stats = analyze_policy(policy)
+        assert stats.shadowed_rules == 1
+
+    def test_benign_overlaps(self):
+        policy = Policy("in", [
+            rule("1***", Action.DROP, 2),
+            rule("1*0*", Action.DROP, 1),
+        ])
+        stats = analyze_policy(policy)
+        assert stats.benign_overlaps == 1
+        assert stats.dependency_edges == 0
+
+    def test_empty_policy(self):
+        stats = analyze_policy(Policy("in"))
+        assert stats.num_rules == 0
+        assert stats.drop_fraction == 0.0
+        assert stats.dependency_density == 0.0
+
+    def test_dependency_density(self):
+        policy = Policy("in", [
+            rule("1***", Action.PERMIT, 3),
+            rule("*1**", Action.PERMIT, 2),
+            rule("11**", Action.DROP, 1),
+        ])
+        stats = analyze_policy(policy)
+        assert stats.dependency_density == pytest.approx(2.0)
+
+    def test_agrees_with_depgraph(self):
+        """Edge count must equal the dependency graph's on generated
+        policies."""
+        from repro.core.depgraph import build_dependency_graph
+
+        policies = generate_policy_set(["a", "b"], rules_per_policy=25, seed=5)
+        for policy in policies:
+            stats = analyze_policy(policy)
+            graph = build_dependency_graph(policy)
+            assert stats.dependency_edges == graph.num_edges()
+
+
+class TestPolicySetStats:
+    def test_mergeable_detection(self):
+        policies = generate_policy_set(
+            ["a", "b", "c"], rules_per_policy=10, seed=3, blacklist_rules=4
+        )
+        stats = analyze_policy_set(policies)
+        assert stats.num_policies == 3
+        assert stats.total_rules == 42
+        assert stats.mergeable_classes >= 4    # at least the blacklist
+        assert stats.mergeable_members >= 12   # 4 rules x 3 policies
+        assert 0 < stats.mergeable_fraction <= 1
+
+    def test_no_sharing(self):
+        policies = PolicySet([
+            Policy("a", [rule("1***", Action.DROP, 1)]),
+            Policy("b", [rule("0***", Action.DROP, 1)]),
+        ])
+        stats = analyze_policy_set(policies)
+        assert stats.mergeable_classes == 0
+        assert stats.mergeable_fraction == 0.0
+
+    def test_per_policy_breakdown(self):
+        policies = generate_policy_set(["a", "b"], rules_per_policy=8, seed=1)
+        stats = analyze_policy_set(policies)
+        assert {s.ingress for s in stats.per_policy} == {"a", "b"}

@@ -1,0 +1,156 @@
+"""Tests for the firewall anomaly taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policy.anomalies import (
+    Anomaly,
+    AnomalyKind,
+    anomaly_summary,
+    find_anomalies,
+)
+from repro.policy.policy import Policy
+from repro.policy.redundancy import find_redundant_rules
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+WIDTH = 5
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+class TestClassification:
+    def test_shadowing(self):
+        policy = Policy("in", [
+            rule("1****", Action.PERMIT, 2),
+            rule("10***", Action.DROP, 1),
+        ])
+        anomalies = find_anomalies(policy)
+        assert [a.kind for a in anomalies] == [AnomalyKind.SHADOWING]
+        assert anomalies[0].higher_priority == 2
+        assert anomalies[0].lower_priority == 1
+
+    def test_redundancy(self):
+        policy = Policy("in", [
+            rule("1****", Action.DROP, 2),
+            rule("10***", Action.DROP, 1),
+        ])
+        assert [a.kind for a in find_anomalies(policy)] == [AnomalyKind.REDUNDANCY]
+
+    def test_generalization(self):
+        policy = Policy("in", [
+            rule("10***", Action.PERMIT, 2),
+            rule("1****", Action.DROP, 1),
+        ])
+        assert [a.kind for a in find_anomalies(policy)] == [
+            AnomalyKind.GENERALIZATION
+        ]
+
+    def test_correlation(self):
+        policy = Policy("in", [
+            rule("1***0", Action.PERMIT, 2),
+            rule("1*1**", Action.DROP, 1),
+        ])
+        assert [a.kind for a in find_anomalies(policy)] == [
+            AnomalyKind.CORRELATION
+        ]
+
+    def test_identical_matches(self):
+        policy = Policy("in", [
+            rule("1****", Action.PERMIT, 2),
+            rule("1****", Action.DROP, 1),
+        ])
+        assert [a.kind for a in find_anomalies(policy)] == [AnomalyKind.SHADOWING]
+
+    def test_disjoint_rules_clean(self):
+        policy = Policy("in", [
+            rule("1****", Action.PERMIT, 2),
+            rule("0****", Action.DROP, 1),
+        ])
+        assert find_anomalies(policy) == []
+
+    def test_same_action_overlap_clean(self):
+        policy = Policy("in", [
+            rule("1***0", Action.DROP, 2),
+            rule("1*1**", Action.DROP, 1),
+        ])
+        assert find_anomalies(policy) == []
+
+    def test_shadow_reported_once(self):
+        """A doubly-covered rule yields one finding, not a cascade."""
+        policy = Policy("in", [
+            rule("1****", Action.PERMIT, 3),
+            rule("1****", Action.PERMIT, 2),
+            rule("10***", Action.DROP, 1),
+        ])
+        shadowings = [
+            a for a in find_anomalies(policy)
+            if a.kind is AnomalyKind.SHADOWING
+        ]
+        assert len(shadowings) == 1
+
+    def test_describe(self):
+        policy = Policy("in", [
+            rule("1****", Action.PERMIT, 2),
+            rule("10***", Action.DROP, 1),
+        ])
+        text = find_anomalies(policy)[0].describe(policy)
+        assert "shadowing" in text and "t=1" in text
+
+
+class TestSummaryAndConsistency:
+    def test_summary_counts(self):
+        policy = Policy("in", [
+            rule("1****", Action.PERMIT, 3),
+            rule("10***", Action.DROP, 2),     # shadowed
+            rule("****1", Action.DROP, 1),     # proper overlap: correlated
+        ])
+        summary = anomaly_summary(policy)
+        assert summary[AnomalyKind.SHADOWING] == 1
+        assert summary[AnomalyKind.CORRELATION] >= 1
+        assert summary[AnomalyKind.GENERALIZATION] == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31), st.booleans()),
+        max_size=6,
+    ))
+    def test_single_cover_findings_imply_unmatchable(self, specs):
+        """Any rule flagged as shadowed/redundant really is covered by a
+        single higher rule and hence never first-match."""
+        rules = [
+            Rule(TernaryMatch(WIDTH, mask, value & mask),
+                 Action.DROP if drop else Action.PERMIT, priority)
+            for priority, (mask, value, drop) in enumerate(specs, start=1)
+        ]
+        policy = Policy("in", rules)
+        for anomaly in find_anomalies(policy):
+            if anomaly.kind in (AnomalyKind.SHADOWING, AnomalyKind.REDUNDANCY):
+                lower = policy.rule_by_priority(anomaly.lower_priority)
+                higher = policy.rule_by_priority(anomaly.higher_priority)
+                assert lower.match.is_subset(higher.match)
+                for header in lower.match.enumerate():
+                    assert not policy.first_match_is(lower, header)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31), st.booleans()),
+        max_size=6,
+    ))
+    def test_redundancy_findings_are_removable(self, specs):
+        """REDUNDANCY-flagged rules are a subset of what the exact
+        redundancy remover deletes."""
+        rules = [
+            Rule(TernaryMatch(WIDTH, mask, value & mask),
+                 Action.DROP if drop else Action.PERMIT, priority)
+            for priority, (mask, value, drop) in enumerate(specs, start=1)
+        ]
+        policy = Policy("in", rules)
+        removable = {r.priority for r in find_redundant_rules(policy)}
+        for anomaly in find_anomalies(policy):
+            if anomaly.kind is AnomalyKind.REDUNDANCY:
+                assert anomaly.lower_priority in removable

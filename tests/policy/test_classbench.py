@@ -1,0 +1,89 @@
+"""Tests for the ClassBench-style synthetic policy generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy.classbench import (
+    PolicyGenerator,
+    PolicyGeneratorConfig,
+    generate_policy_set,
+)
+from repro.policy.rule import Action, FIVE_TUPLE_WIDTH
+
+
+class TestDeterminism:
+    def test_same_seed_same_policies(self):
+        a = generate_policy_set(["i0", "i1"], rules_per_policy=20, seed=42)
+        b = generate_policy_set(["i0", "i1"], rules_per_policy=20, seed=42)
+        for ingress in ("i0", "i1"):
+            assert [(r.match, r.action, r.priority) for r in a[ingress].rules] == \
+                   [(r.match, r.action, r.priority) for r in b[ingress].rules]
+
+    def test_different_seeds_differ(self):
+        a = generate_policy_set(["i0"], rules_per_policy=20, seed=1)
+        b = generate_policy_set(["i0"], rules_per_policy=20, seed=2)
+        assert [(r.match, r.action) for r in a["i0"].rules] != \
+               [(r.match, r.action) for r in b["i0"].rules]
+
+
+class TestStructure:
+    def test_sizes_and_width(self):
+        policies = generate_policy_set(["i0", "i1", "i2"], rules_per_policy=15, seed=0)
+        assert len(policies) == 3
+        for policy in policies:
+            assert len(policy) == 15
+            assert all(r.match.width == FIVE_TUPLE_WIDTH for r in policy.rules)
+
+    def test_priorities_strict_and_descending_from_n(self):
+        policy = generate_policy_set(["i0"], rules_per_policy=10, seed=0)["i0"]
+        priorities = sorted(r.priority for r in policy.rules)
+        assert priorities == list(range(1, 11))
+
+    def test_drop_fraction_respected_roughly(self):
+        config = PolicyGeneratorConfig(num_rules=400, drop_fraction=0.5)
+        policy = PolicyGenerator(config, seed=3).generate_policy("i0")
+        drops = sum(1 for r in policy.rules if r.is_drop)
+        assert 0.35 < drops / 400 < 0.65
+
+    def test_dependency_structure_exists(self):
+        """Nested drops should create actual PERMIT-over-DROP overlaps."""
+        from repro.core.depgraph import build_dependency_graph
+
+        config = PolicyGeneratorConfig(
+            num_rules=60, drop_fraction=0.5, nested_fraction=0.9
+        )
+        policy = PolicyGenerator(config, seed=5).generate_policy("i0")
+        graph = build_dependency_graph(policy)
+        assert graph.num_edges() > 0
+
+
+class TestBlacklist:
+    def test_blacklist_shared_across_policies(self):
+        policies = generate_policy_set(
+            ["i0", "i1", "i2"], rules_per_policy=10, seed=7, blacklist_rules=3
+        )
+        for policy in policies:
+            assert len(policy) == 13
+        # The blacklist rules are identical (match+action) in every policy.
+        def top_rules(ingress):
+            ordered = policies[ingress].sorted_rules()
+            return [(r.match, r.action) for r in ordered[:3]]
+        assert top_rules("i0") == top_rules("i1") == top_rules("i2")
+
+    def test_blacklist_is_drop_and_highest_priority(self):
+        policies = generate_policy_set(
+            ["i0"], rules_per_policy=5, seed=7, blacklist_rules=2
+        )
+        ordered = policies["i0"].sorted_rules()
+        assert all(r.action is Action.DROP for r in ordered[:2])
+
+    def test_attach_blacklist_preserves_original_rules(self):
+        generator = PolicyGenerator(seed=0)
+        base = generator.generate_policy("i0", num_rules=8)
+        blacklist = generator.generate_blacklist(2)
+        extended = generator.attach_blacklist(base, blacklist)
+        base_rules = {(r.match, r.action, r.priority) for r in base.rules}
+        extended_rules = {(r.match, r.action, r.priority) for r in extended.rules}
+        assert base_rules <= extended_rules
+        assert len(extended) == 10

@@ -1,0 +1,166 @@
+"""Tests for prioritized policies: structure and first-match semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+WIDTH = 6
+
+
+def random_policies():
+    """Hypothesis strategy for small random policies over 6-bit headers."""
+    rule_strategy = st.builds(
+        lambda mask, raw, is_drop: (mask, raw & mask, is_drop),
+        st.integers(0, (1 << WIDTH) - 1),
+        st.integers(0, (1 << WIDTH) - 1),
+        st.booleans(),
+    )
+    def build(rule_specs, default_drop):
+        rules = [
+            Rule(
+                TernaryMatch(WIDTH, mask, value),
+                Action.DROP if is_drop else Action.PERMIT,
+                priority,
+            )
+            for priority, (mask, value, is_drop) in enumerate(rule_specs, start=1)
+        ]
+        return Policy(
+            "in", rules, Action.DROP if default_drop else Action.PERMIT
+        )
+    return st.builds(build, st.lists(rule_strategy, max_size=6), st.booleans())
+
+
+class TestStructure:
+    def test_duplicate_priorities_rejected(self):
+        rules = [
+            Rule(TernaryMatch.wildcard(4), Action.DROP, 1),
+            Rule(TernaryMatch.wildcard(4), Action.PERMIT, 1),
+        ]
+        with pytest.raises(ValueError):
+            Policy("in", rules)
+
+    def test_sorted_rules_decreasing(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.wildcard(4), Action.DROP, 1),
+            Rule(TernaryMatch.wildcard(4), Action.PERMIT, 5),
+            Rule(TernaryMatch.wildcard(4), Action.DROP, 3),
+        ])
+        assert [r.priority for r in policy.sorted_rules()] == [5, 3, 1]
+
+    def test_add_rule_conflict(self):
+        policy = Policy("in", [Rule(TernaryMatch.wildcard(4), Action.DROP, 1)])
+        with pytest.raises(ValueError):
+            policy.add_rule(Rule(TernaryMatch.wildcard(4), Action.PERMIT, 1))
+
+    def test_priority_helpers(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.wildcard(4), Action.DROP, 2),
+            Rule(TernaryMatch.wildcard(4), Action.PERMIT, 7),
+        ])
+        assert policy.next_priority_above() == 8
+        assert policy.next_priority_below() == 1
+        empty = Policy("in2")
+        assert empty.next_priority_above() == 1
+        assert empty.next_priority_below() == -1
+
+    def test_rule_by_priority(self):
+        rule = Rule(TernaryMatch.wildcard(4), Action.DROP, 2)
+        policy = Policy("in", [rule])
+        assert policy.rule_by_priority(2) is rule
+        with pytest.raises(KeyError):
+            policy.rule_by_priority(3)
+
+    def test_partitions(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.wildcard(4), Action.DROP, 1),
+            Rule(TernaryMatch.wildcard(4), Action.PERMIT, 2),
+        ])
+        assert len(policy.drop_rules()) == 1
+        assert len(policy.permit_rules()) == 1
+
+
+class TestSemantics:
+    def test_first_match_wins(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("1***"), Action.PERMIT, 2),
+            Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 1),
+        ])
+        # 1x0x headers are permitted: the permit has higher priority.
+        assert policy.evaluate(0b1000) is Action.PERMIT
+        assert policy.evaluate(0b0000) is Action.PERMIT  # default
+
+    def test_default_action(self):
+        policy = Policy("in", [], default_action=Action.DROP)
+        assert policy.evaluate(0) is Action.DROP
+
+    @given(random_policies(), st.integers(0, (1 << WIDTH) - 1))
+    def test_evaluate_matches_reference(self, policy, header):
+        """First-match evaluation equals a naive reference."""
+        expected = policy.default_action
+        for rule in sorted(policy.rules, key=lambda r: -r.priority):
+            if rule.match.matches(header):
+                expected = rule.action
+                break
+        assert policy.evaluate(header) is expected
+
+    @given(random_policies())
+    def test_drop_region_exact(self, policy):
+        region = policy.drop_region()
+        for header in range(1 << WIDTH):
+            assert region.contains(header) == (policy.evaluate(header) is Action.DROP)
+
+    @given(random_policies())
+    def test_semantically_equal_reflexive(self, policy):
+        assert policy.semantically_equal(policy)
+
+    def test_semantically_equal_detects_difference(self):
+        a = Policy("in", [Rule(TernaryMatch.from_string("1***"), Action.DROP, 1)])
+        b = Policy("in", [Rule(TernaryMatch.from_string("0***"), Action.DROP, 1)])
+        assert not a.semantically_equal(b)
+
+    def test_semantically_equal_rejects_mixed_defaults(self):
+        a = Policy("in", [], default_action=Action.PERMIT)
+        b = Policy("in", [], default_action=Action.DROP)
+        with pytest.raises(ValueError):
+            a.semantically_equal(b)
+
+    def test_first_match_is(self):
+        high = Rule(TernaryMatch.from_string("1***"), Action.PERMIT, 2)
+        low = Rule(TernaryMatch.from_string("1*0*"), Action.DROP, 1)
+        policy = Policy("in", [high, low])
+        assert policy.first_match_is(high, 0b1000)
+        assert not policy.first_match_is(low, 0b1000)
+
+
+class TestPolicySet:
+    def test_add_and_lookup(self):
+        policies = PolicySet([Policy("a"), Policy("b")])
+        assert "a" in policies
+        assert policies["b"].ingress == "b"
+        assert set(policies.ingresses) == {"a", "b"}
+
+    def test_duplicate_rejected(self):
+        policies = PolicySet([Policy("a")])
+        with pytest.raises(ValueError):
+            policies.add(Policy("a"))
+
+    def test_total_rules(self):
+        policies = PolicySet([
+            Policy("a", [Rule(TernaryMatch.wildcard(4), Action.DROP, 1)]),
+            Policy("b", [
+                Rule(TernaryMatch.wildcard(4), Action.DROP, 1),
+                Rule(TernaryMatch.wildcard(4), Action.PERMIT, 2),
+            ]),
+        ])
+        assert policies.total_rules() == 3
+
+    def test_remove(self):
+        policies = PolicySet([Policy("a")])
+        removed = policies.remove("a")
+        assert removed.ingress == "a"
+        assert "a" not in policies

@@ -1,0 +1,140 @@
+"""Tests for range-to-prefix expansion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policy.policy import Policy
+from repro.policy.ranges import RangeField, expand_rule_ranges, range_to_prefixes
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch, concat_matches
+
+
+class TestRangeToPrefixes:
+    def test_full_range_is_one_wildcard(self):
+        prefixes = range_to_prefixes(4, 0, 15)
+        assert len(prefixes) == 1
+        assert prefixes[0].is_full()
+
+    def test_single_value(self):
+        prefixes = range_to_prefixes(4, 5, 5)
+        assert len(prefixes) == 1
+        assert prefixes[0].is_singleton()
+        assert prefixes[0].matches(5)
+
+    def test_classic_worst_case(self):
+        """[1, 2^w - 2] needs 2w - 2 prefixes."""
+        width = 4
+        prefixes = range_to_prefixes(width, 1, 14)
+        assert len(prefixes) == 2 * width - 2
+
+    def test_aligned_block(self):
+        prefixes = range_to_prefixes(8, 64, 127)
+        assert len(prefixes) == 1
+        assert prefixes[0].to_string() == "01******"
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(4, 3, 2)
+        with pytest.raises(ValueError):
+            range_to_prefixes(4, 0, 16)
+        with pytest.raises(ValueError):
+            range_to_prefixes(4, -1, 3)
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_cover_exact_and_disjoint(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        prefixes = range_to_prefixes(8, lo, hi)
+        covered: set[int] = set()
+        for prefix in prefixes:
+            headers = set(prefix.enumerate())
+            assert not headers & covered, "prefixes overlap"
+            covered |= headers
+        assert covered == set(range(lo, hi + 1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_within_worst_case_bound(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert len(range_to_prefixes(8, lo, hi)) <= 2 * 8 - 2
+
+
+class TestRangeField:
+    def test_validates_on_construction(self):
+        with pytest.raises(ValueError):
+            RangeField(4, 9, 3)
+        field = RangeField(16, 1024, 65535)
+        assert len(field.prefixes) == 6  # 1024..65535 = aligned blocks
+
+
+class TestExpandRuleRanges:
+    FIELDS = [(0, 4), (4, 4)]  # two 4-bit fields, MSB first
+
+    def make_policy(self):
+        match = concat_matches([
+            TernaryMatch.from_string("1***"),   # field 0 fixed pattern
+            TernaryMatch.wildcard(4),           # field 1 to be ranged
+        ])
+        return Policy("in", [
+            Rule(match, Action.DROP, 2, "ranged"),
+            Rule(concat_matches([TernaryMatch.from_string("0***"),
+                                 TernaryMatch.wildcard(4)]),
+                 Action.PERMIT, 1, "plain"),
+        ])
+
+    def test_expansion_counts_and_order(self):
+        policy = self.make_policy()
+        expanded = expand_rule_ranges(
+            policy, self.FIELDS,
+            {2: {1: RangeField(4, 1, 14)}},
+        )
+        # 6 prefixes for [1,14] + 1 untouched rule.
+        assert len(expanded) == 7
+        ordered = expanded.sorted_rules()
+        # All expansion pieces outrank the original lower rule.
+        assert ordered[-1].name == "plain"
+        assert all(r.name.startswith("ranged~") for r in ordered[:-1])
+
+    def test_semantics_match_range(self):
+        policy = self.make_policy()
+        expanded = expand_rule_ranges(
+            policy, self.FIELDS, {2: {1: RangeField(4, 3, 11)}},
+        )
+        for field0 in range(16):
+            for field1 in range(16):
+                header = (field0 << 4) | field1
+                decision = expanded.evaluate(header)
+                in_range = field0 >= 8 and 3 <= field1 <= 11
+                assert (decision is Action.DROP) == in_range
+
+    def test_priorities_unique_after_expansion(self):
+        policy = self.make_policy()
+        expanded = expand_rule_ranges(
+            policy, self.FIELDS, {2: {1: RangeField(4, 1, 14)}},
+        )
+        priorities = [r.priority for r in expanded.rules]
+        assert len(priorities) == len(set(priorities))
+
+    def test_multi_field_cross_product(self):
+        match = concat_matches([TernaryMatch.wildcard(4),
+                                TernaryMatch.wildcard(4)])
+        policy = Policy("in", [Rule(match, Action.DROP, 1, "r")])
+        expanded = expand_rule_ranges(
+            policy, self.FIELDS,
+            {1: {0: RangeField(4, 1, 2), 1: RangeField(4, 5, 6)}},
+        )
+        # [1,2] -> 2 prefixes (1, 2) ... wait: 1 and 2 are separate; [5,6] -> 2.
+        sizes = len(range_to_prefixes(4, 1, 2)) * len(range_to_prefixes(4, 5, 6))
+        assert len(expanded) == sizes
+        for f0 in range(16):
+            for f1 in range(16):
+                header = (f0 << 4) | f1
+                expected = 1 <= f0 <= 2 and 5 <= f1 <= 6
+                assert (expanded.evaluate(header) is Action.DROP) == expected
+
+    def test_unconstrained_policy_unchanged_semantically(self):
+        policy = self.make_policy()
+        expanded = expand_rule_ranges(policy, self.FIELDS, {})
+        assert policy.semantically_equal(expanded)

@@ -1,0 +1,115 @@
+"""Tests for the redundancy-removal pre-pass (Fig. 4 stage 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policy.policy import Policy
+from repro.policy.redundancy import find_redundant_rules, remove_redundant_rules
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+WIDTH = 6
+
+
+def random_policies():
+    rule_strategy = st.builds(
+        lambda mask, raw, is_drop: (mask, raw & mask, is_drop),
+        st.integers(0, (1 << WIDTH) - 1),
+        st.integers(0, (1 << WIDTH) - 1),
+        st.booleans(),
+    )
+    def build(rule_specs):
+        rules = [
+            Rule(
+                TernaryMatch(WIDTH, mask, value),
+                Action.DROP if is_drop else Action.PERMIT,
+                priority,
+            )
+            for priority, (mask, value, is_drop) in enumerate(rule_specs, start=1)
+        ]
+        return Policy("in", rules)
+    return st.builds(build, st.lists(rule_strategy, max_size=6))
+
+
+class TestShadowing:
+    def test_fully_shadowed_rule_removed(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("1***"), Action.PERMIT, 2),
+            Rule(TernaryMatch.from_string("10**"), Action.DROP, 1),
+        ])
+        redundant = find_redundant_rules(policy)
+        # The shadowed drop goes first; the permit then shields nothing
+        # (PERMIT default) and is removed as well.
+        assert [r.priority for r in redundant] == [1, 2]
+
+    def test_partial_overlap_kept(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("1***"), Action.PERMIT, 2),
+            Rule(TernaryMatch.from_string("*0**"), Action.DROP, 1),
+        ])
+        assert find_redundant_rules(policy) == []
+
+    def test_shadow_by_union_of_rules(self):
+        """No single rule covers the victim, but together they do.
+
+        The lowest catch-all DROP keeps the two PERMITs meaningful, so
+        only the union-shadowed DROP (priority 2) is redundant.
+        """
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("11**"), Action.PERMIT, 4),
+            Rule(TernaryMatch.from_string("10**"), Action.PERMIT, 3),
+            Rule(TernaryMatch.from_string("1***"), Action.DROP, 2),
+            Rule(TernaryMatch.from_string("****"), Action.DROP, 1),
+        ])
+        redundant = find_redundant_rules(policy)
+        assert [r.priority for r in redundant] == [2]
+
+
+class TestDownward:
+    def test_same_action_as_default_removed(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("1***"), Action.PERMIT, 1),
+        ])
+        redundant = find_redundant_rules(policy)
+        assert [r.priority for r in redundant] == [1]
+
+    def test_duplicate_drop_below_removed(self):
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("10**"), Action.DROP, 2),
+            Rule(TernaryMatch.from_string("1***"), Action.DROP, 1),
+        ])
+        # Rule 2 is upward-redundant *given* rule 1 stays: its whole
+        # region would be dropped by rule 1 anyway.
+        redundant = find_redundant_rules(policy)
+        assert [r.priority for r in redundant] == [2]
+
+    def test_chain_collapse(self):
+        """Removing one redundant rule exposes another."""
+        policy = Policy("in", [
+            Rule(TernaryMatch.from_string("1***"), Action.DROP, 3),
+            Rule(TernaryMatch.from_string("10**"), Action.DROP, 2),
+            Rule(TernaryMatch.from_string("100*"), Action.DROP, 1),
+        ])
+        reduced, report = remove_redundant_rules(policy)
+        assert len(reduced) == 1
+        assert reduced.rules[0].priority == 3
+        assert report.removed_count == 2
+
+
+class TestSemanticsPreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(random_policies())
+    def test_removal_preserves_drop_region(self, policy):
+        reduced, report = remove_redundant_rules(policy, verify=True)
+        assert policy.semantically_equal(reduced)
+        assert len(reduced) + report.removed_count == len(policy)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_policies())
+    def test_reduced_policy_is_fixed_point(self, policy):
+        reduced, _ = remove_redundant_rules(policy)
+        again, report = remove_redundant_rules(reduced)
+        assert report.removed_count == 0
+        assert len(again) == len(reduced)

@@ -1,0 +1,108 @@
+"""Property-based tests for the exact RegionSet calculus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policy.ternary import RegionSet, TernaryMatch
+
+WIDTH = 6
+
+
+def cubes():
+    return st.builds(
+        lambda mask, raw: TernaryMatch(WIDTH, mask, raw & mask),
+        st.integers(0, (1 << WIDTH) - 1),
+        st.integers(0, (1 << WIDTH) - 1),
+    )
+
+
+def regions():
+    return st.lists(cubes(), max_size=5).map(lambda cs: RegionSet(WIDTH, cs))
+
+
+def enumerate_region(region: RegionSet) -> set:
+    return {h for cube in region.cubes for h in cube.enumerate()}
+
+
+class TestBasics:
+    def test_empty(self):
+        region = RegionSet(WIDTH)
+        assert region.is_empty()
+        assert not region.contains(0)
+        assert len(region) == 0
+
+    def test_add_absorbs_subsets(self):
+        region = RegionSet(4)
+        region.add(TernaryMatch.from_string("1***"))
+        region.add(TernaryMatch.from_string("10**"))
+        assert len(region) == 1
+
+    def test_add_removes_covered_existing(self):
+        region = RegionSet(4)
+        region.add(TernaryMatch.from_string("10**"))
+        region.add(TernaryMatch.from_string("11**"))
+        region.add(TernaryMatch.from_string("1***"))
+        assert len(region) == 1
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            RegionSet(4).add(TernaryMatch.wildcard(5))
+
+    def test_covers_cube_split_case(self):
+        """Neither half alone covers, but together they do."""
+        region = RegionSet(4, [
+            TernaryMatch.from_string("0***"),
+            TernaryMatch.from_string("1***"),
+        ])
+        assert region.covers_cube(TernaryMatch.wildcard(4))
+
+
+class TestProperties:
+    @given(regions(), st.integers(0, (1 << WIDTH) - 1))
+    def test_contains_agrees_with_enumeration(self, region, header):
+        assert region.contains(header) == (header in enumerate_region(region))
+
+    @given(regions(), cubes())
+    def test_covers_cube_exact(self, region, cube):
+        expected = set(cube.enumerate()) <= enumerate_region(region)
+        assert region.covers_cube(cube) == expected
+
+    @given(regions(), regions())
+    def test_covers_and_equals_exact(self, a, b):
+        sa, sb = enumerate_region(a), enumerate_region(b)
+        assert a.covers(b) == (sb <= sa)
+        assert a.equals(b) == (sa == sb)
+
+    @given(regions(), cubes())
+    def test_subtract_cube_exact(self, region, cube):
+        result = region.subtract_cube(cube)
+        assert enumerate_region(result) == enumerate_region(region) - set(cube.enumerate())
+
+    @given(regions(), regions())
+    def test_difference_exact(self, a, b):
+        assert enumerate_region(a.difference(b)) == enumerate_region(a) - enumerate_region(b)
+
+    @given(regions(), regions())
+    def test_union_exact(self, a, b):
+        assert enumerate_region(a.union(b)) == enumerate_region(a) | enumerate_region(b)
+
+    @given(regions(), cubes())
+    def test_intersect_cube_exact(self, region, cube):
+        assert enumerate_region(region.intersect_cube(cube)) == (
+            enumerate_region(region) & set(cube.enumerate())
+        )
+
+    @given(regions(), cubes())
+    def test_sample_counterexample_is_real(self, region, cube):
+        rng = random.Random(0)
+        found = region.sample_counterexample(cube, rng)
+        if found is not None:
+            assert cube.matches(found)
+            assert not region.contains(found)
+        elif not region.covers_cube(cube):
+            # Randomized helper may miss; only check it never lies.
+            pass

@@ -1,0 +1,165 @@
+"""Unit and property-based tests for the ternary cube algebra."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policy.ternary import TernaryMatch, concat_matches
+
+WIDTH = 8
+
+
+def cubes(width: int = WIDTH):
+    """Hypothesis strategy for canonical cubes of a given width."""
+    return st.builds(
+        lambda mask, raw: TernaryMatch(width, mask, raw & mask),
+        st.integers(0, (1 << width) - 1),
+        st.integers(0, (1 << width) - 1),
+    )
+
+
+def headers(width: int = WIDTH):
+    return st.integers(0, (1 << width) - 1)
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        for pattern in ("01*1", "****", "0000", "1111", "1*0*"):
+            assert TernaryMatch.from_string(pattern).to_string() == pattern
+
+    def test_from_string_msb_first(self):
+        cube = TernaryMatch.from_string("10**")
+        assert cube.matches(0b1000)
+        assert cube.matches(0b1011)
+        assert not cube.matches(0b0000)
+        assert not cube.matches(0b1100)
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TernaryMatch.from_string("01x")
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            TernaryMatch(4, 0b0011, 0b0100)
+
+    def test_mask_outside_width_rejected(self):
+        with pytest.raises(ValueError):
+            TernaryMatch(4, 0b10000, 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            TernaryMatch(-1, 0, 0)
+
+    def test_wildcard_matches_everything(self):
+        cube = TernaryMatch.wildcard(4)
+        assert all(cube.matches(h) for h in range(16))
+        assert cube.is_full()
+
+    def test_exact_is_singleton(self):
+        cube = TernaryMatch.exact(4, 0b1010)
+        assert cube.is_singleton()
+        assert cube.cardinality() == 1
+        assert [h for h in range(16) if cube.matches(h)] == [0b1010]
+
+    def test_exact_rejects_wide_header(self):
+        with pytest.raises(ValueError):
+            TernaryMatch.exact(4, 0b10000)
+
+    def test_from_prefix(self):
+        cube = TernaryMatch.from_prefix(8, 0b10100000, 3)
+        assert cube.to_string() == "101*****"
+        assert TernaryMatch.from_prefix(8, 0xFF, 0).is_full()
+
+    def test_from_prefix_bad_length(self):
+        with pytest.raises(ValueError):
+            TernaryMatch.from_prefix(8, 0, 9)
+
+    def test_cardinality(self):
+        assert TernaryMatch.from_string("0**1").cardinality() == 4
+        assert TernaryMatch.wildcard(5).cardinality() == 32
+
+
+class TestSetAlgebra:
+    def test_disjoint_on_conflicting_care_bit(self):
+        a = TernaryMatch.from_string("1***")
+        b = TernaryMatch.from_string("0***")
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_intersection_is_conjunction(self):
+        a = TernaryMatch.from_string("1**0")
+        b = TernaryMatch.from_string("1*1*")
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.to_string() == "1*10"
+
+    def test_subset_reflexive_and_antisymmetric(self):
+        a = TernaryMatch.from_string("1*10")
+        b = TernaryMatch.from_string("1***")
+        assert a.is_subset(a)
+        assert a.is_subset(b)
+        assert not b.is_subset(a)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TernaryMatch.wildcard(4).intersects(TernaryMatch.wildcard(5))
+
+    @given(cubes(), cubes())
+    def test_intersects_agrees_with_enumeration(self, a, b):
+        expected = bool(set(a.enumerate()) & set(b.enumerate()))
+        assert a.intersects(b) == expected
+
+    @given(cubes(), cubes())
+    def test_intersection_agrees_with_enumeration(self, a, b):
+        inter = a.intersection(b)
+        expected = set(a.enumerate()) & set(b.enumerate())
+        if inter is None:
+            assert not expected
+        else:
+            assert set(inter.enumerate()) == expected
+
+    @given(cubes(), cubes())
+    def test_subset_agrees_with_enumeration(self, a, b):
+        assert a.is_subset(b) == (set(a.enumerate()) <= set(b.enumerate()))
+
+    @given(cubes(), cubes())
+    def test_difference_exact_and_disjoint(self, a, b):
+        pieces = a.difference(b)
+        expected = set(a.enumerate()) - set(b.enumerate())
+        covered = set()
+        for piece in pieces:
+            piece_headers = set(piece.enumerate())
+            assert not (piece_headers & covered), "difference pieces overlap"
+            covered |= piece_headers
+        assert covered == expected
+
+    @given(cubes(), headers())
+    def test_matches_agrees_with_enumeration(self, cube, header):
+        assert cube.matches(header) == (header in set(cube.enumerate()))
+
+    @given(cubes())
+    def test_sample_lands_inside(self, cube):
+        rng = random.Random(0)
+        for _ in range(8):
+            assert cube.matches(cube.sample(rng))
+
+    @given(cubes())
+    def test_enumerate_count_matches_cardinality(self, cube):
+        assert len(list(cube.enumerate())) == cube.cardinality()
+
+
+class TestConcat:
+    def test_concat_widths_and_semantics(self):
+        hi = TernaryMatch.from_string("10")
+        lo = TernaryMatch.from_string("*1")
+        cube = concat_matches([hi, lo])
+        assert cube.width == 4
+        assert cube.to_string() == "10*1"
+
+    def test_concat_empty(self):
+        cube = concat_matches([])
+        assert cube.width == 0
+        assert cube.matches(0)

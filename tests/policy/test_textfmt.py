@@ -1,0 +1,167 @@
+"""Tests for the text policy format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy.rule import Action, FIVE_TUPLE_WIDTH
+from repro.policy.textfmt import (
+    PolicyParseError,
+    format_policy,
+    parse_policy,
+    parse_rule_line,
+)
+
+
+class TestParseRule:
+    def test_basic_permit(self):
+        rule = parse_rule_line(
+            "permit src 10.0.0.0/8 dport 443 proto tcp", priority=5
+        )
+        assert rule.action is Action.PERMIT
+        assert rule.priority == 5
+        assert rule.match.width == FIVE_TUPLE_WIDTH
+        # 10.x.x.x, dst port 443, proto 6 should match:
+        header = (10 << 24) << (FIVE_TUPLE_WIDTH - 32)
+        header |= 443 << 8
+        header |= 6
+        assert rule.match.matches(header)
+        # wrong proto must not:
+        assert not rule.match.matches(header ^ 6 ^ 17)
+
+    def test_synonyms(self):
+        assert parse_rule_line("deny", 1).action is Action.DROP
+        assert parse_rule_line("drop", 1).action is Action.DROP
+        assert parse_rule_line("allow", 1).action is Action.PERMIT
+
+    def test_any_everywhere_is_wildcard(self):
+        rule = parse_rule_line(
+            "deny src any dst any sport any dport any proto any", 1
+        )
+        assert rule.match.is_full()
+
+    def test_field_order_free(self):
+        a = parse_rule_line("deny proto udp src 10.0.0.0/8", 1)
+        b = parse_rule_line("deny src 10.0.0.0/8 proto udp", 1)
+        assert a.match == b.match
+
+    def test_host_address_means_slash32(self):
+        rule = parse_rule_line("deny dst 192.168.1.7", 1)
+        header = ((192 << 24) | (168 << 16) | (1 << 8) | 7) << (
+            FIVE_TUPLE_WIDTH - 64
+        )
+        assert rule.match.matches(header)
+        assert not rule.match.matches(header + (1 << (FIVE_TUPLE_WIDTH - 64)))
+
+    def test_numeric_protocol(self):
+        rule = parse_rule_line("deny proto 47", 1)
+        assert rule.match.matches(47)
+
+    @pytest.mark.parametrize("bad", [
+        "smash src any",                 # unknown action
+        "deny src",                      # dangling token
+        "deny src 10.0.0.0/33",          # prefix too long
+        "deny src 10.0.0/8",             # malformed address
+        "deny src 999.0.0.1/8",          # octet out of range
+        "deny sport 70000",              # port out of range
+        "deny sport http",               # non-numeric port
+        "deny proto banana",             # unknown proto
+        "deny proto 300",                # proto out of range
+        "deny color red",                # unknown field
+        "deny src any src any",          # duplicate field
+        "",                              # empty
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PolicyParseError):
+            parse_rule_line(bad, 1)
+
+
+class TestParsePolicy:
+    TEXT = """
+    # tenant-a ingress policy
+    permit src 10.0.0.0/8 dport 443 proto tcp
+    deny   dst 192.168.1.0/24 dport 22 proto tcp   # no ssh to mgmt
+    deny   src 0.0.0.0/0
+    """
+
+    def test_priorities_follow_line_order(self):
+        policy = parse_policy(self.TEXT, "tenant-a")
+        ordered = policy.sorted_rules()
+        assert len(ordered) == 3
+        assert ordered[0].is_permit
+        assert ordered[-1].is_drop
+        assert [r.priority for r in ordered] == [3, 2, 1]
+
+    def test_names_carry_line_numbers(self):
+        policy = parse_policy(self.TEXT, "tenant-a")
+        assert all(r.name.startswith("tenant-a.L") for r in policy.rules)
+
+    def test_error_reports_line(self):
+        with pytest.raises(PolicyParseError, match="line 2"):
+            parse_policy("permit\nbogus action here\n", "x")
+
+    def test_semantics(self):
+        policy = parse_policy(self.TEXT, "tenant-a")
+        https_from_ten = ((10 << 24) << 72) | (443 << 8) | 6
+        assert policy.evaluate(https_from_ten) is Action.PERMIT
+        anything_else = (11 << 24) << 72
+        assert policy.evaluate(anything_else) is Action.DROP
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_semantics(self):
+        text = (
+            "permit src 10.1.0.0/16 dst 10.2.0.0/16 dport 80 proto tcp\n"
+            "deny src 10.1.0.0/16\n"
+            "permit proto udp sport 53\n"
+            "deny src 0.0.0.0/0\n"
+        )
+        policy = parse_policy(text, "rt")
+        rendered = format_policy(policy)
+        reparsed = parse_policy(rendered, "rt")
+        assert policy.semantically_equal(reparsed)
+
+    def test_format_marks_unexpressible_patterns(self):
+        from repro.policy.policy import Policy
+        from repro.policy.rule import Rule
+        from repro.policy.ternary import TernaryMatch
+
+        weird_mask = TernaryMatch(FIVE_TUPLE_WIDTH, 0b101, 0b101)
+        policy = Policy("w", [Rule(weird_mask, Action.DROP, 1)])
+        assert "pattern:" in format_policy(policy)
+
+    def test_classbench_policies_round_trip(self):
+        """Generator policies round-trip exactly (port prefixes go
+        through the pattern: escape)."""
+        from repro.policy.classbench import generate_policy_set
+
+        policies = generate_policy_set(["a"], rules_per_policy=15, seed=2)
+        policy = policies["a"]
+        rendered = format_policy(policy)
+        reparsed = parse_policy(rendered, "a")
+        assert policy.semantically_equal(reparsed)
+
+    def test_pattern_escape_parses(self):
+        rule = parse_rule_line("deny sport pattern:01**************", 1)
+        # sport occupies bits 39..24; its top two bits must be 01.
+        assert rule.match.matches(1 << 38)
+        assert not rule.match.matches(1 << 39)
+        with pytest.raises(PolicyParseError):
+            parse_rule_line("deny sport pattern:01", 1)  # wrong width
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: any generated 5-tuple policy round-trips exactly."""
+
+    def test_random_policies_round_trip(self):
+        from hypothesis import given, settings, strategies as st
+        from repro.policy.classbench import PolicyGenerator, PolicyGeneratorConfig
+
+        # Seeded loop instead of @given: PolicyGenerator owns the
+        # randomness; hypothesis adds nothing beyond seed variety here.
+        for seed in range(12):
+            config = PolicyGeneratorConfig(num_rules=10)
+            policy = PolicyGenerator(config, seed=seed).generate_policy("p")
+            reparsed = parse_policy(format_policy(policy), "p")
+            assert policy.semantically_equal(reparsed), seed
+            assert len(reparsed) == len(policy)

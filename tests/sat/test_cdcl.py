@@ -1,0 +1,211 @@
+"""Correctness tests for the CDCL solver.
+
+The heavy lifting is the randomized cross-check against brute-force
+enumeration -- every status and every model is validated.  Structured
+instances (pigeonhole, chains that force long implication sequences,
+XOR-ish gadgets) exercise conflict analysis, backjumping and restarts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.cdcl import CdclSolver, SatStatus, solve_cnf, _luby
+from repro.sat.cnf import CNF
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    for bits in range(1 << cnf.num_vars):
+        assignment = {
+            v: bool((bits >> (v - 1)) & 1) for v in range(1, cnf.num_vars + 1)
+        }
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert solve_cnf(CNF()).is_sat
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert solve_cnf(cnf).status is SatStatus.UNSAT
+
+    def test_unit_propagation_chain(self):
+        cnf = CNF()
+        vs = [cnf.new_var() for _ in range(50)]
+        cnf.add_clause([vs[0]])
+        for a, b in zip(vs, vs[1:]):
+            cnf.add_implication(a, b)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert all(result.model[v] for v in vs)
+        assert result.decisions == 0  # everything follows by propagation
+
+    def test_contradicting_units(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        assert solve_cnf(cnf).status is SatStatus.UNSAT
+
+    def test_model_satisfies(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a, c])
+        cnf.add_clause([-b, -c])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert cnf.evaluate(result.model)
+
+
+class TestStructured:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        """PHP(n+1, n): classically hard for resolution at scale, easy
+        here at small n; must be UNSAT."""
+        pigeons = holes + 1
+        cnf = CNF()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = cnf.new_var()
+        for p in range(pigeons):
+            cnf.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(pigeons), 2):
+                cnf.add_clause([-var[p1, h], -var[p2, h]])
+        result = solve_cnf(cnf)
+        assert result.status is SatStatus.UNSAT
+        assert result.conflicts > 0
+
+    def test_forced_backjump(self):
+        """A gadget where early decisions must be undone en masse."""
+        cnf = CNF()
+        vs = [cnf.new_var() for _ in range(12)]
+        # Independent free variables first; then a tight UNSAT core on
+        # the last three that only conflicts after propagation.
+        a, b, c = vs[-3], vs[-2], vs[-1]
+        cnf.add_clause([a, b])
+        cnf.add_clause([a, -b])
+        cnf.add_clause([-a, c])
+        cnf.add_clause([-a, -c])
+        assert solve_cnf(cnf).status is SatStatus.UNSAT
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_implication(a, b)
+        result = solve_cnf(cnf, assumptions=[a])
+        assert result.is_sat
+        assert result.model[a] and result.model[b]
+
+    def test_conflicting_assumption_unsat(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([-a])
+        assert solve_cnf(cnf, assumptions=[a]).status is SatStatus.UNSAT
+
+    def test_assumptions_do_not_mutate_formula(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        assert solve_cnf(cnf, assumptions=[-a]).is_sat
+        assert solve_cnf(cnf, assumptions=[a]).is_sat
+
+
+class TestBudget:
+    def test_conflict_budget_reports_unknown(self):
+        """A hard UNSAT instance with a tiny budget must say UNKNOWN."""
+        holes = 6
+        pigeons = holes + 1
+        cnf = CNF()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = cnf.new_var()
+        for p in range(pigeons):
+            cnf.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(pigeons), 2):
+                cnf.add_clause([-var[p1, h], -var[p2, h]])
+        result = solve_cnf(cnf, max_conflicts=5)
+        assert result.status is SatStatus.UNKNOWN
+
+
+class TestRandomizedCrossCheck:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        for _ in range(80):
+            cnf = CNF()
+            n = rng.randint(1, 10)
+            for _ in range(n):
+                cnf.new_var()
+            for _ in range(rng.randint(1, int(4.0 * n))):
+                width = rng.randint(1, 3)
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, n) for _ in range(width)
+                ]
+                cnf.add_clause(clause)
+            result = solve_cnf(cnf)
+            assert result.is_sat == brute_force_sat(cnf)
+            if result.is_sat:
+                assert cnf.evaluate(result.model)
+
+
+class TestClauseDeletion:
+    """Aggressive learnt-DB reduction must never change answers."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tiny_database_still_correct(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            cnf = CNF()
+            n = rng.randint(4, 10)
+            for _ in range(n):
+                cnf.new_var()
+            for _ in range(rng.randint(8, int(4.2 * n))):
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, n) for _ in range(3)
+                ]
+                cnf.add_clause(clause)
+            solver = CdclSolver(cnf, max_learnts=4)
+            result = solver.solve()
+            assert result.is_sat == brute_force_sat(cnf)
+            if result.is_sat:
+                assert cnf.evaluate(result.model)
+
+    def test_reductions_actually_happen(self):
+        """A pigeonhole proof under a tiny budget must trigger the
+        reducer (and still conclude UNSAT)."""
+        holes = 5
+        pigeons = holes + 1
+        cnf = CNF()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = cnf.new_var()
+        for p in range(pigeons):
+            cnf.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(pigeons), 2):
+                cnf.add_clause([-var[p1, h], -var[p2, h]])
+        solver = CdclSolver(cnf, max_learnts=8)
+        result = solver.solve()
+        assert result.status is SatStatus.UNSAT
+        assert solver.reductions > 0

@@ -1,0 +1,87 @@
+"""Tests for the CNF container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.cnf import CNF
+
+
+class TestVariables:
+    def test_allocation_sequential(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_names(self):
+        cnf = CNF()
+        v = cnf.new_var("flag")
+        assert cnf.var("flag") == v
+        assert cnf.name_of(v) == "flag"
+        assert cnf.name_of(999) is None
+        with pytest.raises(ValueError):
+            cnf.new_var("flag")
+
+
+class TestClauses:
+    def test_out_of_range_literal(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_tautology_skipped(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v, -v])
+        assert len(cnf) == 0
+
+    def test_duplicates_collapsed(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v, v])
+        assert cnf.clauses == [(v,)]
+
+    def test_empty_clause_kept(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert cnf.clauses == [()]
+
+    def test_helpers(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.add_implication(a, b)
+        assert cnf.clauses[-1] == (-a, b)
+        cnf.add_at_least_one([a, b, c])
+        assert cnf.clauses[-1] == (a, b, c)
+
+    def test_equivalence_and(self):
+        cnf = CNF()
+        t, a, b = (cnf.new_var() for _ in range(3))
+        cnf.add_equivalence_and(t, [a, b])
+        # t <-> a & b: check all 8 assignments.
+        for bits in range(8):
+            asg = {t: bool(bits & 1), a: bool(bits & 2), b: bool(bits & 4)}
+            expected = asg[t] == (asg[a] and asg[b])
+            assert cnf.evaluate(asg) == expected
+
+
+class TestEvaluateAndExport:
+    def test_evaluate(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a])
+        assert cnf.evaluate({a: False, b: True})
+        assert not cnf.evaluate({a: True, b: True})
+
+    def test_dimacs(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, -b])
+        text = cnf.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 2 1"
+        assert "1 -2 0" in text

@@ -1,0 +1,122 @@
+"""Tests for CNF preprocessing (unit propagation, pure literals)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat.cdcl import solve_cnf
+from repro.sat.cnf import CNF
+from repro.sat.preprocess import extend_model, preprocess
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    for bits in range(1 << cnf.num_vars):
+        assignment = {
+            v: bool((bits >> (v - 1)) & 1) for v in range(1, cnf.num_vars + 1)
+        }
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+class TestUnitPropagation:
+    def test_chain_fully_resolved(self):
+        cnf = CNF()
+        vs = [cnf.new_var() for _ in range(5)]
+        cnf.add_clause([vs[0]])
+        for a, b in zip(vs, vs[1:]):
+            cnf.add_implication(a, b)
+        result = preprocess(cnf)
+        assert not result.unsat
+        assert all(result.assigned.get(v) for v in vs)
+        assert len(result.cnf) == 0
+
+    def test_conflict_detected(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        assert preprocess(cnf).unsat
+
+    def test_clause_shrinking(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.add_clause([-a])
+        cnf.add_clause([a, b, c])   # shrinks to (b, c)
+        result = preprocess(cnf)
+        assert not result.unsat
+        # After shrinking, b and c become pure and the formula empties.
+        assert len(result.cnf) == 0
+
+
+class TestPureLiterals:
+    def test_pure_variable_eliminated(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, b])
+        cnf.add_clause([a, -b])
+        result = preprocess(cnf)
+        assert result.pure.get(a) is True
+        assert len(result.cnf) == 0
+
+    def test_mixed_polarity_not_pure(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a, b])
+        result = preprocess(cnf)
+        # b is pure (positive only); a is not.
+        assert b in result.pure
+        assert a not in result.pure
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_satisfiability_preserved(self, seed):
+        rng = random.Random(seed)
+        for _ in range(60):
+            cnf = CNF()
+            n = rng.randint(1, 9)
+            for _ in range(n):
+                cnf.new_var()
+            for _ in range(rng.randint(1, 25)):
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, n)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                cnf.add_clause(clause)
+            result = preprocess(cnf)
+            expected = brute_force_sat(cnf)
+            if result.unsat:
+                assert not expected
+                continue
+            inner = solve_cnf(result.cnf)
+            assert inner.is_sat == expected
+            if inner.is_sat:
+                full = extend_model(result, inner.model)
+                assert cnf.evaluate(full), "extended model must satisfy original"
+
+    def test_extend_model_covers_all_vars(self):
+        cnf = CNF()
+        vs = [cnf.new_var() for _ in range(4)]
+        cnf.add_clause([vs[0]])
+        result = preprocess(cnf)
+        full = extend_model(result, {})
+        assert set(full) == set(range(1, 5))
+
+    def test_placement_encoding_shrinks(self, figure3_instance):
+        """Pins make a placement CNF strictly smaller after preprocessing."""
+        from repro.core.satenc import build_sat_encoding
+
+        encoding = build_sat_encoding(
+            figure3_instance, fixed={(("l1", 1), "s3"): 1}
+        )
+        result = preprocess(encoding.cnf)
+        assert not result.unsat
+        assert result.clauses_removed > 0
+        inner = solve_cnf(result.cnf)
+        assert inner.is_sat
+        full = extend_model(result, inner.model)
+        assert encoding.cnf.evaluate(full)

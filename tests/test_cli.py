@@ -1,0 +1,141 @@
+"""Tests for the command-line interface (direct main() invocation)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "instance.json"
+    code = main([
+        "generate", "--k", "4", "--paths", "12", "--rules", "8",
+        "--capacity", "40", "--ingresses", "4", "--seed", "5",
+        "-o", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_valid_json(self, instance_file):
+        data = json.loads(instance_file.read_text())
+        assert data["schema_version"] == 1
+        assert len(data["policies"]) == 4
+        assert len(data["routing"]) == 12
+
+    def test_blacklist_and_slicing_flags(self, tmp_path):
+        path = tmp_path / "instance.json"
+        code = main([
+            "generate", "--k", "4", "--paths", "8", "--rules", "5",
+            "--ingresses", "2", "--blacklist", "2", "--slice",
+            "-o", str(path),
+        ])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert all(p["flow"] is not None for p in data["routing"])
+        assert all(len(p["rules"]) == 7 for p in data["policies"])
+
+
+class TestSolveVerifyReport:
+    def test_solve_ilp(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        code = main(["solve", str(instance_file), "-o", str(out)])
+        assert code == 0
+        assert "optimal" in capsys.readouterr().out
+        assert json.loads(out.read_text())["status"] == "optimal"
+
+    def test_solve_sat_engine(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        code = main(["solve", str(instance_file), "-o", str(out),
+                     "--engine", "sat"])
+        assert code == 0
+        assert json.loads(out.read_text())["status"] == "feasible"
+
+    def test_solve_infeasible_exit_code(self, tmp_path):
+        inst = tmp_path / "tight.json"
+        main(["generate", "--k", "4", "--paths", "12", "--rules", "10",
+              "--capacity", "0", "--ingresses", "4", "-o", str(inst)])
+        out = tmp_path / "placement.json"
+        assert main(["solve", str(inst), "-o", str(out)]) == 2
+
+    def test_verify_good(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        main(["solve", str(instance_file), "-o", str(out)])
+        code = main(["verify", str(instance_file), str(out), "--simulate"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        main(["solve", str(instance_file), "-o", str(out)])
+        data = json.loads(out.read_text())
+        # Drop a placed rule entirely.
+        data["placed"] = data["placed"][1:]
+        out.write_text(json.dumps(data))
+        code = main(["verify", str(instance_file), str(out)])
+        assert code == 1
+        assert "VIOLATION" in capsys.readouterr().err
+
+    def test_report(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        main(["solve", str(instance_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["report", str(instance_file), str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "utilization" in text
+        assert "ingress" in text
+
+    def test_report_instance_only(self, instance_file, capsys):
+        assert main(["report", str(instance_file)]) == 0
+        assert "Instance:" in capsys.readouterr().out
+
+
+class TestExportLp:
+    def test_writes_lp(self, instance_file, tmp_path):
+        out = tmp_path / "model.lp"
+        assert main(["export-lp", str(instance_file), "-o", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("\\ Model:")
+        assert "Binaries" in text
+
+    def test_merging_flag(self, tmp_path):
+        inst = tmp_path / "instance.json"
+        main(["generate", "--k", "4", "--paths", "8", "--rules", "5",
+              "--ingresses", "3", "--blacklist", "2", "-o", str(inst)])
+        out = tmp_path / "model.lp"
+        assert main(["export-lp", str(inst), "-o", str(out), "--merging"]) == 0
+        assert "vm[" in out.read_text()
+
+
+class TestPolicies:
+    def test_prints_text_form(self, instance_file, capsys):
+        assert main(["policies", str(instance_file)]) == 0
+        text = capsys.readouterr().out
+        assert "# policy for ingress" in text
+        assert "deny" in text or "permit" in text
+
+    def test_ingress_filter(self, instance_file, capsys):
+        import json
+
+        data = json.loads(instance_file.read_text())
+        first = data["policies"][0]["ingress"]
+        assert main(["policies", str(instance_file), "--ingress", first]) == 0
+        text = capsys.readouterr().out
+        assert text.count("# policy for ingress") == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_objective_choices(self, instance_file, tmp_path):
+        out = tmp_path / "placement.json"
+        for objective in ("rules", "upstream", "combined"):
+            assert main(["solve", str(instance_file), "-o", str(out),
+                         "--objective", objective]) == 0

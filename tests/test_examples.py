@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_examples_exist():
+    """The deliverable requires at least three runnable examples."""
+    assert len(EXAMPLES) >= 3
+
+
+def test_package_doctest():
+    """The quickstart in the package docstring must stay true."""
+    import doctest
+
+    import repro
+
+    failures, _tests = doctest.testmod(repro, verbose=False)
+    assert failures == 0
