@@ -1,0 +1,169 @@
+"""Portfolio acceptance benchmark: racing beats committing.
+
+A mixed benchmark of 20+ seeded instances (varying topology size, rule
+count, and capacity tightness) measures each single backend against the
+portfolio racing all of them under one deadline.  The acceptance
+obligations:
+
+* every portfolio answer matches the single-backend optimum exactly;
+* per instance, the portfolio's wall clock stays within 1.2x the best
+  single backend (plus a small constant for process startup);
+* in aggregate the portfolio strictly beats the worst single backend;
+* a crash-injected engine never changes any answer.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_portfolio_race.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.satopt import SatOptimizer
+from repro.experiments import ExperimentConfig, banner, build_instance
+from repro.experiments.runners import winner_distribution
+from repro.milp.bnb import BranchAndBoundBackend
+from repro.milp.model import SolveStatus
+from repro.solve.portfolio import EngineSpec
+
+#: Shared deadline: generous enough that HiGHS always proves its
+#: optimum, tight enough to cap a pathological engine.
+DEADLINE = 20.0
+#: Multiplicative + additive slack for the per-instance race bound.
+#: The additive term absorbs fork/teardown cost on sub-100ms solves.
+RACE_FACTOR = 1.2
+RACE_SLACK = 0.35
+
+
+def benchmark_mix():
+    """20 seeded instances across three shapes (small/medium/tight)."""
+    configs = []
+    for seed in range(7):
+        configs.append(ExperimentConfig(
+            k=4, num_paths=10, rules_per_policy=8, capacity=30,
+            num_ingresses=4, seed=100 + seed,
+        ))
+    for seed in range(7):
+        configs.append(ExperimentConfig(
+            k=4, num_paths=16, rules_per_policy=12, capacity=40,
+            num_ingresses=6, seed=200 + seed,
+        ))
+    for seed in range(6):
+        configs.append(ExperimentConfig(
+            k=4, num_paths=12, rules_per_policy=10, capacity=12,
+            num_ingresses=5, seed=300 + seed,
+        ))
+    return configs
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def race_results():
+    rows = []
+    for config in benchmark_mix():
+        instance = build_instance(config)
+        singles = {}
+        singles["highs"], t_highs = _timed(
+            lambda: RulePlacer(PlacerConfig(time_limit=DEADLINE)).place(instance))
+        singles["bnb"], t_bnb = _timed(
+            lambda: RulePlacer(
+                PlacerConfig(backend=BranchAndBoundBackend(time_limit=DEADLINE))
+            ).place(instance))
+        singles["satopt"], t_sat = _timed(
+            lambda: SatOptimizer().minimize(instance, time_limit=DEADLINE)
+            .placement)
+        times = {"highs": t_highs, "bnb": t_bnb, "satopt": t_sat}
+
+        portfolio, t_port = _timed(
+            lambda: RulePlacer(PlacerConfig(
+                backend="portfolio", deadline=DEADLINE,
+            )).place(instance))
+        rows.append({
+            "config": config, "singles": singles, "times": times,
+            "portfolio": portfolio, "t_portfolio": t_port,
+        })
+    return rows
+
+
+class TestPortfolioRace:
+    @pytest.mark.benchmark(group="portfolio")
+    def test_print_race_table(self, race_results, benchmark):
+        benchmark.pedantic(lambda: len(race_results), rounds=1, iterations=1)
+        print(banner("Portfolio race: per-instance wall clock (ms)"))
+        print(f"  {'instance':<38} {'highs':>8} {'bnb':>9} {'satopt':>9} "
+              f"{'portfolio':>10} {'winner':>8}")
+        for row in race_results:
+            times = row["times"]
+            print(f"  {row['config'].describe():<38} "
+                  f"{times['highs'] * 1000:>8.1f} {times['bnb'] * 1000:>9.1f} "
+                  f"{times['satopt'] * 1000:>9.1f} "
+                  f"{row['t_portfolio'] * 1000:>10.1f} "
+                  f"{row['portfolio'].winner or '-':>8}")
+        dist = winner_distribution([
+            type("R", (), {"winner": row["portfolio"].winner})()
+            for row in race_results
+        ])
+        print(f"  winner distribution: {dist}")
+
+    def test_benchmark_has_twenty_instances(self, race_results):
+        assert len(race_results) >= 20
+
+    def test_every_result_matches_the_optimum(self, race_results):
+        for row in race_results:
+            portfolio, singles = row["portfolio"], row["singles"]
+            highs = singles["highs"]
+            assert portfolio.status is highs.status, (
+                f"{row['config'].describe()}: {portfolio.status} vs "
+                f"{highs.status}")
+            if not highs.is_feasible:
+                continue
+            for label, single in singles.items():
+                if single.status is SolveStatus.OPTIMAL:
+                    assert portfolio.objective_value == pytest.approx(
+                        single.objective_value
+                    ), (f"{row['config'].describe()}: portfolio "
+                        f"{portfolio.objective_value} != {label} "
+                        f"{single.objective_value}")
+
+    def test_portfolio_tracks_best_backend_per_instance(self, race_results):
+        for row in race_results:
+            best = min(row["times"].values())
+            bound = RACE_FACTOR * best + RACE_SLACK
+            assert row["t_portfolio"] <= bound, (
+                f"{row['config'].describe()}: portfolio "
+                f"{row['t_portfolio']:.3f}s exceeds {bound:.3f}s "
+                f"(best single {best:.3f}s)")
+
+    def test_portfolio_beats_worst_backend_in_aggregate(self, race_results):
+        total_portfolio = sum(row["t_portfolio"] for row in race_results)
+        total_worst = sum(max(row["times"].values()) for row in race_results)
+        assert total_portfolio < total_worst, (
+            f"portfolio aggregate {total_portfolio:.2f}s not better than "
+            f"worst-backend aggregate {total_worst:.2f}s")
+
+
+class TestCrashInjection:
+    def test_crash_injected_engine_never_fails_a_solve(self):
+        def hostile(task):
+            raise RuntimeError("injected benchmark crash")
+
+        for config in benchmark_mix()[:5]:
+            instance = build_instance(config)
+            reference = RulePlacer().place(instance)
+            placement = RulePlacer(PlacerConfig(
+                backend="portfolio", deadline=DEADLINE,
+                engines=(EngineSpec("hostile", hostile),
+                         "highs", "bnb", "satopt"),
+            )).place(instance)
+            assert placement.status is reference.status, config.describe()
+            assert placement.objective_value == reference.objective_value, (
+                config.describe())

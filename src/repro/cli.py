@@ -71,11 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("-o", "--output", required=True,
                        help="placement JSON path")
     solve.add_argument("--engine", choices=["ilp", "sat"], default="ilp")
+    solve.add_argument("--backend",
+                       choices=["highs", "bnb", "portfolio"], default="highs",
+                       help="ILP backend, or 'portfolio' to race every "
+                            "exact engine and take the first proven answer")
     solve.add_argument("--merging", action="store_true",
                        help="enable cross-policy rule merging")
     solve.add_argument("--objective", choices=["rules", "upstream", "combined"],
                        default="rules")
     solve.add_argument("--time-limit", type=float, default=None)
+    solve.add_argument("--deadline", type=float, default=None,
+                       help="shared wall-clock budget in seconds; on expiry "
+                            "the best incumbent is returned (status "
+                            "time_limit)")
+    solve.add_argument("--engines", default=None,
+                       help="comma-separated portfolio engines "
+                            "(default: highs,bnb,satopt)")
 
     verify = sub.add_parser("verify", help="exactly verify a placement")
     verify.add_argument("instance")
@@ -129,13 +140,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.engine == "sat":
         placement = SatPlacer(enable_merging=args.merging).place(instance)
     else:
-        placer = RulePlacer(PlacerConfig(
+        config = PlacerConfig(
             objective=_objective(args.objective),
             enable_merging=args.merging,
+            backend=args.backend,
             time_limit=args.time_limit,
-        ))
-        placement = placer.place(instance)
+            deadline=args.deadline,
+        )
+        if args.engines:
+            config.engines = tuple(
+                name.strip() for name in args.engines.split(",") if name.strip()
+            )
+        placement = RulePlacer(config).place(instance)
     print(placement.summary())
+    if placement.winner is not None:
+        portfolio = placement.solver_stats["portfolio"]
+        engines = portfolio.get("engines", {})
+        outcomes = ", ".join(
+            f"{name}={record.get('outcome')}"
+            f" ({record.get('wall_seconds', 0.0):.2f}s)"
+            for name, record in engines.items()
+        )
+        print(f"portfolio winner: {placement.winner} [{outcomes}]")
     repro_io.save_placement(placement, args.output)
     print(f"wrote {args.output}")
     return 0 if placement.is_feasible else 2

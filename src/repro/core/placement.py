@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..milp.model import SolveResult, SolveStatus
 from ..policy.policy import PolicySet
@@ -24,6 +24,10 @@ from .merging import MergePlan
 from .objectives import Objective, TotalRules, apply_objective
 
 __all__ = ["PlacerConfig", "Placement", "RulePlacer"]
+
+#: Sentinel returned by backend resolution when the portfolio path is
+#: selected (the portfolio is not a Model-level backend).
+_PORTFOLIO = object()
 
 
 @dataclass
@@ -45,11 +49,28 @@ class Placement:
     build_seconds: float = 0.0
     num_variables: int = 0
     num_constraints: int = 0
-    solver_stats: Dict[str, float] = field(default_factory=dict)
+    #: Flat backend counters, plus (for portfolio solves) the structured
+    #: per-engine telemetry under the ``"portfolio"`` key -- see
+    #: ``docs/architecture.md`` for the schema.
+    solver_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def is_feasible(self) -> bool:
-        return self.status.has_solution
+        """True when the placement carries a usable rule assignment --
+        including the best incumbent of a solve that hit its deadline
+        (status ``TIME_LIMIT`` with an honest ``objective_value``)."""
+        return self.status.has_solution or (
+            self.status is SolveStatus.TIME_LIMIT
+            and self.objective_value is not None
+        )
+
+    @property
+    def winner(self) -> Optional[str]:
+        """The engine that produced this answer in a portfolio solve."""
+        portfolio = self.solver_stats.get("portfolio")
+        if isinstance(portfolio, dict):
+            return portfolio.get("winner")
+        return None
 
     def switches_of(self, key: RuleKey) -> FrozenSet[str]:
         return self.placed.get(key, frozenset())
@@ -150,9 +171,19 @@ class PlacerConfig:
     enable_merging: bool = False
     #: Run the optional redundancy-removal pre-pass.
     remove_redundancy: bool = False
-    #: MILP backend instance; ``None`` selects SciPy/HiGHS.
+    #: MILP backend instance, a backend name (``"highs"``, ``"bnb"``),
+    #: ``"portfolio"`` to race every engine, or ``None`` for SciPy/HiGHS.
     backend: Optional[object] = None
     time_limit: Optional[float] = None
+    #: Shared wall-clock budget for portfolio solves; on expiry the best
+    #: incumbent any engine found is returned with status TIME_LIMIT.
+    deadline: Optional[float] = None
+    #: Engines raced by ``backend="portfolio"`` (names or EngineSpecs).
+    engines: Sequence[object] = ("highs", "bnb", "satopt")
+    #: Per-engine constructor options, keyed by engine name.
+    engine_options: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Portfolio execution strategy: ``"process"`` or ``"inline"``.
+    executor: str = "process"
 
 
 class RulePlacer:
@@ -191,11 +222,74 @@ class RulePlacer:
         build_start = time.perf_counter()
         encoding = self.build(instance, fixed=fixed)
         build_seconds = time.perf_counter() - build_start
-        result = encoding.model.solve(
-            self.config.backend, time_limit=self.config.time_limit
-        )
-        placement = self.extract(encoding, result)
+        backend = self._resolve_backend()
+        if backend is _PORTFOLIO:
+            placement = self._place_portfolio(instance, encoding)
+        else:
+            result = encoding.model.solve(
+                backend, time_limit=self.config.time_limit
+            )
+            placement = self.extract(encoding, result)
         placement.build_seconds = build_seconds
+        return placement
+
+    # ------------------------------------------------------------------
+    # Backend resolution / portfolio orchestration
+    # ------------------------------------------------------------------
+
+    def _resolve_backend(self):
+        """Map the configured backend (instance, name, or "portfolio")
+        onto what the solve step needs."""
+        from ..solve.portfolio import PortfolioSolver, resolve_backend
+
+        backend = self.config.backend
+        if isinstance(backend, PortfolioSolver) or backend == "portfolio":
+            return _PORTFOLIO
+        if isinstance(backend, str):
+            return resolve_backend(backend)
+        return backend
+
+    def _portfolio_solver(self):
+        from ..solve.portfolio import PortfolioSolver
+
+        if isinstance(self.config.backend, PortfolioSolver):
+            return self.config.backend
+        deadline = self.config.deadline
+        if deadline is None:
+            deadline = self.config.time_limit
+        return PortfolioSolver(
+            engines=tuple(self.config.engines),
+            deadline=deadline,
+            engine_options=self.config.engine_options,
+            executor=self.config.executor,
+        )
+
+    def _place_portfolio(self, instance: PlacementInstance,
+                         encoding: IlpEncoding) -> Placement:
+        """Race the configured engines and fold the outcome into a
+        :class:`Placement` with per-engine telemetry."""
+        solver = self._portfolio_solver()
+        outcome = solver.solve(
+            instance, encoding=encoding,
+            enable_merging=self.config.enable_merging,
+            objective=self.config.objective,
+        )
+        placement = Placement(
+            instance=instance,
+            status=outcome.status,
+            merge_plan=encoding.merge_plan,
+            objective_value=outcome.objective,
+            solve_seconds=outcome.wall_seconds,
+            num_variables=encoding.model.num_variables(),
+            num_constraints=encoding.model.num_constraints(),
+            solver_stats={"portfolio": outcome.telemetry()},
+        )
+        placement.placed = {
+            key: frozenset(switches) for key, switches in outcome.placed.items()
+        }
+        placement.merged = {
+            gid: frozenset(switches) for gid, switches in outcome.merged.items()
+        }
         return placement
 
     @staticmethod
@@ -211,7 +305,7 @@ class RulePlacer:
             num_constraints=encoding.model.num_constraints(),
             solver_stats=dict(result.stats),
         )
-        if not result.status.has_solution:
+        if not result.has_solution:
             return placement
         by_rule: Dict[RuleKey, set] = {}
         for (key, switch), var in encoding.var_of.items():

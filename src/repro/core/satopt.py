@@ -62,7 +62,8 @@ class SatOptimizer:
         self.max_conflicts_per_probe = max_conflicts_per_probe
         self.strategy = strategy
 
-    def _probe(self, instance: PlacementInstance, bound: Optional[int]):
+    def _probe(self, instance: PlacementInstance, bound: Optional[int],
+               time_budget: Optional[float] = None):
         """One SAT solve with an optional global cost bound."""
         encoding = build_sat_encoding(
             instance, enable_merging=self.enable_merging
@@ -75,7 +76,8 @@ class SatOptimizer:
                     terms.append(PBTerm(-(len(members) - 1), vm))
             pb_le(encoding.cnf, terms, bound)
         result = CdclSolver(encoding.cnf).solve(
-            max_conflicts=self.max_conflicts_per_probe
+            max_conflicts=self.max_conflicts_per_probe,
+            time_limit=time_budget,
         )
         return encoding, result
 
@@ -103,21 +105,28 @@ class SatOptimizer:
         placement.objective_value = float(placement.total_installed())
         return placement
 
-    def minimize(self, instance: PlacementInstance) -> SatOptResult:
+    def minimize(self, instance: PlacementInstance,
+                 time_limit: Optional[float] = None) -> SatOptResult:
         """Binary-search the minimum total installed rules.
 
         Returns a placement whose status is OPTIMAL when the search
         closed the bracket, INFEASIBLE when even the unbounded problem
-        is UNSAT, or TIME_LIMIT if a probe exhausted its conflict
-        budget (best incumbent returned).
+        is UNSAT, FEASIBLE if a probe exhausted its conflict budget, or
+        TIME_LIMIT if ``time_limit`` wall-clock seconds expired (best
+        incumbent returned in both budget cases).
         """
         started = time.perf_counter()
+        deadline = None if time_limit is None else started + time_limit
         history = []
 
-        encoding, result = self._probe(instance, None)
+        def remaining() -> Optional[float]:
+            return None if deadline is None else deadline - time.perf_counter()
+
+        encoding, result = self._probe(instance, None, remaining())
         history.append((-1, result.is_sat))
         if result.status is SatStatus.UNKNOWN:
             placement = Placement(instance=instance, status=SolveStatus.TIME_LIMIT)
+            placement.solve_seconds = time.perf_counter() - started
             return SatOptResult(placement, 1, tuple(history))
         if not result.is_sat:
             placement = Placement(
@@ -133,16 +142,25 @@ class SatOptimizer:
         low = 0                                # all bounds < low are UNSAT
         probes = 1
         budget_hit = False
+        timed_out = False
         while low < high:
+            budget = remaining()
+            if budget is not None and budget <= 0:
+                timed_out = True
+                break
             if self.strategy == "binary":
                 target = (low + high) // 2
             else:
                 target = high - 1
-            encoding, result = self._probe(instance, target)
+            encoding, result = self._probe(instance, target, budget)
             probes += 1
             history.append((target, result.is_sat))
             if result.status is SatStatus.UNKNOWN:
-                budget_hit = True
+                budget = remaining()
+                if budget is not None and budget <= 0:
+                    timed_out = True
+                else:
+                    budget_hit = True
                 break
             if result.is_sat:
                 candidate = self._extract(instance, encoding, result, 0.0)
@@ -153,8 +171,15 @@ class SatOptimizer:
                 low = target + 1
 
         best.solve_seconds = time.perf_counter() - started
-        best.status = (
-            SolveStatus.FEASIBLE if budget_hit else SolveStatus.OPTIMAL
-        )
+        if timed_out:
+            # Wall clock expired: the incumbent is honest, optimality
+            # is not proven -- surface it as TIME_LIMIT, like the MILP
+            # backends do.
+            best.status = SolveStatus.TIME_LIMIT
+        elif budget_hit:
+            best.status = SolveStatus.FEASIBLE
+        else:
+            best.status = SolveStatus.OPTIMAL
         best.solver_stats["probes"] = float(probes)
+        best.solver_stats["lower_bound"] = float(low)
         return SatOptResult(best, probes, tuple(history))

@@ -16,7 +16,7 @@ from ..core.verify import verify_placement
 from ..milp.model import SolveStatus
 from .generators import ExperimentConfig, build_instance
 
-__all__ = ["Record", "run_point", "run_averaged", "sweep"]
+__all__ = ["Record", "run_point", "run_averaged", "sweep", "winner_distribution"]
 
 
 @dataclass
@@ -33,18 +33,25 @@ class Record:
     num_variables: int = 0
     num_constraints: int = 0
     verified: Optional[bool] = None
+    #: Portfolio solves only: which engine produced the answer, whether
+    #: the shared deadline expired, and the per-engine telemetry record.
+    winner: Optional[str] = None
+    deadline_hit: Optional[bool] = None
+    engine_stats: Optional[Dict[str, object]] = None
 
     @property
     def feasible(self) -> bool:
-        return self.status.has_solution
+        return self.status.has_solution or self.installed_rules is not None
 
     def row(self) -> str:
         status = self.status.value
         installed = "-" if self.installed_rules is None else str(self.installed_rules)
         overhead = "-" if self.overhead is None else f"{self.overhead:+.0%}"
+        winner = "" if self.winner is None else f" [{self.winner}]"
         return (
             f"{self.config.describe():<40} {status:<11} "
             f"{self.runtime_seconds * 1000:>9.1f}ms {installed:>7} {overhead:>7}"
+            f"{winner}"
         )
 
 
@@ -71,6 +78,11 @@ def run_point(
         num_variables=placement.num_variables,
         num_constraints=placement.num_constraints,
     )
+    portfolio = placement.solver_stats.get("portfolio")
+    if isinstance(portfolio, dict):
+        record.winner = portfolio.get("winner")
+        record.deadline_hit = portfolio.get("deadline_hit")
+        record.engine_stats = portfolio.get("engines")
     if placement.is_feasible:
         record.installed_rules = placement.total_installed()
         record.required_rules = placement.required_rules()
@@ -95,6 +107,16 @@ def run_averaged(
             run_point(point, enable_merging=enable_merging, time_limit=time_limit)
         )
     return records
+
+
+def winner_distribution(records: Sequence[Record]) -> Dict[str, int]:
+    """How often each engine won across a sweep of portfolio solves --
+    the headline statistic for EXPERIMENTS portfolio tables."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        if record.winner is not None:
+            counts[record.winner] = counts.get(record.winner, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
 
 
 def sweep(

@@ -183,6 +183,9 @@ def placement_to_dict(placement: Placement) -> Dict[str, Any]:
             {"gid": gid, "switches": sorted(switches)}
             for gid, switches in sorted(placement.merged.items())
         ],
+        # Flat counters plus, for portfolio solves, the structured
+        # per-engine telemetry (winner, outcomes, wall times).
+        "solver_stats": placement.solver_stats,
     }
 
 
@@ -196,6 +199,7 @@ def placement_from_dict(data: Dict[str, Any],
         status=SolveStatus(data["status"]),
         objective_value=data.get("objective_value"),
         solve_seconds=data.get("solve_seconds", 0.0),
+        solver_stats=dict(data.get("solver_stats", {})),
     )
     placement.placed = {
         (entry["ingress"], entry["priority"]): frozenset(entry["switches"])

@@ -23,7 +23,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -43,19 +43,26 @@ class _Node:
 
 
 class BranchAndBoundBackend:
-    """Exact MILP via branch & bound on the LP relaxation."""
+    """Exact MILP via branch & bound on the LP relaxation.
+
+    ``clock`` is injectable so the timeout path is deterministically
+    testable (the regression tests feed a fake clock that "expires"
+    after the first node).
+    """
 
     name = "bnb"
 
     def __init__(self, time_limit: Optional[float] = None,
-                 max_nodes: int = 200_000) -> None:
+                 max_nodes: int = 200_000,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         self.time_limit = time_limit
         self.max_nodes = max_nodes
+        self.clock = clock
 
     # ------------------------------------------------------------------
 
     def solve(self, model: Model, time_limit: Optional[float] = None) -> SolveResult:
-        started = time.perf_counter()
+        started = self.clock()
         limit = time_limit if time_limit is not None else self.time_limit
         n = model.num_variables()
         if n == 0:
@@ -74,8 +81,10 @@ class BranchAndBoundBackend:
         root = _Node(-math.inf, next(seq), {})
         heap: List[_Node] = [root]
 
+        timed_out = False
         while heap:
-            if limit is not None and time.perf_counter() - started > limit:
+            if limit is not None and self.clock() - started > limit:
+                timed_out = True
                 break
             if nodes_explored >= self.max_nodes:
                 break
@@ -119,17 +128,34 @@ class BranchAndBoundBackend:
                 if lo2 <= hi2:
                     heapq.heappush(heap, _Node(lp_obj, next(seq), fixed))
 
-        elapsed = time.perf_counter() - started
-        exhausted = not heap and nodes_explored < self.max_nodes
+        elapsed = self.clock() - started
+        exhausted = not heap and not timed_out and nodes_explored < self.max_nodes
         stats = {"nodes": float(nodes_explored)}
+        if heap:
+            # Honest dual bound: the best open node (capped by the
+            # incumbent, shifted to match the reported objective frame).
+            bound = min(min(node.bound for node in heap), best_obj)
+            if math.isfinite(bound):
+                stats["bound"] = bound + model.objective.constant
         if best_x is None:
             if exhausted:
                 return SolveResult(SolveStatus.INFEASIBLE, None, {}, elapsed, stats)
             return SolveResult(SolveStatus.TIME_LIMIT, None, {}, elapsed, stats)
         values = {i: float(round(best_x[i]) if i in set(int_vars) else best_x[i])
                   for i in range(n)}
-        status = SolveStatus.OPTIMAL if exhausted else SolveStatus.FEASIBLE
         objective = best_obj + model.objective.constant
+        if exhausted:
+            status = SolveStatus.OPTIMAL
+        elif timed_out:
+            # Wall clock expired: return the incumbent honestly, with
+            # the remaining optimality gap in the stats.
+            status = SolveStatus.TIME_LIMIT
+            if "bound" in stats and objective:
+                stats["gap"] = abs(objective - stats["bound"]) / max(
+                    abs(objective), 1e-9
+                )
+        else:
+            status = SolveStatus.FEASIBLE  # node budget, not time
         return SolveResult(status, objective, values, elapsed, stats)
 
     # ------------------------------------------------------------------

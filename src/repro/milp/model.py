@@ -228,10 +228,10 @@ class Constraint:
 
 class SolveStatus(enum.Enum):
     OPTIMAL = "optimal"
-    FEASIBLE = "feasible"          # incumbent found, optimality not proven
+    FEASIBLE = "feasible"          # incumbent found, stopped on a work budget
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
-    TIME_LIMIT = "time_limit"      # limit hit with no incumbent
+    TIME_LIMIT = "time_limit"      # wall clock expired; incumbent may be attached
     ERROR = "error"
 
     @property
@@ -249,6 +249,14 @@ class SolveResult:
     solve_seconds: float = 0.0
     #: Backend-specific counters (nodes explored, LP iterations, ...).
     stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def has_solution(self) -> bool:
+        """True when the result carries a usable assignment -- including
+        the best incumbent of a solve that hit its time limit."""
+        return self.status.has_solution or (
+            self.status is SolveStatus.TIME_LIMIT and self.objective is not None
+        )
 
     def value(self, var: Variable) -> float:
         return self.values.get(var.index, 0.0)

@@ -92,10 +92,16 @@ class ScipyMilpBackend:
 
         status = _STATUS_MAP.get(result.status)
         if status is None:
-            # Limit reached (1) or "other" (4): feasible iff x is present.
-            status = (
-                SolveStatus.FEASIBLE if result.x is not None else SolveStatus.TIME_LIMIT
-            )
+            if result.status == 1:
+                # Iteration/time limit: TIME_LIMIT either way, with the
+                # incumbent attached when HiGHS found one.
+                status = SolveStatus.TIME_LIMIT
+            else:
+                # "Other" (4): feasible iff x is present.
+                status = (
+                    SolveStatus.FEASIBLE if result.x is not None
+                    else SolveStatus.ERROR
+                )
         values = {}
         objective = None
         if result.x is not None:

@@ -18,6 +18,7 @@ enumeration on random formulas in the test suite.
 from __future__ import annotations
 
 import enum
+import time
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -335,10 +336,19 @@ class CdclSolver:
     # ------------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = (),
-              max_conflicts: Optional[int] = None) -> SatResult:
-        """Decide satisfiability (optionally under unit assumptions)."""
+              max_conflicts: Optional[int] = None,
+              time_limit: Optional[float] = None) -> SatResult:
+        """Decide satisfiability (optionally under unit assumptions).
+
+        ``time_limit`` bounds wall-clock seconds; like ``max_conflicts``
+        it returns :class:`SatStatus.UNKNOWN` on expiry (checked once
+        per conflict, so expiry is detected within one conflict's work).
+        """
         if not self.ok:
             return SatResult(SatStatus.UNSAT)
+        deadline = (
+            None if time_limit is None else time.perf_counter() + time_limit
+        )
         confl = self._propagate()
         if confl is not None:
             return SatResult(SatStatus.UNSAT)
@@ -365,6 +375,11 @@ class CdclSolver:
                 if self.live_learnts > self.max_learnts:
                     self._reduce_db()
                 if max_conflicts is not None and self.conflicts >= max_conflicts:
+                    return SatResult(
+                        SatStatus.UNKNOWN, None,
+                        self.conflicts, self.decisions, self.restarts,
+                    )
+                if deadline is not None and time.perf_counter() >= deadline:
                     return SatResult(
                         SatStatus.UNKNOWN, None,
                         self.conflicts, self.decisions, self.restarts,
@@ -404,6 +419,7 @@ class CdclSolver:
 
 
 def solve_cnf(cnf: CNF, assumptions: Sequence[int] = (),
-              max_conflicts: Optional[int] = None) -> SatResult:
+              max_conflicts: Optional[int] = None,
+              time_limit: Optional[float] = None) -> SatResult:
     """Convenience wrapper: build a solver and run it once."""
-    return CdclSolver(cnf).solve(assumptions, max_conflicts)
+    return CdclSolver(cnf).solve(assumptions, max_conflicts, time_limit)

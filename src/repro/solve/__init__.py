@@ -1,0 +1,28 @@
+"""Solver orchestration: racing several exact engines on one instance.
+
+The paper solves each placement with a single CPLEX run.  This package
+generalizes that to a *portfolio*: every configured engine attacks the
+same instance concurrently under a shared wall-clock deadline, the
+first conclusive answer wins, and the losers are cancelled.  See
+:mod:`repro.solve.portfolio`.
+"""
+
+from .portfolio import (
+    DEFAULT_ENGINES,
+    EngineReport,
+    EngineSpec,
+    EngineTask,
+    PortfolioOutcome,
+    PortfolioSolver,
+    resolve_backend,
+)
+
+__all__ = [
+    "DEFAULT_ENGINES",
+    "EngineReport",
+    "EngineSpec",
+    "EngineTask",
+    "PortfolioOutcome",
+    "PortfolioSolver",
+    "resolve_backend",
+]

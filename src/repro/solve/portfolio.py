@@ -1,0 +1,616 @@
+"""Portfolio solving: race every exact engine under one deadline.
+
+The repository ships three exact engines whose relative speed varies
+wildly with instance shape: HiGHS branch-and-cut
+(:class:`~repro.milp.scipy_backend.ScipyMilpBackend`), the from-scratch
+branch-and-bound (:class:`~repro.milp.bnb.BranchAndBoundBackend`), and
+the CDCL/pseudo-Boolean optimizer (:class:`~repro.core.satopt.SatOptimizer`).
+:class:`PortfolioSolver` runs all of them on the same instance
+concurrently (one forked process per engine -- they are CPU-bound),
+returns the first *conclusive* answer (proven OPTIMAL or proven
+INFEASIBLE), and terminates the losers.
+
+Degradation is graceful by construction:
+
+* a shared wall-clock ``deadline`` bounds the whole race; on expiry the
+  best incumbent any engine reported is returned with status
+  ``TIME_LIMIT`` and an honest ``objective``;
+* a crashing engine (exception or killed process) is recorded in the
+  telemetry and the survivors keep racing;
+* engines that cannot express the requested problem (e.g. the SAT
+  optimizer under a non-rule-count objective) are skipped, not failed.
+
+Because the engines are independent implementations of the same
+optimization problem, the portfolio doubles as a differential oracle:
+any disagreement between conclusive answers is a bug in one of them,
+and ``tests/integration/test_cross_engine_fuzz.py`` exploits exactly
+that.
+
+Telemetry: :meth:`PortfolioOutcome.telemetry` returns the structured
+per-engine record (winner, per-engine wall time, node/conflict/probe
+counters, crash and timeout outcomes) that
+:class:`~repro.core.placement.Placement` stores under
+``solver_stats["portfolio"]``.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.ilp import IlpEncoding, build_encoding
+from ..core.instance import PlacementInstance, RuleKey
+from ..core.objectives import TotalRules, apply_objective
+from ..milp.bnb import BranchAndBoundBackend
+from ..milp.model import SolveResult, SolveStatus
+from ..milp.scipy_backend import ScipyMilpBackend
+
+__all__ = [
+    "DEFAULT_ENGINES",
+    "EngineReport",
+    "EngineSpec",
+    "EngineTask",
+    "PortfolioOutcome",
+    "PortfolioSolver",
+    "resolve_backend",
+]
+
+#: Statuses that settle the race: optimality or infeasibility proven.
+_CONCLUSIVE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED)
+
+DEFAULT_ENGINES: Tuple[str, ...] = ("highs", "bnb", "satopt")
+
+PlacedMap = Dict[RuleKey, Tuple[str, ...]]
+MergedMap = Dict[int, Tuple[str, ...]]
+
+
+# ---------------------------------------------------------------------------
+# Task and result containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineTask:
+    """Everything an engine needs to attack one instance.
+
+    ``encoding`` is the parent-built ILP encoding (shared with the
+    forked children at zero copy cost); SAT-family engines work from
+    ``instance`` directly.
+    """
+
+    instance: PlacementInstance
+    encoding: Optional[IlpEncoding] = None
+    enable_merging: bool = False
+    time_limit: Optional[float] = None
+    options: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A named engine: ``run`` maps an :class:`EngineTask` to a payload
+    dict (see :func:`_milp_payload` for the schema)."""
+
+    name: str
+    run: Callable[[EngineTask], Dict[str, object]]
+
+
+@dataclass
+class EngineReport:
+    """Per-engine telemetry for one race."""
+
+    name: str
+    #: ``optimal | feasible | timeout | infeasible | unbounded |
+    #: crashed | cancelled | skipped | error``
+    outcome: str
+    wall_seconds: float = 0.0
+    objective: Optional[float] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "outcome": self.outcome,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.objective is not None:
+            record["objective"] = self.objective
+        if self.stats:
+            record.update(self.stats)
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class PortfolioOutcome:
+    """The race result: winning answer plus full per-engine telemetry."""
+
+    status: SolveStatus
+    winner: Optional[str]
+    objective: Optional[float] = None
+    placed: PlacedMap = field(default_factory=dict)
+    merged: MergedMap = field(default_factory=dict)
+    reports: List[EngineReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    deadline: Optional[float] = None
+    deadline_hit: bool = False
+
+    @property
+    def has_solution(self) -> bool:
+        return self.objective is not None and self.status is not SolveStatus.INFEASIBLE
+
+    def report_for(self, name: str) -> Optional[EngineReport]:
+        for report in self.reports:
+            if report.name == name:
+                return report
+        return None
+
+    def telemetry(self) -> Dict[str, object]:
+        """The ``solver_stats["portfolio"]`` record (JSON-serializable)."""
+        return {
+            "winner": self.winner,
+            "deadline": self.deadline,
+            "deadline_hit": self.deadline_hit,
+            "wall_seconds": self.wall_seconds,
+            "engines": {r.name: r.to_dict() for r in self.reports},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Built-in engines
+# ---------------------------------------------------------------------------
+#
+# An engine payload is a small picklable dict -- the only data crossing
+# the process boundary:
+#   {"status": SolveStatus value string,
+#    "objective": float | None,
+#    "placed": {rule key: (switch, ...)},
+#    "merged": {group id: (switch, ...)},
+#    "stats": {counter: float}}
+
+
+def _milp_payload(encoding: IlpEncoding, result: SolveResult) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "status": result.status.value,
+        "objective": result.objective,
+        "placed": {},
+        "merged": {},
+        "stats": dict(result.stats),
+    }
+    if result.has_solution:
+        placed: Dict[RuleKey, set] = {}
+        for (key, switch), var in encoding.var_of.items():
+            if result.is_one(var):
+                placed.setdefault(key, set()).add(switch)
+        payload["placed"] = {k: tuple(sorted(v)) for k, v in placed.items()}
+        merged: Dict[int, set] = {}
+        for (gid, switch), var in encoding.merge_var_of.items():
+            if result.is_one(var):
+                merged.setdefault(gid, set()).add(switch)
+        payload["merged"] = {g: tuple(sorted(v)) for g, v in merged.items()}
+    return payload
+
+
+def _run_highs(task: EngineTask) -> Dict[str, object]:
+    backend = ScipyMilpBackend(**task.options)
+    result = task.encoding.model.solve(backend, time_limit=task.time_limit)
+    return _milp_payload(task.encoding, result)
+
+
+def _run_bnb(task: EngineTask) -> Dict[str, object]:
+    backend = BranchAndBoundBackend(**task.options)
+    result = task.encoding.model.solve(backend, time_limit=task.time_limit)
+    return _milp_payload(task.encoding, result)
+
+
+def _run_satopt(task: EngineTask) -> Dict[str, object]:
+    from ..core.satopt import SatOptimizer
+
+    optimizer = SatOptimizer(enable_merging=task.enable_merging, **task.options)
+    result = optimizer.minimize(task.instance, time_limit=task.time_limit)
+    placement = result.placement
+    return {
+        "status": placement.status.value,
+        "objective": placement.objective_value,
+        "placed": {k: tuple(sorted(v)) for k, v in placement.placed.items()},
+        "merged": {g: tuple(sorted(v)) for g, v in placement.merged.items()},
+        "stats": {
+            k: v for k, v in placement.solver_stats.items()
+            if isinstance(v, (int, float))
+        },
+    }
+
+
+_REGISTRY: Dict[str, EngineSpec] = {
+    "highs": EngineSpec("highs", _run_highs),
+    "bnb": EngineSpec("bnb", _run_bnb),
+    "satopt": EngineSpec("satopt", _run_satopt),
+}
+
+
+def resolve_backend(name: str):
+    """Map a CLI backend name to a MILP backend instance."""
+    if name in ("highs", "scipy", "scipy-highs"):
+        return ScipyMilpBackend()
+    if name == "bnb":
+        return BranchAndBoundBackend()
+    raise ValueError(f"unknown backend {name!r}")
+
+
+def _worker(out_queue, spec: EngineSpec, task: EngineTask) -> None:
+    """Process entry point: run one engine, post exactly one message."""
+    started = time.perf_counter()
+    try:
+        payload = spec.run(task)
+        out_queue.put(("done", spec.name, payload, time.perf_counter() - started))
+    except BaseException:
+        out_queue.put((
+            "crashed", spec.name, traceback.format_exc(limit=4),
+            time.perf_counter() - started,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# The solver
+# ---------------------------------------------------------------------------
+
+
+class PortfolioSolver:
+    """Race N engines on one instance under a shared deadline.
+
+    ``engines`` is a sequence of registry names (``"highs"``, ``"bnb"``,
+    ``"satopt"``) and/or :class:`EngineSpec` objects (tests inject fake
+    or hostile engines this way).  ``executor`` selects how the race is
+    run:
+
+    * ``"process"`` (default): one forked process per engine, true
+      concurrency, losers are terminated.  Falls back to inline where
+      ``fork`` is unavailable.
+    * ``"inline"``: engines run sequentially in-process in listed order
+      until a conclusive answer; fully deterministic under an injected
+      ``clock``, which is what the test suite uses.
+
+    ``deadline`` is the shared wall-clock budget in seconds; each engine
+    additionally receives it as its own ``time_limit`` so it can report
+    an incumbent instead of being killed mid-search.  ``grace_seconds``
+    is how long past the deadline the parent waits for those incumbent
+    reports before terminating stragglers.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[Union[str, EngineSpec]] = DEFAULT_ENGINES,
+        deadline: Optional[float] = None,
+        engine_options: Optional[Dict[str, Dict[str, object]]] = None,
+        executor: str = "process",
+        clock: Callable[[], float] = time.monotonic,
+        grace_seconds: float = 0.5,
+    ) -> None:
+        if executor not in ("process", "inline"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if not engines:
+            raise ValueError("portfolio needs at least one engine")
+        self.specs: List[EngineSpec] = []
+        for engine in engines:
+            if isinstance(engine, EngineSpec):
+                self.specs.append(engine)
+            elif isinstance(engine, str):
+                try:
+                    self.specs.append(_REGISTRY[engine])
+                except KeyError:
+                    raise ValueError(
+                        f"unknown engine {engine!r}; "
+                        f"known: {sorted(_REGISTRY)}"
+                    ) from None
+            else:
+                raise TypeError(f"engine must be a name or EngineSpec: {engine!r}")
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate engine names: {names}")
+        self.deadline = deadline
+        self.engine_options = dict(engine_options or {})
+        self.executor = executor
+        self.clock = clock
+        self.grace_seconds = grace_seconds
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        instance: PlacementInstance,
+        encoding: Optional[IlpEncoding] = None,
+        enable_merging: bool = False,
+        objective=None,
+    ) -> PortfolioOutcome:
+        """Race the configured engines on ``instance``."""
+        specs = list(self.specs)
+        skipped: List[EngineReport] = []
+        needs_encoding = any(s.name in ("highs", "bnb") for s in specs)
+        if needs_encoding and encoding is None:
+            encoding = build_encoding(instance, enable_merging=enable_merging)
+            apply_objective(encoding, objective or TotalRules())
+
+        # The SAT optimizer only minimizes total installed rules; under
+        # any other objective it would race toward the wrong answer.
+        if objective is not None and not isinstance(objective, TotalRules):
+            kept = []
+            for spec in specs:
+                if spec.name == "satopt":
+                    skipped.append(EngineReport(
+                        spec.name, "skipped",
+                        error="objective not supported by the SAT optimizer",
+                    ))
+                else:
+                    kept.append(spec)
+            specs = kept
+        if not specs:
+            raise ValueError("no engine can handle the requested objective")
+
+        started = self.clock()
+        if self.executor == "process":
+            order, results, reports, deadline_hit = self._race_process(
+                specs, instance, encoding, enable_merging
+            )
+        else:
+            order, results, reports, deadline_hit = self._race_inline(
+                specs, instance, encoding, enable_merging
+            )
+        outcome = self._select(specs, order, results, reports, deadline_hit)
+        outcome.reports.extend(skipped)
+        outcome.wall_seconds = self.clock() - started
+        outcome.deadline = self.deadline
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+
+    def _task_for(self, spec: EngineSpec, instance, encoding,
+                  enable_merging) -> EngineTask:
+        return EngineTask(
+            instance=instance,
+            encoding=encoding,
+            enable_merging=enable_merging,
+            time_limit=self.deadline,
+            options=dict(self.engine_options.get(spec.name, {})),
+        )
+
+    def _race_process(self, specs, instance, encoding, enable_merging):
+        """True concurrency: one forked process per engine.
+
+        Workers post exactly one ``("done"|"crashed", name, payload,
+        wall)`` message; a process that dies without posting (segfault,
+        OOM kill) is detected through its exit code.  Fork keeps the
+        parent-built encoding shared copy-on-write, so only the small
+        result payload ever crosses the process boundary.
+        """
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return self._race_inline(specs, instance, encoding, enable_merging)
+
+        out_queue = ctx.Queue()
+        pending: Dict[str, object] = {}
+        for spec in specs:
+            task = self._task_for(spec, instance, encoding, enable_merging)
+            proc = ctx.Process(
+                target=_worker, args=(out_queue, spec, task), daemon=True
+            )
+            proc.start()
+            pending[spec.name] = proc
+
+        started = self.clock()
+        hard_stop = (
+            None if self.deadline is None
+            else started + self.deadline + self.grace_seconds
+        )
+        order: List[str] = []
+        results: Dict[str, Dict[str, object]] = {}
+        reports: Dict[str, EngineReport] = {}
+        winner_found = False
+
+        def _handle(kind, name, payload, wall) -> bool:
+            """Record one worker message; True if it settles the race."""
+            order.append(name)
+            if kind == "crashed":
+                reports[name] = EngineReport(
+                    name, "crashed", wall, error=str(payload)
+                )
+                return False
+            status = SolveStatus(payload["status"])
+            results[name] = payload
+            reports[name] = EngineReport(
+                name, _outcome_of(status), wall,
+                objective=payload.get("objective"),
+                stats=dict(payload.get("stats", {})),
+            )
+            return status in _CONCLUSIVE
+
+        while pending:
+            now = self.clock()
+            if hard_stop is not None and now >= hard_stop:
+                break
+            remaining = None if hard_stop is None else hard_stop - now
+            timeout = 0.1 if remaining is None else min(0.1, max(remaining, 0.01))
+            try:
+                kind, name, payload, wall = out_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                # Reap processes that died without posting a message.
+                for name, proc in list(pending.items()):
+                    code = proc.exitcode
+                    if code is not None and code != 0:
+                        pending.pop(name)
+                        order.append(name)
+                        reports[name] = EngineReport(
+                            name, "crashed",
+                            self.clock() - started,
+                            error=f"process died with exit code {code}",
+                        )
+                continue
+            proc = pending.pop(name, None)
+            if proc is not None:
+                proc.join(timeout=1.0)
+            if _handle(kind, name, payload, wall):
+                winner_found = True
+                break
+
+        # Deadline path: engines may have posted their TIME_LIMIT
+        # incumbents moments ago -- drain without blocking before
+        # terminating stragglers.
+        if not winner_found:
+            while True:
+                try:
+                    kind, name, payload, wall = out_queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+                proc = pending.pop(name, None)
+                if proc is not None:
+                    proc.join(timeout=1.0)
+                if _handle(kind, name, payload, wall):
+                    winner_found = True
+                    break
+
+        deadline_hit = (
+            self.deadline is not None
+            and self.clock() - started >= self.deadline
+            and not winner_found
+        )
+        for name, proc in pending.items():
+            code = proc.exitcode
+            if code is not None and code != 0:
+                # Died uncancelled before we got around to reaping it.
+                reports[name] = EngineReport(
+                    name, "crashed", self.clock() - started,
+                    error=f"process died with exit code {code}",
+                )
+                continue
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                proc.kill()
+                proc.join(timeout=1.0)
+            reports[name] = EngineReport(
+                name, "cancelled" if winner_found else "timeout",
+                self.clock() - started,
+                error=None if winner_found else "killed at deadline",
+            )
+        out_queue.cancel_join_thread()
+        out_queue.close()
+        report_list = [reports[s.name] for s in specs if s.name in reports]
+        return order, results, report_list, deadline_hit
+
+    def _race_inline(self, specs, instance, encoding, enable_merging):
+        """Sequential fallback: run engines in listed order until one is
+        conclusive.  Deterministic under an injected clock."""
+        started = self.clock()
+        order: List[str] = []
+        results: Dict[str, Dict[str, object]] = {}
+        reports: List[EngineReport] = []
+        winner_found = False
+        for spec in specs:
+            elapsed = self.clock() - started
+            remaining = None if self.deadline is None else self.deadline - elapsed
+            if winner_found:
+                reports.append(EngineReport(spec.name, "cancelled"))
+                continue
+            if remaining is not None and remaining <= 0:
+                reports.append(EngineReport(
+                    spec.name, "timeout", error="deadline expired before start"
+                ))
+                continue
+            task = self._task_for(spec, instance, encoding, enable_merging)
+            task.time_limit = remaining
+            engine_start = self.clock()
+            try:
+                payload = spec.run(task)
+            except BaseException as exc:
+                reports.append(EngineReport(
+                    spec.name, "crashed", self.clock() - engine_start,
+                    error=f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            wall = self.clock() - engine_start
+            order.append(spec.name)
+            status = SolveStatus(payload["status"])
+            results[spec.name] = payload
+            reports.append(EngineReport(
+                spec.name, _outcome_of(status), wall,
+                objective=payload.get("objective"),
+                stats=dict(payload.get("stats", {})),
+            ))
+            if status in _CONCLUSIVE:
+                winner_found = True
+        deadline_hit = (
+            self.deadline is not None
+            and self.clock() - started >= self.deadline
+            and not winner_found
+        )
+        return order, results, reports, deadline_hit
+
+    # ------------------------------------------------------------------
+    # Winner selection
+    # ------------------------------------------------------------------
+
+    def _select(self, specs, order, results, reports,
+                deadline_hit) -> PortfolioOutcome:
+        """Pick the race's answer from per-engine results.
+
+        Priority: first *conclusive* arrival (proven optimal/infeasible)
+        wins outright; otherwise the best incumbent (lowest objective,
+        ties broken by configured engine order); otherwise an honest
+        empty TIME_LIMIT / ERROR.
+        """
+        outcome = PortfolioOutcome(
+            status=SolveStatus.TIME_LIMIT, winner=None,
+            reports=list(reports), deadline_hit=deadline_hit,
+        )
+        for name in order:
+            payload = results.get(name)
+            if payload is None:
+                continue
+            if SolveStatus(payload["status"]) in _CONCLUSIVE:
+                return self._fill(outcome, name, payload,
+                                  SolveStatus(payload["status"]))
+
+        incumbents = [
+            (name, results[name]) for spec in specs
+            for name in [spec.name]
+            if name in results and results[name].get("objective") is not None
+        ]
+        if incumbents:
+            name, payload = min(incumbents, key=lambda item: item[1]["objective"])
+            status = (
+                SolveStatus.TIME_LIMIT if deadline_hit else
+                SolveStatus(payload["status"])
+            )
+            return self._fill(outcome, name, payload, status)
+
+        if reports and all(r.outcome in ("crashed", "skipped") for r in reports):
+            outcome.status = SolveStatus.ERROR
+        return outcome
+
+    @staticmethod
+    def _fill(outcome: PortfolioOutcome, name: str,
+              payload: Dict[str, object], status: SolveStatus) -> PortfolioOutcome:
+        outcome.status = status
+        outcome.winner = name
+        outcome.objective = payload.get("objective")
+        outcome.placed = dict(payload.get("placed", {}))
+        outcome.merged = dict(payload.get("merged", {}))
+        return outcome
+
+
+def _outcome_of(status: SolveStatus) -> str:
+    return {
+        SolveStatus.OPTIMAL: "optimal",
+        SolveStatus.FEASIBLE: "feasible",
+        SolveStatus.INFEASIBLE: "infeasible",
+        SolveStatus.UNBOUNDED: "unbounded",
+        SolveStatus.TIME_LIMIT: "timeout",
+        SolveStatus.ERROR: "error",
+    }[status]

@@ -154,3 +154,47 @@ class TestAccounting:
         placement = RulePlacer().place(figure3_instance)
         assert "installed" in placement.summary()
         assert "optimal" in placement.summary()
+
+
+class TestTimeLimitSurfacing:
+    """RulePlacer must surface a backend's TIME_LIMIT incumbent as a
+    usable placement (status honest, rules extracted)."""
+
+    class IncumbentOnTimeoutBackend:
+        """Fake backend: solves exactly, then downgrades the status to
+        TIME_LIMIT as if the clock had expired post-incumbent."""
+
+        name = "fake-timeout"
+
+        def solve(self, model, time_limit=None):
+            from repro.milp.scipy_backend import ScipyMilpBackend
+
+            result = ScipyMilpBackend().solve(model)
+            result.status = SolveStatus.TIME_LIMIT
+            return result
+
+    def test_time_limit_incumbent_is_extracted(self, figure3_instance):
+        placement = RulePlacer(PlacerConfig(
+            backend=self.IncumbentOnTimeoutBackend()
+        )).place(figure3_instance)
+        assert placement.status is SolveStatus.TIME_LIMIT
+        assert placement.is_feasible
+        assert placement.objective_value is not None
+        assert placement.placed, "incumbent assignment must be extracted"
+        assert verify_placement(placement).ok
+
+    def test_time_limit_without_incumbent_is_infeasible(self, figure3_instance):
+        class EmptyTimeoutBackend:
+            name = "fake-empty-timeout"
+
+            def solve(self, model, time_limit=None):
+                from repro.milp.model import SolveResult
+
+                return SolveResult(SolveStatus.TIME_LIMIT)
+
+        placement = RulePlacer(PlacerConfig(
+            backend=EmptyTimeoutBackend()
+        )).place(figure3_instance)
+        assert placement.status is SolveStatus.TIME_LIMIT
+        assert not placement.is_feasible
+        assert placement.placed == {}

@@ -101,3 +101,22 @@ class TestMinimize:
         assert descend_result.probes == len(descend_result.history)
         assert (descend_result.placement.solver_stats.get("probes")
                 == descend_result.probes)
+
+
+class TestWallClockLimit:
+    def test_expired_deadline_reports_time_limit(self, small_instance):
+        """A zero wall-clock budget must stop the descent after (at
+        most) the first probe and report TIME_LIMIT -- with the
+        incumbent attached when that probe completed."""
+        result = SatOptimizer().minimize(small_instance, time_limit=0.0)
+        assert result.placement.status is SolveStatus.TIME_LIMIT
+        if result.placement.objective_value is not None:
+            assert result.placement.is_feasible
+            assert verify_placement(result.placement).ok
+
+    def test_generous_deadline_still_optimal(self, small_instance):
+        limited = SatOptimizer().minimize(small_instance, time_limit=120.0)
+        unlimited = SatOptimizer().minimize(small_instance)
+        assert limited.placement.status is SolveStatus.OPTIMAL
+        assert (limited.placement.total_installed()
+                == unlimited.placement.total_installed())

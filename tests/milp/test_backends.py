@@ -140,6 +140,95 @@ class TestBranchAndBound:
         )
 
 
+class TestTimeoutSemantics:
+    """Regressions for the contract that an expired time limit returns
+    ``TIME_LIMIT`` with the best incumbent -- never OPTIMAL, never an
+    exception, never a silently dropped solution."""
+
+    @staticmethod
+    def fractional_model() -> Model:
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint((xs[0] + xs[1]) <= 1)
+        m.add_constraint((xs[1] + xs[2]) <= 1)
+        m.add_constraint((xs[0] + xs[2]) <= 1)
+        m.set_objective(lin_sum(xs) * -1)
+        return m
+
+    def test_bnb_timeout_returns_incumbent(self):
+        """Fake clock expires after the first node: the rounding
+        incumbent must come back under TIME_LIMIT, not vanish."""
+        ticks = iter([0.0, 1.0, 100.0, 101.0])
+        backend = BranchAndBoundBackend(time_limit=50.0, clock=lambda: next(ticks))
+        model = self.fractional_model()
+        result = model.solve(backend)
+        assert result.status is SolveStatus.TIME_LIMIT
+        assert result.has_solution
+        assert result.objective is not None
+        assert model.check_solution(result.values)
+        assert result.stats["nodes"] == 1
+        # The reported dual bound must bracket the incumbent honestly.
+        assert result.stats["bound"] <= result.objective + 1e-9
+
+    def test_bnb_timeout_without_incumbent(self):
+        ticks = iter([0.0, 100.0, 101.0])
+        backend = BranchAndBoundBackend(time_limit=50.0, clock=lambda: next(ticks))
+        result = self.fractional_model().solve(backend)
+        assert result.status is SolveStatus.TIME_LIMIT
+        assert not result.has_solution
+        assert result.objective is None
+
+    def test_bnb_node_budget_is_feasible_not_time_limit(self):
+        """Stopping on the node budget is a work limit, not a wall-clock
+        expiry; the status must say FEASIBLE (or OPTIMAL if done)."""
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constraint(lin_sum(xs) >= 3)
+        m.set_objective(lin_sum(xs))
+        result = m.solve(BranchAndBoundBackend(max_nodes=1))
+        assert result.status is not SolveStatus.TIME_LIMIT
+
+    def test_scipy_limit_status_maps_to_time_limit(self, monkeypatch):
+        """HiGHS status 1 (limit) with an incumbent must surface as
+        TIME_LIMIT carrying that incumbent."""
+        import numpy as np
+
+        from repro.milp import scipy_backend as sb
+
+        class FakeResult:
+            status = 1
+            x = np.array([1.0, 0.0])
+            fun = 1.0
+            mip_node_count = 7
+            mip_gap = 0.25
+
+        monkeypatch.setattr(sb, "milp", lambda *a, **kw: FakeResult())
+        m = Model()
+        m.add_binary("a"), m.add_binary("b")
+        result = m.solve(ScipyMilpBackend())
+        assert result.status is SolveStatus.TIME_LIMIT
+        assert result.has_solution
+        assert result.objective == pytest.approx(1.0)
+        assert result.stats["gap"] == pytest.approx(0.25)
+
+    def test_scipy_limit_without_incumbent(self, monkeypatch):
+        from repro.milp import scipy_backend as sb
+
+        class FakeResult:
+            status = 1
+            x = None
+            fun = None
+            mip_node_count = None
+            mip_gap = None
+
+        monkeypatch.setattr(sb, "milp", lambda *a, **kw: FakeResult())
+        m = Model()
+        m.add_binary("a")
+        result = m.solve(ScipyMilpBackend())
+        assert result.status is SolveStatus.TIME_LIMIT
+        assert not result.has_solution
+
+
 class TestExhaustive:
     def test_rejects_large_models(self):
         m = Model()

@@ -49,6 +49,37 @@ class TestSolveVerifyReport:
         assert "optimal" in capsys.readouterr().out
         assert json.loads(out.read_text())["status"] == "optimal"
 
+    def test_solve_backend_bnb(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        code = main(["solve", str(instance_file), "-o", str(out),
+                     "--backend", "bnb", "--time-limit", "60"])
+        assert code == 0
+        assert json.loads(out.read_text())["status"] == "optimal"
+
+    def test_solve_backend_portfolio_with_deadline(self, instance_file,
+                                                   tmp_path, capsys):
+        out = tmp_path / "placement.json"
+        code = main(["solve", str(instance_file), "-o", str(out),
+                     "--backend", "portfolio", "--deadline", "60"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "portfolio winner:" in text
+        data = json.loads(out.read_text())
+        assert data["status"] == "optimal"
+        telemetry = data["solver_stats"]["portfolio"]
+        assert telemetry["winner"] in ("highs", "bnb", "satopt")
+        assert telemetry["deadline"] == 60.0
+        assert set(telemetry["engines"]) == {"highs", "bnb", "satopt"}
+
+    def test_solve_portfolio_engine_subset(self, instance_file, tmp_path):
+        out = tmp_path / "placement.json"
+        code = main(["solve", str(instance_file), "-o", str(out),
+                     "--backend", "portfolio", "--deadline", "60",
+                     "--engines", "highs,bnb"])
+        assert code == 0
+        telemetry = json.loads(out.read_text())["solver_stats"]["portfolio"]
+        assert set(telemetry["engines"]) == {"highs", "bnb"}
+
     def test_solve_sat_engine(self, instance_file, tmp_path, capsys):
         out = tmp_path / "placement.json"
         code = main(["solve", str(instance_file), "-o", str(out),
