@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables bench-full examples verify-all clean
+.PHONY: install test chaos bench bench-tables bench-full examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 test-report:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# The full 200-schedule chaos matrix (REPRO_CHAOS_QUICK=1 or
+# REPRO_CHAOS_SEEDS=N shrink it for quick local runs).
+chaos:
+	REPRO_CHAOS_SEEDS=200 $(PYTHON) -m pytest tests/chaos/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -44,7 +44,16 @@ from .net import (
     Routing,
     ShortestPathRouter,
 )
-from .dataplane import Dataplane, Packet, SwitchTable, TcamEntry, Verdict
+from .dataplane import (
+    Dataplane,
+    Packet,
+    SwitchTable,
+    TcamEntry,
+    Verdict,
+    ChannelConfig,
+    ControlChannel,
+    SwitchAgent,
+)
 from .milp import Model, SolveStatus, ScipyMilpBackend, BranchAndBoundBackend
 from .net import (
     line,
@@ -83,9 +92,14 @@ from .core import (
     synthesize,
     IncrementalDeployer,
     Controller,
+    TransitionAborted,
+    SwitchDeadError,
+    Reconciler,
+    ReconcileStage,
     BigSwitch,
     check_refinement,
 )
+from .chaos import ChaosConfig, ChaosHarness, ChaosReport, run_chaos
 from .baselines import (
     place_all_at_ingress,
     place_replicated,
@@ -114,6 +128,17 @@ __all__ = [
     "instance_report",
     "placement_report",
     "Controller",
+    "TransitionAborted",
+    "SwitchDeadError",
+    "Reconciler",
+    "ReconcileStage",
+    "ChannelConfig",
+    "ControlChannel",
+    "SwitchAgent",
+    "ChaosConfig",
+    "ChaosHarness",
+    "ChaosReport",
+    "run_chaos",
     "BigSwitch",
     "check_refinement",
     "fail_link",

@@ -1,0 +1,16 @@
+"""Chaos engineering for the control plane: seeded fault schedules,
+a storm-driving harness, and convergence/fail-closed oracles."""
+
+from .schedule import ChaosSchedule, FaultEvent, FaultKind, generate_schedule
+from .harness import ChaosConfig, ChaosHarness, ChaosReport, run_chaos
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosSchedule",
+    "FaultEvent",
+    "FaultKind",
+    "generate_schedule",
+    "run_chaos",
+]

@@ -1,0 +1,281 @@
+"""The chaos harness: storms against a deployed placement.
+
+One :class:`ChaosHarness` run is a complete experiment:
+
+1. deploy a placement over a calm channel;
+2. flip the channel to the configured baseline fault rates and replay a
+   seeded :class:`~repro.chaos.schedule.ChaosSchedule` -- partitions,
+   heals, reboots, and rate storms -- pumping the channel one round per
+   tick and running periodic incremental repair passes throughout;
+3. after the horizon (the schedule heals and calms everything), run the
+   full reconciliation ladder and ask two questions:
+
+   * **convergence** -- did the live network return to exactly the
+     intended placement (entries, miss verdicts, nothing in flight)?
+   * **fail-closed** -- at *every instant along the way*, did the
+     dataplane refuse every packet the ingress policy drops?
+
+The fail-closed oracle is wired into the channel's ``on_deliver`` hook,
+so it observes the dataplane after every single message application --
+not just at tick boundaries.  Witness packets are sampled (seeded) from
+the DROP regions of each policy, restricted to each path's flow.
+
+Reports carry a digest over the full observable outcome (final tables,
+miss verdicts, channel statistics, violations) so the suite can assert
+bit-reproducibility: same seed, same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.controller import Controller
+from ..core.instance import PlacementInstance
+from ..core.placement import Placement
+from ..core.reconcile import Reconciler, ReconcileStage
+from ..dataplane.channel import ChannelConfig, ControlChannel
+from ..dataplane.simulator import Verdict
+from ..dataplane.switch import SwitchTable, TableAction
+from ..policy.rule import Action
+from .schedule import ChaosSchedule, FaultKind, generate_schedule
+
+__all__ = ["ChaosConfig", "ChaosReport", "ChaosHarness", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one chaos experiment."""
+
+    seed: int = 0
+    horizon: int = 30
+    #: Baseline channel fault rates while the storm runs.
+    drop_rate: float = 0.15
+    duplicate_rate: float = 0.1
+    reorder_rate: float = 0.1
+    max_delay: int = 2
+    #: Run an incremental audit+repair every this many ticks.
+    repair_interval: int = 5
+    #: Drop-region witness headers sampled per rule and path.
+    samples_per_rule: int = 3
+    #: Switches reboot into table-miss DROP (the safety mechanism the
+    #: negative-control tests disable).
+    fail_secure: bool = True
+
+    def base_rates(self) -> Dict[str, float]:
+        return {
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "reorder_rate": self.reorder_rate,
+            "max_delay": self.max_delay,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Everything observable about one chaos run."""
+
+    seed: int
+    converged: bool
+    #: Fail-closed violations: a drop-witness packet delivered, with
+    #: the instant it happened.  Empty on a passing run.
+    violations: List[str] = field(default_factory=list)
+    rounds: int = 0
+    final_stage: Optional[ReconcileStage] = None
+    schedule_counts: Dict[str, int] = field(default_factory=dict)
+    channel_stats: Dict[str, int] = field(default_factory=dict)
+    controller_stats: Dict[str, int] = field(default_factory=dict)
+    reconcile_passes: int = 0
+    #: sha256 over the canonical final state; equal across replays of
+    #: the same seed.
+    digest: str = ""
+
+    @property
+    def fail_closed_held(self) -> bool:
+        return not self.violations
+
+
+class ChaosHarness:
+    """Drives one seeded fault schedule against a deployed placement."""
+
+    def __init__(self, instance: PlacementInstance, placement: Placement,
+                 config: Optional[ChaosConfig] = None,
+                 schedule: Optional[ChaosSchedule] = None) -> None:
+        if not placement.is_feasible:
+            raise ValueError("chaos needs a feasible placement to deploy")
+        self.instance = instance
+        self.placement = placement
+        self.config = config or ChaosConfig()
+        self.schedule = schedule or generate_schedule(
+            instance.topology.switch_names,
+            seed=self.config.seed,
+            horizon=self.config.horizon,
+        )
+        # Start calm; the storm begins after deployment.
+        self.channel = ControlChannel(ChannelConfig(seed=self.config.seed))
+        for switch in instance.topology.switch_names:
+            self.channel.attach(
+                switch,
+                SwitchTable(switch, instance.capacity(switch)),
+                fail_secure=self.config.fail_secure,
+            )
+        self.controller = Controller(instance, channel=self.channel)
+        self.reconciler = Reconciler(self.controller)
+        self.violations: List[str] = []
+        self._witnesses = self._sample_witnesses()
+        self._round = 0
+        self._checks = 0
+
+    # ------------------------------------------------------------------
+    # The fail-closed oracle
+    # ------------------------------------------------------------------
+
+    def _sample_witnesses(self) -> List[Tuple[str, object, int, int]]:
+        """Seeded headers each ingress policy *drops*, per routed path."""
+        rng = random.Random(self.config.seed ^ 0x5EED)
+        witnesses: List[Tuple[str, object, int, int]] = []
+        for policy in self.instance.policies:
+            width = policy.width or 1
+            for path in self.instance.routing.paths(policy.ingress):
+                for rule in policy.rules:
+                    if rule.action is not Action.DROP:
+                        continue
+                    region = rule.match
+                    if path.flow is not None:
+                        region = region.intersection(path.flow)
+                        if region is None:
+                            continue
+                    for _ in range(self.config.samples_per_rule):
+                        header = region.sample(rng)
+                        if policy.evaluate(header) is not Action.DROP:
+                            continue  # shadowed by a higher permit
+                        witnesses.append((policy.ingress, path, header, width))
+        return witnesses
+
+    def _check_fail_closed(self, _message=None) -> None:
+        """Assert no drop-witness packet is deliverable *right now*."""
+        self._checks += 1
+        if len(self.violations) >= 10:
+            return  # enough evidence; keep the run cheap
+        live = self.controller.live_dataplane()
+        for ingress, path, header, width in self._witnesses:
+            if live.verdict(path, header, width) is Verdict.DELIVERED:
+                self.violations.append(
+                    f"round {self._round}: witness 0x{header:x} from "
+                    f"{ingress} delivered via {'->'.join(path.switches)}"
+                )
+
+    # ------------------------------------------------------------------
+    # The experiment
+    # ------------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        config = self.config
+        self.controller.deploy(self.placement)
+        self._check_fail_closed()
+        # Storm on.  The oracle rides the delivery hook from here: every
+        # message applied at a switch is followed by a witness sweep.
+        self.channel.on_deliver = self._check_fail_closed
+        self.channel.reconfigure(**config.base_rates())
+        for round_no in range(1, self.schedule.horizon + 1):
+            self._round = round_no
+            for event in self.schedule.at(round_no):
+                self._apply_event(event)
+            self.channel.pump()
+            if config.repair_interval and round_no % config.repair_interval == 0:
+                audits = self.reconciler.audit()
+                self.reconciler.repair_pass(audits)
+        # Recovery: the schedule's final heal/calm already ran; now let
+        # the reconciliation ladder drive the network back to intent.
+        self.channel.reconfigure(
+            drop_rate=0.0, duplicate_rate=0.0, reorder_rate=0.0, max_delay=0,
+        )
+        report_rec = self.reconciler.reconcile()
+        self._check_fail_closed()
+        self.channel.on_deliver = None
+        return self._report(report_rec)
+
+    def _apply_event(self, event) -> None:
+        if event.kind is FaultKind.PARTITION:
+            self.channel.partition(event.switch)
+        elif event.kind is FaultKind.HEAL:
+            self.channel.heal(event.switch)
+        elif event.kind is FaultKind.REBOOT:
+            self.channel.reboot(event.switch)
+            self._check_fail_closed()
+        elif event.kind is FaultKind.STORM:
+            self.channel.reconfigure(**{
+                k: (int(v) if k == "max_delay" else v)
+                for k, v in event.rates
+            })
+        elif event.kind is FaultKind.CALM:
+            self.channel.reconfigure(**self.config.base_rates())
+
+    # ------------------------------------------------------------------
+
+    def _converged(self) -> bool:
+        intended = self.controller.dataplane
+        if intended is None:
+            return False
+        live = self.channel.tables()
+        switches = set(intended.tables) | set(live)
+        for switch in switches:
+            want = intended.tables.get(switch)
+            have = live.get(switch)
+            want_entries = set(want.entries) if want is not None else set()
+            have_entries = set(have.entries) if have is not None else set()
+            if want_entries != have_entries:
+                return False
+            if have is not None and have.default_action is not TableAction.FORWARD:
+                return False
+        return (self.controller.pending_count() == 0
+                and self.channel.in_flight() == 0)
+
+    def _report(self, rec_report) -> ChaosReport:
+        report = ChaosReport(
+            seed=self.config.seed,
+            converged=rec_report.converged and self._converged(),
+            violations=list(self.violations),
+            rounds=self.schedule.horizon,
+            final_stage=rec_report.stage,
+            schedule_counts=self.schedule.counts(),
+            channel_stats=self.channel.stats.as_dict(),
+            controller_stats={
+                "messages": self.controller.stats.messages(),
+                **self.controller.stats.reliability(),
+            },
+            reconcile_passes=rec_report.passes,
+        )
+        report.digest = self._digest(report)
+        return report
+
+    def _digest(self, report: ChaosReport) -> str:
+        """A canonical fingerprint of the run's observable outcome."""
+        parts: List[str] = [f"seed={report.seed}", f"rounds={report.rounds}"]
+        for switch in sorted(self.channel.agents):
+            table = self.channel.agents[switch].table
+            entries = sorted(
+                (
+                    entry.match.to_string(),
+                    entry.action.value,
+                    entry.priority,
+                    tuple(sorted(entry.tags)) if entry.tags is not None else None,
+                    entry.origin,
+                )
+                for entry in table.entries
+            )
+            parts.append(f"{switch}:{table.default_action.value}:{entries}")
+        parts.append(f"channel={sorted(report.channel_stats.items())}")
+        parts.append(f"controller={sorted(report.controller_stats.items())}")
+        parts.append(f"violations={report.violations}")
+        parts.append(f"stage={report.final_stage.value if report.final_stage else None}")
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def run_chaos(instance: PlacementInstance, placement: Placement,
+              seed: int, **knobs) -> ChaosReport:
+    """One-call chaos experiment (the CLI and test-suite entry point)."""
+    config = ChaosConfig(seed=seed, **knobs)
+    return ChaosHarness(instance, placement, config).run()

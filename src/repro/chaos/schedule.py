@@ -1,0 +1,131 @@
+"""Seeded fault-schedule generation for chaos runs.
+
+A schedule is a deterministic function of ``(switches, seed, knobs)``:
+the same inputs always produce the same sequence of partitions, heals,
+reboots, and channel-rate storms.  That determinism is what lets the
+chaos suite assert bit-reproducibility -- re-running a failed seed
+replays the exact same storm.
+
+Schedules are *well-formed by construction*: every partition it opens
+is healed no later than the horizon, so a finished schedule always
+leaves the network reachable and convergence is a fair question to ask.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultKind", "FaultEvent", "ChaosSchedule", "generate_schedule"]
+
+
+class FaultKind(enum.Enum):
+    #: Sever one switch's control channel in both directions.
+    PARTITION = "partition"
+    #: Reconnect one switch (or all, if no switch given).
+    HEAL = "heal"
+    #: Power-cycle one switch: table and dedup state lost.
+    REBOOT = "reboot"
+    #: Raise the channel fault rates to the event's ``rates``.
+    STORM = "storm"
+    #: Restore the channel's baseline fault rates.
+    CALM = "calm"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, applied at the start of ``round``."""
+
+    round: int
+    kind: FaultKind
+    switch: Optional[str] = None
+    #: STORM only: the channel rates to impose.
+    rates: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def describe(self) -> str:
+        target = f" {self.switch}" if self.switch else ""
+        extra = f" {dict(self.rates)}" if self.rates else ""
+        return f"r{self.round}: {self.kind.value}{target}{extra}"
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered, reproducible storm plan."""
+
+    seed: int
+    horizon: int
+    events: Tuple[FaultEvent, ...] = ()
+
+    def at(self, round_no: int) -> List[FaultEvent]:
+        return [e for e in self.events if e.round == round_no]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind.value] = out.get(event.kind.value, 0) + 1
+        return out
+
+
+def generate_schedule(
+    switches: Sequence[str],
+    seed: int,
+    horizon: int = 30,
+    partition_prob: float = 0.12,
+    reboot_prob: float = 0.08,
+    storm_prob: float = 0.12,
+    heal_within: int = 6,
+    max_storm_rate: float = 0.3,
+    max_concurrent_partitions: Optional[int] = None,
+) -> ChaosSchedule:
+    """Roll a deterministic fail/partition/heal storm plan.
+
+    Each round independently may partition a reachable switch (its heal
+    is scheduled at most ``heal_within`` rounds later and never past the
+    horizon), reboot a switch, or flip the channel into a storm (rates
+    drawn up to ``max_storm_rate``) that calms a few rounds later.
+    """
+    if horizon < 2:
+        raise ValueError("horizon must be >= 2")
+    switches = sorted(switches)
+    if max_concurrent_partitions is None:
+        max_concurrent_partitions = max(1, len(switches) - 1)
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    partitioned: Dict[str, int] = {}  # switch -> scheduled heal round
+    storm_until = 0
+    for round_no in range(1, horizon):
+        # Apply scheduled heals to our bookkeeping.
+        for switch, heal_round in list(partitioned.items()):
+            if heal_round <= round_no:
+                del partitioned[switch]
+        candidates = [s for s in switches if s not in partitioned]
+        if (candidates and len(partitioned) < max_concurrent_partitions
+                and rng.random() < partition_prob):
+            switch = rng.choice(candidates)
+            heal_round = min(horizon, round_no + rng.randint(2, heal_within))
+            events.append(FaultEvent(round_no, FaultKind.PARTITION, switch))
+            events.append(FaultEvent(heal_round, FaultKind.HEAL, switch))
+            partitioned[switch] = heal_round
+        if rng.random() < reboot_prob:
+            events.append(FaultEvent(
+                round_no, FaultKind.REBOOT, rng.choice(switches)
+            ))
+        if round_no >= storm_until and rng.random() < storm_prob:
+            rates = (
+                ("drop_rate", round(rng.uniform(0.0, max_storm_rate), 3)),
+                ("duplicate_rate", round(rng.uniform(0.0, max_storm_rate), 3)),
+                ("reorder_rate", round(rng.uniform(0.0, max_storm_rate), 3)),
+                ("max_delay", float(rng.randint(0, 3))),
+            )
+            calm_round = min(horizon, round_no + rng.randint(2, heal_within))
+            events.append(FaultEvent(round_no, FaultKind.STORM, rates=rates))
+            events.append(FaultEvent(calm_round, FaultKind.CALM))
+            storm_until = calm_round
+    # The horizon closes every open fault: heal-all plus calm, so the
+    # recovery phase starts from a connected, baseline-rate channel.
+    events.append(FaultEvent(horizon, FaultKind.HEAL))
+    events.append(FaultEvent(horizon, FaultKind.CALM))
+    ordered = tuple(sorted(events, key=lambda e: (e.round,)))
+    return ChaosSchedule(seed=seed, horizon=horizon, events=ordered)

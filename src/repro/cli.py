@@ -9,7 +9,10 @@ Subcommands mirror the operational workflow:
 * ``verify``   -- exact verification of a placement against its
   instance (exit code 1 on violation);
 * ``report``   -- operator report: utilization, spread, accounting;
-* ``export-lp``-- dump the exact CPLEX LP file of the encoding.
+* ``export-lp``-- dump the exact CPLEX LP file of the encoding;
+* ``chaos``    -- deploy a placement and storm its control plane with
+  seeded fault schedules, checking convergence and the fail-closed
+  invariant (exit code 1 on any failing seed).
 
 Example::
 
@@ -111,6 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
     policies.add_argument("--ingress", default=None,
                           help="limit output to one ingress policy")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="storm a deployed placement with seeded control-plane faults",
+    )
+    chaos.add_argument("instance", help="instance JSON path")
+    chaos.add_argument("placement", nargs="?", default=None,
+                       help="placement JSON (default: solve with the "
+                            "portfolio first)")
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="number of seeded fault schedules to run")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first seed of the range")
+    chaos.add_argument("--horizon", type=int, default=30,
+                       help="storm length in channel rounds")
+    chaos.add_argument("--drop", type=float, default=0.15,
+                       help="baseline drop rate during the storm")
+    chaos.add_argument("--duplicate", type=float, default=0.1)
+    chaos.add_argument("--reorder", type=float, default=0.1)
+    chaos.add_argument("--no-fail-secure", action="store_true",
+                       help="disable fail-secure reboots (demonstrates "
+                            "the fail-closed violation they prevent)")
+
     return parser
 
 
@@ -211,6 +236,41 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import run_chaos
+
+    instance = repro_io.load_instance(args.instance)
+    if args.placement:
+        placement = repro_io.load_placement(args.placement, instance)
+    else:
+        placement = RulePlacer(
+            PlacerConfig(backend="portfolio", executor="inline")
+        ).place(instance)
+    if not placement.is_feasible:
+        print("no feasible placement to storm", file=sys.stderr)
+        return 2
+    failures = 0
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        report = run_chaos(
+            instance, placement, seed=seed,
+            horizon=args.horizon, drop_rate=args.drop,
+            duplicate_rate=args.duplicate, reorder_rate=args.reorder,
+            fail_secure=not args.no_fail_secure,
+        )
+        verdict = ("ok" if report.converged and report.fail_closed_held
+                   else "FAIL")
+        if verdict == "FAIL":
+            failures += 1
+        print(f"seed {seed}: {verdict} stage={report.final_stage.value} "
+              f"violations={len(report.violations)} "
+              f"digest={report.digest[:12]}")
+        for violation in report.violations[:3]:
+            print(f"  {violation}", file=sys.stderr)
+    print(f"{args.seeds - failures}/{args.seeds} schedules converged "
+          f"fail-closed")
+    return 1 if failures else 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -218,6 +278,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "export-lp": _cmd_export_lp,
     "policies": _cmd_policies,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -41,7 +41,20 @@ from .report import (
     switch_utilization_report,
     policy_spread_report,
 )
-from .controller import Controller, ControllerStats
+from .controller import (
+    Controller,
+    ControllerStats,
+    DeliveryOutcome,
+    FaultClass,
+    SwitchDeadError,
+    TransitionAborted,
+)
+from .reconcile import (
+    Reconciler,
+    ReconcileReport,
+    ReconcileStage,
+    SwitchAudit,
+)
 from .bigswitch import BigSwitch, check_refinement
 from .capacity import CapacityPlan, min_uniform_capacity, layer_requirements
 
@@ -51,6 +64,14 @@ __all__ = [
     "layer_requirements",
     "Controller",
     "ControllerStats",
+    "DeliveryOutcome",
+    "FaultClass",
+    "SwitchDeadError",
+    "TransitionAborted",
+    "Reconciler",
+    "ReconcileReport",
+    "ReconcileStage",
+    "SwitchAudit",
     "BigSwitch",
     "check_refinement",
     "MonitorSpec",

@@ -14,6 +14,28 @@ install/delete messages:
 * continuous invariants: the dataplane is packet-checkable *between any
   two ops* (tests exploit this to demonstrate hitless updates).
 
+Since no production control plane can assume its messages arrive, all
+``FlowMod``/``Barrier`` traffic flows over a
+:class:`~repro.dataplane.channel.ControlChannel` that may drop,
+duplicate, reorder, delay, or partition.  The controller keeps an
+*intended* (shadow) dataplane -- the tables as planning computed them --
+and reconciles the *actual* switch state toward it with:
+
+* unique log-assigned xids on every message, deduplicated switch-side,
+  so retransmission is idempotent;
+* barrier-acknowledged phases: a transition's deletes are not issued
+  until every install of the phase is acknowledged (make-before-break
+  survives a lossy channel);
+* ``flush()`` -- bounded retry with exponential backoff under a round
+  deadline, classifying leftover failures as transient or switch-dead;
+* abort-with-rollback: a transition that hits a capacity rejection (or
+  an unreachable switch) undoes every op it applied, leaving the
+  dataplane packet-identical to the pre-transition state, and raises
+  :class:`TransitionAborted`.
+
+The anti-entropy pass that repairs long-lived divergence (read back
+actual tables, diff, re-issue) lives in :mod:`repro.core.reconcile`.
+
 The controller keeps the rule -> TCAM-entry correspondence needed to
 delete precisely the right entry later, including for merged entries
 shared by several policies (reference-counted by member policy).
@@ -21,27 +43,61 @@ shared by several policies (reference-counted by member policy).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..dataplane.channel import ControlChannel
 from ..dataplane.messages import (
     Barrier,
+    BarrierReply,
+    FlowAck,
     FlowMod,
     FlowModCommand,
+    FlowModFailed,
     MessageLog,
+    TableStatsReply,
     apply_flow_mod,
 )
 from ..dataplane.simulator import Dataplane
-from ..dataplane.switch import SwitchTable, TableAction
+from ..dataplane.switch import SwitchTable, TableAction, TableFullError
 from ..policy.rule import Action
 from .instance import PlacementInstance, RuleKey
 from .placement import Placement
 from .tags import assign_tags, synthesize
 from .transition import OpKind, TransitionPlan, plan_transition
 
-__all__ = ["Controller", "ControllerStats"]
+__all__ = [
+    "Controller",
+    "ControllerStats",
+    "DeliveryOutcome",
+    "FaultClass",
+    "SwitchDeadError",
+    "TransitionAborted",
+]
 
 _ACTION_MAP = {Action.DROP: TableAction.DROP, Action.PERMIT: TableAction.FORWARD}
+
+
+class FaultClass(enum.Enum):
+    """Why a message batch did not fully deliver."""
+
+    #: The switch answered *something* recently; retrying later should work.
+    TRANSIENT = "transient"
+    #: The switch answered nothing across the whole retry budget.
+    SWITCH_DEAD = "switch_dead"
+
+
+class SwitchDeadError(RuntimeError):
+    """A rollout could not reach one or more switches at all."""
+
+
+class TransitionAborted(RuntimeError):
+    """A live transition failed mid-flight and was rolled back.
+
+    The dataplane is packet-identical to its pre-transition state when
+    this is raised (the make-before-break contract extends to aborts).
+    """
 
 
 @dataclass
@@ -51,26 +107,177 @@ class ControllerStats:
     installs_sent: int = 0
     deletes_sent: int = 0
     transitions: int = 0
+    #: Reliability-layer effort, distinct from unique-message counts.
+    retransmissions: int = 0
+    acks_received: int = 0
+    rejected: int = 0
+    aborted_transitions: int = 0
+    flushes: int = 0
 
     def messages(self) -> int:
         return self.installs_sent + self.deletes_sent
+
+    def reliability(self) -> Dict[str, int]:
+        return {
+            "retransmissions": self.retransmissions,
+            "acks_received": self.acks_received,
+            "rejected": self.rejected,
+            "aborted_transitions": self.aborted_transitions,
+            "flushes": self.flushes,
+        }
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of one :meth:`Controller.flush` retry loop."""
+
+    acked: int = 0
+    attempts: int = 0
+    rounds: int = 0
+    rejected: List[FlowModFailed] = field(default_factory=list)
+    #: Messages still unacknowledged when the budget ran out, per switch.
+    undelivered: Dict[str, List[object]] = field(default_factory=dict)
+    classification: Dict[str, FaultClass] = field(default_factory=dict)
+    #: Non-ack replies collected along the way (table read-backs).
+    replies: List[object] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.undelivered and not self.rejected
+
+    def dead_switches(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            s for s, c in self.classification.items()
+            if c is FaultClass.SWITCH_DEAD
+        ))
 
 
 class Controller:
     """Owns the dataplane and applies placements to it."""
 
-    def __init__(self, instance: PlacementInstance) -> None:
+    def __init__(self, instance: PlacementInstance,
+                 channel: Optional[ControlChannel] = None,
+                 retry_limit: int = 8,
+                 flush_round_budget: int = 400) -> None:
         self.instance = instance
         self.tags = assign_tags(instance)
+        #: The intended dataplane (shadow state planning computed).
         self.dataplane: Optional[Dataplane] = None
         self.current: Optional[Placement] = None
         self.stats = ControllerStats()
+        #: The (possibly unreliable) pipe all control traffic crosses.
+        self.channel = channel or ControlChannel()
+        self.retry_limit = retry_limit
+        self.flush_round_budget = flush_round_budget
         #: Full audit log of every control message sent; replaying it
-        #: reconstructs the dataplane exactly (see dataplane.messages).
+        #: reconstructs the intended dataplane exactly (see
+        #: dataplane.messages).  Retransmissions are not re-recorded.
         self.log = MessageLog()
+        #: xid -> message awaiting a switch acknowledgement.
+        self._pending: Dict[int, object] = {}
+        #: Switches the last flush classified as dead (cleared by any
+        #: subsequent reply from them).
+        self.dead_switches: Set[str] = set()
         #: (rule, switch) -> install priority of its entry, for precise
         #: later deletion.
         self._entry_priority: Dict[Tuple[RuleKey, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Channel plumbing
+    # ------------------------------------------------------------------
+
+    def _ensure_agent(self, switch: str, capacity: Optional[int] = None) -> None:
+        if switch in self.channel.agents:
+            return
+        if capacity is None:
+            capacity = self.instance.capacity(switch)
+        self.channel.attach(switch, SwitchTable(switch, capacity))
+
+    def _post(self, message):
+        """Record one message in the audit log (assigning its xid) and
+        put it on the wire, tracking it until acknowledged."""
+        message = self.log.record(message)
+        self.channel.send(message)
+        self._pending[message.xid] = message
+        return message
+
+    def live_tables(self) -> Dict[str, SwitchTable]:
+        """The actual tables as the switches hold them right now."""
+        return self.channel.tables()
+
+    def live_dataplane(self) -> Dataplane:
+        """The *actual* network state (vs. the intended shadow state)."""
+        return Dataplane(self.channel.tables(), ingress_tags=self.tags)
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def flush(self, retry_limit: Optional[int] = None,
+              round_budget: Optional[int] = None) -> DeliveryOutcome:
+        """Drive everything pending to acknowledgement, or give up.
+
+        Bounded retry with exponential backoff: pump the channel, absorb
+        acks, retransmit whatever is still unacknowledged, doubling the
+        wait each attempt, until the attempt limit or the round deadline
+        is exhausted.  Leftovers are classified per switch: a switch
+        that answered *anything* during the flush is ``TRANSIENT``, a
+        fully silent one is ``SWITCH_DEAD``.
+        """
+        limit = self.retry_limit if retry_limit is None else retry_limit
+        budget = self.flush_round_budget if round_budget is None else round_budget
+        outcome = DeliveryOutcome()
+        responded: Set[str] = set()
+        backoff = 1
+        self.stats.flushes += 1
+        while True:
+            replies = self.channel.pump(backoff)
+            outcome.rounds += backoff
+            while self.channel.in_flight() and outcome.rounds < budget:
+                replies.extend(self.channel.pump())
+                outcome.rounds += 1
+            for reply in replies:
+                self._absorb_reply(reply, outcome, responded)
+            if not self._pending:
+                break
+            if outcome.attempts >= limit or outcome.rounds >= budget:
+                break
+            for xid in sorted(self._pending):
+                self.channel.send(self._pending[xid])
+                self.stats.retransmissions += 1
+            outcome.attempts += 1
+            backoff = min(backoff * 2, 16)
+        for xid in sorted(self._pending):
+            message = self._pending[xid]
+            outcome.undelivered.setdefault(message.switch, []).append(message)
+        for switch in outcome.undelivered:
+            outcome.classification[switch] = (
+                FaultClass.TRANSIENT if switch in responded
+                else FaultClass.SWITCH_DEAD
+            )
+        self.dead_switches -= responded
+        self.dead_switches.update(outcome.dead_switches())
+        return outcome
+
+    def _absorb_reply(self, reply, outcome: DeliveryOutcome,
+                      responded: Set[str]) -> None:
+        switch = getattr(reply, "switch", None)
+        if switch is not None:
+            responded.add(switch)
+        if isinstance(reply, (FlowAck, BarrierReply)):
+            if self._pending.pop(reply.xid, None) is not None:
+                outcome.acked += 1
+                self.stats.acks_received += 1
+            return
+        if isinstance(reply, FlowModFailed):
+            if self._pending.pop(reply.xid, None) is not None:
+                outcome.rejected.append(reply)
+                self.stats.rejected += 1
+            return
+        if isinstance(reply, TableStatsReply):
+            self._pending.pop(reply.xid, None)
+            outcome.replies.append(reply)
+            return
+        outcome.replies.append(reply)
 
     # ------------------------------------------------------------------
     # Initial rollout
@@ -83,15 +290,23 @@ class Controller:
         self.dataplane = synthesize(placement, tags=self.tags)
         self.current = placement
         self._entry_priority.clear()
+        for switch in self.instance.topology.switch_names:
+            self._ensure_agent(switch)
         for switch, table in sorted(self.dataplane.tables.items()):
+            self._ensure_agent(switch)
             for entry in table.entries:
-                self.log.record(FlowMod(
+                self._post(FlowMod(
                     switch, FlowModCommand.ADD, entry.match, entry.priority,
                     entry.action, entry.tags, entry.origin,
-                    xid=self.log.next_xid(),
                 ))
                 self.stats.installs_sent += 1
-            self.log.record(Barrier(switch, xid=self.log.next_xid()))
+            self._post(Barrier(switch))
+        outcome = self.flush()
+        if outcome.undelivered:
+            raise SwitchDeadError(
+                "deploy could not reach: "
+                + ", ".join(sorted(outcome.undelivered))
+            )
         self._rebuild_entry_index()
         return self.dataplane
 
@@ -118,8 +333,16 @@ class Controller:
     def transition(self, new_placement: Placement) -> TransitionPlan:
         """Apply a make-before-break update toward ``new_placement``.
 
-        Ops are executed individually against the live tables; after the
-        final op the tables are re-synthesized state (priorities
+        Ops are executed individually against the intended tables and
+        messaged over the channel in three barrier-acknowledged phases
+        (capacity-squeezed deletes, installs, remaining deletes); the
+        delete phase is never entered until every install is
+        acknowledged, so the lossy-channel execution preserves the
+        plan's safety argument.  A capacity rejection or an unreachable
+        switch mid-plan rolls every applied op back (packet-consistent
+        abort) and raises :class:`TransitionAborted`.
+
+        After the final op the tables are re-synthesized (priorities
         compacted) so repeated transitions do not leak priority space.
         """
         if self.dataplane is None or self.current is None:
@@ -129,11 +352,36 @@ class Controller:
         plan = plan_transition(self.current, new_placement)
         old_instance = self.current.instance
         new_instance = new_placement.instance
-        for op in plan.ops:
-            if op.kind is OpKind.INSTALL:
-                self._apply_install(op.rule, op.switch, new_instance)
-            else:
-                self._apply_delete(op.rule, op.switch, old_instance)
+
+        install_idx = [i for i, op in enumerate(plan.ops)
+                       if op.kind is OpKind.INSTALL]
+        first = install_idx[0] if install_idx else len(plan.ops)
+        last = install_idx[-1] if install_idx else -1
+        phase0 = plan.ops[:first]
+        installs = plan.ops[first:last + 1]
+        phase2 = plan.ops[last + 1:]
+
+        tags_snapshot = dict(self.tags)
+        priority_snapshot = dict(self._entry_priority)
+        applied: List[FlowMod] = []
+        try:
+            for op in phase0:
+                applied.extend(self._apply_delete(op.rule, op.switch, old_instance))
+            if phase0:
+                self._checked_flush(applied, tags_snapshot, priority_snapshot,
+                                    "squeezed-delete phase")
+            for op in installs:
+                applied.extend(self._apply_install(op.rule, op.switch, new_instance))
+            if installs:
+                self._checked_flush(applied, tags_snapshot, priority_snapshot,
+                                    "install phase")
+            for op in phase2:
+                applied.extend(self._apply_delete(op.rule, op.switch, old_instance))
+        except TableFullError as exc:
+            self._abort_transition(applied, tags_snapshot, priority_snapshot)
+            raise TransitionAborted(
+                f"transition aborted and rolled back: {exc}"
+            ) from exc
         # Normalize: rebuild tables from the target placement so the
         # priority space stays compact and merged entries re-form.  The
         # instance (and tags) may have changed with the policies.  The
@@ -147,16 +395,68 @@ class Controller:
         self.current = new_placement
         self._rebuild_entry_index()
         self.stats.transitions += 1
+        # Trailing deletes and the resync diff are best-effort here; a
+        # switch that stayed unreachable keeps stale *extra* entries,
+        # which make-before-break semantics tolerate and the reconciler
+        # repairs once the switch answers again.
+        self.flush()
         return plan
 
+    def _checked_flush(self, applied: List[FlowMod], tags_snapshot,
+                       priority_snapshot, phase: str) -> None:
+        """Barrier point between transition phases: everything sent so
+        far must be acknowledged before the next phase may start."""
+        outcome = self.flush()
+        if outcome.rejected:
+            reasons = {r.reason for r in outcome.rejected}
+            self._abort_transition(applied, tags_snapshot, priority_snapshot)
+            raise TransitionAborted(
+                f"switch rejected {phase}: {', '.join(sorted(reasons))}"
+            )
+        if outcome.undelivered:
+            dead = ", ".join(sorted(outcome.undelivered))
+            self._abort_transition(applied, tags_snapshot, priority_snapshot)
+            raise TransitionAborted(
+                f"{phase} unacknowledged by: {dead} "
+                f"({outcome.attempts} attempts, {outcome.rounds} rounds)"
+            )
+
+    def _abort_transition(self, applied: List[FlowMod], tags_snapshot,
+                          priority_snapshot) -> None:
+        """Undo every applied op, newest first, restoring the shadow
+        tables and messaging the inverses to the switches."""
+        for mod in reversed(applied):
+            inverse = self._invert(mod)
+            table = self.dataplane.tables.get(mod.switch)
+            if table is not None:
+                apply_flow_mod(table, inverse)
+            inverse = self._post(inverse)
+            if inverse.command is FlowModCommand.ADD:
+                self.stats.installs_sent += 1
+            else:
+                self.stats.deletes_sent += 1
+        self.tags = tags_snapshot
+        self._entry_priority = priority_snapshot
+        self.stats.aborted_transitions += 1
+        self.flush()
+
+    @staticmethod
+    def _invert(mod: FlowMod) -> FlowMod:
+        command = (FlowModCommand.DELETE_STRICT
+                   if mod.command is FlowModCommand.ADD
+                   else FlowModCommand.ADD)
+        return FlowMod(mod.switch, command, mod.match, mod.priority,
+                       mod.action, mod.tags, mod.origin)
+
     def _apply_install(self, key: RuleKey, switch: str,
-                       instance: PlacementInstance) -> None:
+                       instance: PlacementInstance) -> List[FlowMod]:
         assert self.dataplane is not None
         rule = instance.rule(key)
         table = self.dataplane.tables.get(switch)
         if table is None:
             table = SwitchTable(switch, instance.capacity(switch))
             self.dataplane.tables[switch] = table
+        self._ensure_agent(switch, instance.capacity(switch))
         # Install above everything currently present for this ingress;
         # the dependency-ordered plan (permits first) makes "stack new
         # entries below previous new entries" the correct discipline:
@@ -170,22 +470,22 @@ class Controller:
             switch, FlowModCommand.ADD, rule.match, priority,
             _ACTION_MAP[rule.action], frozenset({self.tags[key[0]]}),
             (rule.name or f"{key[0]}#{key[1]}",),
-            xid=self.log.next_xid(),
         )
         apply_flow_mod(table, mod)
-        self.log.record(mod)
+        mod = self._post(mod)
         self._entry_priority[(key, switch)] = priority
         self.stats.installs_sent += 1
+        return [mod]
 
     def _apply_delete(self, key: RuleKey, switch: str,
-                      instance: PlacementInstance) -> None:
+                      instance: PlacementInstance) -> List[FlowMod]:
         assert self.dataplane is not None
         table = self.dataplane.tables.get(switch)
         if table is None:
-            return
+            return []
         priority = self._entry_priority.pop((key, switch), None)
         if priority is None:
-            return
+            return []
         rule = instance.rule(key)
         tag = self.tags[key[0]]
         victim = next(
@@ -194,53 +494,53 @@ class Controller:
             None,
         )
         if victim is None:
-            return
+            return []
         delete = FlowMod(
             switch, FlowModCommand.DELETE_STRICT, rule.match, priority,
             victim.action, victim.tags, victim.origin,
-            xid=self.log.next_xid(),
         )
         apply_flow_mod(table, delete)
-        self.log.record(delete)
+        delete = self._post(delete)
         self.stats.deletes_sent += 1
+        sent = [delete]
         if (victim.tags is not None and tag in victim.tags
                 and len(victim.tags) > 1):
             # Shared (merged) entry: re-add with this tag retracted.
             readd = FlowMod(
                 switch, FlowModCommand.ADD, victim.match, victim.priority,
                 victim.action, victim.tags - {tag}, victim.origin,
-                xid=self.log.next_xid(),
             )
             apply_flow_mod(table, readd)
-            self.log.record(readd)
+            readd = self._post(readd)
             self.stats.installs_sent += 1
+            sent.append(readd)
+        return sent
 
     def _resync(self, target: Dataplane) -> None:
-        """Message the diff from the live tables to ``target``."""
+        """Message the diff from the intended tables to ``target``."""
         assert self.dataplane is not None
         switches = set(self.dataplane.tables) | set(target.tables)
         for switch in sorted(switches):
+            self._ensure_agent(switch)
             live = self.dataplane.tables.get(switch)
             wanted = target.tables.get(switch)
             live_entries = set(live.entries) if live is not None else set()
             wanted_entries = set(wanted.entries) if wanted is not None else set()
             for entry in sorted(live_entries - wanted_entries,
                                 key=lambda e: -e.priority):
-                self.log.record(FlowMod(
+                self._post(FlowMod(
                     switch, FlowModCommand.DELETE_STRICT, entry.match,
                     entry.priority, entry.action, entry.tags, entry.origin,
-                    xid=self.log.next_xid(),
                 ))
                 self.stats.deletes_sent += 1
             for entry in sorted(wanted_entries - live_entries,
                                 key=lambda e: -e.priority):
-                self.log.record(FlowMod(
+                self._post(FlowMod(
                     switch, FlowModCommand.ADD, entry.match,
                     entry.priority, entry.action, entry.tags, entry.origin,
-                    xid=self.log.next_xid(),
                 ))
                 self.stats.installs_sent += 1
-            self.log.record(Barrier(switch, xid=self.log.next_xid()))
+            self._post(Barrier(switch))
 
     # ------------------------------------------------------------------
     # Introspection

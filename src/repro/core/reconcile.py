@@ -1,0 +1,352 @@
+"""Anti-entropy reconciliation: drive actual switch state to intent.
+
+A lossy control channel, switch reboots, and aborted transitions all
+leave the network in states the controller never chose.  The
+:class:`Reconciler` closes the loop the hardened controller opens:
+
+1. **Audit** -- read back every switch's actual table over the channel
+   (``TableStatsRequest``) and diff it against the intended dataplane
+   the controller's shadow state records;
+2. **Repair** -- emit the minimal flow-mod set fixing the drift,
+   make-before-break style: re-ADD missing/mismatched entries in
+   descending priority *before* deleting entries that should not be
+   there, so a repaired switch is never less closed mid-repair than the
+   policy demands.  A fail-secure switch (table-miss DROP after a
+   reboot) only has its miss verdict restored to FORWARD once its
+   entries are acknowledged back in full;
+3. **Degrade** -- when incremental repair keeps failing, walk the
+   ladder: full re-deploy through the portfolio solver, then the
+   fail-closed ``replicate`` baseline, and as the terminal rung clamp
+   every reachable switch to table-miss DROP so the network fails
+   closed rather than open.
+
+Every pass, rung, and outcome is recorded in a ``solver_stats``-style
+telemetry dict (mirrored into ``placement.solver_stats['reconcile']``)
+so chaos runs can assert not just *that* the network converged but
+*how*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dataplane.messages import (
+    Barrier,
+    FlowMod,
+    FlowModCommand,
+    SetDefaultAction,
+    TableStatsReply,
+    TableStatsRequest,
+)
+from ..dataplane.switch import TableAction, TcamEntry
+from .controller import Controller, TransitionAborted
+
+__all__ = [
+    "ReconcileReport",
+    "ReconcileStage",
+    "Reconciler",
+    "SwitchAudit",
+]
+
+
+class ReconcileStage(enum.Enum):
+    """How far down the degradation ladder a reconcile pass went."""
+
+    #: Audit found no drift; nothing was sent.
+    CLEAN = "clean"
+    #: Incremental repair converged the network.
+    REPAIRED = "repaired"
+    #: Repair kept failing; a fresh portfolio placement was deployed.
+    REDEPLOYED = "redeployed"
+    #: Even re-deploy failed; the replicate baseline was deployed.
+    FAILED_CLOSED = "failed_closed"
+    #: Drift persists only on unreachable switches; retry after heal.
+    PARTITIONED = "partitioned"
+    #: Terminal rung: reachable switches clamped to table-miss DROP.
+    CLAMPED = "clamped"
+
+
+@dataclass(frozen=True)
+class SwitchAudit:
+    """The diff between one switch's actual and intended table."""
+
+    switch: str
+    reachable: bool
+    #: Intended entries absent (or present in a mutated form) on the
+    #: switch; re-ADDing them overwrites any mutated slot in place.
+    missing: Tuple[TcamEntry, ...] = ()
+    #: Entries occupying (match, priority) slots intent knows nothing
+    #: about; each needs a strict delete.
+    unexpected: Tuple[TcamEntry, ...] = ()
+    #: The switch's live table-miss verdict (DROP while fail-secure).
+    default_action: TableAction = TableAction.FORWARD
+
+    @property
+    def entries_clean(self) -> bool:
+        return self.reachable and not self.missing and not self.unexpected
+
+    @property
+    def clean(self) -> bool:
+        return self.entries_clean and self.default_action is TableAction.FORWARD
+
+    def drift(self) -> int:
+        return len(self.missing) + len(self.unexpected) + (
+            0 if self.default_action is TableAction.FORWARD else 1
+        )
+
+
+@dataclass
+class ReconcileReport:
+    """Outcome of one :meth:`Reconciler.reconcile` ladder walk."""
+
+    stage: ReconcileStage
+    converged: bool
+    passes: int = 0
+    repairs_sent: int = 0
+    audits: Dict[str, SwitchAudit] = field(default_factory=dict)
+    #: One record per audit/repair/ladder step, in order.
+    telemetry: List[Dict[str, object]] = field(default_factory=list)
+
+    def unreachable(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            s for s, a in self.audits.items() if not a.reachable
+        ))
+
+
+class Reconciler:
+    """Audits and repairs the live network against controller intent."""
+
+    def __init__(self, controller: Controller,
+                 max_repair_attempts: int = 3) -> None:
+        self.controller = controller
+        self.max_repair_attempts = max_repair_attempts
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def audit(self) -> Dict[str, SwitchAudit]:
+        """Read back every switch's table and diff against intent."""
+        controller = self.controller
+        if controller.dataplane is None:
+            raise RuntimeError("deploy() an initial placement first")
+        switches = sorted(controller.channel.agents)
+        for switch in switches:
+            controller._post(TableStatsRequest(switch))
+        outcome = controller.flush()
+        replies: Dict[str, TableStatsReply] = {}
+        for reply in outcome.replies:
+            if isinstance(reply, TableStatsReply):
+                replies[reply.switch] = reply
+        audits: Dict[str, SwitchAudit] = {}
+        for switch in switches:
+            reply = replies.get(switch)
+            if reply is None:
+                audits[switch] = SwitchAudit(switch, reachable=False)
+                continue
+            audits[switch] = self._diff(switch, reply)
+        return audits
+
+    def _diff(self, switch: str, reply: TableStatsReply) -> SwitchAudit:
+        intended = self.controller.dataplane.tables.get(switch)
+        intended_entries = tuple(intended.entries) if intended is not None else ()
+        intended_slots = {(e.match, e.priority): e for e in intended_entries}
+        actual_slots = {(e.match, e.priority): e for e in reply.entries}
+        # A slot holding the wrong content counts as missing, not
+        # unexpected: re-ADD overwrites it in place (OpenFlow ADD), so
+        # no delete is needed and no moment without the entry exists.
+        missing = tuple(
+            entry for slot, entry in intended_slots.items()
+            if actual_slots.get(slot) != entry
+        )
+        unexpected = tuple(
+            entry for slot, entry in actual_slots.items()
+            if slot not in intended_slots
+        )
+        return SwitchAudit(
+            switch, reachable=True,
+            missing=missing, unexpected=unexpected,
+            default_action=reply.default_action,
+        )
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+
+    def repair_pass(self, audits: Dict[str, SwitchAudit]) -> int:
+        """Send the minimal repair for every drifted reachable switch.
+
+        Adds (descending priority, so shielding drops land before the
+        permits they guard) precede deletes, mirroring the
+        make-before-break discipline; a fail-secure miss verdict is
+        only restored once the switch's repair batch is fully acked.
+        """
+        controller = self.controller
+        sent = 0
+        repaired: List[str] = []
+        for switch in sorted(audits):
+            audit = audits[switch]
+            if not audit.reachable or audit.clean:
+                continue
+            for entry in sorted(audit.missing, key=lambda e: -e.priority):
+                controller._post(FlowMod(
+                    switch, FlowModCommand.ADD, entry.match, entry.priority,
+                    entry.action, entry.tags, entry.origin,
+                ))
+                controller.stats.installs_sent += 1
+                sent += 1
+            for entry in sorted(audit.unexpected, key=lambda e: -e.priority):
+                controller._post(FlowMod(
+                    switch, FlowModCommand.DELETE_STRICT, entry.match,
+                    entry.priority, entry.action, entry.tags, entry.origin,
+                ))
+                controller.stats.deletes_sent += 1
+                sent += 1
+            controller._post(Barrier(switch))
+            repaired.append(switch)
+        outcome = controller.flush()
+        troubled = set(outcome.undelivered) | {r.switch for r in outcome.rejected}
+        for switch in sorted(audits):
+            audit = audits[switch]
+            if not audit.reachable or switch in troubled:
+                continue
+            if (audit.default_action is not TableAction.FORWARD
+                    and (audit.entries_clean or switch in repaired)):
+                # Every entry repair for this switch was acknowledged,
+                # so its table now matches intent: safe to leave
+                # fail-secure mode.
+                controller._post(SetDefaultAction(switch, TableAction.FORWARD))
+                sent += 1
+        controller.flush()
+        return sent
+
+    # ------------------------------------------------------------------
+    # The degradation ladder
+    # ------------------------------------------------------------------
+
+    def reconcile(self) -> ReconcileReport:
+        """Audit-and-repair until converged, degrading when stuck."""
+        report = ReconcileReport(stage=ReconcileStage.CLEAN, converged=False)
+
+        # Rung 1: bounded incremental repair.
+        for attempt in range(self.max_repair_attempts):
+            audits = self.audit()
+            report.audits = audits
+            report.passes += 1
+            drifted = [a for a in audits.values() if not a.clean]
+            self._log(report, "audit", attempt=attempt,
+                      drift={a.switch: a.drift() for a in drifted})
+            if not drifted:
+                report.stage = (ReconcileStage.CLEAN if report.repairs_sent == 0
+                                else ReconcileStage.REPAIRED)
+                report.converged = True
+                return self._finish(report)
+            if all(not a.reachable for a in drifted):
+                # Nothing reachable needs work; the rest is a partition
+                # problem, not a repair problem.  Come back after heal.
+                report.stage = ReconcileStage.PARTITIONED
+                return self._finish(report)
+            sent = self.repair_pass(audits)
+            report.repairs_sent += sent
+            self._log(report, "repair", attempt=attempt, sent=sent)
+
+        # Rung 2: full re-deploy through the portfolio solver.
+        if self._try_ladder(report, "redeploy", self._redeploy):
+            report.stage = ReconcileStage.REDEPLOYED
+            report.converged = True
+            return self._finish(report)
+
+        # Rung 3: the fail-closed replicate baseline.
+        if self._try_ladder(report, "replicate", self._replicate):
+            report.stage = ReconcileStage.FAILED_CLOSED
+            report.converged = True
+            return self._finish(report)
+
+        # Partition check before the terminal rung: if everything
+        # reachable is clean by now, this is a partition, not a failure.
+        audits = self.audit()
+        report.audits = audits
+        if all(a.clean or not a.reachable for a in audits.values()):
+            report.stage = ReconcileStage.PARTITIONED
+            return self._finish(report)
+
+        # Terminal rung: fail closed.  Clamp every reachable switch's
+        # miss verdict to DROP so whatever state it is stuck in cannot
+        # deliver traffic the policy would have stopped.
+        controller = self.controller
+        for switch in sorted(controller.channel.agents):
+            if switch in controller.dead_switches:
+                continue
+            controller._post(SetDefaultAction(switch, TableAction.DROP))
+        controller.flush()
+        report.stage = ReconcileStage.CLAMPED
+        self._log(report, "clamp",
+                  switches=sorted(set(controller.channel.agents)
+                                  - controller.dead_switches))
+        return self._finish(report)
+
+    def _try_ladder(self, report: ReconcileReport, rung: str,
+                    deploy_fn) -> bool:
+        """Run one ladder rung, then audit-repair-audit to confirm."""
+        try:
+            detail = deploy_fn()
+        except TransitionAborted as exc:
+            self._log(report, rung, ok=False, error=str(exc))
+            return False
+        if detail is None:
+            self._log(report, rung, ok=False, error="no feasible placement")
+            return False
+        self._log(report, rung, ok=True, **detail)
+        audits = self.audit()
+        report.audits = audits
+        report.passes += 1
+        if all(a.clean for a in audits.values()):
+            return True
+        sent = self.repair_pass(audits)
+        report.repairs_sent += sent
+        audits = self.audit()
+        report.audits = audits
+        report.passes += 1
+        return all(a.clean for a in audits.values())
+
+    def _redeploy(self) -> Optional[Dict[str, object]]:
+        from .placement import PlacerConfig, RulePlacer
+
+        controller = self.controller
+        placer = RulePlacer(PlacerConfig(backend="portfolio", executor="inline"))
+        placement = placer.place(controller.instance)
+        if not placement.is_feasible:
+            return None
+        controller.transition(placement)
+        return {"objective": placement.objective_value}
+
+    def _replicate(self) -> Optional[Dict[str, object]]:
+        from ..baselines.replicate import place_replicated
+
+        controller = self.controller
+        placement = place_replicated(controller.instance)
+        if not placement.is_feasible:
+            return None
+        controller.transition(placement)
+        return {"copies": placement.solver_stats.get("copies_installed")}
+
+    # ------------------------------------------------------------------
+
+    def _log(self, report: ReconcileReport, step: str, **detail) -> None:
+        report.telemetry.append({"step": step, **detail})
+
+    def _finish(self, report: ReconcileReport) -> ReconcileReport:
+        summary = {
+            "stage": report.stage.value,
+            "converged": report.converged,
+            "passes": report.passes,
+            "repairs_sent": report.repairs_sent,
+            "unreachable": list(report.unreachable()),
+            "steps": report.telemetry,
+        }
+        current = self.controller.current
+        if current is not None:
+            current.solver_stats["reconcile"] = summary
+        return report

@@ -8,9 +8,21 @@ from .messages import (
     FlowMod,
     Barrier,
     PacketIn,
+    FlowAck,
+    BarrierReply,
+    FlowModFailed,
+    TableStatsRequest,
+    TableStatsReply,
+    SetDefaultAction,
     MessageLog,
     apply_flow_mod,
     replay,
+)
+from .channel import (
+    ChannelConfig,
+    ChannelStats,
+    ControlChannel,
+    SwitchAgent,
 )
 
 __all__ = [
@@ -18,6 +30,16 @@ __all__ = [
     "FlowMod",
     "Barrier",
     "PacketIn",
+    "FlowAck",
+    "BarrierReply",
+    "FlowModFailed",
+    "TableStatsRequest",
+    "TableStatsReply",
+    "SetDefaultAction",
+    "ChannelConfig",
+    "ChannelStats",
+    "ControlChannel",
+    "SwitchAgent",
     "MessageLog",
     "apply_flow_mod",
     "replay",

@@ -1,0 +1,402 @@
+"""A seeded, deterministic unreliable control channel.
+
+Everything the controller says to a switch -- ``FlowMod``, ``Barrier``,
+``TableStatsRequest``, ``SetDefaultAction`` -- and everything the switch
+answers now crosses a :class:`ControlChannel` that can drop, duplicate,
+delay, and reorder messages at configurable seeded rates, and can
+partition individual switches entirely.  The channel is the fault
+domain the hardened controller (:mod:`repro.core.controller`), the
+anti-entropy reconciler (:mod:`repro.core.reconcile`), and the chaos
+harness (:mod:`repro.chaos`) are built against.
+
+Two mechanisms restore order on top of the chaos, mirroring a real
+OpenFlow session (a TCP connection over a lossy network):
+
+* controller-to-switch messages carry a stable per-switch sequence
+  number (keyed by xid, so retransmissions reuse it); the receiving
+  side delivers strictly in sequence, holding early arrivals back
+  until the gap fills.  A switch therefore never *first-applies*
+  messages in an order the controller did not send them in -- the
+  property the make-before-break safety argument needs;
+* the switch-side :class:`SwitchAgent` deduplicates flow-mods by xid
+  and re-acknowledges duplicates, so retransmissions are idempotent
+  and a lost ack cannot wedge the controller's retry loop.
+
+Determinism is a hard requirement: given the same seed and the same
+send sequence, every drop/duplicate/delay decision, every delivery
+order, and therefore every byte of resulting switch state is
+bit-identical run to run.  The chaos suite's reproducibility assertions
+rely on it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set
+
+from .messages import (
+    Barrier,
+    BarrierReply,
+    FlowAck,
+    FlowMod,
+    FlowModFailed,
+    SetDefaultAction,
+    TableStatsReply,
+    TableStatsRequest,
+    apply_flow_mod,
+)
+from .switch import SwitchTable, TableAction, TableFullError
+
+__all__ = [
+    "ChannelConfig",
+    "ChannelStats",
+    "SwitchAgent",
+    "ControlChannel",
+    "PERFECT",
+]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Fault rates of the control channel; all decisions seeded.
+
+    ``drop_rate`` / ``duplicate_rate`` / ``reorder_rate`` are per-message
+    probabilities in ``[0, 1)``; ``max_delay`` is the largest number of
+    extra pump rounds a message may linger in flight.  The default is a
+    perfect channel (synchronous reliable delivery).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    max_delay: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+
+    @property
+    def is_faulty(self) -> bool:
+        return bool(self.drop_rate or self.duplicate_rate
+                    or self.reorder_rate or self.max_delay)
+
+
+PERFECT = ChannelConfig()
+
+
+@dataclass
+class ChannelStats:
+    """Counters for every fate a message can meet."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    partition_drops: int = 0
+    held_for_order: int = 0
+    redelivered: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "partition_drops": self.partition_drops,
+            "held_for_order": self.held_for_order,
+            "redelivered": self.redelivered,
+        }
+
+
+class SwitchAgent:
+    """The switch-side endpoint of the control channel.
+
+    Owns the live :class:`SwitchTable`, applies flow-mods idempotently
+    (dedup by xid; duplicate deliveries are re-acked, not re-applied),
+    answers barriers and table read-backs, and models fail-secure
+    reboots: a rebooted switch loses its table *and* its dedup memory
+    and drops all traffic (table-miss DROP) until the controller
+    explicitly restores the normal miss verdict.
+    """
+
+    def __init__(self, table: SwitchTable, fail_secure: bool = True) -> None:
+        self.table = table
+        self.fail_secure = fail_secure
+        self.seen_xids: Set[int] = set()
+        self.applied = 0
+        self.deduped = 0
+        self.rejected = 0
+        self.reboots = 0
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    def receive(self, message) -> List[object]:
+        """Process one delivered message; returns the replies to send."""
+        if isinstance(message, FlowMod):
+            if message.xid and message.xid in self.seen_xids:
+                self.deduped += 1
+                return [FlowAck(self.name, message.xid)]
+            try:
+                apply_flow_mod(self.table, message)
+            except TableFullError:
+                self.rejected += 1
+                return [FlowModFailed(self.name, message.xid, "table-full")]
+            if message.xid:
+                self.seen_xids.add(message.xid)
+            self.applied += 1
+            return [FlowAck(self.name, message.xid)]
+        if isinstance(message, Barrier):
+            return [BarrierReply(self.name, message.xid)]
+        if isinstance(message, TableStatsRequest):
+            return [TableStatsReply(
+                self.name, message.xid, self.table.entries,
+                self.table.default_action,
+            )]
+        if isinstance(message, SetDefaultAction):
+            self.table.default_action = message.action
+            return [FlowAck(self.name, message.xid)]
+        return []
+
+    def reboot(self) -> None:
+        """Lose all volatile state; fail secure until reconfigured."""
+        self.table.clear()
+        self.seen_xids.clear()
+        if self.fail_secure:
+            self.table.default_action = TableAction.DROP
+        self.reboots += 1
+
+
+@dataclass(order=True)
+class _InFlight:
+    due: int
+    order: float
+    tiebreak: int
+    message: object = field(compare=False)
+    switch: str = field(compare=False)
+    #: Stable per-switch delivery sequence; 0 = unsequenced (replies).
+    fifo: int = field(default=0, compare=False)
+
+
+class ControlChannel:
+    """The lossy pipe between one controller and its switches.
+
+    ``send`` enqueues controller-to-switch messages; ``pump`` advances
+    time one round at a time, delivering due messages to their
+    :class:`SwitchAgent` and carrying replies back, both directions
+    subject to the configured fault lottery.  Per-switch partitions
+    silently eat traffic in both directions until healed.
+    """
+
+    def __init__(self, config: Optional[ChannelConfig] = None) -> None:
+        self.config = config or PERFECT
+        self.rng = random.Random(self.config.seed)
+        self.stats = ChannelStats()
+        self.agents: Dict[str, SwitchAgent] = {}
+        self.partitioned: Set[str] = set()
+        #: Invoked after every message first applied at a switch agent
+        #: -- the chaos harness hangs its "at any instant" invariant
+        #: oracle here.
+        self.on_deliver: Optional[Callable[[object], None]] = None
+        self._round = 0
+        self._tiebreak = 0
+        self._to_switch: List[_InFlight] = []
+        self._to_controller: List[_InFlight] = []
+        #: Next sequence number to assign per switch.
+        self._tx_fifo: Dict[str, int] = {}
+        #: (switch, xid) -> assigned sequence, reused on retransmit.
+        self._fifo_of: Dict[object, int] = {}
+        #: Highest sequence delivered in order per switch.
+        self._rx_fifo: Dict[str, int] = {}
+        #: Early arrivals held until their gap fills.
+        self._rx_hold: Dict[str, Dict[int, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology of the channel
+    # ------------------------------------------------------------------
+
+    def attach(self, switch: str, table: SwitchTable,
+               fail_secure: bool = True) -> SwitchAgent:
+        """Register (or replace) the agent endpoint for one switch."""
+        agent = SwitchAgent(table, fail_secure=fail_secure)
+        self.agents[switch] = agent
+        return agent
+
+    def agent(self, switch: str) -> SwitchAgent:
+        return self.agents[switch]
+
+    def tables(self) -> Dict[str, SwitchTable]:
+        """The *actual* per-switch tables, as the network holds them."""
+        return {name: agent.table for name, agent in self.agents.items()}
+
+    # ------------------------------------------------------------------
+    # Fault controls
+    # ------------------------------------------------------------------
+
+    def reconfigure(self, **rates) -> ChannelConfig:
+        """Change fault rates mid-flight (chaos storms); keeps the rng
+        stream so runs stay seed-reproducible."""
+        self.config = replace(self.config, **rates)
+        return self.config
+
+    def partition(self, switch: str) -> None:
+        self.partitioned.add(switch)
+
+    def heal(self, switch: Optional[str] = None) -> None:
+        if switch is None:
+            self.partitioned.clear()
+        else:
+            self.partitioned.discard(switch)
+
+    def reboot(self, switch: str) -> None:
+        """Reboot one switch: volatile switch state is lost and the
+        connection in flight to it is severed (messages dropped)."""
+        self.agents[switch].reboot()
+        severed = [i for i in self._to_switch if i.switch == switch]
+        self._to_switch = [i for i in self._to_switch if i.switch != switch]
+        self.stats.dropped += len(severed)
+        self._rx_hold.pop(switch, None)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+
+    def send(self, message) -> None:
+        """Controller-to-switch: enqueue one message through the fault
+        lottery.
+
+        Messages carrying a nonzero ``xid`` keep a stable delivery
+        sequence across retransmissions (resending the same message is
+        how the controller fills a loss-induced gap); xid-less messages
+        are treated as fresh one-offs.
+        """
+        switch = getattr(message, "switch", None)
+        if switch is None:
+            raise ValueError(f"cannot route message without a switch: {message!r}")
+        xid = getattr(message, "xid", 0)
+        if xid:
+            fifo = self._fifo_of.get((switch, xid))
+            if fifo is None:
+                fifo = self._tx_fifo.get(switch, 0) + 1
+                self._tx_fifo[switch] = fifo
+                self._fifo_of[(switch, xid)] = fifo
+        else:
+            fifo = self._tx_fifo.get(switch, 0) + 1
+            self._tx_fifo[switch] = fifo
+        self._enqueue(self._to_switch, message, switch, fifo)
+
+    def _reply(self, message, switch: str) -> None:
+        self._enqueue(self._to_controller, message, switch, fifo=0)
+
+    def _enqueue(self, queue: List[_InFlight], message, switch: str,
+                 fifo: int, allow_duplicate: bool = True) -> None:
+        config = self.config
+        self.stats.sent += 1
+        if config.drop_rate and self.rng.random() < config.drop_rate:
+            self.stats.dropped += 1
+            return
+        delay = 0
+        if config.max_delay:
+            delay = self.rng.randint(0, config.max_delay)
+            if delay:
+                self.stats.delayed += 1
+        self._tiebreak += 1
+        order = float(self._tiebreak)
+        if config.reorder_rate and self.rng.random() < config.reorder_rate:
+            order += self.rng.uniform(-4.0, 4.0)
+            self.stats.reordered += 1
+        queue.append(_InFlight(
+            due=self._round + 1 + delay, order=order, tiebreak=self._tiebreak,
+            message=message, switch=switch, fifo=fifo,
+        ))
+        if (allow_duplicate and config.duplicate_rate
+                and self.rng.random() < config.duplicate_rate):
+            self.stats.duplicated += 1
+            self._enqueue(queue, message, switch, fifo, allow_duplicate=False)
+
+    def in_flight(self) -> int:
+        return len(self._to_switch) + len(self._to_controller)
+
+    def pump(self, rounds: int = 1) -> List[object]:
+        """Advance time, delivering everything due; returns the
+        switch-to-controller messages that arrived."""
+        arrived: List[object] = []
+        for _ in range(rounds):
+            self._round += 1
+            for item in self._pop_due(self._to_switch):
+                self._deliver_to_switch(item)
+            for item in self._pop_due(self._to_controller):
+                if item.switch in self.partitioned:
+                    self.stats.partition_drops += 1
+                    continue
+                self.stats.delivered += 1
+                arrived.append(item.message)
+        return arrived
+
+    def drain(self, max_rounds: int = 64) -> List[object]:
+        """Pump until the channel is empty (bounded by ``max_rounds``)."""
+        arrived: List[object] = []
+        rounds = 0
+        while self.in_flight() and rounds < max_rounds:
+            arrived.extend(self.pump())
+            rounds += 1
+        return arrived
+
+    # ------------------------------------------------------------------
+
+    def _pop_due(self, queue: List[_InFlight]) -> List[_InFlight]:
+        due = sorted(item for item in queue if item.due <= self._round)
+        if due:
+            queue[:] = [item for item in queue if item.due > self._round]
+        return due
+
+    def _deliver_to_switch(self, item: _InFlight) -> None:
+        if item.switch in self.partitioned:
+            self.stats.partition_drops += 1
+            return
+        agent = self.agents.get(item.switch)
+        if agent is None:
+            self.stats.dropped += 1
+            return
+        expected = self._rx_fifo.get(item.switch, 0) + 1
+        if item.fifo > expected:
+            # Early: hold until the sequence gap fills (retransmission
+            # of the missing message reuses its original sequence).
+            self._rx_hold.setdefault(item.switch, {})[item.fifo] = item.message
+            self.stats.held_for_order += 1
+            return
+        if item.fifo == expected:
+            self._rx_fifo[item.switch] = expected
+            self._hand_to_agent(agent, item.message)
+            held = self._rx_hold.get(item.switch)
+            while held:
+                nxt = self._rx_fifo[item.switch] + 1
+                message = held.pop(nxt, None)
+                if message is None:
+                    break
+                self._rx_fifo[item.switch] = nxt
+                self._hand_to_agent(agent, message)
+            return
+        # Behind the window: a duplicate of something already applied.
+        # Re-deliver so the agent can re-ack (the first ack may have
+        # been lost); xid dedup makes the re-application a no-op.
+        self.stats.redelivered += 1
+        self._hand_to_agent(agent, item.message)
+
+    def _hand_to_agent(self, agent: SwitchAgent, message) -> None:
+        self.stats.delivered += 1
+        for reply in agent.receive(message):
+            self._reply(reply, agent.name)
+        if self.on_deliver is not None:
+            self.on_deliver(message)

@@ -14,6 +14,7 @@ by its messages -- the property a real distributed deployment relies on.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import itertools
 from dataclasses import dataclass
@@ -27,6 +28,12 @@ __all__ = [
     "FlowMod",
     "Barrier",
     "PacketIn",
+    "FlowAck",
+    "BarrierReply",
+    "FlowModFailed",
+    "TableStatsRequest",
+    "TableStatsReply",
+    "SetDefaultAction",
     "MessageLog",
     "apply_flow_mod",
     "replay",
@@ -83,18 +90,102 @@ class PacketIn:
     tag: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class SetDefaultAction:
+    """Configure the table-miss verdict of one switch.
+
+    The controller sends FORWARD to take a recovered switch out of
+    fail-secure mode once its table matches the intent again.
+    """
+
+    switch: str
+    action: TableAction
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class FlowAck:
+    """Switch-to-controller: the flow-mod with this xid is committed.
+
+    Re-delivery of an already-seen xid is re-acknowledged (the first
+    ack may have been lost), so the controller's retry loop always
+    terminates on a live channel.
+    """
+
+    switch: str
+    xid: int
+
+
+@dataclass(frozen=True)
+class BarrierReply:
+    """Switch-to-controller: everything before the barrier committed."""
+
+    switch: str
+    xid: int
+
+
+@dataclass(frozen=True)
+class FlowModFailed:
+    """Switch-to-controller error: a flow-mod could not be applied
+    (e.g. ``table-full``)."""
+
+    switch: str
+    xid: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class TableStatsRequest:
+    """Controller-to-switch: read back the installed table (the
+    anti-entropy primitive behind :mod:`repro.core.reconcile`)."""
+
+    switch: str
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class TableStatsReply:
+    """Switch-to-controller: the actual installed entries + miss verdict."""
+
+    switch: str
+    xid: int
+    entries: Tuple[TcamEntry, ...]
+    default_action: TableAction = TableAction.FORWARD
+
+
 class MessageLog:
-    """An ordered, auditable record of control-channel traffic."""
+    """An ordered, auditable record of control-channel traffic.
+
+    ``record`` assigns a fresh monotonically-unique ``xid`` to any
+    message still carrying the unassigned sentinel ``0`` and refuses to
+    record the same xid twice, so replay, switch-side dedup, and audits
+    can distinguish every message ever sent.  Retransmissions of an
+    already-recorded message are *not* re-recorded: the log is the
+    intent stream, delivery effort is channel/controller telemetry.
+    """
 
     def __init__(self) -> None:
         self._messages: List[object] = []
         self._xids = itertools.count(1)
+        self._recorded_xids: set = set()
 
     def next_xid(self) -> int:
         return next(self._xids)
 
-    def record(self, message) -> None:
+    def record(self, message):
+        """Record one message, assigning its xid if unset; returns the
+        (possibly re-stamped) message."""
+        xid = getattr(message, "xid", None)
+        if xid == 0:
+            message = dataclasses.replace(message, xid=self.next_xid())
+            xid = message.xid
+        if xid is not None:
+            if xid in self._recorded_xids:
+                raise ValueError(f"xid {xid} already recorded; messages "
+                                 "must be uniquely identifiable")
+            self._recorded_xids.add(xid)
         self._messages.append(message)
+        return message
 
     @property
     def messages(self) -> Tuple[object, ...]:
@@ -123,18 +214,26 @@ class MessageLog:
 def apply_flow_mod(table: SwitchTable, mod: FlowMod) -> None:
     """Execute one flow-mod against a switch table.
 
-    ADD installs (capacity-checked by the table itself);
-    DELETE_STRICT removes the exact (match, priority) entry if present
-    -- deleting a missing entry is a no-op, as in OpenFlow.
+    ADD installs (capacity-checked by the table itself), overwriting an
+    existing entry with the same (match, priority) -- OpenFlow's ADD
+    semantics, which makes re-application of a duplicated message
+    idempotent; DELETE_STRICT removes the exact (match, priority) entry
+    if present -- deleting a missing entry is a no-op, as in OpenFlow.
     """
     if mod.command is FlowModCommand.ADD:
-        table.install(TcamEntry(
+        new_entry = TcamEntry(
             match=mod.match,
             action=mod.action,
             priority=mod.priority,
             tags=mod.tags,
             origin=mod.origin,
-        ))
+        )
+        for idx, entry in enumerate(table._entries):
+            if entry.priority == mod.priority and entry.match == mod.match:
+                table._entries[idx] = new_entry
+                table._sorted = False
+                return
+        table.install(new_entry)
         return
     kept = [
         entry for entry in table.entries

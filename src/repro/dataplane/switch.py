@@ -62,13 +62,21 @@ class TcamEntry:
 
 
 class SwitchTable:
-    """A capacity-bounded prioritized matching table."""
+    """A capacity-bounded prioritized matching table.
 
-    def __init__(self, name: str, capacity: int) -> None:
+    ``default_action`` is the verdict for packets no entry matches.
+    ACL tables normally FORWARD unmatched traffic; a switch recovering
+    from a reboot in fail-secure mode (OpenFlow's fail-secure state)
+    instead DROPs everything until the controller has reloaded it.
+    """
+
+    def __init__(self, name: str, capacity: int,
+                 default_action: TableAction = TableAction.FORWARD) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.name = name
         self.capacity = capacity
+        self.default_action = default_action
         self._entries: List[TcamEntry] = []
         self._sorted = True
 
@@ -112,6 +120,11 @@ class SwitchTable:
             self._entries.sort(key=lambda e: -e.priority)
             self._sorted = True
 
+    def clear(self) -> None:
+        """Drop every entry (a reboot losing TCAM state)."""
+        self._entries = []
+        self._sorted = True
+
     def occupancy(self) -> int:
         return len(self._entries)
 
@@ -121,12 +134,12 @@ class SwitchTable:
     # ------------------------------------------------------------------
 
     def classify(self, packet: Packet) -> TableAction:
-        """First-match classification; FORWARD when nothing matches."""
+        """First-match classification; ``default_action`` otherwise."""
         self._ensure_sorted()
         for entry in self._entries:
             if entry.matches(packet):
                 return entry.action
-        return TableAction.FORWARD
+        return self.default_action
 
     def matching_entry(self, packet: Packet) -> Optional[TcamEntry]:
         self._ensure_sorted()

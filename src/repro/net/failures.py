@@ -113,7 +113,14 @@ def affected_ingresses(topology: Topology, routing: Routing,
 
 @dataclass
 class RepairOutcome:
-    """Result of one post-failure repair run."""
+    """Result of one post-failure repair run.
+
+    Every affected ingress lands in exactly one bucket.  ``failed`` and
+    ``disconnected`` ingresses are *fail-closed*: their prior deployment
+    is untouched (the deployer rolled back) or their traffic has no
+    surviving path at all -- in neither case does a packet the policy
+    drops get delivered.
+    """
 
     rerouted: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
@@ -123,6 +130,11 @@ class RepairOutcome:
     @property
     def fully_repaired(self) -> bool:
         return not self.failed and not self.disconnected
+
+    @property
+    def fail_closed(self) -> Tuple[str, ...]:
+        """Ingresses left without a working reroute, in a safe state."""
+        return tuple(self.failed) + tuple(self.disconnected)
 
 
 def reroute_after_failure(
@@ -139,6 +151,13 @@ def reroute_after_failure(
     ``deployer.reroute_policy``.  Rollback semantics are the deployer's:
     an infeasible re-placement leaves the previous state intact and is
     reported in ``failed``.
+
+    An ingress with no surviving route never raises: it is reported in
+    ``disconnected`` (a fail-closed outcome -- its traffic simply stops)
+    and repair proceeds for the remaining ingresses.  This covers the
+    egress being unreachable, endpoints vanishing from the graph
+    outright, and the degenerate single-switch path whose only "route"
+    would traverse the dead switch itself.
     """
     outcome = RepairOutcome()
     router = ShortestPathRouter(topology, seed=seed)
@@ -152,7 +171,12 @@ def reroute_after_failure(
                 continue
             try:
                 replacement = router.shortest_path(path.ingress, path.egress)
-            except nx.NetworkXNoPath:
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                disconnected = True
+                break
+            if _path_broken(topology, replacement, dead_switch):
+                # A "shortest path" through the failure itself: the
+                # degenerate ingress==egress-on-dead-switch case.
                 disconnected = True
                 break
             new_paths.append(replacement.with_flow(path.flow))

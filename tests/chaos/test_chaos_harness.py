@@ -1,0 +1,190 @@
+"""The chaos suite: seeded fault-schedule storms against deployed
+placements.
+
+Environment knobs (mirroring the fuzz suite):
+
+* ``REPRO_CHAOS_QUICK=1`` -- shrink the seed matrix for fast local runs;
+* ``REPRO_CHAOS_SEEDS=N`` -- explicit seed-matrix size.
+
+Default is the full 200-schedule matrix the acceptance criteria call
+for; each run must converge to the intended placement, hold the
+fail-closed invariant at every delivery instant, and be bit-reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    ChaosHarness,
+    FaultKind,
+    generate_schedule,
+    run_chaos,
+)
+from repro.core.instance import PlacementInstance
+from repro.core.placement import Placement, PlacerConfig, RulePlacer
+from repro.milp.model import SolveStatus
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+
+_QUICK = os.environ.get("REPRO_CHAOS_QUICK") == "1"
+_SEEDS = range(int(os.environ.get("REPRO_CHAOS_SEEDS", "40" if _QUICK else "200")))
+
+
+def _rule(pattern, action, priority, name=""):
+    return Rule(TernaryMatch.from_string(pattern), action, priority, name)
+
+
+@pytest.fixture(scope="module")
+def instance() -> PlacementInstance:
+    topo = Topology()
+    for name in ("s1", "s2", "s3", "s4", "s5"):
+        topo.add_switch(name, capacity=4)
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("s2", "s4")
+    topo.add_link("s4", "s5")
+    topo.add_entry_port("l1", "s1")
+    topo.add_entry_port("l2", "s3")
+    topo.add_entry_port("l3", "s5")
+    routing = Routing([
+        Path("l1", "l2", ("s1", "s2", "s3")),
+        Path("l1", "l3", ("s1", "s2", "s4", "s5")),
+    ])
+    policy = Policy("l1", [
+        _rule("1***", Action.PERMIT, 3, "r11"),
+        _rule("1*0*", Action.DROP, 2, "r12"),
+        _rule("0***", Action.DROP, 1, "r13"),
+    ])
+    return PlacementInstance(topo, routing, PolicySet([policy]))
+
+
+@pytest.fixture(scope="module")
+def placement(instance) -> Placement:
+    placed = RulePlacer(
+        PlacerConfig(backend="portfolio", executor="inline")
+    ).place(instance)
+    assert placed.is_feasible
+    return placed
+
+
+class TestSchedule:
+    def test_deterministic(self):
+        a = generate_schedule(["s1", "s2", "s3"], seed=5)
+        b = generate_schedule(["s1", "s2", "s3"], seed=5)
+        assert a == b
+        assert a != generate_schedule(["s1", "s2", "s3"], seed=6)
+
+    def test_every_partition_heals_by_horizon(self):
+        for seed in range(50):
+            schedule = generate_schedule(
+                ["s1", "s2", "s3", "s4"], seed=seed, horizon=25,
+                partition_prob=0.4,
+            )
+            open_partitions = set()
+            for event in schedule.events:
+                assert event.round <= schedule.horizon
+                if event.kind is FaultKind.PARTITION:
+                    open_partitions.add(event.switch)
+                elif event.kind is FaultKind.HEAL:
+                    if event.switch is None:
+                        open_partitions.clear()
+                    else:
+                        open_partitions.discard(event.switch)
+            assert open_partitions == set()
+
+    def test_closes_with_heal_all_and_calm(self):
+        schedule = generate_schedule(["s1"], seed=0, horizon=10)
+        final = schedule.at(schedule.horizon)
+        kinds = {e.kind for e in final}
+        assert FaultKind.HEAL in kinds and FaultKind.CALM in kinds
+
+    def test_storm_rates_bounded(self):
+        for seed in range(30):
+            schedule = generate_schedule(
+                ["s1", "s2"], seed=seed, storm_prob=0.5,
+            )
+            for event in schedule.events:
+                if event.kind is FaultKind.STORM:
+                    rates = dict(event.rates)
+                    for key in ("drop_rate", "duplicate_rate", "reorder_rate"):
+                        assert 0.0 <= rates[key] <= 0.3
+
+    def test_rejects_tiny_horizon(self):
+        with pytest.raises(ValueError):
+            generate_schedule(["s1"], seed=0, horizon=1)
+
+
+class TestHarnessBasics:
+    def test_rejects_infeasible_placement(self, instance):
+        bad = Placement(instance=instance, status=SolveStatus.INFEASIBLE)
+        with pytest.raises(ValueError):
+            ChaosHarness(instance, bad)
+
+    def test_report_shape(self, instance, placement):
+        report = run_chaos(instance, placement, seed=0)
+        assert report.seed == 0
+        assert report.rounds == ChaosConfig().horizon
+        assert report.digest and len(report.digest) == 64
+        assert report.schedule_counts
+        assert "retransmissions" in report.controller_stats
+
+    def test_bit_reproducible(self, instance, placement):
+        seeds = list(_SEEDS)[:: max(1, len(_SEEDS) // 10)]
+        for seed in seeds:
+            first = run_chaos(instance, placement, seed=seed)
+            second = run_chaos(instance, placement, seed=seed)
+            assert first.digest == second.digest, seed
+
+    def test_distinct_seeds_distinct_storms(self, instance, placement):
+        digests = {run_chaos(instance, placement, seed=s).digest
+                   for s in range(8)}
+        assert len(digests) == 8
+
+
+class TestConvergenceMatrix:
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_converges_and_fails_closed(self, instance, placement, seed):
+        report = run_chaos(instance, placement, seed=seed)
+        assert report.fail_closed_held, report.violations
+        assert report.converged, (report.final_stage,
+                                  report.controller_stats)
+
+    @pytest.mark.parametrize("seed", list(_SEEDS)[: max(10, len(_SEEDS) // 5)])
+    def test_converges_without_periodic_repair(self, instance, placement,
+                                               seed):
+        """The final reconciliation ladder alone must converge the
+        network even when no repairs ran during the storm."""
+        report = run_chaos(instance, placement, seed=seed, repair_interval=0)
+        assert report.fail_closed_held, report.violations
+        assert report.converged, report.final_stage
+
+
+class TestNegativeControl:
+    def test_fail_secure_is_load_bearing(self, instance, placement):
+        """With fail-secure reboots disabled, a rebooted switch forwards
+        everything: some schedule must catch the dataplane delivering a
+        policy-dropped packet.  This proves the oracle has teeth."""
+        violating = [
+            seed for seed in range(30)
+            if run_chaos(instance, placement, seed=seed,
+                         fail_secure=False).violations
+        ]
+        assert violating, "oracle never fired -- it is not observing"
+
+    def test_violations_carry_the_instant(self, instance, placement):
+        seed = next(
+            s for s in range(30)
+            if run_chaos(instance, placement, seed=s,
+                         fail_secure=False).violations
+        )
+        report = run_chaos(instance, placement, seed=seed, fail_secure=False)
+        assert any("round" in v and "delivered" in v
+                   for v in report.violations)

@@ -1,0 +1,304 @@
+"""Controller behaviour over an unreliable control channel.
+
+The hardened controller must converge the live switch state to its
+intended (shadow) state through drops, duplicates, reordering, and
+delay; abort-and-rollback transitions that cannot complete; and
+classify switches that stop answering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import (
+    Controller,
+    FaultClass,
+    SwitchDeadError,
+    TransitionAborted,
+)
+from repro.core.instance import PlacementInstance
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.dataplane.channel import ChannelConfig, ControlChannel
+from repro.dataplane.simulator import Verdict
+from repro.policy.rule import Action
+
+
+def _placer() -> RulePlacer:
+    return RulePlacer(PlacerConfig(backend="portfolio", executor="inline"))
+
+
+@pytest.fixture
+def fig3(figure3_instance):
+    placement = _placer().place(figure3_instance)
+    assert placement.is_feasible
+    return figure3_instance, placement
+
+
+def _lossy(seed: int = 0, **overrides) -> ControlChannel:
+    rates = dict(drop_rate=0.25, duplicate_rate=0.15, reorder_rate=0.2,
+                 max_delay=3, seed=seed)
+    rates.update(overrides)
+    return ControlChannel(ChannelConfig(**rates))
+
+
+def _live_matches_intended(controller: Controller) -> bool:
+    live = controller.live_tables()
+    for switch, table in controller.dataplane.tables.items():
+        if set(table.entries) != set(live[switch].entries):
+            return False
+    return True
+
+
+class TestLossyDeploy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_deploy_converges_through_faults(self, fig3, seed):
+        instance, placement = fig3
+        controller = Controller(instance, channel=_lossy(seed))
+        controller.deploy(placement)
+        assert controller.pending_count() == 0
+        assert _live_matches_intended(controller)
+
+    def test_retransmissions_counted(self, fig3):
+        instance, placement = fig3
+        controller = Controller(instance, channel=_lossy(1, drop_rate=0.5))
+        controller.deploy(placement)
+        assert controller.stats.retransmissions > 0
+        assert controller.stats.acks_received > 0
+
+    def test_perfect_channel_needs_no_retries(self, fig3):
+        instance, placement = fig3
+        controller = Controller(instance)
+        controller.deploy(placement)
+        assert controller.stats.retransmissions == 0
+
+    def test_duplicated_messages_apply_once(self, fig3):
+        instance, placement = fig3
+        channel = _lossy(2, drop_rate=0.0, duplicate_rate=0.6)
+        controller = Controller(instance, channel=channel)
+        controller.deploy(placement)
+        assert _live_matches_intended(controller)
+        # The audit log records each unique message exactly once, so
+        # installs_sent still equals the placement's footprint.
+        assert controller.stats.installs_sent == placement.total_installed()
+
+
+class TestFailureClassification:
+    def test_partitioned_switch_classified_dead(self, fig3):
+        instance, placement = fig3
+        channel = ControlChannel()
+        controller = Controller(instance, channel=channel,
+                                retry_limit=2, flush_round_budget=30)
+        controller.deploy(placement)
+        channel.partition("s2")
+        controller._post(
+            __import__("repro.dataplane.messages", fromlist=["Barrier"])
+            .Barrier("s2")
+        )
+        outcome = controller.flush()
+        assert not outcome.complete
+        assert outcome.classification["s2"] is FaultClass.SWITCH_DEAD
+        assert "s2" in controller.dead_switches
+
+    def test_dead_switch_recovers_on_heal(self, fig3):
+        from repro.dataplane.messages import Barrier
+
+        instance, placement = fig3
+        channel = ControlChannel()
+        controller = Controller(instance, channel=channel,
+                                retry_limit=2, flush_round_budget=30)
+        controller.deploy(placement)
+        channel.partition("s2")
+        controller._post(Barrier("s2"))
+        controller.flush()
+        channel.heal("s2")
+        outcome = controller.flush()
+        assert outcome.complete
+        assert controller.dead_switches == set()
+
+    def test_deploy_raises_when_switch_unreachable(self, fig3):
+        instance, placement = fig3
+        channel = ControlChannel()
+        channel_switch = sorted(
+            s for switches in placement.placed.values() for s in switches
+        )[0]
+        from repro.dataplane.switch import SwitchTable
+        for s in instance.topology.switch_names:
+            channel.attach(s, SwitchTable(s, instance.capacity(s)))
+        channel.partition(channel_switch)
+        controller = Controller(instance, channel=channel,
+                                retry_limit=2, flush_round_budget=30)
+        with pytest.raises(SwitchDeadError):
+            controller.deploy(placement)
+
+
+@pytest.fixture(scope="module")
+def fat_instance():
+    from repro.experiments import ExperimentConfig, build_instance
+
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=12, rules_per_policy=8, capacity=30,
+        num_ingresses=4, seed=8, drop_fraction=0.5, nested_fraction=0.5,
+    ))
+
+
+@pytest.fixture(scope="module")
+def fat_placements(fat_instance):
+    from repro.core.objectives import UpstreamDrops
+
+    a = RulePlacer().place(fat_instance)
+    b = RulePlacer(PlacerConfig(objective=UpstreamDrops())).place(fat_instance)
+    assert a.is_feasible and b.is_feasible
+    return a, b
+
+
+class TestLossyTransition:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_transition_converges_through_faults(self, fat_instance,
+                                                 fat_placements, seed):
+        a, b = fat_placements
+        controller = Controller(fat_instance, channel=_lossy(seed))
+        controller.deploy(a)
+        controller.transition(b)
+        controller.flush()
+        assert controller.pending_count() == 0
+        assert _live_matches_intended(controller)
+        assert controller.stats.transitions == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fail_closed_throughout_lossy_transition(self, fat_instance,
+                                                     fat_placements, seed):
+        """At every delivery instant of a lossy transition, no packet
+        the policy drops is deliverable on the live dataplane."""
+        import random
+
+        a, b = fat_placements
+        channel = _lossy(seed)
+        controller = Controller(fat_instance, channel=channel)
+        controller.deploy(a)
+
+        rng = random.Random(seed)
+        witnesses = []
+        for policy in fat_instance.policies:
+            width = policy.width
+            for path in fat_instance.routing.paths(policy.ingress):
+                for rule in policy.rules:
+                    if rule.action is not Action.DROP:
+                        continue
+                    region = rule.match
+                    if path.flow is not None:
+                        region = region.intersection(path.flow)
+                        if region is None:
+                            continue
+                    header = region.sample(rng)
+                    if policy.evaluate(header) is Action.DROP:
+                        witnesses.append((path, header, width))
+        assert witnesses
+        violations = []
+
+        def oracle(_message):
+            live = controller.live_dataplane()
+            for path, header, width in witnesses:
+                if live.verdict(path, header, width) is Verdict.DELIVERED:
+                    violations.append((path.egress, header))
+
+        channel.on_deliver = oracle
+        controller.transition(b)
+        controller.flush()
+        assert violations == []
+
+
+class TestCapacityAbortRollback:
+    """A transition that hits a table-capacity wall mid-flight must
+    roll back completely and leave the dataplane packet-consistent."""
+
+    def _squeeze(self, instance: PlacementInstance) -> PlacementInstance:
+        return PlacementInstance(
+            instance.topology, instance.routing, instance.policies,
+            capacities=dict(instance.capacities),
+        )
+
+    def _verdicts(self, controller, instance, policy):
+        width = policy.width
+        headers = list(range(2 ** width))
+        out = []
+        for path in instance.routing.paths(policy.ingress):
+            for header in headers:
+                out.append(controller.dataplane.verdict(path, header, width))
+        return out
+
+    def test_rollback_restores_packet_behaviour(self, figure3_instance,
+                                                figure3_policy):
+        a = _placer().place(figure3_instance)
+        controller = Controller(figure3_instance)
+        controller.deploy(a)
+        before = self._verdicts(controller, figure3_instance, figure3_policy)
+        occupancy_before = controller.occupancy()
+
+        # A target placement whose install phase cannot fit: shrink the
+        # live tables' headroom by filling capacity out from under it.
+        relaxed = PlacementInstance(
+            figure3_instance.topology, figure3_instance.routing,
+            figure3_instance.policies,
+            capacities={s: 6 for s in figure3_instance.topology.switch_names},
+        )
+        b = _placer().place(relaxed)
+        assert b.is_feasible
+        # The shadow tables still have figure3's capacity 2: the
+        # make-before-break install phase must overflow somewhere.
+        with pytest.raises(TransitionAborted):
+            controller.transition(b)
+
+        assert controller.stats.aborted_transitions == 1
+        assert controller.stats.transitions == 0
+        assert controller.current is a
+        assert controller.occupancy() == occupancy_before
+        after = self._verdicts(controller, figure3_instance, figure3_policy)
+        assert after == before
+        # The live switches agree with the restored shadow state.
+        controller.flush()
+        assert _live_matches_intended(controller)
+
+    def test_unreachable_switch_aborts_transition(self, figure3_instance,
+                                                  figure3_policy):
+        a = _placer().place(figure3_instance)
+        relaxed = PlacementInstance(
+            figure3_instance.topology, figure3_instance.routing,
+            figure3_instance.policies,
+            capacities={s: 6 for s in figure3_instance.topology.switch_names},
+        )
+        b = _placer().place(relaxed)
+        channel = ControlChannel()
+        controller = Controller(figure3_instance, channel=channel,
+                                retry_limit=2, flush_round_budget=30)
+        controller.deploy(a)
+        before = self._verdicts(controller, figure3_instance, figure3_policy)
+        # Partition a switch the new placement needs, then heal it for
+        # the rollback (the inverses must be deliverable).
+        target = sorted(set().union(*b.placed.values()))[0]
+        channel.partition(target)
+        with pytest.raises(TransitionAborted):
+            controller.transition(b)
+        channel.heal(target)
+        controller.flush()
+        after = self._verdicts(controller, figure3_instance, figure3_policy)
+        assert after == before
+        assert controller.current is a
+        assert _live_matches_intended(controller)
+
+
+class TestXidUniqueness:
+    def test_all_logged_messages_carry_unique_xids(self, fig3):
+        instance, placement = fig3
+        controller = Controller(instance, channel=_lossy(5))
+        controller.deploy(placement)
+        xids = [m.xid for m in controller.log.messages]
+        assert 0 not in xids
+        assert len(xids) == len(set(xids))
+
+    def test_log_refuses_duplicate_xid(self):
+        from repro.dataplane.messages import Barrier, MessageLog
+
+        log = MessageLog()
+        first = log.record(Barrier("s1"))
+        with pytest.raises(ValueError):
+            log.record(Barrier("s1", xid=first.xid))

@@ -1,0 +1,192 @@
+"""Tests for anti-entropy reconciliation and the degradation ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.placement import PlacerConfig, RulePlacer
+from repro.core.reconcile import Reconciler, ReconcileStage
+from repro.dataplane.channel import ChannelConfig, ControlChannel
+from repro.dataplane.messages import FlowMod, FlowModCommand
+from repro.dataplane.switch import TableAction, TcamEntry
+from repro.policy.ternary import TernaryMatch
+
+
+def _placer() -> RulePlacer:
+    return RulePlacer(PlacerConfig(backend="portfolio", executor="inline"))
+
+
+@pytest.fixture
+def deployed(figure3_instance):
+    placement = _placer().place(figure3_instance)
+    assert placement.is_feasible
+    channel = ControlChannel()
+    controller = Controller(figure3_instance, channel=channel)
+    controller.deploy(placement)
+    return controller, channel
+
+
+class TestAudit:
+    def test_clean_network_audits_clean(self, deployed):
+        controller, _ = deployed
+        audits = Reconciler(controller).audit()
+        assert set(audits) == set(controller.channel.agents)
+        assert all(a.clean for a in audits.values())
+        assert all(a.drift() == 0 for a in audits.values())
+
+    def test_audit_requires_deploy(self, figure3_instance):
+        with pytest.raises(RuntimeError):
+            Reconciler(Controller(figure3_instance)).audit()
+
+    def test_missing_entries_detected(self, deployed):
+        controller, channel = deployed
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        lost = channel.tables()[victim].entries[0]
+        channel.tables()[victim].clear()
+        audits = Reconciler(controller).audit()
+        assert not audits[victim].clean
+        assert lost in audits[victim].missing
+        assert audits[victim].unexpected == ()
+
+    def test_unexpected_entries_detected(self, deployed):
+        controller, channel = deployed
+        rogue = TcamEntry(TernaryMatch.from_string("01**"),
+                          TableAction.FORWARD, priority=999)
+        channel.tables()["s2"]._entries.append(rogue)
+        channel.tables()["s2"]._sorted = False
+        audits = Reconciler(controller).audit()
+        assert rogue in audits["s2"].unexpected
+
+    def test_mutated_slot_counts_as_missing_not_unexpected(self, deployed):
+        """Same (match, priority) slot, wrong content: one overwriting
+        re-ADD repairs it, no delete needed."""
+        controller, channel = deployed
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        table = channel.tables()[victim]
+        entry = table.entries[0]
+        mutated = TcamEntry(entry.match, entry.action, entry.priority,
+                            tags=frozenset({1234}), origin=entry.origin)
+        table._entries[list(table.entries).index(entry)] = mutated
+        audits = Reconciler(controller).audit()
+        assert entry in audits[victim].missing
+        assert audits[victim].unexpected == ()
+
+    def test_partitioned_switch_unreachable(self, deployed):
+        controller, channel = deployed
+        controller.retry_limit = 2
+        controller.flush_round_budget = 30
+        channel.partition("s3")
+        audits = Reconciler(controller).audit()
+        assert not audits["s3"].reachable
+        assert all(a.reachable for s, a in audits.items() if s != "s3")
+
+
+class TestRepair:
+    def test_repairs_rebooted_switch(self, deployed):
+        controller, channel = deployed
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        channel.reboot(victim)
+        assert channel.tables()[victim].default_action is TableAction.DROP
+        reconciler = Reconciler(controller)
+        report = reconciler.reconcile()
+        assert report.converged
+        assert report.stage is ReconcileStage.REPAIRED
+        table = channel.tables()[victim]
+        intended = controller.dataplane.tables[victim]
+        assert set(table.entries) == set(intended.entries)
+        assert table.default_action is TableAction.FORWARD
+
+    def test_repair_removes_rogue_entries(self, deployed):
+        controller, channel = deployed
+        rogue = TcamEntry(TernaryMatch.from_string("01**"),
+                          TableAction.FORWARD, priority=999)
+        channel.tables()["s2"]._entries.append(rogue)
+        channel.tables()["s2"]._sorted = False
+        report = Reconciler(controller).reconcile()
+        assert report.converged
+        assert rogue not in channel.tables()["s2"].entries
+
+    def test_clean_network_is_a_noop(self, deployed):
+        controller, _ = deployed
+        sent_before = controller.stats.messages()
+        report = Reconciler(controller).reconcile()
+        assert report.stage is ReconcileStage.CLEAN
+        assert report.converged
+        assert report.repairs_sent == 0
+        assert controller.stats.messages() == sent_before
+
+    def test_repair_converges_over_lossy_channel(self, figure3_instance):
+        placement = _placer().place(figure3_instance)
+        channel = ControlChannel(ChannelConfig(
+            drop_rate=0.3, duplicate_rate=0.15, reorder_rate=0.2,
+            max_delay=2, seed=13,
+        ))
+        controller = Controller(figure3_instance, channel=channel)
+        controller.deploy(placement)
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        channel.reboot(victim)
+        report = Reconciler(controller).reconcile()
+        assert report.converged
+        audits = Reconciler(controller).audit()
+        assert all(a.clean for a in audits.values())
+
+
+class TestDegradationLadder:
+    def test_partition_short_circuits(self, deployed):
+        """Drift purely behind a partition is reported PARTITIONED, not
+        hammered with repairs or degraded further."""
+        controller, channel = deployed
+        controller.retry_limit = 2
+        controller.flush_round_budget = 30
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        channel.reboot(victim)
+        channel.partition(victim)
+        report = Reconciler(controller).reconcile()
+        assert report.stage is ReconcileStage.PARTITIONED
+        assert not report.converged
+        assert victim in report.unreachable()
+        # After healing, the ordinary ladder converges.
+        channel.heal(victim)
+        report = Reconciler(controller).reconcile()
+        assert report.converged
+        assert report.stage is ReconcileStage.REPAIRED
+
+    def test_persistent_sabotage_walks_the_ladder(self, deployed):
+        """A switch that un-applies every repair forces the ladder past
+        incremental repair; the run must still end in a deliberate
+        stage, never an exception."""
+        controller, channel = deployed
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        channel.reboot(victim)
+        agent = channel.agent(victim)
+        original_receive = agent.receive
+
+        def sabotaged(message):
+            replies = original_receive(message)
+            if isinstance(message, FlowMod):
+                agent.table.clear()  # lie: ack, then forget
+            return replies
+
+        agent.receive = sabotaged
+        report = Reconciler(controller, max_repair_attempts=2).reconcile()
+        assert report.stage in (ReconcileStage.REDEPLOYED,
+                                ReconcileStage.FAILED_CLOSED,
+                                ReconcileStage.CLAMPED)
+        if report.stage is ReconcileStage.CLAMPED:
+            # Terminal rung: the network fails closed, not open.
+            assert not report.converged
+            assert (channel.tables()[victim].default_action
+                    is TableAction.DROP)
+
+    def test_telemetry_recorded_in_solver_stats(self, deployed):
+        controller, channel = deployed
+        victim = next(s for s, t in channel.tables().items() if t.occupancy())
+        channel.reboot(victim)
+        report = Reconciler(controller).reconcile()
+        summary = controller.current.solver_stats["reconcile"]
+        assert summary["stage"] == report.stage.value
+        assert summary["converged"] is True
+        assert summary["passes"] == report.passes
+        steps = [s["step"] for s in summary["steps"]]
+        assert "audit" in steps and "repair" in steps

@@ -1,0 +1,249 @@
+"""Tests for the seeded unreliable control channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.channel import (
+    ChannelConfig,
+    ControlChannel,
+    SwitchAgent,
+)
+from repro.dataplane.messages import (
+    Barrier,
+    BarrierReply,
+    FlowAck,
+    FlowMod,
+    FlowModCommand,
+    FlowModFailed,
+    SetDefaultAction,
+    TableStatsReply,
+    TableStatsRequest,
+)
+from repro.dataplane.switch import SwitchTable, TableAction
+from repro.policy.ternary import TernaryMatch
+
+
+def _mod(switch: str, xid: int, pattern: str = "1***", priority: int = 10,
+         action: TableAction = TableAction.DROP) -> FlowMod:
+    return FlowMod(switch, FlowModCommand.ADD,
+                   TernaryMatch.from_string(pattern), priority, action,
+                   xid=xid)
+
+
+def _channel(**rates) -> ControlChannel:
+    channel = ControlChannel(ChannelConfig(**rates))
+    channel.attach("s1", SwitchTable("s1", 10))
+    return channel
+
+
+class TestChannelConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(reorder_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChannelConfig(max_delay=-1)
+
+    def test_perfect_by_default(self):
+        assert not ChannelConfig().is_faulty
+        assert ChannelConfig(drop_rate=0.1).is_faulty
+
+
+class TestPerfectDelivery:
+    def test_flow_mod_applied_and_acked(self):
+        channel = _channel()
+        channel.send(_mod("s1", xid=1))
+        replies = channel.drain()
+        assert replies == [FlowAck("s1", 1)]
+        assert channel.tables()["s1"].occupancy() == 1
+
+    def test_barrier_and_stats_replies(self):
+        channel = _channel()
+        channel.send(Barrier("s1", xid=2))
+        channel.send(TableStatsRequest("s1", xid=3))
+        replies = channel.drain()
+        assert BarrierReply("s1", 2) in replies
+        assert any(isinstance(r, TableStatsReply) for r in replies)
+
+    def test_routing_requires_switch(self):
+        channel = _channel()
+        with pytest.raises(ValueError):
+            channel.send(object())
+
+    def test_set_default_action(self):
+        channel = _channel()
+        channel.send(SetDefaultAction("s1", TableAction.DROP, xid=4))
+        channel.drain()
+        assert channel.tables()["s1"].default_action is TableAction.DROP
+
+
+class TestFaultLottery:
+    def test_drops_are_seeded_and_deterministic(self):
+        def run(seed):
+            channel = ControlChannel(ChannelConfig(drop_rate=0.5, seed=seed))
+            channel.attach("s1", SwitchTable("s1", 100))
+            pattern = []
+            for xid in range(1, 41):
+                channel.send(_mod("s1", xid=xid, priority=xid))
+                pattern.append(channel.stats.dropped)
+            channel.drain()
+            return pattern
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert run(7)[-1] > 0
+
+    def test_duplicates_reach_agent_once(self):
+        channel = ControlChannel(ChannelConfig(duplicate_rate=0.9, seed=3))
+        channel.attach("s1", SwitchTable("s1", 100))
+        for xid in range(1, 21):
+            channel.send(_mod("s1", xid=xid, priority=xid))
+        channel.drain()
+        agent = channel.agent("s1")
+        assert channel.stats.duplicated > 0
+        assert agent.applied == 20
+        assert agent.deduped + channel.stats.redelivered > 0
+        assert channel.tables()["s1"].occupancy() == 20
+
+    def test_reorder_never_reaches_agent_out_of_sequence(self):
+        """The in-order layer: whatever the wire does, first delivery at
+        the agent follows the send order."""
+        applied = []
+        channel = ControlChannel(ChannelConfig(
+            reorder_rate=0.8, max_delay=4, seed=11,
+        ))
+        channel.attach("s1", SwitchTable("s1", 100))
+        channel.on_deliver = lambda m: applied.append(m.xid)
+        for xid in range(1, 31):
+            channel.send(_mod("s1", xid=xid, priority=xid))
+        channel.drain(max_rounds=128)
+        assert channel.stats.reordered > 0
+        first_seen = list(dict.fromkeys(applied))
+        assert first_seen == sorted(first_seen)
+
+    def test_retransmission_fills_the_gap(self):
+        """A dropped message blocks later ones (hold-back); resending it
+        with the same xid releases the held messages in order."""
+        channel = ControlChannel(ChannelConfig(seed=0))
+        channel.attach("s1", SwitchTable("s1", 100))
+        mods = [_mod("s1", xid=x, priority=x) for x in (1, 2, 3)]
+        channel.send(mods[0])
+        channel.drain()
+        # Simulate a drop of xid=2 by never having sent it, then send 3:
+        # sequence 2 is consumed by the "lost" send below.
+        lost = _mod("s1", xid=2, priority=2)
+        channel.reconfigure(drop_rate=0.999999)
+        channel.send(lost)
+        channel.reconfigure(drop_rate=0.0)
+        channel.send(mods[2])
+        channel.drain()
+        # xid=3 arrived early and is held, not applied: only xid=1 is in.
+        assert channel.tables()["s1"].occupancy() == 1
+        assert channel.stats.held_for_order == 1
+        # Retransmit the lost message: same xid, same sequence slot.
+        channel.send(lost)
+        channel.drain()
+        assert channel.tables()["s1"].occupancy() == 3
+        applied = sorted(e.priority for e in channel.tables()["s1"].entries)
+        assert applied == [1, 2, 3]
+
+
+class TestPartitionsAndReboots:
+    def test_partition_eats_both_directions(self):
+        channel = _channel()
+        channel.partition("s1")
+        channel.send(_mod("s1", xid=1))
+        assert channel.drain() == []
+        assert channel.stats.partition_drops > 0
+        assert channel.tables()["s1"].occupancy() == 0
+        channel.heal("s1")
+        channel.send(_mod("s1", xid=1))
+        assert channel.drain() == [FlowAck("s1", 1)]
+
+    def test_heal_all(self):
+        channel = _channel()
+        channel.attach("s2", SwitchTable("s2", 10))
+        channel.partition("s1")
+        channel.partition("s2")
+        channel.heal()
+        assert channel.partitioned == set()
+
+    def test_reboot_fail_secure(self):
+        channel = _channel()
+        channel.send(_mod("s1", xid=1))
+        channel.drain()
+        channel.reboot("s1")
+        table = channel.tables()["s1"]
+        assert table.occupancy() == 0
+        assert table.default_action is TableAction.DROP
+        assert channel.agent("s1").reboots == 1
+
+    def test_reboot_clears_dedup_so_retransmit_reapplies(self):
+        channel = _channel()
+        mod = _mod("s1", xid=1)
+        channel.send(mod)
+        channel.drain()
+        channel.reboot("s1")
+        channel.send(mod)
+        channel.drain()
+        assert channel.tables()["s1"].occupancy() == 1
+
+    def test_reboot_severs_in_flight(self):
+        channel = ControlChannel(ChannelConfig(max_delay=5, seed=2))
+        channel.attach("s1", SwitchTable("s1", 10))
+        for xid in range(1, 6):
+            channel.send(_mod("s1", xid=xid, priority=xid))
+        channel.reboot("s1")
+        channel.drain(max_rounds=32)
+        assert channel.tables()["s1"].occupancy() == 0
+
+
+class TestAgent:
+    def test_table_full_reported_not_raised(self):
+        agent = SwitchAgent(SwitchTable("s1", 1))
+        ok = agent.receive(_mod("s1", xid=1, priority=1))
+        full = agent.receive(_mod("s1", xid=2, pattern="0***", priority=2))
+        assert ok == [FlowAck("s1", 1)]
+        assert full == [FlowModFailed("s1", 2, "table-full")]
+        assert agent.rejected == 1
+
+    def test_duplicate_xid_reacked_not_reapplied(self):
+        agent = SwitchAgent(SwitchTable("s1", 10))
+        mod = _mod("s1", xid=1)
+        assert agent.receive(mod) == [FlowAck("s1", 1)]
+        assert agent.receive(mod) == [FlowAck("s1", 1)]
+        assert agent.applied == 1
+        assert agent.deduped == 1
+
+    def test_non_fail_secure_reboot_keeps_forwarding(self):
+        agent = SwitchAgent(SwitchTable("s1", 10), fail_secure=False)
+        agent.reboot()
+        assert agent.table.default_action is TableAction.FORWARD
+
+
+class TestDeterminism:
+    def test_full_storm_is_bit_reproducible(self):
+        def run():
+            channel = ControlChannel(ChannelConfig(
+                drop_rate=0.3, duplicate_rate=0.2, reorder_rate=0.3,
+                max_delay=3, seed=99,
+            ))
+            channel.attach("s1", SwitchTable("s1", 100))
+            channel.attach("s2", SwitchTable("s2", 100))
+            for xid in range(1, 31):
+                channel.send(_mod("s1" if xid % 2 else "s2", xid=xid,
+                                  priority=xid))
+            # Retransmit everything once, as a lossy controller would.
+            for xid in range(1, 31):
+                channel.send(_mod("s1" if xid % 2 else "s2", xid=xid,
+                                  priority=xid))
+            channel.drain(max_rounds=128)
+            state = {
+                name: sorted(e.priority for e in table.entries)
+                for name, table in channel.tables().items()
+            }
+            return state, channel.stats.as_dict()
+
+        assert run() == run()

@@ -158,3 +158,49 @@ class TestControllerAudit:
         )
         assert adds == controller.stats.installs_sent
         assert deletes == controller.stats.deletes_sent
+
+
+class TestXidAssignment:
+    """Satellite of the reliability work: no message leaves the log
+    with the unassigned sentinel xid 0, and no xid repeats."""
+
+    def test_record_assigns_missing_xid(self):
+        log = MessageLog()
+        recorded = log.record(add_mod())
+        assert recorded.xid > 0
+        assert log.messages[0] is recorded
+
+    def test_record_preserves_explicit_xid(self):
+        log = MessageLog()
+        recorded = log.record(add_mod(xid=77))
+        assert recorded.xid == 77
+
+    def test_record_refuses_duplicate_xid(self):
+        log = MessageLog()
+        log.record(add_mod(xid=5))
+        with pytest.raises(ValueError):
+            log.record(Barrier("s1", xid=5))
+
+    def test_assigned_xids_are_unique(self):
+        log = MessageLog()
+        xids = {log.record(add_mod(priority=i)).xid for i in range(50)}
+        assert len(xids) == 50
+        assert 0 not in xids
+
+
+class TestAddOverwrite:
+    def test_add_overwrites_same_slot(self):
+        """OpenFlow ADD semantics: same (match, priority) replaces the
+        entry in place, making duplicated deliveries idempotent."""
+        table = SwitchTable("s1", 1)
+        apply_flow_mod(table, add_mod(action=TableAction.DROP))
+        # Re-adding into the only slot must not raise TableFullError.
+        apply_flow_mod(table, add_mod(action=TableAction.FORWARD))
+        assert table.occupancy() == 1
+        assert table.entries[0].action is TableAction.FORWARD
+
+    def test_add_different_slot_still_installs(self):
+        table = SwitchTable("s1", 4)
+        apply_flow_mod(table, add_mod(priority=1))
+        apply_flow_mod(table, add_mod(priority=2))
+        assert table.occupancy() == 2

@@ -134,3 +134,79 @@ class TestRepair:
         outcome = reroute_after_failure(deployer, topo, routing, failure)
         assert outcome.disconnected == ["left0"]
         assert not outcome.fully_repaired
+
+
+class TestFailClosedOutcomes:
+    """No surviving route must never raise or fabricate a path: the
+    ingress lands in a fail-closed bucket and repair continues."""
+
+    def _deploy(self, topo, routing, ingress):
+        policies = generate_policy_set([ingress], rules_per_policy=5, seed=1)
+        instance = PlacementInstance(topo, routing, policies)
+        base = RulePlacer().place(instance)
+        assert base.is_feasible
+        return IncrementalDeployer(base)
+
+    def test_same_switch_path_reports_disconnected(self):
+        """Ingress and egress on one switch: when that switch dies, the
+        'shortest path' through it must not count as a reroute."""
+        from repro.net.topology import Topology
+
+        topo = Topology()
+        topo.add_switch("s0", capacity=50)
+        topo.add_switch("s1", capacity=50)
+        topo.add_link("s0", "s1")
+        topo.add_entry_port("in0", "s0")
+        topo.add_entry_port("out0", "s0")
+        routing = Routing([Path("in0", "out0", ("s0",))])
+        deployer = self._deploy(topo, routing, "in0")
+        failure = fail_switch(topo, "s0")
+        outcome = reroute_after_failure(deployer, topo, routing, failure)
+        assert outcome.disconnected == ["in0"]
+        assert outcome.rerouted == []
+        assert "in0" in outcome.fail_closed
+        assert not outcome.fully_repaired
+
+    def test_vanished_endpoint_reports_disconnected(self):
+        """A node removed from the graph outright (NodeNotFound in
+        networkx) is a disconnection, not an exception."""
+        topo = line(3, capacity=50)
+        routing = Routing([Path("left0", "right0", ("s0", "s1", "s2"))])
+        deployer = self._deploy(topo, routing, "left0")
+        failure = fail_switch(topo, "s0")
+        topo.graph.remove_node("s0")
+        outcome = reroute_after_failure(deployer, topo, routing, failure)
+        assert outcome.disconnected == ["left0"]
+
+    def test_mixed_outcome_repairs_the_survivors(self):
+        """One ingress loses its only route, another has an alternative:
+        the survivor is still rerouted in the same repair run."""
+        from repro.net.topology import Topology
+
+        topo = Topology()
+        for name in ("s0", "s1", "s2", "s3"):
+            topo.add_switch(name, capacity=60)
+        # s0-s1-s2 line plus a detour s0-s3-s2; a second ingress hangs
+        # off s1 with no alternative once s1's links die.
+        topo.add_link("s0", "s1")
+        topo.add_link("s1", "s2")
+        topo.add_link("s0", "s3")
+        topo.add_link("s3", "s2")
+        topo.add_entry_port("inA", "s0")
+        topo.add_entry_port("inB", "s1")
+        topo.add_entry_port("out", "s2")
+        routing = Routing([
+            Path("inA", "out", ("s0", "s1", "s2")),
+            Path("inB", "out", ("s1", "s2")),
+        ])
+        policies = generate_policy_set(["inA", "inB"], rules_per_policy=5,
+                                       seed=2)
+        instance = PlacementInstance(topo, routing, policies)
+        base = RulePlacer().place(instance)
+        assert base.is_feasible
+        deployer = IncrementalDeployer(base)
+        failure = fail_switch(topo, "s1")
+        outcome = reroute_after_failure(deployer, topo, routing, failure)
+        assert outcome.rerouted == ["inA"]
+        assert outcome.disconnected == ["inB"]
+        assert outcome.fail_closed == ("inB",)

@@ -170,3 +170,39 @@ class TestParser:
         for objective in ("rules", "upstream", "combined"):
             assert main(["solve", str(instance_file), "-o", str(out),
                          "--objective", objective]) == 0
+
+
+class TestChaos:
+    def test_chaos_converges(self, instance_file, capsys):
+        code = main([
+            "chaos", str(instance_file), "--seeds", "3", "--horizon", "15",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 schedules converged fail-closed" in out
+        assert "digest=" in out
+
+    def test_chaos_with_saved_placement(self, instance_file, tmp_path,
+                                        capsys):
+        placement = tmp_path / "placement.json"
+        assert main(["solve", str(instance_file), "-o", str(placement)]) == 0
+        capsys.readouterr()
+        code = main([
+            "chaos", str(instance_file), str(placement),
+            "--seeds", "2", "--horizon", "12",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 schedules converged fail-closed" in out
+
+    def test_chaos_no_fail_secure_detects_violations(self, instance_file,
+                                                     capsys):
+        """Sanity for the oracle: disabling the fail-secure safety net
+        across enough seeds must surface at least one violation."""
+        code = main([
+            "chaos", str(instance_file), "--seeds", "15",
+            "--no-fail-secure",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
