@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-tables bench-full examples verify-all clean
+.PHONY: install test chaos bench bench-tables bench-full bench-compile bench-compile-quick examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,15 @@ bench-tables:
 
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --full-scale -s
+
+# Compile fast-path acceptance (1k/5k/10k rules); writes BENCH_pr3.json.
+bench-compile:
+	$(PYTHON) -m pytest benchmarks/test_compile_fastpath.py -q -s
+
+# 1k point only; refreshes BENCH_pr3.json without clobbering full-tier
+# numbers, and checks the 2x regression guard against them.
+bench-compile-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_compile_fastpath.py -q -s
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,186 @@
+"""Compile fast-path acceptance benchmark (PR 3).
+
+Times the two compile stages this PR vectorized -- dependency analysis
+and model construction -- against the retained reference
+implementations, at 1k/5k/10k total rules, and records the results in
+``BENCH_pr3.json`` at the repo root.
+
+Acceptance targets:
+
+* depgraph + encode combined >= 5x faster than the reference path at
+  the 10k-rule point (full tier only);
+* the fast path is a pure optimization: bulk and operator encodings
+  solve to identical optimal objectives.
+
+Timing discipline: stages are timed best-of-N with a ``gc.collect()``
+before each run.  Single-shot timings here are bimodal (a GC pause in
+the middle of model construction roughly doubles an encode sample), so
+best-of-N measures the code, not the allocator's mood.
+
+Environment knobs::
+
+    REPRO_BENCH_QUICK=1   # 1k point only, speedup target not asserted
+
+A committed ``BENCH_pr3.json`` doubles as the regression baseline: when
+the file already holds a ``full`` run for a size we re-measure, the new
+combined speedup must stay within 2x of it.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import pytest
+
+from repro.core.depgraph import (
+    build_dependency_graph,
+    build_dependency_graph_reference,
+    clear_depgraph_cache,
+)
+from repro.core.ilp import build_encoding
+from repro.core.objectives import TotalRules, apply_objective
+from repro.core.slicing import build_slices
+from repro.experiments import ExperimentConfig, banner, build_instance
+from repro.milp.scipy_backend import ScipyMilpBackend
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+
+# num_ingresses x rules_per_policy = total rules; 500-rule policies keep
+# the per-policy pair analysis (the quadratic term) at realistic scale.
+SIZES = {
+    "1k": ExperimentConfig(seed=0, num_ingresses=2, rules_per_policy=500,
+                           capacity=400),
+    "5k": ExperimentConfig(seed=0, num_ingresses=10, rules_per_policy=500,
+                           capacity=400),
+    # k=4 fat-trees expose 16 ingress ports, so the 10k point grows the
+    # per-policy rule count instead of the ingress count.
+    "10k": ExperimentConfig(seed=0, num_ingresses=16, rules_per_policy=625,
+                            capacity=500),
+}
+ACTIVE = ("1k",) if QUICK else ("1k", "5k", "10k")
+ROUNDS = 5
+SPEEDUP_TARGET = 5.0
+REGRESSION_FACTOR = 2.0
+
+
+def best_of(fn: Callable[[], object], rounds: int = ROUNDS) -> float:
+    """Minimum wall time of ``rounds`` runs, GC-collected before each."""
+    times = []
+    for _ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure(config: ExperimentConfig) -> Dict[str, float]:
+    instance = build_instance(config)
+    policies = list(instance.policies)
+
+    def depgraph_reference():
+        for policy in policies:
+            build_dependency_graph_reference(policy)
+
+    def depgraph_fast():
+        clear_depgraph_cache()  # cold: time the kernel, not the cache
+        for policy in policies:
+            build_dependency_graph(policy)
+
+    depgraphs = {p.ingress: build_dependency_graph(p) for p in policies}
+    slices = build_slices(instance, depgraphs)
+
+    def encode(bulk: bool) -> Callable[[], object]:
+        return lambda: build_encoding(instance, depgraphs=depgraphs,
+                                      bulk=bulk, slices=slices)
+
+    row = {
+        "total_rules": len(policies) * config.rules_per_policy,
+        "variables": slices.num_variables(),
+        "depgraph_ref_s": best_of(depgraph_reference),
+        "depgraph_fast_s": best_of(depgraph_fast),
+        "encode_operator_s": best_of(encode(bulk=False)),
+        "encode_bulk_s": best_of(encode(bulk=True)),
+    }
+    row["depgraph_speedup"] = row["depgraph_ref_s"] / row["depgraph_fast_s"]
+    row["encode_speedup"] = row["encode_operator_s"] / row["encode_bulk_s"]
+    row["combined_speedup"] = (
+        (row["depgraph_ref_s"] + row["encode_operator_s"])
+        / (row["depgraph_fast_s"] + row["encode_bulk_s"])
+    )
+    return row
+
+
+@pytest.fixture(scope="module")
+def results() -> Dict[str, Dict[str, float]]:
+    return {label: measure(SIZES[label]) for label in ACTIVE}
+
+
+class TestCompileFastpath:
+    def test_report_and_record(self, results):
+        print(banner("Compile fast path (best of %d, reference vs "
+                     "vectorized)" % ROUNDS))
+        print(f"  {'size':<5} {'rules':>6} {'depgraph':>9} {'encode':>9} "
+              f"{'combined':>9}")
+        for label, row in results.items():
+            print(f"  {label:<5} {row['total_rules']:>6} "
+                  f"{row['depgraph_speedup']:>8.2f}x "
+                  f"{row['encode_speedup']:>8.2f}x "
+                  f"{row['combined_speedup']:>8.2f}x")
+
+        # Merge into BENCH_pr3.json: a quick run must not clobber the
+        # committed full-tier numbers.
+        existing: Dict = {}
+        if BENCH_PATH.exists():
+            existing = json.loads(BENCH_PATH.read_text())
+        baseline = existing.get("sizes", {}) if existing.get("tier") == "full" \
+            else {}
+        for label, row in results.items():
+            prior = baseline.get(label)
+            if prior and "combined_speedup" in prior:
+                floor = prior["combined_speedup"] / REGRESSION_FACTOR
+                assert row["combined_speedup"] >= floor, (
+                    f"{label}: combined speedup {row['combined_speedup']:.2f}x "
+                    f"regressed >{REGRESSION_FACTOR}x vs committed baseline "
+                    f"{prior['combined_speedup']:.2f}x")
+        if QUICK and existing.get("tier") == "full":
+            merged = dict(existing)
+            merged["sizes"] = {**existing.get("sizes", {}), **results}
+        else:
+            merged = {"tier": "quick" if QUICK else "full",
+                      "rounds": ROUNDS, "sizes": dict(results)}
+        BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                              + "\n")
+
+    def test_depgraph_edges_identical(self, results):
+        config = SIZES["1k"]
+        instance = build_instance(config)
+        for policy in instance.policies:
+            fast = build_dependency_graph(policy, use_cache=False)
+            ref = build_dependency_graph_reference(policy)
+            assert fast.edges == ref.edges
+
+    def test_bulk_and_operator_objectives_identical(self, results):
+        instance = build_instance(SIZES["1k"])
+        backend = ScipyMilpBackend()
+        objectives = {}
+        for bulk in (False, True):
+            encoding = build_encoding(instance, bulk=bulk)
+            apply_objective(encoding, TotalRules())
+            result = backend.solve(encoding.model)
+            assert result.status.name == "OPTIMAL"
+            objectives[bulk] = result.objective
+        assert objectives[True] == pytest.approx(objectives[False])
+
+    @pytest.mark.skipif(QUICK, reason="full tier only")
+    def test_meets_speedup_target_at_10k(self, results):
+        row = results["10k"]
+        assert row["combined_speedup"] >= SPEEDUP_TARGET, (
+            f"combined depgraph+encode speedup {row['combined_speedup']:.2f}x "
+            f"below the {SPEEDUP_TARGET:.0f}x target at 10k rules")

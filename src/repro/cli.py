@@ -178,6 +178,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             )
         placement = RulePlacer(config).place(instance)
     print(placement.summary())
+    compile_stats = placement.solver_stats.get("compile")
+    if isinstance(compile_stats, dict):
+        print(
+            "compile: depgraph {:.1f}ms, encode {:.1f}ms, "
+            "{} component(s), parallel speedup {:.2f}x".format(
+                compile_stats.get("depgraph_ms", 0.0),
+                compile_stats.get("encode_ms", 0.0),
+                compile_stats.get("components", 1),
+                compile_stats.get("parallel_speedup", 1.0),
+            )
+        )
     if placement.winner is not None:
         portfolio = placement.solver_stats["portfolio"]
         engines = portfolio.get("engines", {})

@@ -19,12 +19,25 @@ per-switch table must respect; :mod:`repro.core.merging` and
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
 
 from ..policy.policy import Policy
+from ..policy.rule import Rule
+from ..policy.ternary import overlapping_pairs
 
-__all__ = ["DependencyGraph", "build_dependency_graph", "ordering_pairs"]
+__all__ = [
+    "DependencyGraph",
+    "build_dependency_graph",
+    "build_dependency_graph_reference",
+    "clear_depgraph_cache",
+    "depgraph_cache_stats",
+    "ordering_pairs",
+    "policy_overlap_pairs",
+]
 
 
 @dataclass
@@ -67,12 +80,103 @@ class DependencyGraph:
         return (drop_priority,) + self.dependencies_of(drop_priority)
 
 
-def build_dependency_graph(policy: Policy) -> DependencyGraph:
+def policy_overlap_pairs(ordered: Sequence[Rule]) -> List[Tuple[int, int]]:
+    """Index pairs ``(hi, lo)``, ``hi < lo``, of overlapping rules in a
+    decreasing-priority rule list (``hi`` is the higher-priority rule).
+
+    The one pairwise-overlap computation every structural analysis
+    shares: the dependency graph (Eq. 1), the merged-table ordering DAG,
+    and the policy analytics all classify these same pairs instead of
+    re-deriving them with their own quadratic scans.
+    """
+    first, second = overlapping_pairs([rule.match for rule in ordered])
+    return list(zip(first.tolist(), second.tolist()))
+
+
+def _compute_edges(policy: Policy) -> Dict[int, Tuple[int, ...]]:
+    """The dependency edges of one policy, via the vectorized kernel.
+
+    Pair classification stays in numpy: of all overlapping (hi, lo)
+    index pairs only PERMIT-over-DROP ones become edges, and the filter
+    runs as boolean masks so Python-level work is proportional to the
+    number of *edges*, not the (much larger) number of overlaps.
+    """
+    ordered = policy.sorted_rules()  # decreasing priority
+    deps: Dict[int, List[int]] = {
+        rule.priority: [] for rule in ordered if rule.is_drop
+    }
+    if not ordered:
+        return {}
+    first, second = overlapping_pairs([rule.match for rule in ordered])
+    n = len(ordered)
+    is_drop = np.fromiter((rule.is_drop for rule in ordered), np.bool_, n)
+    priorities = np.fromiter((rule.priority for rule in ordered), np.int64, n)
+    keep = is_drop[second] & ~is_drop[first]
+    for lo, hi in zip(priorities[second[keep]].tolist(),
+                      priorities[first[keep]].tolist()):
+        deps[lo].append(hi)
+    return {priority: tuple(sorted(v)) for priority, v in deps.items()}
+
+
+# ---------------------------------------------------------------------------
+# Content-keyed memoization
+# ---------------------------------------------------------------------------
+#
+# Depgraphs are recomputed far more often than policies change: every
+# portfolio fork, reconciler redeploy, and incremental re-solve calls
+# ``build_encoding`` afresh.  The edges depend only on the policy's rule
+# content, so an LRU keyed by ``Policy.content_digest()`` makes repeat
+# encodes O(n) (the digest) instead of O(pairs).  Keying by content --
+# not object identity -- keeps the cache correct under policy mutation.
+
+_CACHE: "OrderedDict[str, Dict[int, Tuple[int, ...]]]" = OrderedDict()
+_CACHE_MAX = 256
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_depgraph_cache() -> None:
+    """Drop every memoized depgraph (tests and benchmarks)."""
+    _CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def depgraph_cache_stats() -> Dict[str, int]:
+    """A copy of the cache hit/miss counters."""
+    return dict(_CACHE_STATS)
+
+
+def build_dependency_graph(policy: Policy, use_cache: bool = True) -> DependencyGraph:
     """Construct the dependency graph of one ingress policy.
 
-    Quadratic in the policy size, which matches the paper's observation
-    that the number of dependency constraints is correlated with the
-    number of rules; policies are small (tens to low hundreds of rules).
+    Pairwise over the policy's rules, but vectorized: the overlap tests
+    run through :func:`repro.policy.ternary.overlapping_pairs` (packed
+    integer arrays with bucketed candidate pruning) rather than one
+    Python-level ``intersects`` call per pair, and results are memoized
+    by policy content digest across repeated encodes.
+    """
+    if use_cache:
+        digest = policy.content_digest()
+        cached = _CACHE.get(digest)
+        if cached is not None:
+            _CACHE.move_to_end(digest)
+            _CACHE_STATS["hits"] += 1
+            return DependencyGraph(policy.ingress, dict(cached))
+        _CACHE_STATS["misses"] += 1
+    edges = _compute_edges(policy)
+    if use_cache:
+        _CACHE[digest] = edges
+        while len(_CACHE) > _CACHE_MAX:
+            _CACHE.popitem(last=False)
+    return DependencyGraph(policy.ingress, dict(edges))
+
+
+def build_dependency_graph_reference(policy: Policy) -> DependencyGraph:
+    """The original quadratic pure-Python construction.
+
+    Kept verbatim as the differential oracle for the vectorized kernel
+    (``tests/core/test_depgraph_fast.py``) and as the pre-PR baseline
+    the compile-fastpath benchmark measures against.
     """
     ordered = policy.sorted_rules()  # decreasing priority
     edges: Dict[int, Tuple[int, ...]] = {}
@@ -97,7 +201,7 @@ def ordering_pairs(policy: Policy) -> Iterator[Tuple[int, int]]:
     Used by merged-table synthesis to build the precedence DAG.
     """
     ordered = policy.sorted_rules()
-    for idx, rule in enumerate(ordered):
-        for lower in ordered[idx + 1:]:
-            if rule.action is not lower.action and rule.match.intersects(lower.match):
-                yield (rule.priority, lower.priority)
+    for hi, lo in policy_overlap_pairs(ordered):
+        higher, lower = ordered[hi], ordered[lo]
+        if higher.action is not lower.action:
+            yield (higher.priority, lower.priority)

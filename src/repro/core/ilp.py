@@ -25,9 +25,12 @@ Merging itself is linked with Eq. 4/5:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
-from ..milp.model import LinExpr, Model, Variable, lin_sum
+import numpy as np
+
+from ..milp.model import LinExpr, Model, Sense, Variable, lin_sum
 from .depgraph import DependencyGraph, build_dependency_graph
 from .instance import PlacementInstance, RuleKey
 from .merging import MergePlan, build_merge_plan
@@ -49,9 +52,13 @@ class IlpEncoding:
     var_of: Dict[Tuple[RuleKey, str], Variable] = field(default_factory=dict)
     #: ``(merge gid, switch) -> vm`` merge indicator variables.
     merge_var_of: Dict[Tuple[int, str], Variable] = field(default_factory=dict)
+    #: Per-switch placement-variable index, built once during encoding;
+    #: ``variables_at`` and capacity emission read it instead of
+    #: scanning every ``(key, switch)`` entry per call.
+    vars_by_switch: Dict[str, List[Variable]] = field(default_factory=dict)
 
     def variables_at(self, switch: str) -> List[Variable]:
-        return [v for (key, s), v in self.var_of.items() if s == switch]
+        return list(self.vars_by_switch.get(switch, ()))
 
     def num_placement_vars(self) -> int:
         return len(self.var_of)
@@ -67,33 +74,113 @@ def build_encoding(
     enable_merging: bool = False,
     depgraphs: Optional[Dict[str, DependencyGraph]] = None,
     fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None,
+    bulk: bool = False,
+    slices: Optional[SliceInfo] = None,
 ) -> IlpEncoding:
     """Construct the full ILP for an instance (objective set separately).
 
     ``fixed`` pins chosen placement variables to 0/1 -- the mechanism
     incremental deployment (Section IV-E) uses to freeze the untouched
     part of an existing solution while re-solving a sub-problem.
+
+    With ``bulk=True`` the three constraint families are emitted as
+    COO-triplet :class:`~repro.milp.model.LinearBlock` arrays instead of
+    per-row ``LinExpr`` objects -- semantically identical rows (the
+    differential tests assert equal solves), but the sparse backend
+    receives them as CSR input directly.  The operator API remains the
+    default for tests, small models, and anything that inspects
+    ``model.constraints`` by name.
     """
     depgraphs = depgraphs or {
         policy.ingress: build_dependency_graph(policy) for policy in instance.policies
     }
-    slices = build_slices(instance, depgraphs)
+    if slices is None:
+        slices = build_slices(instance, depgraphs)
     merge_plan = build_merge_plan(instance, slices) if enable_merging else None
 
     model = Model("rule-placement")
     encoding = IlpEncoding(instance, model, depgraphs, slices, merge_plan)
 
     # --- variables ------------------------------------------------------
-    for key, switches in slices.domains.items():
-        ingress, priority = key
-        for switch in switches:
-            var = model.add_binary(f"v[{_san(ingress)},{priority},{_san(switch)}]")
-            encoding.var_of[(key, switch)] = var
+    if bulk:
+        # Batched creation: one location pass, one Variable pass, with
+        # the inner loops running through itertools at C speed.  Bulk
+        # variables get compact positional names (``v{index}``) rather
+        # than the operator path's descriptive ``v[ingress,prio,switch]``
+        # -- at bulk scale nobody reads 30k names, and building them is
+        # a measurable share of encode time.  ``var_of`` remains the
+        # supported way to address placement variables in either mode.
+        locs: List[Tuple[RuleKey, str]] = []
+        for key, switches in slices.domains.items():
+            locs.extend(zip(repeat(key), switches))
+        created = model.add_binaries(map("v%d".__mod__, range(len(locs))))
+        encoding.var_of = dict(zip(locs, created))
+        vars_by_switch = encoding.vars_by_switch
+        for (key, switch), var in zip(locs, created):
+            bucket = vars_by_switch.get(switch)
+            if bucket is None:
+                bucket = vars_by_switch[switch] = []
+            bucket.append(var)
+    else:
+        for key, switches in slices.domains.items():
+            ingress, priority = key
+            for switch in switches:
+                var = model.add_binary(f"v[{_san(ingress)},{priority},{_san(switch)}]")
+                encoding.var_of[(key, switch)] = var
+                encoding.vars_by_switch.setdefault(switch, []).append(var)
     if merge_plan is not None:
         for (gid, switch), members in merge_plan.members_at.items():
             encoding.merge_var_of[(gid, switch)] = model.add_binary(
                 f"vm[{gid},{_san(switch)}]"
             )
+
+    if bulk:
+        _emit_families_bulk(encoding)
+    else:
+        _emit_families_operator(encoding)
+
+    # --- merge linking (Eq. 4 / Eq. 5) ------------------------------------
+    merge_plan = encoding.merge_plan
+    if merge_plan is not None:
+        for (gid, switch), members in merge_plan.members_at.items():
+            vm = encoding.merge_var_of[(gid, switch)]
+            member_sum = lin_sum(
+                encoding.var_of[(key, switch)] for key in members
+            )
+            m = len(members)
+            model.add_constraint(
+                vm.to_expr() >= member_sum - (m - 1),
+                name=f"mrg_lo[{gid},{_san(switch)}]",
+            )
+            model.add_constraint(
+                vm * m <= member_sum, name=f"mrg_hi[{gid},{_san(switch)}]"
+            )
+
+    # --- incremental pinning ----------------------------------------------
+    if fixed:
+        for (key, switch), value in fixed.items():
+            var = encoding.var_of.get((key, switch))
+            if var is None:
+                if value:
+                    raise KeyError(
+                        f"cannot pin missing variable for {key} at {switch!r}"
+                    )
+                continue
+            model.add_constraint(
+                var.to_expr().eq(float(value)),
+                name=f"pin[{_san(key[0])},{key[1]},{_san(switch)}]",
+            )
+
+    return encoding
+
+
+def _emit_families_operator(encoding: IlpEncoding) -> None:
+    """The original per-row emission of the three constraint families."""
+    instance = encoding.instance
+    model = encoding.model
+    slices = encoding.slices
+    depgraphs = encoding.depgraphs
+    merge_plan = encoding.merge_plan
 
     # --- rule dependency (Eq. 1) ----------------------------------------
     for policy in instance.policies:
@@ -129,9 +216,6 @@ def build_encoding(
                 )
 
     # --- switch capacity (Eq. 3, merge-adjusted per Section IV-B) --------
-    per_switch: Dict[str, List[Variable]] = {}
-    for (key, switch), var in encoding.var_of.items():
-        per_switch.setdefault(switch, []).append(var)
     merge_terms: Dict[str, LinExpr] = {}
     if merge_plan is not None:
         for (gid, switch), members in merge_plan.members_at.items():
@@ -139,7 +223,7 @@ def build_encoding(
             vm = encoding.merge_var_of[(gid, switch)]
             expr = merge_terms.setdefault(switch, LinExpr())
             expr.add_term(vm, -(m - 1))
-    for switch, variables in per_switch.items():
+    for switch, variables in encoding.vars_by_switch.items():
         expr = lin_sum(variables)
         if switch in merge_terms:
             expr = expr + merge_terms[switch]
@@ -147,35 +231,97 @@ def build_encoding(
             expr <= instance.capacity(switch), name=f"cap[{_san(switch)}]"
         )
 
-    # --- merge linking (Eq. 4 / Eq. 5) ------------------------------------
+
+def _emit_families_bulk(encoding: IlpEncoding) -> None:
+    """COO-triplet emission of the same three families (hot path).
+
+    Row-for-row equivalent to :func:`_emit_families_operator` -- same
+    coefficients, senses, and right-hand sides in the same family
+    order -- but each family lands in one
+    :meth:`~repro.milp.model.Model.add_linear_block` call.
+    """
+    instance = encoding.instance
+    model = encoding.model
+    slices = encoding.slices
+    depgraphs = encoding.depgraphs
+    merge_plan = encoding.merge_plan
+    var_of = encoding.var_of
+
+    # --- rule dependency (Eq. 1): v_permit - v_drop >= 0 -----------------
+    # Each row is exactly the pair (+1 permit, -1 drop), so only the
+    # column ids are collected in Python; rows and data are synthesized
+    # as arrays (np.repeat / np.tile) afterwards.
+    cols: List[int] = []
+    for policy in instance.policies:
+        ingress = policy.ingress
+        graph = depgraphs[ingress]
+        for drop_priority in graph.drop_priorities():
+            drop_key = (ingress, drop_priority)
+            deps = graph.dependencies_of(drop_priority)
+            if not deps:
+                continue
+            permit_keys = [(ingress, p) for p in deps]
+            for switch in slices.domain(drop_key):
+                drop_idx = var_of[(drop_key, switch)].index
+                for permit_key in permit_keys:
+                    cols.append(var_of[(permit_key, switch)].index)
+                    cols.append(drop_idx)
+    r = len(cols) // 2
+    if r:
+        model.add_linear_block(
+            np.repeat(np.arange(r, dtype=np.int64), 2), cols,
+            np.tile(np.array([1.0, -1.0]), r), Sense.GE,
+            np.zeros(r), "dep",
+        )
+
+    # --- path dependency (Eq. 2): sum_{k in path} v >= 1 -----------------
+    cols = []
+    counts: List[int] = []
+    for policy in instance.policies:
+        ingress = policy.ingress
+        for path_index, path in enumerate(instance.routing.paths(ingress)):
+            for drop_priority in slices.drops_for_path(ingress, path_index):
+                key = (ingress, drop_priority)
+                before = len(cols)
+                for switch in path.switches:
+                    var = var_of.get((key, switch))
+                    if var is not None:
+                        cols.append(var.index)
+                # The row is emitted even with no variables on the path
+                # (0 >= 1), matching the operator path's explicit
+                # infeasibility rather than silently dropping the rule.
+                counts.append(len(cols) - before)
+    r = len(counts)
+    if r:
+        model.add_linear_block(
+            np.repeat(np.arange(r, dtype=np.int64), counts), cols,
+            np.ones(len(cols)), Sense.GE, np.ones(r), "path",
+        )
+
+    # --- switch capacity (Eq. 3, merge-adjusted per Section IV-B) --------
+    cols = []
+    data: List[float] = []
+    counts = []
+    rhs: List[float] = []
+    merge_adjust: Dict[str, List[Tuple[int, float]]] = {}
     if merge_plan is not None:
         for (gid, switch), members in merge_plan.members_at.items():
             vm = encoding.merge_var_of[(gid, switch)]
-            member_sum = lin_sum(
-                encoding.var_of[(key, switch)] for key in members
+            merge_adjust.setdefault(switch, []).append(
+                (vm.index, -(len(members) - 1))
             )
-            m = len(members)
-            model.add_constraint(
-                vm.to_expr() >= member_sum - (m - 1),
-                name=f"mrg_lo[{gid},{_san(switch)}]",
-            )
-            model.add_constraint(
-                vm * m <= member_sum, name=f"mrg_hi[{gid},{_san(switch)}]"
-            )
-
-    # --- incremental pinning ----------------------------------------------
-    if fixed:
-        for (key, switch), value in fixed.items():
-            var = encoding.var_of.get((key, switch))
-            if var is None:
-                if value:
-                    raise KeyError(
-                        f"cannot pin missing variable for {key} at {switch!r}"
-                    )
-                continue
-            model.add_constraint(
-                var.to_expr().eq(float(value)),
-                name=f"pin[{_san(key[0])},{key[1]},{_san(switch)}]",
-            )
-
-    return encoding
+    for switch, variables in encoding.vars_by_switch.items():
+        before = len(cols)
+        cols.extend(var.index for var in variables)
+        data.extend(repeat(1.0, len(variables)))
+        for vm_index, coeff in merge_adjust.get(switch, ()):
+            cols.append(vm_index)
+            data.append(float(coeff))
+        counts.append(len(cols) - before)
+        rhs.append(float(instance.capacity(switch)))
+    r = len(counts)
+    if r:
+        model.add_linear_block(
+            np.repeat(np.arange(r, dtype=np.int64), counts), cols,
+            data, Sense.LE, rhs, "cap",
+        )

@@ -22,12 +22,18 @@ from .ilp import IlpEncoding, build_encoding
 from .instance import PlacementInstance, RuleKey
 from .merging import MergePlan
 from .objectives import Objective, TotalRules, apply_objective
+from .slicing import build_slices
 
 __all__ = ["PlacerConfig", "Placement", "RulePlacer"]
 
 #: Sentinel returned by backend resolution when the portfolio path is
 #: selected (the portfolio is not a Model-level backend).
 _PORTFOLIO = object()
+
+#: ``bulk_encoding="auto"`` switches to COO-block emission at this many
+#: placement variables; below it the per-row operator API costs nothing
+#: and keeps constraints individually named for inspection.
+_BULK_THRESHOLD = 2000
 
 
 @dataclass
@@ -184,6 +190,17 @@ class PlacerConfig:
     engine_options: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: Portfolio execution strategy: ``"process"`` or ``"inline"``.
     executor: str = "process"
+    #: Constraint emission: ``"on"`` always uses COO blocks, ``"off"``
+    #: always the per-row operator API, ``"auto"`` switches on blocks
+    #: once the model crosses ``_BULK_THRESHOLD`` variables.
+    bulk_encoding: str = "auto"
+    #: Solve independent components concurrently: ``"auto"`` decomposes
+    #: whenever it is exact (no merging, no pins, separable objective),
+    #: ``"off"`` always solves monolithically.
+    parallel_components: str = "auto"
+    #: Worker processes for component solving; ``None`` uses one per
+    #: component, capped at the CPU count.
+    component_workers: Optional[int] = None
 
 
 class RulePlacer:
@@ -207,30 +224,104 @@ class RulePlacer:
         )
 
     def build(self, instance: PlacementInstance,
-              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None) -> IlpEncoding:
+              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None,
+              depgraphs=None, slices=None) -> IlpEncoding:
         """Encode the (preprocessed) instance and install the objective."""
+        if slices is None and depgraphs is None:
+            depgraphs = {
+                policy.ingress: build_dependency_graph(policy)
+                for policy in instance.policies
+            }
+        if slices is None:
+            slices = build_slices(instance, depgraphs)
         encoding = build_encoding(
-            instance, enable_merging=self.config.enable_merging, fixed=fixed
+            instance, enable_merging=self.config.enable_merging,
+            depgraphs=depgraphs, fixed=fixed,
+            bulk=self._use_bulk(slices), slices=slices,
         )
         apply_objective(encoding, self.config.objective)
         return encoding
+
+    def _use_bulk(self, slices) -> bool:
+        mode = self.config.bulk_encoding
+        if mode == "on":
+            return True
+        if mode == "off":
+            return False
+        return slices.num_variables() >= _BULK_THRESHOLD
 
     def place(self, instance: PlacementInstance,
               fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None) -> Placement:
         """Run the full pipeline and return the extracted placement."""
         instance = self.preprocess(instance)
-        build_start = time.perf_counter()
-        encoding = self.build(instance, fixed=fixed)
-        build_seconds = time.perf_counter() - build_start
-        backend = self._resolve_backend()
-        if backend is _PORTFOLIO:
-            placement = self._place_portfolio(instance, encoding)
-        else:
-            result = encoding.model.solve(
-                backend, time_limit=self.config.time_limit
+        compile_stats: Dict[str, object] = {}
+        stage_start = time.perf_counter()
+        depgraphs = {
+            policy.ingress: build_dependency_graph(policy)
+            for policy in instance.policies
+        }
+        compile_stats["depgraph_ms"] = (time.perf_counter() - stage_start) * 1000.0
+        slices = build_slices(instance, depgraphs)
+
+        placement = self._try_components(instance, slices, fixed, compile_stats)
+        if placement is None:
+            build_start = time.perf_counter()
+            encoding = self.build(
+                instance, fixed=fixed, depgraphs=depgraphs, slices=slices
             )
-            placement = self.extract(encoding, result)
-        placement.build_seconds = build_seconds
+            build_seconds = time.perf_counter() - build_start
+            compile_stats["encode_ms"] = build_seconds * 1000.0
+            compile_stats["bulk"] = bool(encoding.model.blocks)
+            compile_stats.setdefault("components", 1)
+            compile_stats.setdefault("parallel_speedup", 1.0)
+            backend = self._resolve_backend()
+            if backend is _PORTFOLIO:
+                placement = self._place_portfolio(instance, encoding)
+            else:
+                result = encoding.model.solve(
+                    backend, time_limit=self.config.time_limit
+                )
+                placement = self.extract(encoding, result)
+            placement.build_seconds = build_seconds
+        placement.solver_stats["compile"] = compile_stats
+        return placement
+
+    def _try_components(self, instance: PlacementInstance, slices,
+                        fixed, compile_stats: Dict[str, object]) -> Optional[Placement]:
+        """Attempt exact component decomposition (None = stay monolithic).
+
+        Decomposition is only taken when it provably matches the
+        monolithic optimum: at least two components, no cross-component
+        couplers (merging spans policies, pins name global variables),
+        and an objective that sums over components.
+        """
+        if self.config.parallel_components == "off":
+            return None
+        if self.config.enable_merging or fixed:
+            return None
+        from ..solve.components import (
+            objective_is_separable, place_components, split_components,
+        )
+
+        if not objective_is_separable(self.config.objective):
+            return None
+        components = split_components(instance, slices)
+        if len(components) < 2:
+            return None
+        placement = place_components(
+            instance, self.config, components,
+            workers=self.config.component_workers,
+        )
+        if placement is None:
+            return None
+        telemetry = placement.solver_stats.get("components", {})
+        compile_stats["components"] = len(components)
+        wall = telemetry.get("wall_seconds") or 0.0
+        sequential = telemetry.get("sequential_seconds") or 0.0
+        compile_stats["parallel_speedup"] = (
+            sequential / wall if wall > 0 else 1.0
+        )
+        compile_stats["encode_ms"] = placement.build_seconds * 1000.0
         return placement
 
     # ------------------------------------------------------------------

@@ -111,6 +111,17 @@ def placement_report(placement: Placement) -> str:
             f"  encoding: {placement.num_variables} variables, "
             f"{placement.num_constraints} constraints"
         )
+    compile_stats = placement.solver_stats.get("compile")
+    if isinstance(compile_stats, dict):
+        lines.append(
+            "  compile: depgraph {:.1f}ms, encode {:.1f}ms, "
+            "{} component(s), parallel speedup {:.2f}x".format(
+                compile_stats.get("depgraph_ms", 0.0),
+                compile_stats.get("encode_ms", 0.0),
+                compile_stats.get("components", 1),
+                compile_stats.get("parallel_speedup", 1.0),
+            )
+        )
     lines.append("")
     lines.append(switch_utilization_report(placement, top=10))
     lines.append("")

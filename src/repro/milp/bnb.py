@@ -170,7 +170,7 @@ class BranchAndBoundBackend:
         ub_rhs: List[float] = []
         eq_rows: List[np.ndarray] = []
         eq_rhs: List[float] = []
-        for con in model.constraints:
+        for con in model.all_constraints():
             row = np.zeros(n)
             for idx, coeff in con.expr.coeffs.items():
                 row[idx] = coeff

@@ -37,7 +37,7 @@ def to_lp_string(model: Model) -> str:
     """Render the model in CPLEX LP format."""
     lines: List[str] = [f"\\ Model: {model.name}", "Minimize", f" obj: {_format_terms(model.objective.coeffs, model)}"]
     lines.append("Subject To")
-    for i, con in enumerate(model.constraints):
+    for i, con in enumerate(model.all_constraints()):
         label = con.name or f"c{i}"
         lines.append(
             f" {label}: {_format_terms(con.expr.coeffs, model)} "

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 __all__ = [
     "VarType",
@@ -30,6 +32,7 @@ __all__ = [
     "LinExpr",
     "Sense",
     "Constraint",
+    "LinearBlock",
     "SolveStatus",
     "SolveResult",
     "Model",
@@ -44,9 +47,17 @@ class VarType(enum.Enum):
     CONTINUOUS = "continuous"
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class Variable:
-    """A decision variable; identity is its ``index`` within the model."""
+    """A decision variable; identity is its ``index`` within the model.
+
+    Deliberately *not* frozen: a frozen dataclass funnels every field
+    through ``object.__setattr__`` during ``__init__``, which is the
+    dominant cost when the encoder creates tens of thousands of
+    variables.  ``eq=False`` keeps identity comparison/hashing (each
+    variable exists exactly once per model); nothing mutates variables
+    after construction.
+    """
 
     index: int
     name: str
@@ -226,6 +237,75 @@ class Constraint:
         return abs(lhs - self.rhs) <= tol
 
 
+@dataclass
+class LinearBlock:
+    """A family of constraint rows in COO-triplet form.
+
+    The hot encoding path (``repro.core.ilp`` with ``bulk=True``) emits
+    each constraint family -- dependency, path, capacity -- as three
+    parallel arrays plus per-row sense/rhs, instead of allocating one
+    :class:`LinExpr` and :class:`Constraint` per row.  The SciPy/HiGHS
+    backend consumes the triplets as CSR input directly; every other
+    consumer (B&B, LP export, presolve, ``check_solution``) sees the
+    rows through :meth:`to_constraints` / :meth:`Model.all_constraints`.
+
+    ``rows`` holds *block-local* row ids in ``[0, num_rows)``.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    senses: List[Sense]
+    rhs: np.ndarray
+    name_prefix: str = ""
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.senses)
+
+    def bounds(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-row ``(lower, upper)`` bounds in LinearConstraint form."""
+        lower = np.full(self.num_rows, -np.inf)
+        upper = np.full(self.num_rows, np.inf)
+        for r, sense in enumerate(self.senses):
+            if sense is Sense.LE:
+                upper[r] = self.rhs[r]
+            elif sense is Sense.GE:
+                lower[r] = self.rhs[r]
+            else:
+                lower[r] = upper[r] = self.rhs[r]
+        return lower, upper
+
+    def to_constraints(self) -> List["Constraint"]:
+        """Materialize the rows as ordinary :class:`Constraint` objects
+        (the slow-path view for backends that walk rows one by one)."""
+        coeffs: List[Dict[int, float]] = [{} for _ in range(self.num_rows)]
+        for r, c, v in zip(self.rows.tolist(), self.cols.tolist(),
+                           self.data.tolist()):
+            coeffs[r][c] = coeffs[r].get(c, 0.0) + v
+        prefix = self.name_prefix or "blk"
+        return [
+            Constraint(
+                expr=LinExpr(coeffs[r]),
+                sense=self.senses[r],
+                rhs=float(self.rhs[r]),
+                name=f"{prefix}[{r}]",
+            )
+            for r in range(self.num_rows)
+        ]
+
+    def satisfied(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Vectorized feasibility check of all rows against a dense
+        assignment vector."""
+        if self.num_rows == 0:
+            return True
+        lhs = np.bincount(
+            self.rows, weights=self.data * x[self.cols], minlength=self.num_rows
+        )
+        lower, upper = self.bounds()
+        return bool(np.all(lhs <= upper + tol) and np.all(lhs >= lower - tol))
+
+
 class SolveStatus(enum.Enum):
     OPTIMAL = "optimal"
     FEASIBLE = "feasible"          # incumbent found, stopped on a work budget
@@ -275,6 +355,9 @@ class Model:
         self.name = name
         self.variables: List[Variable] = []
         self.constraints: List[Constraint] = []
+        #: Bulk constraint families (see :class:`LinearBlock`); rows
+        #: live here *instead of* in ``constraints``, never in both.
+        self.blocks: List[LinearBlock] = []
         self.objective: LinExpr = LinExpr()
         self._names: Dict[str, Variable] = {}
 
@@ -295,6 +378,26 @@ class Model:
     def add_binary(self, name: str = "") -> Variable:
         return self._add_var(name, VarType.BINARY, 0.0, 1.0)
 
+    def add_binaries(self, names: Iterable[str]) -> List[Variable]:
+        """Create many binary variables in one call.
+
+        Semantically identical to repeated :meth:`add_binary`, but the
+        bookkeeping (index assignment, name registration) runs batched
+        -- the encoding hot path creates tens of thousands of placement
+        variables and per-call overhead dominates otherwise.
+        """
+        names = list(names)
+        start = len(self.variables)
+        new = [
+            Variable(start + offset, name, VarType.BINARY, 0.0, 1.0)
+            for offset, name in enumerate(names)
+        ]
+        if len(set(names)) != len(new) or not self._names.keys().isdisjoint(names):
+            raise ValueError("duplicate variable name in batch")
+        self.variables.extend(new)
+        self._names.update(zip(names, new))
+        return new
+
     def add_integer(self, name: str = "", lb: float = 0.0,
                     ub: float = float("inf")) -> Variable:
         return self._add_var(name, VarType.INTEGER, lb, ub)
@@ -308,6 +411,47 @@ class Model:
             constraint.name = name
         self.constraints.append(constraint)
         return constraint
+
+    def add_linear_block(
+        self,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        data: Sequence[float],
+        senses: Union[Sense, Sequence[Sense]],
+        rhs: Sequence[float],
+        name_prefix: str = "",
+    ) -> LinearBlock:
+        """Append a whole constraint family as COO triplets.
+
+        ``rows`` are block-local ids starting at 0; ``senses`` is one
+        :class:`Sense` applied to every row or a per-row sequence.  The
+        triplets are handed to the sparse backend unchanged, skipping
+        per-row :class:`LinExpr`/:class:`Constraint` allocation on the
+        encoding hot path.
+        """
+        rhs_arr = np.asarray(rhs, dtype=np.float64)
+        if isinstance(senses, Sense):
+            sense_list = [senses] * len(rhs_arr)
+        else:
+            sense_list = list(senses)
+        if len(sense_list) != len(rhs_arr):
+            raise ValueError(
+                f"{len(sense_list)} senses for {len(rhs_arr)} rows"
+            )
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        data_arr = np.asarray(data, dtype=np.float64)
+        if not (len(rows_arr) == len(cols_arr) == len(data_arr)):
+            raise ValueError("rows/cols/data must be parallel arrays")
+        if len(rows_arr) and (rows_arr.min() < 0 or rows_arr.max() >= len(rhs_arr)):
+            raise ValueError("block row id outside [0, num_rows)")
+        if len(cols_arr) and (cols_arr.min() < 0
+                              or cols_arr.max() >= len(self.variables)):
+            raise ValueError("block column references unknown variable")
+        block = LinearBlock(rows_arr, cols_arr, data_arr, sense_list,
+                            rhs_arr, name_prefix)
+        self.blocks.append(block)
+        return block
 
     def set_objective(self, expr: Union[LinExpr, Variable]) -> None:
         """Set the minimization objective."""
@@ -324,7 +468,19 @@ class Model:
         return len(self.variables)
 
     def num_constraints(self) -> int:
-        return len(self.constraints)
+        return len(self.constraints) + sum(b.num_rows for b in self.blocks)
+
+    def all_constraints(self) -> List[Constraint]:
+        """Every row as a :class:`Constraint`: the operator-API rows
+        followed by materialized block rows.  Backends that walk rows
+        individually (B&B, LP export, presolve, the exhaustive oracle)
+        use this; the sparse backend reads ``blocks`` directly."""
+        if not self.blocks:
+            return self.constraints
+        rows = list(self.constraints)
+        for block in self.blocks:
+            rows.extend(block.to_constraints())
+        return rows
 
     def is_pure_binary(self) -> bool:
         return all(v.vtype is VarType.BINARY for v in self.variables)
@@ -337,7 +493,16 @@ class Model:
                 return False
             if var.vtype is not VarType.CONTINUOUS and abs(val - round(val)) > tol:
                 return False
-        return all(c.satisfied(values, tol) for c in self.constraints)
+        if not all(c.satisfied(values, tol) for c in self.constraints):
+            return False
+        if self.blocks:
+            x = np.zeros(len(self.variables))
+            for idx, val in values.items():
+                if 0 <= idx < len(x):
+                    x[idx] = val
+            if not all(block.satisfied(x, tol) for block in self.blocks):
+                return False
+        return True
 
     def solve(self, backend: Optional["object"] = None, **kwargs) -> SolveResult:
         """Solve with the given backend (default: SciPy/HiGHS)."""

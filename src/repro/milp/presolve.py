@@ -62,7 +62,7 @@ class PresolveResult:
 def _detect_fixings(model: Model, fixed: Dict[int, float]) -> bool:
     """One pass of bound-fixing deductions; returns True on progress."""
     progress = False
-    for con in model.constraints:
+    for con in model.all_constraints():
         live = {
             idx: coeff for idx, coeff in con.expr.coeffs.items()
             if idx not in fixed
@@ -152,7 +152,7 @@ def presolve(model: Model) -> PresolveResult:
                 out.coeffs[result.kept[idx]] = coeff
         return out, shift
 
-    for con in model.constraints:
+    for con in model.all_constraints():
         expr, shift = translate(con.expr)
         rhs = con.rhs - shift
         if not expr.coeffs:

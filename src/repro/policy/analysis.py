@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from .policy import Policy, PolicySet
+from .ternary import overlapping_pairs
 
 __all__ = ["PolicyStats", "analyze_policy", "PolicySetStats", "analyze_policy_set"]
 
@@ -49,29 +50,30 @@ class PolicyStats:
 
 
 def analyze_policy(policy: Policy) -> PolicyStats:
-    """Compute structural metrics for one policy (quadratic scan)."""
+    """Compute structural metrics for one policy.
+
+    Classifies the pairwise overlaps produced by the vectorized kernel
+    (:func:`repro.policy.ternary.overlapping_pairs`) -- the same
+    computation the dependency-graph build runs -- instead of a
+    quadratic Python scan with per-rule list slices.
+    """
     ordered = policy.sorted_rules()
+    first, second = overlapping_pairs([rule.match for rule in ordered])
     dependency_edges = 0
     benign_overlaps = 0
-    shadowed = 0
-    max_closure = 0
-    for idx, rule in enumerate(ordered):
-        covered_by_single_higher = False
-        closure = 1
-        for higher in ordered[:idx]:
-            if not higher.match.intersects(rule.match):
-                continue
-            if higher.shadows(rule):
-                covered_by_single_higher = True
-            if rule.is_drop and higher.is_permit:
-                dependency_edges += 1
-                closure += 1
-            elif higher.action is rule.action:
-                benign_overlaps += 1
-        if rule.is_drop:
-            max_closure = max(max_closure, closure)
-        if covered_by_single_higher:
-            shadowed += 1
+    shadowed_flags = [False] * len(ordered)
+    closures = {idx: 1 for idx, rule in enumerate(ordered) if rule.is_drop}
+    for hi, lo in zip(first.tolist(), second.tolist()):
+        higher, rule = ordered[hi], ordered[lo]
+        if higher.shadows(rule):
+            shadowed_flags[lo] = True
+        if rule.is_drop and higher.is_permit:
+            dependency_edges += 1
+            closures[lo] += 1
+        elif higher.action is rule.action:
+            benign_overlaps += 1
+    max_closure = max(closures.values(), default=0)
+    shadowed = sum(shadowed_flags)
     return PolicyStats(
         ingress=policy.ingress,
         num_rules=len(policy),

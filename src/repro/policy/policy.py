@@ -11,6 +11,7 @@ unmatched traffic is forwarded).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -88,6 +89,26 @@ class Policy:
 
     def remove_rule(self, rule: Rule) -> None:
         self.rules.remove(rule)
+
+    def content_digest(self) -> str:
+        """A digest of the rule content that decides placement structure.
+
+        Covers the default action and every rule's (priority, action,
+        match) -- everything the dependency graph depends on -- while
+        deliberately excluding the ingress name, so identical rule sets
+        attached to different ports share one memoized depgraph (see
+        :func:`repro.core.depgraph.build_dependency_graph`).  Computed
+        from current content on every call: a mutated policy hashes to
+        a new key rather than hitting a stale cache entry.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.default_action.value.encode())
+        for rule in self.sorted_rules():
+            hasher.update(
+                f"|{rule.priority}:{rule.action.value}:{rule.match.width}"
+                f":{rule.match.mask:x}:{rule.match.value:x}".encode()
+            )
+        return hasher.hexdigest()
 
     def next_priority_above(self) -> int:
         """A priority strictly higher than every existing rule's."""

@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "TernaryMatch",
     "RegionSet",
+    "PackedMatches",
     "concat_matches",
+    "overlapping_pairs",
 ]
 
 
@@ -267,6 +271,197 @@ def concat_matches(fields: Sequence[TernaryMatch]) -> TernaryMatch:
         mask = (mask << field.width) | field.mask
         value = (value << field.width) | field.value
     return TernaryMatch(width, mask, value)
+
+
+#: Below this many cubes the pure-Python pairwise scan beats the numpy
+#: kernel's fixed setup cost.
+_SMALL_BATCH = 64
+
+#: How many bucket bits the candidate-pruning prepass keys on.
+_BUCKET_BITS = 12
+
+#: Row-block size for the blockwise pairwise tests (bounds peak memory
+#: at ``block * n`` booleans per intermediate).
+_PAIR_BLOCK = 256
+
+_LIMB_MASK = (1 << 64) - 1
+
+
+class PackedMatches:
+    """A batch of same-width cubes packed into parallel integer arrays.
+
+    ``masks``/``values`` are ``(n, limbs)`` uint64 arrays (limb 0 holds
+    bits 0..63), so the pairwise disjointness test
+    ``(v_a ^ v_b) & (m_a & m_b) != 0`` vectorizes across whole candidate
+    sets at once instead of running one Python-level
+    :meth:`TernaryMatch.intersects` call per pair.  This is the kernel
+    behind the fast dependency-graph build (paper Eq. 1 analysis) and
+    the shared policy-structure analytics.
+    """
+
+    __slots__ = ("n", "width", "limbs", "masks", "values")
+
+    def __init__(self, matches: Sequence[TernaryMatch]) -> None:
+        self.n = len(matches)
+        self.width = matches[0].width if matches else 0
+        self.limbs = max(1, (self.width + 63) // 64)
+        for match in matches:
+            if match.width != self.width:
+                raise ValueError(
+                    f"width mismatch in batch: {match.width} vs {self.width}"
+                )
+        # Limb extraction through int.to_bytes + frombuffer: serializing
+        # each Python int once at C speed beats per-limb shift/mask
+        # loops, and little-endian byte order lands limb 0 on bits 0..63
+        # exactly as documented.
+        nbytes = self.limbs * 8
+        if self.n:
+            self.masks = np.frombuffer(
+                b"".join(m.mask.to_bytes(nbytes, "little") for m in matches),
+                dtype=np.uint64,
+            ).reshape(self.n, self.limbs).copy()
+            self.values = np.frombuffer(
+                b"".join(m.value.to_bytes(nbytes, "little") for m in matches),
+                dtype=np.uint64,
+            ).reshape(self.n, self.limbs).copy()
+        else:
+            self.masks = np.zeros((0, self.limbs), dtype=np.uint64)
+            self.values = np.zeros((0, self.limbs), dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+
+    def care_counts(self) -> np.ndarray:
+        """How many cubes care about each bit position (length ``width``)."""
+        counts = np.zeros(self.width, dtype=np.int64)
+        for bit in range(self.width):
+            limb, off = divmod(bit, 64)
+            counts[bit] = int(
+                ((self.masks[:, limb] >> np.uint64(off)) & np.uint64(1)).sum()
+            )
+        return counts
+
+    def bucket_patterns(self, positions: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Each cube's (mask, value) restricted to ``positions``, packed
+        into single uint64s -- the short pattern the bucketing keys on."""
+        bm = np.zeros(self.n, dtype=np.uint64)
+        bv = np.zeros(self.n, dtype=np.uint64)
+        for k, bit in enumerate(positions):
+            limb, off = divmod(bit, 64)
+            bm |= ((self.masks[:, limb] >> np.uint64(off)) & np.uint64(1)) << np.uint64(k)
+            bv |= ((self.values[:, limb] >> np.uint64(off)) & np.uint64(1)) << np.uint64(k)
+        return bm, bv
+
+    def _pairs_block(self, rows: np.ndarray, cols: np.ndarray,
+                     keep: Optional[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        """All intersecting (row, col) pairs for one row-block, optionally
+        restricted by a precomputed ``keep`` boolean matrix."""
+        disjoint = np.zeros((len(rows), len(cols)), dtype=bool)
+        for limb in range(self.limbs):
+            mm = self.masks[rows, limb][:, None] & self.masks[cols, limb][None, :]
+            vv = self.values[rows, limb][:, None] ^ self.values[cols, limb][None, :]
+            disjoint |= (vv & mm) != 0
+        hit = ~disjoint
+        if keep is not None:
+            hit &= keep
+        r_idx, c_idx = np.nonzero(hit)
+        return rows[r_idx], cols[c_idx]
+
+    def _triangle_pairs(self, group: np.ndarray) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Intersecting index pairs (i < j) within one candidate group."""
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for start in range(0, len(group), _PAIR_BLOCK):
+            rows = group[start:start + _PAIR_BLOCK]
+            cols = group[start:]
+            keep = cols[None, :] > rows[:, None]
+            out.append(self._pairs_block(rows, cols, keep))
+        return out
+
+    def overlapping_pairs(self, bucket_bits: int = _BUCKET_BITS) -> Tuple[np.ndarray, np.ndarray]:
+        """Every intersecting index pair ``(i, j)`` with ``i < j``.
+
+        Candidate pruning: key each cube on a short pattern over the
+        most-frequently-cared bit positions.  Cubes that care about
+        *all* bucket positions can only intersect cubes in the same
+        exact bucket (equal pattern value) or cubes wildcarding some
+        bucket position, so the quadratic test runs per bucket instead
+        of over the full batch; the remaining "mixed" cubes are tested
+        blockwise against everything.  Returns two parallel index
+        arrays sorted lexicographically by ``(i, j)``.
+        """
+        if self.n < 2:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        counts = self.care_counts()
+        positions = [
+            int(bit) for bit in np.argsort(-counts, kind="stable")[:bucket_bits]
+            if counts[bit] > 0
+        ]
+        chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+        if not positions:
+            # Degenerate batch (every bit wildcarded everywhere): no
+            # pruning signal; everything is one group.
+            chunks.extend(self._triangle_pairs(np.arange(self.n, dtype=np.int64)))
+        else:
+            full = np.uint64((1 << len(positions)) - 1)
+            bm, bv = self.bucket_patterns(positions)
+            exact = bm == full
+            mixed_idx = np.nonzero(~exact)[0].astype(np.int64)
+            exact_idx = np.nonzero(exact)[0].astype(np.int64)
+            # Exact cubes: quadratic only within each equal-pattern bucket.
+            if len(exact_idx):
+                keys = bv[exact_idx]
+                order = np.argsort(keys, kind="stable")
+                sorted_idx = exact_idx[order]
+                sorted_keys = keys[order]
+                boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+                for group in np.split(sorted_idx, boundaries):
+                    if len(group) >= 2:
+                        chunks.extend(self._triangle_pairs(np.sort(group)))
+            # Mixed cubes: blockwise against every cube, counting each
+            # mixed/mixed pair once (j > i) and mixed/exact pairs from
+            # the mixed side only.
+            if len(mixed_idx):
+                everything = np.arange(self.n, dtype=np.int64)
+                is_mixed = ~exact
+                for start in range(0, len(mixed_idx), _PAIR_BLOCK):
+                    rows = mixed_idx[start:start + _PAIR_BLOCK]
+                    keep = (~is_mixed[everything])[None, :] | (
+                        everything[None, :] > rows[:, None]
+                    )
+                    chunks.append(self._pairs_block(rows, everything, keep))
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        a = np.concatenate([c[0] for c in chunks])
+        b = np.concatenate([c[1] for c in chunks])
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        order = np.lexsort((hi, lo))
+        return lo[order], hi[order]
+
+
+def overlapping_pairs(matches: Sequence[TernaryMatch]) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices ``(i, j)``, ``i < j``, of every intersecting cube pair.
+
+    Dispatches between a pure-Python scan (small batches, where numpy
+    setup cost dominates) and the packed blockwise kernel.  Both return
+    identical pairs in identical ``(i, j)`` lexicographic order; the
+    differential tests in ``tests/core/test_depgraph_fast.py`` hold the
+    two implementations to that contract.
+    """
+    n = len(matches)
+    if n < _SMALL_BATCH:
+        first: List[int] = []
+        second: List[int] = []
+        for i in range(n):
+            m_i = matches[i]
+            for j in range(i + 1, n):
+                if m_i.intersects(matches[j]):
+                    first.append(i)
+                    second.append(j)
+        return (np.asarray(first, dtype=np.int64),
+                np.asarray(second, dtype=np.int64))
+    return PackedMatches(matches).overlapping_pairs()
 
 
 class RegionSet:
