@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-tables bench-full bench-compile bench-compile-quick examples verify-all clean
+.PHONY: install test chaos bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick serve examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,20 @@ bench-compile:
 # numbers, and checks the 2x regression guard against them.
 bench-compile-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_compile_fastpath.py -q -s
+
+# Serving acceptance: seeded mixed workload against a live
+# PlacementService; writes BENCH_pr5.json.
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s
+
+# Small workload with inline workers; merges into BENCH_pr5.json
+# without clobbering full-tier numbers.
+bench-serve-quick:
+	REPRO_SERVE_QUICK=1 $(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s
+
+# Run the placement daemon on localhost (Ctrl-C to stop).
+serve:
+	$(PYTHON) -m repro.cli serve
 
 examples:
 	@for script in examples/*.py; do \

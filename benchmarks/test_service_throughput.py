@@ -1,0 +1,146 @@
+"""Serving benchmark: replay the seeded mixed workload through a live
+``PlacementService`` and record throughput/latency to ``BENCH_pr5.json``
+at the repo root.
+
+This is the acceptance harness for the placement-as-a-service PR.  It
+drives the same load generator as ``repro bench-serve`` and asserts the
+serving properties the broker promises:
+
+* every request in the seeded workload succeeds (zero failures),
+* warm cache hits are at least an order of magnitude faster than cold
+  solves (relaxed on the quick tier, where cold solves are tiny),
+* a burst of identical concurrent requests coalesces to ONE solve,
+* the overload path answers ``OVERLOADED`` immediately -- the broker
+  never blocks the submitting client at the queue bound.
+
+Tiers::
+
+    (default)             # full workload, process workers
+    REPRO_SERVE_QUICK=1   # small workload, inline workers (CI)
+
+A quick run merges into an existing full-tier ``BENCH_pr5.json`` under
+the ``"quick"`` key instead of clobbering the committed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+from repro.experiments import ExperimentConfig, banner, build_instance
+from repro.service import (
+    LoadgenConfig,
+    PlacementService,
+    ServiceConfig,
+    run_loadgen,
+)
+from repro.service.protocol import ResponseStatus, SolveRequest, VerifyRequest
+
+QUICK = os.environ.get("REPRO_SERVE_QUICK", "") not in ("", "0")
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
+
+SPEEDUP_FLOOR = 3.0 if QUICK else 10.0
+
+FULL = LoadgenConfig(seed=0, unique_instances=4, repeats=4, deltas=6,
+                     clients=4, burst=4, executor="process")
+SMALL = LoadgenConfig(seed=0, unique_instances=2, repeats=2, deltas=4,
+                      clients=2, burst=3, num_paths=6, rules_per_policy=6,
+                      executor="inline")
+
+
+@pytest.fixture(scope="module")
+def report() -> Dict[str, Any]:
+    return run_loadgen(SMALL if QUICK else FULL)
+
+
+class TestServiceThroughput:
+    def test_report_and_record(self, report):
+        tier = "quick" if QUICK else "full"
+        print(banner(f"Service throughput ({tier} tier)"))
+        totals = report["totals"]
+        warm = report["warm_vs_cold"]
+        coalescing = report["coalescing"]
+        print(f"  requests={totals['requests']} "
+              f"failures={totals['failures']} shed={totals['shed']} "
+              f"wall={totals['wall_seconds']:.2f}s "
+              f"throughput={totals['throughput_rps']:.1f} req/s")
+        print(f"  cold={warm['cold_mean_seconds'] * 1000:.1f}ms "
+              f"warm={warm['warm_cache_mean_seconds'] * 1000:.3f}ms "
+              f"speedup={warm['speedup']:.0f}x "
+              f"(hits={warm['warm_cache_hits']})")
+        print(f"  burst={coalescing['burst_size']} -> "
+              f"solves_started={coalescing['solves_started']} "
+              f"(coalesced_total={coalescing['coalesced_total']})")
+        for tag, row in sorted(report["latency_seconds"].items()):
+            print(f"  {tag:<7} p50={row['p50'] * 1000:8.2f}ms "
+                  f"p95={row['p95'] * 1000:8.2f}ms "
+                  f"p99={row['p99'] * 1000:8.2f}ms")
+
+        # Merge into BENCH_pr5.json: a quick run must not clobber the
+        # committed full-tier numbers.
+        existing: Dict = {}
+        if BENCH_PATH.exists():
+            existing = json.loads(BENCH_PATH.read_text())
+        if QUICK and existing.get("tier") == "full":
+            merged = dict(existing)
+            merged["quick"] = report
+        else:
+            merged = {"tier": tier, **report}
+        BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                              + "\n")
+
+    def test_zero_failures(self, report):
+        totals = report["totals"]
+        assert totals["failures"] == 0, totals["failure_statuses"]
+        assert totals["shed"] == 0   # queue=64 never sheds this workload
+
+    def test_warm_cache_speedup(self, report):
+        warm = report["warm_vs_cold"]
+        assert warm["warm_cache_hits"] > 0
+        assert warm["speedup"] >= SPEEDUP_FLOOR, (
+            f"warm cache hits only {warm['speedup']:.1f}x faster than cold "
+            f"solves (floor {SPEEDUP_FLOOR}x)")
+
+    def test_burst_coalesces_to_one_solve(self, report):
+        coalescing = report["coalescing"]
+        assert coalescing["solves_started"] == 1
+        assert coalescing["coalesced_total"] >= coalescing["burst_size"] - 1
+
+    def test_cache_hit_rate_nonzero(self, report):
+        assert report["cache"]["hits"] > 0
+        assert report["cache"]["hit_rate"] > 0.0
+
+
+class TestOverloadShedding:
+    def test_sheds_at_queue_bound_without_blocking(self):
+        """Saturate a one-slot broker with real verify work: the excess
+        is answered OVERLOADED immediately and nothing deadlocks."""
+        instance = build_instance(ExperimentConfig(
+            k=4, num_paths=4, rules_per_policy=4, seed=7))
+        config = ServiceConfig(executor="inline", dispatchers=1, max_queue=2)
+        with PlacementService(config) as service:
+            # A real solve pins the only dispatcher for long enough that
+            # the verify burst below must queue rather than drain.
+            blocker = service.submit(SolveRequest(instance))
+            tickets = []
+            started = time.monotonic()
+            for index in range(12):
+                tickets.append(service.submit(VerifyRequest(
+                    instance,
+                    placement={"status": "feasible", "placed": []},
+                    request_id=f"v{index}")))
+            submit_wall = time.monotonic() - started
+            responses = [t.result(60.0) for t in tickets]
+            assert blocker.result(60.0).ok
+        assert submit_wall < 5.0, "submit must never block on a full queue"
+        statuses = [r.status for r in responses]
+        assert ResponseStatus.OVERLOADED in statuses
+        assert all(s in (ResponseStatus.OK, ResponseStatus.OVERLOADED)
+                   for s in statuses)
+        # Admitted requests all completed: no deadlock, no lost ticket.
+        assert statuses.count(ResponseStatus.OK) >= 1

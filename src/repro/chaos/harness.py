@@ -27,12 +27,12 @@ bit-reproducibility: same seed, same bytes.
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.controller import Controller
+from ..digest import canonical_digest
 from ..core.instance import PlacementInstance
 from ..core.placement import Placement
 from ..core.reconcile import Reconciler, ReconcileStage
@@ -271,7 +271,7 @@ class ChaosHarness:
         parts.append(f"controller={sorted(report.controller_stats.items())}")
         parts.append(f"violations={report.violations}")
         parts.append(f"stage={report.final_stage.value if report.final_stage else None}")
-        return hashlib.sha256("|".join(parts).encode()).hexdigest()
+        return canonical_digest(parts)
 
 
 def run_chaos(instance: PlacementInstance, placement: Placement,

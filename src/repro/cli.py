@@ -12,7 +12,13 @@ Subcommands mirror the operational workflow:
 * ``export-lp``-- dump the exact CPLEX LP file of the encoding;
 * ``chaos``    -- deploy a placement and storm its control plane with
   seeded fault schedules, checking convergence and the fail-closed
-  invariant (exit code 1 on any failing seed).
+  invariant (exit code 1 on any failing seed);
+* ``serve``    -- run the placement daemon (NDJSON over TCP or stdio):
+  content-addressed result cache, admission control, crash-isolated
+  workers, Prometheus-style metrics;
+* ``ping``     -- liveness probe against a running daemon;
+* ``bench-serve`` -- replay the seeded mixed workload against a fresh
+  in-process daemon and write the benchmark report JSON.
 
 Example::
 
@@ -29,6 +35,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from . import io as repro_io
 from .core.ilp import build_encoding
 from .core.objectives import (
@@ -52,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ILP/SAT rule placement for SDN firewalls (DSN 2014 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesize a benchmark instance")
@@ -135,6 +144,60 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-fail-secure", action="store_true",
                        help="disable fail-secure reboots (demonstrates "
                             "the fail-closed violation they prevent)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the placement daemon (NDJSON over TCP or stdio)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve NDJSON on stdin/stdout instead of TCP")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="max concurrently live solver workers")
+    serve.add_argument("--dispatchers", type=int, default=2,
+                       help="broker dispatcher threads")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admission queue bound (OVERLOADED beyond it)")
+    serve.add_argument("--executor", choices=["process", "inline"],
+                       default="process",
+                       help="worker isolation (inline: no crash isolation)")
+    serve.add_argument("--cache-entries", type=int, default=256)
+    serve.add_argument("--cache-bytes", type=int, default=None)
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result time-to-live in seconds")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds")
+
+    ping_cmd = sub.add_parser("ping", help="probe a running daemon")
+    ping_cmd.add_argument("--host", default="127.0.0.1")
+    ping_cmd.add_argument("--port", type=int, default=7421)
+    ping_cmd.add_argument("--timeout", type=float, default=5.0)
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="replay the seeded mixed workload against a fresh daemon",
+    )
+    bench.add_argument("-o", "--output", default="BENCH_pr5.json",
+                       help="benchmark report JSON path")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--instances", type=int, default=None,
+                       help="distinct instances (cold solves)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="cache-hit repeats per instance")
+    bench.add_argument("--deltas", type=int, default=None,
+                       help="incremental delta operations")
+    bench.add_argument("--clients", type=int, default=None,
+                       help="concurrent client threads")
+    bench.add_argument("--paths", type=int, default=None,
+                       help="routed paths per instance")
+    bench.add_argument("--rules", type=int, default=None,
+                       help="rules per policy")
+    bench.add_argument("--executor", choices=["process", "inline"],
+                       default="process")
+    bench.add_argument("--quick", action="store_true",
+                       help="small workload (also via REPRO_SERVE_QUICK=1)")
 
     return parser
 
@@ -282,6 +345,109 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import PlacementService, ServiceConfig, ServiceServer
+    from .service.daemon import serve_stdio
+
+    service = PlacementService(ServiceConfig(
+        max_queue=args.queue,
+        dispatchers=args.dispatchers,
+        max_workers=args.workers,
+        executor=args.executor,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        cache_ttl=args.cache_ttl,
+        default_deadline=args.deadline,
+    ))
+    if args.stdio:
+        try:
+            return serve_stdio(service, sys.stdin, sys.stdout)
+        finally:
+            service.close()
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(f"repro {__version__} serving on "
+          f"{server.address[0]}:{server.port} "
+          f"(executor={service.pool.executor}, "
+          f"workers={args.workers}, queue={args.queue})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_ping(args: argparse.Namespace) -> int:
+    from .service.daemon import ping
+
+    try:
+        response = ping(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"ping {args.host}:{args.port} failed: {exc}", file=sys.stderr)
+        return 1
+    if not response.ok:
+        print(f"ping unhealthy: {response.status} {response.error}",
+              file=sys.stderr)
+        return 1
+    result = response.result or {}
+    print(f"pong from {args.host}:{args.port}: "
+          f"version {result.get('version')}, "
+          f"deployments {result.get('deployments', [])}")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .service.loadgen import LoadgenConfig, run_loadgen
+
+    quick = args.quick or os.environ.get("REPRO_SERVE_QUICK") == "1"
+    config = LoadgenConfig(seed=args.seed, executor=args.executor)
+    if quick:
+        config.unique_instances = 2
+        config.repeats = 2
+        config.deltas = 4
+        config.clients = 2
+        config.burst = 3
+        config.num_paths = 6
+        config.rules_per_policy = 6
+    if args.instances is not None:
+        config.unique_instances = args.instances
+    if args.repeats is not None:
+        config.repeats = args.repeats
+    if args.deltas is not None:
+        config.deltas = args.deltas
+    if args.clients is not None:
+        config.clients = args.clients
+    if args.paths is not None:
+        config.num_paths = args.paths
+    if args.rules is not None:
+        config.rules_per_policy = args.rules
+
+    report = run_loadgen(config)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    totals = report["totals"]
+    warm = report["warm_vs_cold"]
+    print(f"{totals['requests']} requests in "
+          f"{totals['wall_seconds']:.2f}s "
+          f"({totals['throughput_rps']:.1f} req/s), "
+          f"{totals['failures']} failed, {totals['shed']} shed")
+    print(f"cold mean {warm['cold_mean_seconds'] * 1e3:.1f}ms, "
+          f"warm cache mean {warm['warm_cache_mean_seconds'] * 1e3:.2f}ms "
+          f"({warm['speedup']:.0f}x), "
+          f"hit rate {report['cache']['hit_rate']:.2f}")
+    coalescing = report["coalescing"]
+    print(f"coalescing: burst of {coalescing['burst_size']} -> "
+          f"{coalescing['solves_started']:.0f} solve(s)")
+    print(f"wrote {args.output}")
+    return 0 if totals["failures"] == 0 else 1
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -290,6 +456,9 @@ _HANDLERS = {
     "export-lp": _cmd_export_lp,
     "policies": _cmd_policies,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "ping": _cmd_ping,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

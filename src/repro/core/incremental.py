@@ -116,12 +116,17 @@ class IncrementalDeployer:
     # Operations
     # ------------------------------------------------------------------
 
-    def install_policy(self, policy: Policy, paths: Sequence[Path],
-                       try_greedy: bool = True,
-                       time_limit: Optional[float] = None) -> IncrementalResult:
-        """Ingress Policy Installation: place a brand-new policy.
+    def preview_install(self, policy: Policy, paths: Sequence[Path],
+                        try_greedy: bool = True,
+                        time_limit: Optional[float] = None) -> IncrementalResult:
+        """Compute a placement for a new policy *without committing*.
 
-        Greedy-first, sub-ILP fallback; commits on success.
+        The fallback ladder in order: greedy heuristic, then the
+        restricted sub-ILP (or SAT) against spare capacities; an
+        infeasible result reports the sub-solver's verdict.  Separating
+        compute from commit lets the serving layer run the (possibly
+        crashing) compute in an isolated worker process and apply the
+        returned placement in the daemon via :meth:`commit_install`.
         """
         if policy.ingress in self._state:
             raise ValueError(f"policy for {policy.ingress!r} already deployed")
@@ -129,16 +134,32 @@ class IncrementalDeployer:
         if try_greedy:
             placed = self._greedy_place(policy, paths)
             if placed is not None:
-                self._commit(policy, paths, placed)
                 return IncrementalResult(
                     SolveStatus.FEASIBLE, "greedy",
                     time.perf_counter() - started, placed,
                     sum(len(s) for s in placed.values()),
                 )
         result = self._sub_ilp(policy, paths, time_limit)
+        result.seconds = time.perf_counter() - started
+        return result
+
+    def commit_install(self, policy: Policy, paths: Sequence[Path],
+                       placed: Dict[RuleKey, FrozenSet[str]]) -> None:
+        """Apply a previewed installation to the live state."""
+        if policy.ingress in self._state:
+            raise ValueError(f"policy for {policy.ingress!r} already deployed")
+        self._commit(policy, paths, placed)
+
+    def install_policy(self, policy: Policy, paths: Sequence[Path],
+                       try_greedy: bool = True,
+                       time_limit: Optional[float] = None) -> IncrementalResult:
+        """Ingress Policy Installation: place a brand-new policy.
+
+        Greedy-first, sub-ILP fallback; commits on success.
+        """
+        result = self.preview_install(policy, paths, try_greedy, time_limit)
         if result.is_feasible:
             self._commit(policy, paths, result.placed)
-        result.seconds = time.perf_counter() - started
         return result
 
     def remove_policy(self, ingress: str) -> int:
@@ -147,13 +168,31 @@ class IncrementalDeployer:
         Rule deletion is "relatively easy" (paper, Experiment 5): no
         solving, just bookkeeping.
         """
-        policy, paths, placed = self._state.pop(ingress)
-        freed = 0
-        for switches in placed.values():
-            for switch in switches:
-                self._loads[switch] -= 1
-                freed += 1
-        return freed
+        _policy, _paths, placed = self._release(ingress)
+        return sum(len(switches) for switches in placed.values())
+
+    def preview_reroute(self, ingress: str, new_paths: Sequence[Path],
+                        try_greedy: bool = True,
+                        time_limit: Optional[float] = None) -> IncrementalResult:
+        """Compute a re-placement on new paths *without committing*.
+
+        The deployed state is untouched on return: the old placement's
+        load is released only for the duration of the computation (so
+        spare capacities are as-if the policy were removed) and always
+        restored.
+        """
+        policy, old_paths, old_placed = self._release(ingress)
+        try:
+            return self.preview_install(policy, new_paths, try_greedy,
+                                        time_limit)
+        finally:
+            self._restore(ingress, policy, old_paths, old_placed)
+
+    def apply_reroute(self, ingress: str, new_paths: Sequence[Path],
+                      placed: Dict[RuleKey, FrozenSet[str]]) -> None:
+        """Apply a previewed reroute: swap the old placement out."""
+        policy, _old_paths, _old_placed = self._release(ingress)
+        self._commit(policy, new_paths, placed)
 
     def reroute_policy(self, ingress: str, new_paths: Sequence[Path],
                        try_greedy: bool = True,
@@ -164,31 +203,30 @@ class IncrementalDeployer:
         the old route, add variables for the new one, keep every other
         policy's placement fixed.  Rolls back on infeasibility.
         """
-        started = time.perf_counter()
-        policy, old_paths, old_placed = self._state.pop(ingress)
-        for switches in old_placed.values():
-            for switch in switches:
-                self._loads[switch] -= 1
-        if try_greedy:
-            placed = self._greedy_place(policy, new_paths)
-            if placed is not None:
-                self._commit(policy, new_paths, placed)
-                return IncrementalResult(
-                    SolveStatus.FEASIBLE, "greedy",
-                    time.perf_counter() - started, placed,
-                    sum(len(s) for s in placed.values()),
-                )
-        result = self._sub_ilp(policy, new_paths, time_limit)
+        result = self.preview_reroute(ingress, new_paths, try_greedy,
+                                      time_limit)
         if result.is_feasible:
-            self._commit(policy, new_paths, result.placed)
-        else:
-            # Roll back to the old routing and placement.
-            for switches in old_placed.values():
-                for switch in switches:
-                    self._loads[switch] = self._loads.get(switch, 0) + 1
-            self._state[ingress] = (policy, tuple(old_paths), old_placed)
-        result.seconds = time.perf_counter() - started
+            self.apply_reroute(ingress, new_paths, result.placed)
         return result
+
+    def preview_modify(self, policy: Policy,
+                       try_greedy: bool = True,
+                       time_limit: Optional[float] = None) -> IncrementalResult:
+        """Compute a rule change (delete + reinstall on the deployed
+        paths) *without committing*; state is untouched on return."""
+        if policy.ingress not in self._state:
+            raise ValueError(f"no deployed policy for {policy.ingress!r}")
+        old_policy, paths, old_placed = self._release(policy.ingress)
+        try:
+            return self.preview_install(policy, paths, try_greedy, time_limit)
+        finally:
+            self._restore(policy.ingress, old_policy, paths, old_placed)
+
+    def apply_modify(self, policy: Policy,
+                     placed: Dict[RuleKey, FrozenSet[str]]) -> None:
+        """Apply a previewed modification on the deployed paths."""
+        _old_policy, paths, _old_placed = self._release(policy.ingress)
+        self._commit(policy, paths, placed)
 
     def modify_policy(self, policy: Policy,
                       try_greedy: bool = True,
@@ -198,20 +236,10 @@ class IncrementalDeployer:
         Modelled, as in the paper, as deletion + installation of the
         updated policy on the same paths.
         """
-        if policy.ingress not in self._state:
-            raise ValueError(f"no deployed policy for {policy.ingress!r}")
-        _old_policy, paths, _old_placed = self._state[policy.ingress]
-        old_state = self._state[policy.ingress]
-        self.remove_policy(policy.ingress)
-        result = self.install_policy(
-            policy, paths, try_greedy=try_greedy, time_limit=time_limit
-        )
-        if not result.is_feasible:
-            # Roll back.
-            self._state[policy.ingress] = old_state
-            for switches in old_state[2].values():
-                for switch in switches:
-                    self._loads[switch] = self._loads.get(switch, 0) + 1
+        result = self.preview_modify(policy, try_greedy=try_greedy,
+                                     time_limit=time_limit)
+        if result.is_feasible:
+            self.apply_modify(policy, result.placed)
         return result
 
     # ------------------------------------------------------------------
@@ -221,6 +249,27 @@ class IncrementalDeployer:
     def _commit(self, policy: Policy, paths: Sequence[Path],
                 placed: Dict[RuleKey, FrozenSet[str]]) -> None:
         self._state[policy.ingress] = (policy, tuple(paths), dict(placed))
+        for switches in placed.values():
+            for switch in switches:
+                self._loads[switch] = self._loads.get(switch, 0) + 1
+
+    def _release(self, ingress: str
+                 ) -> Tuple[Policy, Tuple[Path, ...], Dict[RuleKey, FrozenSet[str]]]:
+        """Detach one policy's state, returning its load to the pool."""
+        try:
+            policy, paths, placed = self._state.pop(ingress)
+        except KeyError:
+            raise ValueError(f"no deployed policy for {ingress!r}") from None
+        for switches in placed.values():
+            for switch in switches:
+                self._loads[switch] -= 1
+        return policy, paths, placed
+
+    def _restore(self, ingress: str, policy: Policy,
+                 paths: Tuple[Path, ...],
+                 placed: Dict[RuleKey, FrozenSet[str]]) -> None:
+        """Undo a :meth:`_release` exactly."""
+        self._state[ingress] = (policy, paths, placed)
         for switches in placed.values():
             for switch in switches:
                 self._loads[switch] = self._loads.get(switch, 0) + 1

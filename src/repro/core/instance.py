@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..digest import canonical_digest, routing_parts, topology_parts
 from ..net.routing import Routing
 from ..net.topology import Topology
 from ..policy.policy import Policy, PolicySet
@@ -54,6 +55,28 @@ class PlacementInstance:
         for name in self.capacities:
             if not self.topology.has_switch(name):
                 raise ValueError(f"capacity given for unknown switch {name!r}")
+
+    def digest(self) -> str:
+        """Canonical content digest of the whole problem bundle.
+
+        Covers topology (switches/links/ports), routing (every path),
+        policies (per-ingress content digests -- the same hashes the
+        depgraph memo keys on) and the effective capacity map, all via
+        :func:`repro.digest.canonical_digest`.  Two instances built
+        independently from equal content share one digest, which is
+        exactly what the serving layer's content-addressed result cache
+        and request coalescing key on.
+        """
+
+        def parts():
+            yield from topology_parts(self.topology)
+            yield from routing_parts(self.routing)
+            for policy in sorted(self.policies, key=lambda p: p.ingress):
+                yield f"policy:{policy.ingress}:{policy.content_digest()}"
+            for name in sorted(self.capacities):
+                yield f"capacity:{name}:{self.capacities[name]}"
+
+        return canonical_digest(parts())
 
     # ------------------------------------------------------------------
     # Derived lookups

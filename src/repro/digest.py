@@ -1,0 +1,71 @@
+"""The one canonical content-hashing path.
+
+Three subsystems fingerprint content with sha256 -- the depgraph memo
+keys on policy rule content, the chaos harness fingerprints a run's
+observable outcome, and the serving layer's result cache keys on whole
+:class:`~repro.core.instance.PlacementInstance` bundles.  They must
+agree on *how* parts are folded into the hash (ordering, separators,
+encoding), or two "identical" objects can hash differently depending on
+which subsystem asked.  :func:`canonical_digest` is that single folding
+rule; the helpers below build the canonical part streams for the shared
+network-level objects.
+
+The digest is a pure function of content: no object identities, no
+dict iteration order (every stream is explicitly sorted), no floats.
+Equal content implies equal digest across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .net.routing import Routing
+    from .net.topology import Topology
+
+__all__ = [
+    "canonical_digest",
+    "routing_parts",
+    "topology_parts",
+]
+
+
+def canonical_digest(parts: Iterable[str]) -> str:
+    """sha256 over a part stream, each part length-framed.
+
+    Length framing (``len|part``) keeps the digest injective over the
+    part sequence: ``("ab", "c")`` and ``("a", "bc")`` hash differently,
+    which plain concatenation or separator joining cannot guarantee
+    when parts may contain the separator.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        encoded = part.encode("utf-8")
+        hasher.update(str(len(encoded)).encode("ascii"))
+        hasher.update(b"|")
+        hasher.update(encoded)
+    return hasher.hexdigest()
+
+
+def topology_parts(topology: "Topology") -> Iterable[str]:
+    """Canonical part stream for a topology: switches, links, ports."""
+    for switch in sorted(topology.switches, key=lambda s: s.name):
+        yield f"switch:{switch.name}:{switch.capacity}:{switch.layer}"
+    for a, b in sorted(tuple(sorted(edge)) for edge in topology.graph.edges):
+        yield f"link:{a}:{b}"
+    for port in sorted(topology.entry_ports, key=lambda p: p.name):
+        yield f"port:{port.name}:{port.switch}"
+
+
+def routing_parts(routing: "Routing") -> Iterable[str]:
+    """Canonical part stream for a routing: every path, sorted."""
+    specs = []
+    for path in routing.all_paths():
+        flow = "-" if path.flow is None else path.flow.to_string()
+        specs.append(
+            f"path:{path.ingress}:{path.egress}:"
+            f"{','.join(path.switches)}:{flow}"
+        )
+    specs.sort()
+    return specs

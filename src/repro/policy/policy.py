@@ -11,10 +11,10 @@ unmatched traffic is forwarded).
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..digest import canonical_digest
 from .rule import Action, Rule
 from .ternary import RegionSet, TernaryMatch
 
@@ -101,14 +101,15 @@ class Policy:
         from current content on every call: a mutated policy hashes to
         a new key rather than hitting a stale cache entry.
         """
-        hasher = hashlib.sha256()
-        hasher.update(self.default_action.value.encode())
-        for rule in self.sorted_rules():
-            hasher.update(
-                f"|{rule.priority}:{rule.action.value}:{rule.match.width}"
-                f":{rule.match.mask:x}:{rule.match.value:x}".encode()
-            )
-        return hasher.hexdigest()
+        def parts():
+            yield self.default_action.value
+            for rule in self.sorted_rules():
+                yield (
+                    f"{rule.priority}:{rule.action.value}:{rule.match.width}"
+                    f":{rule.match.mask:x}:{rule.match.value:x}"
+                )
+
+        return canonical_digest(parts())
 
     def next_priority_above(self) -> int:
         """A priority strictly higher than every existing rule's."""

@@ -1,0 +1,66 @@
+"""Placement-as-a-service: the long-running serving layer.
+
+Turns the repo's one-shot pipeline (solve / incremental-delta / verify)
+into a concurrent request-serving daemon: typed NDJSON protocol with
+content-addressed digests (:mod:`.protocol`), an LRU result cache with
+epoch invalidation (:mod:`.cache`), admission control with priority
+queueing / load shedding / request coalescing (:mod:`.broker`),
+crash-isolated multiprocess workers (:mod:`.workers`), and a metrics
+registry with Prometheus export (:mod:`.metrics`), assembled by
+:class:`~repro.service.daemon.PlacementService` (:mod:`.daemon`) and
+exercised by the seeded load generator (:mod:`.loadgen`).
+"""
+
+from .broker import Broker, Ticket
+from .cache import CacheStats, ResultCache
+from .daemon import PlacementService, ServiceConfig, ServiceServer
+from .loadgen import LoadgenConfig, run_loadgen
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .protocol import (
+    DeltaRequest,
+    InvalidateRequest,
+    MetricsRequest,
+    PingRequest,
+    ProtocolError,
+    Response,
+    ResponseStatus,
+    SolveRequest,
+    VerifyRequest,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from .workers import WorkerCrash, WorkerError, WorkerPool
+
+__all__ = [
+    "Broker",
+    "CacheStats",
+    "Counter",
+    "DeltaRequest",
+    "Gauge",
+    "Histogram",
+    "InvalidateRequest",
+    "LoadgenConfig",
+    "MetricsRegistry",
+    "MetricsRequest",
+    "PingRequest",
+    "PlacementService",
+    "ProtocolError",
+    "Response",
+    "ResponseStatus",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceServer",
+    "SolveRequest",
+    "Ticket",
+    "VerifyRequest",
+    "WorkerCrash",
+    "WorkerError",
+    "WorkerPool",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "run_loadgen",
+]

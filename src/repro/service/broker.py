@@ -1,0 +1,562 @@
+"""Admission control, queueing, and dispatch for the placement daemon.
+
+The broker sits between transports (socket/stdio handlers, the load
+generator, in-process callers) and the :class:`~repro.service.workers.
+WorkerPool`, and owns the serving policy:
+
+* **Admission** -- a bounded priority queue.  When the queue is full
+  the request is answered ``OVERLOADED`` *immediately*: the daemon
+  sheds load instead of buffering unboundedly or blocking the caller.
+  ``submit`` never blocks and never deadlocks.
+* **Priority** -- delta and verify requests (sub-second by design,
+  the paper's Section IV-E latency class) preempt queued full solves;
+  within a class, FIFO.
+* **Coalescing** -- identical in-flight solve digests share one solve:
+  the second submitter attaches to the first request's flight and both
+  receive the same answer (``served="coalesced"`` on the joiners).
+* **Caching** -- solved results land in the content-addressed
+  :class:`~repro.service.cache.ResultCache`; a hit is answered at
+  admission time without queueing (``served="cache"``).
+* **Deadlines** -- a request that is still queued when its deadline
+  passes is answered ``DEADLINE_EXCEEDED``; the remaining budget of a
+  dispatched request bounds both the solver and the worker process.
+* **Deployments** -- named live :class:`~repro.core.incremental.
+  IncrementalDeployer` states.  A solve with ``deploy_as`` registers
+  one; deltas preview in an isolated worker and are committed to the
+  live state only on success, serialized per deployment.
+
+Worker failures map onto response statuses: a task exception is
+``ERROR``, a hard worker death is ``WORKER_CRASHED`` -- both scoped to
+the one request, the daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from .. import io as repro_io
+from ..core.incremental import IncrementalDeployer
+from ..core.instance import RuleKey
+from .cache import ResultCache
+from .metrics import MetricsRegistry
+from .protocol import (
+    DeltaRequest,
+    Response,
+    ResponseStatus,
+    SolveRequest,
+    VerifyRequest,
+)
+from .workers import (
+    WorkerCrash,
+    WorkerError,
+    WorkerPool,
+    delta_task,
+    solve_task,
+    verify_task,
+)
+
+__all__ = ["Broker", "Ticket"]
+
+#: Seconds of grace the worker gets past the request deadline before it
+#: is terminated -- enough to post a TIME_LIMIT incumbent, mirroring
+#: the portfolio race's grace window.
+_WORKER_GRACE = 0.5
+
+
+class Ticket:
+    """A future for one submitted request."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[Response] = None
+
+    def resolve(self, response: Response) -> None:
+        self._response = response
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        return self._response
+
+
+class _Flight:
+    """One queued/solving request plus everyone coalesced onto it."""
+
+    def __init__(self, request, ticket: Ticket, admitted_at: float,
+                 cache_key: Optional[str]) -> None:
+        self.request = request
+        self.tickets: List[Ticket] = [ticket]
+        self.admitted_at = admitted_at
+        self.cache_key = cache_key
+
+    def resolve(self, response: Response) -> None:
+        for index, ticket in enumerate(self.tickets):
+            if index == 0:
+                ticket.resolve(response)
+            else:
+                ticket.resolve(dataclasses.replace(response,
+                                                   served="coalesced"))
+
+
+class _Deployment:
+    """A named live deployer plus its serialization lock."""
+
+    def __init__(self, deployer: IncrementalDeployer) -> None:
+        self.deployer = deployer
+        self.lock = threading.Lock()
+
+
+class Broker:
+    """The serving core: admission, queueing, dispatch, deployments."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_queue: int = 64,
+        dispatchers: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be >= 1")
+        self.pool = pool
+        self.cache = cache if cache is not None else ResultCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_queue = max_queue
+        self.clock = clock
+
+        self._heap: List[Tuple[int, int, _Flight]] = []
+        self._seq = itertools.count()
+        self._inflight: Dict[str, _Flight] = {}
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._closed = False
+
+        self._deployments: Dict[str, _Deployment] = {}
+
+        # Instruments (created eagerly so exports are stable).
+        m = self.metrics
+        self._c_requests = {
+            "solve": m.counter("requests_solve_total",
+                               "full solve requests admitted or answered"),
+            "delta": m.counter("requests_delta_total",
+                               "incremental delta requests"),
+            "verify": m.counter("requests_verify_total",
+                                "verification requests"),
+        }
+        self._c_shed = m.counter("shed_total",
+                                 "requests answered OVERLOADED at admission")
+        self._c_coalesced = m.counter("coalesced_total",
+                                      "solves joined onto an in-flight digest")
+        self._c_solves = m.counter("solves_started_total",
+                                   "solver executions actually started")
+        self._c_crashes = m.counter("worker_crashes_total",
+                                    "workers that died without answering")
+        self._c_expired = m.counter("deadline_expired_total",
+                                    "requests expired while queued")
+        self._c_by_status: Dict[str, Any] = {}
+        for status in (ResponseStatus.OK, ResponseStatus.INFEASIBLE,
+                       ResponseStatus.OVERLOADED,
+                       ResponseStatus.DEADLINE_EXCEEDED,
+                       ResponseStatus.WORKER_CRASHED,
+                       ResponseStatus.BAD_REQUEST, ResponseStatus.ERROR):
+            self._c_by_status[status] = m.counter(
+                f"responses_{status}_total", f"responses with status {status}"
+            )
+        self._g_queue = m.gauge("queue_depth", "requests waiting for dispatch")
+        self._g_busy = m.gauge("busy_workers", "requests currently executing")
+        self._h_latency = {
+            "solve": m.histogram("solve_latency_seconds",
+                                 "admission-to-answer latency of solves"),
+            "delta": m.histogram("delta_latency_seconds",
+                                 "admission-to-answer latency of deltas"),
+            "verify": m.histogram("verify_latency_seconds",
+                                  "admission-to-answer latency of verifies"),
+        }
+        self._h_queue_wait = m.histogram("queue_wait_seconds",
+                                         "time spent queued before dispatch")
+
+        self._threads = [
+            threading.Thread(target=self._dispatch_loop,
+                             name=f"repro-dispatch-{i}", daemon=True)
+            for i in range(dispatchers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission (transport threads)
+    # ------------------------------------------------------------------
+
+    def submit(self, request) -> Ticket:
+        """Admit one request; always returns immediately.
+
+        The ticket may already be resolved (cache hit, shed, closed).
+        """
+        ticket = Ticket()
+        now = self.clock()
+        kind = request.kind
+        self._c_requests[kind].inc()
+
+        cache_key: Optional[str] = None
+        if isinstance(request, SolveRequest):
+            cache_key = request.cache_key()
+            cached = self.cache.get(cache_key)
+            if cached is not None and request.deploy_as is None:
+                response = Response(
+                    status=cached["status"], kind=kind,
+                    request_id=request.request_id,
+                    result=cached["result"], served="cache",
+                    cache_key=cache_key, seconds=self.clock() - now,
+                )
+                self._finish(ticket, None, response, kind, now)
+                return ticket
+
+        with self._lock:
+            if self._closed:
+                response = Response(
+                    status=ResponseStatus.ERROR, kind=kind,
+                    request_id=request.request_id,
+                    error="service is shutting down",
+                )
+                self._resolve_locked(ticket, response, kind, now)
+                return ticket
+            if cache_key is not None:
+                flight = self._inflight.get(cache_key)
+                if flight is not None and request.deploy_as is None:
+                    flight.tickets.append(ticket)
+                    self._c_coalesced.inc()
+                    return ticket
+            if len(self._heap) >= self.max_queue:
+                self._c_shed.inc()
+                response = Response(
+                    status=ResponseStatus.OVERLOADED, kind=kind,
+                    request_id=request.request_id,
+                    error=f"queue full ({self.max_queue} pending)",
+                )
+                self._resolve_locked(ticket, response, kind, now)
+                return ticket
+            flight = _Flight(request, ticket, now, cache_key)
+            if cache_key is not None:
+                self._inflight[cache_key] = flight
+            heapq.heappush(self._heap,
+                           (request.priority, next(self._seq), flight))
+            self._g_queue.set(len(self._heap))
+            self._work_ready.notify()
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Deployments
+    # ------------------------------------------------------------------
+
+    def deployments(self) -> List[str]:
+        with self._lock:
+            return sorted(self._deployments)
+
+    def deployment_deployer(self, name: str) -> IncrementalDeployer:
+        """The live deployer (tests and the daemon's status report)."""
+        with self._lock:
+            return self._deployments[name].deployer
+
+    def register_deployment(self, name: str,
+                            deployer: IncrementalDeployer) -> None:
+        """Install/replace a named deployment (idempotent by name)."""
+        with self._lock:
+            self._deployments[name] = _Deployment(deployer)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop dispatching; pending requests are answered ERROR."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = [flight for _p, _s, flight in self._heap]
+            self._heap.clear()
+            self._inflight.clear()
+            self._g_queue.set(0)
+            self._work_ready.notify_all()
+        for flight in pending:
+            flight.resolve(Response(
+                status=ResponseStatus.ERROR, kind=flight.request.kind,
+                request_id=flight.request.request_id,
+                error="service is shutting down",
+            ))
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # Dispatch loop (dispatcher threads)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._heap and not self._closed:
+                    self._work_ready.wait()
+                if self._closed:
+                    return
+                _priority, _seq, flight = heapq.heappop(self._heap)
+                self._g_queue.set(len(self._heap))
+            self._execute(flight)
+
+    def _execute(self, flight: _Flight) -> None:
+        request = flight.request
+        kind = request.kind
+        waited = self.clock() - flight.admitted_at
+        self._h_queue_wait.observe(waited)
+
+        remaining: Optional[float] = None
+        if request.deadline is not None:
+            remaining = request.deadline - waited
+            if remaining <= 0:
+                self._c_expired.inc()
+                self._finish(None, flight, Response(
+                    status=ResponseStatus.DEADLINE_EXCEEDED, kind=kind,
+                    request_id=request.request_id,
+                    error=f"deadline ({request.deadline:.3f}s) passed "
+                          f"after {waited:.3f}s in queue",
+                ), kind, flight.admitted_at)
+                return
+
+        self._g_busy.inc()
+        try:
+            if isinstance(request, SolveRequest):
+                response = self._run_solve(request, remaining)
+            elif isinstance(request, DeltaRequest):
+                response = self._run_delta(request, remaining)
+            elif isinstance(request, VerifyRequest):
+                response = self._run_verify(request, remaining)
+            else:  # pragma: no cover - submit() only admits these three
+                response = Response(
+                    status=ResponseStatus.BAD_REQUEST, kind=kind,
+                    error=f"broker cannot execute kind {kind!r}",
+                )
+        except Exception as exc:  # pragma: no cover - defensive net
+            response = Response(
+                status=ResponseStatus.ERROR, kind=kind,
+                error=f"dispatcher failure: {type(exc).__name__}: {exc}",
+            )
+        finally:
+            self._g_busy.dec()
+        response.request_id = request.request_id
+        self._finish(None, flight, response, kind, flight.admitted_at)
+
+    # ------------------------------------------------------------------
+    # Executors per request kind
+    # ------------------------------------------------------------------
+
+    def _pool_timeout(self, remaining: Optional[float]) -> Optional[float]:
+        return None if remaining is None else remaining + _WORKER_GRACE
+
+    def _run_solve(self, request: SolveRequest,
+                   remaining: Optional[float]) -> Response:
+        self._c_solves.inc()
+        try:
+            payload = self.pool.run(
+                solve_task, request, remaining,
+                timeout=self._pool_timeout(remaining),
+            )
+        except WorkerCrash as exc:
+            self._c_crashes.inc()
+            return Response(status=ResponseStatus.WORKER_CRASHED,
+                            kind=request.kind, error=str(exc))
+        except TimeoutError as exc:
+            return Response(status=ResponseStatus.DEADLINE_EXCEEDED,
+                            kind=request.kind, error=str(exc))
+        except WorkerError as exc:
+            return Response(status=ResponseStatus.ERROR,
+                            kind=request.kind, error=str(exc))
+
+        status = (ResponseStatus.OK if payload["feasible"]
+                  else ResponseStatus.INFEASIBLE)
+        result = {
+            "placement": payload["placement"],
+            "objective": payload["objective"],
+            "installed_rules": payload["installed_rules"],
+            "summary": payload["summary"],
+        }
+        cache_key = request.cache_key()
+        self.cache.put(cache_key, {"status": status, "result": result})
+
+        if request.deploy_as is not None and payload["feasible"]:
+            placement = repro_io.placement_from_dict(
+                payload["placement"], request.instance
+            )
+            self.register_deployment(
+                request.deploy_as, IncrementalDeployer(placement)
+            )
+            result = dict(result)
+            result["deployed_as"] = request.deploy_as
+        return Response(status=status, kind=request.kind, result=result,
+                        served="solved", cache_key=cache_key)
+
+    def _run_delta(self, request: DeltaRequest,
+                   remaining: Optional[float]) -> Response:
+        with self._lock:
+            deployment = self._deployments.get(request.deployment)
+        if deployment is None:
+            return Response(
+                status=ResponseStatus.BAD_REQUEST, kind=request.kind,
+                error=f"unknown deployment {request.deployment!r}",
+            )
+        # Serialize per deployment: previews read the live state and
+        # commits mutate it; two racing deltas must not interleave.
+        with deployment.lock:
+            deployer = deployment.deployer
+            if request.op == "remove":
+                # Pure bookkeeping (paper: deletion is "relatively
+                # easy") -- no worker needed, nothing can crash.
+                try:
+                    freed = deployer.remove_policy(request.ingress)
+                except (KeyError, ValueError) as exc:
+                    return Response(
+                        status=ResponseStatus.BAD_REQUEST,
+                        kind=request.kind, error=str(exc),
+                    )
+                return Response(
+                    status=ResponseStatus.OK, kind=request.kind,
+                    served="inline",
+                    result={"op": "remove", "freed_slots": freed,
+                            "method": "bookkeeping",
+                            "total_installed": deployer.total_installed()},
+                )
+            try:
+                payload = self.pool.run(
+                    delta_task, deployer, request, remaining,
+                    timeout=self._pool_timeout(remaining),
+                )
+            except WorkerCrash as exc:
+                self._c_crashes.inc()
+                return Response(status=ResponseStatus.WORKER_CRASHED,
+                                kind=request.kind, error=str(exc))
+            except TimeoutError as exc:
+                return Response(status=ResponseStatus.DEADLINE_EXCEEDED,
+                                kind=request.kind, error=str(exc))
+            except WorkerError as exc:
+                # A preview that raised ValueError (unknown ingress,
+                # duplicate policy) is the client's mistake, not ours.
+                message = str(exc)
+                status = (ResponseStatus.BAD_REQUEST
+                          if "ValueError:" in message
+                          else ResponseStatus.ERROR)
+                return Response(status=status, kind=request.kind,
+                                error=message)
+
+            if not payload["feasible"]:
+                return Response(
+                    status=ResponseStatus.INFEASIBLE, kind=request.kind,
+                    served="solved",
+                    result={"op": request.op, "status": payload["status"],
+                            "method": payload["method"],
+                            "solve_seconds": payload["seconds"]},
+                )
+            placed = _placed_from(payload["placed"])
+            if request.op == "install":
+                policy = repro_io.policy_from_dict(request.policy)
+                paths = _request_paths(request)
+                deployer.commit_install(policy, paths, placed)
+            elif request.op == "reroute":
+                deployer.apply_reroute(
+                    request.ingress, _request_paths(request), placed
+                )
+            else:  # modify
+                policy = repro_io.policy_from_dict(request.policy)
+                deployer.apply_modify(policy, placed)
+            return Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                served="solved",
+                result={
+                    "op": request.op,
+                    "method": payload["method"],
+                    "installed_rules": payload["installed_rules"],
+                    "solve_seconds": payload["seconds"],
+                    "total_installed": deployer.total_installed(),
+                },
+            )
+
+    def _run_verify(self, request: VerifyRequest,
+                    remaining: Optional[float]) -> Response:
+        try:
+            payload = self.pool.run(
+                verify_task, request.instance, request.placement,
+                timeout=self._pool_timeout(remaining),
+            )
+        except WorkerCrash as exc:
+            self._c_crashes.inc()
+            return Response(status=ResponseStatus.WORKER_CRASHED,
+                            kind=request.kind, error=str(exc))
+        except TimeoutError as exc:
+            return Response(status=ResponseStatus.DEADLINE_EXCEEDED,
+                            kind=request.kind, error=str(exc))
+        except WorkerError as exc:
+            return Response(status=ResponseStatus.ERROR,
+                            kind=request.kind, error=str(exc))
+        return Response(status=ResponseStatus.OK, kind=request.kind,
+                        served="solved", result=payload)
+
+    # ------------------------------------------------------------------
+    # Completion plumbing
+    # ------------------------------------------------------------------
+
+    def _finish(self, ticket: Optional[Ticket], flight: Optional[_Flight],
+                response: Response, kind: str, admitted_at: float) -> None:
+        """Resolve a ticket or a whole flight, with metrics."""
+        elapsed = self.clock() - admitted_at
+        if response.seconds is None:
+            response.seconds = elapsed
+        self._c_by_status[response.status].inc()
+        if kind in self._h_latency:
+            self._h_latency[kind].observe(elapsed)
+        if flight is not None:
+            if flight.cache_key is not None:
+                with self._lock:
+                    if self._inflight.get(flight.cache_key) is flight:
+                        del self._inflight[flight.cache_key]
+            flight.resolve(response)
+        elif ticket is not None:
+            ticket.resolve(response)
+
+    def _resolve_locked(self, ticket: Ticket, response: Response,
+                        kind: str, admitted_at: float) -> None:
+        """_finish for paths already holding the broker lock."""
+        if response.seconds is None:
+            response.seconds = self.clock() - admitted_at
+        self._c_by_status[response.status].inc()
+        if kind in self._h_latency:
+            self._h_latency[kind].observe(self.clock() - admitted_at)
+        ticket.resolve(response)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _placed_from(entries) -> Dict[RuleKey, FrozenSet[str]]:
+    return {
+        (entry["ingress"], entry["priority"]): frozenset(entry["switches"])
+        for entry in entries
+    }
+
+
+def _request_paths(request: DeltaRequest):
+    from .workers import _paths_from
+
+    return _paths_from(request.paths)

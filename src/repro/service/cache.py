@@ -1,0 +1,258 @@
+"""Content-addressed LRU result cache for solved placements.
+
+Placement answers are pure functions of the request content digest
+(:meth:`SolveRequest.cache_key`), so the cache is a plain
+digest -> response-payload map with three bounded resources:
+
+* **entries** -- hard cap on the number of cached results (LRU);
+* **bytes**   -- hard cap on the summed (estimated) payload sizes, so
+  a few giant placements cannot squeeze out everything else;
+* **time**    -- optional TTL per entry; expired entries count as
+  misses and are dropped on access.
+
+Invalidation is *epoch-based*: the cache carries a ``topology`` and a
+``policy`` epoch, every entry is stamped with both at insert, and
+:meth:`bump_epoch` makes all earlier entries unservable at once --
+the right semantics for "the network changed under us" where
+enumerating affected digests is impossible.  Stale entries are swept
+lazily (on access) and eagerly via :meth:`purge_stale`.
+
+All operations are thread-safe and O(1) amortized; counters for
+hits/misses/evictions/expirations/invalidations feed the service
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Copy of the cache counters at one instant."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Entry:
+    __slots__ = ("payload", "size", "stored_at", "epochs")
+
+    def __init__(self, payload: Dict[str, Any], size: int,
+                 stored_at: float, epochs: Tuple[int, int]) -> None:
+        self.payload = payload
+        self.size = size
+        self.stored_at = stored_at
+        self.epochs = epochs
+
+
+class ResultCache:
+    """digest -> result payload, LRU over entries and bytes, with TTL
+    and epoch invalidation.
+
+    ``clock`` is injectable for deterministic TTL tests; ``sizer``
+    estimates a payload's footprint (defaults to the length of its
+    compact JSON encoding -- proportional to what the wire would
+    carry, cheap, and deterministic).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_bytes: Optional[int] = None,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sizer: Optional[Callable[[Dict[str, Any]], int]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl = ttl
+        self._clock = clock
+        self._sizer = sizer or _json_size
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._epochs = {"topology": 0, "policy": 0}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Core map operations
+    # ------------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or ``None`` (counted as hit or miss)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None and not self._servable(entry):
+                self._drop(digest, entry)
+                entry = None
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._hits += 1
+            return entry.payload
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Insert/replace; evicts LRU entries past either bound."""
+        size = self._sizer(payload)
+        with self._lock:
+            old = self._entries.pop(digest, None)
+            if old is not None:
+                self._bytes -= old.size
+            entry = _Entry(
+                payload, size, self._clock(),
+                (self._epochs["topology"], self._epochs["policy"]),
+            )
+            self._entries[digest] = entry
+            self._bytes += size
+            while len(self._entries) > self.max_entries:
+                self._evict_lru()
+            if self.max_bytes is not None:
+                # A payload bigger than the whole budget can never be
+                # cached; the loop below would otherwise evict
+                # everything *and* the new entry, which it does --
+                # leaving the cache empty but correct.
+                while self._bytes > self.max_bytes and self._entries:
+                    self._evict_lru()
+
+    def invalidate(self, digest: str) -> bool:
+        """Drop one entry by digest; True if it existed."""
+        with self._lock:
+            entry = self._entries.pop(digest, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.size
+            self._invalidations += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+
+    def bump_epoch(self, scope: str = "all") -> Dict[str, int]:
+        """Advance the ``topology``/``policy``/``all`` epoch; entries
+        stamped under older epochs stop being served (swept lazily)."""
+        if scope not in ("topology", "policy", "all"):
+            raise ValueError(f"unknown epoch scope {scope!r}")
+        with self._lock:
+            for key in self._epochs:
+                if scope in (key, "all"):
+                    self._epochs[key] += 1
+            return dict(self._epochs)
+
+    def epochs(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._epochs)
+
+    def purge_stale(self) -> int:
+        """Eagerly sweep expired/stale-epoch entries; returns count."""
+        with self._lock:
+            doomed = [
+                (digest, entry) for digest, entry in self._entries.items()
+                if not self._servable(entry)
+            ]
+            for digest, entry in doomed:
+                self._drop(digest, entry)
+            return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        """Membership without touching LRU order or counters."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            return entry is not None and self._servable(entry)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+                bytes=self._bytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Internals (callers hold the lock)
+    # ------------------------------------------------------------------
+
+    def _servable(self, entry: _Entry) -> bool:
+        if entry.epochs != (self._epochs["topology"], self._epochs["policy"]):
+            return False
+        if self.ttl is not None and self._clock() - entry.stored_at > self.ttl:
+            return False
+        return True
+
+    def _drop(self, digest: str, entry: _Entry) -> None:
+        """Remove a dead entry, attributing it to TTL or epoch."""
+        del self._entries[digest]
+        self._bytes -= entry.size
+        if entry.epochs != (self._epochs["topology"], self._epochs["policy"]):
+            self._invalidations += 1
+        else:
+            self._expirations += 1
+
+    def _evict_lru(self) -> None:
+        digest, entry = self._entries.popitem(last=False)
+        self._bytes -= entry.size
+        self._evictions += 1
+
+
+def _json_size(payload: Dict[str, Any]) -> int:
+    import json
+
+    return len(json.dumps(payload, separators=(",", ":")))

@@ -1,0 +1,272 @@
+"""The placement daemon: service facade and NDJSON transports.
+
+:class:`PlacementService` assembles the serving stack -- metrics
+registry, content-addressed result cache, worker pool, broker -- behind
+two call styles:
+
+* **in-process**: ``service.submit(request)`` returns a ticket
+  (future); ``service.handle(request)`` blocks for the response.  The
+  load generator and the test suite drive the service this way.
+* **over the wire**: :class:`ServiceServer` speaks newline-delimited
+  JSON over TCP (``repro serve --port``) or stdio (``repro serve
+  --stdio``).  One request per line, one response per line, ``id``
+  correlation via ``request_id``; a malformed line gets a
+  ``BAD_REQUEST`` response instead of killing the connection.
+
+Control-plane requests (``ping``, ``metrics``, ``invalidate``) are
+answered inline without queueing -- liveness probes must work *because*
+the daemon is overloaded, not when it happens to be idle.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional
+
+from .. import __version__
+from .broker import Broker, Ticket
+from .cache import ResultCache
+from .metrics import MetricsRegistry
+from .protocol import (
+    InvalidateRequest,
+    MetricsRequest,
+    PingRequest,
+    ProtocolError,
+    Request,
+    Response,
+    ResponseStatus,
+    decode_request,
+    encode_response,
+)
+from .workers import WorkerPool
+
+__all__ = ["PlacementService", "ServiceConfig", "ServiceServer"]
+
+
+class ServiceConfig:
+    """Every serving knob in one bag (CLI flags map 1:1 onto these)."""
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        dispatchers: int = 2,
+        max_workers: int = 4,
+        executor: str = "process",
+        cache_entries: int = 256,
+        cache_bytes: Optional[int] = None,
+        cache_ttl: Optional[float] = None,
+        default_deadline: Optional[float] = None,
+    ) -> None:
+        self.max_queue = max_queue
+        self.dispatchers = dispatchers
+        self.max_workers = max_workers
+        self.executor = executor
+        self.cache_entries = cache_entries
+        self.cache_bytes = cache_bytes
+        self.cache_ttl = cache_ttl
+        self.default_deadline = default_deadline
+
+
+class PlacementService:
+    """The assembled serving stack (broker + cache + workers + metrics)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            max_bytes=self.config.cache_bytes,
+            ttl=self.config.cache_ttl,
+        )
+        self.pool = WorkerPool(
+            executor=self.config.executor,
+            max_workers=self.config.max_workers,
+        )
+        self.broker = Broker(
+            pool=self.pool,
+            cache=self.cache,
+            metrics=self.metrics,
+            max_queue=self.config.max_queue,
+            dispatchers=self.config.dispatchers,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # In-process API
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> Ticket:
+        """Admit one request; control-plane kinds resolve instantly."""
+        if isinstance(request, PingRequest):
+            ticket = Ticket()
+            ticket.resolve(Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                request_id=request.request_id,
+                result={"pong": True, "version": __version__,
+                        "deployments": self.broker.deployments()},
+            ))
+            return ticket
+        if isinstance(request, MetricsRequest):
+            ticket = Ticket()
+            snapshot = self.metrics.snapshot()
+            snapshot["cache"] = self.cache.stats().as_dict()
+            ticket.resolve(Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                request_id=request.request_id,
+                result={"metrics": snapshot,
+                        "prometheus": self.metrics.render_prometheus()},
+            ))
+            return ticket
+        if isinstance(request, InvalidateRequest):
+            ticket = Ticket()
+            epochs = self.cache.bump_epoch(request.scope)
+            swept = self.cache.purge_stale()
+            ticket.resolve(Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                request_id=request.request_id,
+                result={"scope": request.scope, "epochs": epochs,
+                        "swept_entries": swept},
+            ))
+            return ticket
+        if (getattr(request, "deadline", None) is None
+                and self.config.default_deadline is not None):
+            request.deadline = self.config.default_deadline
+        return self.broker.submit(request)
+
+    def handle(self, request: Request,
+               timeout: Optional[float] = None) -> Response:
+        """Submit and block for the answer."""
+        return self.submit(request).result(timeout)
+
+    def handle_line(self, line: str) -> str:
+        """One NDJSON request line -> one NDJSON response line."""
+        request_id: Optional[str] = None
+        try:
+            try:
+                request_id = json.loads(line).get("request_id")
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return encode_response(Response(
+                status=ResponseStatus.BAD_REQUEST,
+                request_id=request_id, error=str(exc),
+            ))
+        return encode_response(self.handle(request))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.broker.close()
+
+    def __enter__(self) -> "PlacementService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Operator snapshot: versions, cache, queue, deployments."""
+        return {
+            "version": __version__,
+            "executor": self.pool.executor,
+            "cache": self.cache.stats().as_dict(),
+            "deployments": self.broker.deployments(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Wire transports
+# ---------------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: PlacementService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            answer = service.handle_line(line)
+            try:
+                self.wfile.write(answer.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServiceServer:
+    """NDJSON-over-TCP front end for one :class:`PlacementService`."""
+
+    def __init__(self, service: PlacementService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._server = _ThreadedTCPServer((host, port), _Handler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple:
+        return self._server.server_address
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve", daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI daemon path)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self.service.close()
+
+
+def serve_stdio(service: PlacementService, stdin, stdout) -> int:
+    """NDJSON over stdio: read request lines until EOF."""
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        stdout.write(service.handle_line(line) + "\n")
+        stdout.flush()
+    return 0
+
+
+def ping(host: str, port: int, timeout: float = 5.0) -> Response:
+    """Client-side liveness probe against a running daemon."""
+    from .protocol import decode_response, encode_request
+
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall((encode_request(PingRequest()) + "\n").encode("utf-8"))
+        reader = conn.makefile("r", encoding="utf-8")
+        line = reader.readline()
+    if not line:
+        raise ConnectionError("daemon closed the connection without answering")
+    return decode_response(line.strip())

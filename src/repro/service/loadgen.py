@@ -1,0 +1,333 @@
+"""Seeded load generator for the placement service.
+
+Replays a deterministic mixed workload against a
+:class:`~repro.service.daemon.PlacementService` from concurrent client
+threads and measures what the serving layer is for:
+
+* **cold solves**   -- distinct instances, every one a cache miss;
+* **warm repeats**  -- the same instances again, answered from the
+  content-addressed cache;
+* **coalesced burst** -- one fresh digest submitted simultaneously by
+  every client; exactly one solve must run;
+* **incremental deltas** -- install/remove/reroute against a live
+  deployment through the greedy->sub-ILP ladder.
+
+The report (written to ``BENCH_pr5.json`` by ``repro bench-serve`` and
+``benchmarks/test_service_throughput.py``) records throughput,
+per-class latency quantiles, the warm/cold speedup, cache statistics,
+and the raw service counters.  Everything is seeded: same seed, same
+workload, same request mix.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import io as repro_io
+from ..experiments.generators import ExperimentConfig, build_instance
+from ..net.routing import Routing, ShortestPathRouter
+from ..policy.classbench import generate_policy_set
+from .daemon import PlacementService, ServiceConfig
+from .protocol import DeltaRequest, Response, ResponseStatus, SolveRequest
+
+__all__ = ["LoadgenConfig", "run_loadgen"]
+
+#: Deployment name the generated delta traffic targets.
+_DEPLOYMENT = "loadgen"
+
+
+@dataclass
+class LoadgenConfig:
+    """Shape of the generated workload (all deterministic in ``seed``)."""
+
+    seed: int = 0
+    #: Distinct instances (cold solves).
+    unique_instances: int = 4
+    #: Cache-hit repeats per instance.
+    repeats: int = 4
+    #: Incremental delta operations.
+    deltas: int = 6
+    #: Concurrent client threads.
+    clients: int = 4
+    #: Simultaneous identical submissions in the coalescing burst.
+    burst: int = 4
+    # Instance shape.
+    k: int = 4
+    num_paths: int = 8
+    rules_per_policy: int = 8
+    capacity: int = 60
+    # Service shape (used when no service is injected).
+    backend: str = "highs"
+    executor: str = "process"
+    max_queue: int = 64
+    dispatchers: int = 2
+    max_workers: int = 4
+    request_timeout: float = 300.0
+
+
+@dataclass
+class _Sample:
+    tag: str        # cold | warm | burst | delta
+    status: str
+    served: Optional[str]
+    seconds: float
+
+
+@dataclass
+class _Phase:
+    name: str
+    samples: List[_Sample] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+
+def run_loadgen(config: Optional[LoadgenConfig] = None,
+                service: Optional[PlacementService] = None) -> Dict[str, Any]:
+    """Run the full workload; returns the JSON-able report."""
+    config = config or LoadgenConfig()
+    own_service = service is None
+    if own_service:
+        service = PlacementService(ServiceConfig(
+            max_queue=config.max_queue,
+            dispatchers=config.dispatchers,
+            max_workers=config.max_workers,
+            executor=config.executor,
+        ))
+    try:
+        return _run(config, service)
+    finally:
+        if own_service:
+            service.close()
+
+
+def _run(config: LoadgenConfig, service: PlacementService) -> Dict[str, Any]:
+    instances = [
+        build_instance(ExperimentConfig(
+            k=config.k, num_paths=config.num_paths,
+            rules_per_policy=config.rules_per_policy,
+            capacity=config.capacity, seed=config.seed + index,
+        ))
+        for index in range(config.unique_instances)
+    ]
+    started = time.perf_counter()
+    phases: List[_Phase] = []
+
+    # Phase 1 -- cold solves, all distinct digests, concurrent clients.
+    # The first instance also registers the deployment the delta phase
+    # will evolve.
+    cold_requests = [
+        SolveRequest(
+            instance=instance, backend=config.backend,
+            deploy_as=_DEPLOYMENT if index == 0 else None,
+            request_id=f"cold-{index}",
+        )
+        for index, instance in enumerate(instances)
+    ]
+    phases.append(_fan_out(service, "cold", cold_requests,
+                           config.clients, config.request_timeout))
+
+    # Phase 2 -- warm repeats: every instance again, several times.
+    # deploy_as is deliberately absent so the cache can answer.
+    warm_requests = [
+        SolveRequest(instance=instance, backend=config.backend,
+                     request_id=f"warm-{index}-{repeat}")
+        for repeat in range(config.repeats)
+        for index, instance in enumerate(instances)
+    ]
+    phases.append(_fan_out(service, "warm", warm_requests,
+                           config.clients, config.request_timeout))
+
+    # Phase 3 -- coalescing burst: one *fresh* digest, submitted by
+    # every client at once; the broker must run exactly one solve.
+    fresh = build_instance(ExperimentConfig(
+        k=config.k, num_paths=config.num_paths,
+        rules_per_policy=config.rules_per_policy,
+        capacity=config.capacity,
+        seed=config.seed + config.unique_instances,
+    ))
+    solves_before = _counter(service, "solves_started_total")
+    burst_requests = [
+        SolveRequest(instance=fresh, backend=config.backend,
+                     request_id=f"burst-{index}")
+        for index in range(config.burst)
+    ]
+    phases.append(_fan_out(service, "burst", burst_requests,
+                           config.burst, config.request_timeout,
+                           simultaneous=True))
+    burst_solves = _counter(service, "solves_started_total") - solves_before
+
+    # Phase 4 -- incremental deltas against the live deployment:
+    # install a fresh policy on a fresh port, then remove it, round-
+    # robin over the free entry ports; every op is latency-class work.
+    phases.append(_delta_phase(config, service, instances[0]))
+
+    total_wall = time.perf_counter() - started
+    return _report(config, service, phases, total_wall, burst_solves)
+
+
+# ---------------------------------------------------------------------------
+# Phase runners
+# ---------------------------------------------------------------------------
+
+
+def _fan_out(service: PlacementService, tag: str, requests,
+             clients: int, timeout: float,
+             simultaneous: bool = False) -> _Phase:
+    """Drive ``requests`` from ``clients`` threads; collect samples.
+
+    ``simultaneous`` holds every client at a barrier so all submissions
+    hit the broker while the first is still solving (the coalescing
+    scenario); otherwise clients drain a shared work list.
+    """
+    phase = _Phase(tag)
+    work = list(requests)
+    work_lock = threading.Lock()
+    barrier = threading.Barrier(min(clients, len(work))) if simultaneous else None
+
+    def client() -> None:
+        while True:
+            with work_lock:
+                if not work:
+                    return
+                request = work.pop(0)
+            if barrier is not None:
+                barrier.wait()
+            begun = time.perf_counter()
+            try:
+                response = service.handle(request, timeout=timeout)
+            except TimeoutError:
+                response = Response(status=ResponseStatus.ERROR,
+                                    error="client timeout")
+            phase.samples.append(_Sample(
+                tag, response.status, response.served,
+                time.perf_counter() - begun,
+            ))
+
+    threads = [threading.Thread(target=client, name=f"loadgen-{tag}-{i}")
+               for i in range(min(clients, len(work)))]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    phase.wall_seconds = time.perf_counter() - begun
+    return phase
+
+
+def _delta_phase(config: LoadgenConfig, service: PlacementService,
+                 instance) -> _Phase:
+    """install/remove/reroute ops against the registered deployment."""
+    topo = instance.topology
+    router = ShortestPathRouter(topo, seed=config.seed)
+    ports = [p.name for p in topo.entry_ports]
+    used = set(instance.policies.ingresses)
+    free = [p for p in ports if p not in used]
+    requests: List[DeltaRequest] = []
+    for index in range(config.deltas):
+        port = free[index % len(free)]
+        policy = generate_policy_set(
+            [port], rules_per_policy=max(3, config.rules_per_policy // 2),
+            seed=config.seed + 100 + index,
+        )[port]
+        target = ports[(index + 1) % len(ports)]
+        paths = repro_io.routing_to_dict(
+            Routing([router.shortest_path(port, target)])
+        )
+        requests.append(DeltaRequest(
+            deployment=_DEPLOYMENT, op="install", ingress=port,
+            policy=repro_io.policy_to_dict(policy), paths=paths,
+            request_id=f"delta-install-{index}",
+        ))
+        requests.append(DeltaRequest(
+            deployment=_DEPLOYMENT, op="remove", ingress=port,
+            request_id=f"delta-remove-{index}",
+        ))
+    # Deltas against one deployment serialize; a single client keeps
+    # install/remove pairs ordered (install before its remove).
+    return _fan_out(service, "delta", requests, 1, config.request_timeout)
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def _counter(service: PlacementService, name: str) -> float:
+    return service.metrics.counter(name).value
+
+
+def _quantiles(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+
+    def q(fraction: float) -> float:
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": q(0.50),
+        "p95": q(0.95),
+        "p99": q(0.99),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+def _report(config: LoadgenConfig, service: PlacementService,
+            phases: List[_Phase], total_wall: float,
+            burst_solves: float) -> Dict[str, Any]:
+    samples = [sample for phase in phases for sample in phase.samples]
+    failures = [s for s in samples if s.status in ResponseStatus.FAILURES]
+    by_tag: Dict[str, List[_Sample]] = {}
+    for sample in samples:
+        by_tag.setdefault(sample.tag, []).append(sample)
+
+    latency = {
+        tag: _quantiles([s.seconds for s in tagged])
+        for tag, tagged in sorted(by_tag.items())
+    }
+    cold_mean = latency.get("cold", {}).get("mean", 0.0)
+    warm = [s for s in by_tag.get("warm", []) if s.served == "cache"]
+    warm_mean = (sum(s.seconds for s in warm) / len(warm)) if warm else 0.0
+    speedup = (cold_mean / warm_mean) if warm_mean > 0 else 0.0
+
+    cache_stats = service.cache.stats()
+    report: Dict[str, Any] = {
+        "config": asdict(config),
+        "totals": {
+            "requests": len(samples),
+            "failures": len(failures),
+            "failure_statuses": sorted({s.status for s in failures}),
+            "shed": sum(1 for s in samples
+                        if s.status == ResponseStatus.OVERLOADED),
+            "wall_seconds": total_wall,
+            "throughput_rps": len(samples) / total_wall if total_wall else 0.0,
+        },
+        "latency_seconds": latency,
+        "warm_vs_cold": {
+            "cold_mean_seconds": cold_mean,
+            "warm_cache_mean_seconds": warm_mean,
+            "speedup": speedup,
+            "warm_cache_hits": len(warm),
+        },
+        "coalescing": {
+            "burst_size": config.burst,
+            "solves_started": burst_solves,
+            "coalesced_total": _counter(service, "coalesced_total"),
+        },
+        "cache": cache_stats.as_dict(),
+        "counters": service.metrics.snapshot()["counters"],
+        "phases": {
+            phase.name: {
+                "requests": len(phase.samples),
+                "wall_seconds": phase.wall_seconds,
+            }
+            for phase in phases
+        },
+    }
+    return report

@@ -1,0 +1,298 @@
+"""Crash-isolated task execution for the placement daemon.
+
+A long-running service cannot let one bad request take the process
+down: a solver segfault, an OOM kill, or a pathological instance must
+fail *that request* and nothing else.  :class:`WorkerPool` gives every
+admitted request its own forked worker process (the same fork-based
+isolation the portfolio race and component pool use) and turns the
+three ways a worker can end into three distinct outcomes:
+
+* normal return        -- the task's JSON-able payload;
+* Python exception     -- :class:`WorkerError` carrying the traceback
+  (an *error* answer, the daemon keeps running);
+* hard death           -- exit without posting (``os._exit``, signal,
+  OOM): :class:`WorkerCrash`, again scoped to the one request.
+
+``executor="inline"`` runs tasks in-process for determinism (tests,
+platforms without ``fork``); inline tasks still map exceptions to
+:class:`WorkerError` but cannot survive hard death -- crash isolation
+is exactly what the process executor buys.
+
+The module also defines the service's three task functions.  Tasks
+receive live objects (fork shares the parent's memory copy-on-write;
+nothing is pickled on the way in) and return compact JSON-able payloads
+(the only data crossing the process boundary on the way out).  Notably
+the delta task runs :class:`~repro.core.incremental.IncrementalDeployer`
+*previews* -- compute without commit -- because a forked child's state
+dies with it: the daemon applies the returned placement to the live
+deployment only after the worker has succeeded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import io as repro_io
+from ..core.incremental import IncrementalDeployer
+from ..core.instance import PlacementInstance
+from ..core.objectives import Combined, TotalRules, UpstreamDrops
+from ..core.placement import PlacerConfig, RulePlacer
+from ..core.verify import verify_placement
+from .protocol import DeltaRequest, SolveRequest
+
+__all__ = [
+    "WorkerCrash",
+    "WorkerError",
+    "WorkerPool",
+    "delta_task",
+    "solve_task",
+    "verify_task",
+]
+
+
+class WorkerError(RuntimeError):
+    """The task raised: carries the worker-side traceback text."""
+
+
+class WorkerCrash(RuntimeError):
+    """The worker died without answering (hard crash or kill)."""
+
+
+class WorkerPool:
+    """Run one task per isolated worker process, bounded in parallelism.
+
+    ``max_workers`` bounds concurrently live workers (a semaphore, not
+    a pre-forked pool: each request forks fresh, so a crashed worker
+    never poisons a reusable slot).  ``run`` blocks the calling
+    dispatcher thread until its worker finishes -- concurrency comes
+    from the broker running several dispatcher threads.
+    """
+
+    def __init__(self, executor: str = "process",
+                 max_workers: int = 4) -> None:
+        if executor not in ("process", "inline"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if executor == "process":
+            import multiprocessing
+
+            try:
+                self._ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                executor = "inline"
+                self._ctx = None
+        else:
+            self._ctx = None
+        self.executor = executor
+        self.max_workers = max_workers
+        self._slots = threading.Semaphore(max_workers)
+        self._live = 0
+        self._live_lock = threading.Lock()
+
+    @property
+    def live_workers(self) -> int:
+        with self._live_lock:
+            return self._live
+
+    # ------------------------------------------------------------------
+
+    def run(self, task: Callable[..., Dict[str, Any]], *args: Any,
+            timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Execute ``task(*args)`` in isolation and return its payload.
+
+        Raises :class:`WorkerError` on a task exception,
+        :class:`WorkerCrash` on worker death, and
+        :class:`TimeoutError` when ``timeout`` elapses first (the
+        straggler is terminated -- a hung solver must not pin a slot
+        forever).
+        """
+        self._slots.acquire()
+        with self._live_lock:
+            self._live += 1
+        try:
+            if self.executor == "inline":
+                return self._run_inline(task, args)
+            return self._run_process(task, args, timeout)
+        finally:
+            with self._live_lock:
+                self._live -= 1
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _run_inline(task, args) -> Dict[str, Any]:
+        try:
+            return task(*args)
+        except Exception:
+            raise WorkerError(traceback.format_exc(limit=6)) from None
+
+    def _run_process(self, task, args, timeout) -> Dict[str, Any]:
+        recv, send = self._ctx.Pipe(duplex=False)
+        # Non-daemonic on purpose: solve tasks fork their own engine
+        # races / component pools, which daemonic processes may not.
+        proc = self._ctx.Process(
+            target=_worker_main, args=(send, task, args), daemon=False
+        )
+        proc.start()
+        send.close()  # the child's end; keep only the read side here
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while True:
+                wait = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"worker exceeded {timeout:.3f}s; terminated"
+                        )
+                    wait = min(wait, remaining)
+                if recv.poll(wait):
+                    try:
+                        kind, payload = recv.recv()
+                    except EOFError:
+                        raise WorkerCrash(
+                            "worker closed its pipe without answering"
+                        ) from None
+                    if kind == "done":
+                        return payload
+                    raise WorkerError(str(payload))
+                if not proc.is_alive():
+                    # Dead without posting: a hard crash.  Drain the
+                    # pipe once more in case the message raced the exit.
+                    if recv.poll(0):
+                        continue
+                    raise WorkerCrash(
+                        f"worker died with exit code {proc.exitcode}"
+                    )
+        finally:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                proc.kill()
+                proc.join(timeout=1.0)
+            recv.close()
+
+
+def _worker_main(conn, task, args) -> None:
+    """Child entry point: run the task, post exactly one message."""
+    try:
+        payload = task(*args)
+        conn.send(("done", payload))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=6)))
+        except Exception:  # pragma: no cover - pipe gone
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Task functions
+# ---------------------------------------------------------------------------
+
+
+def _objective_for(name: str):
+    if name == "rules":
+        return TotalRules()
+    if name == "upstream":
+        return UpstreamDrops()
+    if name == "combined":
+        return Combined(((1.0, TotalRules()), (0.001, UpstreamDrops())))
+    raise ValueError(f"unknown objective {name!r}")
+
+
+def solve_task(request: SolveRequest,
+               time_limit: Optional[float] = None) -> Dict[str, Any]:
+    """Full placement through the standard pipeline.
+
+    ``backend="portfolio"`` races every exact engine;  anything else
+    goes through the named MILP backend.  Component decomposition and
+    the bulk-encoding fast path apply exactly as in one-shot solves.
+    """
+    config = PlacerConfig(
+        objective=_objective_for(request.objective),
+        enable_merging=request.merging,
+        backend=request.backend,
+        time_limit=time_limit,
+        deadline=time_limit if request.backend == "portfolio" else None,
+    )
+    placement = RulePlacer(config).place(request.instance)
+    return {
+        "placement": repro_io.placement_to_dict(placement),
+        "feasible": placement.is_feasible,
+        "objective": placement.objective_value,
+        "installed_rules": (
+            placement.total_installed() if placement.is_feasible else 0
+        ),
+        "summary": placement.summary(),
+    }
+
+
+def delta_task(deployer: IncrementalDeployer, request: DeltaRequest,
+               time_limit: Optional[float] = None) -> Dict[str, Any]:
+    """One incremental operation, previewed (computed, NOT committed).
+
+    The greedy -> sub-ILP ladder runs here in the isolated worker; the
+    broker applies the returned placement to the live deployer only on
+    success, so a crashed delta leaves the deployment untouched.
+    """
+    if request.op == "install":
+        policy = repro_io.policy_from_dict(request.policy)
+        paths = _paths_from(request.paths)
+        result = deployer.preview_install(policy, paths,
+                                          time_limit=time_limit)
+    elif request.op == "reroute":
+        paths = _paths_from(request.paths)
+        result = deployer.preview_reroute(request.ingress, paths,
+                                          time_limit=time_limit)
+    elif request.op == "modify":
+        policy = repro_io.policy_from_dict(request.policy)
+        result = deployer.preview_modify(policy, time_limit=time_limit)
+    else:
+        raise ValueError(f"delta op {request.op!r} does not need a worker")
+    return {
+        "status": result.status.value,
+        "method": result.method,
+        "feasible": result.is_feasible,
+        "seconds": result.seconds,
+        "installed_rules": result.installed_rules,
+        "placed": [
+            {"ingress": key[0], "priority": key[1],
+             "switches": sorted(switches)}
+            for key, switches in sorted(result.placed.items())
+        ],
+    }
+
+
+def verify_task(instance: PlacementInstance,
+                placement_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Exact verification of a placement against its instance."""
+    placement = repro_io.placement_from_dict(placement_dict, instance)
+    report = verify_placement(placement)
+    return {
+        "ok": report.ok,
+        "errors": list(report.errors),
+        "paths_checked": report.paths_checked,
+        "switches_checked": report.switches_checked,
+    }
+
+
+def _paths_from(specs: List[Dict[str, Any]]):
+    from ..net.routing import Path
+    from ..policy.ternary import TernaryMatch
+
+    paths = []
+    for spec in specs:
+        flow = spec.get("flow")
+        paths.append(Path(
+            spec["ingress"], spec["egress"], tuple(spec["switches"]),
+            None if flow is None else TernaryMatch.from_string(flow),
+        ))
+    return paths

@@ -413,6 +413,7 @@ class PortfolioSolver:
         results: Dict[str, Dict[str, object]] = {}
         reports: Dict[str, EngineReport] = {}
         winner_found = False
+        deadline_hit = False
 
         def _handle(kind, name, payload, wall) -> bool:
             """Record one worker message; True if it settles the race."""
@@ -431,43 +432,32 @@ class PortfolioSolver:
             )
             return status in _CONCLUSIVE
 
-        while pending:
-            now = self.clock()
-            if hard_stop is not None and now >= hard_stop:
-                break
-            remaining = None if hard_stop is None else hard_stop - now
-            timeout = 0.1 if remaining is None else min(0.1, max(remaining, 0.01))
-            try:
-                kind, name, payload, wall = out_queue.get(timeout=timeout)
-            except queue_mod.Empty:
-                # Reap processes that died without posting a message.
-                for name, proc in list(pending.items()):
-                    code = proc.exitcode
-                    if code is not None and code != 0:
-                        pending.pop(name)
-                        order.append(name)
-                        reports[name] = EngineReport(
-                            name, "crashed",
-                            self.clock() - started,
-                            error=f"process died with exit code {code}",
-                        )
-                continue
-            proc = pending.pop(name, None)
-            if proc is not None:
-                proc.join(timeout=1.0)
-            if _handle(kind, name, payload, wall):
-                winner_found = True
-                break
-
-        # Deadline path: engines may have posted their TIME_LIMIT
-        # incumbents moments ago -- drain without blocking before
-        # terminating stragglers.
-        if not winner_found:
-            while True:
-                try:
-                    kind, name, payload, wall = out_queue.get_nowait()
-                except queue_mod.Empty:
+        # Everything below may raise (a hostile worker can post an
+        # arbitrary payload); the finally block guarantees the forked
+        # engines are terminated and reaped and the queue's feeder
+        # thread shut down no matter how we leave.
+        try:
+            while pending:
+                now = self.clock()
+                if hard_stop is not None and now >= hard_stop:
                     break
+                remaining = None if hard_stop is None else hard_stop - now
+                timeout = 0.1 if remaining is None else min(0.1, max(remaining, 0.01))
+                try:
+                    kind, name, payload, wall = out_queue.get(timeout=timeout)
+                except queue_mod.Empty:
+                    # Reap processes that died without posting a message.
+                    for name, proc in list(pending.items()):
+                        code = proc.exitcode
+                        if code is not None and code != 0:
+                            pending.pop(name)
+                            order.append(name)
+                            reports[name] = EngineReport(
+                                name, "crashed",
+                                self.clock() - started,
+                                error=f"process died with exit code {code}",
+                            )
+                    continue
                 proc = pending.pop(name, None)
                 if proc is not None:
                     proc.join(timeout=1.0)
@@ -475,32 +465,52 @@ class PortfolioSolver:
                     winner_found = True
                     break
 
-        deadline_hit = (
-            self.deadline is not None
-            and self.clock() - started >= self.deadline
-            and not winner_found
-        )
-        for name, proc in pending.items():
-            code = proc.exitcode
-            if code is not None and code != 0:
-                # Died uncancelled before we got around to reaping it.
-                reports[name] = EngineReport(
-                    name, "crashed", self.clock() - started,
-                    error=f"process died with exit code {code}",
-                )
-                continue
-            proc.terminate()
-            proc.join(timeout=1.0)
-            if proc.is_alive():  # pragma: no cover - stubborn child
-                proc.kill()
-                proc.join(timeout=1.0)
-            reports[name] = EngineReport(
-                name, "cancelled" if winner_found else "timeout",
-                self.clock() - started,
-                error=None if winner_found else "killed at deadline",
+            # Deadline path: engines may have posted their TIME_LIMIT
+            # incumbents moments ago -- drain without blocking before
+            # terminating stragglers.
+            if not winner_found:
+                while True:
+                    try:
+                        kind, name, payload, wall = out_queue.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    proc = pending.pop(name, None)
+                    if proc is not None:
+                        proc.join(timeout=1.0)
+                    if _handle(kind, name, payload, wall):
+                        winner_found = True
+                        break
+
+            deadline_hit = (
+                self.deadline is not None
+                and self.clock() - started >= self.deadline
+                and not winner_found
             )
-        out_queue.cancel_join_thread()
-        out_queue.close()
+            for name, proc in pending.items():
+                code = proc.exitcode
+                if code is not None and code != 0:
+                    # Died uncancelled before we got around to reaping it.
+                    reports[name] = EngineReport(
+                        name, "crashed", self.clock() - started,
+                        error=f"process died with exit code {code}",
+                    )
+                    continue
+                reports[name] = EngineReport(
+                    name, "cancelled" if winner_found else "timeout",
+                    self.clock() - started,
+                    error=None if winner_found else "killed at deadline",
+                )
+        finally:
+            for proc in pending.values():
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in pending.values():
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - stubborn child
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            out_queue.cancel_join_thread()
+            out_queue.close()
         report_list = [reports[s.name] for s in specs if s.name in reports]
         return order, results, report_list, deadline_hit
 

@@ -10,6 +10,7 @@ from repro.core.placement import Placement, RulePlacer
 from repro.core.verify import verify_placement
 from repro.milp.model import SolveStatus
 from repro.net.fattree import fattree
+from repro.net.topology import Topology
 from repro.net.routing import Path, Routing, ShortestPathRouter
 from repro.policy.classbench import generate_policy_set
 from repro.policy.policy import Policy, PolicySet
@@ -162,6 +163,183 @@ class TestReroute:
             assert deployer.total_installed() == old_installed
             assert ingress in deployer._state
             assert verify_placement(deployer.as_placement()).ok
+
+
+def _two_switch_deployer():
+    """An empty deployed network on two unit-capacity switches.
+
+    ``in1`` enters at ``s1``; ``out1`` exits at ``s2``, ``out2`` at
+    ``s1`` -- so a path can be confined to ``s1`` alone via ``out2``.
+    """
+    topo = Topology()
+    topo.add_switch("s1", 1)
+    topo.add_switch("s2", 1)
+    topo.add_link("s1", "s2")
+    topo.add_entry_port("in1", "s1")
+    topo.add_entry_port("out1", "s2")
+    topo.add_entry_port("out2", "s1")
+    base = RulePlacer().place(PlacementInstance(topo, Routing(), PolicySet()))
+    assert base.is_feasible
+    return IncrementalDeployer(base)
+
+
+class TestFallbackLadder:
+    """The ISSUE's fallback order: greedy, then sub-ILP, then report
+    infeasible -- each stage observable through ``result.method``."""
+
+    def test_greedy_failure_falls_through_to_sub_ilp(self):
+        """First-fit greedy starves the ingress switch; the sub-ILP
+        places globally and succeeds where greedy gave up."""
+        deployer = _two_switch_deployer()
+        # Path 1 spans both switches but only carries flow 00; path 2
+        # is confined to s1 and carries flow 01.
+        long_path = Path("in1", "out1", ("s1", "s2"),
+                         TernaryMatch.from_string("00"))
+        short_path = Path("in1", "out2", ("s1",),
+                          TernaryMatch.from_string("01"))
+        policy = Policy("in1", [
+            rule("00", Action.DROP, 1),   # only relevant to the long path
+            rule("01", Action.DROP, 2),   # only placeable on s1
+        ])
+        # Greedy walks path 1 first and burns s1 (closest to ingress)
+        # on the 00-drop, leaving nothing for the 01-drop that *must*
+        # sit on s1; the sub-ILP instead puts 00 on s2 and 01 on s1.
+        result = deployer.install_policy(policy, [long_path, short_path])
+        assert result.is_feasible
+        assert result.method == "ilp"
+        assert result.placed[("in1", 1)] == frozenset({"s2"})
+        assert result.placed[("in1", 2)] == frozenset({"s1"})
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_ladder_exhausted_reports_infeasible(self):
+        """Both stages fail: two drops forced onto one unit-capacity
+        switch.  The sub-ILP's verdict is reported, nothing commits."""
+        deployer = _two_switch_deployer()
+        short_path = Path("in1", "out2", ("s1",))
+        policy = Policy("in1", [
+            rule("00", Action.DROP, 1),
+            rule("01", Action.DROP, 2),
+        ])
+        before = deployer.total_installed()
+        result = deployer.install_policy(policy, [short_path])
+        assert not result.is_feasible
+        assert result.method == "ilp"      # the last stage that ran
+        assert result.status is SolveStatus.INFEASIBLE
+        assert "in1" not in deployer._state
+        assert deployer.total_installed() == before
+
+    def test_greedy_runs_before_sub_ilp(self, deployed_network, monkeypatch):
+        """Stage order is observable: greedy is consulted first, and
+        its failure (None) is what triggers the sub-solver."""
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        calls = []
+        original_greedy = deployer._greedy_place
+        original_sub = deployer._sub_ilp
+
+        def spy_greedy(policy, paths):
+            calls.append("greedy")
+            original_greedy(policy, paths)  # would succeed...
+            return None                     # ...but report failure
+        def spy_sub(policy, paths, time_limit):
+            calls.append("ilp")
+            return original_sub(policy, paths, time_limit)
+
+        monkeypatch.setattr(deployer, "_greedy_place", spy_greedy)
+        monkeypatch.setattr(deployer, "_sub_ilp", spy_sub)
+        new_policy = generate_policy_set(
+            [ports[10]], rules_per_policy=6, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.install_policy(new_policy, [path])
+        assert calls == ["greedy", "ilp"]
+        assert result.is_feasible
+        assert result.method == "ilp"
+
+    def test_spare_exhaustion_then_recovery(self, deployed_network):
+        """With every switch saturated the whole ladder fails; freeing
+        a deployed policy restores exactly enough spare to reinstall."""
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        for switch in deployer.base_capacities:
+            deployer._loads[switch] = deployer.base_capacities[switch]
+        assert all(v == 0 for v in deployer.spare_capacities().values())
+        victim = next(iter(base.instance.policies))
+        paths = list(base.instance.routing.paths(victim.ingress))
+        new_policy = generate_policy_set(
+            [ports[10]], rules_per_policy=4, seed=11)[ports[10]]
+        result = deployer.install_policy(
+            new_policy, [router.shortest_path(ports[10], victim.ingress)])
+        assert not result.is_feasible
+        assert result.method == "ilp"
+        # Remove the victim: its slots come back, and the victim itself
+        # can be reinstalled into the freed spare capacity.
+        freed = deployer.remove_policy(victim.ingress)
+        assert freed > 0
+        retry = deployer.install_policy(victim, paths)
+        assert retry.is_feasible
+
+
+class TestPreviewCommit:
+    """The serving layer's split: compute in a worker (preview), apply
+    in the daemon (commit) -- previews must never touch live state."""
+
+    def test_preview_install_is_side_effect_free(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        before_installed = deployer.total_installed()
+        before_spare = deployer.spare_capacities()
+        new_policy = generate_policy_set(
+            [ports[10]], rules_per_policy=6, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.preview_install(new_policy, [path])
+        assert result.is_feasible
+        assert ports[10] not in deployer._state
+        assert deployer.total_installed() == before_installed
+        assert deployer.spare_capacities() == before_spare
+
+    def test_commit_applies_previewed_placement(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        new_policy = generate_policy_set(
+            [ports[10]], rules_per_policy=6, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.preview_install(new_policy, [path])
+        deployer.commit_install(new_policy, [path], result.placed)
+        assert ports[10] in deployer._state
+        assert verify_placement(deployer.as_placement()).ok
+        with pytest.raises(ValueError):
+            deployer.commit_install(new_policy, [path], result.placed)
+
+    def test_preview_reroute_restores_state(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        ingress = next(iter(base.instance.policies)).ingress
+        before_installed = deployer.total_installed()
+        before_paths = deployer._state[ingress][1]
+        result = deployer.preview_reroute(
+            ingress, [router.shortest_path(ingress, ports[12])])
+        assert result.is_feasible
+        assert deployer.total_installed() == before_installed
+        assert deployer._state[ingress][1] == before_paths
+        # Applying the preview swaps the placement in.
+        deployer.apply_reroute(
+            ingress, [router.shortest_path(ingress, ports[12])],
+            result.placed)
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_preview_modify_restores_state(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        ingress = next(iter(base.instance.policies)).ingress
+        original = deployer._state[ingress][0]
+        updated = generate_policy_set(
+            [ingress], rules_per_policy=8, seed=77)[ingress]
+        result = deployer.preview_modify(updated)
+        assert result.is_feasible
+        assert deployer._state[ingress][0] is original
+        deployer.apply_modify(updated, result.placed)
+        assert deployer._state[ingress][0] is updated
+        assert verify_placement(deployer.as_placement()).ok
 
 
 class TestBase:

@@ -1,0 +1,162 @@
+"""Result cache: LRU bounds, TTL, epoch invalidation, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"answer": 42})
+        assert cache.get("k") == {"answer": 42}
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_put_replaces(self):
+        cache = ResultCache()
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        assert len(cache) == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0)
+
+
+class TestLRU:
+    def test_entry_bound_evicts_least_recent(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")            # refresh a: b is now LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.get("c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_byte_bound_evicts(self):
+        cache = ResultCache(max_entries=100, sizer=lambda _p: 10,
+                            max_bytes=25)
+        cache.put("a", {})
+        cache.put("b", {})
+        cache.put("c", {})        # 30 bytes > 25: "a" goes
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.stats().bytes == 20
+
+    def test_oversized_payload_never_sticks(self):
+        cache = ResultCache(sizer=lambda _p: 100, max_bytes=50)
+        cache.put("big", {})
+        assert cache.get("big") is None
+        assert len(cache) == 0
+
+    def test_contains_does_not_touch_lru_or_counters(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {})
+        cache.put("b", {})
+        assert "a" in cache       # must NOT refresh "a"
+        cache.put("c", {})        # evicts "a" (still LRU)
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 1
+
+
+class TestTTL:
+    def test_expired_entry_is_a_miss(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        cache.put("k", {"v": 1})
+        clock.advance(9.9)
+        assert cache.get("k") == {"v": 1}
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.entries == 0
+
+    def test_purge_stale_sweeps_expired(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl=5.0, clock=clock)
+        cache.put("a", {})
+        clock.advance(6.0)
+        cache.put("b", {})
+        assert cache.purge_stale() == 1
+        assert "b" in cache
+
+
+class TestEpochs:
+    def test_bump_epoch_invalidates_older_entries(self):
+        cache = ResultCache()
+        cache.put("k", {"v": 1})
+        cache.bump_epoch("topology")
+        assert cache.get("k") is None
+        assert cache.stats().invalidations == 1
+        # Entries stored after the bump are served normally.
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+
+    def test_scopes_are_independent(self):
+        cache = ResultCache()
+        assert cache.epochs() == {"topology": 0, "policy": 0}
+        cache.bump_epoch("policy")
+        assert cache.epochs() == {"topology": 0, "policy": 1}
+        cache.bump_epoch("all")
+        assert cache.epochs() == {"topology": 1, "policy": 2}
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache().bump_epoch("vibes")
+
+    def test_purge_stale_sweeps_old_epochs(self):
+        cache = ResultCache()
+        cache.put("a", {})
+        cache.put("b", {})
+        cache.bump_epoch()
+        cache.put("c", {})
+        assert cache.purge_stale() == 2
+        assert len(cache) == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache()
+        cache.put("k", {})
+        cache.get("k")
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 2 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.as_dict()["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_explicit_invalidate_and_clear(self):
+        cache = ResultCache()
+        cache.put("a", {})
+        cache.put("b", {})
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().invalidations == 2
+        assert cache.stats().bytes == 0

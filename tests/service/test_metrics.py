@@ -1,0 +1,122 @@
+"""Metrics instruments: counters, gauges, histograms, exports."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("c")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4
+
+
+class TestHistogram:
+    def test_quantiles_nearest_rank(self):
+        hist = Histogram("h")
+        for value in range(1, 101):   # 1..100
+            hist.observe(float(value))
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert hist.quantile(0.95) == pytest.approx(95.0, abs=1.0)
+        assert hist.quantile(0.99) == pytest.approx(99.0, abs=1.0)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram("h").quantile(0.5) is None
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_window_bounds_memory_but_not_count(self):
+        hist = Histogram("h", window=10)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100
+        assert hist.sum == pytest.approx(sum(range(100)))
+        # Quantiles reflect only the recent window (90..99).
+        assert hist.quantile(0.0) == 90.0
+
+    def test_summary_shape(self):
+        hist = Histogram("h")
+        hist.observe(2.0)
+        hist.observe(4.0)
+        summary = hist.summary()
+        assert summary["count"] == 2
+        assert summary["mean"] == pytest.approx(3.0)
+        assert {"p50", "p95", "p99"} <= set(summary)
+
+
+class TestRegistry:
+    def test_factories_are_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_is_json_able(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat").observe(0.25)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["counters"]["reqs"] == 3
+        assert snapshot["gauges"]["depth"] == 2
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "requests served").inc(7)
+        registry.gauge("queue_depth").set(3)
+        hist = registry.histogram("latency_seconds", "request latency")
+        hist.observe(0.5)
+        text = registry.render_prometheus()
+        assert "# TYPE reqs_total counter" in text
+        assert "# HELP reqs_total requests served" in text
+        assert "reqs_total 7" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 3" in text
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.95"} 0.5' in text
+        assert "latency_seconds_count 1" in text
+        assert text.endswith("\n")

@@ -1,0 +1,178 @@
+"""Protocol schema: content digests, the NDJSON codec, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.digest import canonical_digest
+from repro.experiments.generators import ExperimentConfig, build_instance
+from repro.service.protocol import (
+    DeltaRequest,
+    InvalidateRequest,
+    MetricsRequest,
+    PingRequest,
+    ProtocolError,
+    Response,
+    ResponseStatus,
+    SolveRequest,
+    VerifyRequest,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=6, rules_per_policy=5, num_ingresses=2, seed=3,
+    ))
+
+
+class TestCanonicalDigest:
+    def test_length_framing_is_injective(self):
+        assert canonical_digest(["ab", "c"]) != canonical_digest(["a", "bc"])
+        assert canonical_digest(["ab"]) != canonical_digest(["a", "b"])
+
+    def test_order_matters(self):
+        assert canonical_digest(["a", "b"]) != canonical_digest(["b", "a"])
+
+    def test_deterministic_hex(self):
+        first = canonical_digest(["x", "y"])
+        assert first == canonical_digest(iter(["x", "y"]))
+        assert len(first) == 64
+        int(first, 16)  # valid hex
+
+
+class TestInstanceDigest:
+    def test_stable_across_rebuilds(self, instance):
+        rebuilt = build_instance(ExperimentConfig(
+            k=4, num_paths=6, rules_per_policy=5, num_ingresses=2, seed=3,
+        ))
+        assert instance.digest() == rebuilt.digest()
+
+    def test_roundtrip_through_json_preserves_digest(self, instance):
+        rebuilt = repro_io.instance_from_dict(
+            json.loads(json.dumps(repro_io.instance_to_dict(instance)))
+        )
+        assert rebuilt.digest() == instance.digest()
+
+    def test_sensitive_to_capacity(self, instance):
+        other = build_instance(ExperimentConfig(
+            k=4, num_paths=6, rules_per_policy=5, num_ingresses=2, seed=3,
+            capacity=99,
+        ))
+        assert other.digest() != instance.digest()
+
+    def test_sensitive_to_policies(self, instance):
+        other = build_instance(ExperimentConfig(
+            k=4, num_paths=6, rules_per_policy=6, num_ingresses=2, seed=3,
+        ))
+        assert other.digest() != instance.digest()
+
+
+class TestCacheKey:
+    def test_same_request_same_key(self, instance):
+        assert (SolveRequest(instance).cache_key()
+                == SolveRequest(instance).cache_key())
+
+    def test_key_covers_solver_knobs(self, instance):
+        base = SolveRequest(instance).cache_key()
+        assert SolveRequest(instance, objective="upstream").cache_key() != base
+        assert SolveRequest(instance, merging=True).cache_key() != base
+        assert SolveRequest(instance, backend="portfolio").cache_key() != base
+
+    def test_key_ignores_transport_fields(self, instance):
+        # request_id, deadline, deploy_as do not change the answer.
+        assert (SolveRequest(instance, request_id="a", deadline=5.0,
+                             deploy_as="prod").cache_key()
+                == SolveRequest(instance).cache_key())
+
+
+class TestCodec:
+    def test_solve_roundtrip(self, instance):
+        request = SolveRequest(instance, objective="upstream", merging=True,
+                               backend="portfolio", deadline=1.5,
+                               deploy_as="prod", request_id="r1")
+        decoded = decode_request(encode_request(request))
+        assert isinstance(decoded, SolveRequest)
+        assert decoded.objective == "upstream"
+        assert decoded.merging is True
+        assert decoded.backend == "portfolio"
+        assert decoded.deadline == 1.5
+        assert decoded.deploy_as == "prod"
+        assert decoded.request_id == "r1"
+        assert decoded.cache_key() == request.cache_key()
+
+    def test_delta_roundtrip(self, instance):
+        policy = repro_io.policy_to_dict(next(iter(instance.policies)))
+        request = DeltaRequest(deployment="prod", op="modify",
+                               policy=policy, request_id="d1")
+        decoded = decode_request(encode_request(request))
+        assert isinstance(decoded, DeltaRequest)
+        assert decoded.op == "modify"
+        assert decoded.policy == policy
+
+    def test_control_plane_roundtrips(self):
+        for request in (PingRequest(request_id="p"), MetricsRequest(),
+                        InvalidateRequest(scope="topology")):
+            decoded = decode_request(encode_request(request))
+            assert type(decoded) is type(request)
+
+    def test_verify_roundtrip(self, instance):
+        request = VerifyRequest(instance, placement={"placed": []})
+        decoded = decode_request(encode_request(request))
+        assert isinstance(decoded, VerifyRequest)
+        assert decoded.placement == {"placed": []}
+
+    def test_response_roundtrip(self):
+        response = Response(status=ResponseStatus.OK, kind="solve",
+                            request_id="r1", result={"x": 1},
+                            served="cache", cache_key="k", seconds=0.25)
+        decoded = decode_response(encode_response(response))
+        assert decoded == response
+        assert decoded.ok
+
+    def test_one_line_per_message(self, instance):
+        assert "\n" not in encode_request(SolveRequest(instance))
+        assert "\n" not in encode_response(Response(status="ok"))
+
+
+class TestValidation:
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request("[1,2]")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(json.dumps({"kind": "frobnicate"}))
+
+    def test_solve_missing_instance_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(json.dumps({"kind": "solve"}))
+
+    def test_delta_op_validation(self):
+        with pytest.raises(ProtocolError):
+            DeltaRequest(deployment="d", op="teleport")
+        with pytest.raises(ProtocolError):
+            DeltaRequest(deployment="d", op="install", paths=[])  # no policy
+        with pytest.raises(ProtocolError):
+            DeltaRequest(deployment="d", op="reroute", paths=[])  # no ingress
+        with pytest.raises(ProtocolError):
+            DeltaRequest(deployment="d", op="remove")  # no ingress
+
+    def test_invalidate_scope_validation(self):
+        with pytest.raises(ProtocolError):
+            InvalidateRequest(scope="everything")
+
+    def test_response_missing_status_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_response(json.dumps({"kind": "solve"}))

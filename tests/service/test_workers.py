@@ -1,0 +1,95 @@
+"""Worker pool: isolation outcomes, timeouts, slot bounding."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.service.workers import WorkerCrash, WorkerError, WorkerPool
+
+
+def _ok_task(value):
+    return {"value": value}
+
+
+def _raising_task():
+    raise RuntimeError("task went sideways")
+
+
+def _exiting_task():
+    os._exit(43)
+
+
+def _sleeping_task(seconds):
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+class TestInlineExecutor:
+    def test_payload_returned(self):
+        pool = WorkerPool(executor="inline")
+        assert pool.run(_ok_task, 7) == {"value": 7}
+
+    def test_exception_maps_to_worker_error(self):
+        pool = WorkerPool(executor="inline")
+        with pytest.raises(WorkerError, match="task went sideways"):
+            pool.run(_raising_task)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(executor="quantum")
+        with pytest.raises(ValueError):
+            WorkerPool(max_workers=0)
+
+
+class TestProcessExecutor:
+    def test_payload_returned(self):
+        pool = WorkerPool(executor="process")
+        assert pool.run(_ok_task, 7) == {"value": 7}
+
+    def test_exception_maps_to_worker_error_with_traceback(self):
+        pool = WorkerPool(executor="process")
+        with pytest.raises(WorkerError, match="task went sideways"):
+            pool.run(_raising_task)
+
+    def test_hard_death_maps_to_worker_crash(self):
+        """os._exit simulates a segfault/OOM kill: the worker dies
+        without posting, and only this request fails."""
+        pool = WorkerPool(executor="process")
+        # Depending on timing the parent sees either the closed pipe or
+        # the exit code first; both are the same hard-crash outcome.
+        with pytest.raises(WorkerCrash):
+            pool.run(_exiting_task)
+        # The pool is not poisoned: the next request works.
+        assert pool.run(_ok_task, 1) == {"value": 1}
+        assert pool.live_workers == 0
+
+    def test_timeout_terminates_straggler(self):
+        pool = WorkerPool(executor="process")
+        started = time.monotonic()
+        with pytest.raises(TimeoutError):
+            pool.run(_sleeping_task, 60.0, timeout=0.3)
+        assert time.monotonic() - started < 10.0
+        assert pool.live_workers == 0
+
+    def test_slots_bound_live_workers(self):
+        """max_workers is a hard bound on concurrently live workers."""
+        import threading
+
+        pool = WorkerPool(executor="process", max_workers=2)
+        peaks = []
+
+        def client():
+            pool.run(_sleeping_task, 0.3)
+            peaks.append(pool.live_workers)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.15)
+        assert pool.live_workers <= 2
+        for t in threads:
+            t.join()
+        assert pool.live_workers == 0

@@ -368,6 +368,31 @@ class TestProcessExecutor:
         assert outcome.deadline_hit
         assert outcome.report_for("sleeper").outcome == "timeout"
 
+    def test_hostile_payload_still_reaps_children(self, instance):
+        """An exception while handling a worker message must not leak
+        the other forked engines: the teardown runs in a ``finally``."""
+        import multiprocessing
+
+        def hostile(task: EngineTask):
+            return {"status": "not-a-real-status"}
+
+        solver = PortfolioSolver(
+            engines=[EngineSpec("hostile", hostile),
+                     EngineSpec("sleeper", _sleepy_engine)],
+            deadline=30.0, executor="process",
+        )
+        with pytest.raises(ValueError):
+            solver.solve(instance)
+        # The 60s sleeper must have been terminated on the error path.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children(), (
+            "forked engine leaked past the race teardown"
+        )
+
 
 # ---------------------------------------------------------------------------
 # RulePlacer integration
