@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick serve examples verify-all clean
+.PHONY: install test chaos bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick serve examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -48,6 +48,19 @@ bench-serve:
 # without clobbering full-tier numbers.
 bench-serve-quick:
 	REPRO_SERVE_QUICK=1 $(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s
+
+# Warm-session acceptance: differential equivalence harness (100
+# seeded delta streams, warm vs. cold) plus the per-delta overhead
+# benchmark at the 10k-rule point; writes BENCH_pr6.json.
+bench-warm:
+	$(PYTHON) -m pytest tests/solve/test_session_differential.py -q
+	$(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s -k TestWarmSessionOverhead
+
+# Quick tier: 20 seeds and a small instance; merges into BENCH_pr6.json
+# without clobbering full-tier numbers.
+bench-warm-quick:
+	REPRO_WARM_QUICK=1 $(PYTHON) -m pytest tests/solve/test_session_differential.py -q
+	REPRO_SERVE_QUICK=1 $(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s -k TestWarmSessionOverhead
 
 # Run the placement daemon on localhost (Ctrl-C to stop).
 serve:

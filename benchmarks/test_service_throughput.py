@@ -20,19 +20,29 @@ Tiers::
 
 A quick run merges into an existing full-tier ``BENCH_pr5.json`` under
 the ``"quick"`` key instead of clobbering the committed numbers.
+
+``TestWarmSessionOverhead`` below is the acceptance harness for the
+warm-session PR: it records per-delta *non-solve* overhead (dependency
+graph + encode vs. patch) for a steady-state delta stream served warm
+(persistent :class:`~repro.solve.session.SolverSession`) against the
+cold re-encoding path, and writes ``BENCH_pr6.json``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import statistics
 import time
 from pathlib import Path
 from typing import Any, Dict
 
 import pytest
 
+from repro.core.incremental import IncrementalDeployer
+from repro.core.placement import RulePlacer
 from repro.experiments import ExperimentConfig, banner, build_instance
+from repro.net.routing import ShortestPathRouter
 from repro.service import (
     LoadgenConfig,
     PlacementService,
@@ -40,11 +50,15 @@ from repro.service import (
     run_loadgen,
 )
 from repro.service.protocol import ResponseStatus, SolveRequest, VerifyRequest
+from repro.solve.session import SolverSession
 
 QUICK = os.environ.get("REPRO_SERVE_QUICK", "") not in ("", "0")
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
+BENCH6_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 
 SPEEDUP_FLOOR = 3.0 if QUICK else 10.0
+#: Regression floor for warm-session per-delta overhead reduction.
+WARM_OVERHEAD_FLOOR = 3.0 if QUICK else 5.0
 
 FULL = LoadgenConfig(seed=0, unique_instances=4, repeats=4, deltas=6,
                      clients=4, burst=4, executor="process")
@@ -144,3 +158,159 @@ class TestOverloadShedding:
                    for s in statuses)
         # Admitted requests all completed: no deadlock, no lost ticket.
         assert statuses.count(ResponseStatus.OK) >= 1
+
+
+# ----------------------------------------------------------------------
+# Warm-session per-delta overhead (BENCH_pr6.json)
+# ----------------------------------------------------------------------
+
+#: Full tier reroutes one ingress of a ~10k-rule deployment (16
+#: policies x 625 rules); quick tier shrinks the instance, not the
+#: protocol.  Capacity is sized so the base placement is feasible.
+WARM_CONFIG = (
+    ExperimentConfig(seed=0, num_ingresses=4, rules_per_policy=150,
+                     capacity=320)
+    if QUICK else
+    ExperimentConfig(seed=0, num_ingresses=16, rules_per_policy=625,
+                     capacity=1200)
+)
+WARM_DELTAS = 8 if QUICK else 12
+
+
+def _overhead_ms(compile_stats: Dict[str, Any]) -> float:
+    """Per-delta non-solve overhead: depgraph + (encode | patch)."""
+    return (compile_stats.get("depgraph_ms", 0.0)
+            + compile_stats.get("patch_ms",
+                                compile_stats.get("encode_ms", 0.0)))
+
+
+def _summary(samples) -> Dict[str, float]:
+    ordered = sorted(samples)
+    return {
+        "median_ms": statistics.median(ordered),
+        "mean_ms": statistics.fmean(ordered),
+        "max_ms": ordered[-1],
+        "samples": len(ordered),
+    }
+
+
+@pytest.fixture(scope="module")
+def warm_report() -> Dict[str, Any]:
+    """Replay one steady-state reroute-flap stream warm vs. cold.
+
+    Both deployers commit the *same* placement each step, so the two
+    arms measure identical delta sequences against identical states;
+    the warm arm is primed (one cold build + one template build) before
+    sampling, so every sampled delta is a template hit -- the regime
+    the session exists for.
+    """
+    instance = build_instance(WARM_CONFIG)
+    base = RulePlacer().place(instance)
+    assert base.is_feasible, "benchmark config must have a feasible base"
+    ingress = instance.policies.ingresses[0]
+    router = ShortestPathRouter(instance.topology, seed=9)
+    paths_a = instance.routing.paths(ingress)
+    paths_b = router.random_routing(2, ingresses=[ingress]).paths(ingress)
+
+    session = SolverSession()
+    warm = IncrementalDeployer(base)
+    warm.attach_session(session)
+    cold = IncrementalDeployer(base)
+
+    # Prime: first touch cold-builds the entry, second builds the
+    # alternate routing's template.  Mirror the commits into the cold
+    # arm so both deployers stay identical.
+    for paths in (paths_b, paths_a):
+        primed = warm.preview_reroute(ingress, paths, try_greedy=False)
+        assert primed.is_feasible
+        warm.apply_reroute(ingress, paths, primed.placed)
+        cold.apply_reroute(ingress, paths, primed.placed)
+
+    warm_overhead, cold_overhead = [], []
+    warm_solve, cold_solve = [], []
+    for index in range(WARM_DELTAS):
+        paths = paths_b if index % 2 == 0 else paths_a
+        warm_result = warm.preview_reroute(ingress, paths,
+                                           try_greedy=False)
+        cold_result = cold.preview_reroute(ingress, paths,
+                                           try_greedy=False)
+        assert warm_result.is_feasible and cold_result.is_feasible
+        assert (warm_result.installed_rules
+                == cold_result.installed_rules), "arms diverged"
+        warm.apply_reroute(ingress, paths, warm_result.placed)
+        cold.apply_reroute(ingress, paths, warm_result.placed)
+        warm_overhead.append(
+            _overhead_ms(warm_result.solver_stats["compile"]))
+        cold_overhead.append(
+            _overhead_ms(cold_result.solver_stats["compile"]))
+        warm_solve.append(warm_result.seconds)
+        cold_solve.append(cold_result.seconds)
+
+    speedup = (statistics.median(cold_overhead)
+               / statistics.median(warm_overhead))
+    return {
+        "config": {
+            "num_ingresses": WARM_CONFIG.num_ingresses,
+            "rules_per_policy": WARM_CONFIG.rules_per_policy,
+            "capacity": WARM_CONFIG.capacity,
+            "total_rules": (WARM_CONFIG.num_ingresses
+                            * WARM_CONFIG.rules_per_policy),
+            "deltas": WARM_DELTAS,
+        },
+        "warm_overhead": _summary(warm_overhead),
+        "cold_overhead": _summary(cold_overhead),
+        "overhead_speedup": speedup,
+        "floor": WARM_OVERHEAD_FLOOR,
+        "warm_seconds_median": statistics.median(warm_solve),
+        "cold_seconds_median": statistics.median(cold_solve),
+        "session": session.telemetry(),
+    }
+
+
+class TestWarmSessionOverhead:
+    def test_report_and_record(self, warm_report):
+        tier = "quick" if QUICK else "full"
+        print(banner(f"Warm-session per-delta overhead ({tier} tier)"))
+        config = warm_report["config"]
+        warm = warm_report["warm_overhead"]
+        cold = warm_report["cold_overhead"]
+        print(f"  instance={config['total_rules']} rules "
+              f"({config['num_ingresses']}x{config['rules_per_policy']}, "
+              f"capacity={config['capacity']}), "
+              f"{config['deltas']} steady-state deltas")
+        print(f"  cold overhead: median={cold['median_ms']:.2f}ms "
+              f"max={cold['max_ms']:.2f}ms (encode+depgraph)")
+        print(f"  warm overhead: median={warm['median_ms']:.2f}ms "
+              f"max={warm['max_ms']:.2f}ms (patch+depgraph)")
+        print(f"  reduction: {warm_report['overhead_speedup']:.1f}x "
+              f"(floor {warm_report['floor']:.0f}x)")
+
+        existing: Dict = {}
+        if BENCH6_PATH.exists():
+            existing = json.loads(BENCH6_PATH.read_text())
+        if QUICK and existing.get("tier") == "full":
+            merged = dict(existing)
+            merged["quick"] = warm_report
+        else:
+            merged = {"tier": tier, **warm_report}
+        BENCH6_PATH.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    def test_overhead_reduction_floor(self, warm_report):
+        """The regression guard the PR promises: warm deltas pay at
+        least ``WARM_OVERHEAD_FLOOR``x less non-solve overhead than the
+        cold re-encoding path at the same scale."""
+        assert warm_report["overhead_speedup"] >= WARM_OVERHEAD_FLOOR, (
+            f"warm per-delta overhead only "
+            f"{warm_report['overhead_speedup']:.1f}x below cold "
+            f"(floor {WARM_OVERHEAD_FLOOR}x): "
+            f"warm={warm_report['warm_overhead']['median_ms']:.2f}ms "
+            f"cold={warm_report['cold_overhead']['median_ms']:.2f}ms")
+
+    def test_every_sampled_delta_was_warm(self, warm_report):
+        """All sampled deltas must be template hits with zero fallbacks
+        -- otherwise the warm numbers silently measure the cold path."""
+        session = warm_report["session"]
+        assert session["warm_hits"] >= WARM_DELTAS
+        assert session["fallbacks"] == 0
+        assert session["cold_builds"] == 1  # the priming build only

@@ -31,6 +31,7 @@ from ..policy.ternary import overlapping_pairs
 
 __all__ = [
     "DependencyGraph",
+    "PinnedDepgraphs",
     "build_dependency_graph",
     "build_dependency_graph_reference",
     "clear_depgraph_cache",
@@ -169,6 +170,49 @@ def build_dependency_graph(policy: Policy, use_cache: bool = True) -> Dependency
         while len(_CACHE) > _CACHE_MAX:
             _CACHE.popitem(last=False)
     return DependencyGraph(policy.ingress, dict(edges))
+
+
+class PinnedDepgraphs:
+    """A session-scoped depgraph cache pinned to one live deployment.
+
+    Unlike the module-level LRU (which any solve on the process can
+    evict), a :class:`~repro.solve.session.SolverSession` owns one of
+    these outright: as long as a deployment's policy content is
+    unchanged, every delta preview gets its dependency graph back in
+    O(digest) with zero recompute -- the property the warm-delta
+    ``depgraph_ms`` regression test pins down.  Entries are keyed by
+    ``Policy.content_digest()``, so a modified policy misses and is
+    recomputed exactly once.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self._entries: "OrderedDict[str, Dict[int, Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
+        self._max = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, policy: Policy) -> DependencyGraph:
+        digest = policy.content_digest()
+        edges = self._entries.get(digest)
+        if edges is not None:
+            self._entries.move_to_end(digest)
+            self.hits += 1
+        else:
+            self.misses += 1
+            edges = _compute_edges(policy)
+            self._entries[digest] = edges
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+        return DependencyGraph(policy.ingress, dict(edges))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
 
 
 def build_dependency_graph_reference(policy: Policy) -> DependencyGraph:

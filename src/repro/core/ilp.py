@@ -56,6 +56,13 @@ class IlpEncoding:
     #: ``variables_at`` and capacity emission read it instead of
     #: scanning every ``(key, switch)`` entry per call.
     vars_by_switch: Dict[str, List[Variable]] = field(default_factory=dict)
+    #: Bulk mode only: constraint-family name (``dep``/``path``/``cap``)
+    #: -> index into ``model.blocks``.  Warm-start sessions patch the
+    #: live blocks through these handles instead of re-encoding.
+    family_blocks: Dict[str, int] = field(default_factory=dict)
+    #: Bulk mode only: switch -> row id inside the ``cap`` block, for
+    #: RHS patching as spare capacity evolves across deltas.
+    cap_row_of: Dict[str, int] = field(default_factory=dict)
 
     def variables_at(self, switch: str) -> List[Variable]:
         return list(self.vars_by_switch.get(switch, ()))
@@ -267,12 +274,14 @@ def _emit_families_bulk(encoding: IlpEncoding) -> None:
                     cols.append(var_of[(permit_key, switch)].index)
                     cols.append(drop_idx)
     r = len(cols) // 2
-    if r:
-        model.add_linear_block(
-            np.repeat(np.arange(r, dtype=np.int64), 2), cols,
-            np.tile(np.array([1.0, -1.0]), r), Sense.GE,
-            np.zeros(r), "dep",
-        )
+    # Every family block is emitted even when empty so sessions can
+    # patch a stable ``family_blocks`` layout (dep/path/cap) in place.
+    encoding.family_blocks["dep"] = len(model.blocks)
+    model.add_linear_block(
+        np.repeat(np.arange(r, dtype=np.int64), 2), cols,
+        np.tile(np.array([1.0, -1.0]), r), Sense.GE,
+        np.zeros(r), "dep",
+    )
 
     # --- path dependency (Eq. 2): sum_{k in path} v >= 1 -----------------
     cols = []
@@ -292,11 +301,11 @@ def _emit_families_bulk(encoding: IlpEncoding) -> None:
                 # infeasibility rather than silently dropping the rule.
                 counts.append(len(cols) - before)
     r = len(counts)
-    if r:
-        model.add_linear_block(
-            np.repeat(np.arange(r, dtype=np.int64), counts), cols,
-            np.ones(len(cols)), Sense.GE, np.ones(r), "path",
-        )
+    encoding.family_blocks["path"] = len(model.blocks)
+    model.add_linear_block(
+        np.repeat(np.arange(r, dtype=np.int64), counts), cols,
+        np.ones(len(cols)), Sense.GE, np.ones(r), "path",
+    )
 
     # --- switch capacity (Eq. 3, merge-adjusted per Section IV-B) --------
     cols = []
@@ -317,11 +326,12 @@ def _emit_families_bulk(encoding: IlpEncoding) -> None:
         for vm_index, coeff in merge_adjust.get(switch, ()):
             cols.append(vm_index)
             data.append(float(coeff))
+        encoding.cap_row_of[switch] = len(counts)
         counts.append(len(cols) - before)
         rhs.append(float(instance.capacity(switch)))
     r = len(counts)
-    if r:
-        model.add_linear_block(
-            np.repeat(np.arange(r, dtype=np.int64), counts), cols,
-            data, Sense.LE, rhs, "cap",
-        )
+    encoding.family_blocks["cap"] = len(model.blocks)
+    model.add_linear_block(
+        np.repeat(np.arange(r, dtype=np.int64), counts), cols,
+        data, Sense.LE, rhs, "cap",
+    )

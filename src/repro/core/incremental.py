@@ -45,6 +45,10 @@ class IncrementalResult:
     seconds: float
     placed: Dict[RuleKey, FrozenSet[str]] = field(default_factory=dict)
     installed_rules: int = 0
+    #: Compile/session telemetry: ``solver_stats["compile"]`` carries
+    #: ``depgraph_ms`` plus ``encode_ms`` (cold) or ``patch_ms`` (warm);
+    #: warm-session solves add a ``"session"`` record.
+    solver_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def is_feasible(self) -> bool:
@@ -66,6 +70,7 @@ class IncrementalDeployer:
         if engine not in ("ilp", "sat"):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
+        self._session = None
         self.topology: Topology = base.instance.topology
         self.base_capacities: Dict[str, int] = dict(base.instance.capacities)
         #: Current per-ingress state: (policy, paths, placed-map).
@@ -81,6 +86,32 @@ class IncrementalDeployer:
         # Merge-aware loads from the base placement.
         for switch, load in base.switch_loads().items():
             self._loads[switch] = load
+
+    # ------------------------------------------------------------------
+    # Warm-start session
+    # ------------------------------------------------------------------
+
+    def attach_session(self, session) -> None:
+        """Route ILP-bound previews through a warm
+        :class:`~repro.solve.session.SolverSession`.
+
+        The session keeps the encoded sub-models, dependency graphs,
+        and previous placements alive across deltas; the deployer stays
+        the single source of truth for the deployed state.  Only the
+        ``"ilp"`` engine has a warm path.
+        """
+        if self.engine != "ilp":
+            raise ValueError(
+                f"sessions require the 'ilp' engine, not {self.engine!r}"
+            )
+        self._session = session
+
+    def detach_session(self) -> None:
+        self._session = None
+
+    @property
+    def session(self):
+        return self._session
 
     # ------------------------------------------------------------------
     # State inspection
@@ -131,15 +162,38 @@ class IncrementalDeployer:
         if policy.ingress in self._state:
             raise ValueError(f"policy for {policy.ingress!r} already deployed")
         started = time.perf_counter()
+        # One dependency analysis serves the greedy stage and the
+        # sub-solver; with an attached session it comes from the pinned
+        # per-deployment cache, so a warm delta pays ~0ms here.
+        graph_start = time.perf_counter()
+        if self._session is not None:
+            graph = self._session.depgraphs.get(policy)
+        else:
+            graph = build_dependency_graph(policy)
+        depgraph_ms = (time.perf_counter() - graph_start) * 1000.0
         if try_greedy:
-            placed = self._greedy_place(policy, paths)
+            placed = self._greedy_place(policy, paths, graph)
             if placed is not None:
                 return IncrementalResult(
                     SolveStatus.FEASIBLE, "greedy",
                     time.perf_counter() - started, placed,
                     sum(len(s) for s in placed.values()),
+                    solver_stats={"compile": {
+                        "depgraph_ms": depgraph_ms,
+                        "warm": self._session is not None,
+                    }},
                 )
-        result = self._sub_ilp(policy, paths, time_limit)
+        if self._session is not None and self.engine == "ilp":
+            result = self._session.sub_solve(
+                self, policy, paths, time_limit, graph=graph
+            )
+            compile_stats = result.solver_stats.setdefault("compile", {})
+            compile_stats["depgraph_ms"] = depgraph_ms
+        else:
+            result = self._sub_ilp(policy, paths, time_limit,
+                                   depgraphs={policy.ingress: graph})
+            compile_stats = result.solver_stats.setdefault("compile", {})
+            compile_stats["depgraph_ms"] = depgraph_ms
         result.seconds = time.perf_counter() - started
         return result
 
@@ -274,8 +328,8 @@ class IncrementalDeployer:
             for switch in switches:
                 self._loads[switch] = self._loads.get(switch, 0) + 1
 
-    def _greedy_place(self, policy: Policy, paths: Sequence[Path]
-                      ) -> Optional[Dict[RuleKey, FrozenSet[str]]]:
+    def _greedy_place(self, policy: Policy, paths: Sequence[Path],
+                      graph=None) -> Optional[Dict[RuleKey, FrozenSet[str]]]:
         """Place as close to the ingress as spare capacity allows.
 
         Per path, each relevant DROP's co-location closure (the drop
@@ -283,7 +337,8 @@ class IncrementalDeployer:
         the path that can absorb the closure's *new* rules.  Returns
         ``None`` when any closure fits nowhere (ILP fallback).
         """
-        graph = build_dependency_graph(policy)
+        if graph is None:
+            graph = build_dependency_graph(policy)
         ingress = policy.ingress
         spare = self.spare_capacities()
         placed: Dict[RuleKey, set] = {}
@@ -323,7 +378,8 @@ class IncrementalDeployer:
         return {key: frozenset(switches) for key, switches in placed.items()}
 
     def _sub_ilp(self, policy: Policy, paths: Sequence[Path],
-                 time_limit: Optional[float]) -> IncrementalResult:
+                 time_limit: Optional[float],
+                 depgraphs=None) -> IncrementalResult:
         """The restricted sub-problem: only this policy's variables,
         against spare capacities."""
         routing = Routing(paths)
@@ -337,11 +393,15 @@ class IncrementalDeployer:
             sub_placement = SatPlacer().place(sub_instance)
         else:
             placer = RulePlacer(PlacerConfig(time_limit=time_limit))
-            sub_placement = placer.place(sub_instance)
-        return IncrementalResult(
+            sub_placement = placer.place(sub_instance, depgraphs=depgraphs)
+        result = IncrementalResult(
             status=sub_placement.status,
             method=self.engine,
             seconds=sub_placement.solve_seconds,
             placed=dict(sub_placement.placed),
             installed_rules=sub_placement.total_installed(),
         )
+        compile_stats = sub_placement.solver_stats.get("compile")
+        if isinstance(compile_stats, dict):
+            result.solver_stats["compile"] = dict(compile_stats)
+        return result

@@ -251,19 +251,33 @@ class RulePlacer:
         return slices.num_variables() >= _BULK_THRESHOLD
 
     def place(self, instance: PlacementInstance,
-              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None) -> Placement:
-        """Run the full pipeline and return the extracted placement."""
+              fixed: Optional[Dict[Tuple[RuleKey, str], int]] = None,
+              depgraphs=None) -> Placement:
+        """Run the full pipeline and return the extracted placement.
+
+        ``depgraphs`` lets a caller that already holds the dependency
+        graphs (a warm session's pinned cache, a component fan-out)
+        skip the recompute; ``compile.depgraph_ms`` then honestly
+        reports the near-zero reuse cost.
+        """
         instance = self.preprocess(instance)
+        if self.config.remove_redundancy:
+            # Redundancy removal rewrites the policies, so any graphs
+            # the caller computed beforehand describe the wrong rules.
+            depgraphs = None
         compile_stats: Dict[str, object] = {}
         stage_start = time.perf_counter()
-        depgraphs = {
-            policy.ingress: build_dependency_graph(policy)
-            for policy in instance.policies
-        }
+        if depgraphs is None:
+            depgraphs = {
+                policy.ingress: build_dependency_graph(policy)
+                for policy in instance.policies
+            }
         compile_stats["depgraph_ms"] = (time.perf_counter() - stage_start) * 1000.0
         slices = build_slices(instance, depgraphs)
 
-        placement = self._try_components(instance, slices, fixed, compile_stats)
+        placement = self._try_components(
+            instance, slices, fixed, compile_stats, depgraphs
+        )
         if placement is None:
             build_start = time.perf_counter()
             encoding = self.build(
@@ -287,7 +301,8 @@ class RulePlacer:
         return placement
 
     def _try_components(self, instance: PlacementInstance, slices,
-                        fixed, compile_stats: Dict[str, object]) -> Optional[Placement]:
+                        fixed, compile_stats: Dict[str, object],
+                        depgraphs=None) -> Optional[Placement]:
         """Attempt exact component decomposition (None = stay monolithic).
 
         Decomposition is only taken when it provably matches the
@@ -311,6 +326,7 @@ class RulePlacer:
         placement = place_components(
             instance, self.config, components,
             workers=self.config.component_workers,
+            depgraphs=depgraphs,
         )
         if placement is None:
             return None

@@ -42,6 +42,10 @@ class Policy:
 
     def __post_init__(self) -> None:
         self._validate_priorities()
+        #: Memoized :meth:`content_digest`; rules are frozen, so the
+        #: digest only changes through :meth:`add_rule` /
+        #: :meth:`remove_rule`, which reset this to ``None``.
+        self._digest: Optional[str] = None
 
     def _validate_priorities(self) -> None:
         seen: Dict[int, Rule] = {}
@@ -86,9 +90,11 @@ class Policy:
                     f"priority {rule.priority} already used in policy {self.ingress!r}"
                 )
         self.rules.append(rule)
+        self._digest = None
 
     def remove_rule(self, rule: Rule) -> None:
         self.rules.remove(rule)
+        self._digest = None
 
     def content_digest(self) -> str:
         """A digest of the rule content that decides placement structure.
@@ -97,10 +103,15 @@ class Policy:
         match) -- everything the dependency graph depends on -- while
         deliberately excluding the ingress name, so identical rule sets
         attached to different ports share one memoized depgraph (see
-        :func:`repro.core.depgraph.build_dependency_graph`).  Computed
-        from current content on every call: a mutated policy hashes to
-        a new key rather than hitting a stale cache entry.
+        :func:`repro.core.depgraph.build_dependency_graph`).  Rules are
+        immutable, so the digest is memoized per policy; the mutators
+        (:meth:`add_rule`, :meth:`remove_rule`) invalidate it, keeping
+        a mutated policy hashing to a new key rather than a stale one.
         """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+
         def parts():
             yield self.default_action.value
             for rule in self.sorted_rules():
@@ -109,7 +120,9 @@ class Policy:
                     f":{rule.match.mask:x}:{rule.match.value:x}"
                 )
 
-        return canonical_digest(parts())
+        digest = canonical_digest(parts())
+        self._digest = digest
+        return digest
 
     def next_priority_above(self) -> int:
         """A priority strictly higher than every existing rule's."""

@@ -48,13 +48,16 @@ from .protocol import (
     DeltaRequest,
     Response,
     ResponseStatus,
+    SessionRequest,
     SolveRequest,
     VerifyRequest,
 )
 from .workers import (
+    SessionWorker,
     WorkerCrash,
     WorkerError,
     WorkerPool,
+    commit_delta,
     delta_task,
     solve_task,
     verify_task,
@@ -109,11 +112,27 @@ class _Flight:
 
 
 class _Deployment:
-    """A named live deployer plus its serialization lock."""
+    """A named live deployer plus its serialization lock.
+
+    ``session`` is the optional warm :class:`SessionWorker` pinned to
+    this deployment; ``session_backend`` remembers the requested
+    backend so a crashed session can be rebuilt cold with the same
+    configuration.
+    """
 
     def __init__(self, deployer: IncrementalDeployer) -> None:
         self.deployer = deployer
         self.lock = threading.Lock()
+        self.session: Optional[SessionWorker] = None
+        self.session_backend: str = "highs"
+
+    def drop_session(self) -> None:
+        if self.session is not None:
+            try:
+                self.session.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self.session = None
 
 
 class Broker:
@@ -167,6 +186,15 @@ class Broker:
                                     "workers that died without answering")
         self._c_expired = m.counter("deadline_expired_total",
                                     "requests expired while queued")
+        self._c_sessions = m.counter("sessions_attached_total",
+                                     "warm solver sessions attached")
+        self._c_session_deltas = m.counter(
+            "session_deltas_total",
+            "deltas served through a warm session worker")
+        self._c_session_rebuilds = m.counter(
+            "session_rebuilds_total",
+            "warm sessions rebuilt cold after a crash, hang, or "
+            "desync")
         self._c_by_status: Dict[str, Any] = {}
         for status in (ResponseStatus.OK, ResponseStatus.INFEASIBLE,
                        ResponseStatus.OVERLOADED,
@@ -275,7 +303,98 @@ class Broker:
                             deployer: IncrementalDeployer) -> None:
         """Install/replace a named deployment (idempotent by name)."""
         with self._lock:
+            previous = self._deployments.get(name)
             self._deployments[name] = _Deployment(deployer)
+        if previous is not None:
+            # A replaced deployment's warm session describes dead
+            # state; shut its worker down outside the broker lock.
+            previous.drop_session()
+
+    # ------------------------------------------------------------------
+    # Warm sessions (control plane: answered inline, never queued)
+    # ------------------------------------------------------------------
+
+    def session_op(self, request: SessionRequest) -> Response:
+        """Attach, detach, or inspect a deployment's warm session."""
+        with self._lock:
+            deployment = self._deployments.get(request.deployment)
+        if deployment is None:
+            return Response(
+                status=ResponseStatus.BAD_REQUEST, kind=request.kind,
+                request_id=request.request_id,
+                error=f"unknown deployment {request.deployment!r}",
+            )
+        with deployment.lock:
+            if request.op == "attach":
+                deployment.drop_session()
+                deployment.session_backend = request.backend
+                deployment.session = SessionWorker(
+                    deployment.deployer, backend=request.backend,
+                    executor=self.pool.executor,
+                )
+                self._c_sessions.inc()
+                return Response(
+                    status=ResponseStatus.OK, kind=request.kind,
+                    request_id=request.request_id,
+                    result={"deployment": request.deployment,
+                            "attached": True,
+                            "backend": request.backend,
+                            "executor": deployment.session.executor},
+                )
+            if request.op == "detach":
+                had = deployment.session is not None
+                deployment.drop_session()
+                return Response(
+                    status=ResponseStatus.OK, kind=request.kind,
+                    request_id=request.request_id,
+                    result={"deployment": request.deployment,
+                            "detached": had},
+                )
+            # status
+            session = deployment.session
+            if session is None or not session.alive:
+                return Response(
+                    status=ResponseStatus.OK, kind=request.kind,
+                    request_id=request.request_id,
+                    result={"deployment": request.deployment,
+                            "attached": False},
+                )
+            try:
+                stats = session.stats(timeout=5.0)
+            except (WorkerCrash, WorkerError, TimeoutError) as exc:
+                deployment.drop_session()
+                self._c_session_rebuilds.inc()
+                return Response(
+                    status=ResponseStatus.OK, kind=request.kind,
+                    request_id=request.request_id,
+                    result={"deployment": request.deployment,
+                            "attached": False, "error": str(exc)},
+                )
+            result = {"deployment": request.deployment, "attached": True,
+                      "backend": deployment.session_backend,
+                      "executor": session.executor}
+            result.update(stats)
+            return Response(status=ResponseStatus.OK, kind=request.kind,
+                            request_id=request.request_id, result=result)
+
+    def _rebuild_session(self, deployment: _Deployment) -> None:
+        """Cold-rebuild a deployment's session after crash/hang/desync.
+
+        Caller holds ``deployment.lock``.  The fresh worker snapshots
+        the *current* live deployer, so its first preview follows the
+        cold path -- exactly the oracle the differential harness
+        replays.
+        """
+        deployment.drop_session()
+        self._c_session_rebuilds.inc()
+        try:
+            deployment.session = SessionWorker(
+                deployment.deployer,
+                backend=deployment.session_backend,
+                executor=self.pool.executor,
+            )
+        except Exception:  # pragma: no cover - fork failure
+            deployment.session = None
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -292,6 +411,9 @@ class Broker:
             self._inflight.clear()
             self._g_queue.set(0)
             self._work_ready.notify_all()
+            deployments = list(self._deployments.values())
+        for deployment in deployments:
+            deployment.drop_session()
         for flight in pending:
             flight.resolve(Response(
                 status=ResponseStatus.ERROR, kind=flight.request.kind,
@@ -430,6 +552,8 @@ class Broker:
                         status=ResponseStatus.BAD_REQUEST,
                         kind=request.kind, error=str(exc),
                     )
+                self._mirror(deployment, lambda s: s.remove(
+                    request.ingress, timeout=5.0))
                 return Response(
                     status=ResponseStatus.OK, kind=request.kind,
                     served="inline",
@@ -437,59 +561,139 @@ class Broker:
                             "method": "bookkeeping",
                             "total_installed": deployer.total_installed()},
                 )
-            try:
-                payload = self.pool.run(
-                    delta_task, deployer, request, remaining,
-                    timeout=self._pool_timeout(remaining),
-                )
-            except WorkerCrash as exc:
+            served = "solved"
+            payload = None
+            session = deployment.session
+            if session is not None and not session.alive:
+                # The worker died between deltas (crash, OOM kill):
+                # rebuild the session cold from the authoritative
+                # deployer before serving.
                 self._c_crashes.inc()
-                return Response(status=ResponseStatus.WORKER_CRASHED,
-                                kind=request.kind, error=str(exc))
-            except TimeoutError as exc:
-                return Response(status=ResponseStatus.DEADLINE_EXCEEDED,
-                                kind=request.kind, error=str(exc))
-            except WorkerError as exc:
-                # A preview that raised ValueError (unknown ingress,
-                # duplicate policy) is the client's mistake, not ours.
-                message = str(exc)
-                status = (ResponseStatus.BAD_REQUEST
-                          if "ValueError:" in message
-                          else ResponseStatus.ERROR)
-                return Response(status=status, kind=request.kind,
-                                error=message)
+                self._rebuild_session(deployment)
+                session = deployment.session
+            if session is not None and session.alive:
+                payload, response = self._session_preview(
+                    deployment, request, remaining)
+                if response is not None:
+                    return response
+                if payload is not None:
+                    served = "session"
+            if payload is None:
+                try:
+                    payload = self.pool.run(
+                        delta_task, deployer, request, remaining,
+                        timeout=self._pool_timeout(remaining),
+                    )
+                except WorkerCrash as exc:
+                    self._c_crashes.inc()
+                    return Response(status=ResponseStatus.WORKER_CRASHED,
+                                    kind=request.kind, error=str(exc))
+                except TimeoutError as exc:
+                    return Response(
+                        status=ResponseStatus.DEADLINE_EXCEEDED,
+                        kind=request.kind, error=str(exc))
+                except WorkerError as exc:
+                    # A preview that raised ValueError (unknown
+                    # ingress, duplicate policy) is the client's
+                    # mistake, not ours.
+                    message = str(exc)
+                    status = (ResponseStatus.BAD_REQUEST
+                              if "ValueError:" in message
+                              else ResponseStatus.ERROR)
+                    return Response(status=status, kind=request.kind,
+                                    error=message)
 
             if not payload["feasible"]:
                 return Response(
                     status=ResponseStatus.INFEASIBLE, kind=request.kind,
-                    served="solved",
+                    served=served,
                     result={"op": request.op, "status": payload["status"],
                             "method": payload["method"],
-                            "solve_seconds": payload["seconds"]},
+                            "solve_seconds": payload["seconds"],
+                            "solver_stats": payload.get("solver_stats",
+                                                        {})},
                 )
             placed = _placed_from(payload["placed"])
-            if request.op == "install":
-                policy = repro_io.policy_from_dict(request.policy)
-                paths = _request_paths(request)
-                deployer.commit_install(policy, paths, placed)
-            elif request.op == "reroute":
-                deployer.apply_reroute(
-                    request.ingress, _request_paths(request), placed
-                )
-            else:  # modify
-                policy = repro_io.policy_from_dict(request.policy)
-                deployer.apply_modify(policy, placed)
+            commit_delta(deployer, request, placed)
+            if served == "session":
+                # The child previewed against its own snapshot; mirror
+                # the commit so the snapshot tracks the authority.  A
+                # mirror failure means the states may have diverged --
+                # the session is untrustworthy, rebuild it cold.
+                self._mirror(deployment,
+                             lambda s: s.commit(request, placed,
+                                                timeout=5.0))
             return Response(
                 status=ResponseStatus.OK, kind=request.kind,
-                served="solved",
+                served=served,
                 result={
                     "op": request.op,
                     "method": payload["method"],
                     "installed_rules": payload["installed_rules"],
                     "solve_seconds": payload["seconds"],
+                    "solver_stats": payload.get("solver_stats", {}),
                     "total_installed": deployer.total_installed(),
                 },
             )
+
+    def _session_preview(self, deployment: _Deployment,
+                         request: DeltaRequest,
+                         remaining: Optional[float]):
+        """Try the warm session; returns ``(payload, response)``.
+
+        Exactly one of the two is non-None, except the
+        crash-with-rebuild-also-dead case where both are None -- the
+        caller then falls through to the per-request pool (the cold
+        path, which needs no session at all).  Caller holds
+        ``deployment.lock``.
+        """
+        try:
+            payload = deployment.session.preview(
+                request, remaining, timeout=self._pool_timeout(remaining))
+            self._c_session_deltas.inc()
+            return payload, None
+        except WorkerCrash:
+            self._c_crashes.inc()
+            self._rebuild_session(deployment)
+            session = deployment.session
+            if session is None or not session.alive:
+                return None, None
+            try:
+                # Retry once through the fresh (cold) session: the
+                # crash cost the warm state, not the request.
+                payload = session.preview(
+                    request, remaining,
+                    timeout=self._pool_timeout(remaining))
+                self._c_session_deltas.inc()
+                return payload, None
+            except (WorkerCrash, TimeoutError, WorkerError):
+                self._rebuild_session(deployment)
+                return None, None
+        except TimeoutError as exc:
+            # The worker was terminated mid-solve; its state is gone.
+            self._rebuild_session(deployment)
+            return None, Response(
+                status=ResponseStatus.DEADLINE_EXCEEDED,
+                kind=request.kind, error=str(exc))
+        except WorkerError as exc:
+            # The child caught the exception and keeps serving; the
+            # session survives.  Same status mapping as the pool path.
+            message = str(exc)
+            status = (ResponseStatus.BAD_REQUEST
+                      if "ValueError:" in message
+                      else ResponseStatus.ERROR)
+            return None, Response(status=status, kind=request.kind,
+                                  error=message)
+
+    def _mirror(self, deployment: _Deployment, call) -> None:
+        """Forward a state change into the session worker's snapshot."""
+        session = deployment.session
+        if session is None or not session.alive:
+            return
+        try:
+            call(session)
+        except (WorkerCrash, WorkerError, TimeoutError):
+            self._rebuild_session(deployment)
 
     def _run_verify(self, request: VerifyRequest,
                     remaining: Optional[float]) -> Response:

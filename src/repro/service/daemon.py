@@ -38,6 +38,7 @@ from .protocol import (
     Request,
     Response,
     ResponseStatus,
+    SessionRequest,
     decode_request,
     encode_response,
 )
@@ -119,6 +120,13 @@ class PlacementService:
                 result={"metrics": snapshot,
                         "prometheus": self.metrics.render_prometheus()},
             ))
+            return ticket
+        if isinstance(request, SessionRequest):
+            # Session lifecycle is control-plane: attach forks the
+            # worker (fast), detach/status are bookkeeping -- none of
+            # them should queue behind solves.
+            ticket = Ticket()
+            ticket.resolve(self.broker.session_op(request))
             return ticket
         if isinstance(request, InvalidateRequest):
             ticket = Ticket()

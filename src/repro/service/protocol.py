@@ -52,6 +52,7 @@ __all__ = [
     "Request",
     "Response",
     "ResponseStatus",
+    "SessionRequest",
     "SolveRequest",
     "VerifyRequest",
     "decode_request",
@@ -64,6 +65,9 @@ PROTOCOL_VERSION = 1
 
 #: Delta operations the service accepts.
 DELTA_OPS = ("install", "remove", "reroute", "modify")
+
+#: Session lifecycle operations (see :class:`SessionRequest`).
+SESSION_OPS = ("attach", "detach", "status")
 
 
 class ProtocolError(ValueError):
@@ -240,6 +244,58 @@ class VerifyRequest:
 
 
 @dataclass
+class SessionRequest:
+    """Warm-session lifecycle control for one named deployment.
+
+    ``attach`` pins a :class:`~repro.solve.session.SolverSession` to
+    the deployment's worker: the encoded sub-models, dependency graphs,
+    and incumbents survive across deltas.  ``detach`` tears the session
+    down (subsequent deltas take the cold path); ``status`` reports the
+    session's telemetry without touching it.  Answered inline by the
+    broker, never queued.
+    """
+
+    deployment: str
+    op: str = "status"
+    #: MILP engine warm solves run on (``highs`` or ``bnb``).
+    backend: str = "highs"
+    request_id: Optional[str] = None
+
+    kind = "session"
+    priority = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in SESSION_OPS:
+            raise ProtocolError(
+                f"unknown session op {self.op!r}; known: {SESSION_OPS}"
+            )
+        if self.backend not in ("highs", "bnb"):
+            raise ProtocolError(
+                f"unknown session backend {self.backend!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _with_common(self, {
+            "deployment": self.deployment,
+            "op": self.op,
+            "backend": self.backend,
+        })
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SessionRequest":
+        try:
+            deployment = data["deployment"]
+        except KeyError:
+            raise ProtocolError("session request missing deployment") from None
+        return cls(
+            deployment=deployment,
+            op=data.get("op", "status"),
+            backend=data.get("backend", "highs"),
+            request_id=data.get("request_id"),
+        )
+
+
+@dataclass
 class PingRequest:
     """Liveness probe; answered inline, never queued."""
 
@@ -299,13 +355,14 @@ class InvalidateRequest:
 
 Request = Union[
     SolveRequest, DeltaRequest, VerifyRequest,
-    PingRequest, MetricsRequest, InvalidateRequest,
+    PingRequest, MetricsRequest, InvalidateRequest, SessionRequest,
 ]
 
 _REQUEST_TYPES = {
     cls.kind: cls
     for cls in (SolveRequest, DeltaRequest, VerifyRequest,
-                PingRequest, MetricsRequest, InvalidateRequest)
+                PingRequest, MetricsRequest, InvalidateRequest,
+                SessionRequest)
 }
 
 

@@ -44,9 +44,11 @@ from ..core.verify import verify_placement
 from .protocol import DeltaRequest, SolveRequest
 
 __all__ = [
+    "SessionWorker",
     "WorkerCrash",
     "WorkerError",
     "WorkerPool",
+    "commit_delta",
     "delta_task",
     "solve_task",
     "verify_task",
@@ -263,12 +265,35 @@ def delta_task(deployer: IncrementalDeployer, request: DeltaRequest,
         "feasible": result.is_feasible,
         "seconds": result.seconds,
         "installed_rules": result.installed_rules,
+        "solver_stats": dict(getattr(result, "solver_stats", {}) or {}),
         "placed": [
             {"ingress": key[0], "priority": key[1],
              "switches": sorted(switches)}
             for key, switches in sorted(result.placed.items())
         ],
     }
+
+
+def commit_delta(deployer: IncrementalDeployer, request: DeltaRequest,
+                 placed) -> int:
+    """Apply a previewed delta's placement to a live deployer.
+
+    Shared by the broker (committing to the authoritative deployment)
+    and the session worker child (keeping its warm mirror in sync).
+    Returns the deployer's total installed rules after the commit.
+    """
+    if request.op == "install":
+        policy = repro_io.policy_from_dict(request.policy)
+        deployer.commit_install(policy, _paths_from(request.paths), placed)
+    elif request.op == "reroute":
+        deployer.apply_reroute(request.ingress, _paths_from(request.paths),
+                               placed)
+    elif request.op == "modify":
+        policy = repro_io.policy_from_dict(request.policy)
+        deployer.apply_modify(policy, placed)
+    else:
+        raise ValueError(f"cannot commit delta op {request.op!r}")
+    return deployer.total_installed()
 
 
 def verify_task(instance: PlacementInstance,
@@ -296,3 +321,246 @@ def _paths_from(specs: List[Dict[str, Any]]):
             None if flow is None else TernaryMatch.from_string(flow),
         ))
     return paths
+
+
+# ---------------------------------------------------------------------------
+# Warm-session worker
+# ---------------------------------------------------------------------------
+
+
+class SessionWorker:
+    """A long-lived worker pinned to one deployment's warm solver session.
+
+    The per-request :class:`WorkerPool` cannot host a warm session: the
+    whole point of a session is state that *survives* requests (encoded
+    model, dependency graphs, incumbents), and pool workers die with
+    their request.  A :class:`SessionWorker` is the persistent variant:
+
+    * ``executor="process"`` forks **one** child at attach time.  The
+      fork's copy-on-write memory gives the child a snapshot of the live
+      deployer; the child attaches a
+      :class:`~repro.solve.session.SolverSession` to it and then serves
+      ``preview`` / ``commit`` / ``stats`` commands over a pipe until
+      shut down.  Commits are mirrored into the child so its snapshot
+      tracks the authoritative deployment in the parent.  A child that
+      dies or hangs surfaces as :class:`WorkerCrash` /
+      :class:`TimeoutError` -- the broker's cue to discard the session
+      and rebuild it cold.
+    * ``executor="inline"`` attaches the session directly to the live
+      deployer (tests, platforms without ``fork``).  ``commit`` is a
+      no-op because the mirror *is* the authority.
+
+    Crash isolation is weaker than the pool's by design: a crash loses
+    the warm state but never the deployment, because the authoritative
+    deployer lives in the parent and is only mutated after a successful
+    preview.
+    """
+
+    def __init__(self, deployer: IncrementalDeployer,
+                 backend: str = "highs",
+                 executor: str = "process") -> None:
+        if executor not in ("process", "inline"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._dead = False
+        self._ctx = None
+        self._proc = None
+        self._conn = None
+        self._deployer: Optional[IncrementalDeployer] = None
+        if executor == "process":
+            import multiprocessing
+
+            try:
+                self._ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                executor = "inline"
+        self.executor = executor
+        if self.executor == "process":
+            parent, child = self._ctx.Pipe(duplex=True)
+            self._proc = self._ctx.Process(
+                target=_session_child_main,
+                args=(child, deployer, backend), daemon=False,
+            )
+            self._proc.start()
+            child.close()
+            self._conn = parent
+        else:
+            from ..solve.session import SolverSession
+
+            self._deployer = deployer
+            self._session = SolverSession(backend=backend)
+            deployer.attach_session(self._session)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        if self._dead:
+            return False
+        if self.executor == "inline":
+            return True
+        return self._proc.is_alive()
+
+    def preview(self, request: DeltaRequest,
+                time_limit: Optional[float] = None,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Run one delta preview through the warm session."""
+        return self._call(("preview", request, time_limit), timeout)
+
+    def commit(self, request: DeltaRequest, placed,
+               timeout: Optional[float] = None) -> None:
+        """Mirror a committed delta into the worker's snapshot."""
+        if self.executor == "inline":
+            return  # the mirror is the live deployer; already committed
+        placed_wire = {key: sorted(switches)
+                       for key, switches in placed.items()}
+        self._call(("commit", request, placed_wire), timeout)
+
+    def remove(self, ingress: str,
+               timeout: Optional[float] = None) -> None:
+        """Mirror a policy removal into the worker's snapshot."""
+        if self.executor == "inline":
+            return
+        self._call(("remove", ingress), timeout)
+
+    def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Session telemetry (warm hits, fallbacks, entries...)."""
+        if self.executor == "inline":
+            return {"session": self._session.telemetry(),
+                    "total_installed": self._deployer.total_installed()}
+        return self._call(("stats",), timeout)
+
+    def close(self) -> None:
+        """Shut the worker down; safe to call twice or after a crash."""
+        if self.executor == "inline":
+            if not self._dead and self._deployer is not None:
+                self._deployer.detach_session()
+            self._dead = True
+            return
+        with self._lock:
+            if not self._dead:
+                try:
+                    self._conn.send(("shutdown",))
+                except (BrokenPipeError, OSError):
+                    pass
+            self._dead = True
+        self._proc.join(timeout=1.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=1.0)
+        if self._proc.is_alive():  # pragma: no cover - stubborn child
+            self._proc.kill()
+            self._proc.join(timeout=1.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # ------------------------------------------------------------------
+
+    def _call(self, message, timeout: Optional[float]) -> Dict[str, Any]:
+        if self.executor == "inline":
+            return self._call_inline(message)
+        with self._lock:
+            if self._dead or not self._proc.is_alive():
+                self._dead = True
+                raise WorkerCrash("session worker is gone")
+            try:
+                self._conn.send(message)
+            except (BrokenPipeError, OSError):
+                self._dead = True
+                raise WorkerCrash(
+                    "session worker pipe is closed") from None
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while True:
+                wait = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # A hung persistent worker must not pin the
+                        # deployment forever: kill it; the broker
+                        # rebuilds the session cold.
+                        self._dead = True
+                        self._proc.terminate()
+                        raise TimeoutError(
+                            f"session worker exceeded {timeout:.3f}s; "
+                            f"terminated")
+                    wait = min(wait, remaining)
+                if self._conn.poll(wait):
+                    try:
+                        kind, payload = self._conn.recv()
+                    except EOFError:
+                        self._dead = True
+                        raise WorkerCrash(
+                            "session worker closed its pipe without "
+                            "answering") from None
+                    if kind == "done":
+                        return payload
+                    raise WorkerError(str(payload))
+                if not self._proc.is_alive():
+                    if self._conn.poll(0):
+                        continue
+                    self._dead = True
+                    raise WorkerCrash(
+                        f"session worker died with exit code "
+                        f"{self._proc.exitcode}")
+
+    def _call_inline(self, message) -> Dict[str, Any]:
+        try:
+            return _session_serve(self._deployer, self._session, message)
+        except Exception:
+            raise WorkerError(traceback.format_exc(limit=6)) from None
+
+
+def _session_serve(deployer: IncrementalDeployer, session,
+                   message) -> Dict[str, Any]:
+    """Execute one session-worker command against a deployer+session."""
+    op = message[0]
+    if op == "preview":
+        _op, request, time_limit = message
+        return delta_task(deployer, request, time_limit)
+    if op == "commit":
+        _op, request, placed_wire = message
+        placed = {key: frozenset(switches)
+                  for key, switches in placed_wire.items()}
+        return {"total_installed": commit_delta(deployer, request, placed)}
+    if op == "remove":
+        deployer.remove_policy(message[1])
+        return {"total_installed": deployer.total_installed()}
+    if op == "stats":
+        return {"session": session.telemetry(),
+                "total_installed": deployer.total_installed()}
+    raise ValueError(f"unknown session worker op {op!r}")
+
+
+def _session_child_main(conn, deployer: IncrementalDeployer,
+                        backend: str) -> None:
+    """Child entry point: hold the warm session, answer until shutdown."""
+    from ..solve.session import SolverSession
+
+    session = SolverSession(backend=backend)
+    deployer.attach_session(session)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message[0] == "shutdown":
+                try:
+                    conn.send(("done", {}))
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+            try:
+                payload = _session_serve(deployer, session, message)
+                conn.send(("done", payload))
+            except Exception:
+                try:
+                    conn.send(("error", traceback.format_exc(limit=6)))
+                except Exception:  # pragma: no cover - pipe gone
+                    return
+    finally:
+        conn.close()

@@ -27,8 +27,11 @@ from .portfolio import (
     PortfolioSolver,
     resolve_backend,
 )
+from .session import SessionStats, SolverSession
 
 __all__ = [
+    "SessionStats",
+    "SolverSession",
     "Component",
     "objective_is_separable",
     "place_components",

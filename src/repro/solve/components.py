@@ -157,11 +157,11 @@ def _solve_component(payload) -> Dict[str, object]:
     returns a small picklable result dict, mirroring the portfolio's
     engine payloads.
     """
-    sub_instance, config = payload
+    sub_instance, config, depgraphs = payload
     from ..core.placement import RulePlacer
 
     try:
-        placement = RulePlacer(config).place(sub_instance)
+        placement = RulePlacer(config).place(sub_instance, depgraphs=depgraphs)
     except Exception as exc:
         # A failed sub-solve (bad backend, solver crash) must not take
         # down the whole placement -- report ERROR and let the caller
@@ -220,6 +220,7 @@ def place_components(
     config: PlacerConfig,
     components: Sequence[Component],
     workers: Optional[int] = None,
+    depgraphs: Optional[Dict[str, object]] = None,
 ) -> Optional[Placement]:
     """Solve each component independently and stitch the sub-solutions.
 
@@ -231,8 +232,18 @@ def place_components(
     sub_config = dataclasses.replace(
         config, parallel_components="off", remove_redundancy=False
     )
+    # Already-computed dependency graphs ride along per component so the
+    # sub-solves (forked or serial) skip the dependency analysis.
+    def _component_graphs(component: Component):
+        if not depgraphs:
+            return None
+        if any(i not in depgraphs for i in component.ingresses):
+            return None  # partial set: let the sub-solve recompute
+        return {i: depgraphs[i] for i in component.ingresses}
+
     payloads = [
-        (build_subinstance(instance, component), sub_config)
+        (build_subinstance(instance, component), sub_config,
+         _component_graphs(component))
         for component in components
     ]
 

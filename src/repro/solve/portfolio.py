@@ -86,6 +86,10 @@ class EngineTask:
     enable_merging: bool = False
     time_limit: Optional[float] = None
     options: Dict[str, object] = field(default_factory=dict)
+    #: Optional incumbent seed ``{var index: value}`` -- a feasible
+    #: assignment (the warm session's previous placement) handed to
+    #: MILP engines for incumbent seeding / MIP start.
+    warm_start: Optional[Dict[int, float]] = None
 
 
 @dataclass(frozen=True)
@@ -196,13 +200,17 @@ def _milp_payload(encoding: IlpEncoding, result: SolveResult) -> Dict[str, objec
 
 def _run_highs(task: EngineTask) -> Dict[str, object]:
     backend = ScipyMilpBackend(**task.options)
-    result = task.encoding.model.solve(backend, time_limit=task.time_limit)
+    result = task.encoding.model.solve(
+        backend, time_limit=task.time_limit, warm_start=task.warm_start
+    )
     return _milp_payload(task.encoding, result)
 
 
 def _run_bnb(task: EngineTask) -> Dict[str, object]:
     backend = BranchAndBoundBackend(**task.options)
-    result = task.encoding.model.solve(backend, time_limit=task.time_limit)
+    result = task.encoding.model.solve(
+        backend, time_limit=task.time_limit, warm_start=task.warm_start
+    )
     return _milp_payload(task.encoding, result)
 
 
@@ -324,8 +332,10 @@ class PortfolioSolver:
         encoding: Optional[IlpEncoding] = None,
         enable_merging: bool = False,
         objective=None,
+        warm_start: Optional[Dict[int, float]] = None,
     ) -> PortfolioOutcome:
         """Race the configured engines on ``instance``."""
+        self._warm_start = warm_start
         specs = list(self.specs)
         skipped: List[EngineReport] = []
         needs_encoding = any(s.name in ("highs", "bnb") for s in specs)
@@ -376,6 +386,7 @@ class PortfolioSolver:
             enable_merging=enable_merging,
             time_limit=self.deadline,
             options=dict(self.engine_options.get(spec.name, {})),
+            warm_start=getattr(self, "_warm_start", None),
         )
 
     def _race_process(self, specs, instance, encoding, enable_merging):

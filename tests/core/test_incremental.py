@@ -237,13 +237,14 @@ class TestFallbackLadder:
         original_greedy = deployer._greedy_place
         original_sub = deployer._sub_ilp
 
-        def spy_greedy(policy, paths):
+        def spy_greedy(policy, paths, graph=None):
             calls.append("greedy")
-            original_greedy(policy, paths)  # would succeed...
-            return None                     # ...but report failure
-        def spy_sub(policy, paths, time_limit):
+            original_greedy(policy, paths, graph)  # would succeed...
+            return None                            # ...but report failure
+        def spy_sub(policy, paths, time_limit, depgraphs=None):
             calls.append("ilp")
-            return original_sub(policy, paths, time_limit)
+            return original_sub(policy, paths, time_limit,
+                                depgraphs=depgraphs)
 
         monkeypatch.setattr(deployer, "_greedy_place", spy_greedy)
         monkeypatch.setattr(deployer, "_sub_ilp", spy_sub)
@@ -353,3 +354,72 @@ class TestBase:
         deployer = IncrementalDeployer(base)
         expected = base.spare_capacities()
         assert deployer.spare_capacities() == expected
+
+
+class TestSessionDepgraphReuse:
+    """Satellite regression: warm deltas must not recompute dependency
+    graphs.  The deployer resolves each policy's graph through the
+    session's pinned digest-keyed cache, so after the first delta the
+    per-delta ``depgraph_ms`` is (near) zero."""
+
+    def _session_deployer(self, deployed_network):
+        from repro.solve.session import SolverSession
+
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        session = SolverSession()
+        deployer.attach_session(session)
+        return deployer, session, router, ports
+
+    def test_depgraph_cached_across_warm_deltas(self, deployed_network):
+        deployer, session, router, ports = self._session_deployer(
+            deployed_network)
+        new_policy = generate_policy_set(
+            [ports[10]], rules_per_policy=8, seed=9)[ports[10]]
+        path_a = router.shortest_path(ports[10], ports[0])
+        path_b = router.shortest_path(ports[10], ports[1])
+
+        first = deployer.install_policy(new_policy, [path_a],
+                                        try_greedy=False)
+        assert first.is_feasible
+        # The first delta builds the session entry cold...
+        assert first.solver_stats["compile"]["warm"] is False
+        assert session.depgraphs.stats()["misses"] == 1
+
+        # Re-deltas on the same policy content: graph comes from the
+        # pinned cache, never recomputed.
+        for target in (path_b, path_a, path_b):
+            result = deployer.reroute_policy(ports[10], [target],
+                                             try_greedy=False)
+            assert result.is_feasible
+            compile_stats = result.solver_stats["compile"]
+            assert compile_stats["warm"] is True
+            # Cache hit: bounded far below any real recomputation
+            # (building this graph cold costs ~1ms+; a dict hit ~1us).
+            assert compile_stats["depgraph_ms"] < 0.5, compile_stats
+        stats = session.depgraphs.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 3
+
+    def test_cold_deployer_still_reports_depgraph_time(self,
+                                                       deployed_network):
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base)
+        new_policy = generate_policy_set(
+            [ports[10]], rules_per_policy=8, seed=9)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        result = deployer.install_policy(new_policy, [path],
+                                         try_greedy=False)
+        assert result.is_feasible
+        compile_stats = result.solver_stats["compile"]
+        # No session: no warm-hit flag, but compile timing is there.
+        assert compile_stats.get("warm") is not True
+        assert "depgraph_ms" in compile_stats
+
+    def test_attach_requires_ilp_engine(self, deployed_network):
+        from repro.solve.session import SolverSession
+
+        topo, router, ports, base = deployed_network
+        deployer = IncrementalDeployer(base, engine="sat")
+        with pytest.raises(ValueError):
+            deployer.attach_session(SolverSession())

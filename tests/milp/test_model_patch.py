@@ -1,0 +1,329 @@
+"""Property-based tests for in-place model patching.
+
+A warm solver session evolves one live :class:`~repro.milp.model.Model`
+across many re-solves instead of re-encoding per request.  That is only
+sound if patching commutes with building: after *any* sequence of
+coefficient patches, RHS updates, row appends, block replacements,
+bound changes, retire/restore cycles, and column recycling, the live
+model must be byte-identical -- canonical CSR arrays and content
+digest -- to a model built from scratch with the final content.
+
+The suite maintains a plain-Python ground-truth spec alongside the
+patched model, mutates both through random operation sequences, and
+compares the patched model against a from-scratch rebuild of the spec.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.milp.model import LinExpr, LinearBlock, Model, Sense
+
+SENSES = (Sense.LE, Sense.GE, Sense.EQ)
+
+
+# ---------------------------------------------------------------------------
+# Ground truth: a declarative spec of the model content
+# ---------------------------------------------------------------------------
+
+
+class _BlockSpec:
+    def __init__(self) -> None:
+        self.entries = {}  # (row, col) -> coefficient
+        self.senses = []
+        self.rhs = []
+
+
+class _ModelSpec:
+    """What the model *should* contain after the operation sequence."""
+
+    def __init__(self) -> None:
+        self.bounds = []  # per variable (lb, ub)
+        self.blocks = []
+        self.objective = {}
+
+    def rebuild(self) -> Model:
+        """A from-scratch model with exactly this content."""
+        model = Model("rebuilt")
+        for index, (lb, ub) in enumerate(self.bounds):
+            var = model.add_binary(f"rb{index}")
+            model.set_var_bounds(var.index, lb, ub)
+        for spec in self.blocks:
+            rows, cols, data = [], [], []
+            for (row, col), value in sorted(spec.entries.items()):
+                if value != 0.0:
+                    rows.append(row)
+                    cols.append(col)
+                    data.append(value)
+            model.add_linear_block(rows, cols, data, list(spec.senses),
+                                   list(spec.rhs))
+        model.set_objective(LinExpr(dict(self.objective)))
+        return model
+
+
+def assert_equivalent(model: Model, spec: _ModelSpec) -> None:
+    rebuilt = spec.rebuild()
+    live, fresh = model.canonical_csr(), rebuilt.canonical_csr()
+    for key in ("indptr", "indices", "data", "row_lb", "row_ub"):
+        np.testing.assert_array_equal(
+            live[key], fresh[key],
+            err_msg=f"canonical CSR field {key!r} diverged")
+    assert model.content_digest() == rebuilt.content_digest()
+
+
+# ---------------------------------------------------------------------------
+# Random operation sequences
+# ---------------------------------------------------------------------------
+
+
+def _random_block(rng: random.Random, model: Model,
+                  spec: _ModelSpec) -> None:
+    num_rows = rng.randint(1, 4)
+    nvars = model.num_variables()
+    rows, cols, data = [], [], []
+    entries = {}
+    for _ in range(rng.randint(0, 3 * num_rows)):
+        row, col = rng.randrange(num_rows), rng.randrange(nvars)
+        value = float(rng.randint(-3, 3))
+        rows.append(row)
+        cols.append(col)
+        data.append(value)
+        # COO duplicates accumulate in canonical form.
+        entries[(row, col)] = entries.get((row, col), 0.0) + value
+    senses = [rng.choice(SENSES) for _ in range(num_rows)]
+    rhs = [float(rng.randint(-5, 5)) for _ in range(num_rows)]
+    model.add_linear_block(rows, cols, data, senses, rhs)
+    block = _BlockSpec()
+    block.entries = entries
+    block.senses = senses
+    block.rhs = rhs
+    spec.blocks.append(block)
+
+
+def _apply_random_op(rng: random.Random, model: Model,
+                     spec: _ModelSpec) -> None:
+    op = rng.randrange(9)
+    nvars = model.num_variables()
+    if op == 0:  # grow the variable space (never recycles: fresh=True)
+        count = rng.randint(1, 3)
+        names = [f"g{nvars}_{i}" for i in range(count)]
+        model.add_binaries(names, fresh=True)
+        spec.bounds.extend([(0.0, 1.0)] * count)
+    elif op == 1:
+        _random_block(rng, model, spec)
+    elif op == 2 and spec.blocks:  # coefficient patch (set semantics)
+        which = rng.randrange(len(spec.blocks))
+        block = spec.blocks[which]
+        rows, cols, data = [], [], []
+        for _ in range(rng.randint(1, 4)):
+            row = rng.randrange(len(block.rhs))
+            col = rng.randrange(nvars)
+            value = float(rng.randint(-3, 3))  # 0 deletes the entry
+            rows.append(row)
+            cols.append(col)
+            data.append(value)
+            block.entries[(row, col)] = value
+        model.patch_linear_block(which, rows, cols, data)
+    elif op == 3 and spec.blocks:  # RHS patch, sparse or full
+        which = rng.randrange(len(spec.blocks))
+        block = spec.blocks[which]
+        if rng.random() < 0.5:
+            updates = {rng.randrange(len(block.rhs)):
+                       float(rng.randint(-5, 5))
+                       for _ in range(rng.randint(1, 3))}
+            model.set_block_rhs(which, updates)
+            for row, value in updates.items():
+                block.rhs[row] = value
+        else:
+            fresh = [float(rng.randint(-5, 5))
+                     for _ in range(len(block.rhs))]
+            model.set_block_rhs(which, fresh)
+            block.rhs = fresh
+    elif op == 4 and spec.blocks:  # append rows
+        which = rng.randrange(len(spec.blocks))
+        block = spec.blocks[which]
+        new_rows = rng.randint(1, 2)
+        offset = len(block.rhs)
+        rows, cols, data = [], [], []
+        for _ in range(rng.randint(0, 2 * new_rows)):
+            row, col = rng.randrange(new_rows), rng.randrange(nvars)
+            value = float(rng.randint(-3, 3))
+            rows.append(row)
+            cols.append(col)
+            data.append(value)
+            key = (offset + row, col)
+            block.entries[key] = block.entries.get(key, 0.0) + value
+        senses = [rng.choice(SENSES) for _ in range(new_rows)]
+        rhs = [float(rng.randint(-5, 5)) for _ in range(new_rows)]
+        model.append_block_rows(which, rows, cols, data, senses, rhs)
+        block.senses.extend(senses)
+        block.rhs.extend(rhs)
+    elif op == 5 and spec.blocks:  # wholesale replacement
+        which = rng.randrange(len(spec.blocks))
+        block = _BlockSpec()
+        num_rows = rng.randint(1, 3)
+        rows, cols, data = [], [], []
+        for _ in range(rng.randint(0, 2 * num_rows)):
+            row, col = rng.randrange(num_rows), rng.randrange(nvars)
+            value = float(rng.randint(-3, 3))
+            rows.append(row)
+            cols.append(col)
+            data.append(value)
+            block.entries[(row, col)] = (
+                block.entries.get((row, col), 0.0) + value)
+        block.senses = [rng.choice(SENSES) for _ in range(num_rows)]
+        block.rhs = [float(rng.randint(-5, 5)) for _ in range(num_rows)]
+        model.replace_block(which, rows, cols, data,
+                            list(block.senses), list(block.rhs))
+        spec.blocks[which] = block
+    elif op == 6:  # bound tightening
+        index = rng.randrange(nvars)
+        lb = float(rng.choice((0, 0, 1)))
+        ub = float(rng.choice((0, 1)))
+        if lb > ub:
+            lb, ub = ub, lb
+        model.set_var_bounds(index, lb, ub)
+        spec.bounds[index] = (lb, ub)
+    elif op == 7:  # retire / restore
+        index = rng.randrange(nvars)
+        if rng.random() < 0.5:
+            model.retire_variable(index)
+            spec.bounds[index] = (0.0, 0.0)
+        else:
+            model.restore_variable(index)
+            spec.bounds[index] = (0.0, 1.0)
+    elif op == 8:  # objective term
+        index = rng.randrange(nvars)
+        value = float(rng.randint(-2, 3))
+        if value == 0.0:
+            model.objective.coeffs.pop(index, None)
+            spec.objective.pop(index, None)
+        else:
+            model.objective.coeffs[index] = value
+            spec.objective[index] = value
+
+
+def _seed_model(rng: random.Random):
+    model = Model("live")
+    spec = _ModelSpec()
+    count = rng.randint(2, 6)
+    model.add_binaries([f"s{i}" for i in range(count)])
+    spec.bounds = [(0.0, 1.0)] * count
+    for _ in range(rng.randint(1, 3)):
+        _random_block(rng, model, spec)
+    return model, spec
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       num_ops=st.integers(min_value=1, max_value=25))
+def test_random_patch_sequences_match_scratch_build(seed, num_ops):
+    """THE session-soundness property: any patch sequence leaves the
+    model byte-identical (canonical CSR + digest) to a from-scratch
+    build of the same final content."""
+    rng = random.Random(seed)
+    model, spec = _seed_model(rng)
+    for _ in range(num_ops):
+        _apply_random_op(rng, model, spec)
+    assert_equivalent(model, spec)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_equivalence_holds_at_every_step(seed):
+    """Not just at the end: the invariant holds after each operation."""
+    rng = random.Random(seed)
+    model, spec = _seed_model(rng)
+    for _ in range(8):
+        _apply_random_op(rng, model, spec)
+        assert_equivalent(model, spec)
+
+
+# ---------------------------------------------------------------------------
+# Directed unit tests for the patching API edges
+# ---------------------------------------------------------------------------
+
+
+class TestPatchSemantics:
+    def _model(self):
+        model = Model("m")
+        model.add_binaries(["a", "b", "c"])
+        model.add_linear_block([0, 0, 1], [0, 1, 2], [1.0, 2.0, 3.0],
+                               Sense.LE, [4.0, 5.0])
+        return model
+
+    def test_patch_sets_not_accumulates(self):
+        model = self._model()
+        model.patch_linear_block(0, [0], [0], [7.0])
+        csr = model.canonical_csr()
+        row0 = csr["data"][csr["indptr"][0]:csr["indptr"][1]]
+        assert sorted(row0.tolist()) == [2.0, 7.0]
+
+    def test_patch_to_zero_deletes_entry(self):
+        model = self._model()
+        model.patch_linear_block(0, [0], [1], [0.0])
+        fresh = Model("f")
+        fresh.add_binaries(["a", "b", "c"])
+        fresh.add_linear_block([0, 1], [0, 2], [1.0, 3.0],
+                               Sense.LE, [4.0, 5.0])
+        assert model.content_digest() == fresh.content_digest()
+
+    def test_append_rows_shifts_local_ids(self):
+        model = self._model()
+        block = model.append_block_rows(0, [0], [0], [9.0],
+                                        Sense.GE, [1.0])
+        assert block.num_rows == 3
+        assert block.rows.max() == 2
+
+    def test_set_block_rhs_sparse_and_full(self):
+        model = self._model()
+        model.set_block_rhs(0, {1: -2.0})
+        assert model.blocks[0].rhs.tolist() == [4.0, -2.0]
+        model.set_block_rhs(0, [0.0, 1.0])
+        assert model.blocks[0].rhs.tolist() == [0.0, 1.0]
+
+    def test_bad_bounds_and_rows_raise(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.set_var_bounds(0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            model.patch_linear_block(0, [5], [0], [1.0])
+        with pytest.raises(ValueError):
+            model.set_block_rhs(0, [1.0])
+
+    def test_retire_restore_roundtrip(self):
+        model = self._model()
+        var = model.variables[1]
+        model.retire_variable(1)
+        assert (var.lb, var.ub) == (0.0, 0.0)
+        assert model.num_retired() == 1
+        model.restore_variable(1)
+        assert (var.lb, var.ub) == (0.0, 1.0)
+        assert model.num_retired() == 0
+
+    def test_recycle_requires_scrub_for_equivalence(self):
+        """Scrub + recycle reuses the column index and the stale
+        coefficients are gone from the canonical form."""
+        model = self._model()
+        model.retire_variable(2)
+        model.scrub_column(2)
+        recycled = model.add_binary("fresh")
+        assert recycled.index == 2  # the freed slot, not a new column
+        fresh = Model("f")
+        fresh.add_binaries(["a", "b", "x"])
+        fresh.add_linear_block([0, 0], [0, 1], [1.0, 2.0],
+                               Sense.LE, [4.0, 5.0])
+        assert model.content_digest() == fresh.content_digest()
+
+    def test_fresh_binaries_bypass_free_list(self):
+        model = self._model()
+        model.retire_variable(0)
+        (var,) = model.add_binaries(["brand_new"], fresh=True)
+        assert var.index == 3  # appended, not recycled
+        assert model.num_retired() == 1

@@ -176,3 +176,35 @@ class TestValidation:
     def test_response_missing_status_rejected(self):
         with pytest.raises(ProtocolError):
             decode_response(json.dumps({"kind": "solve"}))
+
+
+class TestSessionRequest:
+    def test_roundtrip(self):
+        from repro.service.protocol import SessionRequest
+
+        request = SessionRequest(deployment="prod", op="attach",
+                                 backend="bnb", request_id="s1")
+        decoded = decode_request(encode_request(request))
+        assert isinstance(decoded, SessionRequest)
+        assert decoded.deployment == "prod"
+        assert decoded.op == "attach"
+        assert decoded.backend == "bnb"
+        assert decoded.request_id == "s1"
+
+    def test_defaults(self):
+        from repro.service.protocol import SessionRequest
+
+        decoded = decode_request(json.dumps(
+            {"kind": "session", "deployment": "prod"}))
+        assert decoded.op == "status"
+        assert decoded.backend == "highs"
+
+    def test_validation(self):
+        from repro.service.protocol import SessionRequest
+
+        with pytest.raises(ProtocolError):
+            SessionRequest(deployment="prod", op="explode")
+        with pytest.raises(ProtocolError):
+            SessionRequest(deployment="prod", backend="cplex")
+        with pytest.raises(ProtocolError):
+            decode_request(json.dumps({"kind": "session"}))

@@ -1,0 +1,296 @@
+"""Differential equivalence harness for warm solver sessions.
+
+THE correctness spine of warm-start serving: for each seed, one random
+delta stream (reroutes, policy modifications, remove+reinstall cycles)
+is replayed twice from the same base placement --
+
+* **warm**: an :class:`~repro.core.incremental.IncrementalDeployer`
+  with an attached :class:`~repro.solve.session.SolverSession`, so
+  deltas hit the patched persistent model with incumbent seeding;
+* **cold**: an identical deployer with no session, re-encoding every
+  sub-model from scratch (the oracle -- the path PR 5 shipped).
+
+At *every step* the two answers must agree on feasibility, and
+whenever both sides solved the ILP the objective value (installed
+rules for the sub-problem) must be identical -- the warm patched model
+is the *same* mathematical program, so optima cannot differ even
+though the argmin may.  Both deployers then commit the *same*
+placement so their states never diverge, and the combined live
+placement is exactly verified.
+
+A warm-path failure must never silently degrade into a cold rebuild:
+``fallbacks`` is asserted zero, so any exception inside the patching
+machinery fails the harness instead of hiding behind its own safety
+net.
+
+Environment knobs (CI's quick profile):
+
+* ``REPRO_WARM_QUICK=1``  -- trim to a fast subset of seeds;
+* ``REPRO_WARM_SEEDS=N``  -- explicit seed count override.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.incremental import IncrementalDeployer
+from repro.core.instance import PlacementInstance
+from repro.core.placement import RulePlacer
+from repro.core.verify import verify_placement
+from repro.net.generators import leaf_spine, random_graph, ring
+from repro.net.routing import ShortestPathRouter
+from repro.policy.classbench import PolicyGeneratorConfig, generate_policy_set
+from repro.policy.policy import Policy
+from repro.solve.session import SolverSession
+
+_QUICK = os.environ.get("REPRO_WARM_QUICK") == "1"
+_NUM_SEEDS = int(os.environ.get("REPRO_WARM_SEEDS",
+                                "20" if _QUICK else "100"))
+_SEEDS = range(_NUM_SEEDS)
+_STEPS = 6 if _QUICK else 8
+
+
+def build_scenario(seed: int) -> PlacementInstance:
+    """A random small instance whose sub-ILPs solve in milliseconds."""
+    rng = random.Random(77_000 + seed)
+    capacity = rng.choice([4, 6, 10])
+    kind = rng.choice(["leaf_spine", "ring", "random"])
+    if kind == "leaf_spine":
+        topo = leaf_spine(rng.randint(2, 3), 2, capacity=capacity)
+    elif kind == "ring":
+        topo = ring(rng.randint(4, 5), capacity=capacity)
+    else:
+        topo = random_graph(rng.randint(5, 7), degree=3,
+                            capacity=capacity, seed=seed)
+    ports = [p.name for p in topo.entry_ports]
+    ingresses = rng.sample(ports, rng.randint(2, min(3, len(ports))))
+    router = ShortestPathRouter(topo, seed=seed)
+    routing = router.random_routing(
+        rng.randint(len(ingresses), 2 * len(ingresses)), ingresses=ingresses
+    )
+    config = PolicyGeneratorConfig(
+        num_rules=rng.randint(3, 7),
+        drop_fraction=rng.uniform(0.3, 0.6),
+        nested_fraction=rng.uniform(0.2, 0.5),
+    )
+    policies = generate_policy_set(
+        ingresses, rules_per_policy=config.num_rules, seed=seed,
+        config=config,
+    )
+    return PlacementInstance(topo, routing, policies)
+
+
+def _check_step(ctx, warm_result, cold_result):
+    assert (warm_result.status.has_solution
+            == cold_result.status.has_solution), (
+        f"{ctx}: feasibility diverged "
+        f"(warm={warm_result.status}, cold={cold_result.status})"
+    )
+    if (warm_result.is_feasible and warm_result.method == "ilp"
+            and cold_result.method == "ilp"):
+        # Same program, so same optimum; the argmin may differ.
+        assert warm_result.installed_rules == cold_result.installed_rules, (
+            f"{ctx}: objective diverged "
+            f"(warm={warm_result.installed_rules}, "
+            f"cold={cold_result.installed_rules})"
+        )
+
+
+def replay_stream(seed: int, backend: str = "highs",
+                  steps: int = _STEPS):
+    """Replay one seeded delta stream warm-vs-cold; returns telemetry.
+
+    Returns None when the base instance is infeasible (no stream to
+    replay -- the seed contributes nothing either way).
+    """
+    rng = random.Random(seed)
+    instance = build_scenario(seed)
+    base = RulePlacer().place(instance)
+    if not base.is_feasible:
+        return None
+    session = SolverSession(backend=backend)
+    warm = IncrementalDeployer(base)
+    warm.attach_session(session)
+    cold = IncrementalDeployer(base)
+    router = ShortestPathRouter(instance.topology, seed=seed + 1)
+
+    for step in range(steps):
+        ingresses = list(warm._state)
+        if not ingresses:
+            break
+        ingress = rng.choice(ingresses)
+        policy, paths, _ = warm._state[ingress]
+        try_greedy = rng.random() < 0.4
+        op = rng.choice(["reroute", "modify", "reroute", "remove_install"])
+        ctx = f"seed={seed} step={step} op={op} ingress={ingress!r}"
+
+        if op == "reroute":
+            routing = router.random_routing(rng.randint(1, 3),
+                                            ingresses=[ingress])
+            new_paths = routing.paths(ingress)
+            if not new_paths:
+                continue
+            warm_r = warm.preview_reroute(ingress, new_paths,
+                                          try_greedy=try_greedy)
+            cold_r = cold.preview_reroute(ingress, new_paths,
+                                          try_greedy=try_greedy)
+            _check_step(ctx, warm_r, cold_r)
+            if warm_r.is_feasible:
+                warm.apply_reroute(ingress, new_paths, warm_r.placed)
+                cold.apply_reroute(ingress, new_paths, warm_r.placed)
+        elif op == "modify":
+            rules = policy.sorted_rules()
+            if len(rules) <= 1:
+                continue
+            dropped = rng.choice(rules)
+            new_policy = Policy(ingress,
+                                [r for r in rules if r is not dropped])
+            warm_r = warm.preview_modify(new_policy, try_greedy=try_greedy)
+            cold_r = cold.preview_modify(new_policy, try_greedy=try_greedy)
+            _check_step(ctx, warm_r, cold_r)
+            if warm_r.is_feasible:
+                warm.apply_modify(new_policy, warm_r.placed)
+                cold.apply_modify(new_policy, warm_r.placed)
+        else:  # remove + reinstall
+            warm.remove_policy(ingress)
+            cold.remove_policy(ingress)
+            warm_r = warm.preview_install(policy, paths,
+                                          try_greedy=try_greedy)
+            cold_r = cold.preview_install(policy, paths,
+                                          try_greedy=try_greedy)
+            _check_step(ctx, warm_r, cold_r)
+            if warm_r.is_feasible:
+                warm.commit_install(policy, paths, warm_r.placed)
+                cold.commit_install(policy, paths, warm_r.placed)
+
+        # Both deployers committed the same placement; the live state
+        # must be exactly verifiable after every step.
+        report = verify_placement(warm.as_placement())
+        assert report.ok, f"{ctx}: {report.errors[:2]}"
+
+    telemetry = session.telemetry()
+    # The warm path is not allowed to hide behind its own cold-rebuild
+    # safety net: any patching exception is a harness failure.
+    assert telemetry["fallbacks"] == 0, (
+        f"seed={seed}: warm path fell back to cold rebuild "
+        f"{telemetry['fallbacks']} times"
+    )
+    return telemetry
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_warm_equals_cold_stream(seed):
+    replay_stream(seed)
+
+
+class TestSessionBehavior:
+    """Targeted session semantics beyond raw stream equivalence."""
+
+    def test_warm_machinery_is_actually_exercised(self):
+        """Across a handful of streams the session must report warm
+        hits and cold builds -- a harness that never reaches the warm
+        path proves nothing."""
+        totals = {"warm_hits": 0, "cold_builds": 0, "template_builds": 0}
+        for seed in range(10):
+            telemetry = replay_stream(seed)
+            if telemetry is None:
+                continue
+            for key in totals:
+                totals[key] += telemetry[key]
+        assert totals["cold_builds"] > 0
+        assert totals["warm_hits"] > 0, totals
+        assert totals["template_builds"] > 0, totals
+
+    @pytest.mark.parametrize("seed", range(0, 12, 3))
+    def test_bnb_backend_streams(self, seed):
+        """The incumbent-seeded own B&B agrees with the cold oracle."""
+        replay_stream(seed, backend="bnb", steps=4)
+
+    def test_incumbent_seeding_on_path_flap(self):
+        """A->B->A rerouting reuses A's previous optimum as incumbent."""
+        for seed in range(20):
+            rng = random.Random(seed)
+            instance = build_scenario(seed)
+            base = RulePlacer().place(instance)
+            if not base.is_feasible:
+                continue
+            session = SolverSession()
+            warm = IncrementalDeployer(base)
+            warm.attach_session(session)
+            router = ShortestPathRouter(instance.topology, seed=seed + 1)
+            ingress = next(iter(warm._state))
+            _policy, paths, _ = warm._state[ingress]
+            alt = router.random_routing(2, ingresses=[ingress])
+            alt_paths = alt.paths(ingress)
+            if not alt_paths:
+                continue
+            flips = 0
+            for flip in range(4):
+                target = alt_paths if flip % 2 == 0 else paths
+                result = warm.preview_reroute(ingress, target,
+                                              try_greedy=False)
+                if not result.is_feasible:
+                    break
+                warm.apply_reroute(ingress, target, result.placed)
+                flips += 1
+            if flips == 4 and session.stats.incumbent_seeds > 0:
+                return  # seeding observed; done
+        pytest.fail("no seed produced a 4-flip stream with incumbent "
+                    "seeding")
+
+    def test_epoch_bump_invalidates_but_stays_equivalent(self):
+        """bump_epoch drops warm state; answers stay equal to cold."""
+        for seed in range(20):
+            rng = random.Random(seed)
+            instance = build_scenario(seed)
+            base = RulePlacer().place(instance)
+            if not base.is_feasible:
+                continue
+            session = SolverSession()
+            warm = IncrementalDeployer(base)
+            warm.attach_session(session)
+            cold = IncrementalDeployer(base)
+            router = ShortestPathRouter(instance.topology, seed=seed + 1)
+            ingress = next(iter(warm._state))
+            _policy, paths, _ = warm._state[ingress]
+            routing = router.random_routing(2, ingresses=[ingress])
+            new_paths = routing.paths(ingress)
+            if not new_paths:
+                continue
+            first_w = warm.preview_reroute(ingress, new_paths,
+                                           try_greedy=False)
+            first_c = cold.preview_reroute(ingress, new_paths,
+                                           try_greedy=False)
+            _check_step(f"seed={seed} pre-bump", first_w, first_c)
+            session.bump_epoch()
+            second_w = warm.preview_reroute(ingress, paths,
+                                            try_greedy=False)
+            second_c = cold.preview_reroute(ingress, paths,
+                                            try_greedy=False)
+            _check_step(f"seed={seed} post-bump", second_w, second_c)
+            assert session.stats.epoch_invalidations >= 1
+            return
+        pytest.skip("no feasible scenario in the first 20 seeds")
+
+    def test_detach_restores_cold_path(self):
+        for seed in range(20):
+            instance = build_scenario(seed)
+            base = RulePlacer().place(instance)
+            if not base.is_feasible:
+                continue
+            deployer = IncrementalDeployer(base)
+            session = SolverSession()
+            deployer.attach_session(session)
+            assert deployer.session is session
+            deployer.detach_session()
+            assert deployer.session is None
+            ingress = next(iter(deployer._state))
+            _policy, paths, _ = deployer._state[ingress]
+            result = deployer.preview_reroute(ingress, paths,
+                                              try_greedy=False)
+            assert result.solver_stats.get("session") is None
+            return
+        pytest.skip("no feasible scenario in the first 20 seeds")
