@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick serve examples verify-all clean
+.PHONY: install test chaos recovery recovery-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick serve examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,16 @@ test-report:
 # REPRO_CHAOS_SEEDS=N shrink it for quick local runs).
 chaos:
 	REPRO_CHAOS_SEEDS=200 $(PYTHON) -m pytest tests/chaos/ -q
+
+# Service crash-recovery acceptance: journal edge cases, supervisor,
+# resilient client, the 100-seed kill-restart matrix, and the real
+# SIGKILL/SIGTERM end-to-ends (REPRO_RECOVERY_QUICK=1 or
+# REPRO_RECOVERY_SEEDS=N shrink the matrix).
+recovery:
+	$(PYTHON) -m pytest tests/service/test_journal.py tests/service/test_supervisor.py tests/service/test_client.py tests/chaos/test_service_recovery.py -q
+
+recovery-quick:
+	REPRO_RECOVERY_QUICK=1 $(PYTHON) -m pytest tests/service/test_journal.py tests/service/test_supervisor.py tests/service/test_client.py tests/chaos/test_service_recovery.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -62,7 +72,18 @@ bench-warm-quick:
 	REPRO_WARM_QUICK=1 $(PYTHON) -m pytest tests/solve/test_session_differential.py -q
 	REPRO_SERVE_QUICK=1 $(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s -k TestWarmSessionOverhead
 
-# Run the placement daemon on localhost (Ctrl-C to stop).
+# Journal overhead + recovery-time acceptance at the 10k-rule point;
+# writes BENCH_pr7.json.
+bench-recovery:
+	$(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s -k TestDurability
+
+# Small instance; merges into BENCH_pr7.json without clobbering
+# full-tier numbers.
+bench-recovery-quick:
+	REPRO_SERVE_QUICK=1 $(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s -k TestDurability
+
+# Run the placement daemon on localhost (Ctrl-C to stop).  Add
+# --journal-dir/--durability for a crash-safe daemon.
 serve:
 	$(PYTHON) -m repro.cli serve
 

@@ -55,6 +55,7 @@ from repro.solve.session import SolverSession
 QUICK = os.environ.get("REPRO_SERVE_QUICK", "") not in ("", "0")
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
 BENCH6_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
+BENCH7_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
 
 SPEEDUP_FLOOR = 3.0 if QUICK else 10.0
 #: Regression floor for warm-session per-delta overhead reduction.
@@ -314,3 +315,194 @@ class TestWarmSessionOverhead:
         assert session["warm_hits"] >= WARM_DELTAS
         assert session["fallbacks"] == 0
         assert session["cold_builds"] == 1  # the priming build only
+
+
+# ----------------------------------------------------------------------
+# Journal overhead + recovery time (BENCH_pr7.json)
+# ----------------------------------------------------------------------
+
+#: The durable-service PR's acceptance ceiling: journaling may add at
+#: most 10% to the p50 warm-delta latency at realistic scale.  The
+#: quick tier's deltas are so small (~1.5ms) that the fixed per-commit
+#: fsync dominates any percentage, so quick asserts an *absolute*
+#: ceiling on the added milliseconds instead.
+DURABILITY_OVERHEAD_CEIL_PCT = 10.0
+DURABILITY_OVERHEAD_CEIL_MS = 3.0
+DURABILITY_DELTAS = 8 if QUICK else 12
+#: Same scale as the warm-session bench above: the journal's overhead
+#: promise is made against *realistic* warm deltas, not micro-deltas
+#: whose wall time is smaller than one fsync.
+DURABILITY_CONFIG = WARM_CONFIG
+
+
+def _delta_p50_ms(service, instance, deltas, tag) -> list:
+    """Drive a steady reroute-flap stream through a live service's
+    delta path (session-warm) and return per-delta wall ms."""
+    from repro import io as repro_io
+    from repro.net.routing import Routing
+    from repro.service.protocol import DeltaRequest, SessionRequest
+
+    solved = service.handle(
+        SolveRequest(instance, deploy_as="bench",
+                     request_id=f"{tag}-solve"), timeout=600.0)
+    assert solved.ok, solved.error
+    attached = service.handle(
+        SessionRequest(deployment="bench", op="attach"), timeout=60.0)
+    assert attached.ok, attached.error
+
+    ingress = instance.policies.ingresses[0]
+    router = ShortestPathRouter(instance.topology, seed=9)
+    flip = [
+        repro_io.routing_to_dict(
+            router.random_routing(2, ingresses=[ingress])),
+        repro_io.routing_to_dict(Routing(instance.routing.paths(ingress))),
+    ]
+    # Prime both routings so the sampled stream is steady-state warm.
+    for index in (0, 1):
+        primed = service.handle(DeltaRequest(
+            deployment="bench", op="reroute", ingress=ingress,
+            paths=flip[index], request_id=f"{tag}-prime-{index}"),
+            timeout=600.0)
+        assert primed.ok, primed.error
+
+    samples = []
+    for index in range(deltas):
+        request = DeltaRequest(
+            deployment="bench", op="reroute", ingress=ingress,
+            paths=flip[index % 2], request_id=f"{tag}-rr-{index}")
+        begun = time.perf_counter()
+        response = service.handle(request, timeout=600.0)
+        elapsed = (time.perf_counter() - begun) * 1e3
+        assert response.ok, response.error
+        samples.append(elapsed)
+    return samples
+
+
+@pytest.fixture(scope="module")
+def durability_report(tmp_path_factory) -> Dict[str, Any]:
+    """Two identical warm-delta streams -- journal off vs. journal on
+    (fsync) -- plus a timed recovery of the journaled daemon's state."""
+    instance = build_instance(DURABILITY_CONFIG)
+    journal_dir = str(tmp_path_factory.mktemp("bench-wal"))
+
+    with PlacementService(ServiceConfig(
+            executor="inline", supervise=False)) as bare:
+        off = _delta_p50_ms(bare, instance, DURABILITY_DELTAS, "off")
+
+    journaled = PlacementService(ServiceConfig(
+        executor="inline", supervise=False, journal_dir=journal_dir,
+        durability="fsync"))
+    try:
+        on = _delta_p50_ms(journaled, instance, DURABILITY_DELTAS, "on")
+        append = journaled.metrics.histogram("journal_append_ms")
+        journal_stats = {
+            "append_p50_ms": append.quantile(0.5),
+            "append_p95_ms": append.quantile(0.95),
+            "records": journaled.journal.lag()["seq"],
+            "bytes": journaled.journal.lag()["bytes"],
+        }
+        digest_before = journaled.broker.deployment_digest("bench")
+    finally:
+        journaled.close(drain=True)
+
+    begun = time.perf_counter()
+    recovered = PlacementService(ServiceConfig(
+        executor="inline", supervise=False, journal_dir=journal_dir,
+        durability="fsync"))
+    recovery_seconds = time.perf_counter() - begun
+    try:
+        assert recovered.broker.deployment_digest("bench") == digest_before
+        recovery = dict(recovered.last_recovery)
+    finally:
+        recovered.close()
+
+    p50_off = statistics.median(off)
+    p50_on = statistics.median(on)
+    return {
+        "tiered_ceiling": (
+            {"kind": "absolute", "ms": DURABILITY_OVERHEAD_CEIL_MS}
+            if QUICK else
+            {"kind": "relative", "pct": DURABILITY_OVERHEAD_CEIL_PCT}),
+        "config": {
+            "num_ingresses": DURABILITY_CONFIG.num_ingresses,
+            "rules_per_policy": DURABILITY_CONFIG.rules_per_policy,
+            "capacity": DURABILITY_CONFIG.capacity,
+            "deltas": DURABILITY_DELTAS,
+            "durability": "fsync",
+        },
+        "journal_off": _summary(off),
+        "journal_on": _summary(on),
+        "p50_overhead_pct": (p50_on - p50_off) / p50_off * 100.0,
+        "p50_overhead_ms": p50_on - p50_off,
+        "journal": journal_stats,
+        "recovery": {
+            "seconds": recovery_seconds,
+            "records_replayed": recovery["records"],
+            "snapshot_seq": recovery["snapshot_seq"],
+            "deployments": recovery["deployments"],
+        },
+    }
+
+
+class TestDurability:
+    def test_report_and_record(self, durability_report):
+        tier = "quick" if QUICK else "full"
+        print(banner(f"Journal overhead + recovery ({tier} tier)"))
+        report = durability_report
+        ceiling = report["tiered_ceiling"]
+        bound = (f"{ceiling['ms']:.1f}ms abs" if ceiling["kind"] == "absolute"
+                 else f"{ceiling['pct']:.0f}%")
+        print(f"  warm-delta p50: journal-off="
+              f"{report['journal_off']['median_ms']:.2f}ms "
+              f"journal-on={report['journal_on']['median_ms']:.2f}ms "
+              f"overhead={report['p50_overhead_pct']:+.1f}% "
+              f"(+{report['p50_overhead_ms']:.2f}ms, ceiling {bound})")
+        print(f"  journal: append p50="
+              f"{report['journal']['append_p50_ms']:.3f}ms "
+              f"p95={report['journal']['append_p95_ms']:.3f}ms, "
+              f"{report['journal']['records']} records, "
+              f"{report['journal']['bytes']} bytes")
+        print(f"  recovery: {report['recovery']['seconds'] * 1e3:.1f}ms "
+              f"for {report['recovery']['records_replayed']} records "
+              f"(snapshot at seq {report['recovery']['snapshot_seq']})")
+
+        existing: Dict = {}
+        if BENCH7_PATH.exists():
+            existing = json.loads(BENCH7_PATH.read_text())
+        if QUICK and existing.get("tier") == "full":
+            merged = dict(existing)
+            merged["quick"] = report
+        else:
+            merged = {"tier": tier, **report}
+        BENCH7_PATH.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    def test_overhead_within_ceiling(self, durability_report):
+        """The durable-service PR's promise: write-ahead journaling
+        (group-commit fsync) adds at most 10% to the p50 warm-delta
+        latency at realistic scale.  The quick tier's deltas are
+        smaller than one fsync, so it bounds the absolute added
+        milliseconds instead of a meaningless percentage."""
+        ceiling = durability_report["tiered_ceiling"]
+        detail = (
+            f"off={durability_report['journal_off']['median_ms']:.2f}ms "
+            f"on={durability_report['journal_on']['median_ms']:.2f}ms")
+        if ceiling["kind"] == "absolute":
+            assert (durability_report["p50_overhead_ms"]
+                    <= ceiling["ms"]), (
+                f"journaling added "
+                f"{durability_report['p50_overhead_ms']:.2f}ms to the "
+                f"p50 warm-delta latency "
+                f"(ceiling {ceiling['ms']:.1f}ms): {detail}")
+        else:
+            assert (durability_report["p50_overhead_pct"]
+                    <= ceiling["pct"]), (
+                f"journaling added "
+                f"{durability_report['p50_overhead_pct']:.1f}% to the "
+                f"p50 warm-delta latency "
+                f"(ceiling {ceiling['pct']:.0f}%): {detail}")
+
+    def test_recovery_is_complete_and_fast(self, durability_report):
+        recovery = durability_report["recovery"]
+        assert recovery["deployments"] == 1
+        assert recovery["seconds"] < 30.0

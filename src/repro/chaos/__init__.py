@@ -1,8 +1,15 @@
 """Chaos engineering for the control plane: seeded fault schedules,
-a storm-driving harness, and convergence/fail-closed oracles."""
+a storm-driving harness, and convergence/fail-closed oracles.
+
+Two layers share the discipline: :mod:`.harness` storms the dataplane
+channel (drops, duplicates, partitions), :mod:`.service` storms the
+serving daemon itself (process death, torn journal writes) and checks
+the durability oracle across restarts.
+"""
 
 from .schedule import ChaosSchedule, FaultEvent, FaultKind, generate_schedule
 from .harness import ChaosConfig, ChaosHarness, ChaosReport, run_chaos
+from .service import ServiceChaosConfig, ServiceChaosReport, run_service_chaos
 
 __all__ = [
     "ChaosConfig",
@@ -11,6 +18,9 @@ __all__ = [
     "ChaosSchedule",
     "FaultEvent",
     "FaultKind",
+    "ServiceChaosConfig",
+    "ServiceChaosReport",
     "generate_schedule",
     "run_chaos",
+    "run_service_chaos",
 ]

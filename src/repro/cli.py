@@ -167,6 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-bytes", type=int, default=None)
     serve.add_argument("--cache-ttl", type=float, default=None,
                        help="result time-to-live in seconds")
+    serve.add_argument("--journal-dir", default=None,
+                       help="directory for the write-ahead journal; "
+                            "enables crash recovery on restart")
+    serve.add_argument("--durability",
+                       choices=["fsync", "flush", "none"], default="fsync",
+                       help="journal durability mode (default fsync)")
+    serve.add_argument("--snapshot-every", type=int, default=256,
+                       help="compact the journal every N records")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="disable the session-worker supervisor")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to drain in-flight work on "
+                            "SIGTERM/SIGINT before forcing shutdown")
     serve.add_argument("--deadline", type=float, default=None,
                        help="default per-request deadline in seconds")
 
@@ -174,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     ping_cmd.add_argument("--host", default="127.0.0.1")
     ping_cmd.add_argument("--port", type=int, default=7421)
     ping_cmd.add_argument("--timeout", type=float, default=5.0)
+    ping_cmd.add_argument("--deep", action="store_true",
+                          help="full health probe: journal lag, worker "
+                               "liveness, queue depth, session probes")
 
     bench = sub.add_parser(
         "bench-serve",
@@ -198,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="process")
     bench.add_argument("--quick", action="store_true",
                        help="small workload (also via REPRO_SERVE_QUICK=1)")
+    bench.add_argument("--address", default=None,
+                       help="host:port of a running daemon to drive over "
+                            "TCP instead of an in-process service")
 
     return parser
 
@@ -346,6 +365,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .service import PlacementService, ServiceConfig, ServiceServer
     from .service.daemon import serve_stdio
 
@@ -358,30 +380,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         cache_ttl=args.cache_ttl,
         default_deadline=args.deadline,
+        journal_dir=args.journal_dir,
+        durability=args.durability,
+        snapshot_every=args.snapshot_every,
+        supervise=not args.no_supervise,
     ))
+    recovery = service.last_recovery
+    if recovery:
+        print(f"recovered from journal: {recovery['records']} records, "
+              f"{recovery['deployments']} deployments, "
+              f"{recovery['deltas']} deltas, {recovery['sessions']} "
+              f"sessions re-attached", flush=True)
     if args.stdio:
         try:
             return serve_stdio(service, sys.stdin, sys.stdout)
         finally:
-            service.close()
+            service.close(drain=True, drain_timeout=args.drain_timeout)
     server = ServiceServer(service, host=args.host, port=args.port)
     print(f"repro {__version__} serving on "
           f"{server.address[0]}:{server.port} "
           f"(executor={service.pool.executor}, "
-          f"workers={args.workers}, queue={args.queue})",
+          f"workers={args.workers}, queue={args.queue}, "
+          f"journal={args.journal_dir or 'off'})",
           flush=True)
+
+    # SIGTERM/SIGINT -> graceful drain.  The handler must not call
+    # shutdown() itself: shutdown() joins the serve_forever thread and
+    # waits on in-flight handlers, and blocking inside a signal handler
+    # on the main thread would deadlock the very work being drained.
+    # Hand off to a one-shot drainer thread instead.
+    done = threading.Event()
+
+    def _drain_and_exit(signum: int, _frame: object) -> None:
+        name = signal.Signals(signum).name
+
+        def _worker() -> None:
+            print(f"{name}: draining (timeout "
+                  f"{args.drain_timeout:.0f}s)...", flush=True)
+            server.shutdown(drain=True, drain_timeout=args.drain_timeout)
+            done.set()
+
+        threading.Thread(target=_worker, name="repro-drainer",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain_and_exit)
+    signal.signal(signal.SIGINT, _drain_and_exit)
     try:
         server.serve_forever()
+        done.wait(timeout=args.drain_timeout + 10.0)
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
+        server.shutdown(drain=False)
+    print("drained; journal is durable", flush=True)
     return 0
 
 
 def _cmd_ping(args: argparse.Namespace) -> int:
     from .service.daemon import ping
+    from .service.client import ServiceClient, ServiceUnavailable
+    from .service.protocol import HealthRequest
 
+    if args.deep:
+        try:
+            with ServiceClient(host=args.host, port=args.port,
+                               timeout=args.timeout, retries=0) as client:
+                response = client.call(HealthRequest(deep=True))
+        except (ServiceUnavailable, OSError) as exc:
+            print(f"ping {args.host}:{args.port} failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        result = response.result or {}
+        journal = result.get("journal") or {}
+        print(f"health from {args.host}:{args.port}: "
+              f"{'healthy' if result.get('healthy') else 'UNHEALTHY'}")
+        print(f"  queue depth {result.get('queue_depth')}, busy workers "
+              f"{result.get('busy_workers')}, live workers "
+              f"{result.get('live_workers')}")
+        print(f"  journal lag {journal.get('lag_records', 'n/a')} records, "
+              f"{journal.get('bytes', 'n/a')} bytes, "
+              f"{journal.get('records_since_snapshot', 'n/a')} since "
+              f"snapshot")
+        for name, digest in sorted(
+                (result.get("state_digests") or {}).items()):
+            print(f"  deployment {name}: {digest[:16]}")
+        for name, probe in sorted(
+                (result.get("session_probes") or {}).items()):
+            print(f"  session {name}: {probe}")
+        if result.get("dead_sessions"):
+            print(f"  dead sessions: {result['dead_sessions']}",
+                  file=sys.stderr)
+        return 0 if result.get("healthy") else 1
     try:
         response = ping(args.host, args.port, timeout=args.timeout)
     except OSError as exc:
@@ -405,7 +494,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from .service.loadgen import LoadgenConfig, run_loadgen
 
     quick = args.quick or os.environ.get("REPRO_SERVE_QUICK") == "1"
-    config = LoadgenConfig(seed=args.seed, executor=args.executor)
+    config = LoadgenConfig(seed=args.seed, executor=args.executor,
+                           address=args.address)
     if quick:
         config.unique_instances = 2
         config.repeats = 2

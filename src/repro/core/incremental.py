@@ -126,6 +126,38 @@ class IncrementalDeployer:
     def total_installed(self) -> int:
         return sum(self._loads.values())
 
+    def has_policy(self, ingress: str) -> bool:
+        """Whether a policy is currently deployed for ``ingress``."""
+        return ingress in self._state
+
+    def state_digest(self) -> str:
+        """Canonical sha256 of the entire deployed state.
+
+        Covers, per ingress in sorted order: the policy's rule content,
+        the deployed paths, and the exact placed-rule -> switch-set map.
+        Two deployers with equal digests are observably identical, so
+        this is the recovery oracle: a journal replay is correct iff it
+        reproduces the pre-crash digest.
+        """
+        from ..digest import canonical_digest
+
+        parts = []
+        for ingress in sorted(self._state):
+            policy, paths, placed = self._state[ingress]
+            parts.append(f"policy:{ingress}:{policy.content_digest()}")
+            for path in paths:
+                flow = "-" if path.flow is None else path.flow.to_string()
+                parts.append(
+                    f"path:{path.ingress}:{path.egress}:"
+                    f"{','.join(path.switches)}:{flow}"
+                )
+            for key in sorted(placed):
+                parts.append(
+                    f"placed:{key[0]}:{key[1]}:"
+                    f"{','.join(sorted(placed[key]))}"
+                )
+        return canonical_digest(parts)
+
     def as_placement(self) -> Placement:
         """Export the combined current state for verification."""
         policies = PolicySet()

@@ -9,19 +9,29 @@ crash-isolated multiprocess workers (:mod:`.workers`), and a metrics
 registry with Prometheus export (:mod:`.metrics`), assembled by
 :class:`~repro.service.daemon.PlacementService` (:mod:`.daemon`) and
 exercised by the seeded load generator (:mod:`.loadgen`).
+
+Durability and recovery (:mod:`.journal`, :mod:`.supervisor`,
+:mod:`.client`): a sha256-chained write-ahead journal makes every acked
+commit survive ``kill -9``; a supervisor keeps the persistent session
+workers alive with backoff and quarantine; the client library rides out
+daemon restarts with reconnects and idempotent retries.
 """
 
 from .broker import Broker, Ticket
 from .cache import CacheStats, ResultCache
+from .client import ServiceClient, ServiceUnavailable
 from .daemon import PlacementService, ServiceConfig, ServiceServer
+from .journal import Journal, JournalCorruption, JournalRecord
 from .loadgen import LoadgenConfig, run_loadgen
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
     DeltaRequest,
+    HealthRequest,
     InvalidateRequest,
     MetricsRequest,
     PingRequest,
     ProtocolError,
+    ReadyRequest,
     Response,
     ResponseStatus,
     SolveRequest,
@@ -31,6 +41,7 @@ from .protocol import (
     encode_request,
     encode_response,
 )
+from .supervisor import Supervisor, SupervisorConfig
 from .workers import WorkerCrash, WorkerError, WorkerPool
 
 __all__ = [
@@ -39,20 +50,29 @@ __all__ = [
     "Counter",
     "DeltaRequest",
     "Gauge",
+    "HealthRequest",
     "Histogram",
     "InvalidateRequest",
+    "Journal",
+    "JournalCorruption",
+    "JournalRecord",
     "LoadgenConfig",
     "MetricsRegistry",
     "MetricsRequest",
     "PingRequest",
     "PlacementService",
     "ProtocolError",
+    "ReadyRequest",
     "Response",
     "ResponseStatus",
     "ResultCache",
+    "ServiceClient",
     "ServiceConfig",
     "ServiceServer",
+    "ServiceUnavailable",
     "SolveRequest",
+    "Supervisor",
+    "SupervisorConfig",
     "Ticket",
     "VerifyRequest",
     "WorkerCrash",

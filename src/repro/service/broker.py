@@ -28,6 +28,14 @@ WorkerPool`, and owns the serving policy:
 Worker failures map onto response statuses: a task exception is
 ``ERROR``, a hard worker death is ``WORKER_CRASHED`` -- both scoped to
 the one request, the daemon keeps serving.
+
+Durability (PR 7): when a :class:`~repro.service.journal.Journal` is
+attached, every state-changing operation -- deployment registration,
+delta commits, removals, session attach/detach -- is journaled
+*write-ahead*: the record is durable before the in-memory state mutates
+and before the client sees ``ok``.  Committed ``request_id``s land in a
+bounded dedup table so a client retry after a crash/reconnect gets the
+original answer (``served="replay"``) instead of a double-apply.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import heapq
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from .. import io as repro_io
@@ -69,6 +78,12 @@ __all__ = ["Broker", "Ticket"]
 #: is terminated -- enough to post a TIME_LIMIT incumbent, mirroring
 #: the portfolio race's grace window.
 _WORKER_GRACE = 0.5
+
+#: Committed request_ids remembered for idempotent retries.  Bounds the
+#: dedup table (and its journal-snapshot footprint); a client that
+#: retries more than this many commits late is indistinguishable from a
+#: new request, which is the standard at-least-once trade-off.
+_APPLIED_CAP = 4096
 
 
 class Ticket:
@@ -125,6 +140,14 @@ class _Deployment:
         self.lock = threading.Lock()
         self.session: Optional[SessionWorker] = None
         self.session_backend: str = "highs"
+        #: Should a session exist?  Journaled desired state: set on
+        #: attach, cleared on detach, re-established at recovery and by
+        #: the supervisor after a crash.
+        self.session_desired: bool = False
+        #: A quarantined deployment gets no session: its deltas crashed
+        #: workers repeatedly, so they run only through the isolated
+        #: per-request pool.  Cleared by an explicit attach.
+        self.quarantined: bool = False
 
     def drop_session(self) -> None:
         if self.session is not None:
@@ -146,6 +169,7 @@ class Broker:
         max_queue: int = 64,
         dispatchers: int = 2,
         clock: Callable[[], float] = time.monotonic,
+        journal=None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -156,6 +180,10 @@ class Broker:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_queue = max_queue
         self.clock = clock
+        #: Optional :class:`~repro.service.journal.Journal`.  When set,
+        #: state changes are write-ahead journaled; without it the
+        #: broker behaves exactly as before (volatile state).
+        self.journal = journal
 
         self._heap: List[Tuple[int, int, _Flight]] = []
         self._seq = itertools.count()
@@ -163,8 +191,13 @@ class Broker:
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._closed = False
+        self._draining = False
+        self._busy_count = 0
 
         self._deployments: Dict[str, _Deployment] = {}
+        #: request_id -> committed result summary, for idempotent
+        #: retries.  Rebuilt from the journal at recovery.
+        self._applied: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
 
         # Instruments (created eagerly so exports are stable).
         m = self.metrics
@@ -195,6 +228,15 @@ class Broker:
             "session_rebuilds_total",
             "warm sessions rebuilt cold after a crash, hang, or "
             "desync")
+        self._c_restarts = m.counter(
+            "worker_restarts_total",
+            "persistent workers restarted by the broker or supervisor")
+        self._c_replays = m.counter(
+            "request_replays_total",
+            "retried request_ids answered from the dedup table")
+        self._g_quarantined = m.gauge(
+            "quarantined_deployments",
+            "deployments barred from sessions after repeated crashes")
         self._c_by_status: Dict[str, Any] = {}
         for status in (ResponseStatus.OK, ResponseStatus.INFEASIBLE,
                        ResponseStatus.OVERLOADED,
@@ -262,6 +304,18 @@ class Broker:
                 )
                 self._resolve_locked(ticket, response, kind, now)
                 return ticket
+            if self._draining:
+                # Draining is shedding, not failure: in-flight work
+                # finishes and is acked; new work is refused loudly so
+                # the client retries against the restarted daemon.
+                self._c_shed.inc()
+                response = Response(
+                    status=ResponseStatus.OVERLOADED, kind=kind,
+                    request_id=request.request_id,
+                    error="service is draining",
+                )
+                self._resolve_locked(ticket, response, kind, now)
+                return ticket
             if cache_key is not None:
                 flight = self._inflight.get(cache_key)
                 if flight is not None and request.deploy_as is None:
@@ -310,6 +364,223 @@ class Broker:
             # state; shut its worker down outside the broker lock.
             previous.drop_session()
 
+    def restore_deployment(self, name: str, deployer: IncrementalDeployer,
+                           session_desired: bool = False,
+                           session_backend: str = "highs",
+                           quarantined: bool = False) -> None:
+        """Install a deployment during journal recovery, *without*
+        journaling (the journal is where it came from)."""
+        deployment = _Deployment(deployer)
+        deployment.session_desired = session_desired
+        deployment.session_backend = session_backend
+        deployment.quarantined = quarantined
+        with self._lock:
+            self._deployments[name] = deployment
+            quarantined_now = sum(
+                1 for d in self._deployments.values() if d.quarantined)
+        self._g_quarantined.set(quarantined_now)
+
+    def deployment_digest(self, name: str) -> str:
+        """Canonical digest of one deployment's full state (the
+        recovery oracle's unit of comparison)."""
+        with self._lock:
+            deployment = self._deployments[name]
+        with deployment.lock:
+            return deployment.deployer.state_digest()
+
+    # ------------------------------------------------------------------
+    # Durability plumbing
+    # ------------------------------------------------------------------
+
+    def _journal_commit(self, kind: str, data: Dict[str, Any],
+                        apply: Callable[[], Any]) -> Any:
+        """Write-ahead commit: record durable, then apply, then return.
+
+        Without a journal this is just ``apply()``.  With one, the
+        mutation runs under the journal lock, so the on-disk record
+        order is exactly the in-memory apply order -- replay reproduces
+        the state by construction.
+        """
+        if self.journal is None:
+            return apply()
+        box: Dict[str, Any] = {}
+
+        def run() -> None:
+            box["result"] = apply()
+
+        self.journal.commit(kind, data, apply=run)
+        self.journal.maybe_snapshot(self.snapshot_state)
+        return box.get("result")
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Full serialized state for a journal compaction snapshot.
+
+        Runs under the journal lock (no commit can interleave), so the
+        captured deployments/epochs/dedup-table are consistent with an
+        exact record boundary.  Must not take deployment locks: state
+        mutations happen inside :meth:`_journal_commit`'s apply, which
+        already runs under the journal lock.
+        """
+        with self._lock:
+            deployments = dict(self._deployments)
+            applied = [[rid, dict(summary)]
+                       for rid, summary in self._applied.items()]
+        states = []
+        for name in sorted(deployments):
+            deployment = deployments[name]
+            placement = deployment.deployer.as_placement()
+            states.append({
+                "name": name,
+                "instance": repro_io.instance_to_dict(placement.instance),
+                "placement": repro_io.placement_to_dict(placement),
+                "session_desired": deployment.session_desired,
+                "session_backend": deployment.session_backend,
+                "quarantined": deployment.quarantined,
+            })
+        return {
+            "deployments": states,
+            "epochs": self.cache.epochs(),
+            "applied": applied,
+        }
+
+    def applied_summary(self, request_id: Optional[str]
+                        ) -> Optional[Dict[str, Any]]:
+        """The committed result for a request_id, if remembered."""
+        if request_id is None:
+            return None
+        with self._lock:
+            summary = self._applied.get(request_id)
+            return dict(summary) if summary is not None else None
+
+    def record_applied(self, request_id: Optional[str],
+                       summary: Dict[str, Any]) -> None:
+        """Remember a committed request_id for idempotent retries."""
+        if request_id is None:
+            return
+        with self._lock:
+            self._applied[request_id] = summary
+            self._applied.move_to_end(request_id)
+            while len(self._applied) > _APPLIED_CAP:
+                self._applied.popitem(last=False)
+
+    def restore_applied(self, entries) -> None:
+        """Reload the dedup table during recovery."""
+        with self._lock:
+            for request_id, summary in entries:
+                self._applied[request_id] = summary
+            while len(self._applied) > _APPLIED_CAP:
+                self._applied.popitem(last=False)
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop accepting work, finish in-flight, flush the journal.
+
+        Every request admitted before the drain gets its real answer;
+        everything after is shed with ``OVERLOADED`` ("draining").
+        Returns False if in-flight work outlived ``timeout``.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        drained = True
+        while True:
+            with self._lock:
+                if not self._heap and self._busy_count == 0:
+                    break
+            if deadline is not None and time.monotonic() > deadline:
+                drained = False
+                break
+            time.sleep(0.01)
+        if self.journal is not None:
+            self.journal.sync()
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def busy_count(self) -> int:
+        with self._lock:
+            return self._busy_count
+
+    # ------------------------------------------------------------------
+    # Supervision (the supervisor's view of session workers)
+    # ------------------------------------------------------------------
+
+    def session_health(self) -> Dict[str, Dict[str, Any]]:
+        """Liveness of every deployment's session worker."""
+        with self._lock:
+            deployments = dict(self._deployments)
+        health: Dict[str, Dict[str, Any]] = {}
+        for name, deployment in deployments.items():
+            session = deployment.session
+            alive = bool(session is not None and session.alive)
+            health[name] = {
+                "desired": deployment.session_desired,
+                "attached": session is not None,
+                "alive": alive,
+                "quarantined": deployment.quarantined,
+                "backend": deployment.session_backend,
+                "pid": session.pid if session is not None else None,
+            }
+        return health
+
+    def revive_session(self, name: str) -> bool:
+        """Restart a dead-but-desired session (supervisor path).
+
+        Returns True only when a fresh live worker is attached; no-op
+        for quarantined, undesired, or already-healthy deployments.
+        """
+        with self._lock:
+            deployment = self._deployments.get(name)
+        if deployment is None:
+            return False
+        with deployment.lock:
+            if deployment.quarantined or not deployment.session_desired:
+                return False
+            if deployment.session is not None and deployment.session.alive:
+                return False
+            self._rebuild_session(deployment)
+            return (deployment.session is not None
+                    and deployment.session.alive)
+
+    def quarantine(self, name: str) -> bool:
+        """Bar a deployment from sessions after repeated crashes.
+
+        Its deltas still serve -- through the isolated per-request pool,
+        where a crash costs one request, not a persistent worker.
+        """
+        with self._lock:
+            deployment = self._deployments.get(name)
+        if deployment is None:
+            return False
+        with deployment.lock:
+            deployment.quarantined = True
+            deployment.drop_session()
+        self._refresh_quarantine_gauge()
+        return True
+
+    def clear_quarantine(self, name: str) -> bool:
+        with self._lock:
+            deployment = self._deployments.get(name)
+        if deployment is None:
+            return False
+        with deployment.lock:
+            deployment.quarantined = False
+        self._refresh_quarantine_gauge()
+        return True
+
+    def _refresh_quarantine_gauge(self) -> None:
+        with self._lock:
+            count = sum(1 for d in self._deployments.values()
+                        if d.quarantined)
+        self._g_quarantined.set(count)
+
     # ------------------------------------------------------------------
     # Warm sessions (control plane: answered inline, never queued)
     # ------------------------------------------------------------------
@@ -327,7 +598,20 @@ class Broker:
         with deployment.lock:
             if request.op == "attach":
                 deployment.drop_session()
-                deployment.session_backend = request.backend
+
+                def apply_attach() -> None:
+                    deployment.session_backend = request.backend
+                    deployment.session_desired = True
+                    # An explicit attach is the operator overriding the
+                    # quarantine: give the deployment a fresh chance.
+                    deployment.quarantined = False
+
+                self._journal_commit("session", {
+                    "deployment": request.deployment, "op": "attach",
+                    "backend": request.backend,
+                    "request_id": request.request_id,
+                }, apply_attach)
+                self._refresh_quarantine_gauge()
                 deployment.session = SessionWorker(
                     deployment.deployer, backend=request.backend,
                     executor=self.pool.executor,
@@ -343,7 +627,16 @@ class Broker:
                 )
             if request.op == "detach":
                 had = deployment.session is not None
-                deployment.drop_session()
+
+                def apply_detach() -> None:
+                    deployment.session_desired = False
+                    deployment.drop_session()
+
+                self._journal_commit("session", {
+                    "deployment": request.deployment, "op": "detach",
+                    "backend": deployment.session_backend,
+                    "request_id": request.request_id,
+                }, apply_detach)
                 return Response(
                     status=ResponseStatus.OK, kind=request.kind,
                     request_id=request.request_id,
@@ -387,6 +680,12 @@ class Broker:
         """
         deployment.drop_session()
         self._c_session_rebuilds.inc()
+        self._c_restarts.inc()
+        if deployment.quarantined:
+            # Quarantined deployments get no replacement worker: their
+            # deltas run through the isolated per-request pool until an
+            # operator re-attaches explicitly.
+            return
         try:
             deployment.session = SessionWorker(
                 deployment.deployer,
@@ -458,6 +757,8 @@ class Broker:
                 return
 
         self._g_busy.inc()
+        with self._lock:
+            self._busy_count += 1
         try:
             if isinstance(request, SolveRequest):
                 response = self._run_solve(request, remaining)
@@ -477,6 +778,8 @@ class Broker:
             )
         finally:
             self._g_busy.dec()
+            with self._lock:
+                self._busy_count -= 1
         response.request_id = request.request_id
         self._finish(None, flight, response, kind, flight.admitted_at)
 
@@ -521,16 +824,32 @@ class Broker:
             placement = repro_io.placement_from_dict(
                 payload["placement"], request.instance
             )
-            self.register_deployment(
-                request.deploy_as, IncrementalDeployer(placement)
-            )
+            deployer = IncrementalDeployer(placement)
+            self._journal_commit("deploy", {
+                "name": request.deploy_as,
+                "instance": repro_io.instance_to_dict(request.instance),
+                "placement": payload["placement"],
+                "request_id": request.request_id,
+            }, lambda: self.register_deployment(request.deploy_as,
+                                                deployer))
             result = dict(result)
             result["deployed_as"] = request.deploy_as
+            result["state_digest"] = deployer.state_digest()
         return Response(status=status, kind=request.kind, result=result,
                         served="solved", cache_key=cache_key)
 
     def _run_delta(self, request: DeltaRequest,
                    remaining: Optional[float]) -> Response:
+        replayed = self.applied_summary(request.request_id)
+        if replayed is not None:
+            # The client retried a commit that already applied (its
+            # connection died between our commit and its ack): answer
+            # with the original result instead of double-applying.
+            self._c_replays.inc()
+            return Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                served="replay", result=replayed,
+            )
         with self._lock:
             deployment = self._deployments.get(request.deployment)
         if deployment is None:
@@ -545,21 +864,39 @@ class Broker:
             if request.op == "remove":
                 # Pure bookkeeping (paper: deletion is "relatively
                 # easy") -- no worker needed, nothing can crash.
-                try:
-                    freed = deployer.remove_policy(request.ingress)
-                except (KeyError, ValueError) as exc:
+                # Validation runs *before* journaling: only applicable
+                # operations reach the log.
+                if not deployer.has_policy(request.ingress):
                     return Response(
                         status=ResponseStatus.BAD_REQUEST,
-                        kind=request.kind, error=str(exc),
+                        kind=request.kind,
+                        error=f"no deployed policy for "
+                              f"{request.ingress!r}",
                     )
+                result: Dict[str, Any] = {}
+
+                def apply_remove() -> None:
+                    # Same rule as apply_delta: dedup entry inside the
+                    # journal apply, so snapshots can never split a
+                    # commit from its retry memory.
+                    freed = deployer.remove_policy(request.ingress)
+                    result.update({
+                        "op": "remove", "freed_slots": freed,
+                        "method": "bookkeeping",
+                        "total_installed": deployer.total_installed(),
+                        "state_digest": deployer.state_digest()})
+                    self.record_applied(request.request_id, result)
+
+                self._journal_commit("remove", {
+                    "deployment": request.deployment,
+                    "ingress": request.ingress,
+                    "request_id": request.request_id,
+                }, apply_remove)
                 self._mirror(deployment, lambda s: s.remove(
                     request.ingress, timeout=5.0))
                 return Response(
                     status=ResponseStatus.OK, kind=request.kind,
-                    served="inline",
-                    result={"op": "remove", "freed_slots": freed,
-                            "method": "bookkeeping",
-                            "total_installed": deployer.total_installed()},
+                    served="inline", result=result,
                 )
             served = "solved"
             payload = None
@@ -614,7 +951,31 @@ class Broker:
                                                         {})},
                 )
             placed = _placed_from(payload["placed"])
-            commit_delta(deployer, request, placed)
+            result: Dict[str, Any] = {}
+
+            def apply_delta() -> None:
+                # Result summary + dedup entry are built INSIDE the
+                # journal apply (under the journal lock): a compaction
+                # snapshot covering this record must already see its
+                # dedup entry, or a crash right after the snapshot
+                # would forget the commit was applied.
+                commit_delta(deployer, request, placed)
+                result.update({
+                    "op": request.op,
+                    "method": payload["method"],
+                    "installed_rules": payload["installed_rules"],
+                    "solve_seconds": payload["seconds"],
+                    "solver_stats": payload.get("solver_stats", {}),
+                    "total_installed": deployer.total_installed(),
+                    "state_digest": deployer.state_digest(),
+                })
+                self.record_applied(request.request_id, result)
+
+            self._journal_commit("delta", {
+                "deployment": request.deployment,
+                "request": request.to_dict(),
+                "placed": payload["placed"],
+            }, apply_delta)
             if served == "session":
                 # The child previewed against its own snapshot; mirror
                 # the commit so the snapshot tracks the authority.  A
@@ -625,15 +986,7 @@ class Broker:
                                                 timeout=5.0))
             return Response(
                 status=ResponseStatus.OK, kind=request.kind,
-                served=served,
-                result={
-                    "op": request.op,
-                    "method": payload["method"],
-                    "installed_rules": payload["installed_rules"],
-                    "solve_seconds": payload["seconds"],
-                    "solver_stats": payload.get("solver_stats", {}),
-                    "total_installed": deployer.total_installed(),
-                },
+                served=served, result=result,
             )
 
     def _session_preview(self, deployment: _Deployment,

@@ -189,6 +189,20 @@ class ResultCache:
         with self._lock:
             return dict(self._epochs)
 
+    def restore_epochs(self, epochs: Dict[str, int]) -> Dict[str, int]:
+        """Fast-forward epochs to journaled values after recovery.
+
+        Max-merge semantics: an epoch can only move forward, never
+        regress -- a recovered daemon must not serve results the
+        pre-crash daemon had already invalidated.
+        """
+        with self._lock:
+            for key in self._epochs:
+                recorded = epochs.get(key)
+                if isinstance(recorded, int) and recorded > self._epochs[key]:
+                    self._epochs[key] = recorded
+            return dict(self._epochs)
+
     def purge_stale(self) -> int:
         """Eagerly sweep expired/stale-epoch entries; returns count."""
         with self._lock:

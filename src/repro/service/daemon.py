@@ -13,9 +13,17 @@ two call styles:
   correlation via ``request_id``; a malformed line gets a
   ``BAD_REQUEST`` response instead of killing the connection.
 
-Control-plane requests (``ping``, ``metrics``, ``invalidate``) are
-answered inline without queueing -- liveness probes must work *because*
-the daemon is overloaded, not when it happens to be idle.
+Control-plane requests (``ping``, ``health``, ``ready``, ``metrics``,
+``invalidate``) are answered inline without queueing -- liveness probes
+must work *because* the daemon is overloaded, not when it happens to be
+idle.
+
+Durability (PR 7): ``journal_dir`` attaches a write-ahead
+:class:`~repro.service.journal.Journal`.  At boot the service replays
+the journal -- newest snapshot plus record tail -- and rebuilds every
+acked deployment, dedup entry, cache epoch, and desired warm session
+before accepting the first request.  A :class:`~repro.service.
+supervisor.Supervisor` then keeps session workers alive.
 """
 
 from __future__ import annotations
@@ -24,17 +32,23 @@ import json
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from .. import __version__
+from .. import io as repro_io
+from ..core.incremental import IncrementalDeployer
 from .broker import Broker, Ticket
 from .cache import ResultCache
+from .journal import Journal, RecoveredState
 from .metrics import MetricsRegistry
 from .protocol import (
+    DeltaRequest,
+    HealthRequest,
     InvalidateRequest,
     MetricsRequest,
     PingRequest,
     ProtocolError,
+    ReadyRequest,
     Request,
     Response,
     ResponseStatus,
@@ -42,7 +56,8 @@ from .protocol import (
     decode_request,
     encode_response,
 )
-from .workers import WorkerPool
+from .supervisor import Supervisor, SupervisorConfig
+from .workers import commit_delta, WorkerPool
 
 __all__ = ["PlacementService", "ServiceConfig", "ServiceServer"]
 
@@ -60,6 +75,11 @@ class ServiceConfig:
         cache_bytes: Optional[int] = None,
         cache_ttl: Optional[float] = None,
         default_deadline: Optional[float] = None,
+        journal_dir: Optional[str] = None,
+        durability: str = "fsync",
+        snapshot_every: int = 256,
+        supervise: bool = True,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         self.max_queue = max_queue
         self.dispatchers = dispatchers
@@ -69,6 +89,15 @@ class ServiceConfig:
         self.cache_bytes = cache_bytes
         self.cache_ttl = cache_ttl
         self.default_deadline = default_deadline
+        #: Directory for the write-ahead journal; ``None`` disables
+        #: durability (the pre-PR-7 volatile behavior).
+        self.journal_dir = journal_dir
+        #: What an ack survives: ``fsync`` (power loss), ``flush``
+        #: (process death), ``none`` (benchmark baseline).
+        self.durability = durability
+        self.snapshot_every = snapshot_every
+        self.supervise = supervise
+        self.supervisor = supervisor
 
 
 class PlacementService:
@@ -86,14 +115,146 @@ class PlacementService:
             executor=self.config.executor,
             max_workers=self.config.max_workers,
         )
+        self._c_recoveries = self.metrics.counter(
+            "recoveries_total",
+            "boots that replayed a non-empty journal")
+        self.journal: Optional[Journal] = None
+        recovered: Optional[RecoveredState] = None
+        if self.config.journal_dir is not None:
+            self.journal = Journal(
+                self.config.journal_dir,
+                durability=self.config.durability,
+                snapshot_every=self.config.snapshot_every,
+                metrics=self.metrics,
+            )
+            recovered = self.journal.recover()
         self.broker = Broker(
             pool=self.pool,
             cache=self.cache,
             metrics=self.metrics,
             max_queue=self.config.max_queue,
             dispatchers=self.config.dispatchers,
+            journal=self.journal,
         )
+        self.last_recovery: Dict[str, Any] = {}
+        if recovered is not None and not recovered.empty:
+            self.last_recovery = self._recover(recovered)
+            self._c_recoveries.inc()
+        self.supervisor: Optional[Supervisor] = None
+        if self.config.supervise:
+            self.supervisor = Supervisor(self.broker,
+                                         self.config.supervisor)
+            self.supervisor.start()
         self._closed = False
+
+    # ------------------------------------------------------------------
+    # Journal recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self, state: RecoveredState) -> Dict[str, Any]:
+        """Rebuild the serving state the journal promises.
+
+        Order matters: the snapshot is the base, then records replay in
+        commit order -- the same order the pre-crash daemon applied
+        them -- so the rebuilt deployers are digest-identical by
+        construction.  Warm sessions re-attach only after the state is
+        final (a session forks a snapshot of its deployer).
+        """
+        report: Dict[str, Any] = {
+            "snapshot_seq": 0, "records": len(state.records),
+            "deployments": 0, "deltas": 0, "removes": 0, "epochs": 0,
+            "sessions": 0, "duplicates": state.duplicate_records,
+            "truncated_tail_bytes": state.truncated_tail_bytes,
+        }
+        session_desired: Dict[str, Dict[str, Any]] = {}
+        if state.snapshot is not None:
+            report["snapshot_seq"] = state.snapshot.get("seq", 0)
+            for spec in state.snapshot.get("deployments", []):
+                instance = repro_io.instance_from_dict(spec["instance"])
+                placement = repro_io.placement_from_dict(
+                    spec["placement"], instance)
+                self.broker.restore_deployment(
+                    spec["name"], IncrementalDeployer(placement),
+                    session_desired=bool(spec.get("session_desired")),
+                    session_backend=spec.get("session_backend", "highs"),
+                    quarantined=bool(spec.get("quarantined")),
+                )
+                if spec.get("session_desired") and not spec.get(
+                        "quarantined"):
+                    session_desired[spec["name"]] = {
+                        "backend": spec.get("session_backend", "highs")}
+                report["deployments"] += 1
+            self.cache.restore_epochs(state.snapshot.get("epochs", {}))
+            self.broker.restore_applied(state.snapshot.get("applied", []))
+        for record in state.records:
+            self._replay_record(record, report, session_desired)
+        for name, spec in session_desired.items():
+            try:
+                self.broker.session_op(SessionRequest(
+                    deployment=name, op="attach",
+                    backend=spec["backend"]))
+                report["sessions"] += 1
+            except Exception:  # pragma: no cover - fork failure at boot
+                pass
+        return report
+
+    def _replay_record(self, record, report: Dict[str, Any],
+                       session_desired: Dict[str, Dict[str, Any]]) -> None:
+        data = record.data
+        if record.kind == "deploy":
+            instance = repro_io.instance_from_dict(data["instance"])
+            placement = repro_io.placement_from_dict(
+                data["placement"], instance)
+            self.broker.restore_deployment(
+                data["name"], IncrementalDeployer(placement))
+            session_desired.pop(data["name"], None)
+            report["deployments"] += 1
+        elif record.kind == "delta":
+            request = DeltaRequest.from_dict(data["request"])
+            deployer = self.broker.deployment_deployer(data["deployment"])
+            placed = {
+                (entry["ingress"], entry["priority"]):
+                    frozenset(entry["switches"])
+                for entry in data["placed"]
+            }
+            commit_delta(deployer, request, placed)
+            self._remember_replay(request.request_id, request.op, deployer)
+            report["deltas"] += 1
+        elif record.kind == "remove":
+            deployer = self.broker.deployment_deployer(data["deployment"])
+            deployer.remove_policy(data["ingress"])
+            self._remember_replay(data.get("request_id"), "remove",
+                                  deployer)
+            report["removes"] += 1
+        elif record.kind == "epoch":
+            # Replaying the bump (not an absolute restore) reproduces
+            # the exact pre-crash epoch: each record applies once, in
+            # order, on top of the snapshot's absolute values.
+            self.cache.bump_epoch(data.get("scope", "all"))
+            report["epochs"] += 1
+        elif record.kind == "session":
+            if data["op"] == "attach":
+                session_desired[data["deployment"]] = {
+                    "backend": data.get("backend", "highs")}
+            else:
+                session_desired.pop(data["deployment"], None)
+        # Unknown kinds are forward-compatibility: skipped, not fatal.
+
+    def _remember_replay(self, request_id: Optional[str], op: str,
+                         deployer: IncrementalDeployer) -> None:
+        """Re-arm the dedup table for a replayed commit.
+
+        The full original result payload is gone with the old process;
+        what a retrying client *needs* is the proof its operation is
+        applied -- op, totals, and the state digest.
+        """
+        if request_id is None:
+            return
+        self.broker.record_applied(request_id, {
+            "op": op, "recovered": True,
+            "total_installed": deployer.total_installed(),
+            "state_digest": deployer.state_digest(),
+        })
 
     # ------------------------------------------------------------------
     # In-process API
@@ -128,14 +289,46 @@ class PlacementService:
             ticket = Ticket()
             ticket.resolve(self.broker.session_op(request))
             return ticket
-        if isinstance(request, InvalidateRequest):
+        if isinstance(request, HealthRequest):
             ticket = Ticket()
-            epochs = self.cache.bump_epoch(request.scope)
+            ticket.resolve(Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                request_id=request.request_id,
+                result=self.health(deep=request.deep),
+            ))
+            return ticket
+        if isinstance(request, ReadyRequest):
+            ticket = Ticket()
+            ready = not self._closed and not self.broker.draining
+            ticket.resolve(Response(
+                status=ResponseStatus.OK, kind=request.kind,
+                request_id=request.request_id,
+                result={"ready": ready,
+                        "draining": self.broker.draining,
+                        "queue_depth": self.broker.queue_depth()},
+            ))
+            return ticket
+        if isinstance(request, InvalidateRequest):
+            # Epoch bumps are durable state: a recovered daemon must
+            # not serve cache entries the pre-crash daemon had already
+            # invalidated.  Journal write-ahead, like every commit.
+            ticket = Ticket()
+            box: Dict[str, Any] = {}
+
+            def bump() -> None:
+                box["epochs"] = self.cache.bump_epoch(request.scope)
+
+            if self.journal is not None:
+                self.journal.commit(
+                    "epoch", {"scope": request.scope}, apply=bump)
+                self.journal.maybe_snapshot(self.broker.snapshot_state)
+            else:
+                bump()
             swept = self.cache.purge_stale()
             ticket.resolve(Response(
                 status=ResponseStatus.OK, kind=request.kind,
                 request_id=request.request_id,
-                result={"scope": request.scope, "epochs": epochs,
+                result={"scope": request.scope, "epochs": box["epochs"],
                         "swept_entries": swept},
             ))
             return ticket
@@ -165,11 +358,27 @@ class PlacementService:
             ))
         return encode_response(self.handle(request))
 
-    def close(self) -> None:
+    def close(self, drain: bool = False,
+              drain_timeout: Optional[float] = 30.0) -> None:
+        """Shut the stack down.
+
+        ``drain=True`` is the graceful path (SIGTERM): stop accepting,
+        let queued and in-flight requests finish and be acked, flush the
+        journal, then tear down.  ``drain=False`` answers pending
+        requests with ERROR (the old behavior, kept for tests and
+        emergency stops) -- still safe, because every *acked* commit is
+        already durable.
+        """
         if self._closed:
             return
         self._closed = True
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        if drain:
+            self.broker.drain(timeout=drain_timeout)
         self.broker.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "PlacementService":
         return self
@@ -181,6 +390,56 @@ class PlacementService:
     # Introspection
     # ------------------------------------------------------------------
 
+    def health(self, deep: bool = False) -> Dict[str, Any]:
+        """Journal lag, worker liveness, queue depth -- the payload of
+        the ``health`` verb.
+
+        ``deep=True`` additionally round-trips every attached session
+        worker (a real child-process liveness proof) and reports each
+        deployment's state digest, which is what the recovery oracle
+        compares across restarts.
+        """
+        sessions = self.broker.session_health()
+        report: Dict[str, Any] = {
+            "healthy": True,
+            "version": __version__,
+            "draining": self.broker.draining,
+            "queue_depth": self.broker.queue_depth(),
+            "busy_workers": self.broker.busy_count(),
+            "live_workers": self.pool.live_workers,
+            "deployments": self.broker.deployments(),
+            "sessions": sessions,
+            "journal": (self.journal.lag() if self.journal is not None
+                        else None),
+            "recovery": self.last_recovery or None,
+        }
+        dead = [name for name, info in sessions.items()
+                if info["desired"] and not info["quarantined"]
+                and not info["alive"]]
+        if dead:
+            report["healthy"] = False
+            report["dead_sessions"] = dead
+        if deep:
+            digests: Dict[str, str] = {}
+            probes: Dict[str, bool] = {}
+            for name in self.broker.deployments():
+                try:
+                    digests[name] = self.broker.deployment_digest(name)
+                except KeyError:  # pragma: no cover - raced a replace
+                    continue
+                info = sessions.get(name, {})
+                if info.get("alive"):
+                    response = self.broker.session_op(
+                        SessionRequest(deployment=name, op="status"))
+                    probes[name] = bool(
+                        response.ok and response.result
+                        and response.result.get("attached"))
+                    if not probes[name]:
+                        report["healthy"] = False
+            report["state_digests"] = digests
+            report["session_probes"] = probes
+        return report
+
     def status(self) -> Dict[str, Any]:
         """Operator snapshot: versions, cache, queue, deployments."""
         return {
@@ -189,6 +448,8 @@ class PlacementService:
             "cache": self.cache.stats().as_dict(),
             "deployments": self.broker.deployments(),
             "metrics": self.metrics.snapshot(),
+            "journal": (self.journal.lag() if self.journal is not None
+                        else None),
         }
 
 
@@ -226,6 +487,8 @@ class ServiceServer:
         self._server = _ThreadedTCPServer((host, port), _Handler)
         self._server.service = service  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
 
     @property
     def address(self) -> tuple:
@@ -248,12 +511,29 @@ class ServiceServer:
         """Serve on the calling thread (the CLI daemon path)."""
         self._server.serve_forever(poll_interval=0.1)
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain: bool = True,
+                 drain_timeout: Optional[float] = 30.0) -> None:
+        """Stop the server; graceful by default.
+
+        Ordering is what makes this drain *cleanly*: first stop
+        accepting connections, then let the broker finish (and ack)
+        every admitted request -- connection handler threads are still
+        alive to write those responses -- and only then tear the stack
+        down.  The old behavior (answer pending with ERROR) is
+        ``drain=False``.
+
+        Safe to call from any thread, including a signal handler's
+        helper thread; idempotent.
+        """
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
         self._server.shutdown()
+        self.service.close(drain=drain, drain_timeout=drain_timeout)
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
-        self.service.close()
 
 
 def serve_stdio(service: PlacementService, stdin, stdout) -> int:

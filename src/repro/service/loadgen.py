@@ -30,8 +30,15 @@ from .. import io as repro_io
 from ..experiments.generators import ExperimentConfig, build_instance
 from ..net.routing import Routing, ShortestPathRouter
 from ..policy.classbench import generate_policy_set
+from .client import ServiceClient, ServiceUnavailable
 from .daemon import PlacementService, ServiceConfig
-from .protocol import DeltaRequest, Response, ResponseStatus, SolveRequest
+from .protocol import (
+    DeltaRequest,
+    MetricsRequest,
+    Response,
+    ResponseStatus,
+    SolveRequest,
+)
 
 __all__ = ["LoadgenConfig", "run_loadgen"]
 
@@ -66,6 +73,14 @@ class LoadgenConfig:
     dispatchers: int = 2
     max_workers: int = 4
     request_timeout: float = 300.0
+    #: ``"host:port"`` of a running daemon.  When set, the workload is
+    #: driven over TCP through :class:`ServiceClient` -- one resilient
+    #: client per thread -- instead of an in-process service.  Requests
+    #: then ride out daemon restarts via reconnect + idempotent retry,
+    #: which is exactly what the recovery chaos tests exercise.
+    address: Optional[str] = None
+    #: Reconnect attempts per request in address mode.
+    client_retries: int = 8
 
 
 @dataclass
@@ -85,24 +100,122 @@ class _Phase:
 
 def run_loadgen(config: Optional[LoadgenConfig] = None,
                 service: Optional[PlacementService] = None) -> Dict[str, Any]:
-    """Run the full workload; returns the JSON-able report."""
+    """Run the full workload; returns the JSON-able report.
+
+    Three targets, in precedence order: an injected ``service``, a
+    remote daemon at ``config.address``, or a fresh in-process service.
+    """
     config = config or LoadgenConfig()
-    own_service = service is None
-    if own_service:
-        service = PlacementService(ServiceConfig(
-            max_queue=config.max_queue,
-            dispatchers=config.dispatchers,
-            max_workers=config.max_workers,
-            executor=config.executor,
-        ))
+    if service is not None:
+        return _run(config, _LocalTarget(service))
+    if config.address:
+        host, _, port = config.address.rpartition(":")
+        target = _RemoteTarget(host or "127.0.0.1", int(port), config)
+        try:
+            return _run(config, target)
+        finally:
+            target.close()
+    own = PlacementService(ServiceConfig(
+        max_queue=config.max_queue,
+        dispatchers=config.dispatchers,
+        max_workers=config.max_workers,
+        executor=config.executor,
+    ))
     try:
-        return _run(config, service)
+        return _run(config, _LocalTarget(own))
     finally:
-        if own_service:
-            service.close()
+        own.close()
 
 
-def _run(config: LoadgenConfig, service: PlacementService) -> Dict[str, Any]:
+class _LocalTarget:
+    """Drive an in-process service; read its registries directly."""
+
+    remote = False
+
+    def __init__(self, service: PlacementService) -> None:
+        self.service = service
+
+    def handle(self, request, timeout: float) -> Response:
+        return self.service.handle(request, timeout=timeout)
+
+    def counter(self, name: str) -> float:
+        return self.service.metrics.counter(name).value
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self.service.cache.stats().as_dict()
+
+    def counters(self) -> Dict[str, Any]:
+        return self.service.metrics.snapshot()["counters"]
+
+    def close(self) -> None:  # the caller owns the service's lifetime
+        pass
+
+
+class _RemoteTarget:
+    """Drive a daemon over TCP: one resilient client per thread."""
+
+    remote = True
+
+    def __init__(self, host: str, port: int, config: LoadgenConfig) -> None:
+        self.host = host
+        self.port = port
+        self.config = config
+        self._local = threading.local()
+        self._clients: List[ServiceClient] = []
+        self._clients_lock = threading.Lock()
+
+    def _client(self) -> ServiceClient:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = ServiceClient(
+                host=self.host, port=self.port,
+                timeout=self.config.request_timeout,
+                retries=self.config.client_retries)
+            self._local.client = client
+            with self._clients_lock:
+                self._clients.append(client)
+        return client
+
+    def handle(self, request, timeout: float) -> Response:
+        try:
+            return self._client().call(request, timeout=timeout)
+        except ServiceUnavailable as exc:
+            return Response(status=ResponseStatus.ERROR,
+                            kind=getattr(request, "kind", None),
+                            error=f"daemon unreachable: {exc}")
+
+    def _metrics(self) -> Dict[str, Any]:
+        try:
+            response = self._client().call(MetricsRequest(), timeout=10.0)
+        except ServiceUnavailable:
+            return {}
+        return (response.result or {}).get("metrics", {})
+
+    def counter(self, name: str) -> float:
+        return float(self._metrics().get("counters", {}).get(name, 0.0))
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._metrics().get("cache", {})
+
+    def counters(self) -> Dict[str, Any]:
+        return self._metrics().get("counters", {})
+
+    def telemetry(self) -> Dict[str, int]:
+        with self._clients_lock:
+            return {
+                "reconnects": sum(c.reconnects for c in self._clients),
+                "retried_requests": sum(
+                    c.retried_requests for c in self._clients),
+            }
+
+    def close(self) -> None:
+        with self._clients_lock:
+            for client in self._clients:
+                client.close()
+            self._clients.clear()
+
+
+def _run(config: LoadgenConfig, target) -> Dict[str, Any]:
     instances = [
         build_instance(ExperimentConfig(
             k=config.k, num_paths=config.num_paths,
@@ -125,7 +238,7 @@ def _run(config: LoadgenConfig, service: PlacementService) -> Dict[str, Any]:
         )
         for index, instance in enumerate(instances)
     ]
-    phases.append(_fan_out(service, "cold", cold_requests,
+    phases.append(_fan_out(target, "cold", cold_requests,
                            config.clients, config.request_timeout))
 
     # Phase 2 -- warm repeats: every instance again, several times.
@@ -136,7 +249,7 @@ def _run(config: LoadgenConfig, service: PlacementService) -> Dict[str, Any]:
         for repeat in range(config.repeats)
         for index, instance in enumerate(instances)
     ]
-    phases.append(_fan_out(service, "warm", warm_requests,
+    phases.append(_fan_out(target, "warm", warm_requests,
                            config.clients, config.request_timeout))
 
     # Phase 3 -- coalescing burst: one *fresh* digest, submitted by
@@ -147,24 +260,24 @@ def _run(config: LoadgenConfig, service: PlacementService) -> Dict[str, Any]:
         capacity=config.capacity,
         seed=config.seed + config.unique_instances,
     ))
-    solves_before = _counter(service, "solves_started_total")
+    solves_before = target.counter("solves_started_total")
     burst_requests = [
         SolveRequest(instance=fresh, backend=config.backend,
                      request_id=f"burst-{index}")
         for index in range(config.burst)
     ]
-    phases.append(_fan_out(service, "burst", burst_requests,
+    phases.append(_fan_out(target, "burst", burst_requests,
                            config.burst, config.request_timeout,
                            simultaneous=True))
-    burst_solves = _counter(service, "solves_started_total") - solves_before
+    burst_solves = target.counter("solves_started_total") - solves_before
 
     # Phase 4 -- incremental deltas against the live deployment:
     # install a fresh policy on a fresh port, then remove it, round-
     # robin over the free entry ports; every op is latency-class work.
-    phases.append(_delta_phase(config, service, instances[0]))
+    phases.append(_delta_phase(config, target, instances[0]))
 
     total_wall = time.perf_counter() - started
-    return _report(config, service, phases, total_wall, burst_solves)
+    return _report(config, target, phases, total_wall, burst_solves)
 
 
 # ---------------------------------------------------------------------------
@@ -172,7 +285,7 @@ def _run(config: LoadgenConfig, service: PlacementService) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def _fan_out(service: PlacementService, tag: str, requests,
+def _fan_out(target, tag: str, requests,
              clients: int, timeout: float,
              simultaneous: bool = False) -> _Phase:
     """Drive ``requests`` from ``clients`` threads; collect samples.
@@ -196,7 +309,7 @@ def _fan_out(service: PlacementService, tag: str, requests,
                 barrier.wait()
             begun = time.perf_counter()
             try:
-                response = service.handle(request, timeout=timeout)
+                response = target.handle(request, timeout=timeout)
             except TimeoutError:
                 response = Response(status=ResponseStatus.ERROR,
                                     error="client timeout")
@@ -216,8 +329,7 @@ def _fan_out(service: PlacementService, tag: str, requests,
     return phase
 
 
-def _delta_phase(config: LoadgenConfig, service: PlacementService,
-                 instance) -> _Phase:
+def _delta_phase(config: LoadgenConfig, target, instance) -> _Phase:
     """install/remove/reroute ops against the registered deployment."""
     topo = instance.topology
     router = ShortestPathRouter(topo, seed=config.seed)
@@ -231,9 +343,9 @@ def _delta_phase(config: LoadgenConfig, service: PlacementService,
             [port], rules_per_policy=max(3, config.rules_per_policy // 2),
             seed=config.seed + 100 + index,
         )[port]
-        target = ports[(index + 1) % len(ports)]
+        egress = ports[(index + 1) % len(ports)]
         paths = repro_io.routing_to_dict(
-            Routing([router.shortest_path(port, target)])
+            Routing([router.shortest_path(port, egress)])
         )
         requests.append(DeltaRequest(
             deployment=_DEPLOYMENT, op="install", ingress=port,
@@ -246,16 +358,12 @@ def _delta_phase(config: LoadgenConfig, service: PlacementService,
         ))
     # Deltas against one deployment serialize; a single client keeps
     # install/remove pairs ordered (install before its remove).
-    return _fan_out(service, "delta", requests, 1, config.request_timeout)
+    return _fan_out(target, "delta", requests, 1, config.request_timeout)
 
 
 # ---------------------------------------------------------------------------
 # Reporting
 # ---------------------------------------------------------------------------
-
-
-def _counter(service: PlacementService, name: str) -> float:
-    return service.metrics.counter(name).value
 
 
 def _quantiles(samples: List[float]) -> Dict[str, float]:
@@ -278,7 +386,7 @@ def _quantiles(samples: List[float]) -> Dict[str, float]:
     }
 
 
-def _report(config: LoadgenConfig, service: PlacementService,
+def _report(config: LoadgenConfig, target,
             phases: List[_Phase], total_wall: float,
             burst_solves: float) -> Dict[str, Any]:
     samples = [sample for phase in phases for sample in phase.samples]
@@ -296,7 +404,6 @@ def _report(config: LoadgenConfig, service: PlacementService,
     warm_mean = (sum(s.seconds for s in warm) / len(warm)) if warm else 0.0
     speedup = (cold_mean / warm_mean) if warm_mean > 0 else 0.0
 
-    cache_stats = service.cache.stats()
     report: Dict[str, Any] = {
         "config": asdict(config),
         "totals": {
@@ -318,10 +425,10 @@ def _report(config: LoadgenConfig, service: PlacementService,
         "coalescing": {
             "burst_size": config.burst,
             "solves_started": burst_solves,
-            "coalesced_total": _counter(service, "coalesced_total"),
+            "coalesced_total": target.counter("coalesced_total"),
         },
-        "cache": cache_stats.as_dict(),
-        "counters": service.metrics.snapshot()["counters"],
+        "cache": target.cache_stats(),
+        "counters": target.counters(),
         "phases": {
             phase.name: {
                 "requests": len(phase.samples),
@@ -330,4 +437,6 @@ def _report(config: LoadgenConfig, service: PlacementService,
             for phase in phases
         },
     }
+    if target.remote:
+        report["client"] = target.telemetry()
     return report

@@ -45,9 +45,11 @@ from ..digest import canonical_digest
 
 __all__ = [
     "DeltaRequest",
+    "HealthRequest",
     "InvalidateRequest",
     "MetricsRequest",
     "PingRequest",
+    "ReadyRequest",
     "ProtocolError",
     "Request",
     "Response",
@@ -313,6 +315,52 @@ class PingRequest:
 
 
 @dataclass
+class HealthRequest:
+    """Deep health probe: journal lag, worker liveness, queue depth.
+
+    ``deep=True`` additionally round-trips every attached warm session
+    (a real liveness check of the child processes, not just
+    bookkeeping).  Answered inline, never queued -- health checks must
+    work *because* the daemon is busy.
+    """
+
+    deep: bool = False
+    request_id: Optional[str] = None
+
+    kind = "health"
+    priority = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _with_common(self, {"deep": self.deep})
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HealthRequest":
+        return cls(deep=bool(data.get("deep", False)),
+                   request_id=data.get("request_id"))
+
+
+@dataclass
+class ReadyRequest:
+    """Readiness probe: is the daemon accepting work right now?
+
+    Distinct from :class:`HealthRequest` the way k8s separates the two:
+    a draining or recovering daemon is *alive* but not *ready*.
+    """
+
+    request_id: Optional[str] = None
+
+    kind = "ready"
+    priority = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _with_common(self, {})
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReadyRequest":
+        return cls(request_id=data.get("request_id"))
+
+
+@dataclass
 class MetricsRequest:
     """Fetch the metrics registry (snapshot + Prometheus text)."""
 
@@ -355,13 +403,15 @@ class InvalidateRequest:
 
 Request = Union[
     SolveRequest, DeltaRequest, VerifyRequest,
-    PingRequest, MetricsRequest, InvalidateRequest, SessionRequest,
+    PingRequest, HealthRequest, ReadyRequest,
+    MetricsRequest, InvalidateRequest, SessionRequest,
 ]
 
 _REQUEST_TYPES = {
     cls.kind: cls
     for cls in (SolveRequest, DeltaRequest, VerifyRequest,
-                PingRequest, MetricsRequest, InvalidateRequest,
+                PingRequest, HealthRequest, ReadyRequest,
+                MetricsRequest, InvalidateRequest,
                 SessionRequest)
 }
 

@@ -402,6 +402,14 @@ class SessionWorker:
             return True
         return self._proc.is_alive()
 
+    @property
+    def pid(self) -> Optional[int]:
+        """The child's OS pid (``None`` inline) -- the supervisor's
+        health report and the chaos harness's kill target."""
+        if self.executor == "inline" or self._proc is None:
+            return None
+        return self._proc.pid
+
     def preview(self, request: DeltaRequest,
                 time_limit: Optional[float] = None,
                 timeout: Optional[float] = None) -> Dict[str, Any]:

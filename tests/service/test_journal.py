@@ -1,0 +1,287 @@
+"""Edge cases of the write-ahead journal.
+
+The replay rule under test: accept the longest valid chained prefix,
+tolerate damage only when it is confined to the tail (a torn write),
+and fail closed on anything that smells like mid-log corruption --
+a record that fails its chain hash with parseable records after it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.journal import (
+    GENESIS,
+    Journal,
+    JournalCorruption,
+    JournalRecord,
+    record_chain,
+)
+
+
+def _open(tmp_path, **kwargs) -> Journal:
+    kwargs.setdefault("durability", "flush")
+    journal = Journal(str(tmp_path), **kwargs)
+    journal.recover()
+    return journal
+
+
+def _commit_n(journal: Journal, n: int, start: int = 0) -> None:
+    for index in range(start, start + n):
+        journal.commit("op", {"index": index})
+
+
+class TestRoundtrip:
+    def test_empty_directory_recovers_empty(self, tmp_path):
+        with _open(tmp_path) as journal:
+            assert journal.seq == 0
+
+    def test_commit_then_recover_replays_in_order(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 5)
+            assert journal.seq == 5
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        assert [r.data["index"] for r in state.records] == [0, 1, 2, 3, 4]
+        assert state.seq == 5
+        assert state.truncated_tail_bytes == 0
+
+    def test_chain_links_from_genesis(self, tmp_path):
+        with _open(tmp_path) as journal:
+            journal.commit("op", {"x": 1})
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        (record,) = state.records
+        assert record.chain == record_chain(GENESIS, 1, "op", {"x": 1})
+
+    def test_appends_continue_the_chain_after_recovery(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 3)
+        with _open(tmp_path) as journal:
+            journal.commit("op", {"index": 3})
+            assert journal.seq == 4
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        assert [r.seq for r in state.records] == [1, 2, 3, 4]
+
+    def test_apply_runs_exactly_once_per_commit(self, tmp_path):
+        applied = []
+        with _open(tmp_path) as journal:
+            journal.commit("op", {"x": 1}, apply=lambda: applied.append(1))
+        assert applied == [1]
+
+
+class TestTornTail:
+    def test_torn_final_record_is_truncated_not_fatal(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 4)
+            tail = journal.tail_path()
+        with open(tail, "ab") as handle:
+            handle.write(b'{"v":1,"seq":5,"kind":"op","da')  # torn write
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        assert [r.seq for r in state.records] == [1, 2, 3, 4]
+        assert state.truncated_tail_bytes > 0
+        # The journal is positioned to append seq 5 cleanly.
+        assert fresh.commit("op", {"index": 4}) == 5
+        fresh.close()
+
+    def test_garbage_tail_is_truncated(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 3)
+            tail = journal.tail_path()
+        with open(tail, "ab") as handle:
+            handle.write(os.urandom(17))
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        assert state.seq == 3
+
+    def test_recovery_after_truncation_is_stable(self, tmp_path):
+        """Recovering a once-truncated journal again finds a clean log."""
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 3)
+            tail = journal.tail_path()
+        with open(tail, "ab") as handle:
+            handle.write(b"not json")
+        first = Journal(str(tmp_path), durability="flush")
+        state_a = first.recover()
+        first.close()
+        second = Journal(str(tmp_path), durability="flush")
+        state_b = second.recover()
+        second.close()
+        assert state_a.truncated_tail_bytes > 0
+        assert state_b.truncated_tail_bytes == 0
+        assert state_a.seq == state_b.seq == 3
+
+
+class TestCorruption:
+    def test_chain_hash_mismatch_fails_closed(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 4)
+            tail = journal.tail_path()
+        with open(tail, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        # Flip a data bit mid-log; the record still parses, its chain
+        # hash no longer matches, and valid records follow it.
+        doctored = json.loads(lines[1])
+        doctored["data"]["index"] = 999
+        lines[1] = json.dumps(doctored, separators=(",", ":"),
+                              sort_keys=True)
+        with open(tail, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        fresh = Journal(str(tmp_path), durability="flush")
+        with pytest.raises(JournalCorruption):
+            fresh.recover()
+
+    def test_mid_log_garbage_fails_closed(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 4)
+            tail = journal.tail_path()
+        with open(tail, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        lines[1] = "XXXX garbage XXXX"
+        with open(tail, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        fresh = Journal(str(tmp_path), durability="flush")
+        with pytest.raises(JournalCorruption):
+            fresh.recover()
+
+    def test_sequence_gap_fails_closed(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 4)
+            tail = journal.tail_path()
+        with open(tail, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        del lines[1]  # drop seq 2 entirely
+        with open(tail, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        fresh = Journal(str(tmp_path), durability="flush")
+        with pytest.raises(JournalCorruption):
+            fresh.recover()
+
+
+class TestDuplicates:
+    def test_duplicated_final_frame_is_skipped(self, tmp_path):
+        """A doubled last line (retried write) replays idempotently."""
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 3)
+            tail = journal.tail_path()
+        with open(tail, "rb") as handle:
+            last = handle.read().splitlines(keepends=True)[-1]
+        with open(tail, "ab") as handle:
+            handle.write(last)
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        assert [r.seq for r in state.records] == [1, 2, 3]
+        assert state.duplicate_records == 1
+
+
+class TestSnapshots:
+    @staticmethod
+    def _state_fn(journal: Journal, applied: list):
+        def fn():
+            return {"applied": list(applied)}
+        return fn
+
+    def test_snapshot_plus_tail_equals_full_replay(self, tmp_path):
+        """Recovery from snapshot+tail reconstructs exactly the state a
+        full-log replay would: snapshot covers records 1..s, the tail
+        holds s+1..n, nothing overlaps or goes missing."""
+        applied: list = []
+        with _open(tmp_path, snapshot_every=4) as journal:
+            for index in range(10):
+                journal.commit("op", {"index": index},
+                               apply=lambda i=index: applied.append(i))
+                journal.maybe_snapshot(self._state_fn(journal, applied))
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        assert state.snapshot is not None
+        recovered = list(state.snapshot["applied"])
+        for record in state.records:
+            recovered.append(record.data["index"])
+        assert recovered == list(range(10))
+        assert state.seq == 10
+
+    def test_snapshot_compacts_old_segments(self, tmp_path):
+        applied: list = []
+        with _open(tmp_path, snapshot_every=2) as journal:
+            for index in range(12):
+                journal.commit("op", {"index": index},
+                               apply=lambda i=index: applied.append(i))
+                journal.maybe_snapshot(self._state_fn(journal, applied))
+            names = sorted(os.listdir(str(tmp_path)))
+        segments = [n for n in names if n.startswith("wal-")]
+        snapshots = [n for n in names if n.startswith("snapshot-")]
+        # GC keeps the live segment, one older generation, and at most
+        # two snapshots -- not one file per snapshot interval.
+        assert len(snapshots) <= 2
+        assert len(segments) <= 3
+
+    def test_corrupt_newest_snapshot_falls_back(self, tmp_path):
+        """A damaged newest snapshot is skipped; the kept older
+        generation plus segments still recovers the full history."""
+        applied: list = []
+        with _open(tmp_path, snapshot_every=3) as journal:
+            for index in range(9):
+                journal.commit("op", {"index": index},
+                               apply=lambda i=index: applied.append(i))
+                journal.maybe_snapshot(self._state_fn(journal, applied))
+        snapshots = sorted(n for n in os.listdir(str(tmp_path))
+                           if n.startswith("snapshot-"))
+        assert snapshots
+        with open(os.path.join(str(tmp_path), snapshots[-1]), "w") as handle:
+            handle.write("{ not json")
+        fresh = Journal(str(tmp_path), durability="flush")
+        state = fresh.recover()
+        fresh.close()
+        assert state.skipped_snapshots == 1
+        recovered = list((state.snapshot or {}).get("applied", []))
+        recovered.extend(r.data["index"] for r in state.records)
+        assert recovered == list(range(9))
+
+
+class TestDurabilityModes:
+    @pytest.mark.parametrize("durability", ["fsync", "flush", "none"])
+    def test_all_modes_roundtrip(self, tmp_path, durability):
+        directory = tmp_path / durability
+        journal = Journal(str(directory), durability=durability)
+        journal.recover()
+        _commit_n(journal, 3)
+        journal.close()
+        fresh = Journal(str(directory), durability=durability)
+        state = fresh.recover()
+        fresh.close()
+        assert state.seq == 3
+
+    def test_lag_reports_synced_watermark(self, tmp_path):
+        with _open(tmp_path) as journal:
+            _commit_n(journal, 2)
+            lag = journal.lag()
+        assert lag["seq"] == 2
+        assert lag["lag_records"] == 0  # flush mode acks synchronously
+        assert lag["records_since_snapshot"] == 2
+
+    def test_reject_unknown_durability(self, tmp_path):
+        with pytest.raises(ValueError):
+            Journal(str(tmp_path), durability="hope")
+
+    def test_commit_before_recover_rejected(self, tmp_path):
+        journal = Journal(str(tmp_path), durability="flush")
+        with pytest.raises(RuntimeError):
+            journal.commit("op", {})
+        journal.close()
+
+    def test_record_line_shape(self):
+        record = JournalRecord(7, "op", {"a": 1}, "abc")
+        payload = json.loads(record.to_line())
+        assert payload == {"v": 1, "seq": 7, "kind": "op",
+                           "data": {"a": 1}, "chain": "abc"}
