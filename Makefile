@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos recovery recovery-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick serve examples verify-all clean
+.PHONY: install test chaos recovery recovery-quick cluster cluster-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick bench-cluster bench-cluster-quick serve examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,16 @@ recovery:
 
 recovery-quick:
 	REPRO_RECOVERY_QUICK=1 $(PYTHON) -m pytest tests/service/test_journal.py tests/service/test_supervisor.py tests/service/test_client.py tests/chaos/test_service_recovery.py -q
+
+# Cluster acceptance: asyncio front-end protocol/shutdown, hash-ring
+# properties (hypothesis), router affinity/failover, epoch broadcast,
+# and cluster chaos with a mid-run shard kill
+# (REPRO_CLUSTER_QUICK=1 shrinks the workloads).
+cluster:
+	$(PYTHON) -m pytest tests/service/test_frontend.py tests/cluster/ -q
+
+cluster-quick:
+	REPRO_CLUSTER_QUICK=1 $(PYTHON) -m pytest tests/service/test_frontend.py tests/cluster/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -82,8 +92,20 @@ bench-recovery:
 bench-recovery-quick:
 	REPRO_SERVE_QUICK=1 $(PYTHON) -m pytest benchmarks/test_service_throughput.py -q -s -k TestDurability
 
+# Cluster acceptance benchmarks: idle-connection capacity (async vs
+# threaded front-end) and 1 -> 4 shard warm-delta scaling; writes
+# BENCH_pr8.json.
+bench-cluster:
+	$(PYTHON) -m pytest benchmarks/test_cluster_scaling.py -q -s
+
+# Smaller workloads (40 vs 200 idle conns, 1 -> 2 shards); merges into
+# BENCH_pr8.json without clobbering full-tier numbers.
+bench-cluster-quick:
+	REPRO_CLUSTER_QUICK=1 $(PYTHON) -m pytest benchmarks/test_cluster_scaling.py -q -s
+
 # Run the placement daemon on localhost (Ctrl-C to stop).  Add
-# --journal-dir/--durability for a crash-safe daemon.
+# --journal-dir/--durability for a crash-safe daemon; --shards N for
+# the consistent-hash cluster.
 serve:
 	$(PYTHON) -m repro.cli serve
 

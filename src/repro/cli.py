@@ -15,8 +15,11 @@ Subcommands mirror the operational workflow:
   invariant (exit code 1 on any failing seed);
 * ``serve``    -- run the placement daemon (NDJSON over TCP or stdio):
   content-addressed result cache, admission control, crash-isolated
-  workers, Prometheus-style metrics;
+  workers, Prometheus-style metrics; ``--shards N`` runs a consistent-
+  hash sharded cluster behind one asyncio front-end;
 * ``ping``     -- liveness probe against a running daemon;
+* ``loadgen``  -- replay the seeded mixed workload against a daemon or
+  cluster (``--cluster``) and write a report;
 * ``bench-serve`` -- replay the seeded mixed workload against a fresh
   in-process daemon and write the benchmark report JSON.
 
@@ -154,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks a free one)")
     serve.add_argument("--stdio", action="store_true",
                        help="serve NDJSON on stdin/stdout instead of TCP")
+    serve.add_argument("--frontend", choices=["async", "threaded"],
+                       default="async",
+                       help="connection front-end: one asyncio event "
+                            "loop multiplexing every connection "
+                            "(default), or the legacy thread-per-"
+                            "connection server")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="run N placement shards behind a "
+                            "consistent-hash router (1 = single "
+                            "daemon)")
+    serve.add_argument("--vnodes", type=int, default=64,
+                       help="virtual nodes per shard on the hash ring")
     serve.add_argument("--workers", type=int, default=4,
                        help="max concurrently live solver workers")
     serve.add_argument("--dispatchers", type=int, default=2,
@@ -190,6 +205,40 @@ def build_parser() -> argparse.ArgumentParser:
     ping_cmd.add_argument("--deep", action="store_true",
                           help="full health probe: journal lag, worker "
                                "liveness, queue depth, session probes")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay the seeded mixed workload against a daemon or "
+             "cluster and write a report",
+    )
+    loadgen.add_argument("-o", "--output", default="loadgen_report.json",
+                         help="report JSON path")
+    loadgen.add_argument("--address", default=None,
+                         help="host:port of a running daemon or cluster "
+                              "front-end (default: fresh in-process "
+                              "target)")
+    loadgen.add_argument("--cluster", action="store_true",
+                         help="cluster workload: keyed traffic over "
+                              "multiple deployments, per-shard spread "
+                              "and cache-affinity report")
+    loadgen.add_argument("--shards", type=int, default=3,
+                         help="in-process shards when --cluster runs "
+                              "without --address")
+    loadgen.add_argument("--deployments", type=int, default=3,
+                         help="named deployments receiving delta "
+                              "traffic in --cluster mode")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--instances", type=int, default=None,
+                         help="distinct instances (cold solves)")
+    loadgen.add_argument("--repeats", type=int, default=None,
+                         help="cache-hit repeats per instance")
+    loadgen.add_argument("--deltas", type=int, default=None,
+                         help="delta ops per deployment")
+    loadgen.add_argument("--clients", type=int, default=None,
+                         help="concurrent client threads")
+    loadgen.add_argument("--quick", action="store_true",
+                         help="small workload (also via "
+                              "REPRO_CLUSTER_QUICK=1)")
 
     bench = sub.add_parser(
         "bench-serve",
@@ -364,14 +413,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import signal
-    import threading
+def _shard_config(args: argparse.Namespace,
+                  journal_dir: Optional[str]):
+    from .service import ServiceConfig
 
-    from .service import PlacementService, ServiceConfig, ServiceServer
-    from .service.daemon import serve_stdio
-
-    service = PlacementService(ServiceConfig(
+    return ServiceConfig(
         max_queue=args.queue,
         dispatchers=args.dispatchers,
         max_workers=args.workers,
@@ -380,36 +426,119 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         cache_ttl=args.cache_ttl,
         default_deadline=args.deadline,
-        journal_dir=args.journal_dir,
+        journal_dir=journal_dir,
         durability=args.durability,
         snapshot_every=args.snapshot_every,
         supervise=not args.no_supervise,
-    ))
-    recovery = service.last_recovery
+    )
+
+
+def _print_recovery(name: str, recovery) -> None:
     if recovery:
-        print(f"recovered from journal: {recovery['records']} records, "
-              f"{recovery['deployments']} deployments, "
+        prefix = f"{name}: " if name else ""
+        print(f"{prefix}recovered from journal: {recovery['records']} "
+              f"records, {recovery['deployments']} deployments, "
               f"{recovery['deltas']} deltas, {recovery['sessions']} "
               f"sessions re-attached", flush=True)
-    if args.stdio:
-        try:
-            return serve_stdio(service, sys.stdin, sys.stdout)
-        finally:
-            service.close(drain=True, drain_timeout=args.drain_timeout)
-    server = ServiceServer(service, host=args.host, port=args.port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .service import PlacementService, ServiceServer
+    from .service.daemon import serve_stdio
+
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and (args.stdio or args.frontend == "threaded"):
+        print("--shards > 1 requires the async TCP front-end "
+              "(no --stdio, no --frontend threaded)", file=sys.stderr)
+        return 2
+
+    # Assemble the backend: one service, or N shards + a router.
+    cluster = None
+    if args.shards > 1:
+        from .service.cluster import LocalCluster
+
+        def factory(name: str):
+            journal = (os.path.join(args.journal_dir, name)
+                       if args.journal_dir else None)
+            return _shard_config(args, journal)
+
+        cluster = LocalCluster(shards=args.shards, vnodes=args.vnodes,
+                               config_factory=factory)
+        for name, shard in sorted(cluster.shards.items()):
+            _print_recovery(name, shard.service.last_recovery)
+        backend = cluster.router
+
+        def close_backend(drain: bool) -> None:
+            for shard in cluster.shards.values():
+                shard.service.close(drain=drain,
+                                    drain_timeout=args.drain_timeout)
+            cluster.close()
+    else:
+        service = PlacementService(_shard_config(args, args.journal_dir))
+        _print_recovery("", service.last_recovery)
+        if args.stdio:
+            try:
+                return serve_stdio(service, sys.stdin, sys.stdout)
+            finally:
+                service.close(drain=True,
+                              drain_timeout=args.drain_timeout)
+        backend = service
+
+        def close_backend(drain: bool) -> None:
+            service.close(drain=drain, drain_timeout=args.drain_timeout)
+
+    # Assemble the front-end.
+    if args.frontend == "threaded":
+        server = ServiceServer(backend, host=args.host, port=args.port)
+        server.start()
+        address = server.address
+
+        def stop_frontend(drain: bool) -> None:
+            # ServiceServer.shutdown also closes its service -- the
+            # single close path the threaded stack has always had.
+            server.shutdown(drain=drain,
+                            drain_timeout=args.drain_timeout)
+    else:
+        from .service.frontend import AsyncFrontend
+
+        frontend = AsyncFrontend(backend, host=args.host, port=args.port)
+        frontend.start()
+        address = frontend.address
+
+        def stop_frontend(drain: bool) -> None:
+            frontend.shutdown(drain=drain,
+                              drain_timeout=args.drain_timeout)
+            close_backend(drain)
+
     print(f"repro {__version__} serving on "
-          f"{server.address[0]}:{server.port} "
-          f"(executor={service.pool.executor}, "
-          f"workers={args.workers}, queue={args.queue}, "
+          f"{address[0]}:{address[1]} "
+          f"(frontend={args.frontend}, shards={args.shards}, "
+          f"executor={args.executor}, workers={args.workers}, "
+          f"queue={args.queue}, "
           f"journal={args.journal_dir or 'off'})",
           flush=True)
 
-    # SIGTERM/SIGINT -> graceful drain.  The handler must not call
-    # shutdown() itself: shutdown() joins the serve_forever thread and
-    # waits on in-flight handlers, and blocking inside a signal handler
-    # on the main thread would deadlock the very work being drained.
-    # Hand off to a one-shot drainer thread instead.
+    # SIGTERM/SIGINT -> graceful drain.  The handler must not block
+    # itself: shutdown joins server threads and waits on in-flight
+    # handlers, and blocking inside a signal handler on the main thread
+    # would deadlock the very work being drained.  Hand off to a
+    # one-shot drainer thread instead.
     done = threading.Event()
+    stop_lock = threading.Lock()
+    stopped = [False]
+
+    def _stop_once(drain: bool) -> None:
+        with stop_lock:
+            if stopped[0]:
+                return
+            stopped[0] = True
+        stop_frontend(drain)
 
     def _drain_and_exit(signum: int, _frame: object) -> None:
         name = signal.Signals(signum).name
@@ -417,7 +546,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         def _worker() -> None:
             print(f"{name}: draining (timeout "
                   f"{args.drain_timeout:.0f}s)...", flush=True)
-            server.shutdown(drain=True, drain_timeout=args.drain_timeout)
+            _stop_once(drain=True)
             done.set()
 
         threading.Thread(target=_worker, name="repro-drainer",
@@ -426,12 +555,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _drain_and_exit)
     signal.signal(signal.SIGINT, _drain_and_exit)
     try:
-        server.serve_forever()
-        done.wait(timeout=args.drain_timeout + 10.0)
+        # Timed waits keep the main thread responsive to signals on
+        # every platform (an untimed Event.wait can defer delivery).
+        while not done.wait(timeout=0.5):
+            pass
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown(drain=False)
+        _stop_once(drain=False)
     print("drained; journal is durable", flush=True)
     return 0
 
@@ -485,6 +616,65 @@ def _cmd_ping(args: argparse.Namespace) -> int:
           f"version {result.get('version')}, "
           f"deployments {result.get('deployments', [])}")
     return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .service.loadgen import (
+        ClusterLoadgenConfig,
+        LoadgenConfig,
+        run_cluster_loadgen,
+        run_loadgen,
+    )
+
+    quick = args.quick or os.environ.get("REPRO_CLUSTER_QUICK") == "1"
+    if args.cluster:
+        config = ClusterLoadgenConfig(
+            seed=args.seed, address=args.address,
+            shards=args.shards, deployments=args.deployments)
+    else:
+        config = LoadgenConfig(seed=args.seed, address=args.address)
+    if quick:
+        config.unique_instances = 3
+        config.repeats = 2
+        config.deltas = 2
+        config.clients = 2
+        config.burst = 3
+        config.num_paths = 6
+        config.rules_per_policy = 6
+    if args.instances is not None:
+        config.unique_instances = args.instances
+    if args.repeats is not None:
+        config.repeats = args.repeats
+    if args.deltas is not None:
+        config.deltas = args.deltas
+    if args.clients is not None:
+        config.clients = args.clients
+
+    if args.cluster:
+        report = run_cluster_loadgen(config)
+    else:
+        report = run_loadgen(config)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    totals = report["totals"]
+    print(f"{totals['requests']} requests in "
+          f"{totals['wall_seconds']:.2f}s "
+          f"({totals['throughput_rps']:.1f} req/s), "
+          f"{totals['failures']} failed, {totals['shed']} shed")
+    if "cluster" in report:
+        spread = report["cluster"]["requests_by_shard"]
+        affinity = report["cluster"]["warm_affinity"]
+        print(f"shard spread: "
+              + ", ".join(f"{name}={count}"
+                          for name, count in spread.items()))
+        print(f"warm affinity: {affinity['digests']} digests, "
+              f"{len(affinity['violations'])} violation(s)")
+    print(f"wrote {args.output}")
+    return 0 if totals["failures"] == 0 else 1
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -548,6 +738,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "ping": _cmd_ping,
+    "loadgen": _cmd_loadgen,
     "bench-serve": _cmd_bench_serve,
 }
 

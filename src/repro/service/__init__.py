@@ -20,9 +20,22 @@ daemon restarts with reconnects and idempotent retries.
 from .broker import Broker, Ticket
 from .cache import CacheStats, ResultCache
 from .client import ServiceClient, ServiceUnavailable
+from .cluster import (
+    ClusterRouter,
+    HashRing,
+    LocalCluster,
+    LocalShard,
+    RemoteShard,
+)
 from .daemon import PlacementService, ServiceConfig, ServiceServer
+from .frontend import AsyncFrontend
 from .journal import Journal, JournalCorruption, JournalRecord
-from .loadgen import LoadgenConfig, run_loadgen
+from .loadgen import (
+    ClusterLoadgenConfig,
+    LoadgenConfig,
+    run_cluster_loadgen,
+    run_loadgen,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
     DeltaRequest,
@@ -45,11 +58,15 @@ from .supervisor import Supervisor, SupervisorConfig
 from .workers import WorkerCrash, WorkerError, WorkerPool
 
 __all__ = [
+    "AsyncFrontend",
     "Broker",
     "CacheStats",
+    "ClusterLoadgenConfig",
+    "ClusterRouter",
     "Counter",
     "DeltaRequest",
     "Gauge",
+    "HashRing",
     "HealthRequest",
     "Histogram",
     "InvalidateRequest",
@@ -57,12 +74,15 @@ __all__ = [
     "JournalCorruption",
     "JournalRecord",
     "LoadgenConfig",
+    "LocalCluster",
+    "LocalShard",
     "MetricsRegistry",
     "MetricsRequest",
     "PingRequest",
     "PlacementService",
     "ProtocolError",
     "ReadyRequest",
+    "RemoteShard",
     "Response",
     "ResponseStatus",
     "ResultCache",
@@ -82,5 +102,6 @@ __all__ = [
     "decode_response",
     "encode_request",
     "encode_response",
+    "run_cluster_loadgen",
     "run_loadgen",
 ]

@@ -87,15 +87,39 @@ _APPLIED_CAP = 4096
 
 
 class Ticket:
-    """A future for one submitted request."""
+    """A future for one submitted request.
+
+    Consumed two ways: blocking (``result()``, the thread-per-request
+    transports) and callback (``add_done_callback``, the asyncio
+    front-end, which must never block its event loop on a
+    ``threading.Event``).
+    """
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._response: Optional[Response] = None
+        self._callbacks: List[Callable[[Response], None]] = []
+        self._cb_lock = threading.Lock()
 
     def resolve(self, response: Response) -> None:
-        self._response = response
-        self._event.set()
+        with self._cb_lock:
+            self._response = response
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(response)
+
+    def add_done_callback(self,
+                          callback: Callable[[Response], None]) -> None:
+        """Run ``callback(response)`` on resolution (immediately if the
+        ticket is already resolved).  Callbacks fire on the resolving
+        thread -- keep them cheap and thread-safe (the async front-end
+        uses ``loop.call_soon_threadsafe``)."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self._response)
 
     @property
     def done(self) -> bool:
@@ -284,7 +308,12 @@ class Broker:
         cache_key: Optional[str] = None
         if isinstance(request, SolveRequest):
             cache_key = request.cache_key()
-            cached = self.cache.get(cache_key)
+            with self._lock:
+                refused = self._closed or self._draining
+            # A dead/draining broker must not keep answering from its
+            # cache: upstream routers treat any answer as "shard is
+            # alive", so fall through to the loud refusal below.
+            cached = None if refused else self.cache.get(cache_key)
             if cached is not None and request.deploy_as is None:
                 response = Response(
                     status=cached["status"], kind=kind,

@@ -174,15 +174,24 @@ class ResultCache:
     # Epochs
     # ------------------------------------------------------------------
 
-    def bump_epoch(self, scope: str = "all") -> Dict[str, int]:
+    def bump_epoch(self, scope: str = "all",
+                   count: int = 1) -> Dict[str, int]:
         """Advance the ``topology``/``policy``/``all`` epoch; entries
-        stamped under older epochs stop being served (swept lazily)."""
+        stamped under older epochs stop being served (swept lazily).
+
+        ``count`` advances the epoch that many steps at once -- the
+        cluster router's rejoin catch-up path, where a shard that was
+        down through N broadcasts must land on the same epoch as its
+        peers without N round-trips.
+        """
         if scope not in ("topology", "policy", "all"):
             raise ValueError(f"unknown epoch scope {scope!r}")
+        if count < 1:
+            raise ValueError("epoch bump count must be >= 1")
         with self._lock:
             for key in self._epochs:
                 if scope in (key, "all"):
-                    self._epochs[key] += 1
+                    self._epochs[key] += count
             return dict(self._epochs)
 
     def epochs(self) -> Dict[str, int]:

@@ -79,6 +79,11 @@ class ServiceClient:
         #: Telemetry the chaos harness and loadgen assert on.
         self.reconnects = 0
         self.retried_requests = 0
+        #: Requests served over an already-established connection
+        #: (socket reuse instead of a fresh connect) -- the client-side
+        #: connection pool's hit counter.
+        self.pool_hits = 0
+        self._ever_connected = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -92,6 +97,17 @@ class ServiceClient:
         sock.settimeout(self.timeout)
         self._sock = sock
         self._reader = sock.makefile("r", encoding="utf-8")
+        if self._ever_connected:
+            self.reconnects += 1
+        self._ever_connected = True
+
+    def telemetry(self) -> Dict[str, int]:
+        """Connection-reuse and resilience counters for reports."""
+        return {
+            "reconnects": self.reconnects,
+            "retried_requests": self.retried_requests,
+            "pool_hits": self.pool_hits,
+        }
 
     def close(self) -> None:
         if self._reader is not None:
@@ -167,7 +183,10 @@ class ServiceClient:
                 and ("shutting down" in error or "draining" in error))
 
     def _roundtrip(self, line: str, timeout: Optional[float]) -> Response:
+        reused = self._sock is not None
         self.connect()
+        if reused:
+            self.pool_hits += 1
         assert self._sock is not None
         if timeout is not None:
             self._sock.settimeout(timeout)

@@ -230,7 +230,8 @@ class PlacementService:
             # Replaying the bump (not an absolute restore) reproduces
             # the exact pre-crash epoch: each record applies once, in
             # order, on top of the snapshot's absolute values.
-            self.cache.bump_epoch(data.get("scope", "all"))
+            self.cache.bump_epoch(data.get("scope", "all"),
+                                  count=int(data.get("count", 1)))
             report["epochs"] += 1
         elif record.kind == "session":
             if data["op"] == "attach":
@@ -316,11 +317,13 @@ class PlacementService:
             box: Dict[str, Any] = {}
 
             def bump() -> None:
-                box["epochs"] = self.cache.bump_epoch(request.scope)
+                box["epochs"] = self.cache.bump_epoch(
+                    request.scope, count=request.count)
 
             if self.journal is not None:
                 self.journal.commit(
-                    "epoch", {"scope": request.scope}, apply=bump)
+                    "epoch", {"scope": request.scope,
+                              "count": request.count}, apply=bump)
                 self.journal.maybe_snapshot(self.broker.snapshot_state)
             else:
                 bump()
@@ -328,7 +331,8 @@ class PlacementService:
             ticket.resolve(Response(
                 status=ResponseStatus.OK, kind=request.kind,
                 request_id=request.request_id,
-                result={"scope": request.scope, "epochs": box["epochs"],
+                result={"scope": request.scope, "count": request.count,
+                        "epochs": box["epochs"],
                         "swept_entries": swept},
             ))
             return ticket
@@ -474,8 +478,77 @@ class _Handler(socketserver.StreamRequestHandler):
 
 
 class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP server with a self-pipe wakeup.
+
+    ``socketserver.BaseServer.serve_forever`` polls its selector with a
+    timeout, so a ``shutdown()`` under zero traffic historically waited
+    out the rest of the current poll interval (and older revisions
+    resorted to a connect-to-self nudge).  This accept loop instead
+    registers one end of a socketpair in the selector: ``shutdown()``
+    writes a byte, the selector wakes immediately, and drain completes
+    promptly whether or not a client ever connects.
+    """
+
     allow_reuse_address = True
     daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._stop_requested = False
+        self._loop_exited = threading.Event()
+        self._loop_exited.set()  # not serving yet
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Accept until :meth:`shutdown`; wakes via self-pipe, so
+        ``poll_interval`` is accepted for API compatibility but never
+        used as a timeout."""
+        import selectors
+
+        # One-shot: a shutdown() issued before the loop starts must
+        # still win, so the stop flag is never reset here.
+        self._loop_exited.clear()
+        try:
+            if self._stop_requested:
+                return
+            with selectors.DefaultSelector() as selector:
+                try:
+                    selector.register(self, selectors.EVENT_READ)
+                    selector.register(self._wake_recv,
+                                      selectors.EVENT_READ)
+                except (ValueError, OSError):
+                    # server_close() already ran (shutdown won the
+                    # race before the loop started): nothing to serve.
+                    return
+                while not self._stop_requested:
+                    for key, _ in selector.select():
+                        if key.fileobj is self._wake_recv:
+                            try:
+                                self._wake_recv.recv(4096)
+                            except BlockingIOError:  # pragma: no cover
+                                pass
+                        elif not self._stop_requested:
+                            self._handle_request_noblock()
+                    self.service_actions()
+        finally:
+            self._loop_exited.set()
+
+    def shutdown(self) -> None:
+        self._stop_requested = True
+        try:
+            self._wake_send.send(b"\0")
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._loop_exited.wait()
+
+    def server_close(self) -> None:
+        super().server_close()
+        for end in (self._wake_recv, self._wake_send):
+            try:
+                end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 class ServiceServer:

@@ -1,0 +1,329 @@
+"""Asyncio NDJSON front-end for the placement service.
+
+The PR 5 :class:`~repro.service.daemon.ServiceServer` spends one OS
+thread per connection, which caps the daemon at a few hundred mostly-
+idle controllers.  This front-end multiplexes every connection onto one
+event loop: tens of thousands of *idle* NDJSON connections cost a
+handful of file descriptors and buffers each, and only requests that
+are actually in flight consume real work.
+
+Division of labor, chosen so the event loop never blocks:
+
+* **reading**: ``asyncio`` stream per connection; one request line in,
+  one response line out, ``request_id`` correlation -- the identical
+  wire protocol the threaded server speaks.
+* **parsing/validating**: :func:`~repro.service.protocol.decode_request`
+  deserializes whole placement instances, which can be megabytes of
+  JSON; it runs on a small thread pool (``parse_workers``), off the
+  loop's hot path.
+* **executing**: the backend's ``submit()`` is non-blocking (the PR 5
+  broker's admission guarantee) and returns a
+  :class:`~repro.service.broker.Ticket`; the ticket's done-callback is
+  bridged onto the loop with ``call_soon_threadsafe``.  Blocking broker
+  and worker internals are untouched.
+
+The ``backend`` is anything with ``submit(request) -> Ticket``: a
+:class:`~repro.service.daemon.PlacementService` (one shard) or a
+:class:`~repro.service.cluster.ClusterRouter` (many).
+
+Shutdown is loop-native -- no poll interval, no connect-to-self nudge:
+``shutdown()`` posts a cancellation onto the loop, which closes the
+listener, optionally waits for in-flight requests to be answered
+(``drain=True``), then cancels the per-connection readers.  Under zero
+traffic that completes in milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from .protocol import (
+    ProtocolError,
+    Response,
+    ResponseStatus,
+    decode_request,
+    encode_response,
+)
+
+__all__ = ["AsyncFrontend"]
+
+#: Per-line byte cap; a line past it is answered BAD_REQUEST instead of
+#: buffering without bound.  Sized for ~100k-rule instances.
+_DEFAULT_LINE_LIMIT = 256 * 1024 * 1024
+
+
+class AsyncFrontend:
+    """One event loop serving NDJSON for a service or cluster router."""
+
+    def __init__(
+        self,
+        backend: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        parse_workers: int = 2,
+        max_line_bytes: int = _DEFAULT_LINE_LIMIT,
+        backlog: int = 512,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.backlog = backlog
+        self.max_line_bytes = max_line_bytes
+        self._parse_pool = ThreadPoolExecutor(
+            max_workers=parse_workers,
+            thread_name_prefix="repro-parse")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._conn_tasks: set = set()
+        self._pending = 0
+        self._pending_zero: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+        self._address: Optional[tuple] = None
+        # Telemetry (through the backend's registry when it has one).
+        metrics = getattr(backend, "metrics", None)
+        self._g_connections = (metrics.gauge(
+            "frontend_connections", "open NDJSON connections")
+            if metrics is not None else None)
+        self._c_requests = (metrics.counter(
+            "frontend_requests_total", "request lines served")
+            if metrics is not None else None)
+        self._c_bad_lines = (metrics.counter(
+            "frontend_bad_lines_total",
+            "lines answered BAD_REQUEST (malformed or oversized)")
+            if metrics is not None else None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        if self._address is None:
+            raise RuntimeError("frontend not started")
+        return self._address
+
+    @property
+    def port_(self) -> int:  # pragma: no cover - convenience alias
+        return self.address[1]
+
+    def start(self) -> None:
+        """Serve on a background event-loop thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-async-frontend", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("async frontend failed to start")
+        if self._address is None:
+            raise RuntimeError("async frontend failed to bind")
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI daemon path)."""
+        self._run_loop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            try:
+                # Cancel any straggler tasks so the loop closes clean.
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+                loop.run_until_complete(
+                    loop.shutdown_asyncgens())
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            loop.close()
+            self._stopped.set()
+
+    async def _serve(self) -> None:
+        self._pending_zero = asyncio.Event()
+        self._pending_zero.set()
+        self._stop_accepting = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port,
+                limit=self.max_line_bytes, backlog=self.backlog,
+                reuse_address=True)
+        except OSError:
+            self._started.set()
+            raise
+        self._address = self._server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with self._server:
+            await self._stop_accepting.wait()
+            # Stop accepting, then (drain path) let in-flight answers
+            # land before the reader tasks are cancelled.
+            self._server.close()
+            await self._server.wait_closed()
+            if self._drain_requested and self._pending:
+                try:
+                    await asyncio.wait_for(
+                        self._pending_zero.wait(),
+                        timeout=self._drain_timeout)
+                except asyncio.TimeoutError:  # pragma: no cover - hung
+                    pass
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+    def shutdown(self, drain: bool = True,
+                 drain_timeout: Optional[float] = 30.0) -> None:
+        """Stop serving; graceful by default.
+
+        ``drain=True``: close the listener, wait for every in-flight
+        request to be answered on its connection, then disconnect the
+        idle readers.  The *backend* is not closed here -- the caller
+        owns its lifetime (and typically drains its broker next).
+        Loop-native: completes promptly under zero traffic.  Safe from
+        any thread; idempotent.
+        """
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        self._drain_requested = drain
+        self._drain_timeout = (drain_timeout if drain_timeout is not None
+                               else 30.0)
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._stop_accepting.set)
+            except RuntimeError:  # pragma: no cover - loop just closed
+                pass
+        self._stopped.wait(timeout=self._drain_timeout + 10.0)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._parse_pool.shutdown(wait=False)
+
+    def __enter__(self) -> "AsyncFrontend":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        if self._g_connections is not None:
+            self._g_connections.inc()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # A line past the limit: answer once, then drop the
+                    # connection -- the stream offset is unrecoverable.
+                    await self._write_line(writer, encode_response(Response(
+                        status=ResponseStatus.BAD_REQUEST,
+                        error=f"request line exceeds "
+                              f"{self.max_line_bytes} bytes")))
+                    if self._c_bad_lines is not None:
+                        self._c_bad_lines.inc()
+                    return
+                if not raw:
+                    return  # EOF: client hung up.
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                answer = await self._serve_line(line)
+                try:
+                    await self._write_line(writer, answer)
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+        except asyncio.CancelledError:
+            pass  # shutdown path: fall through to the cleanup below
+        except (ConnectionResetError, BrokenPipeError,
+                TimeoutError, OSError):  # pragma: no cover - peer died
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            if self._g_connections is not None:
+                self._g_connections.dec()
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+    async def _serve_line(self, line: str) -> str:
+        """One request line -> one response line, never raising."""
+        loop = asyncio.get_running_loop()
+        self._pending += 1
+        self._pending_zero.clear()
+        if self._c_requests is not None:
+            self._c_requests.inc()
+        try:
+            request_id: Optional[str] = None
+            try:
+                # Parse + validate off the loop: instance payloads can
+                # be large, and json decoding holds the GIL anyway --
+                # but on the pool it never stalls connection I/O.
+                request = await loop.run_in_executor(
+                    self._parse_pool, decode_request, line)
+            except ProtocolError as exc:
+                try:
+                    request_id = json.loads(line).get("request_id")
+                except (json.JSONDecodeError, AttributeError):
+                    pass
+                if self._c_bad_lines is not None:
+                    self._c_bad_lines.inc()
+                return encode_response(Response(
+                    status=ResponseStatus.BAD_REQUEST,
+                    request_id=request_id, error=str(exc)))
+            except RuntimeError as exc:  # pragma: no cover - pool closed
+                return encode_response(Response(
+                    status=ResponseStatus.ERROR,
+                    error=f"frontend shutting down: {exc}"))
+            response = await self._submit(request)
+            return encode_response(response)
+        finally:
+            self._pending -= 1
+            if self._pending == 0:
+                self._pending_zero.set()
+
+    async def _submit(self, request) -> Response:
+        """Bridge the broker's threading Ticket into the event loop."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def resolved(response: Response) -> None:
+            def _set() -> None:
+                if not future.done():
+                    future.set_result(response)
+            try:
+                loop.call_soon_threadsafe(_set)
+            except RuntimeError:  # pragma: no cover - loop closed
+                pass
+
+        try:
+            ticket = self.backend.submit(request)
+        except Exception as exc:  # pragma: no cover - defensive net
+            return Response(
+                status=ResponseStatus.ERROR,
+                kind=getattr(request, "kind", ""),
+                request_id=getattr(request, "request_id", None),
+                error=f"submit failed: {type(exc).__name__}: {exc}")
+        ticket.add_done_callback(resolved)
+        return await future
+
+    @staticmethod
+    async def _write_line(writer: asyncio.StreamWriter, line: str) -> None:
+        writer.write(line.encode("utf-8") + b"\n")
+        await writer.drain()

@@ -40,7 +40,8 @@ from .protocol import (
     SolveRequest,
 )
 
-__all__ = ["LoadgenConfig", "run_loadgen"]
+__all__ = ["ClusterLoadgenConfig", "LoadgenConfig", "run_cluster_loadgen",
+           "run_loadgen"]
 
 #: Deployment name the generated delta traffic targets.
 _DEPLOYMENT = "loadgen"
@@ -84,11 +85,30 @@ class LoadgenConfig:
 
 
 @dataclass
+class ClusterLoadgenConfig(LoadgenConfig):
+    """Cluster-shaped workload: same phase mix, keyed traffic.
+
+    ``deployments`` named deployments receive the delta traffic (the
+    single-daemon workload uses one); with consistent-hash routing they
+    land on different shards and the delta phase exercises cross-shard
+    parallelism while each deployment's ops stay ordered on its home
+    shard.
+    """
+
+    shards: int = 3
+    deployments: int = 3
+    vnodes: int = 64
+    ring_seed: int = 0
+
+
+@dataclass
 class _Sample:
     tag: str        # cold | warm | burst | delta
     status: str
     served: Optional[str]
     seconds: float
+    shard: Optional[str] = None
+    request_id: Optional[str] = None
 
 
 @dataclass
@@ -192,21 +212,39 @@ class _RemoteTarget:
         return (response.result or {}).get("metrics", {})
 
     def counter(self, name: str) -> float:
-        return float(self._metrics().get("counters", {}).get(name, 0.0))
+        return float(self.counters().get(name, 0.0))
 
     def cache_stats(self) -> Dict[str, Any]:
-        return self._metrics().get("cache", {})
+        metrics = self._metrics()
+        if "shards" in metrics:  # cluster front-end: sum over shards
+            totals: Dict[str, float] = {}
+            for snapshot in metrics["shards"].values():
+                for key, value in (snapshot.get("cache") or {}).items():
+                    if key != "hit_rate":
+                        totals[key] = totals.get(key, 0.0) + value
+            lookups = totals.get("hits", 0.0) + totals.get("misses", 0.0)
+            totals["hit_rate"] = (totals.get("hits", 0.0) / lookups
+                                  if lookups else 0.0)
+            return totals
+        return metrics.get("cache", {})
 
     def counters(self) -> Dict[str, Any]:
-        return self._metrics().get("counters", {})
+        metrics = self._metrics()
+        if "cluster" in metrics:  # cluster front-end: fleet aggregate
+            return metrics["cluster"].get("counters", {})
+        return metrics.get("counters", {})
 
     def telemetry(self) -> Dict[str, int]:
         with self._clients_lock:
-            return {
-                "reconnects": sum(c.reconnects for c in self._clients),
-                "retried_requests": sum(
-                    c.retried_requests for c in self._clients),
-            }
+            totals: Dict[str, int] = {}
+            for client in self._clients:
+                for key, value in client.telemetry().items():
+                    totals[key] = totals.get(key, 0) + value
+            totals.setdefault("reconnects", 0)
+            totals.setdefault("retried_requests", 0)
+            totals.setdefault("pool_hits", 0)
+            totals["clients"] = len(self._clients)
+            return totals
 
     def close(self) -> None:
         with self._clients_lock:
@@ -316,6 +354,8 @@ def _fan_out(target, tag: str, requests,
             phase.samples.append(_Sample(
                 tag, response.status, response.served,
                 time.perf_counter() - begun,
+                shard=response.shard,
+                request_id=getattr(request, "request_id", None),
             ))
 
     threads = [threading.Thread(target=client, name=f"loadgen-{tag}-{i}")
@@ -440,3 +480,263 @@ def _report(config: LoadgenConfig, target,
     if target.remote:
         report["client"] = target.telemetry()
     return report
+
+
+# ---------------------------------------------------------------------------
+# Cluster workload
+# ---------------------------------------------------------------------------
+
+
+class _ClusterTarget:
+    """Drive an in-process :class:`~repro.service.cluster.ClusterRouter`
+    (or :class:`LocalCluster`); read fleet-wide aggregates through the
+    router's ``metrics`` verb."""
+
+    remote = False
+
+    def __init__(self, router) -> None:
+        self.router = router
+
+    def handle(self, request, timeout: float) -> Response:
+        return self.router.handle(request, timeout=timeout)
+
+    def _metrics(self) -> Dict[str, Any]:
+        response = self.router.handle(MetricsRequest(), timeout=30.0)
+        return (response.result or {}).get("metrics", {})
+
+    def counter(self, name: str) -> float:
+        return float(
+            self._metrics().get("cluster", {})
+            .get("counters", {}).get(name, 0.0))
+
+    def cache_stats(self) -> Dict[str, Any]:
+        totals: Dict[str, float] = {}
+        for snapshot in self._metrics().get("shards", {}).values():
+            for key, value in (snapshot.get("cache") or {}).items():
+                if key == "hit_rate":
+                    continue
+                totals[key] = totals.get(key, 0.0) + value
+        lookups = totals.get("hits", 0.0) + totals.get("misses", 0.0)
+        totals["hit_rate"] = (totals.get("hits", 0.0) / lookups
+                              if lookups else 0.0)
+        return totals
+
+    def counters(self) -> Dict[str, Any]:
+        return self._metrics().get("cluster", {}).get("counters", {})
+
+    def close(self) -> None:  # caller owns the cluster's lifetime
+        pass
+
+
+def run_cluster_loadgen(config: Optional[ClusterLoadgenConfig] = None,
+                        cluster=None,
+                        disrupt=None) -> Dict[str, Any]:
+    """Replay the keyed mixed workload against a shard cluster.
+
+    Targets, in precedence order: an injected ``cluster`` (a
+    :class:`~repro.service.cluster.LocalCluster` or anything with
+    ``handle(request, timeout)``), a remote cluster front-end at
+    ``config.address``, or a fresh in-process
+    :class:`~repro.service.cluster.LocalCluster` of ``config.shards``.
+
+    ``disrupt``, if given, is called once between the warm and delta
+    phases -- the chaos harness passes ``lambda: cluster.kill(name)``
+    to take a shard down mid-run and then asserts the report still
+    counts zero failed requests.
+
+    Beyond the single-daemon report, the result carries a ``cluster``
+    section: how requests spread over shards, and whether repeat solves
+    of one digest kept hitting one shard (cache affinity).
+    """
+    config = config or ClusterLoadgenConfig()
+    if cluster is not None:
+        return _run_cluster(config, _ClusterTarget(cluster), disrupt)
+    if config.address:
+        host, _, port = config.address.rpartition(":")
+        target = _RemoteTarget(host or "127.0.0.1", int(port), config)
+        try:
+            return _run_cluster(config, target, disrupt)
+        finally:
+            target.close()
+    from .cluster import LocalCluster
+
+    own = LocalCluster(shards=config.shards, vnodes=config.vnodes,
+                       seed=config.ring_seed)
+    try:
+        return _run_cluster(config, _ClusterTarget(own), disrupt)
+    finally:
+        own.close()
+
+
+def _run_cluster(config: ClusterLoadgenConfig, target,
+                 disrupt=None) -> Dict[str, Any]:
+    instances = [
+        build_instance(ExperimentConfig(
+            k=config.k, num_paths=config.num_paths,
+            rules_per_policy=config.rules_per_policy,
+            capacity=config.capacity, seed=config.seed + index,
+        ))
+        for index in range(config.unique_instances)
+    ]
+    deployments = [f"{_DEPLOYMENT}-{i}" for i in range(config.deployments)]
+    started = time.perf_counter()
+    phases: List[_Phase] = []
+
+    # Phase 1 -- cold solves; the first ``deployments`` instances also
+    # register the named deployments the delta phase will evolve, which
+    # the ring spreads over shards by name.
+    cold_requests = [
+        SolveRequest(
+            instance=instance, backend=config.backend,
+            deploy_as=(deployments[index] if index < len(deployments)
+                       else None),
+            request_id=f"cold-{index}",
+        )
+        for index, instance in enumerate(instances)
+    ]
+    phases.append(_fan_out(target, "cold", cold_requests,
+                           config.clients, config.request_timeout))
+
+    # Phase 2 -- warm repeats: every digest must keep landing on the
+    # shard whose result cache holds it.
+    warm_requests = [
+        SolveRequest(instance=instance, backend=config.backend,
+                     request_id=f"warm-{index}-{repeat}")
+        for repeat in range(config.repeats)
+        for index, instance in enumerate(instances)
+    ]
+    phases.append(_fan_out(target, "warm", warm_requests,
+                           config.clients, config.request_timeout))
+
+    # Phase 3 -- coalescing burst against one shard (one fresh digest
+    # routes to one shard; its broker must still coalesce).
+    fresh = build_instance(ExperimentConfig(
+        k=config.k, num_paths=config.num_paths,
+        rules_per_policy=config.rules_per_policy,
+        capacity=config.capacity,
+        seed=config.seed + config.unique_instances,
+    ))
+    solves_before = target.counter("solves_started_total")
+    burst_requests = [
+        SolveRequest(instance=fresh, backend=config.backend,
+                     request_id=f"burst-{index}")
+        for index in range(config.burst)
+    ]
+    phases.append(_fan_out(target, "burst", burst_requests,
+                           config.burst, config.request_timeout,
+                           simultaneous=True))
+    burst_solves = target.counter("solves_started_total") - solves_before
+
+    if disrupt is not None:
+        disrupt()
+
+    # Phase 4 -- deltas: one ordered stream per deployment, streams
+    # concurrent with each other (they live on different shards).
+    phases.append(_cluster_delta_phase(config, target, instances,
+                                       deployments))
+
+    total_wall = time.perf_counter() - started
+    report = _report(config, target, phases, total_wall, burst_solves)
+    report["cluster"] = _cluster_summary(phases)
+    return report
+
+
+def _cluster_delta_phase(config: ClusterLoadgenConfig, target,
+                         instances, deployments: List[str]) -> _Phase:
+    """install/remove streams, one serialized client per deployment."""
+    phase = _Phase("delta")
+    streams: List[List[DeltaRequest]] = []
+    for slot, deployment in enumerate(deployments):
+        instance = instances[slot % len(instances)]
+        topo = instance.topology
+        router = ShortestPathRouter(topo, seed=config.seed + slot)
+        ports = [p.name for p in topo.entry_ports]
+        used = set(instance.policies.ingresses)
+        free = [p for p in ports if p not in used]
+        stream: List[DeltaRequest] = []
+        for index in range(config.deltas):
+            port = free[index % len(free)]
+            policy = generate_policy_set(
+                [port],
+                rules_per_policy=max(3, config.rules_per_policy // 2),
+                seed=config.seed + 100 + slot * 1000 + index,
+            )[port]
+            egress = ports[(index + 1) % len(ports)]
+            paths = repro_io.routing_to_dict(
+                Routing([router.shortest_path(port, egress)])
+            )
+            stream.append(DeltaRequest(
+                deployment=deployment, op="install", ingress=port,
+                policy=repro_io.policy_to_dict(policy), paths=paths,
+                request_id=f"delta-{deployment}-install-{index}",
+            ))
+            stream.append(DeltaRequest(
+                deployment=deployment, op="remove", ingress=port,
+                request_id=f"delta-{deployment}-remove-{index}",
+            ))
+        streams.append(stream)
+
+    def worker(stream: List[DeltaRequest]) -> None:
+        for request in stream:
+            begun = time.perf_counter()
+            try:
+                response = target.handle(request,
+                                         timeout=config.request_timeout)
+            except TimeoutError:
+                response = Response(status=ResponseStatus.ERROR,
+                                    error="client timeout")
+            phase.samples.append(_Sample(
+                "delta", response.status, response.served,
+                time.perf_counter() - begun,
+                shard=response.shard, request_id=request.request_id,
+            ))
+
+    threads = [threading.Thread(target=worker, args=(stream,),
+                                name=f"loadgen-delta-{i}")
+               for i, stream in enumerate(streams)]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    phase.wall_seconds = time.perf_counter() - begun
+    return phase
+
+
+def _cluster_summary(phases: List[_Phase]) -> Dict[str, Any]:
+    """Shard spread and cache-affinity audit over the phase samples."""
+    samples = [s for phase in phases for s in phase.samples]
+    by_shard: Dict[str, int] = {}
+    for sample in samples:
+        if sample.shard is not None:
+            by_shard[sample.shard] = by_shard.get(sample.shard, 0) + 1
+    # Affinity: every warm repeat of instance #i carries request_id
+    # ``warm-{i}-{r}``; all repeats of one i must hit one shard (unless
+    # a failover moved the key mid-run, which the report surfaces).
+    warm_homes: Dict[str, set] = {}
+    for sample in samples:
+        if sample.tag != "warm" or sample.shard is None:
+            continue
+        key = (sample.request_id or "").rsplit("-", 1)[0]
+        warm_homes.setdefault(key, set()).add(sample.shard)
+    violations = sorted(key for key, shards in warm_homes.items()
+                        if len(shards) > 1)
+    delta_homes: Dict[str, set] = {}
+    for sample in samples:
+        if sample.tag != "delta" or sample.shard is None:
+            continue
+        rid = sample.request_id or ""
+        # ``delta-{deployment}-{op}-{index}``, deployment may contain
+        # dashes: strip the prefix and the two trailing fields.
+        deployment = rid[len("delta-"):].rsplit("-", 2)[0] or "?"
+        delta_homes.setdefault(deployment, set()).add(sample.shard)
+    return {
+        "requests_by_shard": dict(sorted(by_shard.items())),
+        "shards_hit": len(by_shard),
+        "warm_affinity": {
+            "digests": len(warm_homes),
+            "violations": violations,
+        },
+        "delta_homes": {name: sorted(shards)
+                        for name, shards in sorted(delta_homes.items())},
+    }

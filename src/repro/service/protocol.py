@@ -380,9 +380,16 @@ class MetricsRequest:
 @dataclass
 class InvalidateRequest:
     """Bump a cache epoch: ``scope`` is ``topology``, ``policy`` or
-    ``all``.  Entries cached under older epochs stop being served."""
+    ``all``.  Entries cached under older epochs stop being served.
+
+    ``count`` bumps the epoch that many times in one request -- the
+    cluster router uses it to catch a rejoining shard up on every
+    broadcast it missed while down, atomically and without regressing
+    any epoch the shard advanced on its own.
+    """
 
     scope: str = "all"
+    count: int = 1
     request_id: Optional[str] = None
 
     kind = "invalidate"
@@ -391,13 +398,19 @@ class InvalidateRequest:
     def __post_init__(self) -> None:
         if self.scope not in ("topology", "policy", "all"):
             raise ProtocolError(f"unknown invalidation scope {self.scope!r}")
+        if not isinstance(self.count, int) or self.count < 1:
+            raise ProtocolError(
+                f"invalidation count must be a positive int, "
+                f"got {self.count!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return _with_common(self, {"scope": self.scope})
+        return _with_common(self, {"scope": self.scope,
+                                   "count": self.count})
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "InvalidateRequest":
         return cls(scope=data.get("scope", "all"),
+                   count=data.get("count", 1),
                    request_id=data.get("request_id"))
 
 
@@ -441,6 +454,9 @@ class Response:
     cache_key: Optional[str] = None
     #: Wall seconds from admission to completion (queueing included).
     seconds: Optional[float] = None
+    #: Name of the cluster shard that produced the answer (stamped by
+    #: the router; absent on single-daemon responses).
+    shard: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -449,7 +465,7 @@ class Response:
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"v": PROTOCOL_VERSION, "status": self.status}
         for key in ("kind", "request_id", "result", "error", "served",
-                    "cache_key", "seconds"):
+                    "cache_key", "seconds", "shard"):
             value = getattr(self, key)
             if value is not None and value != "":
                 data[key] = value
@@ -470,6 +486,7 @@ class Response:
             served=data.get("served"),
             cache_key=data.get("cache_key"),
             seconds=data.get("seconds"),
+            shard=data.get("shard"),
         )
 
 

@@ -1,0 +1,137 @@
+"""Epoch invalidation across the cluster.
+
+A cache entry is only safe to serve if its shard has applied every
+epoch bump the router has accepted.  These tests pin the three legs of
+that invariant: broadcasts reach every live shard, a partitioned shard
+is caught up on the bumps it missed *before* it serves again (the
+stale-hit prevention path), and a killed-then-revived shard -- whose
+fresh cache starts at epoch zero -- replays the ledger the same way.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.generators import ExperimentConfig, build_instance
+from repro.service import LocalCluster
+from repro.service.protocol import InvalidateRequest, SolveRequest
+
+@pytest.fixture(scope="module")
+def instances():
+    return [build_instance(ExperimentConfig(
+        k=4, num_paths=6, rules_per_policy=5, seed=40 + i,
+    )) for i in range(3)]
+
+
+@pytest.fixture
+def cluster():
+    with LocalCluster(shards=3, probe_interval=0.1) as cl:
+        yield cl
+
+
+def _wait_live(cluster, name, present=True, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if (name in cluster.router.live_shards()) == present:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"{name} did not become {'live' if present else 'down'}")
+
+
+class TestBroadcast:
+    def test_bump_reaches_every_shard(self, cluster):
+        response = cluster.handle(InvalidateRequest(scope="topology"))
+        assert response.ok
+        assert sorted(response.result["shards"]) == [
+            "shard-0", "shard-1", "shard-2"]
+        assert response.result["skipped_down"] == []
+        for epochs in response.result["shards"].values():
+            assert epochs["topology"] >= 1
+
+    def test_repeat_solve_resolves_after_bump(self, cluster, instances):
+        first = cluster.handle(SolveRequest(instance=instances[0]))
+        assert first.served == "solved"
+        warm = cluster.handle(SolveRequest(instance=instances[0]))
+        assert warm.served == "cache"
+        assert cluster.handle(InvalidateRequest(scope="all")).ok
+        again = cluster.handle(SolveRequest(instance=instances[0]))
+        assert again.ok
+        assert again.served == "solved"  # the cached entry died
+
+    def test_cache_rebuilds_at_the_new_epoch(self, cluster, instances):
+        first = cluster.handle(SolveRequest(instance=instances[1]))
+        assert first.served == "solved"
+        shard = first.shard
+        assert cluster.handle(InvalidateRequest(scope="topology")).ok
+        rebuilt = cluster.handle(SolveRequest(instance=instances[1]))
+        assert rebuilt.served == "solved" and rebuilt.shard == shard
+        # The re-solve re-cached under the new epoch: warm again.
+        warm = cluster.handle(SolveRequest(instance=instances[1]))
+        assert warm.served == "cache" and warm.shard == shard
+
+
+class TestPartitionedShard:
+    def test_no_stale_hit_after_rejoin(self, cluster, instances):
+        """The ordering that matters: solve X (cached on S) ->
+        partition S -> invalidate (S misses it) -> S rejoins -> solve X
+        must re-solve, never serve the pre-invalidation entry."""
+        first = cluster.handle(SolveRequest(instance=instances[2]))
+        assert first.served == "solved"
+        shard = first.shard
+        # Simulated partition: the router thinks S is down; the shard
+        # itself (and its cache) is untouched.
+        cluster.router._mark_down(shard)
+        bump = cluster.handle(InvalidateRequest(scope="all"))
+        assert shard in bump.result["skipped_down"]
+        assert shard not in bump.result["shards"]
+        # The prober heals the partition and must catch the shard up.
+        _wait_live(cluster, shard, present=True)
+        again = cluster.handle(SolveRequest(instance=instances[2]))
+        assert again.ok
+        assert again.shard == shard
+        assert again.served == "solved", (
+            "stale cache entry served after missed invalidation")
+        assert cluster.metrics.counter(
+            "router_catchup_bumps_total").value >= 1
+
+    def test_fail_open_route_to_down_shard_catches_up_first(
+            self, cluster, instances):
+        """Fail-open routing (all preferred shards down-marked) must
+        run catch-up inline rather than waiting for the prober."""
+        first = cluster.handle(SolveRequest(instance=instances[2]))
+        shard = first.shard
+        assert cluster.handle(SolveRequest(
+            instance=instances[2])).served == "cache"
+        for name in cluster.router.shards():
+            cluster.router._mark_down(name)
+        assert cluster.handle(InvalidateRequest(scope="all")).ok
+        before = cluster.metrics.counter(
+            "router_catchup_bumps_total").value
+        again = cluster.handle(SolveRequest(instance=instances[2]))
+        assert again.ok and again.shard == shard
+        assert again.served == "solved"
+        assert cluster.metrics.counter(
+            "router_catchup_bumps_total").value > before
+
+
+class TestRevivedShard:
+    def test_killed_then_revived_shard_replays_ledger(self, cluster,
+                                                      instances):
+        first = cluster.handle(SolveRequest(instance=instances[0]))
+        shard = first.shard
+        cluster.kill(shard)
+        _wait_live(cluster, shard, present=False)
+        assert cluster.handle(InvalidateRequest(scope="policy",
+                                                count=3)).ok
+        before = cluster.metrics.counter(
+            "router_catchup_bumps_total").value
+        cluster.revive(shard)
+        _wait_live(cluster, shard, present=True)
+        assert cluster.metrics.counter(
+            "router_catchup_bumps_total").value >= before + 3
+        # The revived shard serves again, at the cluster's epochs.
+        again = cluster.handle(SolveRequest(instance=instances[0]))
+        assert again.ok and again.shard == shard

@@ -1,0 +1,222 @@
+"""The asyncio NDJSON front-end and prompt server shutdown.
+
+The front-end's contract: wire-compatible with the threaded server
+(same protocol, same BAD_REQUEST behavior on malformed lines), able to
+hold many *idle* connections cheaply, and loop-native shutdown that
+completes promptly whether or not a client ever connected.  The last
+property is also re-tested for the threaded server, whose accept loop
+now wakes through a self-pipe instead of polling.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments.generators import ExperimentConfig, build_instance
+from repro.service import (
+    AsyncFrontend,
+    PlacementService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+from repro.service.protocol import PingRequest, SolveRequest
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_instance(ExperimentConfig(
+        k=4, num_paths=6, rules_per_policy=5, seed=11,
+    ))
+
+
+@pytest.fixture
+def service():
+    svc = PlacementService(ServiceConfig(
+        executor="inline", dispatchers=2, max_workers=2,
+        supervise=False,
+    ))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def frontend(service):
+    fe = AsyncFrontend(service)
+    fe.start()
+    yield fe
+    fe.shutdown()
+
+
+def _raw_roundtrip(address, payload: bytes) -> dict:
+    with socket.create_connection(address, timeout=10.0) as conn:
+        conn.sendall(payload)
+        line = conn.makefile("r", encoding="utf-8").readline()
+    return json.loads(line)
+
+
+class TestProtocolCompatibility:
+    def test_ping_solve_cache(self, frontend, instance):
+        host, port = frontend.address
+        with ServiceClient(host=host, port=port, retries=1) as client:
+            assert client.ping().result["pong"] is True
+            first = client.call(SolveRequest(instance=instance))
+            assert first.ok and first.served == "solved"
+            again = client.call(SolveRequest(instance=instance))
+            assert again.ok and again.served == "cache"
+
+    def test_malformed_line_keeps_connection(self, frontend):
+        host, port = frontend.address
+        with socket.create_connection((host, port), timeout=10.0) as conn:
+            reader = conn.makefile("r", encoding="utf-8")
+            conn.sendall(b"this is not json\n")
+            bad = json.loads(reader.readline())
+            assert bad["status"] == "bad_request"
+            # Same connection still serves the next, valid request.
+            conn.sendall(b'{"kind":"ping"}\n')
+            good = json.loads(reader.readline())
+            assert good["status"] == "ok"
+
+    def test_bad_request_echoes_request_id(self, frontend):
+        answer = _raw_roundtrip(
+            frontend.address,
+            b'{"kind":"nope","request_id":"rq-7"}\n')
+        assert answer["status"] == "bad_request"
+        assert answer["request_id"] == "rq-7"
+
+    def test_blank_lines_skipped(self, frontend):
+        answer = _raw_roundtrip(frontend.address,
+                                b"\n\n{\"kind\":\"ping\"}\n")
+        assert answer["status"] == "ok"
+
+    def test_oversized_line_refused(self, service):
+        fe = AsyncFrontend(service, max_line_bytes=4096)
+        fe.start()
+        try:
+            giant = b'{"kind":"ping","pad":"' + b"x" * 10000 + b'"}\n'
+            answer = _raw_roundtrip(fe.address, giant)
+            assert answer["status"] == "bad_request"
+            assert "exceeds" in answer["error"]
+        finally:
+            fe.shutdown()
+
+
+class TestConcurrency:
+    def test_many_idle_connections_stay_cheap(self, frontend):
+        """Park 150 idle connections; an active client must still get
+        prompt answers (the event loop doesn't burn a thread each)."""
+        host, port = frontend.address
+        idle = [socket.create_connection((host, port), timeout=10.0)
+                for _ in range(150)]
+        try:
+            deadline_probe = ServiceClient(host=host, port=port, retries=1)
+            with deadline_probe:
+                latencies = []
+                for _ in range(20):
+                    begun = time.perf_counter()
+                    assert deadline_probe.ping().ok
+                    latencies.append(time.perf_counter() - begun)
+            assert sorted(latencies)[len(latencies) // 2] < 0.5
+            assert frontend.backend.metrics.gauge(
+                "frontend_connections").value >= 150
+        finally:
+            for conn in idle:
+                conn.close()
+
+    def test_concurrent_clients(self, frontend, instance):
+        host, port = frontend.address
+        failures = []
+
+        def worker() -> None:
+            try:
+                with ServiceClient(host=host, port=port,
+                                   retries=1) as client:
+                    for _ in range(5):
+                        assert client.ping().ok
+                    response = client.call(SolveRequest(instance=instance))
+                    assert response.ok
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+class TestShutdown:
+    def test_prompt_shutdown_with_zero_traffic(self, service):
+        fe = AsyncFrontend(service)
+        fe.start()
+        begun = time.perf_counter()
+        fe.shutdown()
+        assert time.perf_counter() - begun < 2.0
+
+    def test_shutdown_is_idempotent(self, service):
+        fe = AsyncFrontend(service)
+        fe.start()
+        fe.shutdown()
+        fe.shutdown()  # second call is a no-op, not an error
+
+    def test_inflight_request_answered_during_drain(self, service,
+                                                    instance):
+        fe = AsyncFrontend(service)
+        fe.start()
+        host, port = fe.address
+        responses = []
+
+        def slow_call() -> None:
+            with ServiceClient(host=host, port=port, retries=0) as client:
+                responses.append(client.call(SolveRequest(
+                    instance=instance)))
+
+        thread = threading.Thread(target=slow_call)
+        thread.start()
+        time.sleep(0.1)  # let the request reach the broker
+        fe.shutdown(drain=True, drain_timeout=30.0)
+        thread.join(timeout=30.0)
+        assert responses and responses[0].ok
+
+    def test_threaded_server_prompt_shutdown_regression(self, service):
+        """The threaded accept loop historically waited out its poll
+        interval (or needed a connect-to-self nudge) when shut down
+        with no clients; the self-pipe wakeup must make it prompt."""
+        server = ServiceServer(service)
+        server.start()
+        time.sleep(0.05)  # let serve_forever enter its select loop
+        begun = time.perf_counter()
+        server.shutdown(drain=True)
+        assert time.perf_counter() - begun < 2.0
+
+    def test_threaded_server_shutdown_before_serve(self):
+        """A shutdown that wins the race with serve_forever must stick:
+        the serve loop may not start serving afterwards."""
+        svc = PlacementService(ServiceConfig(
+            executor="inline", dispatchers=1, max_workers=1,
+            supervise=False))
+        server = ServiceServer(svc)
+        server.shutdown(drain=False)  # before start()
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+
+
+class TestBackendMetrics:
+    def test_frontend_counters(self, frontend):
+        host, port = frontend.address
+        with ServiceClient(host=host, port=port, retries=1) as client:
+            client.ping()
+            client.ping()
+        _raw_roundtrip((host, port), b"garbage\n")
+        metrics = frontend.backend.metrics
+        assert metrics.counter("frontend_requests_total").value >= 3
+        assert metrics.counter("frontend_bad_lines_total").value >= 1
