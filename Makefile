@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos recovery recovery-quick cluster cluster-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick bench-cluster bench-cluster-quick serve examples verify-all clean
+.PHONY: install test lint lint-fix-baseline chaos recovery recovery-quick cluster cluster-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick bench-cluster bench-cluster-quick serve examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,18 @@ test:
 
 test-report:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Project static analyzer (REP-FORK/ASYNC/LOCK/SEED/PROTO); fails on
+# any non-baselined finding.  See docs/architecture.md "Static
+# analysis" and `repro lint --explain RULE-ID`.
+lint:
+	$(PYTHON) -m repro.cli lint --format human
+
+# Record the current findings as the accepted baseline.  Policy: keep
+# the baseline empty -- fix the finding or add an inline
+# `# repro: allow[RULE-ID] reason` at a provably safe site instead.
+lint-fix-baseline:
+	$(PYTHON) -m repro.cli lint --write-baseline
 
 # The full 200-schedule chaos matrix (REPRO_CHAOS_QUICK=1 or
 # REPRO_CHAOS_SEEDS=N shrink it for quick local runs).

@@ -1,0 +1,37 @@
+"""Project-specific static analysis (``repro lint``).
+
+An AST-based, two-phase analyzer encoding the concurrency and
+durability invariants this codebase relies on:
+
+========== ==========================================================
+REP-FORK   no fork under a held lock / after local thread creation
+REP-ASYNC  no blocking calls inside ``async def`` (event-loop safety)
+REP-LOCK   project-wide lock-acquisition order must be acyclic
+REP-SEED   seeded subsystems stay bit-reproducible
+REP-PROTO  every protocol verb wired to handler+serializer+router
+========== ==========================================================
+
+Entry points: :func:`run_analysis` (library),
+``python -m repro.cli lint`` (CLI), ``make lint`` (CI gate).
+Suppress a provably-safe site inline with
+``# repro: allow[RULE-ID] reason``; the committed
+``lint-baseline.json`` covers legacy findings by fingerprint.
+"""
+
+from .checkers import Checker, all_checkers, rule_registry
+from .engine import AnalysisConfig, AnalysisResult, run_analysis
+from .findings import Finding, RuleInfo
+from .report import render_human, render_json
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Checker",
+    "Finding",
+    "RuleInfo",
+    "all_checkers",
+    "render_human",
+    "render_json",
+    "rule_registry",
+    "run_analysis",
+]

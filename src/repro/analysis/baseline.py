@@ -1,0 +1,58 @@
+"""The committed findings baseline (``lint-baseline.json``).
+
+The baseline is the escape hatch for landing the analyzer on a tree
+with pre-existing findings: known findings are recorded by
+line-independent fingerprint and stop failing the build, while any
+*new* finding still does.  The project policy (docs/architecture.md)
+is to keep it empty -- real findings get fixed or carry an inline
+``# repro: allow[...]`` with a reason -- but the mechanism must exist
+for the analyzer to be adoptable at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in ``path``; empty set if absent."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` (sorted, deduped) as the new baseline."""
+    entries = {}
+    for finding in findings:
+        entries[finding.fingerprint()] = {
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+    payload = {
+        "version": _VERSION,
+        "findings": sorted(entries.values(),
+                           key=lambda e: (e["rule"], e["path"],
+                                          e["fingerprint"])),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding], fingerprints: Set[str]) -> None:
+    """Mark findings whose fingerprint the baseline covers."""
+    for finding in findings:
+        if finding.fingerprint() in fingerprints:
+            finding.baselined = True

@@ -1,0 +1,57 @@
+"""The checker registry.
+
+A checker bundles one :class:`~repro.analysis.findings.RuleInfo` with
+two hooks the engine drives:
+
+* :meth:`Checker.check_module` -- phase 1, called once per parsed file.
+  Return local findings and/or deposit cross-module facts in
+  ``index.scratch(rule_id)``.
+* :meth:`Checker.check_project` -- phase 2, called once after every
+  module has been walked.  Whole-project rules (transitive fork
+  reachability, lock-order cycles, protocol exhaustiveness) live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..findings import Finding, RuleInfo
+from ..index import ModuleInfo, ProjectIndex
+
+__all__ = ["Checker", "all_checkers", "rule_registry"]
+
+
+class Checker:
+    """Base class; subclasses set ``rule`` and override the hooks."""
+
+    rule: RuleInfo
+
+    def check_module(self, module: ModuleInfo,
+                     index: ProjectIndex) -> List[Finding]:
+        return []
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        return []
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, stable order."""
+    from .async_blocking import AsyncBlockingChecker
+    from .determinism import DeterminismChecker
+    from .fork_safety import ForkSafetyChecker
+    from .lock_order import LockOrderChecker
+    from .protocol_wiring import ProtocolWiringChecker
+
+    return [
+        ForkSafetyChecker(),
+        AsyncBlockingChecker(),
+        LockOrderChecker(),
+        DeterminismChecker(),
+        ProtocolWiringChecker(),
+    ]
+
+
+def rule_registry() -> Dict[str, RuleInfo]:
+    """rule_id -> RuleInfo for every registered checker."""
+    return {checker.rule.rule_id: checker.rule
+            for checker in all_checkers()}

@@ -1,0 +1,163 @@
+"""REP-ASYNC: no blocking calls on the event loop.
+
+One event loop serves every connection (repro.service.frontend): a
+single blocking call -- ``time.sleep``, file/socket I/O, subprocess,
+an untimed ``.acquire()`` / ``queue.get()``, or a CPU-heavy
+encode/decode of a large payload -- stalls *all* of them at once.
+Blocking work must leave the loop through
+``loop.run_in_executor(...)`` (where the blocking callable is passed
+by reference, which this rule therefore never flags).
+
+The rule only looks inside ``async def`` bodies.  A synchronous ``def``
+nested within one is executor/callback code and is skipped; any call
+that is part of an ``await`` expression is exempt (awaiting is the
+non-blocking path by construction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..findings import Finding, RuleInfo
+from ..index import ModuleInfo, ProjectIndex, dotted_name, terminal_name
+from . import Checker
+
+__all__ = ["AsyncBlockingChecker", "RULE"]
+
+RULE = RuleInfo(
+    rule_id="REP-ASYNC",
+    title="no blocking calls inside async def",
+    invariant=("Code inside 'async def' never calls blocking primitives "
+               "(time.sleep, file open, socket ops, subprocess, untimed "
+               "lock/queue acquisition, Future.result, heavyweight "
+               "serialization) except through loop.run_in_executor."),
+    bad_example="""
+async def handle(self, line):
+    request = decode_request(line)     # CPU-bound parse on the loop
+    time.sleep(0.01)                   # stalls every connection
+""",
+    good_example="""
+async def handle(self, line):
+    loop = asyncio.get_running_loop()
+    request = await loop.run_in_executor(self._pool, decode_request, line)
+    await asyncio.sleep(0.01)
+""",
+    incident=("The PR 8 shutdown-before-serve race went undetected for a "
+              "full review cycle because a blocking decode on the loop "
+              "masked the event ordering; every slow parse froze "
+              "thousands of idle connections behind one request."),
+    notes=("Callables passed by reference to run_in_executor are never "
+           "flagged.  Calls under an 'await' are exempt."),
+)
+
+#: Fully-dotted call targets that block.
+_BLOCKING_DOTTED = {
+    "time.sleep", "os.system", "os.popen",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "requests.get", "requests.post",
+}
+#: Project serialization helpers: CPU-bound on large payloads, must be
+#: routed through run_in_executor on the frontend path.
+_HEAVY_CODECS = {
+    "decode_request", "encode_request", "decode_response",
+    "encode_response",
+}
+_JSON_CODECS = {"json.loads", "json.dumps", "json.load", "json.dump"}
+#: Method names that block when called without a timeout.
+_BLOCKING_SOCKET_METHODS = {"recv", "sendall", "accept", "connect",
+                            "makefile"}
+
+
+class AsyncBlockingChecker(Checker):
+    rule = RULE
+
+    def check_module(self, module: ModuleInfo,
+                     index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(self._scan_async(node, module))
+        return findings
+
+    def _scan_async(self, func: ast.AsyncFunctionDef,
+                    module: ModuleInfo) -> List[Finding]:
+        # The *directly* awaited call is exempt by construction.  Calls
+        # nested inside an await's arguments still run synchronously on
+        # the loop, so they stay checked -- but only against the
+        # unambiguous blocklists: method-name heuristics (.wait/.get/
+        # .result) would misfire on coroutine factories like
+        # ``await asyncio.wait_for(event.wait(), ...)``.
+        awaited_direct: Set[int] = set()
+        await_subtree: Set[int] = set()
+        findings: List[Finding] = []
+        for node in self._walk_async_body(func):
+            if isinstance(node, ast.Await):
+                if isinstance(node.value, ast.Call):
+                    awaited_direct.add(id(node.value))
+                for sub in ast.walk(node):
+                    await_subtree.add(id(sub))
+        for node in self._walk_async_body(func):
+            if not isinstance(node, ast.Call) or id(node) in awaited_direct:
+                continue
+            message = self._blocking_reason(
+                node, in_await=id(node) in await_subtree)
+            if message:
+                findings.append(Finding(
+                    rule_id=RULE.rule_id, path=module.rel,
+                    line=node.lineno, symbol=func.name,
+                    message=message,
+                ))
+        return findings
+
+    def _walk_async_body(self, func: ast.AsyncFunctionDef):
+        """Walk the async body, skipping nested synchronous defs."""
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+                continue            # executor/callback code, not on-loop
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue            # scanned separately by check_module
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_reason(self, node: ast.Call,
+                         in_await: bool = False) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        terminal = terminal_name(node.func)
+        kwargs = {kw.arg for kw in node.keywords if kw.arg}
+
+        if dotted in _BLOCKING_DOTTED:
+            return (f"{dotted}(...) blocks the event loop; use the async "
+                    f"equivalent or run_in_executor")
+        if dotted in _JSON_CODECS or (isinstance(node.func, ast.Name)
+                                      and node.func.id in _HEAVY_CODECS):
+            name = dotted or node.func.id
+            return (f"{name}(...) is CPU-bound serialization on the event "
+                    f"loop; route it through loop.run_in_executor")
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return ("open(...) does blocking file I/O on the event loop; "
+                    "read in an executor")
+        if isinstance(node.func, ast.Attribute) and not in_await:
+            method = node.func.attr
+            if method == "acquire" and "timeout" not in kwargs:
+                blocking_kw = next((kw for kw in node.keywords
+                                    if kw.arg == "blocking"), None)
+                if not (blocking_kw is not None
+                        and isinstance(blocking_kw.value, ast.Constant)
+                        and blocking_kw.value.value is False):
+                    return (".acquire() without a timeout blocks the "
+                            "event loop; acquire in an executor or use "
+                            "an asyncio lock")
+            if (method in ("get", "join", "wait", "result")
+                    and not node.args and not node.keywords):
+                return (f".{method}() with no timeout blocks the event "
+                        f"loop; use the asyncio equivalent or an "
+                        f"executor")
+            if method in _BLOCKING_SOCKET_METHODS:
+                return (f".{method}(...) is blocking socket I/O on the "
+                        f"event loop; use asyncio streams")
+        return None

@@ -1,0 +1,144 @@
+"""REP-SEED: seeded subsystems must be bit-reproducible.
+
+The chaos harness, the load generator, and the experiment/instance
+generators all promise "same seed, same run" -- CI replays 200-seed
+matrices and diffs digests.  One call to module-level ``random.*``,
+a ``time.time()``-derived decision, or an unseeded ``Random()``
+quietly breaks that promise: the matrix still passes, but failures
+stop being replayable.
+
+The rule applies only to modules under the seeded subsystems (path
+patterns below).  Inside them it bans module-level ``random``
+functions, ``from random import <fn>``, wall-clock reads feeding
+logic, uuid1/uuid4, ``os.urandom``, ``secrets``, and ``Random()``
+constructed with no seed argument.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from ..findings import Finding, RuleInfo
+from ..index import ModuleInfo, ProjectIndex, dotted_name, terminal_name
+from . import Checker
+
+__all__ = ["DeterminismChecker", "RULE", "SEEDED_PATH_RE"]
+
+RULE = RuleInfo(
+    rule_id="REP-SEED",
+    title="no nondeterminism in seeded subsystems",
+    invariant=("Modules in seeded subsystems (chaos, loadgen, generators, "
+               "dataplane simulation) draw randomness only from an "
+               "explicitly seeded random.Random and never branch on "
+               "wall-clock time, uuid4, or os.urandom."),
+    bad_example="""
+import random
+
+def pick_victim(workers):
+    return random.choice(workers)        # module-level global RNG
+""",
+    good_example="""
+import random
+
+def pick_victim(workers, rng: random.Random):
+    return rng.choice(workers)           # caller-provided seeded RNG
+""",
+    incident=("A chaos-matrix failure that reproduced only 1 run in 30: "
+              "a helper used the module-level random alongside the "
+              "seeded stream, so the failing schedule could not be "
+              "replayed from its seed and the bug survived two PRs."),
+    notes=("random.Random and random.SystemRandom *types* are fine; "
+           "Random() with no arguments is not.  time.monotonic() is "
+           "allowed (it times, it does not decide)."),
+)
+
+#: Modules these path patterns match are held to the rule.
+SEEDED_PATH_RE = re.compile(
+    r"(repro/chaos/|chaos/|service/loadgen|experiments/generators"
+    r"|net/generators|dataplane/(channel|simulator)"
+    r"|policy/classbench)")
+
+_RANDOM_OK = {"Random", "SystemRandom", "seed"}
+_WALLCLOCK = {"time.time", "time.time_ns", "datetime.now",
+              "datetime.utcnow"}
+_ENTROPY = {"uuid.uuid4", "uuid.uuid1", "os.urandom", "os.getrandom"}
+
+
+class DeterminismChecker(Checker):
+    rule = RULE
+
+    def check_module(self, module: ModuleInfo,
+                     index: ProjectIndex) -> List[Finding]:
+        if not SEEDED_PATH_RE.search(module.rel):
+            return []
+        findings: List[Finding] = []
+        symbol_stack: List[str] = []
+
+        def walk(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                symbol_stack.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    walk(child)
+                symbol_stack.pop()
+                return
+            finding = self._inspect(node, module,
+                                    ".".join(symbol_stack))
+            if finding:
+                findings.append(finding)
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+
+        walk(module.tree)
+        return findings
+
+    def _inspect(self, node: ast.AST, module: ModuleInfo,
+                 symbol: str) -> Optional[Finding]:
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            bad = [a.name for a in node.names if a.name not in _RANDOM_OK]
+            if bad:
+                return self._finding(
+                    module, node.lineno, symbol,
+                    f"from random import {', '.join(bad)} binds the "
+                    f"module-level RNG; accept a seeded random.Random "
+                    f"instead")
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = dotted_name(node.func)
+        terminal = terminal_name(node.func)
+        if (dotted and dotted.startswith("random.")
+                and dotted.split(".", 1)[1] not in _RANDOM_OK):
+            return self._finding(
+                module, node.lineno, symbol,
+                f"{dotted}(...) uses the module-level RNG; draw from an "
+                f"explicitly seeded random.Random")
+        if dotted in _WALLCLOCK:
+            return self._finding(
+                module, node.lineno, symbol,
+                f"{dotted}() feeds wall-clock time into a seeded "
+                f"subsystem; thread a seeded value (or monotonic "
+                f"durations) through instead")
+        if dotted in _ENTROPY:
+            return self._finding(
+                module, node.lineno, symbol,
+                f"{dotted}(...) is an OS entropy source; derive ids from "
+                f"the seed")
+        if terminal == "Random" and not node.args and not node.keywords:
+            return self._finding(
+                module, node.lineno, symbol,
+                "Random() with no seed argument is nondeterministic; "
+                "pass an explicit seed")
+        if dotted and (dotted.startswith("secrets.")):
+            return self._finding(
+                module, node.lineno, symbol,
+                f"{dotted}(...) is cryptographic entropy; seeded "
+                f"subsystems must stay replayable")
+        return None
+
+    @staticmethod
+    def _finding(module: ModuleInfo, line: int, symbol: str,
+                 message: str) -> Finding:
+        return Finding(rule_id=RULE.rule_id, path=module.rel, line=line,
+                       symbol=symbol, message=message)

@@ -1,0 +1,295 @@
+"""REP-LOCK: one global lock-acquisition order, no cycles.
+
+Two threads acquiring the same two locks in opposite orders deadlock
+the first time their schedules interleave badly -- and nothing in a
+test has to fail first.  This checker builds the project-wide
+lock-order graph: an edge ``A -> B`` means some code path acquires
+``B`` (a nested ``with``) while already holding ``A``, either directly
+or by calling -- under ``A`` -- a function that acquires ``B``
+(resolved transitively through the index, unique names only).  Any
+cycle in that graph is a potential deadlock; the finding names the
+``with`` sites on both sides so the reader can pick which edge to
+break.
+
+Lock identity is canonicalized: ``self._work_ready`` declared as
+``threading.Condition(self._lock)`` *is* ``self._lock``; an attribute
+like ``deployment.lock`` resolves to the unique class that declares a
+lock attribute of that name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..findings import Finding, RuleInfo
+from ..index import (FunctionRecord, ModuleInfo, ProjectIndex, dotted_name,
+                     terminal_name)
+from . import Checker
+
+__all__ = ["LockOrderChecker", "RULE"]
+
+RULE = RuleInfo(
+    rule_id="REP-LOCK",
+    title="lock-acquisition order must be acyclic",
+    invariant=("The project-wide lock-order graph (edge A->B when any "
+               "path acquires B while holding A, including through "
+               "resolvable call chains) contains no cycle."),
+    bad_example="""
+def transfer(self):            # thread 1
+    with self._accounts:
+        with self._audit:      # accounts -> audit
+            ...
+
+def report(self):              # thread 2
+    with self._audit:
+        with self._accounts:   # audit -> accounts: cycle
+            ...
+""",
+    good_example="""
+def transfer(self):
+    with self._accounts:
+        with self._audit:      # every path: accounts before audit
+            ...
+
+def report(self):
+    with self._accounts:       # same global order, no cycle
+        with self._audit:
+            ...
+""",
+    incident=("The PR 7 snapshot-ordering bug: journal compaction took "
+              "the journal lock then the broker's, while the commit path "
+              "nested them the other way; the daemon froze mid-snapshot "
+              "under load, holding every in-flight request."),
+    notes=("Condition(lock) aliases canonicalize to the wrapped lock, so "
+           "re-entering self._lock via its own Condition is not an edge."),
+)
+
+_LOCK_TOKENS = ("lock", "cond", "mutex")
+_MAX_DEPTH = 3
+
+#: lock id -> (with-site path, line) of first sighting per edge
+_Edge = Tuple[str, str]                      # (outer id, inner id)
+_Site = Tuple[str, int]                      # (path, line)
+
+
+def _canonical_lock(expr: ast.AST, owner_class: str, module: ModuleInfo,
+                    index: ProjectIndex) -> Optional[str]:
+    """Canonical project-wide id for a lock-ish with-target, or None."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    # self.attr -> "<EnclosingClass>.<attr>" through Condition aliases
+    if (isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        attr = expr.attr
+        if not _lockish_attr(attr, index):
+            return None
+        attr = index.lock_aliases.get((owner_class, attr), attr)
+        return f"{owner_class}.{attr}"
+    # other.attr -> unique declaring class, else the dotted name as-is
+    if isinstance(expr, ast.Attribute):
+        attr = expr.attr
+        if not _lockish_attr(attr, index):
+            return None
+        owner = index.resolve_lock_owner(attr)
+        if owner:
+            attr = index.lock_aliases.get((owner, attr), attr)
+            return f"{owner}.{attr}"
+        return dotted_name(expr) or attr
+    # bare name: module-level or local lock
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if not _lockish_attr(name, index):
+            return None
+        owner = index.resolve_lock_owner(name)
+        if owner:
+            name = index.lock_aliases.get(("", name), name)
+            return f"{owner}.{name}"
+        return f"{module.rel}:{name}"
+    return None
+
+
+def _lockish_attr(attr: str, index: ProjectIndex) -> bool:
+    lowered = attr.lower()
+    return (any(tok in lowered for tok in _LOCK_TOKENS)
+            or attr in index.lock_attrs)
+
+
+class _LockScan(ast.NodeVisitor):
+    """One function: direct nested-with edges, acquires, calls-under."""
+
+    def __init__(self, module: ModuleInfo, index: ProjectIndex,
+                 record: FunctionRecord) -> None:
+        self.module = module
+        self.index = index
+        self.record = record
+        self.stack: List[Tuple[str, _Site]] = []
+        self.edges: Dict[_Edge, Tuple[_Site, _Site]] = {}
+        self.acquires: Dict[str, _Site] = {}
+        self.calls_holding: List[Tuple[str, _Site, str, int]] = []
+
+    def visit_FunctionDef(self, node) -> None:
+        pass                      # nested defs scanned separately
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        pass
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            lock_id = _canonical_lock(item.context_expr,
+                                      self.record.owner_class,
+                                      self.module, self.index)
+            if lock_id is None:
+                continue
+            site: _Site = (self.module.rel, node.lineno)
+            self.acquires.setdefault(lock_id, site)
+            if self.stack:
+                outer_id, outer_site = self.stack[-1]
+                if outer_id != lock_id:
+                    self.edges.setdefault((outer_id, lock_id),
+                                          (outer_site, site))
+            self.stack.append((lock_id, site))
+            pushed += 1
+        self.generic_visit(node)
+        for _ in range(pushed):
+            self.stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = terminal_name(node.func)
+        if callee and self.stack:
+            lock_id, site = self.stack[-1]
+            self.calls_holding.append((lock_id, site, callee, node.lineno))
+        self.generic_visit(node)
+
+
+class LockOrderChecker(Checker):
+    rule = RULE
+
+    def check_module(self, module: ModuleInfo,
+                     index: ProjectIndex) -> List[Finding]:
+        scratch = index.scratch(RULE.rule_id)
+        edges: Dict[_Edge, Tuple[_Site, _Site]] = scratch.setdefault(
+            "edges", {})
+        func_acquires: Dict[str, Dict[str, _Site]] = scratch.setdefault(
+            "func_acquires", {})
+        calls_holding = scratch.setdefault("calls_holding", [])
+        for records in index.functions.values():
+            for record in records:
+                if record.module != module.rel:
+                    continue
+                scan = _LockScan(module, index, record)
+                for stmt in record.node.body:
+                    scan.visit(stmt)
+                for edge, sites in scan.edges.items():
+                    edges.setdefault(edge, sites)
+                key = f"{record.module}:{record.qualname}"
+                if scan.acquires:
+                    func_acquires[key] = scan.acquires
+                calls_holding.extend(scan.calls_holding)
+        return []
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        scratch = index.scratch(RULE.rule_id)
+        edges: Dict[_Edge, Tuple[_Site, _Site]] = dict(
+            scratch.get("edges", {}))
+        func_acquires: Dict[str, Dict[str, _Site]] = {
+            k: dict(v) for k, v in scratch.get("func_acquires", {}).items()}
+
+        # Transitive acquires: a function also "acquires" whatever its
+        # uniquely-resolved callees acquire (bounded fixpoint).
+        call_map = self._call_edges(index)
+        for _ in range(_MAX_DEPTH):
+            grew = False
+            for caller_key, callees in call_map.items():
+                bucket = func_acquires.setdefault(caller_key, {})
+                for callee in callees:
+                    record = index.resolve_call(
+                        callee,
+                        lambda r: f"{r.module}:{r.qualname}" in func_acquires
+                        and func_acquires[f"{r.module}:{r.qualname}"])
+                    if record is None:
+                        continue
+                    for lock_id, site in func_acquires[
+                            f"{record.module}:{record.qualname}"].items():
+                        if lock_id not in bucket:
+                            bucket[lock_id] = site
+                            grew = True
+            if not grew:
+                break
+
+        # Calls made while holding a lock add transitive edges.
+        for lock_id, site, callee, _line in scratch.get("calls_holding", ()):
+            record = index.resolve_call(
+                callee,
+                lambda r: func_acquires.get(f"{r.module}:{r.qualname}"))
+            if record is None:
+                continue
+            for inner_id, inner_site in func_acquires[
+                    f"{record.module}:{record.qualname}"].items():
+                if inner_id != lock_id:
+                    edges.setdefault((lock_id, inner_id), (site, inner_site))
+
+        return self._report_cycles(edges)
+
+    @staticmethod
+    def _call_edges(index: ProjectIndex) -> Dict[str, Set[str]]:
+        call_map: Dict[str, Set[str]] = {}
+        for records in index.functions.values():
+            for record in records:
+                key = f"{record.module}:{record.qualname}"
+                callees = call_map.setdefault(key, set())
+                for node in ast.walk(record.node):
+                    if isinstance(node, ast.Call):
+                        name = terminal_name(node.func)
+                        if name:
+                            callees.add(name)
+        return call_map
+
+    def _report_cycles(self, edges: Dict[_Edge, Tuple[_Site, _Site]]
+                       ) -> List[Finding]:
+        adjacency: Dict[str, Dict[str, Tuple[_Site, _Site]]] = {}
+        for (outer, inner), sites in edges.items():
+            adjacency.setdefault(outer, {})[inner] = sites
+
+        findings: List[Finding] = []
+        reported: Set[Tuple[str, ...]] = set()
+        for start in sorted(adjacency):
+            path: List[str] = []
+
+            def dfs(node: str) -> None:
+                if node in path:
+                    cycle = path[path.index(node):]
+                    key = tuple(sorted(cycle))
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(self._cycle_finding(
+                            cycle, adjacency))
+                    return
+                path.append(node)
+                for nxt in sorted(adjacency.get(node, ())):
+                    dfs(nxt)
+                path.pop()
+
+            dfs(start)
+        return findings
+
+    def _cycle_finding(self, cycle: List[str],
+                       adjacency) -> Finding:
+        hops = []
+        first_site: Optional[_Site] = None
+        for i, outer in enumerate(cycle):
+            inner = cycle[(i + 1) % len(cycle)]
+            outer_site, inner_site = adjacency[outer][inner]
+            if first_site is None:
+                first_site = outer_site
+            hops.append(f"{outer} (with at {outer_site[0]}:{outer_site[1]})"
+                        f" -> {inner} (with at "
+                        f"{inner_site[0]}:{inner_site[1]})")
+        path, line = first_site or ("?", 0)
+        return Finding(
+            rule_id=RULE.rule_id, path=path, line=line,
+            symbol=" / ".join(cycle),
+            message=("potential deadlock: lock-order cycle "
+                     + "; ".join(hops)),
+        )

@@ -1,0 +1,190 @@
+"""REP-PROTO: every protocol verb is wired end to end.
+
+Adding a ``*Request`` dataclass to ``service/protocol.py`` is one line;
+*serving* it takes three more wirings that nothing type-checks:
+
+1. a handler -- the broker or daemon must reference the class in its
+   dispatch (otherwise the verb is accepted on the wire and dropped);
+2. serialization -- ``to_dict``/``from_dict`` plus registration in
+   ``_REQUEST_TYPES`` (otherwise decode raises on the first client);
+3. routing -- a ``ClusterRouter._handle`` isinstance arm, or a
+   routable ``instance`` field falling through to the stateless
+   digest route (otherwise sharded mode 500s a verb that single-node
+   mode serves).
+
+This checker cross-references all four modules by AST, so an unwired
+verb fails CI at lint time instead of at the first cluster deploy.
+Checks for a layer are skipped when the corresponding module is not
+part of the scanned tree (the serializer check only needs
+``protocol.py`` itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..findings import Finding, RuleInfo
+from ..index import ModuleInfo, ProjectIndex, terminal_name
+from . import Checker
+
+__all__ = ["ProtocolWiringChecker", "RULE"]
+
+RULE = RuleInfo(
+    rule_id="REP-PROTO",
+    title="every *Request verb wired to handler, serializer, and router",
+    invariant=("Each @dataclass *Request in service/protocol.py is (a) "
+               "referenced by the broker or daemon dispatch, (b) has "
+               "to_dict/from_dict and is registered in _REQUEST_TYPES, "
+               "and (c) has a ClusterRouter._handle arm or a routable "
+               "'instance' field covered by the stateless route."),
+    bad_example="""
+@dataclass
+class DrainRequest:            # new verb ...
+    kind = "drain"
+# ... but _REQUEST_TYPES, the daemon dispatch, and the
+# ClusterRouter never mention DrainRequest: clients can send it,
+# nothing will ever answer it.
+""",
+    good_example="""
+@dataclass
+class DrainRequest:
+    kind = "drain"
+    def to_dict(self): ...
+    @classmethod
+    def from_dict(cls, data): ...
+# registered: _REQUEST_TYPES includes DrainRequest
+# handled:    daemon dispatch has isinstance(req, DrainRequest)
+# routed:     ClusterRouter._handle has an arm (or instance field)
+""",
+    incident=("The PR 8 shutdown-before-serve race: a control verb was "
+              "wired into the daemon but not the cluster router, so "
+              "single-node tests passed while the 3-shard deploy dropped "
+              "the verb -- found by hand two reviews later."),
+)
+
+
+def _request_classes(protocol: ModuleInfo) -> List[ast.ClassDef]:
+    out = []
+    for node in protocol.tree.body:
+        if (isinstance(node, ast.ClassDef)
+                and node.name.endswith("Request")
+                and any(_is_dataclass_dec(d) for d in node.decorator_list)):
+            out.append(node)
+    return out
+
+
+def _is_dataclass_dec(dec: ast.AST) -> bool:
+    if isinstance(dec, ast.Call):
+        dec = dec.func
+    return terminal_name(dec) == "dataclass"
+
+
+def _class_methods(cls: ast.ClassDef) -> Set[str]:
+    return {n.name for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _class_fields(cls: ast.ClassDef) -> Set[str]:
+    fields: Set[str] = set()
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                          ast.Name):
+            fields.add(node.target.id)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    fields.add(target.id)
+    return fields
+
+
+def _registered_types(protocol: ModuleInfo) -> Optional[Set[str]]:
+    """Class names listed in the _REQUEST_TYPES registry, if present."""
+    for node in ast.walk(protocol.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "_REQUEST_TYPES"
+                   for t in node.targets):
+            continue
+        names: Set[str] = set()
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+        names.discard("cls")
+        return names
+    return None
+
+
+def _referenced_names(module: ModuleInfo) -> Set[str]:
+    return {node.id for node in ast.walk(module.tree)
+            if isinstance(node, ast.Name)}
+
+
+def _router_arms(cluster: ModuleInfo):
+    """(isinstance'd names inside _handle, has-stateless-fallthrough)."""
+    for node in ast.walk(cluster.tree):
+        if (isinstance(node, ast.FunctionDef) and node.name == "_handle"):
+            arms: Set[str] = set()
+            fallthrough = False
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Call)
+                        and terminal_name(sub.func) == "isinstance"
+                        and len(sub.args) == 2):
+                    type_arg = sub.args[1]
+                    elts = (type_arg.elts
+                            if isinstance(type_arg, (ast.Tuple, ast.List))
+                            else [type_arg])
+                    arms |= {e.id for e in elts
+                             if isinstance(e, ast.Name)}
+                if (isinstance(sub, ast.Call)
+                        and terminal_name(sub.func) == "_route_stateless"):
+                    fallthrough = True
+            return arms, fallthrough
+    return set(), False
+
+
+class ProtocolWiringChecker(Checker):
+    rule = RULE
+
+    def check_project(self, index: ProjectIndex) -> List[Finding]:
+        protocol = index.module_like("service/protocol.py")
+        if protocol is None:
+            return []
+        broker = index.module_like("service/broker.py")
+        daemon = index.module_like("service/daemon.py")
+        cluster = index.module_like("service/cluster.py")
+
+        registered = _registered_types(protocol)
+        handler_names: Set[str] = set()
+        for module in (broker, daemon):
+            if module is not None:
+                handler_names |= _referenced_names(module)
+        router_arms, fallthrough = ((set(), False) if cluster is None
+                                    else _router_arms(cluster))
+
+        findings: List[Finding] = []
+        for cls in _request_classes(protocol):
+            methods = _class_methods(cls)
+            fields = _class_fields(cls)
+            miss = []
+            if "to_dict" not in methods or "from_dict" not in methods:
+                miss.append("a to_dict/from_dict serializer round-trip")
+            if registered is not None and cls.name not in registered:
+                miss.append("registration in _REQUEST_TYPES (decode will "
+                            "reject the verb on the wire)")
+            if (broker or daemon) and cls.name not in handler_names:
+                miss.append("a broker/daemon handler (the verb is "
+                            "accepted, then dropped)")
+            if cluster is not None and cls.name not in router_arms:
+                routable = "instance" in fields and fallthrough
+                if not routable:
+                    miss.append("a ClusterRouter._handle routing arm "
+                                "(sharded mode cannot serve the verb)")
+            if miss:
+                findings.append(Finding(
+                    rule_id=RULE.rule_id, path=protocol.rel,
+                    line=cls.lineno, symbol=cls.name,
+                    message=(f"protocol verb {cls.name} is missing "
+                             + "; ".join(miss)),
+                ))
+        return findings

@@ -1,0 +1,143 @@
+"""The two-phase analysis driver.
+
+Phase 1 walks every file's AST independently: checkers report local
+findings and deposit cross-module facts (fork roots, lock-entry sets,
+protocol symbols) into the :class:`~repro.analysis.index.ProjectIndex`
+scratch space.  Phase 2 runs each checker's whole-project rule over the
+completed index -- transitive fork reachability, the lock-order cycle
+search, protocol exhaustiveness.
+
+After both phases the engine applies inline suppressions (valid
+``# repro: allow[RULE-ID] reason`` comments covering the finding's
+line) and the committed baseline, and splits findings into
+active / suppressed / baselined.  Only active findings fail the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import apply_baseline, load_baseline
+from .findings import Finding
+from .index import ModuleInfo, ProjectIndex
+
+__all__ = ["AnalysisConfig", "AnalysisResult", "run_analysis",
+           "collect_sources"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist",
+              ".eggs"}
+
+
+@dataclass
+class AnalysisConfig:
+    """What to analyze and how to post-process findings."""
+
+    root: Path
+    #: Explicit files/dirs to scan (relative to root or absolute).
+    #: Empty means the default scope: ``src/repro`` under root when it
+    #: exists, else the root itself.
+    paths: Sequence[Path] = ()
+    #: Restrict to these rule ids (empty = all registered rules).
+    rules: Sequence[str] = ()
+    #: Baseline file; None disables baseline matching.
+    baseline: Optional[Path] = None
+
+
+@dataclass
+class AnalysisResult:
+    active: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    #: Files that failed to parse: (path, error message).
+    parse_errors: List[tuple] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.active or self.parse_errors) else 0
+
+
+def collect_sources(config: AnalysisConfig) -> List[Path]:
+    """Every ``.py`` file in scope, sorted for deterministic output."""
+    root = config.root.resolve()
+    targets = [Path(p) if Path(p).is_absolute() else root / p
+               for p in config.paths]
+    if not targets:
+        default = root / "src" / "repro"
+        targets = [default if default.is_dir() else root]
+    files: List[Path] = []
+    seen = set()
+    for target in targets:
+        if target.is_file() and target.suffix == ".py":
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(
+                p for p in target.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.relative_to(target).parts)))
+        else:
+            candidates = []
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(resolved)
+    return files
+
+
+def run_analysis(config: AnalysisConfig,
+                 checkers: Optional[Sequence] = None) -> AnalysisResult:
+    """Run the full two-phase analysis and post-process findings."""
+    from .checkers import all_checkers
+    if checkers is None:
+        checkers = all_checkers()
+    if config.rules:
+        wanted = set(config.rules)
+        checkers = [c for c in checkers if c.rule.rule_id in wanted]
+
+    result = AnalysisResult()
+    root = config.root.resolve()
+    modules: List[ModuleInfo] = []
+    for path in collect_sources(config):
+        try:
+            modules.append(ModuleInfo(path, root))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            rel = path.relative_to(root).as_posix()
+            result.parse_errors.append((rel, str(exc)))
+    result.files_scanned = len(modules) + len(result.parse_errors)
+
+    index = ProjectIndex(root, modules)
+    findings: List[Finding] = []
+    for checker in checkers:             # phase 1: per-file walks
+        for module in modules:
+            findings.extend(checker.check_module(module, index) or ())
+    for checker in checkers:             # phase 2: whole-project rules
+        findings.extend(checker.check_project(index) or ())
+
+    _apply_suppressions(findings, index)
+    if config.baseline is not None:
+        apply_baseline(findings, load_baseline(config.baseline))
+
+    for finding in findings:
+        if finding.suppressed:
+            result.suppressed.append(finding)
+        elif finding.baselined:
+            result.baselined.append(finding)
+        else:
+            result.active.append(finding)
+    result.active.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return result
+
+
+def _apply_suppressions(findings: List[Finding], index: ProjectIndex) -> None:
+    for finding in findings:
+        module = index.modules.get(finding.path)
+        if module is None:
+            continue
+        for supp in module.suppressions.get(finding.line, ()):
+            if supp.rule_id == finding.rule_id and supp.valid:
+                finding.suppressed = True
+                finding.suppression_reason = supp.reason
+                break

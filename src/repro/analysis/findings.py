@@ -1,0 +1,112 @@
+"""Findings and the rule registry of the project static analyzer.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Its :meth:`~Finding.fingerprint` deliberately excludes the line number:
+a committed baseline keeps matching a finding that merely moved when
+unrelated code above it changed, and goes stale only when the finding's
+*content* (rule, file, enclosing symbol, message) changes.
+
+:class:`RuleInfo` carries everything ``repro lint --explain RULE-ID``
+prints: the invariant, a minimal bad/good example pair, and the
+motivating incident -- the production bug class the rule exists to make
+unrepresentable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding", "RuleInfo"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str            # project-root-relative, posix separators
+    line: int
+    message: str
+    #: Enclosing ``Class.method`` / function, when known.
+    symbol: str = ""
+    #: Filled by the engine when an inline ``# repro: allow[...]``
+    #: covers this finding.
+    suppressed: bool = False
+    suppression_reason: str = ""
+    #: Filled by the engine when the committed baseline covers it.
+    baselined: bool = False
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-independent)."""
+        blob = "|".join((self.rule_id, self.path, self.symbol,
+                         self.message))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.suppressed:
+            data["suppressed"] = True
+            data["suppression_reason"] = self.suppression_reason
+        if self.baselined:
+            data["baselined"] = True
+        return data
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Static metadata of one rule: what it enforces and why."""
+
+    rule_id: str
+    title: str
+    #: The invariant, phrased as a property of the codebase.
+    invariant: str
+    #: Minimal snippet that fires the rule.
+    bad_example: str
+    #: Minimal snippet that satisfies it.
+    good_example: str
+    #: The incident (or incident class) that motivated the rule.
+    incident: str
+    #: Extra notes (suppression policy, known limitations).
+    notes: str = ""
+
+    def explain(self) -> str:
+        """The ``repro lint --explain`` payload."""
+        parts = [
+            f"{self.rule_id} -- {self.title}",
+            "",
+            "Invariant:",
+            f"  {self.invariant}",
+            "",
+            "Bad:",
+            _indent(self.bad_example),
+            "",
+            "Good:",
+            _indent(self.good_example),
+            "",
+            "Why this rule exists:",
+            f"  {self.incident}",
+        ]
+        if self.notes:
+            parts += ["", "Notes:", f"  {self.notes}"]
+        parts += [
+            "",
+            "Suppress a provably safe site with:",
+            f"  # repro: allow[{self.rule_id}] <reason>",
+        ]
+        return "\n".join(parts)
+
+
+def _indent(snippet: str) -> str:
+    return "\n".join(f"    {line}" for line in snippet.strip("\n").splitlines())

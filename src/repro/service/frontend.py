@@ -56,6 +56,26 @@ __all__ = ["AsyncFrontend"]
 _DEFAULT_LINE_LIMIT = 256 * 1024 * 1024
 
 
+def _decode_or_error(line: str):
+    """Decode one request line, entirely on the parse pool.
+
+    Returns ``(request, None)`` on success or ``(None, answer)`` with
+    the BAD_REQUEST response already encoded -- the event loop only
+    ever forwards bytes, it never parses or serializes them.
+    """
+    try:
+        return decode_request(line), None
+    except ProtocolError as exc:
+        request_id = None
+        try:
+            request_id = json.loads(line).get("request_id")
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        return None, encode_response(Response(
+            status=ResponseStatus.BAD_REQUEST,
+            request_id=request_id, error=str(exc)))
+
+
 class AsyncFrontend:
     """One event loop serving NDJSON for a service or cluster router."""
 
@@ -76,6 +96,10 @@ class AsyncFrontend:
         self._parse_pool = ThreadPoolExecutor(
             max_workers=parse_workers,
             thread_name_prefix="repro-parse")
+        # Pre-encoded so the oversize answer costs the loop nothing.
+        self._oversize_answer = encode_response(Response(
+            status=ResponseStatus.BAD_REQUEST,
+            error=f"request line exceeds {max_line_bytes} bytes"))
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._thread: Optional[threading.Thread] = None
@@ -231,10 +255,7 @@ class AsyncFrontend:
                 except (asyncio.LimitOverrunError, ValueError):
                     # A line past the limit: answer once, then drop the
                     # connection -- the stream offset is unrecoverable.
-                    await self._write_line(writer, encode_response(Response(
-                        status=ResponseStatus.BAD_REQUEST,
-                        error=f"request line exceeds "
-                              f"{self.max_line_bytes} bytes")))
+                    await self._write_line(writer, self._oversize_answer)
                     if self._c_bad_lines is not None:
                         self._c_bad_lines.inc()
                     return
@@ -270,29 +291,31 @@ class AsyncFrontend:
         if self._c_requests is not None:
             self._c_requests.inc()
         try:
-            request_id: Optional[str] = None
             try:
                 # Parse + validate off the loop: instance payloads can
                 # be large, and json decoding holds the GIL anyway --
-                # but on the pool it never stalls connection I/O.
-                request = await loop.run_in_executor(
-                    self._parse_pool, decode_request, line)
-            except ProtocolError as exc:
-                try:
-                    request_id = json.loads(line).get("request_id")
-                except (json.JSONDecodeError, AttributeError):
-                    pass
-                if self._c_bad_lines is not None:
-                    self._c_bad_lines.inc()
-                return encode_response(Response(
-                    status=ResponseStatus.BAD_REQUEST,
-                    request_id=request_id, error=str(exc)))
+                # but on the pool it never stalls connection I/O.  The
+                # malformed-line answer is encoded there too.
+                request, bad_answer = await loop.run_in_executor(
+                    self._parse_pool, _decode_or_error, line)
             except RuntimeError as exc:  # pragma: no cover - pool closed
+                # Shutdown race: one small constant encode on the loop.
+                # repro: allow[REP-ASYNC] pool is closed; tiny fixed-size payload on the shutdown path
                 return encode_response(Response(
                     status=ResponseStatus.ERROR,
                     error=f"frontend shutting down: {exc}"))
+            if bad_answer is not None:
+                if self._c_bad_lines is not None:
+                    self._c_bad_lines.inc()
+                return bad_answer
             response = await self._submit(request)
-            return encode_response(response)
+            try:
+                # Responses carry whole placements; encode off the loop.
+                return await loop.run_in_executor(
+                    self._parse_pool, encode_response, response)
+            except RuntimeError:  # pragma: no cover - pool closed
+                # repro: allow[REP-ASYNC] pool is closed; last in-flight answer on the shutdown path
+                return encode_response(response)
         finally:
             self._pending -= 1
             if self._pending == 0:

@@ -1,0 +1,46 @@
+"""Fixture-corpus helpers for the static-analyzer suite.
+
+Each test builds a tiny synthetic project on disk (``make_project``)
+and runs the real two-phase engine over it (``lint``), so every
+checker is exercised through the exact path CI uses.
+"""
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.analysis import AnalysisConfig, run_analysis
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Write ``{relpath: source}`` under a fresh root; returns the root."""
+
+    def _make(files: Dict[str, str]) -> Path:
+        root = tmp_path / "proj"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return root
+
+    return _make
+
+
+@pytest.fixture
+def lint():
+    """Run the analyzer over a fixture root; returns the result."""
+
+    def _lint(root: Path, rules: Sequence[str] = (),
+              baseline: Optional[Path] = None,
+              paths: Sequence[Path] = ()):
+        return run_analysis(AnalysisConfig(
+            root=root, paths=paths, rules=rules, baseline=baseline))
+
+    return _lint
+
+
+def rule_ids(result):
+    """Active finding rule ids, sorted, for compact assertions."""
+    return sorted(f.rule_id for f in result.active)

@@ -1,0 +1,133 @@
+"""REP-ASYNC fixture corpus: blocking on the loop fires, executor use
+and awaits stay silent."""
+
+from conftest import rule_ids
+
+RULES = ("REP-ASYNC",)
+
+
+class TestFires:
+    def test_time_sleep_in_async_def(self, make_project, lint):
+        root = make_project({"svc/loop.py": '''
+import time
+
+
+async def handle(line):
+    time.sleep(0.1)
+    return line
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-ASYNC"]
+        assert "time.sleep" in result.active[0].message
+
+    def test_untimed_acquire_and_json(self, make_project, lint):
+        root = make_project({"svc/loop.py": '''
+import json
+
+
+class Frontend:
+    async def serve(self, line):
+        self._lock.acquire()
+        try:
+            return json.loads(line)
+        finally:
+            self._lock.release()
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-ASYNC", "REP-ASYNC"]
+        messages = " ".join(f.message for f in result.active)
+        assert ".acquire()" in messages and "json.loads" in messages
+
+    def test_open_and_subprocess(self, make_project, lint):
+        root = make_project({"svc/loop.py": '''
+import subprocess
+
+
+async def snapshot(path):
+    with open(path) as handle:
+        data = handle.read()
+    subprocess.run(["sync"])
+    return data
+'''})
+        result = lint(root, rules=RULES)
+        assert len(result.active) == 2
+
+    def test_call_nested_inside_await_args_still_checked(
+            self, make_project, lint):
+        # `await write(encode(x))` runs encode() on the loop before the
+        # await -- the direct-await exemption must not leak to it.
+        root = make_project({"svc/loop.py": '''
+import json
+
+
+async def answer(writer, payload):
+    await writer.write(json.dumps(payload))
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-ASYNC"]
+        assert "json.dumps" in result.active[0].message
+
+
+class TestStaysSilent:
+    def test_asyncio_equivalents(self, make_project, lint):
+        root = make_project({"svc/loop.py": '''
+import asyncio
+
+
+async def handle(reader):
+    await asyncio.sleep(0.1)
+    line = await reader.readline()
+    return line
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_run_in_executor_reference(self, make_project, lint):
+        # The blocking callable is passed by reference, never called
+        # on the loop.
+        root = make_project({"svc/loop.py": '''
+import asyncio
+import json
+
+
+async def handle(pool, line):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(pool, json.loads, line)
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_nested_sync_def_is_executor_code(self, make_project, lint):
+        # A sync def inside an async def is callback/executor code.
+        root = make_project({"svc/loop.py": '''
+import time
+
+
+async def handle(pool, loop):
+    def blocking():
+        time.sleep(1.0)
+        return 42
+
+    return await loop.run_in_executor(pool, blocking)
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_awaited_coroutine_factory_wait(self, make_project, lint):
+        # event.wait() inside `await asyncio.wait_for(...)` builds a
+        # coroutine; the .wait() heuristic must not misfire on it.
+        root = make_project({"svc/loop.py": '''
+import asyncio
+
+
+async def drain(event):
+    await asyncio.wait_for(event.wait(), timeout=5.0)
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_timed_acquire_allowed(self, make_project, lint):
+        root = make_project({"svc/loop.py": '''
+async def poll(lock):
+    if lock.acquire(timeout=0.01):
+        lock.release()
+    if lock.acquire(blocking=False):
+        lock.release()
+'''})
+        assert lint(root, rules=RULES).active == []

@@ -1,0 +1,101 @@
+"""REP-SEED fixture corpus: nondeterminism in seeded subsystems fires;
+seeded RNGs and out-of-scope modules stay silent."""
+
+from conftest import rule_ids
+
+RULES = ("REP-SEED",)
+
+
+class TestFires:
+    def test_module_level_random_in_chaos(self, make_project, lint):
+        root = make_project({"chaos/faults.py": '''
+import random
+
+
+def pick_victim(workers):
+    return random.choice(workers)
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-SEED"]
+        assert "random.choice" in result.active[0].message
+
+    def test_wall_clock_decision(self, make_project, lint):
+        root = make_project({"chaos/schedule.py": '''
+import time
+
+
+def should_inject():
+    return int(time.time()) % 2 == 0
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-SEED"]
+        assert "time.time" in result.active[0].message
+
+    def test_unseeded_random_and_from_import(self, make_project, lint):
+        root = make_project({"chaos/gen.py": '''
+import random
+from random import shuffle
+
+
+def schedule(items):
+    rng = random.Random()
+    shuffle(items)
+    return rng.random()
+'''})
+        result = lint(root, rules=RULES)
+        assert len(result.active) == 2
+        messages = " ".join(f.message for f in result.active)
+        assert "no seed argument" in messages
+        assert "from random import shuffle" in messages
+
+    def test_uuid4_in_loadgen(self, make_project, lint):
+        root = make_project({"service/loadgen.py": '''
+import uuid
+
+
+def request_id():
+    return str(uuid.uuid4())
+'''})
+        assert rule_ids(lint(root, rules=RULES)) == ["REP-SEED"]
+
+
+class TestStaysSilent:
+    def test_seeded_rng_is_fine(self, make_project, lint):
+        root = make_project({"chaos/faults.py": '''
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def pick_victim(workers, rng):
+    return rng.choice(workers)
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_monotonic_timing_is_fine(self, make_project, lint):
+        # monotonic() times; it doesn't decide.
+        root = make_project({"chaos/harness.py": '''
+import time
+
+
+def timed(fn):
+    start = time.monotonic()
+    fn()
+    return time.monotonic() - start
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_out_of_scope_module_unconstrained(self, make_project, lint):
+        # The rule scopes to seeded subsystems only; a CLI helper may
+        # use wall-clock randomness freely.
+        root = make_project({"cli/banner.py": '''
+import random
+import time
+
+
+def greeting():
+    return random.choice(["hi", "yo"]) + str(time.time())
+'''})
+        assert lint(root, rules=RULES).active == []

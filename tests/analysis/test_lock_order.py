@@ -1,0 +1,134 @@
+"""REP-LOCK fixture corpus: order cycles fire, consistent orders and
+Condition aliases stay silent."""
+
+from conftest import rule_ids
+
+RULES = ("REP-LOCK",)
+
+
+class TestFires:
+    def test_two_lock_inversion(self, make_project, lint):
+        root = make_project({"svc/bank.py": '''
+import threading
+
+
+class Bank:
+    def __init__(self):
+        self._accounts_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+
+    def transfer(self):
+        with self._accounts_lock:
+            with self._audit_lock:
+                return 1
+
+    def report(self):
+        with self._audit_lock:
+            with self._accounts_lock:
+                return 2
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-LOCK"]
+        message = result.active[0].message
+        # Both with-sites named, both directions visible.
+        assert "Bank._accounts_lock" in message
+        assert "Bank._audit_lock" in message
+        assert "svc/bank.py:" in message
+
+    def test_cross_module_cycle_via_call(self, make_project, lint):
+        # journal.flush() nests journal->state; engine.apply() holds
+        # the state lock and calls flush(): state->journal.  The edge
+        # only exists through the call-under-lock pass.
+        root = make_project({
+            "svc/journal.py": '''
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._journal_lock = threading.Lock()
+
+    def flush_records(self, state):
+        with self._journal_lock:
+            with state._state_lock:
+                return 1
+''',
+            "svc/engine.py": '''
+import threading
+
+
+class Engine:
+    def __init__(self, journal):
+        self._state_lock = threading.Lock()
+        self.journal = journal
+
+    def apply(self):
+        with self._state_lock:
+            return self.journal.flush_records(self)
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-LOCK"]
+        assert "potential deadlock" in result.active[0].message
+
+
+class TestStaysSilent:
+    def test_consistent_global_order(self, make_project, lint):
+        root = make_project({"svc/bank.py": '''
+import threading
+
+
+class Bank:
+    def __init__(self):
+        self._accounts_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+
+    def transfer(self):
+        with self._accounts_lock:
+            with self._audit_lock:
+                return 1
+
+    def report(self):
+        with self._accounts_lock:
+            with self._audit_lock:
+                return 2
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_condition_alias_is_not_an_edge(self, make_project, lint):
+        # Condition(self._lock) IS self._lock: nesting them is a
+        # re-entry, not an ordering edge (the journal's _sync_cond
+        # pattern).
+        root = make_project({"svc/journal.py": '''
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sync_cond = threading.Condition(self._lock)
+
+    def commit(self):
+        with self._lock:
+            with self._sync_cond:
+                self._sync_cond.notify_all()
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_single_lock_everywhere(self, make_project, lint):
+        root = make_project({"svc/simple.py": '''
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def put(self, x):
+        with self._lock:
+            self.value = x
+
+    def get(self):
+        with self._lock:
+            return self.value
+'''})
+        assert lint(root, rules=RULES).active == []

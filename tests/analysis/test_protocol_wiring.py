@@ -1,0 +1,179 @@
+"""REP-PROTO fixture corpus + the mutation test on the real tree.
+
+The mutation test copies the actual service modules into a temp
+project, un-wires one protocol verb the way a careless PR would, and
+asserts the checker catches it -- proving an unwired verb fails CI.
+"""
+
+import shutil
+from pathlib import Path
+
+from conftest import rule_ids
+
+RULES = ("REP-PROTO",)
+
+WIRED = {
+    "service/protocol.py": '''
+from dataclasses import dataclass
+
+
+@dataclass
+class SolveRequest:
+    kind = "solve"
+    instance: object = None
+
+    def to_dict(self):
+        return {}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+
+@dataclass
+class DrainRequest:
+    kind = "drain"
+    deployment: str = ""
+
+    def to_dict(self):
+        return {}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+
+_REQUEST_TYPES = {cls.kind: cls for cls in (SolveRequest, DrainRequest)}
+''',
+    "service/daemon.py": '''
+def submit(request, SolveRequest=None, DrainRequest=None):
+    if isinstance(request, SolveRequest):
+        return "solved"
+    if isinstance(request, DrainRequest):
+        return "drained"
+    return None
+''',
+    "service/cluster.py": '''
+class ClusterRouter:
+    def _handle(self, request, DrainRequest=None):
+        if isinstance(request, DrainRequest):
+            return self._broadcast(request)
+        return self._route_stateless(request)
+''',
+}
+
+
+class TestFires:
+    def test_unregistered_verb(self, make_project, lint):
+        files = dict(WIRED)
+        files["service/protocol.py"] = files["service/protocol.py"].replace(
+            "(SolveRequest, DrainRequest)", "(SolveRequest,)")
+        result = lint(make_project(files), rules=RULES)
+        assert rule_ids(result) == ["REP-PROTO"]
+        finding = result.active[0]
+        assert finding.symbol == "DrainRequest"
+        assert "_REQUEST_TYPES" in finding.message
+
+    def test_missing_serializer_roundtrip(self, make_project, lint):
+        files = dict(WIRED)
+        files["service/protocol.py"] = files["service/protocol.py"].replace(
+            """    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+
+_REQUEST_TYPES""", "\n_REQUEST_TYPES")
+        result = lint(make_project(files), rules=RULES)
+        assert rule_ids(result) == ["REP-PROTO"]
+        assert "to_dict/from_dict" in result.active[0].message
+
+    def test_missing_handler(self, make_project, lint):
+        files = dict(WIRED)
+        files["service/daemon.py"] = '''
+def submit(request, SolveRequest=None):
+    if isinstance(request, SolveRequest):
+        return "solved"
+    return None
+'''
+        result = lint(make_project(files), rules=RULES)
+        assert rule_ids(result) == ["REP-PROTO"]
+        assert "handler" in result.active[0].message
+
+    def test_missing_router_arm(self, make_project, lint):
+        # DrainRequest has no routable `instance` field, so dropping
+        # its isinstance arm leaves sharded mode unable to serve it.
+        files = dict(WIRED)
+        files["service/cluster.py"] = '''
+class ClusterRouter:
+    def _handle(self, request):
+        return self._route_stateless(request)
+'''
+        result = lint(make_project(files), rules=RULES)
+        assert rule_ids(result) == ["REP-PROTO"]
+        assert "routing arm" in result.active[0].message
+
+
+class TestStaysSilent:
+    def test_fully_wired(self, make_project, lint):
+        assert lint(make_project(dict(WIRED)), rules=RULES).active == []
+
+    def test_stateless_fallthrough_routes_instance_verbs(
+            self, make_project, lint):
+        # SolveRequest has an `instance` field: the digest fallthrough
+        # routes it without a dedicated arm (the VerifyRequest pattern).
+        files = dict(WIRED)
+        assert "isinstance(request, SolveRequest)" not in files[
+            "service/cluster.py"]
+        assert lint(make_project(files), rules=RULES).active == []
+
+    def test_no_cluster_module_skips_router_check(self, make_project,
+                                                  lint):
+        files = {k: v for k, v in WIRED.items()
+                 if k != "service/cluster.py"}
+        assert lint(make_project(files), rules=RULES).active == []
+
+
+class TestMutationOnRealTree:
+    """Un-wire a real verb; the checker must fail the build."""
+
+    REPO = Path(__file__).resolve().parents[2]
+    SERVICE = ("protocol.py", "broker.py", "daemon.py", "cluster.py")
+
+    def _copy_service(self, tmp_path: Path) -> Path:
+        root = tmp_path / "mutant"
+        dest = root / "service"
+        dest.mkdir(parents=True)
+        for name in self.SERVICE:
+            shutil.copy(self.REPO / "src" / "repro" / "service" / name,
+                        dest / name)
+        return root
+
+    def test_real_tree_copy_is_wired(self, tmp_path, lint):
+        root = self._copy_service(tmp_path)
+        assert lint(root, rules=RULES).active == []
+
+    def test_dropping_session_router_arm_fails(self, tmp_path, lint):
+        root = self._copy_service(tmp_path)
+        cluster = root / "service" / "cluster.py"
+        source = cluster.read_text(encoding="utf-8")
+        mutated = source.replace("(DeltaRequest, SessionRequest)",
+                                 "(DeltaRequest,)")
+        assert mutated != source, "cluster router arm moved; update test"
+        cluster.write_text(mutated, encoding="utf-8")
+        result = lint(root, rules=RULES)
+        assert [f.symbol for f in result.active] == ["SessionRequest"]
+        assert "routing arm" in result.active[0].message
+
+    def test_unregistering_verb_fails(self, tmp_path, lint):
+        root = self._copy_service(tmp_path)
+        protocol = root / "service" / "protocol.py"
+        source = protocol.read_text(encoding="utf-8")
+        mutated = source.replace(
+            "for cls in (SolveRequest, DeltaRequest, VerifyRequest,",
+            "for cls in (SolveRequest, VerifyRequest,")
+        assert mutated != source, "registry tuple moved; update test"
+        protocol.write_text(mutated, encoding="utf-8")
+        result = lint(root, rules=RULES)
+        assert any(f.symbol == "DeltaRequest"
+                   and "_REQUEST_TYPES" in f.message
+                   for f in result.active)

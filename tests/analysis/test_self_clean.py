@@ -1,0 +1,47 @@
+"""The acceptance gate: the analyzer runs clean on this repository.
+
+Every finding in ``src/repro`` is either fixed or carries a justified
+inline allow, and the committed baseline stays empty -- so the CI lint
+job fails if this PR's invariants regress.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, run_analysis
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestSelfClean:
+    def test_zero_active_findings_on_src(self):
+        result = run_analysis(AnalysisConfig(
+            root=REPO, baseline=REPO / "lint-baseline.json"))
+        assert result.parse_errors == []
+        details = "\n".join(
+            f"{f.location()} {f.rule_id} {f.message}"
+            for f in result.active)
+        assert result.active == [], f"lint regressions:\n{details}"
+        assert result.exit_code == 0
+
+    def test_committed_baseline_is_empty(self):
+        payload = json.loads(
+            (REPO / "lint-baseline.json").read_text(encoding="utf-8"))
+        assert payload["findings"] == [], (
+            "policy: fix findings or add an inline justified allow; "
+            "the baseline stays empty")
+
+    def test_every_suppression_has_a_reason(self):
+        result = run_analysis(AnalysisConfig(root=REPO))
+        assert result.suppressed, "expected the known justified allows"
+        for finding in result.suppressed:
+            assert finding.suppression_reason.strip(), finding.location()
+
+    def test_known_hairy_sites_are_covered(self):
+        # The fork-under-deployment-lock sites in the broker and the
+        # shutdown-path encodes in the frontend are *suppressed* (with
+        # reasons), not invisible: the checkers still see them.
+        result = run_analysis(AnalysisConfig(root=REPO))
+        paths = {f.path for f in result.suppressed}
+        assert "src/repro/service/broker.py" in paths
+        assert "src/repro/service/frontend.py" in paths

@@ -1,0 +1,158 @@
+"""Suppression and baseline round-trips, reporters, CLI surface."""
+
+import json
+
+from repro.analysis import render_json, rule_registry
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.cli import main as cli_main
+
+BAD_ASYNC = '''
+import time
+
+
+async def handle(line):
+    time.sleep(0.1)
+    return line
+'''
+
+RULES = ("REP-ASYNC",)
+
+
+class TestSuppressions:
+    def test_trailing_allow_suppresses(self, make_project, lint):
+        source = BAD_ASYNC.replace(
+            "time.sleep(0.1)",
+            "time.sleep(0.1)  "
+            "# repro: allow[REP-ASYNC] startup path, loop not serving yet")
+        root = make_project({"svc/loop.py": source})
+        result = lint(root, rules=RULES)
+        assert result.active == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].suppression_reason == (
+            "startup path, loop not serving yet")
+
+    def test_standalone_allow_covers_next_line(self, make_project, lint):
+        source = BAD_ASYNC.replace(
+            "    time.sleep(0.1)",
+            "    # repro: allow[REP-ASYNC] measured: sub-microsecond\n"
+            "    time.sleep(0.1)")
+        result = lint(make_project({"svc/loop.py": source}), rules=RULES)
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+    def test_allow_without_reason_does_not_suppress(self, make_project,
+                                                    lint):
+        source = BAD_ASYNC.replace(
+            "time.sleep(0.1)",
+            "time.sleep(0.1)  # repro: allow[REP-ASYNC]")
+        result = lint(make_project({"svc/loop.py": source}), rules=RULES)
+        assert len(result.active) == 1
+
+    def test_allow_for_other_rule_does_not_suppress(self, make_project,
+                                                    lint):
+        source = BAD_ASYNC.replace(
+            "time.sleep(0.1)",
+            "time.sleep(0.1)  # repro: allow[REP-FORK] wrong rule id")
+        result = lint(make_project({"svc/loop.py": source}), rules=RULES)
+        assert len(result.active) == 1
+
+
+class TestBaseline:
+    def test_round_trip(self, make_project, lint, tmp_path):
+        root = make_project({"svc/loop.py": BAD_ASYNC})
+        baseline = tmp_path / "lint-baseline.json"
+
+        first = lint(root, rules=RULES, baseline=baseline)
+        assert len(first.active) == 1 and first.exit_code == 1
+
+        write_baseline(baseline, first.active)
+        assert len(load_baseline(baseline)) == 1
+
+        second = lint(root, rules=RULES, baseline=baseline)
+        assert second.active == [] and second.exit_code == 0
+        assert len(second.baselined) == 1
+
+    def test_fingerprint_survives_line_moves(self, make_project, lint,
+                                             tmp_path):
+        root = make_project({"svc/loop.py": BAD_ASYNC})
+        baseline = tmp_path / "lint-baseline.json"
+        write_baseline(baseline, lint(root, rules=RULES).active)
+
+        # Unrelated code above shifts the finding's line; the
+        # line-independent fingerprint must keep matching.
+        moved = "import os\n\nPAD = os.name\n" + BAD_ASYNC
+        (root / "svc" / "loop.py").write_text(moved, encoding="utf-8")
+        result = lint(root, rules=RULES, baseline=baseline)
+        assert result.active == []
+        assert len(result.baselined) == 1
+
+    def test_new_finding_not_covered(self, make_project, lint, tmp_path):
+        root = make_project({"svc/loop.py": BAD_ASYNC})
+        baseline = tmp_path / "lint-baseline.json"
+        write_baseline(baseline, lint(root, rules=RULES).active)
+
+        grown = BAD_ASYNC + '''
+
+async def other(line):
+    time.sleep(0.2)
+'''
+        (root / "svc" / "loop.py").write_text(grown, encoding="utf-8")
+        result = lint(root, rules=RULES, baseline=baseline)
+        assert len(result.active) == 1
+        assert result.active[0].symbol == "other"
+
+
+class TestReporters:
+    def test_json_shape(self, make_project, lint):
+        root = make_project({"svc/loop.py": BAD_ASYNC})
+        result = lint(root, rules=RULES)
+        payload = json.loads(render_json(
+            result.active, result.suppressed, result.baselined,
+            result.files_scanned))
+        assert payload["ok"] is False
+        assert payload["counts"]["active"] == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "REP-ASYNC"
+        assert finding["path"] == "svc/loop.py"
+        assert finding["symbol"] == "handle"
+        assert len(finding["fingerprint"]) == 16
+
+
+class TestCli:
+    def test_lint_exit_codes(self, make_project, capsys):
+        root = make_project({"svc/loop.py": BAD_ASYNC})
+        code = cli_main(["lint", "--root", str(root),
+                         "--rules", "REP-ASYNC"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP-ASYNC" in out and "time.sleep" in out
+
+    def test_write_baseline_then_clean(self, make_project, capsys):
+        root = make_project({"svc/loop.py": BAD_ASYNC})
+        assert cli_main(["lint", "--root", str(root),
+                         "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert cli_main(["lint", "--root", str(root),
+                         "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["counts"]["baselined"] == 1
+
+    def test_explain_every_rule(self, capsys):
+        for rule_id, info in sorted(rule_registry().items()):
+            assert cli_main(["lint", "--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert rule_id in out
+            assert "Invariant:" in out
+            assert "Bad:" in out and "Good:" in out
+            assert "Why this rule exists:" in out
+            assert f"allow[{rule_id}]" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert cli_main(["lint", "--explain", "REP-NOPE"]) == 2
+        assert "known rules" in capsys.readouterr().err
+
+    def test_parse_error_fails(self, make_project, capsys):
+        root = make_project({"svc/broken.py": "def oops(:\n"})
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        assert "parse error" in capsys.readouterr().err

@@ -1,0 +1,7 @@
+"""Chaos-suite hardening: the recovery tests SIGKILL real forked
+daemons mid-commit; faulthandler makes any fatal signal in the
+surviving process dump all thread stacks instead of dying silently."""
+
+import faulthandler
+
+faulthandler.enable()

@@ -1,0 +1,9 @@
+"""Service-suite hardening: these tests fork workers and run real
+daemons; a wedged child or a deadlocked teardown otherwise dies
+silently under pytest's timeout.  With faulthandler armed, any fatal
+signal (SIGSEGV, SIGABRT, stuck-process SIGTERM) dumps every thread's
+stack to stderr before the process dies."""
+
+import faulthandler
+
+faulthandler.enable()
