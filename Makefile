@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-fix-baseline chaos recovery recovery-quick cluster cluster-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick bench-cluster bench-cluster-quick serve examples verify-all clean
+.PHONY: install test lint lint-fix-baseline chaos recovery recovery-quick cluster cluster-quick churn churn-quick bench bench-tables bench-full bench-compile bench-compile-quick bench-serve bench-serve-quick bench-warm bench-warm-quick bench-recovery bench-recovery-quick bench-cluster bench-cluster-quick serve examples verify-all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -49,6 +49,18 @@ cluster:
 
 cluster-quick:
 	REPRO_CLUSTER_QUICK=1 $(PYTHON) -m pytest tests/service/test_frontend.py tests/cluster/ -q
+
+# Traffic-driven caching acceptance: the traffic/counter/cache/harness
+# suites plus the strategy-comparison and 50-seed oracle benchmark;
+# writes BENCH_pr10.json (REPRO_CHURN_QUICK=1 or REPRO_CHURN_SEEDS=N
+# shrink the matrix).
+churn:
+	$(PYTHON) -m pytest tests/traffic/ -q
+	$(PYTHON) -m pytest benchmarks/test_churn_caching.py -q -s
+
+churn-quick:
+	REPRO_CHURN_QUICK=1 $(PYTHON) -m pytest tests/traffic/ -q
+	REPRO_CHURN_QUICK=1 $(PYTHON) -m pytest benchmarks/test_churn_caching.py -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,154 @@
+"""Churn caching benchmark: hit-rate vs. TCAM budget vs. strategy,
+recorded to ``BENCH_pr10.json`` at the repo root.
+
+The acceptance harness for the traffic-driven rule-caching PR.  Two
+claims, each a hard gate:
+
+* **Strategy comparison** -- the popularity-aware (EWMA) controller
+  beats the LRU and static-top-k baselines on dataplane hit-rate at
+  every measured TCAM budget, under Zipf-skewed traffic with diurnal
+  drift and a flash-crowd phase.  All strategies share the identical
+  closure-aware unit machinery, so the margin isolates the scoring
+  policy.
+* **Correctness matrix** -- across a >= 50-seed matrix (instance,
+  policies, and traffic all reshaped per seed), zero verdict
+  violations (every hit answered exactly as the full policy would)
+  and zero closure violations (the cached sets stay ancestor-closed,
+  path-covered, and shield-co-located).
+
+Tiers::
+
+    (default)            # full: 3 seeds x 4 strategies x 3 budgets,
+                         #       50-seed oracle matrix
+    REPRO_CHURN_QUICK=1  # CI: 2 seeds x comparison, matrix width from
+                         #     REPRO_CHURN_SEEDS (default 10)
+
+A quick run merges into an existing full-tier ``BENCH_pr10.json``
+under the ``"quick"`` key instead of clobbering committed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.experiments import banner
+from repro.traffic import ChurnConfig, run_churn, run_churn_matrix
+
+QUICK = os.environ.get("REPRO_CHURN_QUICK", "") not in ("", "0")
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr10.json"
+
+SEEDS = [0, 1] if QUICK else [0, 1, 2]
+BUDGETS = [8, 16] if QUICK else [8, 12, 16]
+STRATEGIES = ["popularity", "lru", "lfu", "static"]
+MATRIX_SEEDS = int(os.environ.get("REPRO_CHURN_SEEDS",
+                                  "10" if QUICK else "50"))
+
+BASE = ChurnConfig(
+    ticks=64 if QUICK else 96,
+    k=4, num_paths=8, rules_per_policy=24, capacity=48,
+    packets_per_tick=64 if QUICK else 96,
+    zipf_skew=1.2, drift_period=64,
+    flash_start=32 if QUICK else 48, flash_length=16 if QUICK else 24,
+    mean_flow_lifetime=48,
+)
+
+
+def _comparison() -> Dict[str, Any]:
+    points: Dict[str, Any] = {}
+    for budget in BUDGETS:
+        rates: Dict[str, List[float]] = {}
+        flash_rates: Dict[str, List[float]] = {}
+        violations = 0
+        for strategy in STRATEGIES:
+            for seed in SEEDS:
+                run = run_churn(replace(BASE, seed=seed, budget=budget,
+                                        strategy=strategy))
+                rates.setdefault(strategy, []).append(run["hit_rate"])
+                flash_rates.setdefault(strategy, []).append(
+                    run["hit_rate_flash"] or 0.0)
+                violations += (run["verdict_violations"]
+                               + run["closure_violations"])
+        points[str(budget)] = {
+            "hit_rate": {s: sum(v) / len(v) for s, v in rates.items()},
+            "hit_rate_flash": {s: sum(v) / len(v)
+                               for s, v in flash_rates.items()},
+            "violations": violations,
+        }
+    return {
+        "seeds": SEEDS,
+        "budgets": BUDGETS,
+        "strategies": STRATEGIES,
+        "ticks": BASE.ticks,
+        "points": points,
+    }
+
+
+def _oracle_matrix() -> Dict[str, Any]:
+    matrix = run_churn_matrix(replace(BASE, ticks=64),
+                              seeds=range(MATRIX_SEEDS))
+    # The per-run detail is large and derivable; keep the aggregates.
+    return {
+        "seeds": matrix["seeds"],
+        "total_violations": matrix["total_violations"],
+        "digest_mismatches": matrix["digest_mismatches"],
+        "mean_hit_rate": matrix["mean_hit_rate"],
+    }
+
+
+class TestChurnCaching:
+    def setup_method(self) -> None:
+        if not hasattr(TestChurnCaching, "_comparison"):
+            TestChurnCaching._comparison = _comparison()
+            TestChurnCaching._matrix = _oracle_matrix()
+
+    def test_report_and_record(self) -> None:
+        tier = "quick" if QUICK else "full"
+        comparison = TestChurnCaching._comparison
+        matrix = TestChurnCaching._matrix
+        print(banner(f"Churn caching ({tier} tier)"))
+        for budget, point in sorted(comparison["points"].items(),
+                                    key=lambda kv: int(kv[0])):
+            rates = point["hit_rate"]
+            print(f"  budget={budget}: " + ", ".join(
+                f"{s}={rates[s]:.3f}" for s in STRATEGIES))
+        print(f"  oracle matrix: {matrix['seeds']} seeds, "
+              f"{matrix['total_violations']} violations, "
+              f"mean hit-rate {matrix['mean_hit_rate']:.3f}")
+
+        report = {"comparison": comparison, "oracle_matrix": matrix}
+        existing: Dict = {}
+        if BENCH_PATH.exists():
+            existing = json.loads(BENCH_PATH.read_text())
+        if QUICK and existing.get("tier") == "full":
+            merged = dict(existing)
+            merged["quick"] = report
+        else:
+            merged = {"tier": tier, **report}
+        BENCH_PATH.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    def test_popularity_beats_lru_and_static_at_every_budget(self) -> None:
+        """The PR's headline claim, gated at every measured budget."""
+        for budget, point in TestChurnCaching._comparison["points"].items():
+            rates = point["hit_rate"]
+            assert rates["popularity"] > rates["lru"], (
+                f"budget {budget}: popularity {rates['popularity']:.3f} "
+                f"<= lru {rates['lru']:.3f}")
+            assert rates["popularity"] > rates["static"], (
+                f"budget {budget}: popularity {rates['popularity']:.3f} "
+                f"<= static {rates['static']:.3f}")
+
+    def test_comparison_runs_are_violation_free(self) -> None:
+        for budget, point in TestChurnCaching._comparison["points"].items():
+            assert point["violations"] == 0, (
+                f"budget {budget}: {point['violations']} violations")
+
+    def test_oracle_matrix_is_clean(self) -> None:
+        matrix = TestChurnCaching._matrix
+        assert matrix["seeds"] == MATRIX_SEEDS
+        assert matrix["total_violations"] == 0
+        assert matrix["digest_mismatches"] == 0

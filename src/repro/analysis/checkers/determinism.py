@@ -58,7 +58,7 @@ def pick_victim(workers, rng: random.Random):
 SEEDED_PATH_RE = re.compile(
     r"(repro/chaos/|chaos/|service/loadgen|experiments/generators"
     r"|net/generators|dataplane/(channel|simulator)"
-    r"|policy/classbench)")
+    r"|policy/classbench|repro/traffic/|traffic/)")
 
 _RANDOM_OK = {"Random", "SystemRandom", "seed"}
 _WALLCLOCK = {"time.time", "time.time_ns", "datetime.now",

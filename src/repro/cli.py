@@ -22,6 +22,10 @@ Subcommands mirror the operational workflow:
   cluster (``--cluster``) and write a report;
 * ``bench-serve`` -- replay the seeded mixed workload against a fresh
   in-process daemon and write the benchmark report JSON;
+* ``churn``    -- run the traffic-driven rule-caching loop (seeded
+  Zipf/flash-crowd stream, promotion/eviction deltas) across a seed
+  matrix and gate on the caching correctness oracle (exit code 1 on
+  any verdict/closure violation or shadow digest mismatch);
 * ``lint``     -- run the project static analyzer (fork-safety, async-
   blocking, lock-order, determinism, protocol wiring); exit code 1 on
   any non-baselined finding, ``--explain RULE-ID`` for rule docs.
@@ -242,6 +246,35 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--quick", action="store_true",
                          help="small workload (also via "
                               "REPRO_CLUSTER_QUICK=1)")
+
+    churn = sub.add_parser(
+        "churn",
+        help="run the traffic-driven rule-caching churn loop",
+    )
+    churn.add_argument("-o", "--output", default="churn_report.json",
+                       help="report JSON path")
+    churn.add_argument("--seeds", type=int, default=None,
+                       help="seed-matrix width (default 8, or "
+                            "$REPRO_CHURN_SEEDS)")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="first seed of the matrix")
+    churn.add_argument("--ticks", type=int, default=None,
+                       help="traffic ticks per run (default 96)")
+    churn.add_argument("--budget", type=int, default=None,
+                       help="cached rules per ingress (default 12)")
+    churn.add_argument("--strategy", default="popularity",
+                       choices=["popularity", "lru", "lfu", "static"],
+                       help="cache scoring strategy")
+    churn.add_argument("--compare", action="store_true",
+                       help="run every strategy and report the "
+                            "hit-rate comparison")
+    churn.add_argument("--service", action="store_true",
+                       help="drive deltas through an in-process "
+                            "service (journal + sessions see the "
+                            "churn) with a digest-checked shadow")
+    churn.add_argument("--quick", action="store_true",
+                       help="small matrix (also via "
+                            "REPRO_CHURN_QUICK=1)")
 
     bench = sub.add_parser(
         "bench-serve",
@@ -797,6 +830,58 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    import json
+    import os
+    from dataclasses import replace
+
+    from .traffic.harness import ChurnConfig, run_churn, run_churn_matrix
+
+    quick = args.quick or os.environ.get("REPRO_CHURN_QUICK") == "1"
+    seeds = args.seeds
+    if seeds is None:
+        env = os.environ.get("REPRO_CHURN_SEEDS")
+        seeds = int(env) if env else (3 if quick else 8)
+    ticks = args.ticks if args.ticks is not None else (48 if quick else 96)
+    budget = args.budget if args.budget is not None else 12
+    config = ChurnConfig(ticks=ticks, budget=budget,
+                         strategy=args.strategy, service=args.service)
+
+    seed_range = range(args.seed, args.seed + seeds)
+    report = run_churn_matrix(config, seeds=seed_range)
+    violations = report["total_violations"]
+    mismatches = report["digest_mismatches"]
+    print(f"matrix[{args.strategy}]: {report['seeds']} seeds, "
+          f"mean hit-rate {report['mean_hit_rate']:.3f}, "
+          f"{violations} violations")
+
+    if args.compare:
+        comparison = {}
+        for strategy in ("popularity", "lru", "lfu", "static"):
+            rates = []
+            for seed in seed_range:
+                run = run_churn(replace(config, seed=seed,
+                                        strategy=strategy))
+                rates.append(run["hit_rate"])
+                violations += (run["verdict_violations"]
+                               + run["closure_violations"])
+                mismatches += run.get("digest_mismatches", 0)
+            comparison[strategy] = sum(rates) / len(rates)
+            print(f"  {strategy:>10}: hit-rate "
+                  f"{comparison[strategy]:.3f}")
+        report["comparison"] = comparison
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if violations or mismatches:
+        print(f"FAIL: {violations} oracle violations, "
+              f"{mismatches} digest mismatches")
+        return 1
+    print("oracle clean: every hit verdict matched the full policy")
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -809,6 +894,7 @@ _HANDLERS = {
     "ping": _cmd_ping,
     "loadgen": _cmd_loadgen,
     "bench-serve": _cmd_bench_serve,
+    "churn": _cmd_churn,
     "lint": _cmd_lint,
 }
 

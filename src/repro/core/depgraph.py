@@ -34,6 +34,7 @@ __all__ = [
     "PinnedDepgraphs",
     "build_dependency_graph",
     "build_dependency_graph_reference",
+    "caching_closures",
     "clear_depgraph_cache",
     "depgraph_cache_stats",
     "ordering_pairs",
@@ -233,6 +234,40 @@ def build_dependency_graph_reference(policy: Policy) -> DependencyGraph:
                 deps.append(higher.priority)
         edges[rule.priority] = tuple(sorted(deps))
     return DependencyGraph(policy.ingress, edges)
+
+
+def caching_closures(policy: Policy) -> Dict[int, Tuple[int, ...]]:
+    """Transitive different-action ancestor closure of every rule.
+
+    The *caching* dependency rule is stricter than Eq. 1: a rule ``r``
+    answered from a partial (cached) table is only semantically safe
+    when every higher-priority rule with a different action whose match
+    overlaps ``r`` is cached too -- and so on transitively up the
+    alternating PERMIT/DROP chain.  (Eq. 1 stops at a DROP's direct
+    PERMIT shields because a full placement installs every drop anyway;
+    a cache does not, so a shield PERMIT must drag along the even
+    higher DROPs that carve into *it*.)
+
+    Returns, per rule priority, the sorted (descending) tuple of
+    ancestor priorities that must co-reside in the cache.  The rule
+    itself is not included.  The relation is built from
+    :func:`ordering_pairs` -- the same significant-pair analysis the
+    merged-table synthesis orders by -- so "different action and
+    overlapping" has exactly one definition in the codebase.
+    """
+    direct: Dict[int, List[int]] = {}
+    for higher, lower in ordering_pairs(policy):
+        direct.setdefault(lower, []).append(higher)
+    closures: Dict[int, Tuple[int, ...]] = {}
+    # Decreasing priority: every ancestor is strictly higher-priority,
+    # so its own closure is already final when we reach the dependent.
+    for rule in policy.sorted_rules():
+        members: set = set()
+        for ancestor in direct.get(rule.priority, ()):
+            members.add(ancestor)
+            members.update(closures[ancestor])
+        closures[rule.priority] = tuple(sorted(members, reverse=True))
+    return closures
 
 
 def ordering_pairs(policy: Policy) -> Iterator[Tuple[int, int]]:

@@ -130,6 +130,27 @@ class IncrementalDeployer:
         """Whether a policy is currently deployed for ``ingress``."""
         return ingress in self._state
 
+    def deployed_policy(self, ingress: str) -> Policy:
+        """The currently deployed policy of ``ingress``."""
+        try:
+            return self._state[ingress][0]
+        except KeyError:
+            raise ValueError(f"no deployed policy for {ingress!r}") from None
+
+    def deployed_paths(self, ingress: str) -> Tuple[Path, ...]:
+        """The paths the ingress's policy is currently deployed on."""
+        try:
+            return self._state[ingress][1]
+        except KeyError:
+            raise ValueError(f"no deployed policy for {ingress!r}") from None
+
+    def placed_of(self, ingress: str) -> Dict[RuleKey, FrozenSet[str]]:
+        """A copy of the ingress's placed-rule -> switch-set map."""
+        try:
+            return dict(self._state[ingress][2])
+        except KeyError:
+            raise ValueError(f"no deployed policy for {ingress!r}") from None
+
     def state_digest(self) -> str:
         """Canonical sha256 of the entire deployed state.
 

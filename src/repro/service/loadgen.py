@@ -40,8 +40,8 @@ from .protocol import (
     SolveRequest,
 )
 
-__all__ = ["ClusterLoadgenConfig", "LoadgenConfig", "run_cluster_loadgen",
-           "run_loadgen"]
+__all__ = ["ChurnLoadgenConfig", "ClusterLoadgenConfig", "LoadgenConfig",
+           "run_churn_loadgen", "run_cluster_loadgen", "run_loadgen"]
 
 #: Deployment name the generated delta traffic targets.
 _DEPLOYMENT = "loadgen"
@@ -739,4 +739,145 @@ def _cluster_summary(phases: List[_Phase]) -> Dict[str, Any]:
         },
         "delta_homes": {name: sorted(shards)
                         for name, shards in sorted(delta_homes.items())},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Churn workload (traffic-driven rule caching)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChurnLoadgenConfig:
+    """The continuous-churn workload: a cache controller as the client.
+
+    Unlike the phase-mix workloads above, churn is *sustained*: one
+    deployment, a live packet stream, and a steady trickle of
+    install/modify/remove deltas as the controller chases traffic
+    popularity.  ``seeds`` runs make independent loops (distinct
+    deployments) against the same service, so journal, sessions, and
+    metrics absorb the aggregate stream.
+    """
+
+    seed: int = 0
+    #: Independent churn loops (seed, seed+1, ...).
+    seeds: int = 1
+    #: Traffic ticks per loop.
+    ticks: int = 96
+    # Instance / cache shape (passed through to ChurnConfig).
+    k: int = 4
+    num_paths: int = 8
+    rules_per_policy: int = 24
+    capacity: int = 48
+    budget: int = 12
+    strategy: str = "popularity"
+    # Service shape (used when no service is injected).
+    executor: str = "inline"
+    max_workers: int = 2
+    dispatchers: int = 1
+    request_timeout: float = 300.0
+    #: ``"host:port"`` of a running daemon (drives churn over TCP).
+    address: Optional[str] = None
+    client_retries: int = 8
+
+
+def run_churn_loadgen(config: Optional[ChurnLoadgenConfig] = None,
+                      service: Optional[PlacementService] = None
+                      ) -> Dict[str, Any]:
+    """Run churn loop(s) against a service; returns the JSON report.
+
+    Publishes the cache-health gauges on the service's metrics registry
+    (in-process targets): ``churn_cache_hit_rate``,
+    ``churn_tcam_occupancy``, plus ``churn_promotions_total`` /
+    ``churn_evictions_total`` / ``churn_deltas_total`` /
+    ``churn_rounds_total`` counters -- the signals an operator watches
+    to see whether the cache is keeping up with the traffic.
+    """
+    from ..traffic.harness import ChurnConfig, run_churn
+
+    config = config or ChurnLoadgenConfig()
+    own: Optional[PlacementService] = None
+    client: Optional[ServiceClient] = None
+    if service is None and not config.address:
+        own = PlacementService(ServiceConfig(
+            executor=config.executor,
+            max_workers=config.max_workers,
+            dispatchers=config.dispatchers,
+        ))
+        service = own
+    if service is not None:
+        target = service
+    else:
+        host, _, port = config.address.rpartition(":")
+        client = ServiceClient(host=host or "127.0.0.1", port=int(port),
+                               timeout=config.request_timeout,
+                               retries=config.client_retries)
+
+        class _ClientHandle:
+            def handle(self, request, timeout: float) -> Response:
+                return client.call(request, timeout=timeout)
+
+        target = _ClientHandle()
+
+    started = time.perf_counter()
+    runs: List[Dict[str, Any]] = []
+    try:
+        for index in range(config.seeds):
+            churn = ChurnConfig(
+                seed=config.seed + index, ticks=config.ticks,
+                k=config.k, num_paths=config.num_paths,
+                rules_per_policy=config.rules_per_policy,
+                capacity=config.capacity, budget=config.budget,
+                strategy=config.strategy,
+            )
+            report = run_churn(churn, service=target)
+            runs.append(report)
+            if service is not None and hasattr(service, "metrics"):
+                metrics = service.metrics
+                metrics.gauge(
+                    "churn_cache_hit_rate",
+                    "dataplane hit-rate of the latest churn loop",
+                ).set(report["hit_rate"])
+                metrics.gauge(
+                    "churn_tcam_occupancy",
+                    "cached rules deployed by the latest churn loop",
+                ).set(report["cached_rules"])
+                metrics.counter(
+                    "churn_promotions_total",
+                    "rules promoted into the cache",
+                ).inc(report["promotions"])
+                metrics.counter(
+                    "churn_evictions_total",
+                    "rules evicted from the cache",
+                ).inc(report["evictions"])
+                metrics.counter(
+                    "churn_deltas_total",
+                    "cache deltas issued through the delta path",
+                ).inc(report["deltas"])
+                metrics.counter(
+                    "churn_rounds_total",
+                    "controller rounds executed",
+                ).inc(report["rounds"])
+    finally:
+        if client is not None:
+            client.close()
+        if own is not None:
+            own.close()
+
+    wall = time.perf_counter() - started
+    violations = sum(r["verdict_violations"] + r["closure_violations"]
+                     for r in runs)
+    return {
+        "config": asdict(config),
+        "runs": len(runs),
+        "wall_seconds": wall,
+        "mean_hit_rate": (sum(r["hit_rate"] for r in runs) / len(runs)
+                          if runs else 0.0),
+        "total_violations": violations,
+        "digest_mismatches": sum(r.get("digest_mismatches", 0)
+                                 for r in runs),
+        "deltas": sum(r["deltas"] for r in runs),
+        "promotions": sum(r["promotions"] for r in runs),
+        "evictions": sum(r["evictions"] for r in runs),
+        "reports": runs,
     }

@@ -1,0 +1,34 @@
+"""Traffic-driven rule caching: TCAM as a cache under a live stream.
+
+The continuous-churn workload (FDRC framing, PAPERS.md): a seeded
+Zipf/drift/flash-crowd traffic generator (:mod:`.generator`) feeds
+decayed per-rule popularity counters (:mod:`.counters`); a cache
+controller (:mod:`.cache`) promotes and evicts whole dependency-closure
+units through batched incremental deltas; the harness (:mod:`.harness`)
+closes the loop against the dataplane and gates on the caching
+correctness oracle.
+"""
+
+from .cache import (CacheConfig, LocalChurnDriver, RuleCacheController,
+                    ServiceChurnDriver, cacheable_units, closure_violations)
+from .counters import EwmaCounters, PopularityTracker, SpaceSavingTopK
+from .generator import FlowPacket, TrafficConfig, TrafficGenerator
+from .harness import ChurnConfig, run_churn, run_churn_matrix
+
+__all__ = [
+    "CacheConfig",
+    "ChurnConfig",
+    "EwmaCounters",
+    "FlowPacket",
+    "LocalChurnDriver",
+    "PopularityTracker",
+    "RuleCacheController",
+    "ServiceChurnDriver",
+    "SpaceSavingTopK",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "cacheable_units",
+    "closure_violations",
+    "run_churn",
+    "run_churn_matrix",
+]

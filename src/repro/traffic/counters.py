@@ -1,0 +1,204 @@
+"""Per-rule popularity accounting for the cache controller.
+
+Two estimators feed the promotion/eviction loop:
+
+* :class:`EwmaCounters` -- exponentially-decayed per-key hit rates with
+  a configurable half-life (in ticks).  Recency-weighted frequency: a
+  rule hot an hour ago but cold now decays toward zero, which is what
+  lets the controller track diurnal drift and flash crowds.
+* :class:`SpaceSavingTopK` -- the classic Metwally/Agrawal/El Abbadi
+  space-saving sketch: bounded memory, guaranteed superset of the true
+  top-k, per-key overestimation error tracked explicitly.  Used to cap
+  tracker state on long streams so controller memory stays O(k) even
+  when the flow/rule universe is unbounded.
+
+Both are plain deterministic data structures (no randomness, no wall
+clock); ties break on the key so behaviour is reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["EwmaCounters", "SpaceSavingTopK", "PopularityTracker"]
+
+Key = Hashable
+
+
+class EwmaCounters:
+    """Exponentially decayed counters over discrete ticks.
+
+    ``record(key)`` adds weight to a key within the current tick;
+    ``tick()`` closes the tick, multiplying every score by
+    ``0.5 ** (1 / half_life)`` so a key's score halves after
+    ``half_life`` idle ticks.  Scores are folded lazily per key (each
+    key stores the tick its score was last normalized to), so ``tick``
+    is O(1), not O(keys).
+    """
+
+    def __init__(self, half_life: float = 16.0) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+        self._decay = 0.5 ** (1.0 / half_life)
+        self._tick = 0
+        #: key -> (score at ``_stamp[key]``, cumulative raw count)
+        self._scores: Dict[Key, float] = {}
+        self._stamps: Dict[Key, int] = {}
+        self._counts: Dict[Key, int] = {}
+        self._last_seen: Dict[Key, int] = {}
+
+    def _fold(self, key: Key) -> float:
+        score = self._scores.get(key, 0.0)
+        stamp = self._stamps.get(key, self._tick)
+        if stamp != self._tick:
+            score *= self._decay ** (self._tick - stamp)
+            self._scores[key] = score
+            self._stamps[key] = self._tick
+        return score
+
+    def record(self, key: Key, weight: float = 1.0) -> None:
+        self._scores[key] = self._fold(key) + weight
+        self._stamps[key] = self._tick
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._last_seen[key] = self._tick
+
+    def tick(self) -> None:
+        """Close the current tick (decay applies lazily from here on)."""
+        self._tick += 1
+
+    def score(self, key: Key) -> float:
+        """Decayed popularity of ``key`` as of the current tick."""
+        score = self._scores.get(key)
+        if score is None:
+            return 0.0
+        stamp = self._stamps[key]
+        return score * self._decay ** (self._tick - stamp)
+
+    def count(self, key: Key) -> int:
+        """Cumulative (undecayed) hit count of ``key``."""
+        return self._counts.get(key, 0)
+
+    def last_seen(self, key: Key) -> Optional[int]:
+        """Tick of the key's most recent hit, or ``None`` if never."""
+        return self._last_seen.get(key)
+
+    def keys(self) -> Tuple[Key, ...]:
+        return tuple(self._scores)
+
+    def drop(self, key: Key) -> None:
+        """Forget a key entirely (evicted from the tracked set)."""
+        self._scores.pop(key, None)
+        self._stamps.pop(key, None)
+        self._counts.pop(key, None)
+        self._last_seen.pop(key, None)
+
+    @property
+    def current_tick(self) -> int:
+        return self._tick
+
+
+@dataclass(frozen=True)
+class TopKEntry:
+    key: Key
+    count: int
+    #: Maximum overestimation of ``count`` (0 = exact).
+    error: int
+
+
+class SpaceSavingTopK:
+    """Space-saving heavy-hitter sketch with deterministic eviction.
+
+    Holds at most ``capacity`` monitored keys.  An unmonitored arrival
+    evicts the minimum-count key (ties broken by ``repr`` of the key,
+    so runs are reproducible) and inherits its count as the new key's
+    error bound.  Guarantees: every key with true count >
+    ``total / capacity`` is monitored, and ``count - error`` is a lower
+    bound on the true count.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counts: Dict[Key, int] = {}
+        self._errors: Dict[Key, int] = {}
+        self._total = 0
+
+    def record(self, key: Key) -> None:
+        self._total += 1
+        if key in self._counts:
+            self._counts[key] += 1
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = 1
+            self._errors[key] = 0
+            return
+        victim = min(self._counts,
+                     key=lambda k: (self._counts[k], repr(k)))
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + 1
+        self._errors[key] = floor
+
+    def top(self, k: Optional[int] = None) -> List[TopKEntry]:
+        """Monitored keys by decreasing count (then key repr)."""
+        ranked = sorted(self._counts,
+                        key=lambda key: (-self._counts[key], repr(key)))
+        if k is not None:
+            ranked = ranked[:k]
+        return [TopKEntry(key, self._counts[key], self._errors[key])
+                for key in ranked]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+
+class PopularityTracker:
+    """EWMA scores bounded by a space-saving monitored set.
+
+    The composition the controller consumes: every hit feeds both the
+    sketch (which decides *which* keys deserve state) and the EWMA
+    (which scores the monitored ones); keys the sketch evicts are
+    dropped from the EWMA too, so total state is O(sketch capacity)
+    regardless of stream length.
+    """
+
+    def __init__(self, half_life: float = 16.0,
+                 monitored: int = 1024) -> None:
+        self.ewma = EwmaCounters(half_life)
+        self.sketch = SpaceSavingTopK(monitored)
+
+    def record(self, key: Key, weight: float = 1.0) -> None:
+        before = set(self.sketch._counts) if len(
+            self.sketch) >= self.sketch.capacity else None
+        self.sketch.record(key)
+        if before is not None:
+            evicted = before - set(self.sketch._counts)
+            for gone in evicted:
+                self.ewma.drop(gone)
+        self.ewma.record(key, weight)
+
+    def tick(self) -> None:
+        self.ewma.tick()
+
+    def score(self, key: Key) -> float:
+        return self.ewma.score(key)
+
+    def count(self, key: Key) -> int:
+        return self.ewma.count(key)
+
+    def last_seen(self, key: Key) -> Optional[int]:
+        return self.ewma.last_seen(key)
+
+    @property
+    def current_tick(self) -> int:
+        return self.ewma.current_tick

@@ -1,0 +1,214 @@
+"""Seeded synthetic traffic: Zipf flow popularity under drift.
+
+The churn workload needs a packet stream whose *rule* popularity skews
+and shifts the way FDRC assumes real traffic does: a heavy head (a few
+flows carry most packets), a long tail, slow diurnal movement of which
+flows are hot, occasional flash crowds, and flow churn (flows arrive,
+live a while, expire).  Everything here is a pure function of the seed:
+same seed, same packet sequence, bit for bit -- the generator is a
+REP-SEED subsystem and CI replays multi-seed matrices by digest.
+
+Model
+-----
+Per ingress, a fixed number of *flow slots*.  Each slot holds a flow: a
+concrete header (sampled inside a random rule's match region with
+probability ``rule_bias``, uniformly otherwise, so popularity lands on
+*rules*, not just raw headers) and one routed path of the ingress.
+Slot ``i`` carries Zipf weight ``(i+1)^-skew``; diurnal drift rotates
+the slot->weight mapping over ``drift_period`` ticks so the hot slots
+move; a flash crowd temporarily boosts a band of tail slots to
+head-class weight; flow expiry resamples a slot's flow in place
+(geometric lifetimes), so even a stable slot's *header* churns.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.routing import Path, Routing
+from ..policy.policy import Policy
+
+__all__ = ["TrafficConfig", "FlowPacket", "TrafficGenerator"]
+
+
+@dataclass
+class TrafficConfig:
+    """Shape of the synthetic stream (all deterministic in ``seed``)."""
+
+    seed: int = 0
+    #: Flow slots per ingress (the active-flow working set).
+    flows_per_ingress: int = 48
+    #: Packets emitted per :meth:`TrafficGenerator.tick`.
+    packets_per_tick: int = 60
+    #: Zipf skew ``s``: slot ``i`` has weight ``(i+1)^-s``.
+    zipf_skew: float = 1.1
+    #: Ticks for one full rotation of the popularity ranks (0 = static).
+    drift_period: int = 0
+    #: First tick of the flash crowd (``None`` = no flash crowd).
+    flash_start: Optional[int] = None
+    #: Flash crowd duration in ticks.
+    flash_length: int = 0
+    #: Number of tail slots the flash crowd ignites.
+    flash_flows: int = 4
+    #: Weight multiplier (relative to the rank-0 weight) per flash slot.
+    flash_boost: float = 40.0
+    #: Mean flow lifetime in ticks (0 = flows never expire).
+    mean_flow_lifetime: int = 0
+    #: Probability a flow's header is sampled inside a rule's region.
+    rule_bias: float = 0.9
+
+
+@dataclass(frozen=True)
+class FlowPacket:
+    """One generated packet: where it enters, how it routes, its header."""
+
+    ingress: str
+    path: Path
+    header: int
+    width: int
+    #: Stable id of the generating flow (changes when the slot's flow
+    #: expires and is resampled).
+    flow_id: int
+
+
+@dataclass
+class _Flow:
+    flow_id: int
+    header: int
+    path: Path
+
+
+class TrafficGenerator:
+    """Replayable packet source over a policy set and its routing."""
+
+    def __init__(self, policies: Sequence[Policy], routing: Routing,
+                 config: Optional[TrafficConfig] = None) -> None:
+        self.config = config or TrafficConfig()
+        if self.config.flows_per_ingress < 1:
+            raise ValueError("flows_per_ingress must be >= 1")
+        if self.config.packets_per_tick < 1:
+            raise ValueError("packets_per_tick must be >= 1")
+        self._rng = random.Random(self.config.seed)
+        self._policies: Dict[str, Policy] = {}
+        self._paths: Dict[str, Tuple[Path, ...]] = {}
+        for policy in policies:
+            paths = routing.paths(policy.ingress)
+            if not paths:
+                continue  # unrouted policies see no traffic
+            self._policies[policy.ingress] = policy
+            self._paths[policy.ingress] = paths
+        if not self._policies:
+            raise ValueError("no routed policies to generate traffic for")
+        self._ingresses: Tuple[str, ...] = tuple(sorted(self._policies))
+        self._next_flow_id = 0
+        self._tick = 0
+        #: Per-ingress flow slots, index = popularity rank slot.
+        self._slots: Dict[str, List[_Flow]] = {
+            ingress: [self._new_flow(ingress)
+                      for _ in range(self.config.flows_per_ingress)]
+            for ingress in self._ingresses
+        }
+        n = self.config.flows_per_ingress
+        self._zipf = [(rank + 1) ** -self.config.zipf_skew
+                      for rank in range(n)]
+        #: Flash slots: a deterministic band at the tail of the slot
+        #: space -- cold under the base Zipf ranking, so the flash is a
+        #: genuine popularity reversal, not a boost of existing heat.
+        flash = min(self.config.flash_flows, n)
+        self._flash_slots = tuple(range(n - flash, n))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ingresses(self) -> Tuple[str, ...]:
+        return self._ingresses
+
+    @property
+    def current_tick(self) -> int:
+        return self._tick
+
+    def _new_flow(self, ingress: str) -> _Flow:
+        policy = self._policies[ingress]
+        width = policy.width or 1
+        rng = self._rng
+        rules = policy.rules
+        if rules and rng.random() < self.config.rule_bias:
+            rule = rules[rng.randrange(len(rules))]
+            header = rule.match.sample(rng)
+        else:
+            header = rng.getrandbits(width)
+        paths = self._paths[ingress]
+        compatible = [p for p in paths
+                      if p.flow is None or p.flow.matches(header)]
+        path = (compatible or list(paths))[rng.randrange(
+            len(compatible) if compatible else len(paths))]
+        flow = _Flow(self._next_flow_id, header, path)
+        self._next_flow_id += 1
+        return flow
+
+    def _weights(self, ingress: str, tick: int) -> List[float]:
+        config = self.config
+        n = config.flows_per_ingress
+        if config.drift_period > 0:
+            offset = (n * (tick % config.drift_period)) // config.drift_period
+        else:
+            offset = 0
+        weights = [self._zipf[(slot + offset) % n] for slot in range(n)]
+        if (config.flash_start is not None
+                and config.flash_start <= tick
+                < config.flash_start + config.flash_length):
+            boost = config.flash_boost * self._zipf[0]
+            for slot in self._flash_slots:
+                weights[slot] += boost
+        return weights
+
+    def flash_active(self, tick: Optional[int] = None) -> bool:
+        """Whether the flash crowd burns at ``tick`` (default: now)."""
+        if tick is None:
+            tick = self._tick
+        start = self.config.flash_start
+        return (start is not None
+                and start <= tick < start + self.config.flash_length)
+
+    def _expire(self) -> None:
+        lifetime = self.config.mean_flow_lifetime
+        if lifetime <= 0:
+            return
+        rate = 1.0 / lifetime
+        rng = self._rng
+        for ingress in self._ingresses:
+            slots = self._slots[ingress]
+            for index in range(len(slots)):
+                if rng.random() < rate:
+                    slots[index] = self._new_flow(ingress)
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> List[FlowPacket]:
+        """Generate one tick's packet batch and advance time."""
+        tick = self._tick
+        self._tick += 1
+        self._expire()
+        rng = self._rng
+        cumulative: Dict[str, List[float]] = {}
+        for ingress in self._ingresses:
+            total = 0.0
+            acc: List[float] = []
+            for weight in self._weights(ingress, tick):
+                total += weight
+                acc.append(total)
+            cumulative[ingress] = acc
+        packets: List[FlowPacket] = []
+        for _ in range(self.config.packets_per_tick):
+            ingress = self._ingresses[rng.randrange(len(self._ingresses))]
+            acc = cumulative[ingress]
+            slot = bisect_left(acc, rng.random() * acc[-1])
+            slot = min(slot, len(acc) - 1)
+            flow = self._slots[ingress][slot]
+            width = self._policies[ingress].width or 1
+            packets.append(FlowPacket(ingress, flow.path, flow.header,
+                                      width, flow.flow_id))
+        return packets

@@ -48,6 +48,34 @@ def schedule(items):
         assert "no seed argument" in messages
         assert "from random import shuffle" in messages
 
+    def test_module_level_random_in_traffic(self, make_project, lint):
+        # repro.traffic is a registered seeded subsystem: the churn
+        # harness replays multi-seed matrices by digest, so the
+        # generator may never draw from the module-level RNG.
+        root = make_project({"repro/traffic/generator.py": '''
+import random
+
+
+def next_flow(slots):
+    return slots[random.randrange(len(slots))]
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-SEED"]
+        assert "random.randrange" in result.active[0].message
+
+    def test_wall_clock_tick_in_traffic_controller(self, make_project,
+                                                   lint):
+        root = make_project({"traffic/cache.py": '''
+import time
+
+
+def should_run_round(last_round):
+    return time.time() - last_round > 5.0
+'''})
+        result = lint(root, rules=RULES)
+        assert rule_ids(result) == ["REP-SEED"]
+        assert "time.time" in result.active[0].message
+
     def test_uuid4_in_loadgen(self, make_project, lint):
         root = make_project({"service/loadgen.py": '''
 import uuid
@@ -84,6 +112,22 @@ def timed(fn):
     start = time.monotonic()
     fn()
     return time.monotonic() - start
+'''})
+        assert lint(root, rules=RULES).active == []
+
+    def test_seeded_traffic_generator_is_fine(self, make_project, lint):
+        # The real generator pattern: one Random(config_seed) owned by
+        # the instance, every draw through it.
+        root = make_project({"repro/traffic/generator.py": '''
+import random
+
+
+class TrafficGenerator:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def pick(self, slots):
+        return slots[self._rng.randrange(len(slots))]
 '''})
         assert lint(root, rules=RULES).active == []
 

@@ -423,3 +423,126 @@ class TestSessionDepgraphReuse:
         deployer = IncrementalDeployer(base, engine="sat")
         with pytest.raises(ValueError):
             deployer.attach_session(SolverSession())
+
+
+class TestChurnCycles:
+    """Rapid install -> remove -> reinstall of the *same* ingress.
+
+    The cache controller's hot pattern: one ingress's cached policy is
+    installed, evicted, and reinstalled (possibly with different rule
+    subsets) many times per run.  The deployer must account spare
+    capacity exactly and keep its digest an exact function of the
+    deployed state, no matter how many cycles have passed.
+    """
+
+    def _fresh(self, deployed_network):
+        topo, router, ports, base = deployed_network
+        policy = generate_policy_set(
+            [ports[10]], rules_per_policy=8, seed=11)[ports[10]]
+        path = router.shortest_path(ports[10], ports[0])
+        return IncrementalDeployer(base), policy, path
+
+    def test_capacity_accounting_is_exact_over_cycles(
+            self, deployed_network):
+        deployer, policy, path = self._fresh(deployed_network)
+        baseline_spares = deployer.spare_capacities()
+        baseline_total = deployer.total_installed()
+        for _ in range(10):
+            result = deployer.preview_install(policy, [path])
+            assert result.is_feasible
+            deployer.commit_install(policy, [path], result.placed)
+            assert deployer.total_installed() == (
+                baseline_total + result.installed_rules)
+            freed = deployer.remove_policy(policy.ingress)
+            assert freed == result.installed_rules
+            # Every cycle returns to the exact baseline, switch by
+            # switch -- no leaked or double-freed slots.
+            assert deployer.spare_capacities() == baseline_spares
+            assert deployer.total_installed() == baseline_total
+
+    def test_digest_is_a_pure_function_of_state(self, deployed_network):
+        deployer, policy, path = self._fresh(deployed_network)
+        empty_digest = deployer.state_digest()
+        result = deployer.preview_install(policy, [path])
+        deployer.commit_install(policy, [path], result.placed)
+        installed_digest = deployer.state_digest()
+        assert installed_digest != empty_digest
+        for _ in range(5):
+            deployer.remove_policy(policy.ingress)
+            assert deployer.state_digest() == empty_digest
+            again = deployer.preview_install(policy, [path])
+            assert again.is_feasible
+            deployer.commit_install(policy, [path], again.placed)
+            assert deployer.state_digest() == installed_digest
+
+    def test_reinstall_with_shrunk_policy(self, deployed_network):
+        """Eviction's shape: same ingress reinstalls a rule *subset*."""
+        deployer, policy, path = self._fresh(deployed_network)
+        deployer.install_policy(policy, [path])
+        full_installed = deployer.total_installed()
+        # Evict a DROP: drops (plus shields) are what occupy TCAM, so
+        # removing one must strictly shrink the installed footprint.
+        victim = policy.drop_rules()[-1]
+        shrunk = Policy(
+            ingress=policy.ingress,
+            rules=[r for r in policy.sorted_rules() if r is not victim],
+            default_action=policy.default_action,
+        )
+        result = deployer.preview_modify(shrunk)
+        assert result.is_feasible
+        deployer.apply_modify(shrunk, result.placed)
+        assert deployer.total_installed() < full_installed
+        assert deployer.deployed_policy(policy.ingress) is shrunk
+        assert verify_placement(deployer.as_placement()).ok
+
+    def test_preview_install_rejects_live_ingress_every_cycle(
+            self, deployed_network):
+        deployer, policy, path = self._fresh(deployed_network)
+        for _ in range(3):
+            deployer.install_policy(policy, [path])
+            with pytest.raises(ValueError):
+                deployer.preview_install(policy, [path])
+            deployer.remove_policy(policy.ingress)
+
+    def test_accessors_follow_the_cycle(self, deployed_network):
+        deployer, policy, path = self._fresh(deployed_network)
+        with pytest.raises(ValueError):
+            deployer.deployed_paths(policy.ingress)
+        with pytest.raises(ValueError):
+            deployer.placed_of(policy.ingress)
+        deployer.install_policy(policy, [path])
+        assert deployer.deployed_paths(policy.ingress) == (path,)
+        placed = deployer.placed_of(policy.ingress)
+        assert placed
+        # The accessor hands out a copy, not the live map.
+        placed.clear()
+        assert deployer.placed_of(policy.ingress)
+        deployer.remove_policy(policy.ingress)
+        with pytest.raises(ValueError):
+            deployer.deployed_paths(policy.ingress)
+
+    def test_session_epoch_survives_cycles(self, deployed_network):
+        """Warm sessions across churn: the pinned depgraph cache keeps
+        serving one content digest across every reinstall, and an
+        explicit epoch bump is the only thing that invalidates warm
+        entries -- churn alone must not."""
+        from repro.solve.session import SolverSession
+
+        deployer, policy, path = self._fresh(deployed_network)
+        session = SolverSession()
+        deployer.attach_session(session)
+        for _ in range(4):
+            result = deployer.install_policy(policy, [path],
+                                             try_greedy=False)
+            assert result.is_feasible
+            deployer.remove_policy(policy.ingress)
+        stats = session.depgraphs.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 3
+        assert session.epoch == 0
+        session.bump_epoch()
+        assert session.epoch == 1
+        # Post-bump churn still works (cold rebuild on next touch).
+        result = deployer.install_policy(policy, [path], try_greedy=False)
+        assert result.is_feasible
+        assert verify_placement(deployer.as_placement()).ok

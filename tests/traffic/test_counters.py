@@ -1,0 +1,118 @@
+"""Tests for the popularity estimators (EWMA + space-saving top-k)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic import EwmaCounters, PopularityTracker, SpaceSavingTopK
+
+
+class TestEwma:
+    def test_half_life_is_exact(self):
+        ewma = EwmaCounters(half_life=4.0)
+        ewma.record("r", 8.0)
+        for _ in range(4):
+            ewma.tick()
+        assert ewma.score("r") == pytest.approx(4.0)
+        for _ in range(4):
+            ewma.tick()
+        assert ewma.score("r") == pytest.approx(2.0)
+
+    def test_recency_beats_stale_frequency(self):
+        ewma = EwmaCounters(half_life=2.0)
+        for _ in range(8):
+            ewma.record("old")
+        for _ in range(10):
+            ewma.tick()
+        ewma.record("fresh")
+        ewma.record("fresh")
+        assert ewma.score("fresh") > ewma.score("old")
+        # Cumulative counts still remember the history.
+        assert ewma.count("old") == 8
+        assert ewma.count("fresh") == 2
+
+    def test_lazy_fold_matches_eager_decay(self):
+        lazy = EwmaCounters(half_life=3.0)
+        lazy.record("k", 5.0)
+        for _ in range(7):
+            lazy.tick()
+        lazy.record("k", 1.0)   # forces the fold
+        lazy.tick()
+        expected = (5.0 * 0.5 ** (7 / 3.0) + 1.0) * 0.5 ** (1 / 3.0)
+        assert lazy.score("k") == pytest.approx(expected)
+
+    def test_last_seen_and_drop(self):
+        ewma = EwmaCounters()
+        assert ewma.last_seen("k") is None
+        ewma.record("k")
+        ewma.tick()
+        ewma.tick()
+        assert ewma.last_seen("k") == 0
+        ewma.record("k")
+        assert ewma.last_seen("k") == 2
+        ewma.drop("k")
+        assert ewma.score("k") == 0.0
+        assert ewma.count("k") == 0
+        assert ewma.last_seen("k") is None
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(ValueError):
+            EwmaCounters(half_life=0.0)
+
+
+class TestSpaceSaving:
+    def test_exact_below_capacity(self):
+        sketch = SpaceSavingTopK(capacity=8)
+        for key, hits in [("a", 5), ("b", 3), ("c", 1)]:
+            for _ in range(hits):
+                sketch.record(key)
+        top = sketch.top()
+        assert [(e.key, e.count, e.error) for e in top] == [
+            ("a", 5, 0), ("b", 3, 0), ("c", 1, 0)]
+
+    def test_heavy_hitters_survive_eviction(self):
+        sketch = SpaceSavingTopK(capacity=4)
+        # One dominant key among a long tail of one-hit keys.
+        for index in range(100):
+            sketch.record("hot")
+            sketch.record(f"tail-{index}")
+        assert "hot" in sketch
+        top = sketch.top(1)[0]
+        assert top.key == "hot"
+        # Lower bound (count - error) is sound.
+        assert top.count - top.error <= 100
+        assert top.count >= 100
+
+    def test_eviction_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            sketch = SpaceSavingTopK(capacity=2)
+            for key in ("a", "b", "c", "d", "e"):
+                sketch.record(key)
+            outcomes.append([(e.key, e.count) for e in sketch.top()])
+        assert outcomes[0] == outcomes[1]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSavingTopK(capacity=0)
+
+
+class TestTracker:
+    def test_state_is_bounded_by_sketch(self):
+        tracker = PopularityTracker(half_life=4.0, monitored=8)
+        for index in range(100):
+            tracker.record(f"k{index}")
+        assert len(tracker.sketch) == 8
+        # EWMA state tracks the monitored set: evicted keys are gone.
+        assert len(tracker.ewma.keys()) <= 8
+
+    def test_scores_follow_ewma(self):
+        tracker = PopularityTracker(half_life=2.0, monitored=16)
+        tracker.record("k", 4.0)
+        tracker.tick()
+        tracker.tick()
+        # Two ticks at half-life 2 is one half-life: 4.0 -> 2.0.
+        assert tracker.score("k") == pytest.approx(2.0)
+        assert tracker.count("k") == 1
+        assert tracker.last_seen("k") == 0
+        assert tracker.current_tick == 2

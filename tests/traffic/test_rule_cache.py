@@ -1,0 +1,293 @@
+"""Tests for the caching dependency closure, the structural oracle,
+and the promotion/eviction controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.depgraph import caching_closures
+from repro.core.incremental import IncrementalDeployer
+from repro.core.instance import PlacementInstance
+from repro.core.placement import RulePlacer
+from repro.net.routing import Path, Routing
+from repro.net.topology import Topology
+from repro.policy.policy import Policy, PolicySet
+from repro.policy.rule import Action, Rule
+from repro.policy.ternary import TernaryMatch
+from repro.traffic import (CacheConfig, LocalChurnDriver,
+                           RuleCacheController, cacheable_units,
+                           closure_violations)
+
+
+def rule(pattern: str, action: Action, priority: int) -> Rule:
+    return Rule(TernaryMatch.from_string(pattern), action, priority)
+
+
+def chain_policy() -> Policy:
+    """The alternating DROP/PERMIT chain the transitive rule exists
+    for: D5 carves into P4, which carves into D3."""
+    return Policy("in", [
+        rule("110*", Action.DROP, 5),
+        rule("11**", Action.PERMIT, 4),
+        rule("1***", Action.DROP, 3),
+    ])
+
+
+class TestCachingClosures:
+    def test_transitive_alternating_chain(self):
+        closures = caching_closures(chain_policy())
+        assert closures[5] == ()
+        assert closures[4] == (5,)
+        # Eq. 1 would stop at P4; the caching closure must also carry
+        # D5, or a cached D3+P4 pair answers FORWARD in D5's region.
+        assert closures[3] == (5, 4)
+
+    def test_disjoint_rules_have_empty_closures(self):
+        policy = Policy("in", [
+            rule("0***", Action.PERMIT, 2),
+            rule("1***", Action.DROP, 1),
+        ])
+        closures = caching_closures(policy)
+        assert closures == {2: (), 1: ()}
+
+    def test_same_action_overlap_is_not_a_dependency(self):
+        policy = Policy("in", [
+            rule("1***", Action.DROP, 2),
+            rule("11**", Action.DROP, 1),
+        ])
+        assert caching_closures(policy)[1] == ()
+
+    def test_deep_chain(self):
+        # D7 > P6 > D5 > P4, each nested in the previous.
+        policy = Policy("in", [
+            rule("1110", Action.DROP, 7),
+            rule("111*", Action.PERMIT, 6),
+            rule("11**", Action.DROP, 5),
+            rule("1***", Action.PERMIT, 4),
+        ])
+        closures = caching_closures(policy)
+        assert closures[4] == (7, 6, 5)
+        assert closures[5] == (7, 6)
+        assert closures[6] == (7,)
+
+
+class TestCacheableUnits:
+    def test_units_are_drop_anchored_and_closed(self):
+        units = cacheable_units(chain_policy())
+        assert set(units) == {5, 3}
+        assert units[5] == frozenset({5})
+        assert units[3] == frozenset({3, 4, 5})
+
+    def test_pure_permits_are_never_units(self):
+        policy = Policy("in", [rule("1***", Action.PERMIT, 1)])
+        assert cacheable_units(policy) == {}
+
+    def test_union_of_units_is_ancestor_closed(self):
+        policy = chain_policy()
+        units = cacheable_units(policy)
+        closures = caching_closures(policy)
+        for members in units.values():
+            for priority in members:
+                assert set(closures[priority]) <= members
+
+
+class TestClosureOracle:
+    def _paths(self):
+        return [Path("in", "out", ("s1", "s2"))]
+
+    def test_clean_deployment_passes(self):
+        policy = chain_policy()
+        placed = {("in", 3): frozenset({"s1"}),
+                  ("in", 4): frozenset({"s1"}),
+                  ("in", 5): frozenset({"s1"})}
+        assert closure_violations(policy, frozenset({3, 4, 5}), placed,
+                                  self._paths()) == []
+
+    def test_missing_transitive_ancestor_fires(self):
+        policy = chain_policy()
+        placed = {("in", 3): frozenset({"s1"}),
+                  ("in", 4): frozenset({"s1"})}
+        violations = closure_violations(policy, frozenset({3, 4}),
+                                        placed, self._paths())
+        assert any("without ancestors [5]" in v for v in violations)
+
+    def test_drop_missing_from_a_path_fires(self):
+        policy = chain_policy()
+        cached = frozenset({5})
+        violations = closure_violations(
+            policy, cached, {("in", 5): frozenset({"s1"})},
+            [Path("in", "out", ("s1",)),
+             Path("in", "out2", ("s3", "s4"))])
+        assert any("not installed on path s3->s4" in v
+                   for v in violations)
+
+    def test_flow_sliced_path_skips_disjoint_drops(self):
+        policy = chain_policy()
+        cached = frozenset({5})
+        disjoint = Path("in", "out", ("s9",),
+                        TernaryMatch.from_string("0***"))
+        assert closure_violations(
+            policy, cached, {("in", 5): frozenset({"s1"})},
+            [Path("in", "out", ("s1",)), disjoint]) == []
+
+    def test_shield_not_colocated_fires(self):
+        policy = chain_policy()
+        cached = frozenset({3, 4, 5})
+        placed = {("in", 3): frozenset({"s1"}),
+                  ("in", 4): frozenset({"s2"}),   # shield elsewhere
+                  ("in", 5): frozenset({"s1"})}
+        violations = closure_violations(policy, cached, placed,
+                                        self._paths())
+        assert any("drop 3 on s1 without shield 4" in v
+                   for v in violations)
+
+
+def line_world(capacity: int = 10):
+    """One ingress, one two-switch path, empty base deployment."""
+    topo = Topology()
+    topo.add_switch("s1", capacity)
+    topo.add_switch("s2", capacity)
+    topo.add_link("s1", "s2")
+    topo.add_entry_port("in", "s1")
+    topo.add_entry_port("out", "s2")
+    base = RulePlacer().place(
+        PlacementInstance(topo, Routing(), PolicySet()))
+    path = Path("in", "out", ("s1", "s2"))
+    return IncrementalDeployer(base), path
+
+
+class TestController:
+    def _controller(self, policy, path, **overrides):
+        defaults = dict(budget=4, control_interval=1, half_life=4.0)
+        defaults.update(overrides)
+        return RuleCacheController([policy], {"in": [path]},
+                                   CacheConfig(**defaults))
+
+    def test_nothing_cached_without_traffic(self):
+        deployer, path = line_world()
+        controller = self._controller(chain_policy(), path)
+        stats = controller.tick(LocalChurnDriver(deployer))
+        assert stats is not None
+        assert controller.cached_set("in") == frozenset()
+        assert not deployer.has_policy("in")
+
+    def test_hot_unit_is_promoted_with_its_closure(self):
+        deployer, path = line_world()
+        policy = chain_policy()
+        controller = self._controller(policy, path)
+        driver = LocalChurnDriver(deployer)
+        for _ in range(3):
+            controller.observe("in", 3)
+        controller.tick(driver)
+        # Promoting D3 drags P4 and D5 along atomically.
+        assert controller.cached_set("in") == frozenset({3, 4, 5})
+        assert deployer.has_policy("in")
+        assert controller.verify(driver) == []
+
+    def test_budget_excludes_oversized_units(self):
+        deployer, path = line_world()
+        policy = chain_policy()
+        controller = self._controller(policy, path, budget=2)
+        driver = LocalChurnDriver(deployer)
+        for _ in range(5):
+            controller.observe("in", 3)   # wants the 3-rule unit
+        controller.observe("in", 5)       # the 1-rule unit
+        controller.tick(driver)
+        # The closure of D3 needs 3 slots > budget 2; only D5 fits.
+        assert controller.cached_set("in") == frozenset({5})
+        assert controller.verify(driver) == []
+
+    def test_eviction_when_popularity_moves(self):
+        deployer, path = line_world()
+        policy = Policy("in", [
+            rule("00**", Action.DROP, 2),
+            rule("11**", Action.DROP, 1),
+        ])
+        controller = self._controller(policy, path, budget=1,
+                                      half_life=1.0, hysteresis=1.0)
+        driver = LocalChurnDriver(deployer)
+        for _ in range(4):
+            controller.observe("in", 2)
+        controller.tick(driver)
+        assert controller.cached_set("in") == frozenset({2})
+        # Popularity flips; fast decay forgets rule 2.
+        for _ in range(6):
+            for _ in range(8):
+                controller.observe("in", 1)
+            controller.tick(driver)
+        assert controller.cached_set("in") == frozenset({1})
+        stats = controller.rounds
+        assert sum(r.evictions for r in stats) >= 1
+        assert controller.verify(driver) == []
+
+    def test_hysteresis_holds_incumbent_on_ties(self):
+        deployer, path = line_world()
+        policy = Policy("in", [
+            rule("00**", Action.DROP, 2),
+            rule("11**", Action.DROP, 1),
+        ])
+        controller = self._controller(policy, path, budget=1,
+                                      half_life=2.0, hysteresis=2.0)
+        driver = LocalChurnDriver(deployer)
+        for _ in range(4):
+            controller.observe("in", 2)
+        controller.tick(driver)
+        assert controller.cached_set("in") == frozenset({2})
+        # Equal ongoing traffic: the incumbent's bonus prevents thrash.
+        for _ in range(4):
+            controller.observe("in", 1)
+            controller.observe("in", 2)
+            controller.tick(driver)
+        assert controller.cached_set("in") == frozenset({2})
+
+    def test_trim_on_physical_infeasibility(self):
+        # Budget 4 but the only path switch holds 1 entry: previews for
+        # the full selection fail; the controller trims down to what
+        # physically fits instead of wedging.
+        topo = Topology()
+        topo.add_switch("s1", 1)
+        topo.add_entry_port("in", "s1")
+        topo.add_entry_port("out", "s1")
+        base = RulePlacer().place(
+            PlacementInstance(topo, Routing(), PolicySet()))
+        deployer = IncrementalDeployer(base)
+        path = Path("in", "out", ("s1",))
+        policy = Policy("in", [
+            rule("00**", Action.DROP, 2),
+            rule("11**", Action.DROP, 1),
+        ])
+        controller = self._controller(policy, path, budget=4)
+        driver = LocalChurnDriver(deployer)
+        for _ in range(3):
+            controller.observe("in", 2)
+            controller.observe("in", 1)
+        stats = controller.tick(driver)
+        assert stats.trims >= 1
+        assert len(controller.cached_set("in")) == 1
+        assert controller.verify(driver) == []
+
+    def test_static_freezes_at_warmup(self):
+        deployer, path = line_world()
+        policy = Policy("in", [
+            rule("00**", Action.DROP, 2),
+            rule("11**", Action.DROP, 1),
+        ])
+        controller = self._controller(policy, path, budget=1,
+                                      strategy="static", warmup_ticks=2,
+                                      hysteresis=1.0)
+        driver = LocalChurnDriver(deployer)
+        for _ in range(4):
+            controller.observe("in", 2)
+        controller.tick(driver)
+        controller.tick(driver)
+        assert controller.cached_set("in") == frozenset({2})
+        # Post-freeze popularity reversal: static must NOT adapt.
+        for _ in range(8):
+            for _ in range(8):
+                controller.observe("in", 1)
+            controller.tick(driver)
+        assert controller.cached_set("in") == frozenset({2})
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(strategy="belady")
